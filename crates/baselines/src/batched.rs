@@ -1,0 +1,182 @@
+//! Batch-interface baseline — the paper's ARMPL batched-GEMM comparison
+//! (and the loop-around-ARMPL-TRSM comparison).
+//!
+//! Unlike [`crate::blasloop`], the interface sees the whole group at once:
+//! validation runs once, packing scratch is allocated once and reused, and
+//! the per-matrix kernels run back to back. Parallelization here is
+//! *between* matrices, not within — crucially, **without** the SIMD-friendly
+//! compact layout, which is the structural difference the paper's ARMPL
+//! comparison isolates.
+
+use crate::blasloop::BaselineElement;
+use crate::single;
+use iatf_layout::{GemmMode, Side, StdBatch, Trans, TrsmMode};
+use iatf_simd::Element;
+
+/// Batched GEMM with amortized setup and reused packing scratch.
+pub fn gemm<E: BaselineElement>(
+    mode: GemmMode,
+    alpha: E,
+    a: &StdBatch<E>,
+    b: &StdBatch<E>,
+    beta: E,
+    c: &mut StdBatch<E>,
+) {
+    let (m, n) = c.shape();
+    let k = match mode.transa {
+        Trans::No => a.cols(),
+        Trans::Yes => a.rows(),
+    };
+    assert!(m > 0 && n > 0 && k > 0);
+    assert_eq!(a.count(), c.count());
+    assert_eq!(b.count(), c.count());
+    let (ar, _) = a.shape();
+    let (br, _) = b.shape();
+
+    // one scratch allocation for the whole group
+    let mut ap = vec![E::zero(); m * k];
+    let mut bp = vec![E::zero(); k * n];
+    for v in 0..c.count() {
+        single::pack_op(&mut ap, a.mat(v), ar, m, k, mode.transa, false);
+        single::pack_op(&mut bp, b.mat(v), br, k, n, mode.transb, false);
+        E::smat_gemm(m, n, k, alpha, &ap, &bp, beta, c.mat_mut(v), m);
+    }
+}
+
+/// Batched TRSM with amortized setup; solves run directly on the stored
+/// triangle (no per-call packing pass).
+pub fn trsm<E: Element>(mode: TrsmMode, alpha: E, a: &StdBatch<E>, b: &mut StdBatch<E>) {
+    let (m, n) = b.shape();
+    let t = a.rows();
+    assert!(m > 0 && n > 0);
+    assert_eq!(a.count(), b.count());
+    for v in 0..b.count() {
+        match mode.side {
+            Side::Left => single::trsm_left(
+                t,
+                n,
+                alpha,
+                a.mat(v),
+                t,
+                mode.trans,
+                false,
+                mode.uplo,
+                mode.diag,
+                b.mat_mut(v),
+                m,
+            ),
+            Side::Right => single::trsm_right(
+                m,
+                t,
+                alpha,
+                a.mat(v),
+                t,
+                mode.trans,
+                false,
+                mode.uplo,
+                mode.diag,
+                b.mat_mut(v),
+                m,
+            ),
+        }
+    }
+}
+
+/// Batched TRMM with amortized setup (scalar per-matrix triangular
+/// multiply on the stored triangle) — the loop-library baseline for the
+/// TRMM extension.
+pub fn trmm<E: Element>(mode: TrsmMode, alpha: E, a: &StdBatch<E>, b: &mut StdBatch<E>) {
+    let (m, n) = b.shape();
+    let t = a.rows();
+    assert_eq!(a.count(), b.count());
+    let mut scratch = vec![E::zero(); m * n];
+    for v in 0..b.count() {
+        let tm = crate::naive::materialize_triangle(a, v, mode.trans, false, mode.uplo, mode.diag);
+        for j in 0..n {
+            for i in 0..m {
+                let mut acc = E::zero();
+                match mode.side {
+                    Side::Left => {
+                        for l in 0..t {
+                            acc = acc.add(tm[i * t + l].mul(b.get(v, l, j)));
+                        }
+                    }
+                    Side::Right => {
+                        for l in 0..t {
+                            acc = acc.add(b.get(v, i, l).mul(tm[l * t + j]));
+                        }
+                    }
+                }
+                scratch[j * m + i] = alpha.mul(acc);
+            }
+        }
+        for j in 0..n {
+            for i in 0..m {
+                b.set(v, i, j, scratch[j * m + i]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use iatf_simd::c64;
+
+    #[test]
+    fn gemm_matches_blasloop() {
+        for mode in GemmMode::ALL {
+            let (m, n, k) = (6usize, 5usize, 4usize);
+            let (ar, ac) = if mode.transa == Trans::No {
+                (m, k)
+            } else {
+                (k, m)
+            };
+            let (br, bc) = if mode.transb == Trans::No {
+                (k, n)
+            } else {
+                (n, k)
+            };
+            let a = StdBatch::<f64>::random(ar, ac, 4, 61);
+            let b = StdBatch::<f64>::random(br, bc, 4, 62);
+            let c0 = StdBatch::<f64>::random(m, n, 4, 63);
+            let mut via_loop = c0.clone();
+            crate::blasloop::gemm(mode, 1.0, &a, &b, 0.5, &mut via_loop);
+            let mut via_batch = c0.clone();
+            gemm(mode, 1.0, &a, &b, 0.5, &mut via_batch);
+            assert_eq!(via_loop.max_abs_diff(&via_batch), 0.0, "{mode}");
+        }
+    }
+
+    #[test]
+    fn trmm_matches_naive() {
+        for mode in TrsmMode::all() {
+            let (m, n) = (5usize, 6usize);
+            let t = if mode.side == Side::Left { m } else { n };
+            let a = StdBatch::<f64>::random_triangular(t, 2, mode.uplo, mode.diag, 91);
+            let b0 = StdBatch::<f64>::random(m, n, 2, 92);
+            let mut want = b0.clone();
+            crate::naive::trmm_ref(mode, false, 1.5, &a, &mut want);
+            let mut got = b0.clone();
+            trmm(mode, 1.5, &a, &mut got);
+            assert!(want.max_abs_diff(&got) < 1e-12, "{mode}");
+        }
+    }
+
+    #[test]
+    fn trsm_matches_naive() {
+        for mode in TrsmMode::all() {
+            let (m, n) = (4usize, 7usize);
+            let t = if mode.side == Side::Left { m } else { n };
+            let a = StdBatch::<c64>::random_triangular(t, 2, mode.uplo, mode.diag, 71);
+            let b0 = StdBatch::<c64>::random(m, n, 2, 72);
+            let alpha = c64::new(1.0, 0.5);
+            let mut want = b0.clone();
+            naive::trsm_ref(mode, false, alpha, &a, &mut want);
+            let mut got = b0.clone();
+            trsm(mode, alpha, &a, &mut got);
+            assert!(want.max_abs_diff(&got) < 1e-11, "{mode}");
+        }
+    }
+}

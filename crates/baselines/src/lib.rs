@@ -1,0 +1,27 @@
+//! Baseline batched BLAS implementations.
+//!
+//! The paper compares IATF against three ARMv8 libraries; this crate
+//! provides faithful stand-ins with the same *structural* performance
+//! characteristics, all operating on standard column-major batches
+//! (`iatf_layout::StdBatch`):
+//!
+//! | paper baseline | module | structure |
+//! |---|---|---|
+//! | loop around OpenBLAS GEMM/TRSM calls | [`blasloop`] | Goto-style single-matrix kernels (M-vectorized, packed panels), full per-call dispatch/validation/buffer cost |
+//! | ARMPL batched GEMM / TRSM loop | [`batched`] | same per-matrix kernels behind a batch interface: setup amortized, buffers reused across the group |
+//! | LIBXSMM batched GEMM | [`specialized`] | shape-specialized no-pack kernels selected from a dispatch table built per shape (JIT stand-in); real GEMM only, like LIBXSMM |
+//! | — (correctness oracle) | [`naive`] | textbook scalar reference for every mode |
+//!
+//! None of them use the SIMD-friendly compact layout — that is precisely the
+//! variable the paper's comparison isolates.
+
+#![warn(missing_docs)]
+// BLAS-style signatures are inherently wide; indexed loops mirror the
+// column-major addressing they implement.
+#![allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+
+pub mod batched;
+pub mod blasloop;
+pub mod naive;
+pub mod single;
+pub mod specialized;

@@ -1,0 +1,351 @@
+//! Textbook scalar reference implementations — the correctness oracle for
+//! the whole workspace. Deliberately simple; no attention to performance.
+
+use iatf_layout::{Diag, GemmMode, Side, StdBatch, Trans, TrsmMode, Uplo};
+use iatf_simd::{Element, Real};
+
+/// Reference batched GEMM: `C = α·op(A)·op(B) + β·C` per matrix.
+pub fn gemm_ref<E: Element>(
+    mode: GemmMode,
+    conj_a: bool,
+    conj_b: bool,
+    alpha: E,
+    a: &StdBatch<E>,
+    b: &StdBatch<E>,
+    beta: E,
+    c: &mut StdBatch<E>,
+) {
+    let (m, n) = c.shape();
+    let k = match mode.transa {
+        Trans::No => a.cols(),
+        Trans::Yes => a.rows(),
+    };
+    for v in 0..c.count() {
+        for j in 0..n {
+            for i in 0..m {
+                let mut acc = E::zero();
+                for l in 0..k {
+                    let ae = op_get(a, v, mode.transa, conj_a, i, l);
+                    let be = op_get(b, v, mode.transb, conj_b, l, j);
+                    acc = acc.add(ae.mul(be));
+                }
+                let prior = c.get(v, i, j);
+                c.set(v, i, j, alpha.mul(acc).add(beta.mul(prior)));
+            }
+        }
+    }
+}
+
+fn op_get<E: Element>(
+    x: &StdBatch<E>,
+    v: usize,
+    trans: Trans,
+    conj: bool,
+    i: usize,
+    j: usize,
+) -> E {
+    let raw = match trans {
+        Trans::No => x.get(v, i, j),
+        Trans::Yes => x.get(v, j, i),
+    };
+    if conj {
+        E::from_f64s(raw.re().to_f64(), -raw.im().to_f64())
+    } else {
+        raw
+    }
+}
+
+/// Materializes `op(A)` of matrix `v` as a dense `t × t` row-major vector,
+/// honoring uplo (unreferenced triangle read as zero) and diag (unit
+/// diagonal read as one).
+pub fn materialize_triangle<E: Element>(
+    a: &StdBatch<E>,
+    v: usize,
+    trans: Trans,
+    conj: bool,
+    uplo: Uplo,
+    diag: Diag,
+) -> Vec<E> {
+    let t = a.rows();
+    assert_eq!(a.cols(), t, "triangular matrix must be square");
+    let mut out = vec![E::zero(); t * t];
+    for i in 0..t {
+        for j in 0..t {
+            // referenced iff within the stored triangle of the *stored*
+            // matrix; op applies afterwards.
+            let (si, sj) = match trans {
+                Trans::No => (i, j),
+                Trans::Yes => (j, i),
+            };
+            let stored = match uplo {
+                Uplo::Lower => si >= sj,
+                Uplo::Upper => si <= sj,
+            };
+            out[i * t + j] = if i == j && diag == Diag::Unit {
+                E::one()
+            } else if stored {
+                op_get(a, v, trans, conj, i, j)
+            } else {
+                E::zero()
+            };
+        }
+    }
+    out
+}
+
+fn is_lower_after_op(trans: Trans, uplo: Uplo) -> bool {
+    matches!(
+        (trans, uplo),
+        (Trans::No, Uplo::Lower) | (Trans::Yes, Uplo::Upper)
+    )
+}
+
+/// Solves dense triangular `T·x = rhs` in place (`lower` selects forward or
+/// backward substitution). `T` is `t × t` row-major.
+fn solve_in_place<E: Element>(t_mat: &[E], t: usize, lower: bool, x: &mut [E]) {
+    if lower {
+        for i in 0..t {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc = acc.sub(t_mat[i * t + j].mul(x[j]));
+            }
+            x[i] = acc.mul(t_mat[i * t + i].recip());
+        }
+    } else {
+        for i in (0..t).rev() {
+            let mut acc = x[i];
+            for j in i + 1..t {
+                acc = acc.sub(t_mat[i * t + j].mul(x[j]));
+            }
+            x[i] = acc.mul(t_mat[i * t + i].recip());
+        }
+    }
+}
+
+/// Reference batched TRSM for all sixteen modes; B is overwritten by X.
+pub fn trsm_ref<E: Element>(
+    mode: TrsmMode,
+    conj: bool,
+    alpha: E,
+    a: &StdBatch<E>,
+    b: &mut StdBatch<E>,
+) {
+    let (m, n) = b.shape();
+    let t = a.rows();
+    match mode.side {
+        Side::Left => assert_eq!(t, m),
+        Side::Right => assert_eq!(t, n),
+    }
+    for v in 0..b.count() {
+        let tm = materialize_triangle(a, v, mode.trans, conj, mode.uplo, mode.diag);
+        let lower = is_lower_after_op(mode.trans, mode.uplo);
+        match mode.side {
+            Side::Left => {
+                // op(A)·X = α·B: solve per column.
+                let mut col = vec![E::zero(); m];
+                for j in 0..n {
+                    for i in 0..m {
+                        col[i] = alpha.mul(b.get(v, i, j));
+                    }
+                    solve_in_place(&tm, t, lower, &mut col);
+                    for i in 0..m {
+                        b.set(v, i, j, col[i]);
+                    }
+                }
+            }
+            Side::Right => {
+                // X·op(A) = α·B ⇔ op(A)ᵀ·Xᵀ = α·Bᵀ: solve per row with the
+                // transposed triangle (flips lower/upper).
+                let mut ttm = vec![E::zero(); t * t];
+                for i in 0..t {
+                    for j in 0..t {
+                        ttm[i * t + j] = tm[j * t + i];
+                    }
+                }
+                let mut row = vec![E::zero(); n];
+                for i in 0..m {
+                    for j in 0..n {
+                        row[j] = alpha.mul(b.get(v, i, j));
+                    }
+                    solve_in_place(&ttm, t, !lower, &mut row);
+                    for j in 0..n {
+                        b.set(v, i, j, row[j]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reference batched TRMM for all sixteen modes; B is overwritten by
+/// `α·op(A)·B` (left) or `α·B·op(A)` (right).
+pub fn trmm_ref<E: Element>(
+    mode: TrsmMode,
+    conj: bool,
+    alpha: E,
+    a: &StdBatch<E>,
+    b: &mut StdBatch<E>,
+) {
+    let (m, n) = b.shape();
+    let t = a.rows();
+    match mode.side {
+        Side::Left => assert_eq!(t, m),
+        Side::Right => assert_eq!(t, n),
+    }
+    for v in 0..b.count() {
+        let tm = materialize_triangle(a, v, mode.trans, conj, mode.uplo, mode.diag);
+        let mut out = vec![E::zero(); m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = E::zero();
+                match mode.side {
+                    Side::Left => {
+                        for l in 0..t {
+                            acc = acc.add(tm[i * t + l].mul(b.get(v, l, j)));
+                        }
+                    }
+                    Side::Right => {
+                        for l in 0..t {
+                            acc = acc.add(b.get(v, i, l).mul(tm[l * t + j]));
+                        }
+                    }
+                }
+                out[j * m + i] = alpha.mul(acc);
+            }
+        }
+        for j in 0..n {
+            for i in 0..m {
+                b.set(v, i, j, out[j * m + i]);
+            }
+        }
+    }
+}
+
+/// ∞-norm residual of `op(A)·X − α·B` (left) or `X·op(A) − α·B` (right),
+/// relative to the magnitudes involved — the TRSM acceptance metric used by
+/// the integration tests.
+pub fn trsm_residual<E: Element>(
+    mode: TrsmMode,
+    conj: bool,
+    alpha: E,
+    a: &StdBatch<E>,
+    x: &StdBatch<E>,
+    b0: &StdBatch<E>,
+) -> f64 {
+    let (m, n) = b0.shape();
+    let t = a.rows();
+    let mut worst = 0.0f64;
+    for v in 0..b0.count() {
+        let tm = materialize_triangle(a, v, mode.trans, conj, mode.uplo, mode.diag);
+        for i in 0..m {
+            for j in 0..n {
+                let mut lhs = E::zero();
+                match mode.side {
+                    Side::Left => {
+                        for l in 0..t {
+                            lhs = lhs.add(tm[i * t + l].mul(x.get(v, l, j)));
+                        }
+                    }
+                    Side::Right => {
+                        for l in 0..t {
+                            lhs = lhs.add(x.get(v, i, l).mul(tm[l * t + j]));
+                        }
+                    }
+                }
+                let rhs = alpha.mul(b0.get(v, i, j));
+                let scale = lhs.abs_f64().max(rhs.abs_f64()).max(1.0);
+                worst = worst.max(lhs.sub(rhs).abs_f64() / scale);
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iatf_simd::c64;
+
+    #[test]
+    fn gemm_identity() {
+        // A = I ⇒ C = α·B + β·C
+        let m = 3;
+        let a = StdBatch::<f64>::from_fn(m, m, 2, |_, i, j| if i == j { 1.0 } else { 0.0 });
+        let b = StdBatch::<f64>::random(m, m, 2, 4);
+        let mut c = StdBatch::<f64>::zeroed(m, m, 2);
+        gemm_ref(GemmMode::NN, false, false, 2.0, &a, &b, 0.0, &mut c);
+        for v in 0..2 {
+            for i in 0..m {
+                for j in 0..m {
+                    assert!((c.get(v, i, j) - 2.0 * b.get(v, i, j)).abs() < 1e-15);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_transpose_consistency() {
+        // (AᵀBᵀ)ᵀ = BA: check TT against NN with swapped operands.
+        let a = StdBatch::<f64>::random(4, 3, 1, 11);
+        let b = StdBatch::<f64>::random(5, 4, 1, 12);
+        let mut c_tt = StdBatch::<f64>::zeroed(3, 5, 1);
+        gemm_ref(GemmMode::TT, false, false, 1.0, &a, &b, 0.0, &mut c_tt);
+        let mut c_nn = StdBatch::<f64>::zeroed(5, 3, 1);
+        gemm_ref(GemmMode::NN, false, false, 1.0, &b, &a, 0.0, &mut c_nn);
+        for i in 0..3 {
+            for j in 0..5 {
+                assert!((c_tt.get(0, i, j) - c_nn.get(0, j, i)).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn conjugation_applies() {
+        let a = StdBatch::<c64>::from_fn(1, 1, 1, |_, _, _| c64::new(1.0, 2.0));
+        let b = StdBatch::<c64>::from_fn(1, 1, 1, |_, _, _| c64::new(1.0, 0.0));
+        let mut c = StdBatch::<c64>::zeroed(1, 1, 1);
+        gemm_ref(GemmMode::NN, true, false, c64::one(), &a, &b, c64::zero(), &mut c);
+        assert_eq!(c.get(0, 0, 0), c64::new(1.0, -2.0));
+    }
+
+    #[test]
+    fn trsm_all_modes_residual_small() {
+        for mode in TrsmMode::all() {
+            let (m, n) = (6usize, 5usize);
+            let t = if mode.side == Side::Left { m } else { n };
+            let a = StdBatch::<f64>::random_triangular(t, 3, mode.uplo, mode.diag, 21);
+            let b0 = StdBatch::<f64>::random(m, n, 3, 22);
+            let mut x = b0.clone();
+            trsm_ref(mode, false, 1.5, &a, &mut x);
+            let r = trsm_residual(mode, false, 1.5, &a, &x, &b0);
+            assert!(r < 1e-12, "{mode}: residual {r}");
+        }
+    }
+
+    #[test]
+    fn trsm_complex_modes() {
+        for mode in [TrsmMode::LNLN, TrsmMode::LTUN] {
+            let a = StdBatch::<c64>::random_triangular(5, 2, mode.uplo, mode.diag, 31);
+            let b0 = StdBatch::<c64>::random(5, 4, 2, 32);
+            let alpha = c64::new(0.5, -0.25);
+            let mut x = b0.clone();
+            trsm_ref(mode, true, alpha, &a, &mut x);
+            let r = trsm_residual(mode, true, alpha, &a, &x, &b0);
+            assert!(r < 1e-12, "{mode}: residual {r}");
+        }
+    }
+
+    #[test]
+    fn unit_diag_ignores_stored_diagonal() {
+        // random_triangular poisons the diagonal under Unit; the solve must
+        // still be clean.
+        let mode = TrsmMode::new(Side::Left, Trans::No, Uplo::Lower, Diag::Unit);
+        let a = StdBatch::<f64>::random_triangular(4, 1, Uplo::Lower, Diag::Unit, 8);
+        let b0 = StdBatch::<f64>::random(4, 3, 1, 9);
+        let mut x = b0.clone();
+        trsm_ref(mode, false, 1.0, &a, &mut x);
+        let r = trsm_residual(mode, false, 1.0, &a, &x, &b0);
+        assert!(r < 1e-13, "residual {r}");
+        assert!(x.as_slice().iter().all(|e| e.is_finite()));
+    }
+}

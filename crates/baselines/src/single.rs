@@ -1,0 +1,407 @@
+//! Single-matrix building blocks shared by the baseline libraries: a
+//! Goto-style M-vectorized GEMM kernel over one column-major matrix, scalar
+//! complex kernels, and a scalar triangular solve.
+//!
+//! These model how a conventional BLAS processes *one* matrix: vectorize
+//! down the M dimension, broadcast B, pack operands to normalize transposes
+//! — which is precisely the structure whose SIMD efficiency collapses when
+//! M is smaller than a vector (the paper's motivating observation).
+
+use iatf_layout::{Diag, Trans, Uplo};
+use iatf_simd::{simd_for, Element, HasSimd, Real, SimdReal};
+
+/// Materializes `op(X)` (with optional conjugation) of one column-major
+/// matrix into a dense column-major buffer of shape `rows_op × cols_op`.
+pub fn pack_op<E: Element>(
+    dst: &mut [E],
+    src: &[E],
+    ld: usize,
+    rows_op: usize,
+    cols_op: usize,
+    trans: Trans,
+    conj: bool,
+) {
+    debug_assert!(dst.len() >= rows_op * cols_op);
+    for j in 0..cols_op {
+        for i in 0..rows_op {
+            let raw = match trans {
+                Trans::No => src[j * ld + i],
+                Trans::Yes => src[i * ld + j],
+            };
+            dst[j * rows_op + i] = if conj {
+                E::from_f64s(raw.re().to_f64(), -raw.im().to_f64())
+            } else {
+                raw
+            };
+        }
+    }
+}
+
+/// M-vectorized real GEMM on packed operands:
+/// `C = α·Ap·Bp + β·C` where `Ap` is `m × k` and `Bp` is `k × n`, both
+/// column-major and contiguous; C is column-major with leading dimension
+/// `ldc`. Vector tiles are `2·LANES` rows × 4 columns; remainders fall back
+/// to scalar code (the "inefficient boundary processing" of generic
+/// libraries on small matrices).
+pub fn gemm_real<R: Real + HasSimd>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: R,
+    ap: &[R],
+    bp: &[R],
+    beta: R,
+    c: &mut [R],
+    ldc: usize,
+) {
+    type V<R> = simd_for<R>;
+    let lanes = V::<R>::LANES;
+    let mr = 2 * lanes;
+    let nr = 4usize;
+
+    let mut j0 = 0;
+    while j0 < n {
+        let w = nr.min(n - j0);
+        let mut i0 = 0;
+        // full vector tiles
+        while i0 + mr <= m {
+            let mut acc = [[V::<R>::zero(); 4]; 2];
+            for kk in 0..k {
+                let a0 = unsafe { V::<R>::load(ap.as_ptr().add(kk * m + i0)) };
+                let a1 = unsafe { V::<R>::load(ap.as_ptr().add(kk * m + i0 + lanes)) };
+                for j in 0..w {
+                    let bs = V::<R>::splat(bp[(j0 + j) * k + kk]);
+                    acc[0][j] = acc[0][j].fma(a0, bs);
+                    acc[1][j] = acc[1][j].fma(a1, bs);
+                }
+            }
+            let va = V::<R>::splat(alpha);
+            for j in 0..w {
+                let base = (j0 + j) * ldc + i0;
+                for v in 0..2 {
+                    let ptr = unsafe { c.as_mut_ptr().add(base + v * lanes) };
+                    let res = if beta == R::ZERO {
+                        acc[v][j].mul(va)
+                    } else {
+                        let orig = unsafe { V::<R>::load(ptr) };
+                        orig.mul(V::<R>::splat(beta)).fma(acc[v][j], va)
+                    };
+                    unsafe { res.store(ptr) };
+                }
+            }
+            i0 += mr;
+        }
+        // scalar edge rows
+        for i in i0..m {
+            for j in 0..w {
+                let mut acc = R::ZERO;
+                for kk in 0..k {
+                    acc = acc.mul_add(ap[kk * m + i], bp[(j0 + j) * k + kk]);
+                }
+                let idx = (j0 + j) * ldc + i;
+                c[idx] = if beta == R::ZERO {
+                    alpha * acc
+                } else {
+                    beta * c[idx] + alpha * acc
+                };
+            }
+        }
+        j0 += w;
+    }
+}
+
+/// Scalar complex GEMM on packed operands (2×2 register blocking) — the
+/// structure a generic library's complex path degenerates to at very small
+/// sizes, where its interleaved-complex SIMD kernels cannot fill a vector.
+pub fn gemm_cplx<E: Element>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: E,
+    ap: &[E],
+    bp: &[E],
+    beta: E,
+    c: &mut [E],
+    ldc: usize,
+) {
+    let mut j0 = 0;
+    while j0 < n {
+        let w = 2.min(n - j0);
+        let mut i0 = 0;
+        while i0 < m {
+            let h = 2.min(m - i0);
+            let mut acc = [[E::zero(); 2]; 2];
+            for kk in 0..k {
+                for i in 0..h {
+                    let a = ap[kk * m + i0 + i];
+                    for j in 0..w {
+                        let b = bp[(j0 + j) * k + kk];
+                        acc[i][j] = acc[i][j].add(a.mul(b));
+                    }
+                }
+            }
+            for i in 0..h {
+                for j in 0..w {
+                    let idx = (j0 + j) * ldc + i0 + i;
+                    c[idx] = alpha.mul(acc[i][j]).add(beta.mul(c[idx]));
+                }
+            }
+            i0 += h;
+        }
+        j0 += w;
+    }
+}
+
+/// Scalar in-place triangular solve of one column-major matrix `B` against
+/// a stored triangular `A` (no packing, division on the diagonal) — the
+/// small-matrix path of a conventional TRSM.
+///
+/// Solves `op(A)·X = α·B`; `lower_after_op` says whether `op(A)` is lower
+/// triangular.
+#[allow(clippy::too_many_arguments)]
+pub fn trsm_left<E: Element>(
+    t: usize,
+    n: usize,
+    alpha: E,
+    a: &[E],
+    lda: usize,
+    trans: Trans,
+    conj: bool,
+    uplo: Uplo,
+    diag: Diag,
+    b: &mut [E],
+    ldb: usize,
+) {
+    let get_a = |i: usize, j: usize| -> E {
+        let raw = match trans {
+            Trans::No => a[j * lda + i],
+            Trans::Yes => a[i * lda + j],
+        };
+        if conj {
+            E::from_f64s(raw.re().to_f64(), -raw.im().to_f64())
+        } else {
+            raw
+        }
+    };
+    let lower_after_op = matches!(
+        (trans, uplo),
+        (Trans::No, Uplo::Lower) | (Trans::Yes, Uplo::Upper)
+    );
+    for j in 0..n {
+        let col = &mut b[j * ldb..j * ldb + t];
+        if alpha != E::one() {
+            for x in col.iter_mut() {
+                *x = alpha.mul(*x);
+            }
+        }
+        if lower_after_op {
+            for i in 0..t {
+                let mut acc = col[i];
+                for l in 0..i {
+                    acc = acc.sub(get_a(i, l).mul(col[l]));
+                }
+                col[i] = if diag == Diag::Unit {
+                    acc
+                } else {
+                    // division, not reciprocal-multiply: generic libraries
+                    // divide here (the latency the paper's packing avoids)
+                    acc.mul(get_a(i, i).recip())
+                };
+            }
+        } else {
+            for i in (0..t).rev() {
+                let mut acc = col[i];
+                for l in i + 1..t {
+                    acc = acc.sub(get_a(i, l).mul(col[l]));
+                }
+                col[i] = if diag == Diag::Unit {
+                    acc
+                } else {
+                    acc.mul(get_a(i, i).recip())
+                };
+            }
+        }
+    }
+}
+
+/// Right-side scalar TRSM: `X·op(A) = α·B`, solved row-wise via the
+/// transposed system.
+#[allow(clippy::too_many_arguments)]
+pub fn trsm_right<E: Element>(
+    m: usize,
+    t: usize,
+    alpha: E,
+    a: &[E],
+    lda: usize,
+    trans: Trans,
+    conj: bool,
+    uplo: Uplo,
+    diag: Diag,
+    b: &mut [E],
+    ldb: usize,
+) {
+    let get_a = |i: usize, j: usize| -> E {
+        let raw = match trans {
+            Trans::No => a[j * lda + i],
+            Trans::Yes => a[i * lda + j],
+        };
+        if conj {
+            E::from_f64s(raw.re().to_f64(), -raw.im().to_f64())
+        } else {
+            raw
+        }
+    };
+    // X·op(A) = αB ⇔ op(A)ᵀ·Xᵀ = αBᵀ; op(A)ᵀ is lower iff op(A) is upper.
+    let lower_t = !matches!(
+        (trans, uplo),
+        (Trans::No, Uplo::Lower) | (Trans::Yes, Uplo::Upper)
+    );
+    for r in 0..m {
+        if alpha != E::one() {
+            for j in 0..t {
+                let idx = j * ldb + r;
+                b[idx] = alpha.mul(b[idx]);
+            }
+        }
+        if lower_t {
+            for i in 0..t {
+                let mut acc = b[i * ldb + r];
+                for l in 0..i {
+                    // op(A)ᵀ(i, l) = op(A)(l, i)
+                    acc = acc.sub(get_a(l, i).mul(b[l * ldb + r]));
+                }
+                b[i * ldb + r] = if diag == Diag::Unit {
+                    acc
+                } else {
+                    acc.mul(get_a(i, i).recip())
+                };
+            }
+        } else {
+            for i in (0..t).rev() {
+                let mut acc = b[i * ldb + r];
+                for l in i + 1..t {
+                    acc = acc.sub(get_a(l, i).mul(b[l * ldb + r]));
+                }
+                b[i * ldb + r] = if diag == Diag::Unit {
+                    acc
+                } else {
+                    acc.mul(get_a(i, i).recip())
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use iatf_layout::{GemmMode, Side, StdBatch, TrsmMode};
+    use iatf_simd::c64;
+
+    #[test]
+    fn gemm_real_matches_naive() {
+        for (m, n, k) in [(1, 1, 1), (4, 4, 4), (9, 7, 5), (16, 16, 16), (13, 3, 8)] {
+            let a = StdBatch::<f64>::random(m, k, 1, 3);
+            let b = StdBatch::<f64>::random(k, n, 1, 4);
+            let c0 = StdBatch::<f64>::random(m, n, 1, 5);
+            let mut want = c0.clone();
+            naive::gemm_ref(GemmMode::NN, false, false, 1.5, &a, &b, 0.5, &mut want);
+            let mut got = c0.clone();
+            gemm_real(
+                m,
+                n,
+                k,
+                1.5,
+                a.mat(0),
+                b.mat(0),
+                0.5,
+                got.mat_mut(0),
+                m,
+            );
+            assert!(want.max_abs_diff(&got) < 1e-12, "{m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn gemm_real_f32_vector_tiles() {
+        let (m, n, k) = (17usize, 9usize, 6usize);
+        let a = StdBatch::<f32>::random(m, k, 1, 13);
+        let b = StdBatch::<f32>::random(k, n, 1, 14);
+        let mut want = StdBatch::<f32>::zeroed(m, n, 1);
+        naive::gemm_ref(GemmMode::NN, false, false, 1.0, &a, &b, 0.0, &mut want);
+        let mut got = StdBatch::<f32>::zeroed(m, n, 1);
+        gemm_real(m, n, k, 1.0, a.mat(0), b.mat(0), 0.0, got.mat_mut(0), m);
+        assert!(want.max_abs_diff(&got) < 1e-4);
+    }
+
+    #[test]
+    fn gemm_cplx_matches_naive() {
+        let (m, n, k) = (5usize, 4usize, 3usize);
+        let a = StdBatch::<c64>::random(m, k, 1, 23);
+        let b = StdBatch::<c64>::random(k, n, 1, 24);
+        let c0 = StdBatch::<c64>::random(m, n, 1, 25);
+        let alpha = c64::new(1.0, -0.5);
+        let beta = c64::new(0.25, 0.75);
+        let mut want = c0.clone();
+        naive::gemm_ref(GemmMode::NN, false, false, alpha, &a, &b, beta, &mut want);
+        let mut got = c0.clone();
+        gemm_cplx(m, n, k, alpha, a.mat(0), b.mat(0), beta, got.mat_mut(0), m);
+        assert!(want.max_abs_diff(&got) < 1e-12);
+    }
+
+    #[test]
+    fn pack_op_transposes_and_conjugates() {
+        let a = StdBatch::<c64>::random(3, 4, 1, 31);
+        let mut dst = vec![c64::zero(); 12];
+        pack_op(&mut dst, a.mat(0), 3, 4, 3, Trans::Yes, true);
+        for i in 0..4 {
+            for j in 0..3 {
+                let want = a.get(0, j, i).conj();
+                assert_eq!(dst[j * 4 + i], want);
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_left_and_right_match_naive() {
+        for mode in TrsmMode::all() {
+            let (m, n) = (5usize, 4usize);
+            let t = if mode.side == Side::Left { m } else { n };
+            let a = StdBatch::<f64>::random_triangular(t, 1, mode.uplo, mode.diag, 41);
+            let b0 = StdBatch::<f64>::random(m, n, 1, 42);
+            let mut want = b0.clone();
+            naive::trsm_ref(mode, false, 2.0, &a, &mut want);
+            let mut got = b0.clone();
+            match mode.side {
+                Side::Left => trsm_left(
+                    t,
+                    n,
+                    2.0,
+                    a.mat(0),
+                    t,
+                    mode.trans,
+                    false,
+                    mode.uplo,
+                    mode.diag,
+                    got.mat_mut(0),
+                    m,
+                ),
+                Side::Right => trsm_right(
+                    m,
+                    t,
+                    2.0,
+                    a.mat(0),
+                    t,
+                    mode.trans,
+                    false,
+                    mode.uplo,
+                    mode.diag,
+                    got.mat_mut(0),
+                    m,
+                ),
+            }
+            assert!(want.max_abs_diff(&got) < 1e-10, "{mode}");
+        }
+    }
+}

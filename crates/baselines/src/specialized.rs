@@ -1,0 +1,197 @@
+//! Shape-specialized baseline — the paper's LIBXSMM comparison.
+//!
+//! LIBXSMM JIT-generates a kernel for the exact `(m, n, k)` shape and runs
+//! it with no packing. The stand-in builds a dispatch descriptor per shape
+//! ("code generation" at [`SpecializedGemm::new`]) and executes the group
+//! with direct, no-copy access. Like LIBXSMM, it covers real GEMM only (the
+//! paper: "it does not support a complex interface", "the TRSM is not
+//! available in the LIBXSMM library").
+
+use iatf_layout::{GemmMode, StdBatch, Trans};
+use iatf_simd::{simd_for, Element, HasSimd, Real, SimdReal};
+
+/// A "compiled" shape-specialized batched GEMM.
+#[derive(Clone, Debug)]
+pub struct SpecializedGemm {
+    m: usize,
+    n: usize,
+    k: usize,
+    mode: GemmMode,
+    /// Whether the M dimension can use vector loads (A stored column-major
+    /// in op orientation).
+    vector_m: bool,
+}
+
+impl SpecializedGemm {
+    /// Builds (conceptually: JIT-compiles) the kernel for a shape and mode.
+    pub fn new(m: usize, n: usize, k: usize, mode: GemmMode) -> Self {
+        Self {
+            m,
+            n,
+            k,
+            mode,
+            vector_m: mode.transa == Trans::No,
+        }
+    }
+
+    /// Runs the batch: `C = α·op(A)·op(B) + β·C`, no packing.
+    pub fn execute<R: Real + HasSimd + Element>(
+        &self,
+        alpha: R,
+        a: &StdBatch<R>,
+        b: &StdBatch<R>,
+        beta: R,
+        c: &mut StdBatch<R>,
+    ) {
+        assert_eq!(c.shape(), (self.m, self.n));
+        assert_eq!(a.count(), c.count());
+        assert_eq!(b.count(), c.count());
+        let lda = a.rows();
+        let ldb = b.rows();
+        for v in 0..c.count() {
+            self.one(alpha, a.mat(v), lda, b.mat(v), ldb, beta, c.mat_mut(v));
+        }
+    }
+
+    #[inline]
+    fn b_elem<R: Real>(&self, bm: &[R], ldb: usize, kk: usize, j: usize) -> R {
+        match self.mode.transb {
+            Trans::No => bm[j * ldb + kk],
+            Trans::Yes => bm[kk * ldb + j],
+        }
+    }
+
+    fn one<R: Real + HasSimd + Element>(
+        &self,
+        alpha: R,
+        am: &[R],
+        lda: usize,
+        bm: &[R],
+        ldb: usize,
+        beta: R,
+        cm: &mut [R],
+    ) {
+        type V<R> = simd_for<R>;
+        let lanes = V::<R>::LANES;
+        let (m, n, k) = (self.m, self.n, self.k);
+        let nr = 4usize;
+        let mut j0 = 0;
+        while j0 < n {
+            let w = nr.min(n - j0);
+            let mut i0 = 0;
+            if self.vector_m {
+                // direct vector loads down columns of A
+                while i0 + lanes <= m {
+                    let mut acc = [V::<R>::zero(); 4];
+                    for kk in 0..k {
+                        let av = unsafe { V::<R>::load(am.as_ptr().add(kk * lda + i0)) };
+                        for j in 0..w {
+                            let bs = V::<R>::splat(self.b_elem(bm, ldb, kk, j0 + j));
+                            acc[j] = acc[j].fma(av, bs);
+                        }
+                    }
+                    for j in 0..w {
+                        let idx = (j0 + j) * m + i0;
+                        let ptr = unsafe { cm.as_mut_ptr().add(idx) };
+                        let res = if beta == R::ZERO {
+                            acc[j].mul(V::<R>::splat(alpha))
+                        } else {
+                            let orig = unsafe { V::<R>::load(ptr) };
+                            orig.mul(V::<R>::splat(beta)).fma(acc[j], V::<R>::splat(alpha))
+                        };
+                        unsafe { res.store(ptr) };
+                    }
+                    i0 += lanes;
+                }
+            }
+            // scalar remainder (and the whole matrix for transposed A)
+            for i in i0..m {
+                for j in 0..w {
+                    let mut acc = R::ZERO;
+                    for kk in 0..k {
+                        let ae = match self.mode.transa {
+                            Trans::No => am[kk * lda + i],
+                            Trans::Yes => am[i * lda + kk],
+                        };
+                        acc = Real::mul_add(acc, ae, self.b_elem(bm, ldb, kk, j0 + j));
+                    }
+                    let idx = (j0 + j) * m + i;
+                    cm[idx] = if beta == R::ZERO {
+                        alpha * acc
+                    } else {
+                        beta * cm[idx] + alpha * acc
+                    };
+                }
+            }
+            j0 += w;
+        }
+    }
+}
+
+/// Convenience one-shot wrapper.
+pub fn gemm<R: Real + HasSimd + Element>(
+    mode: GemmMode,
+    alpha: R,
+    a: &StdBatch<R>,
+    b: &StdBatch<R>,
+    beta: R,
+    c: &mut StdBatch<R>,
+) {
+    let (m, n) = c.shape();
+    let k = match mode.transa {
+        Trans::No => a.cols(),
+        Trans::Yes => a.rows(),
+    };
+    SpecializedGemm::new(m, n, k, mode).execute(alpha, a, b, beta, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    #[test]
+    fn matches_naive_all_modes() {
+        for mode in GemmMode::ALL {
+            for (m, n, k) in [(1usize, 1usize, 1usize), (4, 4, 4), (9, 6, 5), (17, 3, 8)] {
+                let (ar, ac) = if mode.transa == Trans::No {
+                    (m, k)
+                } else {
+                    (k, m)
+                };
+                let (br, bc) = if mode.transb == Trans::No {
+                    (k, n)
+                } else {
+                    (n, k)
+                };
+                let a = StdBatch::<f32>::random(ar, ac, 3, 81);
+                let b = StdBatch::<f32>::random(br, bc, 3, 82);
+                let c0 = StdBatch::<f32>::random(m, n, 3, 83);
+                let mut want = c0.clone();
+                naive::gemm_ref(mode, false, false, 1.5, &a, &b, 0.25, &mut want);
+                let mut got = c0.clone();
+                gemm(mode, 1.5, &a, &b, 0.25, &mut got);
+                assert!(want.max_abs_diff(&got) < 1e-3, "{mode} {m}x{n}x{k}");
+            }
+        }
+    }
+
+    #[test]
+    fn f64_reusable_descriptor() {
+        let plan = SpecializedGemm::new(8, 8, 8, GemmMode::NN);
+        let a = StdBatch::<f64>::random(8, 8, 5, 91);
+        let b = StdBatch::<f64>::random(8, 8, 5, 92);
+        let mut want = StdBatch::<f64>::zeroed(8, 8, 5);
+        naive::gemm_ref(GemmMode::NN, false, false, 1.0, &a, &b, 0.0, &mut want);
+        let mut got = StdBatch::<f64>::zeroed(8, 8, 5);
+        plan.execute(1.0, &a, &b, 0.0, &mut got);
+        assert!(want.max_abs_diff(&got) < 1e-12);
+        // reuse on new data
+        let a2 = StdBatch::<f64>::random(8, 8, 5, 93);
+        let mut got2 = StdBatch::<f64>::zeroed(8, 8, 5);
+        plan.execute(1.0, &a2, &b, 0.0, &mut got2);
+        let mut want2 = StdBatch::<f64>::zeroed(8, 8, 5);
+        naive::gemm_ref(GemmMode::NN, false, false, 1.0, &a2, &b, 0.0, &mut want2);
+        assert!(want2.max_abs_diff(&got2) < 1e-12);
+    }
+}

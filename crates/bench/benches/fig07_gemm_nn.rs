@@ -1,0 +1,77 @@
+//! Figure 7: compact GEMM vs the three baseline stand-ins, NN mode, all
+//! four dtypes. Criterion variant of `reproduce fig7` (statistical, reduced
+//! grid so `cargo bench` stays tractable; use the binary for the full
+//! 1..=33 sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iatf_baselines::{batched, blasloop, specialized};
+use iatf_bench::workloads::{gemm_flops, gemm_workload};
+use iatf_core::{CompactElement, GemmPlan, TuningConfig};
+use iatf_layout::{GemmDims, GemmMode};
+use iatf_simd::{c32, c64, Element};
+use std::time::Duration;
+
+const SIZES: [usize; 5] = [2, 4, 8, 16, 32];
+const BATCH: usize = 512;
+
+fn bench_dtype<E>(c: &mut Criterion, label: &str)
+where
+    E: CompactElement + iatf_baselines::blasloop::BaselineElement,
+{
+    let mut group = c.benchmark_group(format!("fig07/{label}"));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(400));
+    let cfg = TuningConfig::default();
+    for n in SIZES {
+        let mut w = gemm_workload::<E>(n, GemmMode::NN, BATCH, n as u64);
+        group.throughput(Throughput::Elements(gemm_flops::<E>(n, BATCH) as u64));
+        let plan =
+            GemmPlan::<E>::new(GemmDims::square(n), GemmMode::NN, false, false, BATCH, &cfg)
+                .unwrap();
+        let one = E::one();
+        group.bench_with_input(BenchmarkId::new("iatf", n), &n, |b, _| {
+            b.iter(|| plan.execute(one, &w.a_c, &w.b_c, one, &mut w.c_c).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("armpl_batch", n), &n, |b, _| {
+            b.iter(|| batched::gemm(GemmMode::NN, one, &w.a_std, &w.b_std, one, &mut w.c_std));
+        });
+        group.bench_with_input(BenchmarkId::new("openblas_loop", n), &n, |b, _| {
+            b.iter(|| blasloop::gemm(GemmMode::NN, one, &w.a_std, &w.b_std, one, &mut w.c_std));
+        });
+    }
+    group.finish();
+}
+
+fn bench_specialized_real<R>(c: &mut Criterion, label: &str)
+where
+    R: CompactElement + iatf_simd::Real + iatf_simd::HasSimd + Element,
+{
+    let mut group = c.benchmark_group(format!("fig07/{label}"));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(400));
+    for n in SIZES {
+        let mut w = gemm_workload::<R>(n, GemmMode::NN, BATCH, n as u64);
+        let plan = specialized::SpecializedGemm::new(n, n, n, GemmMode::NN);
+        let one = <R as Element>::one();
+        group.bench_with_input(BenchmarkId::new("libxsmm", n), &n, |b, _| {
+            b.iter(|| plan.execute(one, &w.a_std, &w.b_std, one, &mut w.c_std));
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_dtype::<f32>(c, "sgemm");
+    bench_dtype::<f64>(c, "dgemm");
+    bench_dtype::<c32>(c, "cgemm");
+    bench_dtype::<c64>(c, "zgemm");
+    bench_specialized_real::<f32>(c, "sgemm");
+    bench_specialized_real::<f64>(c, "dgemm");
+}
+
+criterion_group!(fig07, benches);
+criterion_main!(fig07);

@@ -1,0 +1,49 @@
+//! Figure 8: compact GEMM across the NN/NT/TN/TT transpose modes (IATF vs
+//! the batch-interface baseline; the NN column duplicates Figure 7 and is
+//! included for the mode-stability comparison the figure makes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iatf_baselines::batched;
+use iatf_bench::workloads::gemm_workload;
+use iatf_core::{CompactElement, GemmPlan, TuningConfig};
+use iatf_layout::{GemmDims, GemmMode};
+use iatf_simd::c64;
+use std::time::Duration;
+
+const SIZES: [usize; 3] = [4, 12, 28];
+const BATCH: usize = 512;
+
+fn bench_mode<E>(c: &mut Criterion, label: &str, mode: GemmMode)
+where
+    E: CompactElement + iatf_baselines::blasloop::BaselineElement,
+{
+    let mut group = c.benchmark_group(format!("fig08/{label}/{mode}"));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(300));
+    let cfg = TuningConfig::default();
+    for n in SIZES {
+        let mut w = gemm_workload::<E>(n, mode, BATCH, n as u64);
+        let plan =
+            GemmPlan::<E>::new(GemmDims::square(n), mode, false, false, BATCH, &cfg).unwrap();
+        let one = E::one();
+        group.bench_with_input(BenchmarkId::new("iatf", n), &n, |b, _| {
+            b.iter(|| plan.execute(one, &w.a_c, &w.b_c, one, &mut w.c_c).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("armpl_batch", n), &n, |b, _| {
+            b.iter(|| batched::gemm(mode, one, &w.a_std, &w.b_std, one, &mut w.c_std));
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    for mode in GemmMode::ALL {
+        bench_mode::<f32>(c, "sgemm", mode);
+        bench_mode::<c64>(c, "zgemm", mode);
+    }
+}
+
+criterion_group!(fig08, benches);
+criterion_main!(fig08);

@@ -1,0 +1,68 @@
+//! Figure 9: compact TRSM vs loop baselines, LNLN mode, all four dtypes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use iatf_baselines::{batched, blasloop};
+use iatf_bench::workloads::trsm_workload;
+use iatf_core::{CompactElement, TrsmPlan, TuningConfig};
+use iatf_layout::{TrsmDims, TrsmMode};
+use iatf_simd::{c32, c64};
+use std::time::Duration;
+
+const SIZES: [usize; 5] = [2, 4, 8, 16, 32];
+const BATCH: usize = 512;
+
+fn bench_dtype<E: CompactElement>(c: &mut Criterion, label: &str) {
+    let mut group = c.benchmark_group(format!("fig09/{label}"));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(400));
+    let cfg = TuningConfig::default();
+    for n in SIZES {
+        let w = trsm_workload::<E>(n, TrsmMode::LNLN, BATCH, n as u64);
+        let plan =
+            TrsmPlan::<E>::new(TrsmDims::square(n), TrsmMode::LNLN, false, BATCH, &cfg).unwrap();
+        let one = E::one();
+        group.bench_with_input(BenchmarkId::new("iatf", n), &n, |b, _| {
+            b.iter_batched(
+                || w.b_c.clone(),
+                |mut bb| {
+                    plan.execute(one, &w.a_c, &mut bb).unwrap();
+                    bb
+                },
+                BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("armpl_loop", n), &n, |b, _| {
+            b.iter_batched(
+                || w.b_std.clone(),
+                |mut bb| {
+                    batched::trsm(TrsmMode::LNLN, one, &w.a_std, &mut bb);
+                    bb
+                },
+                BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("openblas_loop", n), &n, |b, _| {
+            b.iter_batched(
+                || w.b_std.clone(),
+                |mut bb| {
+                    blasloop::trsm(TrsmMode::LNLN, one, &w.a_std, &mut bb);
+                    bb
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_dtype::<f32>(c, "strsm");
+    bench_dtype::<f64>(c, "dtrsm");
+    bench_dtype::<c32>(c, "ctrsm");
+    bench_dtype::<c64>(c, "ztrsm");
+}
+
+criterion_group!(fig09, benches);
+criterion_main!(fig09);

@@ -1,0 +1,56 @@
+//! Figure 10: compact TRSM across the LNLN/LNUN/LTLN/LTUN modes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use iatf_baselines::batched;
+use iatf_bench::workloads::trsm_workload;
+use iatf_core::{CompactElement, TrsmPlan, TuningConfig};
+use iatf_layout::{TrsmDims, TrsmMode};
+use std::time::Duration;
+
+const SIZES: [usize; 3] = [4, 12, 28];
+const BATCH: usize = 512;
+
+fn bench_mode<E: CompactElement>(c: &mut Criterion, label: &str, mode: TrsmMode) {
+    let mut group = c.benchmark_group(format!("fig10/{label}/{mode}"));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(300));
+    let cfg = TuningConfig::default();
+    for n in SIZES {
+        let w = trsm_workload::<E>(n, mode, BATCH, n as u64);
+        let plan = TrsmPlan::<E>::new(TrsmDims::square(n), mode, false, BATCH, &cfg).unwrap();
+        let one = E::one();
+        group.bench_with_input(BenchmarkId::new("iatf", n), &n, |b, _| {
+            b.iter_batched(
+                || w.b_c.clone(),
+                |mut bb| {
+                    plan.execute(one, &w.a_c, &mut bb).unwrap();
+                    bb
+                },
+                BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("armpl_loop", n), &n, |b, _| {
+            b.iter_batched(
+                || w.b_std.clone(),
+                |mut bb| {
+                    batched::trsm(mode, one, &w.a_std, &mut bb);
+                    bb
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    for mode in TrsmMode::FIG10 {
+        bench_mode::<f32>(c, "strsm", mode);
+        bench_mode::<f64>(c, "dtrsm", mode);
+    }
+}
+
+criterion_group!(fig10, benches);
+criterion_main!(fig10);

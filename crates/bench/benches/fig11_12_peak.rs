@@ -1,0 +1,81 @@
+//! Figures 11–12: percent-of-peak comparison. Criterion measures the IATF
+//! compact GEMM/TRSM times; the peak itself is printed by the calibration
+//! bench so post-processing (or `reproduce fig11`/`fig12`) can normalize.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use iatf_bench::peak::measure_peak;
+use iatf_bench::timer::TimeOpts;
+use iatf_bench::workloads::{gemm_workload, trsm_workload};
+use iatf_core::{CompactElement, GemmPlan, TrsmPlan, TuningConfig};
+use iatf_layout::{GemmDims, GemmMode, TrsmDims, TrsmMode};
+use iatf_simd::{c32, c64};
+use std::time::Duration;
+
+const SIZES: [usize; 4] = [4, 9, 16, 32];
+const BATCH: usize = 512;
+
+fn bench_gemm_peak<E: CompactElement>(c: &mut Criterion, label: &str) {
+    let mut group = c.benchmark_group(format!("fig11/{label}"));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(300));
+    let cfg = TuningConfig::default();
+    for n in SIZES {
+        let mut w = gemm_workload::<E>(n, GemmMode::NN, BATCH, n as u64);
+        let plan =
+            GemmPlan::<E>::new(GemmDims::square(n), GemmMode::NN, false, false, BATCH, &cfg)
+                .unwrap();
+        let one = E::one();
+        group.bench_with_input(BenchmarkId::new("iatf", n), &n, |b, _| {
+            b.iter(|| plan.execute(one, &w.a_c, &w.b_c, one, &mut w.c_c).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_trsm_peak<E: CompactElement>(c: &mut Criterion, label: &str) {
+    let mut group = c.benchmark_group(format!("fig12/{label}"));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(300));
+    let cfg = TuningConfig::default();
+    for n in SIZES {
+        let w = trsm_workload::<E>(n, TrsmMode::LNLN, BATCH, n as u64);
+        let plan =
+            TrsmPlan::<E>::new(TrsmDims::square(n), TrsmMode::LNLN, false, BATCH, &cfg).unwrap();
+        let one = E::one();
+        group.bench_with_input(BenchmarkId::new("iatf", n), &n, |b, _| {
+            b.iter_batched(
+                || w.b_c.clone(),
+                |mut bb| {
+                    plan.execute(one, &w.a_c, &mut bb).unwrap();
+                    bb
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    // print the measured machine peak once so results can be normalized
+    let p = measure_peak(&TimeOpts::quick());
+    eprintln!(
+        "[fig11/12] measured single-core peak: fp32 {:.2} GFLOPS, fp64 {:.2} GFLOPS",
+        p.fp32_gflops, p.fp64_gflops
+    );
+    bench_gemm_peak::<f32>(c, "sgemm");
+    bench_gemm_peak::<f64>(c, "dgemm");
+    bench_gemm_peak::<c32>(c, "cgemm");
+    bench_gemm_peak::<c64>(c, "zgemm");
+    bench_trsm_peak::<f32>(c, "strsm");
+    bench_trsm_peak::<f64>(c, "dtrsm");
+    bench_trsm_peak::<c32>(c, "ctrsm");
+    bench_trsm_peak::<c64>(c, "ztrsm");
+}
+
+criterion_group!(fig11_12, benches);
+criterion_main!(fig11_12);

@@ -1,0 +1,118 @@
+//! Table 1 microkernel benches: raw throughput of every generated GEMM
+//! kernel size on L1-resident packed panels (the CMAR story of §4.2.1 at
+//! the machine level).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iatf_kernels::table::{cplx_gemm_kernel, real_gemm_kernel};
+use iatf_simd::{F32x4, F64x2, SimdReal};
+use std::time::Duration;
+
+const K: usize = 16;
+const TILES: usize = 64;
+
+fn bench_real<R: iatf_kernels::KernelScalar, V: SimdReal<Scalar = R>>(
+    c: &mut Criterion,
+    label: &str,
+) {
+    let mut group = c.benchmark_group(format!("table1/{label}"));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(250));
+    let p = V::LANES;
+    for mr in 1..=4usize {
+        for nr in 1..=4usize {
+            let pa: Vec<R> = vec![R::from_f64(0.5); K * mr * p];
+            let pb: Vec<R> = vec![R::from_f64(0.25); K * nr * p];
+            let mut cbuf: Vec<R> = vec![R::ZERO; mr * nr * p];
+            let kern = real_gemm_kernel::<R>(mr, nr);
+            group.throughput(Throughput::Elements((TILES * mr * nr * K * p * 2) as u64));
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{mr}x{nr}")),
+                &(mr, nr),
+                |b, _| {
+                    b.iter(|| {
+                        for _ in 0..TILES {
+                            unsafe {
+                                kern(
+                                    K,
+                                    R::ONE,
+                                    R::ONE,
+                                    pa.as_ptr(),
+                                    p,
+                                    mr * p,
+                                    pb.as_ptr(),
+                                    p,
+                                    nr * p,
+                                    cbuf.as_mut_ptr(),
+                                    p,
+                                    mr * p,
+                                )
+                            }
+                        }
+                        std::hint::black_box(&cbuf);
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_cplx<R: iatf_kernels::KernelScalar, V: SimdReal<Scalar = R>>(
+    c: &mut Criterion,
+    label: &str,
+) {
+    let mut group = c.benchmark_group(format!("table1/{label}"));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(250));
+    let g = 2 * V::LANES;
+    for mr in 1..=3usize {
+        for nr in 1..=2usize {
+            let pa: Vec<R> = vec![R::from_f64(0.5); K * mr * g];
+            let pb: Vec<R> = vec![R::from_f64(0.25); K * nr * g];
+            let mut cbuf: Vec<R> = vec![R::ZERO; mr * nr * g];
+            let kern = cplx_gemm_kernel::<R>(mr, nr);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{mr}x{nr}")),
+                &(mr, nr),
+                |b, _| {
+                    b.iter(|| {
+                        for _ in 0..TILES {
+                            unsafe {
+                                kern(
+                                    K,
+                                    [R::ONE, R::ZERO],
+                                    [R::ONE, R::ZERO],
+                                    pa.as_ptr(),
+                                    g,
+                                    mr * g,
+                                    pb.as_ptr(),
+                                    g,
+                                    nr * g,
+                                    cbuf.as_mut_ptr(),
+                                    g,
+                                    mr * g,
+                                )
+                            }
+                        }
+                        std::hint::black_box(&cbuf);
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_real::<f32, F32x4>(c, "sgemm_ukr");
+    bench_real::<f64, F64x2>(c, "dgemm_ukr");
+    bench_cplx::<f32, F32x4>(c, "cgemm_ukr");
+    bench_cplx::<f64, F64x2>(c, "zgemm_ukr");
+}
+
+criterion_group!(table1, benches);
+criterion_main!(table1);

@@ -1,0 +1,746 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! reproduce <target> [--paper|--quick] [--batch N] [--csv]
+//!
+//! targets:
+//!   table1 table2 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12
+//!   ablation-pack ablation-batch ablation-kernel-size ablation-fmls
+//!   ablation-schedule all
+//! ```
+//!
+//! `--quick` (default) uses a reduced size grid and a scaled batch so a full
+//! `reproduce all` finishes in minutes; `--paper` uses the paper's exact
+//! protocol (sizes 1–33, batch 16384, 100 repetitions).
+
+use iatf_bench::report::{render_csv, render_table, speedup_summary, Series};
+use iatf_bench::runners;
+use iatf_bench::timer::TimeOpts;
+use iatf_bench::workloads::{gemm_workload, scaled_batch, trsm_workload};
+use iatf_bench::{paper_sizes, quick_sizes, PAPER_BATCH};
+use iatf_core::{
+    analysis, BatchPolicy, CompactElement, PackPolicy, TuningConfig, KUNPENG_920, XEON_6240,
+};
+use iatf_layout::{GemmMode, TrsmMode};
+use iatf_simd::{c32, c64, DType};
+
+#[derive(Clone)]
+struct Opts {
+    sizes: Vec<usize>,
+    batch_base: usize,
+    time: TimeOpts,
+    csv: bool,
+    paper: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target = String::from("all");
+    let mut opts = Opts {
+        sizes: quick_sizes(),
+        batch_base: 2048,
+        time: TimeOpts::quick(),
+        csv: false,
+        paper: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--paper" => {
+                opts.sizes = paper_sizes();
+                opts.batch_base = PAPER_BATCH;
+                opts.time = TimeOpts::paper();
+                opts.paper = true;
+            }
+            "--quick" => {}
+            "--csv" => opts.csv = true,
+            "--batch" => {
+                opts.batch_base = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(b) => b,
+                    None => {
+                        eprintln!("error: --batch requires a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--sizes" => {
+                let Some(list) = it.next() else {
+                    eprintln!("error: --sizes requires a comma-separated list");
+                    std::process::exit(2);
+                };
+                let parsed: Result<Vec<usize>, _> =
+                    list.split(',').map(|s| s.parse::<usize>()).collect();
+                match parsed {
+                    Ok(sizes) if !sizes.is_empty() && sizes.iter().all(|&n| n >= 1) => {
+                        opts.sizes = sizes;
+                    }
+                    _ => {
+                        eprintln!("error: --sizes takes positive integers, e.g. --sizes 2,4,8");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            t if !t.starts_with('-') => target = t.to_string(),
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    match target.as_str() {
+        "table1" => table1(),
+        "table2" => table2(),
+        "fig4" => fig4(),
+        "fig5" => fig5(),
+        "fig7" => fig7(&opts),
+        "fig8" => fig8(&opts),
+        "fig9" => fig9(&opts),
+        "fig10" => fig10(&opts),
+        "fig11" => fig11(&opts),
+        "fig12" => fig12(&opts),
+        "ablation-pack" => ablation_pack(&opts),
+        "ablation-batch" => ablation_batch(&opts),
+        "ablation-kernel-size" => ablation_kernel_size(&opts),
+        "ablation-fmls" => ablation_fmls(&opts),
+        "ablation-pingpong" => ablation_pingpong(&opts),
+        "ext-trmm" => ext_trmm(&opts),
+        "ablation-schedule" => ablation_schedule(),
+        "all" => {
+            table1();
+            table2();
+            fig4();
+            fig5();
+            fig7(&opts);
+            fig8(&opts);
+            fig9(&opts);
+            fig10(&opts);
+            fig11(&opts);
+            fig12(&opts);
+            ablation_pack(&opts);
+            ablation_batch(&opts);
+            ablation_kernel_size(&opts);
+            ablation_fmls(&opts);
+            ablation_pingpong(&opts);
+            ablation_schedule();
+            ext_trmm(&opts);
+        }
+        other => {
+            eprintln!("unknown target {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn emit(opts: &Opts, title: &str, xlabel: &str, xs: &[usize], series: &[Series]) {
+    if opts.csv {
+        println!("# {title}");
+        print!("{}", render_csv(xlabel, xs, series));
+    } else {
+        print!("{}", render_table(title, xlabel, xs, series));
+    }
+    if series.len() >= 2 {
+        // comment prefix keeps CSV output machine-readable
+        let prefix = if opts.csv { "# " } else { "   " };
+        for other in &series[1..] {
+            let (max, geo) = speedup_summary(&series[0], other);
+            println!(
+                "{prefix}speedup of {} over {}: max {max:.2}x, geomean {geo:.2}x",
+                series[0].name, other.name
+            );
+        }
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// Tables 1, 2 and Figures 4, 5 (structural reproductions)
+// ---------------------------------------------------------------------------
+
+fn table1() {
+    println!("## Table 1: all generated kernels");
+    let classes = [
+        (iatf_kernels::KernelClass::RealGemm, "SGEMM/DGEMM"),
+        (iatf_kernels::KernelClass::CplxGemm, "CGEMM/ZGEMM"),
+        (iatf_kernels::KernelClass::RealTrsm, "STRSM/DTRSM"),
+        (iatf_kernels::KernelClass::CplxTrsm, "CTRSM/ZTRSM"),
+    ];
+    for (class, label) in classes {
+        let main: Vec<String> = iatf_kernels::TABLE1
+            .iter()
+            .filter(|k| k.class == class && k.main)
+            .map(|k| format!("{}x{}", k.mr, k.nr))
+            .collect();
+        let edge: Vec<String> = iatf_kernels::TABLE1
+            .iter()
+            .filter(|k| k.class == class && !k.main)
+            .map(|k| format!("{}x{}", k.mr, k.nr))
+            .collect();
+        println!("{label:>12}:  main {}   edge {}", main.join(","), edge.join(","));
+    }
+    println!();
+}
+
+fn table2() {
+    println!("## Table 2: experimental environments");
+    for m in [KUNPENG_920, XEON_6240, iatf_core::host_profile()] {
+        println!(
+            "{:>22}: arch {:<13} L1D {:>4} KB  L2 {:>5} KB  SIMD {:>3}b  {:.1} GHz  peak fp64/fp32 {}/{} GFLOPS",
+            m.name,
+            m.arch,
+            m.l1d_bytes / 1024,
+            m.l2_bytes / 1024,
+            m.simd_bits,
+            m.freq_ghz,
+            m.peak_fp64_gflops,
+            m.peak_fp32_gflops,
+        );
+    }
+    println!();
+}
+
+fn fig4() {
+    println!("## Figure 4: tiling of 15x15 SGEMM, traditional (12x8 main) vs compact (4x4 main)");
+    for (label, mr, nr) in [("traditional", 12usize, 8usize), ("compact", 4, 4)] {
+        let tiles = analysis::tile_decomposition(15, 15, mr, nr);
+        let mut sizes: Vec<(usize, usize)> = tiles.iter().map(|t| (t.h, t.w)).collect();
+        sizes.sort();
+        sizes.dedup();
+        let frac = analysis::main_kernel_area_fraction(15, 15, mr, nr);
+        println!(
+            "{label:>12}: {} tiles, kernel sizes {:?}, main-kernel area {:.0}%",
+            tiles.len(),
+            sizes,
+            frac * 100.0
+        );
+    }
+    println!();
+}
+
+fn fig5() {
+    use iatf_codegen::{
+        generate_gemm_kernel, optimize, DataType, GemmKernelSpec, PipelineModel,
+    };
+    println!("## Figure 5: kernel optimizer on the DGEMM 4x4 kernel (K = 8)");
+    let model = PipelineModel::default();
+    let prog = generate_gemm_kernel(&GemmKernelSpec {
+        mc: 4,
+        nc: 4,
+        k: 8,
+        dtype: DataType::F64,
+        alpha: 1.0,
+        ldc: 4,
+    });
+    let opt = optimize(&prog, &model);
+    let before = model.simulate(&prog);
+    let after = model.simulate(&opt);
+    println!(
+        "original : {} insts, {} modeled cycles (port bound {})",
+        prog.len(),
+        before.cycles,
+        before.port_bound
+    );
+    println!(
+        "optimized: {} insts, {} modeled cycles",
+        opt.len(),
+        after.cycles
+    );
+    println!(
+        "stall reduction: {:.1}%",
+        100.0 * (before.cycles - after.cycles) as f64 / before.cycles as f64
+    );
+    println!("--- first 24 optimized instructions ---");
+    let text = opt.render();
+    for line in text.lines().take(24) {
+        println!("{line}");
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// Figures 7–10: GFLOPS sweeps
+// ---------------------------------------------------------------------------
+
+fn gemm_sweep<E: CompactElement + iatf_baselines::blasloop::BaselineElement>(
+    opts: &Opts,
+    mode: GemmMode,
+) -> (Vec<usize>, Vec<Series>) {
+    let cfg = TuningConfig::default();
+    let mut iatf = Vec::new();
+    let mut armpl = Vec::new();
+    let mut openblas = Vec::new();
+    for &n in &opts.sizes {
+        let batch = if opts.paper {
+            opts.batch_base
+        } else {
+            scaled_batch(opts.batch_base, n)
+        };
+        let mut w = gemm_workload::<E>(n, mode, batch, n as u64);
+        iatf.push(runners::iatf_gemm(&mut w, &cfg, &opts.time));
+        armpl.push(runners::batched_gemm(&mut w, &opts.time));
+        openblas.push(runners::blasloop_gemm(&mut w, &opts.time));
+    }
+    (
+        opts.sizes.clone(),
+        vec![
+            Series::new("IATF", iatf),
+            Series::new("ARMPL-batch*", armpl),
+            Series::new("OpenBLAS-loop*", openblas),
+        ],
+    )
+}
+
+fn gemm_sweep_real<R>(opts: &Opts, mode: GemmMode) -> (Vec<usize>, Vec<Series>)
+where
+    R: CompactElement
+        + iatf_baselines::blasloop::BaselineElement
+        + iatf_simd::Real
+        + iatf_simd::HasSimd,
+{
+    let (xs, mut series) = gemm_sweep::<R>(opts, mode);
+    let mut xsmm = Vec::new();
+    for &n in &xs {
+        let batch = if opts.paper {
+            opts.batch_base
+        } else {
+            scaled_batch(opts.batch_base, n)
+        };
+        let mut w = gemm_workload::<R>(n, mode, batch, n as u64);
+        xsmm.push(runners::specialized_gemm(&mut w, &opts.time));
+    }
+    series.insert(2, Series::new("LIBXSMM*", xsmm));
+    (xs, series)
+}
+
+fn fig7(opts: &Opts) {
+    for dt in DType::ALL {
+        let title = format!(
+            "Figure 7: compact {}gemm GFLOPS vs baselines, NN mode",
+            dt.prefix()
+        );
+        let (xs, series) = match dt {
+            DType::F32 => gemm_sweep_real::<f32>(opts, GemmMode::NN),
+            DType::F64 => gemm_sweep_real::<f64>(opts, GemmMode::NN),
+            DType::C32 => gemm_sweep::<c32>(opts, GemmMode::NN),
+            DType::C64 => gemm_sweep::<c64>(opts, GemmMode::NN),
+        };
+        emit(opts, &title, "n", &xs, &series);
+    }
+}
+
+fn fig8(opts: &Opts) {
+    for mode in GemmMode::ALL {
+        for dt in DType::ALL {
+            let title = format!(
+                "Figure 8: compact {}gemm GFLOPS, {mode} mode",
+                dt.prefix()
+            );
+            let (xs, series) = match dt {
+                DType::F32 => gemm_sweep_real::<f32>(opts, mode),
+                DType::F64 => gemm_sweep_real::<f64>(opts, mode),
+                DType::C32 => gemm_sweep::<c32>(opts, mode),
+                DType::C64 => gemm_sweep::<c64>(opts, mode),
+            };
+            emit(opts, &title, "n", &xs, &series);
+        }
+    }
+}
+
+fn trsm_sweep<E: CompactElement>(opts: &Opts, mode: TrsmMode) -> (Vec<usize>, Vec<Series>) {
+    let cfg = TuningConfig::default();
+    let mut iatf = Vec::new();
+    let mut armpl = Vec::new();
+    let mut openblas = Vec::new();
+    for &n in &opts.sizes {
+        let batch = if opts.paper {
+            opts.batch_base
+        } else {
+            scaled_batch(opts.batch_base, n)
+        };
+        let w = trsm_workload::<E>(n, mode, batch, 7 + n as u64);
+        iatf.push(runners::iatf_trsm(&w, &cfg, &opts.time));
+        armpl.push(runners::batched_trsm(&w, &opts.time));
+        openblas.push(runners::blasloop_trsm(&w, &opts.time));
+    }
+    (
+        opts.sizes.clone(),
+        vec![
+            Series::new("IATF", iatf),
+            Series::new("ARMPL-loop*", armpl),
+            Series::new("OpenBLAS-loop*", openblas),
+        ],
+    )
+}
+
+fn fig9(opts: &Opts) {
+    for dt in DType::ALL {
+        let title = format!(
+            "Figure 9: compact {}trsm GFLOPS vs baselines, LNLN mode",
+            dt.prefix()
+        );
+        let (xs, series) = match dt {
+            DType::F32 => trsm_sweep::<f32>(opts, TrsmMode::LNLN),
+            DType::F64 => trsm_sweep::<f64>(opts, TrsmMode::LNLN),
+            DType::C32 => trsm_sweep::<c32>(opts, TrsmMode::LNLN),
+            DType::C64 => trsm_sweep::<c64>(opts, TrsmMode::LNLN),
+        };
+        emit(opts, &title, "n", &xs, &series);
+    }
+}
+
+fn fig10(opts: &Opts) {
+    for mode in TrsmMode::FIG10 {
+        for dt in [DType::F32, DType::F64, DType::C32, DType::C64] {
+            let title = format!(
+                "Figure 10: compact {}trsm GFLOPS, {mode} mode",
+                dt.prefix()
+            );
+            let (xs, series) = match dt {
+                DType::F32 => trsm_sweep::<f32>(opts, mode),
+                DType::F64 => trsm_sweep::<f64>(opts, mode),
+                DType::C32 => trsm_sweep::<c32>(opts, mode),
+                DType::C64 => trsm_sweep::<c64>(opts, mode),
+            };
+            emit(opts, &title, "n", &xs, &series);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figures 11–12: percent of peak
+// ---------------------------------------------------------------------------
+
+fn percent_of_peak(gflops: &[f64], peak: f64) -> Vec<f64> {
+    gflops.iter().map(|g| 100.0 * g / peak).collect()
+}
+
+fn fig11(opts: &Opts) {
+    let peak = iatf_bench::peak::measure_peak(&opts.time);
+    println!(
+        "measured single-core peak: fp32 {:.2} GFLOPS, fp64 {:.2} GFLOPS",
+        peak.fp32_gflops, peak.fp64_gflops
+    );
+    let cfg = TuningConfig::default();
+    for dt in DType::ALL {
+        let peak_g = match dt {
+            DType::F32 | DType::C32 => peak.fp32_gflops,
+            DType::F64 | DType::C64 => peak.fp64_gflops,
+        };
+        let mut vals = Vec::new();
+        for &n in &opts.sizes {
+            let batch = if opts.paper {
+                opts.batch_base
+            } else {
+                scaled_batch(opts.batch_base, n)
+            };
+            let g = match dt {
+                DType::F32 => {
+                    let mut w = gemm_workload::<f32>(n, GemmMode::NN, batch, n as u64);
+                    runners::iatf_gemm(&mut w, &cfg, &opts.time)
+                }
+                DType::F64 => {
+                    let mut w = gemm_workload::<f64>(n, GemmMode::NN, batch, n as u64);
+                    runners::iatf_gemm(&mut w, &cfg, &opts.time)
+                }
+                DType::C32 => {
+                    let mut w = gemm_workload::<c32>(n, GemmMode::NN, batch, n as u64);
+                    runners::iatf_gemm(&mut w, &cfg, &opts.time)
+                }
+                DType::C64 => {
+                    let mut w = gemm_workload::<c64>(n, GemmMode::NN, batch, n as u64);
+                    runners::iatf_gemm(&mut w, &cfg, &opts.time)
+                }
+            };
+            vals.push(g);
+        }
+        let title = format!(
+            "Figure 11: {}gemm as % of measured peak (paper compares vs MKL compact on Xeon 6240)",
+            dt.prefix()
+        );
+        let series = vec![Series::new(
+            "IATF %peak",
+            percent_of_peak(&vals, peak_g),
+        )];
+        emit(opts, &title, "n", &opts.sizes, &series);
+    }
+}
+
+fn fig12(opts: &Opts) {
+    let peak = iatf_bench::peak::measure_peak(&opts.time);
+    let cfg = TuningConfig::default();
+    for dt in DType::ALL {
+        let peak_g = match dt {
+            DType::F32 | DType::C32 => peak.fp32_gflops,
+            DType::F64 | DType::C64 => peak.fp64_gflops,
+        };
+        let mut vals = Vec::new();
+        for &n in &opts.sizes {
+            let batch = if opts.paper {
+                opts.batch_base
+            } else {
+                scaled_batch(opts.batch_base, n)
+            };
+            let g = match dt {
+                DType::F32 => {
+                    let w = trsm_workload::<f32>(n, TrsmMode::LNLN, batch, n as u64);
+                    runners::iatf_trsm(&w, &cfg, &opts.time)
+                }
+                DType::F64 => {
+                    let w = trsm_workload::<f64>(n, TrsmMode::LNLN, batch, n as u64);
+                    runners::iatf_trsm(&w, &cfg, &opts.time)
+                }
+                DType::C32 => {
+                    let w = trsm_workload::<c32>(n, TrsmMode::LNLN, batch, n as u64);
+                    runners::iatf_trsm(&w, &cfg, &opts.time)
+                }
+                DType::C64 => {
+                    let w = trsm_workload::<c64>(n, TrsmMode::LNLN, batch, n as u64);
+                    runners::iatf_trsm(&w, &cfg, &opts.time)
+                }
+            };
+            vals.push(g);
+        }
+        let title = format!(
+            "Figure 12: {}trsm as % of measured peak (paper compares vs MKL compact on Xeon 6240)",
+            dt.prefix()
+        );
+        let series = vec![Series::new(
+            "IATF %peak",
+            percent_of_peak(&vals, peak_g),
+        )];
+        emit(opts, &title, "n", &opts.sizes, &series);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ablations
+// ---------------------------------------------------------------------------
+
+fn ablation_pack(opts: &Opts) {
+    let mut series_map: Vec<(PackPolicy, &str, Vec<f64>)> = vec![
+        (PackPolicy::Auto, "Auto (paper)", Vec::new()),
+        (PackPolicy::Always, "Always pack", Vec::new()),
+        (PackPolicy::Never, "Never pack", Vec::new()),
+    ];
+    for &n in &opts.sizes {
+        let batch = scaled_batch(opts.batch_base, n);
+        for (policy, _, vals) in series_map.iter_mut() {
+            let cfg = TuningConfig {
+                pack: *policy,
+                ..TuningConfig::default()
+            };
+            let mut w = gemm_workload::<f32>(n, GemmMode::NN, batch, n as u64);
+            vals.push(runners::iatf_gemm(&mut w, &cfg, &opts.time));
+        }
+    }
+    let series: Vec<Series> = series_map
+        .into_iter()
+        .map(|(_, name, vals)| Series::new(name, vals))
+        .collect();
+    emit(
+        opts,
+        "Ablation: pack-selecter policy (sgemm NN)",
+        "n",
+        &opts.sizes,
+        &series,
+    );
+}
+
+fn ablation_batch(opts: &Opts) {
+    let policies: Vec<(BatchPolicy, String)> = vec![
+        (BatchPolicy::Auto, "L1-fitted (paper)".into()),
+        (BatchPolicy::Fixed(1), "1 pack/superblock".into()),
+        (BatchPolicy::Fixed(4096), "whole group".into()),
+    ];
+    let mut all: Vec<Series> = Vec::new();
+    for (policy, name) in policies {
+        let mut vals = Vec::new();
+        for &n in &opts.sizes {
+            let batch = scaled_batch(opts.batch_base, n);
+            let cfg = TuningConfig {
+                batch: policy,
+                ..TuningConfig::default()
+            };
+            let mut w = gemm_workload::<f64>(n, GemmMode::NN, batch, n as u64);
+            vals.push(runners::iatf_gemm(&mut w, &cfg, &opts.time));
+        }
+        all.push(Series::new(name, vals));
+    }
+    emit(
+        opts,
+        "Ablation: batch-counter policy (dgemm NN)",
+        "n",
+        &opts.sizes,
+        &all,
+    );
+}
+
+fn ablation_kernel_size(opts: &Opts) {
+    println!("## Ablation: microkernel size vs achieved GFLOPS (dgemm kernels, K = 16)");
+    println!("{:>6} {:>6} {:>8} {:>10} {:>10}", "m", "n", "CMAR", "regs", "GFLOPS");
+    for m in 1..=4 {
+        for n in 1..=4 {
+            let g = runners::microkernel_gemm_gflops(m, n, 16, &opts.time);
+            println!(
+                "{m:>6} {n:>6} {:>8.3} {:>10} {:>10.3}",
+                analysis::cmar_real(m, n),
+                analysis::real_register_cost(m, n),
+                g
+            );
+        }
+    }
+    println!("(CMAR-optimal (4,4) should achieve the best GFLOPS — Eq. 2)\n");
+}
+
+fn ablation_fmls(opts: &Opts) {
+    println!("## Ablation: FMLS rectangular kernel vs general GEMM update (Eq. 4)");
+    println!("{:>6} {:>12} {:>12} {:>9}", "kk", "FMLS GF", "GEMM GF", "saving");
+    for kk in [1usize, 2, 4, 8, 16, 32] {
+        let (fmls, gemm) = runners::fmls_vs_gemm_update(kk, &opts.time);
+        println!(
+            "{kk:>6} {fmls:>12.3} {gemm:>12.3} {:>8.1}%",
+            100.0 * (fmls - gemm) / gemm
+        );
+    }
+    println!("(the paper's predicted instruction saving is M*N/(M*M*N+M*N) = 1/(M+1))\n");
+}
+
+/// Geometric mean over reps; the step closure restores state untimed and
+/// returns the measured seconds of the solve alone.
+fn restored_secs(opts: &TimeOpts, mut step: impl FnMut() -> f64) -> f64 {
+    for _ in 0..opts.warmup {
+        step();
+    }
+    let mut log_sum = 0.0;
+    for _ in 0..opts.reps {
+        log_sum += step().max(1e-9).ln();
+    }
+    (log_sum / opts.reps as f64).exp()
+}
+
+fn ext_trmm(opts: &Opts) {
+    use iatf_bench::timer::gflops;
+    use iatf_bench::workloads::{trsm_flops, trsm_workload};
+    use iatf_layout::TrsmDims;
+    let cfg = TuningConfig::default();
+    for dt in [DType::F32, DType::F64] {
+        let mut iatf = Vec::new();
+        let mut base = Vec::new();
+        for &n in &opts.sizes {
+            let batch = scaled_batch(opts.batch_base, n);
+            match dt {
+                DType::F32 => {
+                    let w = trsm_workload::<f32>(n, TrsmMode::LNLN, batch, n as u64);
+                    let plan = iatf_core::TrmmPlan::<f32>::new(
+                        TrsmDims::square(n),
+                        TrsmMode::LNLN,
+                        false,
+                        batch,
+                        &cfg,
+                    )
+                    .unwrap();
+                    let mut b = w.b_c.clone();
+                    let pristine = w.b_c.clone();
+                    // restore untimed: only the solve is measured
+                    let secs = restored_secs(&opts.time, || {
+                        b.as_scalars_mut().copy_from_slice(pristine.as_scalars());
+                        let t0 = std::time::Instant::now();
+                        plan.execute(1.0, &w.a_c, &mut b).unwrap();
+                        t0.elapsed().as_secs_f64()
+                    });
+                    iatf.push(gflops(trsm_flops::<f32>(n, batch), secs));
+                    let mut bs = w.b_std.clone();
+                    let ps = w.b_std.clone();
+                    let secs = restored_secs(&opts.time, || {
+                        bs.as_mut_slice().copy_from_slice(ps.as_slice());
+                        let t0 = std::time::Instant::now();
+                        iatf_baselines::batched::trmm(TrsmMode::LNLN, 1.0f32, &w.a_std, &mut bs);
+                        t0.elapsed().as_secs_f64()
+                    });
+                    base.push(gflops(trsm_flops::<f32>(n, batch), secs));
+                }
+                _ => {
+                    let w = trsm_workload::<f64>(n, TrsmMode::LNLN, batch, n as u64);
+                    let plan = iatf_core::TrmmPlan::<f64>::new(
+                        TrsmDims::square(n),
+                        TrsmMode::LNLN,
+                        false,
+                        batch,
+                        &cfg,
+                    )
+                    .unwrap();
+                    let mut b = w.b_c.clone();
+                    let pristine = w.b_c.clone();
+                    let secs = restored_secs(&opts.time, || {
+                        b.as_scalars_mut().copy_from_slice(pristine.as_scalars());
+                        let t0 = std::time::Instant::now();
+                        plan.execute(1.0, &w.a_c, &mut b).unwrap();
+                        t0.elapsed().as_secs_f64()
+                    });
+                    iatf.push(gflops(trsm_flops::<f64>(n, batch), secs));
+                    let mut bs = w.b_std.clone();
+                    let ps = w.b_std.clone();
+                    let secs = restored_secs(&opts.time, || {
+                        bs.as_mut_slice().copy_from_slice(ps.as_slice());
+                        let t0 = std::time::Instant::now();
+                        iatf_baselines::batched::trmm(TrsmMode::LNLN, 1.0f64, &w.a_std, &mut bs);
+                        t0.elapsed().as_secs_f64()
+                    });
+                    base.push(gflops(trsm_flops::<f64>(n, batch), secs));
+                }
+            }
+        }
+        let title = format!(
+            "Extension: compact {}trmm GFLOPS vs batched scalar baseline, LNLN",
+            dt.prefix()
+        );
+        let series = vec![
+            Series::new("IATF-TRMM", iatf),
+            Series::new("batched-scalar", base),
+        ];
+        emit(opts, &title, "n", &opts.sizes, &series);
+    }
+}
+
+fn ablation_pingpong(opts: &Opts) {
+    println!("## Ablation: ping-pong pipelined vs plain 4x4 DGEMM microkernel");
+    println!("{:>6} {:>14} {:>12} {:>8}", "K", "pipelined GF", "plain GF", "gain");
+    for k in [2usize, 4, 8, 16, 33] {
+        let (pp, plain) = runners::pingpong_vs_plain(k, &opts.time);
+        println!(
+            "{k:>6} {pp:>14.3} {plain:>12.3} {:>7.1}%",
+            100.0 * (pp - plain) / plain
+        );
+    }
+    println!("(on out-of-order hosts the hardware scheduler hides much of the\n difference; the modeled in-order gap is in ablation-schedule)\n");
+}
+
+fn ablation_schedule() {
+    use iatf_codegen::{
+        generate_gemm_kernel, schedule_stats, DataType, GemmKernelSpec, PipelineModel,
+    };
+    println!("## Ablation: instruction scheduling (modeled cycles, dual-issue in-order)");
+    println!(
+        "{:>6} {:>6} {:>6} {:>10} {:>10} {:>9}",
+        "mc", "nc", "K", "before", "after", "gain"
+    );
+    let model = PipelineModel::default();
+    for (mc, nc) in [(4usize, 4usize), (4, 3), (3, 3), (2, 2)] {
+        for k in [4usize, 8, 16, 33] {
+            let p = generate_gemm_kernel(&GemmKernelSpec {
+                mc,
+                nc,
+                k,
+                dtype: DataType::F64,
+                alpha: 1.0,
+                ldc: mc,
+            });
+            let (before, after) = schedule_stats(&p, &model);
+            println!(
+                "{mc:>6} {nc:>6} {k:>6} {before:>10} {after:>10} {:>8.1}%",
+                100.0 * (before - after) as f64 / before as f64
+            );
+        }
+    }
+    println!();
+}

@@ -1,0 +1,37 @@
+//! Benchmark harness reproducing the paper's evaluation (§6).
+//!
+//! The `reproduce` binary regenerates every table and figure; the Criterion
+//! benches under `benches/` cover the same measurements in statistical
+//! form. The shared machinery lives here:
+//!
+//! * [`timer`] — wall-clock measurement with the paper's protocol (repeat,
+//!   geometric mean);
+//! * [`peak`] — the FMA-throughput calibrator that measures the host's
+//!   single-core peak for the percent-of-peak figures (11–12);
+//! * [`workloads`] — batch generators for every figure's input;
+//! * [`runners`] — one entry per measured implementation (IATF and the
+//!   three baseline stand-ins), returning GFLOPS;
+//! * [`report`] — fixed-width table and CSV rendering.
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop, clippy::too_many_arguments, clippy::manual_is_multiple_of)]
+
+pub mod peak;
+pub mod report;
+pub mod runners;
+pub mod timer;
+pub mod workloads;
+
+/// Default size sweep of the paper: square matrices 1..=33 (§6: "we
+/// evaluate the performance of square matrices of sizes 1 – 33").
+pub fn paper_sizes() -> Vec<usize> {
+    (1..=33).collect()
+}
+
+/// Reduced sweep for quick runs.
+pub fn quick_sizes() -> Vec<usize> {
+    vec![1, 2, 3, 4, 6, 8, 12, 16, 20, 24, 28, 32, 33]
+}
+
+/// The paper's batch size (§6: "The batch size is 16384").
+pub const PAPER_BATCH: usize = 16384;

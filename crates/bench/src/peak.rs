@@ -1,0 +1,83 @@
+//! Single-core peak-FLOPS calibration for the percent-of-peak figures.
+//!
+//! The paper's Figures 11–12 normalize by the processor's theoretical peak
+//! (Table 2). On an arbitrary host the honest equivalent is a *measured*
+//! peak: a register-blocked chain of independent vector FMAs that saturates
+//! the FP pipes without touching memory. Percent-of-peak is then
+//! machine-neutral, which is exactly why the paper uses it to compare the
+//! Kunpeng 920 against the Xeon.
+
+use crate::timer::{time_secs, TimeOpts};
+use iatf_simd::{F32x4, F64x2, SimdReal};
+
+/// Measured single-core peaks in GFLOPS.
+#[derive(Copy, Clone, Debug)]
+pub struct MeasuredPeak {
+    /// Single-precision FMA peak.
+    pub fp32_gflops: f64,
+    /// Double-precision FMA peak.
+    pub fp64_gflops: f64,
+}
+
+#[inline(never)]
+fn fma_loop<V: SimdReal>(iters: usize) -> f64 {
+    // 16 independent accumulator chains — enough ILP to cover FMA latency
+    // on any reasonable core. Inputs pass through black_box so the chain
+    // cannot be constant-folded into a single evaluation.
+    let mut acc = [V::splat(V::Scalar::from_f64(1.0)); 16];
+    let x = V::splat(std::hint::black_box(V::Scalar::from_f64(0.999_999)));
+    let y = V::splat(std::hint::black_box(V::Scalar::from_f64(1e-9)));
+    for _ in 0..iters {
+        for a in acc.iter_mut() {
+            *a = a.fma(x, y);
+        }
+    }
+    // fold so the optimizer cannot elide the loop
+    let mut sink = V::zero();
+    for a in acc {
+        sink = sink.add(a);
+    }
+    std::hint::black_box(sink.to_array()[0].to_f64())
+}
+
+use iatf_simd::Real;
+
+/// Measures the peak for one vector type: FLOPs = iters · 16 FMAs · 2 ops ·
+/// lanes.
+fn measure_one<V: SimdReal>(opts: &TimeOpts) -> f64 {
+    const ITERS: usize = 4096;
+    let mut sink = 0.0;
+    let secs = time_secs(opts, || {
+        sink += fma_loop::<V>(ITERS);
+    });
+    std::hint::black_box(sink);
+    let flops = (ITERS * 16 * 2 * V::LANES) as f64;
+    flops / secs / 1e9
+}
+
+/// Runs the calibration.
+pub fn measure_peak(opts: &TimeOpts) -> MeasuredPeak {
+    MeasuredPeak {
+        fp32_gflops: measure_one::<F32x4>(opts),
+        fp64_gflops: measure_one::<F64x2>(opts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_is_positive_and_ordered() {
+        let p = measure_peak(&TimeOpts {
+            reps: 3,
+            min_rep_secs: 0.005,
+            warmup: 1,
+        });
+        assert!(p.fp32_gflops > 0.1, "{p:?}");
+        assert!(p.fp64_gflops > 0.1, "{p:?}");
+        // f32 peak should be roughly 2× f64 on a 128-bit unit (loose bound)
+        let ratio = p.fp32_gflops / p.fp64_gflops;
+        assert!(ratio > 1.2 && ratio < 4.0, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Table and CSV rendering for the reproduced figures.
+
+use std::fmt::Write as _;
+
+/// One measured implementation's curve over the size sweep.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Implementation label (e.g. "IATF", "OpenBLAS-loop").
+    pub name: String,
+    /// One value per size in the sweep (GFLOPS or % of peak).
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Builds a series.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Self {
+            name: name.into(),
+            values,
+        }
+    }
+}
+
+/// Renders a fixed-width table: one row per size, one column per series.
+pub fn render_table(title: &str, xlabel: &str, xs: &[usize], series: &[Series]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}");
+    let _ = write!(out, "{:>6}", xlabel);
+    for s in series {
+        let _ = write!(out, " {:>14}", truncate(&s.name, 14));
+    }
+    let _ = writeln!(out);
+    for (row, &x) in xs.iter().enumerate() {
+        let _ = write!(out, "{x:>6}");
+        for s in series {
+            let v = s.values.get(row).copied().unwrap_or(f64::NAN);
+            let _ = write!(out, " {v:>14.3}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the same data as CSV.
+pub fn render_csv(xlabel: &str, xs: &[usize], series: &[Series]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{xlabel}");
+    for s in series {
+        let _ = write!(out, ",{}", s.name);
+    }
+    let _ = writeln!(out);
+    for (row, &x) in xs.iter().enumerate() {
+        let _ = write!(out, "{x}");
+        for s in series {
+            let v = s.values.get(row).copied().unwrap_or(f64::NAN);
+            let _ = write!(out, ",{v:.6}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Speedup summary of `a` over `b`: (max, geometric mean), ignoring
+/// non-finite entries.
+pub fn speedup_summary(a: &Series, b: &Series) -> (f64, f64) {
+    let mut max = 0.0f64;
+    let mut log_sum = 0.0f64;
+    let mut n = 0usize;
+    for (&x, &y) in a.values.iter().zip(&b.values) {
+        if x.is_finite() && y.is_finite() && y > 0.0 {
+            let s = x / y;
+            max = max.max(s);
+            log_sum += s.ln();
+            n += 1;
+        }
+    }
+    let geo = if n > 0 {
+        (log_sum / n as f64).exp()
+    } else {
+        f64::NAN
+    };
+    (max, geo)
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let xs = vec![1, 2, 33];
+        let s = vec![
+            Series::new("IATF", vec![1.0, 2.0, 3.0]),
+            Series::new("baseline", vec![0.5, 0.5, 3.0]),
+        ];
+        let t = render_table("Fig X", "n", &xs, &s);
+        assert!(t.contains("## Fig X"));
+        assert!(t.contains("IATF"));
+        assert!(t.lines().count() >= 5);
+    }
+
+    #[test]
+    fn csv_renders() {
+        let xs = vec![4, 8];
+        let s = vec![Series::new("a", vec![1.5, 2.5])];
+        let csv = render_csv("n", &xs, &s);
+        assert_eq!(csv.lines().next().unwrap(), "n,a");
+        assert!(csv.contains("4,1.500000"));
+    }
+
+    #[test]
+    fn speedups() {
+        let a = Series::new("a", vec![2.0, 8.0]);
+        let b = Series::new("b", vec![1.0, 2.0]);
+        let (max, geo) = speedup_summary(&a, &b);
+        assert_eq!(max, 4.0);
+        assert!((geo - (2.0f64 * 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_ignores_nan() {
+        let a = Series::new("a", vec![2.0, f64::NAN]);
+        let b = Series::new("b", vec![1.0, 1.0]);
+        let (max, geo) = speedup_summary(&a, &b);
+        assert_eq!(max, 2.0);
+        assert_eq!(geo, 2.0);
+    }
+}

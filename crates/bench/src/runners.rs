@@ -1,0 +1,328 @@
+//! One runner per measured implementation. Every runner returns GFLOPS for
+//! a prepared workload under the given timing options.
+
+use crate::timer::{gflops, time_secs, TimeOpts};
+use crate::workloads::{gemm_flops, trsm_flops, GemmWorkload, TrsmWorkload};
+use iatf_baselines::blasloop::BaselineElement;
+use iatf_baselines::{batched, blasloop, specialized};
+use iatf_core::{CompactElement, GemmPlan, TrsmPlan, TuningConfig};
+use iatf_layout::{GemmDims, TrsmDims};
+use iatf_simd::{Element, HasSimd, Real};
+
+/// IATF compact GEMM (plan built once, execution timed — the compact
+/// interface's contract, like MKL compact: data is already in the compact
+/// layout).
+pub fn iatf_gemm<E: CompactElement>(
+    w: &mut GemmWorkload<E>,
+    cfg: &TuningConfig,
+    opts: &TimeOpts,
+) -> f64 {
+    let plan = GemmPlan::<E>::new(
+        GemmDims::square(w.n),
+        w.mode,
+        false,
+        false,
+        w.batch,
+        cfg,
+    )
+    .expect("plan");
+    let (a, b, c) = (&w.a_c, &w.b_c, &mut w.c_c);
+    let one = E::one();
+    let secs = time_secs(opts, || {
+        plan.execute(one, a, b, one, c).expect("execute");
+    });
+    gflops(gemm_flops::<E>(w.n, w.batch), secs)
+}
+
+/// Loop-around-library-calls GEMM (OpenBLAS stand-in).
+pub fn blasloop_gemm<E: CompactElement + BaselineElement>(
+    w: &mut GemmWorkload<E>,
+    opts: &TimeOpts,
+) -> f64 {
+    let one = E::one();
+    let (a, b, c) = (&w.a_std, &w.b_std, &mut w.c_std);
+    let mode = w.mode;
+    let secs = time_secs(opts, || {
+        blasloop::gemm(mode, one, a, b, one, c);
+    });
+    gflops(gemm_flops::<E>(w.n, w.batch), secs)
+}
+
+/// Batch-interface GEMM (ARMPL batched stand-in).
+pub fn batched_gemm<E: CompactElement + BaselineElement>(
+    w: &mut GemmWorkload<E>,
+    opts: &TimeOpts,
+) -> f64 {
+    let one = E::one();
+    let (a, b, c) = (&w.a_std, &w.b_std, &mut w.c_std);
+    let mode = w.mode;
+    let secs = time_secs(opts, || {
+        batched::gemm(mode, one, a, b, one, c);
+    });
+    gflops(gemm_flops::<E>(w.n, w.batch), secs)
+}
+
+/// Shape-specialized GEMM (LIBXSMM stand-in; real types only).
+pub fn specialized_gemm<R: Real + HasSimd + Element + CompactElement>(
+    w: &mut GemmWorkload<R>,
+    opts: &TimeOpts,
+) -> f64 {
+    let plan = specialized::SpecializedGemm::new(w.n, w.n, w.n, w.mode);
+    let one = <R as Element>::one();
+    let (a, b, c) = (&w.a_std, &w.b_std, &mut w.c_std);
+    let secs = time_secs(opts, || {
+        plan.execute(one, a, b, one, c);
+    });
+    gflops(gemm_flops::<R>(w.n, w.batch), secs)
+}
+
+/// IATF compact TRSM. The pristine compact B is restored before every timed
+/// repetition (untimed) so the in-place solve stays on well-scaled data.
+pub fn iatf_trsm<E: CompactElement>(
+    w: &TrsmWorkload<E>,
+    cfg: &TuningConfig,
+    opts: &TimeOpts,
+) -> f64 {
+    let plan = TrsmPlan::<E>::new(TrsmDims::square(w.n), w.mode, false, w.batch, cfg)
+        .expect("plan");
+    let one = E::one();
+    let mut b = w.b_c.clone();
+    let pristine = w.b_c.clone();
+    let secs = geomean_secs(opts, || {
+        b.as_scalars_mut().copy_from_slice(pristine.as_scalars());
+        let t0 = std::time::Instant::now();
+        plan.execute(one, &w.a_c, &mut b).expect("execute");
+        t0.elapsed().as_secs_f64()
+    });
+    gflops(trsm_flops::<E>(w.n, w.batch), secs)
+}
+
+/// Loop-around-library-calls TRSM (OpenBLAS stand-in).
+pub fn blasloop_trsm<E: CompactElement>(w: &TrsmWorkload<E>, opts: &TimeOpts) -> f64 {
+    let one = E::one();
+    let mut b = w.b_std.clone();
+    let pristine = w.b_std.clone();
+    let mode = w.mode;
+    let a = &w.a_std;
+    let secs = geomean_secs(opts, || {
+        b.as_mut_slice().copy_from_slice(pristine.as_slice());
+        let t0 = std::time::Instant::now();
+        blasloop::trsm(mode, one, a, &mut b);
+        t0.elapsed().as_secs_f64()
+    });
+    gflops(trsm_flops::<E>(w.n, w.batch), secs)
+}
+
+/// Batch-interface TRSM (ARMPL loop stand-in).
+pub fn batched_trsm<E: CompactElement>(w: &TrsmWorkload<E>, opts: &TimeOpts) -> f64 {
+    let one = E::one();
+    let mut b = w.b_std.clone();
+    let pristine = w.b_std.clone();
+    let mode = w.mode;
+    let a = &w.a_std;
+    let secs = geomean_secs(opts, || {
+        b.as_mut_slice().copy_from_slice(pristine.as_slice());
+        let t0 = std::time::Instant::now();
+        batched::trsm(mode, one, a, &mut b);
+        t0.elapsed().as_secs_f64()
+    });
+    gflops(trsm_flops::<E>(w.n, w.batch), secs)
+}
+
+/// Geometric mean of per-step measured seconds; the step closure restores
+/// state untimed and returns the timed portion's duration.
+fn geomean_secs(opts: &TimeOpts, mut step: impl FnMut() -> f64) -> f64 {
+    for _ in 0..opts.warmup {
+        step();
+    }
+    let mut log_sum = 0.0f64;
+    for _ in 0..opts.reps {
+        log_sum += step().max(1e-9).ln();
+    }
+    (log_sum / opts.reps as f64).exp()
+}
+
+/// Measures one raw GEMM microkernel size over resident packed panels —
+/// the kernel-size (CMAR) ablation. Returns GFLOPS of pure kernel work.
+pub fn microkernel_gemm_gflops(mr: usize, nr: usize, k: usize, opts: &TimeOpts) -> f64 {
+    use iatf_kernels::real_gemm_kernel;
+    use iatf_simd::F64x2;
+    let p = <F64x2 as iatf_simd::SimdReal>::LANES;
+    let tiles = 256usize;
+    let pa = vec![0.5f64; k * mr * p];
+    let pb = vec![0.25f64; k * nr * p];
+    let mut c = vec![0.0f64; mr * nr * p];
+    let kern = real_gemm_kernel::<f64>(mr, nr);
+    let secs = time_secs(opts, || {
+        for _ in 0..tiles {
+            unsafe {
+                kern(
+                    k,
+                    1.0,
+                    1.0,
+                    pa.as_ptr(),
+                    p,
+                    mr * p,
+                    pb.as_ptr(),
+                    p,
+                    nr * p,
+                    c.as_mut_ptr(),
+                    p,
+                    mr * p,
+                );
+            }
+        }
+        std::hint::black_box(&c);
+    });
+    let flops = (tiles * mr * nr * k * p * 2) as f64;
+    gflops(flops, secs)
+}
+
+/// FMLS-rectangular vs plain-GEMM TRSM update (the Eq. 4 ablation): returns
+/// (fmls_gflops, gemm_gflops) for the same elimination workload.
+pub fn fmls_vs_gemm_update(kk: usize, opts: &TimeOpts) -> (f64, f64) {
+    use iatf_kernels::table::real_trsm_rect_kernel;
+    use iatf_kernels::real_gemm_kernel;
+    use iatf_simd::F64x2;
+    let p = <F64x2 as iatf_simd::SimdReal>::LANES;
+    const MR: usize = 4;
+    const NR: usize = 4;
+    let reps = 128usize;
+    let pa = vec![0.01f64; kk.max(1) * MR * p];
+    // panel: kk solved rows + MR target rows
+    let mut panel = vec![0.5f64; (kk + MR) * NR * p];
+    let row_stride = NR * p;
+
+    let rect = real_trsm_rect_kernel::<f64>(MR, NR);
+    let secs_fmls = time_secs(opts, || {
+        for _ in 0..reps {
+            unsafe {
+                rect(
+                    kk,
+                    pa.as_ptr(),
+                    p,
+                    MR * p,
+                    core::ptr::null(),
+                    panel.as_mut_ptr(),
+                    kk,
+                    row_stride,
+                    p,
+                );
+            }
+        }
+        std::hint::black_box(&panel);
+    });
+
+    // the GEMM alternative: C tile = (-1)·A·X + 1·C — same elimination via
+    // the general kernel, paying the alpha multiplies of Eq. 4
+    let kern = real_gemm_kernel::<f64>(MR, NR);
+    // X rows gathered as a "B panel": kk slivers of NR groups
+    let pb = vec![0.5f64; kk.max(1) * NR * p];
+    let mut c = vec![0.5f64; MR * NR * p];
+    let secs_gemm = time_secs(opts, || {
+        for _ in 0..reps {
+            unsafe {
+                kern(
+                    kk.max(1),
+                    -1.0,
+                    1.0,
+                    pa.as_ptr(),
+                    p,
+                    MR * p,
+                    pb.as_ptr(),
+                    p,
+                    NR * p,
+                    c.as_mut_ptr(),
+                    p,
+                    MR * p,
+                );
+            }
+        }
+        std::hint::black_box(&c);
+    });
+
+    let macs = (reps * MR * NR * kk.max(1) * p) as f64;
+    (gflops(macs * 2.0, secs_fmls), gflops(macs * 2.0, secs_gemm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{gemm_workload, trsm_workload};
+    use iatf_layout::{GemmMode, TrsmMode};
+
+    fn topts() -> TimeOpts {
+        TimeOpts {
+            reps: 2,
+            min_rep_secs: 0.001,
+            warmup: 1,
+        }
+    }
+
+    #[test]
+    fn all_gemm_runners_produce_gflops() {
+        let mut w = gemm_workload::<f32>(4, GemmMode::NN, 64, 1);
+        let cfg = TuningConfig::default();
+        assert!(iatf_gemm(&mut w, &cfg, &topts()) > 0.0);
+        assert!(blasloop_gemm(&mut w, &topts()) > 0.0);
+        assert!(batched_gemm(&mut w, &topts()) > 0.0);
+        assert!(specialized_gemm(&mut w, &topts()) > 0.0);
+    }
+
+    #[test]
+    fn all_trsm_runners_produce_gflops() {
+        let w = trsm_workload::<f64>(5, TrsmMode::LNLN, 32, 2);
+        let cfg = TuningConfig::default();
+        assert!(iatf_trsm(&w, &cfg, &topts()) > 0.0);
+        assert!(blasloop_trsm(&w, &topts()) > 0.0);
+        assert!(batched_trsm(&w, &topts()) > 0.0);
+    }
+
+    #[test]
+    fn microkernel_and_ablation_runners() {
+        assert!(microkernel_gemm_gflops(4, 4, 8, &topts()) > 0.0);
+        let (fmls, gemm) = fmls_vs_gemm_update(8, &topts());
+        assert!(fmls > 0.0 && gemm > 0.0);
+    }
+}
+
+#[allow(clippy::items_after_test_module)]
+/// Ping-pong (software-pipelined) vs plain kernel — the §4.2 pipelining
+/// ablation. Returns (pipelined_gflops, plain_gflops) for a 4×4 DGEMM
+/// microkernel at depth `k`.
+pub fn pingpong_vs_plain(k: usize, opts: &TimeOpts) -> (f64, f64) {
+    use iatf_kernels::{gemm_ukr, gemm_ukr_nopipeline};
+    use iatf_simd::{F64x2, SimdReal};
+    let p = <F64x2 as SimdReal>::LANES;
+    let tiles = 256usize;
+    let pa = vec![0.5f64; k * 4 * p];
+    let pb = vec![0.25f64; k * 4 * p];
+    let mut c = vec![0.0f64; 16 * p];
+    let mut run = |f: iatf_kernels::RealGemmKernel<f64>| {
+        time_secs(opts, || {
+            for _ in 0..tiles {
+                unsafe {
+                    f(
+                        k,
+                        1.0,
+                        1.0,
+                        pa.as_ptr(),
+                        p,
+                        4 * p,
+                        pb.as_ptr(),
+                        p,
+                        4 * p,
+                        c.as_mut_ptr(),
+                        p,
+                        4 * p,
+                    )
+                }
+            }
+            std::hint::black_box(&c);
+        })
+    };
+    let secs_pp = run(gemm_ukr::<F64x2, 4, 4>);
+    let secs_plain = run(gemm_ukr_nopipeline::<F64x2, 4, 4>);
+    let flops = (tiles * 16 * k * p * 2) as f64;
+    (gflops(flops, secs_pp), gflops(flops, secs_plain))
+}

@@ -1,0 +1,126 @@
+//! Wall-clock measurement following the paper's protocol: each kernel runs
+//! repeatedly and the *geometric mean* of the per-run times is reported
+//! (§6: "We run each kernel 100 times and take the geometric mean").
+
+use std::time::Instant;
+
+/// Measurement options.
+#[derive(Copy, Clone, Debug)]
+pub struct TimeOpts {
+    /// Timed repetitions entering the geometric mean.
+    pub reps: usize,
+    /// Minimum total measured time per repetition; the workload is looped
+    /// until this floor is reached so timer resolution never dominates.
+    pub min_rep_secs: f64,
+    /// Untimed warm-up runs.
+    pub warmup: usize,
+}
+
+impl TimeOpts {
+    /// Fast settings for smoke tests and quick sweeps.
+    pub fn quick() -> Self {
+        Self {
+            reps: 5,
+            min_rep_secs: 0.01,
+            warmup: 1,
+        }
+    }
+
+    /// The paper's 100-repetition protocol.
+    pub fn paper() -> Self {
+        Self {
+            reps: 100,
+            min_rep_secs: 0.001,
+            warmup: 3,
+        }
+    }
+}
+
+/// Times `f`, returning seconds per invocation (geometric mean over reps).
+pub fn time_secs(opts: &TimeOpts, mut f: impl FnMut()) -> f64 {
+    for _ in 0..opts.warmup {
+        f();
+    }
+    // calibrate inner iterations to the per-rep floor
+    let mut iters = 1usize;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt >= opts.min_rep_secs || iters >= 1 << 20 {
+            break;
+        }
+        let scale = (opts.min_rep_secs / dt.max(1e-9)).ceil().max(2.0);
+        iters = (iters as f64 * scale).min(1e9) as usize;
+    }
+
+    let mut log_sum = 0.0f64;
+    for _ in 0..opts.reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per = t0.elapsed().as_secs_f64() / iters as f64;
+        log_sum += per.max(1e-12).ln();
+    }
+    (log_sum / opts.reps as f64).exp()
+}
+
+/// GFLOPS for a measured time.
+pub fn gflops(total_flops: f64, secs: f64) -> f64 {
+    total_flops / secs / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let opts = TimeOpts {
+            reps: 3,
+            min_rep_secs: 0.001,
+            warmup: 1,
+        };
+        let mut acc = 0u64;
+        let t = time_secs(&opts, || {
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            std::hint::black_box(acc);
+        });
+        assert!(t > 0.0 && t < 1.0);
+    }
+
+    #[test]
+    fn gflops_math() {
+        assert_eq!(gflops(2e9, 1.0), 2.0);
+        assert_eq!(gflops(1e9, 0.5), 2.0);
+    }
+
+    #[test]
+    fn geometric_mean_is_stable_for_constant_work() {
+        let opts = TimeOpts {
+            reps: 4,
+            min_rep_secs: 0.002,
+            warmup: 1,
+        };
+        let mut v = vec![0.0f64; 4096];
+        let t1 = time_secs(&opts, || {
+            for (i, x) in v.iter_mut().enumerate() {
+                *x += i as f64;
+            }
+            std::hint::black_box(&v);
+        });
+        let t2 = time_secs(&opts, || {
+            for (i, x) in v.iter_mut().enumerate() {
+                *x += i as f64;
+            }
+            std::hint::black_box(&v);
+        });
+        // within 20x of each other (very loose; we only need sanity)
+        assert!(t1 / t2 < 20.0 && t2 / t1 < 20.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Workload generators for every figure.
+//!
+//! Inputs follow the paper's protocol: square matrices of order 1–33
+//! filled with uniform random values in `[0, 1)` (§6, following Jia et
+//! al.'s testing scheme), batch 16384. TRSM coefficient matrices are
+//! well-conditioned random triangles (diagonally dominant) so repeated
+//! timed solves stay numerically tame.
+
+use iatf_layout::{CompactBatch, GemmMode, Side, StdBatch, TrsmMode};
+use iatf_simd::Element;
+
+/// Operands for one GEMM measurement, in both layouts.
+pub struct GemmWorkload<E: Element> {
+    /// Problem order (square) — M = N = K.
+    pub n: usize,
+    /// Group size.
+    pub batch: usize,
+    /// Mode the operands were shaped for.
+    pub mode: GemmMode,
+    /// A in standard layout.
+    pub a_std: StdBatch<E>,
+    /// B in standard layout.
+    pub b_std: StdBatch<E>,
+    /// C in standard layout (baselines accumulate here).
+    pub c_std: StdBatch<E>,
+    /// A in compact layout.
+    pub a_c: CompactBatch<E>,
+    /// B in compact layout.
+    pub b_c: CompactBatch<E>,
+    /// C in compact layout (IATF accumulates here).
+    pub c_c: CompactBatch<E>,
+}
+
+/// Builds a square GEMM workload.
+pub fn gemm_workload<E: Element>(n: usize, mode: GemmMode, batch: usize, seed: u64) -> GemmWorkload<E> {
+    // square problems: stored shapes equal regardless of transpose
+    let _ = mode;
+    let a_std = StdBatch::<E>::random(n, n, batch, seed);
+    let b_std = StdBatch::<E>::random(n, n, batch, seed + 1);
+    let c_std = StdBatch::<E>::zeroed(n, n, batch);
+    let a_c = CompactBatch::from_std(&a_std);
+    let b_c = CompactBatch::from_std(&b_std);
+    let c_c = CompactBatch::from_std(&c_std);
+    GemmWorkload {
+        n,
+        batch,
+        mode,
+        a_std,
+        b_std,
+        c_std,
+        a_c,
+        b_c,
+        c_c,
+    }
+}
+
+/// FLOPs of the whole GEMM group.
+pub fn gemm_flops<E: Element>(n: usize, batch: usize) -> f64 {
+    (n * n * n * batch) as f64 * E::DTYPE.flops_per_mac() as f64
+}
+
+/// Operands for one TRSM measurement.
+pub struct TrsmWorkload<E: Element> {
+    /// Problem order (square B).
+    pub n: usize,
+    /// Group size.
+    pub batch: usize,
+    /// Mode.
+    pub mode: TrsmMode,
+    /// Triangular A, standard layout.
+    pub a_std: StdBatch<E>,
+    /// Pristine B, standard layout (restored between timed reps).
+    pub b_std: StdBatch<E>,
+    /// A, compact layout.
+    pub a_c: CompactBatch<E>,
+    /// Pristine B, compact layout.
+    pub b_c: CompactBatch<E>,
+}
+
+/// Builds a square TRSM workload for a mode.
+pub fn trsm_workload<E: Element>(n: usize, mode: TrsmMode, batch: usize, seed: u64) -> TrsmWorkload<E> {
+    let t = match mode.side {
+        Side::Left => n,
+        Side::Right => n,
+    };
+    let a_std = StdBatch::<E>::random_triangular(t, batch, mode.uplo, mode.diag, seed);
+    let b_std = StdBatch::<E>::random(n, n, batch, seed + 1);
+    let a_c = CompactBatch::from_std(&a_std);
+    let b_c = CompactBatch::from_std(&b_std);
+    TrsmWorkload {
+        n,
+        batch,
+        mode,
+        a_std,
+        b_std,
+        a_c,
+        b_c,
+    }
+}
+
+/// FLOPs of the whole TRSM group (standard `n²·n_rhs` MAC count; the
+/// divide counted as one op like the paper's GFLOPS convention).
+pub fn trsm_flops<E: Element>(n: usize, batch: usize) -> f64 {
+    let macs = n * (n + 1) / 2 * n;
+    (macs * batch) as f64 * E::DTYPE.flops_per_mac() as f64
+}
+
+/// Suggested batch size scaling: keep total work roughly constant across
+/// the sweep so quick runs stay quick at n = 33 without starving n = 1.
+pub fn scaled_batch(base: usize, n: usize) -> usize {
+    let cap = (1usize << 24) / (n * n * n).max(1);
+    base.min(cap.max(64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iatf_layout::{Diag, Uplo};
+
+    #[test]
+    fn gemm_workload_shapes() {
+        let w = gemm_workload::<f32>(5, GemmMode::NN, 10, 3);
+        assert_eq!(w.a_std.shape(), (5, 5));
+        assert_eq!(w.a_c.count(), 10);
+        assert_eq!(w.c_c.rows(), 5);
+        assert_eq!(gemm_flops::<f32>(4, 100), (64 * 100 * 2) as f64);
+        assert_eq!(gemm_flops::<iatf_simd::c32>(4, 100), (64 * 100 * 8) as f64);
+    }
+
+    #[test]
+    fn trsm_workload_is_well_conditioned() {
+        let w = trsm_workload::<f64>(6, TrsmMode::LNLN, 4, 9);
+        for v in 0..4 {
+            for i in 0..6 {
+                let d = w.a_std.get(v, i, i);
+                assert!((1.0..=2.0).contains(&d));
+            }
+        }
+        assert_eq!(trsm_flops::<f64>(4, 10), (4 * 5 / 2 * 4 * 10 * 2) as f64);
+        let _ = (Uplo::Lower, Diag::NonUnit);
+    }
+
+    #[test]
+    fn scaled_batch_caps_large_sizes() {
+        assert_eq!(scaled_batch(16384, 1), 16384);
+        assert!(scaled_batch(16384, 33) < 16384);
+        assert!(scaled_batch(16384, 33) >= 64);
+    }
+}

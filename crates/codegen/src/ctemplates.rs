@@ -1,0 +1,287 @@
+//! Complex GEMM templates: the split-representation counterpart of
+//! `crate::templates`, with the paper's complex register budget
+//! (`4m_c + 4n_c + 2·m_c·n_c ≤ 32`, Eq. 3 — main kernel 3×2).
+//!
+//! Register allocation:
+//!
+//! ```text
+//! A set 0 : V0            .. V2m_c−1     (re/im interleaved per row)
+//! A set 1 : V2m_c         .. V4m_c−1
+//! B set 0 : V4m_c         .. V4m_c+2n_c−1
+//! B set 1 : V4m_c+2n_c    .. V4(m_c+n_c)−1
+//! C accum : V4(m_c+n_c)   .. V4(m_c+n_c)+2m_c·n_c−1
+//! ```
+//!
+//! Every complex FMA lowers to four FMA-class vector instructions, so the
+//! generated instruction mix matches `cgemm_ukr` exactly (and the
+//! equivalence tests require bit-identical double-precision results).
+
+use crate::ir::{Inst, Program, VReg, XReg};
+use crate::templates::Set;
+
+/// Register-allocation helper for a complex `(m_c, n_c)` kernel.
+#[derive(Copy, Clone, Debug)]
+pub struct CRegMap {
+    /// Kernel rows.
+    pub mc: usize,
+    /// Kernel columns.
+    pub nc: usize,
+}
+
+impl CRegMap {
+    /// Real-plane register of A row `i` in a set.
+    pub fn a_re(&self, set: Set, i: usize) -> VReg {
+        let base = match set {
+            Set::Zero => 0,
+            Set::One => 2 * self.mc,
+        };
+        VReg((base + 2 * i) as u8)
+    }
+
+    /// Imaginary-plane register of A row `i` in a set.
+    pub fn a_im(&self, set: Set, i: usize) -> VReg {
+        VReg(self.a_re(set, i).0 + 1)
+    }
+
+    /// Real-plane register of B column `j` in a set.
+    pub fn b_re(&self, set: Set, j: usize) -> VReg {
+        let base = 4 * self.mc
+            + match set {
+                Set::Zero => 0,
+                Set::One => 2 * self.nc,
+            };
+        VReg((base + 2 * j) as u8)
+    }
+
+    /// Imaginary-plane register of B column `j` in a set.
+    pub fn b_im(&self, set: Set, j: usize) -> VReg {
+        VReg(self.b_re(set, j).0 + 1)
+    }
+
+    /// Real-plane accumulator for `(i, j)`.
+    pub fn c_re(&self, i: usize, j: usize) -> VReg {
+        VReg((4 * (self.mc + self.nc) + 2 * (j * self.mc + i)) as u8)
+    }
+
+    /// Imaginary-plane accumulator for `(i, j)`.
+    pub fn c_im(&self, i: usize, j: usize) -> VReg {
+        VReg(self.c_re(i, j).0 + 1)
+    }
+
+    /// Highest register index used.
+    pub fn high_water(&self) -> usize {
+        4 * (self.mc + self.nc) + 2 * self.mc * self.nc - 1
+    }
+}
+
+/// Loads one sliver (a row/column set of complex element groups, `2·count`
+/// vectors) from `base` as `ldp` pairs, then bumps the pointer.
+fn emit_cloads(p: &mut Program, regs: &[VReg], base: XReg) {
+    debug_assert!(regs.len() % 2 == 0);
+    let mut i = 0;
+    while i + 2 <= regs.len() {
+        p.push(Inst::Ldp {
+            dst1: regs[i],
+            dst2: regs[i + 1],
+            base,
+            offset: (i * 16) as i32,
+        });
+        i += 2;
+    }
+    p.push(Inst::AddImm {
+        reg: base,
+        imm: (regs.len() * 16) as i32,
+    });
+}
+
+fn a_regs(r: &CRegMap, set: Set) -> Vec<VReg> {
+    (0..r.mc)
+        .flat_map(|i| [r.a_re(set, i), r.a_im(set, i)])
+        .collect()
+}
+
+fn b_regs(r: &CRegMap, set: Set) -> Vec<VReg> {
+    (0..r.nc)
+        .flat_map(|j| [r.b_re(set, j), r.b_im(set, j)])
+        .collect()
+}
+
+/// Complex multiply-accumulate of one tile: four FMA-class ops per element,
+/// in the exact operation order of `CVec::fma` (re: fmla then fmls; im:
+/// fmla then fmla) so interpreted results match the Rust kernel bitwise.
+fn emit_ccompute(p: &mut Program, r: &CRegMap, set: Set, first: bool) {
+    for j in 0..r.nc {
+        for i in 0..r.mc {
+            let (are, aim) = (r.a_re(set, i), r.a_im(set, i));
+            let (bre, bim) = (r.b_re(set, j), r.b_im(set, j));
+            let (cre, cim) = (r.c_re(i, j), r.c_im(i, j));
+            if first {
+                p.push(Inst::Fmul {
+                    vd: cre,
+                    vn: are,
+                    vm: bre,
+                });
+            } else {
+                p.push(Inst::Fmla {
+                    vd: cre,
+                    vn: are,
+                    vm: bre,
+                });
+            }
+            p.push(Inst::Fmls {
+                vd: cre,
+                vn: aim,
+                vm: bim,
+            });
+            if first {
+                p.push(Inst::Fmul {
+                    vd: cim,
+                    vn: are,
+                    vm: bim,
+                });
+            } else {
+                p.push(Inst::Fmla {
+                    vd: cim,
+                    vn: are,
+                    vm: bim,
+                });
+            }
+            p.push(Inst::Fmla {
+                vd: cim,
+                vn: aim,
+                vm: bre,
+            });
+        }
+    }
+}
+
+/// Complex `TEMPLATE_I`.
+pub fn ctemplate_i(p: &mut Program, r: &CRegMap) {
+    let mut a = a_regs(r, Set::Zero);
+    a.extend(a_regs(r, Set::One));
+    emit_cloads(p, &a, XReg::Pa);
+    let mut b = b_regs(r, Set::Zero);
+    b.extend(b_regs(r, Set::One));
+    emit_cloads(p, &b, XReg::Pb);
+    emit_ccompute(p, r, Set::Zero, true);
+}
+
+/// Complex `TEMPLATE_M1`.
+pub fn ctemplate_m1(p: &mut Program, r: &CRegMap) {
+    emit_cloads(p, &a_regs(r, Set::One), XReg::Pa);
+    emit_cloads(p, &b_regs(r, Set::One), XReg::Pb);
+    emit_ccompute(p, r, Set::Zero, false);
+}
+
+/// Complex `TEMPLATE_M2`.
+pub fn ctemplate_m2(p: &mut Program, r: &CRegMap) {
+    emit_cloads(p, &a_regs(r, Set::Zero), XReg::Pa);
+    emit_cloads(p, &b_regs(r, Set::Zero), XReg::Pb);
+    emit_ccompute(p, r, Set::One, false);
+}
+
+/// Complex `TEMPLATE_E` (compute-only, set 1).
+pub fn ctemplate_e(p: &mut Program, r: &CRegMap) {
+    emit_ccompute(p, r, Set::One, false);
+}
+
+/// Complex compute-only exit on set 0.
+pub fn ctemplate_e0(p: &mut Program, r: &CRegMap) {
+    emit_ccompute(p, r, Set::Zero, false);
+}
+
+/// Complex `TEMPLATE_SUB`.
+pub fn ctemplate_sub(p: &mut Program, r: &CRegMap, first: bool) {
+    emit_cloads(p, &a_regs(r, Set::Zero), XReg::Pa);
+    emit_cloads(p, &b_regs(r, Set::Zero), XReg::Pb);
+    emit_ccompute(p, r, Set::Zero, first);
+}
+
+/// Complex `TEMPLATE_SAVE` with real `alpha` (the benchmark convention;
+/// full complex alpha needs one more scratch plane and is applied by the
+/// run-time stage instead): `C_orig += alpha · C_acc` per plane.
+pub fn ctemplate_save(p: &mut Program, r: &CRegMap, alpha: f64, ldc: usize) {
+    for j in 0..r.nc {
+        for i in 0..r.mc {
+            let idx = 2 * (j * r.mc + i);
+            let (tre, tim) = (VReg(idx as u8), VReg((idx + 1) as u8));
+            let off = ((j * ldc + i) * 32) as i32;
+            p.push(Inst::Ldp {
+                dst1: tre,
+                dst2: tim,
+                base: XReg::Pc,
+                offset: off,
+            });
+            p.push(Inst::FmlaScalar {
+                vd: tre,
+                vn: r.c_re(i, j),
+                alpha,
+            });
+            p.push(Inst::FmlaScalar {
+                vd: tim,
+                vn: r.c_im(i, j),
+                alpha,
+            });
+            p.push(Inst::Str {
+                src: tre,
+                base: XReg::Pc,
+                offset: off,
+            });
+            p.push(Inst::Str {
+                src: tim,
+                base: XReg::Pc,
+                offset: off + 16,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::DataType;
+
+    #[test]
+    fn complex_allocation_fits_eq3() {
+        let r = CRegMap { mc: 3, nc: 2 };
+        assert_eq!(r.a_re(Set::Zero, 0), VReg(0));
+        assert_eq!(r.a_im(Set::One, 2), VReg(11));
+        assert_eq!(r.b_re(Set::Zero, 0), VReg(12));
+        assert_eq!(r.b_im(Set::One, 1), VReg(19));
+        assert_eq!(r.c_re(0, 0), VReg(20));
+        assert_eq!(r.c_im(2, 1), VReg(31));
+        assert_eq!(r.high_water(), 31); // exactly the 32-register file
+    }
+
+    #[test]
+    fn four_fma_class_ops_per_element() {
+        let r = CRegMap { mc: 3, nc: 2 };
+        let mut p = Program::new(DataType::F64);
+        ctemplate_m1(&mut p, &r);
+        let fp = p.insts.iter().filter(|i| i.is_fp()).count();
+        assert_eq!(fp, 4 * 3 * 2);
+        // loads: one sliver of A (6 vregs) + one of B (4 vregs) = 5 ldp
+        let ldp = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Ldp { .. }))
+            .count();
+        assert_eq!(ldp, 5);
+    }
+
+    #[test]
+    fn save_scratch_fits_dead_registers() {
+        // scratch pairs must stay below the A/B region end (4(m+n))
+        for (m, n) in [(3usize, 2usize), (2, 2), (1, 2), (3, 1), (1, 1)] {
+            assert!(2 * m * n <= 4 * (m + n), "({m},{n})");
+        }
+        let r = CRegMap { mc: 3, nc: 2 };
+        let mut p = Program::new(DataType::F64);
+        ctemplate_save(&mut p, &r, 1.0, 3);
+        for i in &p.insts {
+            if let Inst::Ldp { dst1, dst2, .. } = i {
+                assert!(dst1.idx() < 20 && dst2.idx() < 20);
+            }
+        }
+    }
+}

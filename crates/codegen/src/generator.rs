@@ -1,0 +1,407 @@
+//! The computing-kernel generators: Algorithm 3 (GEMM) and Algorithm 4
+//! (TRSM triangular), emitting complete straight-line kernels.
+
+use crate::ir::{DataType, Program};
+use crate::templates::{
+    prefetch_c, template_e, template_e0, template_i, template_m1, template_m2, template_save,
+    template_sub, trsm_load_column, trsm_load_triangle, trsm_solve_column, RegMap, Set,
+    TrsmRegMap,
+};
+
+/// Specification of a GEMM kernel to generate.
+#[derive(Copy, Clone, Debug)]
+pub struct GemmKernelSpec {
+    /// Tile rows `m_c` (1..=4).
+    pub mc: usize,
+    /// Tile columns `n_c` (1..=4).
+    pub nc: usize,
+    /// Depth K (the group's inner dimension; small-matrix regime, so the
+    /// kernel is fully unrolled).
+    pub k: usize,
+    /// Element type.
+    pub dtype: DataType,
+    /// `alpha` folded into the SAVE template (`C += alpha · A·B`).
+    pub alpha: f64,
+    /// C leading dimension in element groups.
+    pub ldc: usize,
+}
+
+/// Generates a complete GEMM microkernel per Algorithm 3.
+///
+/// Template sequence (with the printed algorithm's odd-K tail corrected so
+/// no load runs past the panel):
+///
+/// * `K = 1` → `SUB` on an implicitly-zero accumulator — here the
+///   accumulator is produced by the first `FMUL`, so `SUB`'s compute uses
+///   `FMUL` semantics via `TEMPLATE_I`'s single-sliver variant;
+/// * `K = 2` → `I; E`;
+/// * `K = 3` → `I; M2; E0`;
+/// * even `K ≥ 4` → `I; M2; (M1; M2)×; M1; E`;
+/// * odd `K ≥ 5` → `I; M2; (M1; M2)×; E0`.
+pub fn generate_gemm_kernel(spec: &GemmKernelSpec) -> Program {
+    assert!(spec.mc >= 1 && spec.nc >= 1 && spec.k >= 1);
+    let r = RegMap {
+        mc: spec.mc,
+        nc: spec.nc,
+    };
+    assert!(r.high_water() < 32, "kernel does not fit the register file");
+    let mut p = Program::new(spec.dtype);
+    prefetch_c(&mut p, &r, spec.ldc);
+
+    if spec.k == 1 {
+        // single sliver: load set 0 and FMUL (SUB with empty accumulator)
+        sub_first(&mut p, &r);
+    } else {
+        template_i(&mut p, &r);
+        // steps remaining after I computed step 0; set 1 holds step 1
+        let mut remaining = spec.k - 1;
+        // M2 computes set 1 / loads set 0; M1 the reverse.
+        let mut next_is_m2 = true;
+        while remaining >= 2 {
+            if next_is_m2 {
+                template_m2(&mut p, &r);
+            } else {
+                template_m1(&mut p, &r);
+            }
+            next_is_m2 = !next_is_m2;
+            remaining -= 1;
+        }
+        // one compute left, operands already in registers
+        if next_is_m2 {
+            template_e(&mut p, &r);
+        } else {
+            template_e0(&mut p, &r);
+        }
+    }
+
+    template_save(&mut p, &r, spec.alpha, spec.ldc);
+    p
+}
+
+/// Generates a complete *complex* GEMM microkernel (split representation)
+/// with the same Algorithm-3 template sequencing as
+/// [`generate_gemm_kernel`]. `alpha` is restricted to a real scalar (the
+/// benchmark convention); `ldc` is in complex element groups.
+pub fn generate_cgemm_kernel(spec: &GemmKernelSpec) -> Program {
+    use crate::ctemplates::*;
+    assert!(spec.mc >= 1 && spec.nc >= 1 && spec.k >= 1);
+    let r = CRegMap {
+        mc: spec.mc,
+        nc: spec.nc,
+    };
+    assert!(r.high_water() < 32, "kernel does not fit the register file");
+    let mut p = Program::new(spec.dtype);
+    p.push(crate::ir::Inst::Prfm {
+        base: crate::ir::XReg::Pc,
+        offset: 0,
+    });
+
+    if spec.k == 1 {
+        ctemplate_sub(&mut p, &r, true);
+    } else {
+        ctemplate_i(&mut p, &r);
+        let mut remaining = spec.k - 1;
+        let mut next_is_m2 = true;
+        while remaining >= 2 {
+            if next_is_m2 {
+                ctemplate_m2(&mut p, &r);
+            } else {
+                ctemplate_m1(&mut p, &r);
+            }
+            next_is_m2 = !next_is_m2;
+            remaining -= 1;
+        }
+        if next_is_m2 {
+            ctemplate_e(&mut p, &r);
+        } else {
+            ctemplate_e0(&mut p, &r);
+        }
+    }
+    ctemplate_save(&mut p, &r, spec.alpha, spec.ldc);
+    p
+}
+
+/// `TEMPLATE_SUB` variant whose compute is the accumulator-initializing
+/// `FMUL` (the K = 1 arm of Algorithm 3, lines 7–8).
+fn sub_first(p: &mut Program, r: &RegMap) {
+    // identical loads to template_sub, FMUL compute
+    let before = p.len();
+    template_sub(p, r);
+    // rewrite the FMLAs into FMULs (SUB emitted FMLA; on the zeroed
+    // accumulator the paper's "empty" accumulator is an FMUL)
+    for inst in &mut p.insts[before..] {
+        if let crate::ir::Inst::Fmla { vd, vn, vm } = *inst {
+            *inst = crate::ir::Inst::Fmul { vd, vn, vm };
+        }
+    }
+}
+
+/// Generates the register-resident TRSM triangular kernel per Algorithm 4:
+/// the whole packed triangle (reciprocal diagonal) is loaded once, then each
+/// of the `n` B columns is loaded, solved in registers, and stored back,
+/// ping-ponging between the two column register sets.
+pub fn generate_trsm_tri_kernel(m: usize, n: usize, dtype: DataType) -> Program {
+    assert!((1..=5).contains(&m), "register capacity is M ≤ 5 (§4.2.2)");
+    assert!(n >= 1);
+    let r = TrsmRegMap { m };
+    assert!(r.high_water() < 32);
+    let mut p = Program::new(dtype);
+    trsm_load_triangle(&mut p, &r);
+    // ping-pong: load column l+1 into the idle set before solving column l
+    let set_of = |l: usize| if l % 2 == 0 { Set::Zero } else { Set::One };
+    trsm_load_column(&mut p, &r, set_of(0), 0);
+    for l in 0..n {
+        if l + 1 < n {
+            trsm_load_column(&mut p, &r, set_of(l + 1), l + 1);
+        }
+        trsm_solve_column(&mut p, &r, set_of(l), l);
+    }
+    p
+}
+
+/// Generates a fused blocked-TRSM kernel: the rectangular FMLS elimination
+/// of `kk` already-solved rows (paper Eq. 4 / Table 1's rectangular
+/// kernels) followed by the register triangular solve of an `mb`-row
+/// diagonal block, over an `nr`-wide B panel.
+///
+/// Memory layout matches `iatf_kernels::trsm_ukr`'s packed operands, with
+/// both packed-A strips behind `Ptri` (rectangular strip at offset 0, the
+/// triangle at `kk·mb·16` bytes) and the row-major panel behind `Pb`
+/// (`row_stride = nr` groups); the block solves rows `kk .. kk+mb`.
+///
+/// Register budget: `mb·nr` accumulators + `2·mb` A-sliver + `2·nr` X
+/// ping-pong registers — for the main 4×4 block exactly the 32-register
+/// file, like the GEMM kernel.
+pub fn generate_trsm_block_kernel(mb: usize, nr: usize, kk: usize, dtype: DataType) -> Program {
+    use crate::ir::{Inst, VReg, XReg};
+    assert!((1..=4).contains(&mb) && (1..=4).contains(&nr));
+    let acc = |i: usize, j: usize| VReg((i * nr + j) as u8);
+    let a_reg = |set: usize, i: usize| VReg((mb * nr + set * mb + i) as u8);
+    let x_reg = |set: usize, j: usize| VReg((mb * nr + 2 * mb + set * nr + j) as u8);
+    assert!(mb * nr + 2 * mb + 2 * nr <= 32);
+
+    let row_bytes = (nr * 16) as i32; // panel row stride
+    let mut p = Program::new(dtype);
+    p.push(Inst::Prfm {
+        base: XReg::Pb,
+        offset: (kk as i32) * row_bytes,
+    });
+
+    // load the target block into the accumulators
+    for i in 0..mb {
+        for j in 0..nr {
+            p.push(Inst::Ldr {
+                dst: acc(i, j),
+                base: XReg::Pb,
+                offset: ((kk + i) as i32) * row_bytes + (j * 16) as i32,
+            });
+        }
+    }
+
+    // rectangular elimination, ping-pong over the solved rows
+    let rect_off = |k: usize, i: usize| ((k * mb + i) * 16) as i32;
+    let load_sliver = |p: &mut Program, set: usize, k: usize| {
+        for i in 0..mb {
+            p.push(Inst::Ldr {
+                dst: a_reg(set, i),
+                base: XReg::Ptri,
+                offset: rect_off(k, i),
+            });
+        }
+        for j in 0..nr {
+            p.push(Inst::Ldr {
+                dst: x_reg(set, j),
+                base: XReg::Pb,
+                offset: (k as i32) * row_bytes + (j * 16) as i32,
+            });
+        }
+    };
+    let compute = |p: &mut Program, set: usize| {
+        for i in 0..mb {
+            for j in 0..nr {
+                p.push(Inst::Fmls {
+                    vd: acc(i, j),
+                    vn: a_reg(set, i),
+                    vm: x_reg(set, j),
+                });
+            }
+        }
+    };
+    if kk > 0 {
+        load_sliver(&mut p, 0, 0);
+        if kk > 1 {
+            load_sliver(&mut p, 1, 1);
+        }
+        for k in 0..kk {
+            // double-buffering: compute with set k%2, then refill that set
+            // with the sliver after next
+            let set = k % 2;
+            compute(&mut p, set);
+            if k + 2 < kk {
+                load_sliver(&mut p, set, k + 2);
+            }
+        }
+    }
+
+    // triangular solve with reciprocal diagonal; lij loaded into a dead
+    // A-sliver register
+    let tri_base = (kk * mb * 16) as i32;
+    let scratch = a_reg(0, 0);
+    for i in 0..mb {
+        let row = i * (i + 1) / 2;
+        for j in 0..i {
+            p.push(Inst::Ldr {
+                dst: scratch,
+                base: XReg::Ptri,
+                offset: tri_base + ((row + j) * 16) as i32,
+            });
+            for col in 0..nr {
+                p.push(Inst::Fmls {
+                    vd: acc(i, col),
+                    vn: scratch,
+                    vm: acc(j, col),
+                });
+            }
+        }
+        p.push(Inst::Ldr {
+            dst: scratch,
+            base: XReg::Ptri,
+            offset: tri_base + ((row + i) * 16) as i32,
+        });
+        for col in 0..nr {
+            p.push(Inst::Fmul {
+                vd: acc(i, col),
+                vn: acc(i, col),
+                vm: scratch,
+            });
+        }
+    }
+
+    // store the solved block
+    for i in 0..mb {
+        for j in 0..nr {
+            p.push(Inst::Str {
+                src: acc(i, j),
+                base: XReg::Pb,
+                offset: ((kk + i) as i32) * row_bytes + (j * 16) as i32,
+            });
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Inst;
+
+    fn count_fp(p: &Program) -> usize {
+        p.insts.iter().filter(|i| i.is_fp()).count()
+    }
+
+    fn count_loads(p: &Program) -> usize {
+        p.insts
+            .iter()
+            .map(|i| match i {
+                Inst::Ldr { .. } => 1,
+                Inst::Ldp { .. } => 2,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    #[test]
+    fn gemm_kernel_instruction_budget() {
+        // For a 4×4 kernel at depth K: K·16 compute FMLAs + 16 SAVE FMAs,
+        // K·8 panel loads + 16 C loads.
+        for k in 1..=9 {
+            let p = generate_gemm_kernel(&GemmKernelSpec {
+                mc: 4,
+                nc: 4,
+                k,
+                dtype: DataType::F64,
+                alpha: 1.0,
+                ldc: 4,
+            });
+            assert_eq!(count_fp(&p), k * 16 + 16, "k={k}");
+            assert_eq!(count_loads(&p), k * 8 + 16, "k={k}");
+            let stores = p.insts.iter().filter(|i| i.is_store()).count();
+            assert_eq!(stores, 16);
+        }
+    }
+
+    #[test]
+    fn gemm_kernel_small_sizes() {
+        for (mc, nc) in [(1, 1), (2, 3), (4, 1), (3, 4)] {
+            for k in [1usize, 2, 3, 4, 5, 8, 11] {
+                let p = generate_gemm_kernel(&GemmKernelSpec {
+                    mc,
+                    nc,
+                    k,
+                    dtype: DataType::F32,
+                    alpha: 2.0,
+                    ldc: mc,
+                });
+                assert_eq!(count_fp(&p), k * mc * nc + mc * nc, "({mc},{nc}) k={k}");
+                assert_eq!(count_loads(&p), k * (mc + nc) + mc * nc);
+            }
+        }
+    }
+
+    #[test]
+    fn generated_code_renders() {
+        let p = generate_gemm_kernel(&GemmKernelSpec {
+            mc: 4,
+            nc: 4,
+            k: 2,
+            dtype: DataType::F64,
+            alpha: 1.0,
+            ldc: 4,
+        });
+        let text = p.render();
+        assert!(text.contains("fmul    v16.2d, v0.2d, v8.2d"));
+        assert!(text.contains("prfm"));
+        assert!(text.contains("fmla"));
+    }
+
+    #[test]
+    fn trsm_kernel_budget() {
+        // triangle loads: M(M+1)/2; per column: M loads, M(M−1)/2 FMLS +
+        // M FMUL, M stores.
+        for m in 1..=5 {
+            for n in [1usize, 2, 5] {
+                let p = generate_trsm_tri_kernel(m, n, DataType::F64);
+                let tri = m * (m + 1) / 2;
+                assert_eq!(count_loads(&p), tri + n * m, "m={m} n={n}");
+                assert_eq!(count_fp(&p), n * (m * (m - 1) / 2 + m));
+                let stores = p.insts.iter().filter(|i| i.is_store()).count();
+                assert_eq!(stores, n * m);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "register capacity")]
+    fn trsm_kernel_rejects_m6() {
+        let _ = generate_trsm_tri_kernel(6, 1, DataType::F64);
+    }
+
+    #[test]
+    fn register_file_never_exceeded() {
+        for (mc, nc) in [(4usize, 4usize), (3, 4), (4, 3), (2, 2), (1, 1)] {
+            let p = generate_gemm_kernel(&GemmKernelSpec {
+                mc,
+                nc,
+                k: 6,
+                dtype: DataType::F64,
+                alpha: 1.0,
+                ldc: mc,
+            });
+            for inst in &p.insts {
+                for r in inst.vwrites().into_iter().chain(inst.vreads()) {
+                    assert!(r.idx() < 32);
+                }
+            }
+        }
+    }
+}

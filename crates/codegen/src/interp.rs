@@ -1,0 +1,274 @@
+//! IR interpreter: executes a generated kernel on concrete buffers.
+//!
+//! This is how the install-time stage's output is validated without an
+//! ARMv8 machine: a generated (and optionally re-scheduled) kernel is run
+//! on random inputs and compared against the corresponding `iatf-kernels`
+//! Rust kernel. Arithmetic uses `f64::mul_add` for the FMLA/FMLS class so
+//! the contraction semantics match hardware FMA exactly (bit-for-bit for
+//! double-precision kernels).
+
+use crate::ir::{Inst, Program, XReg};
+use std::collections::HashMap;
+
+/// Named memory buffers and pointer state.
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    bufs: HashMap<XReg, Vec<f64>>,
+    ptrs: HashMap<XReg, usize>, // byte offsets
+}
+
+impl Memory {
+    /// Creates an empty memory image.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a buffer behind a pointer register (offset reset to 0).
+    pub fn set_buffer(&mut self, reg: XReg, data: Vec<f64>) {
+        self.bufs.insert(reg, data);
+        self.ptrs.insert(reg, 0);
+    }
+
+    /// Reads a buffer back.
+    pub fn buffer(&self, reg: XReg) -> &[f64] {
+        self.bufs.get(&reg).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    fn scalar_index(&self, base: XReg, offset: i32, scalar_bytes: usize) -> usize {
+        let byte = self.ptrs.get(&base).copied().unwrap_or(0) as i64 + offset as i64;
+        assert!(byte >= 0, "negative address on {base:?}");
+        assert!(
+            byte as usize % scalar_bytes == 0,
+            "misaligned access on {base:?}"
+        );
+        byte as usize / scalar_bytes
+    }
+}
+
+/// The interpreter: a 32-entry vector register file over a [`Memory`].
+#[derive(Clone, Debug)]
+pub struct Interpreter {
+    /// Vector registers, 4 lanes each (upper lanes unused for `.2d`).
+    pub vregs: [[f64; 4]; 32],
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interpreter {
+    /// Fresh interpreter with zeroed registers.
+    pub fn new() -> Self {
+        Self {
+            vregs: [[0.0; 4]; 32],
+        }
+    }
+
+    /// Executes a program against the memory image.
+    #[allow(clippy::manual_memcpy)]
+    pub fn run(&mut self, p: &Program, mem: &mut Memory) {
+        let lanes = p.dtype.lanes();
+        let sb = p.dtype.scalar_bytes();
+        for inst in &p.insts {
+            match *inst {
+                Inst::Ldr { dst, base, offset } => {
+                    let idx = mem.scalar_index(base, offset, sb);
+                    let buf = mem.bufs.get(&base).expect("unmapped buffer");
+                    for l in 0..lanes {
+                        self.vregs[dst.idx()][l] = buf[idx + l];
+                    }
+                }
+                Inst::Ldp {
+                    dst1,
+                    dst2,
+                    base,
+                    offset,
+                } => {
+                    let idx = mem.scalar_index(base, offset, sb);
+                    let buf = mem.bufs.get(&base).expect("unmapped buffer");
+                    for l in 0..lanes {
+                        self.vregs[dst1.idx()][l] = buf[idx + l];
+                        self.vregs[dst2.idx()][l] = buf[idx + lanes + l];
+                    }
+                }
+                Inst::Str { src, base, offset } => {
+                    let idx = mem.scalar_index(base, offset, sb);
+                    let buf = mem.bufs.get_mut(&base).expect("unmapped buffer");
+                    for l in 0..lanes {
+                        buf[idx + l] = self.vregs[src.idx()][l];
+                    }
+                }
+                Inst::AddImm { reg, imm } => {
+                    let p = mem.ptrs.entry(reg).or_insert(0);
+                    let next = *p as i64 + imm as i64;
+                    assert!(next >= 0);
+                    *p = next as usize;
+                }
+                Inst::Fmul { vd, vn, vm } => {
+                    for l in 0..lanes {
+                        self.vregs[vd.idx()][l] =
+                            self.vregs[vn.idx()][l] * self.vregs[vm.idx()][l];
+                    }
+                }
+                Inst::Fmla { vd, vn, vm } => {
+                    for l in 0..lanes {
+                        self.vregs[vd.idx()][l] = self.vregs[vn.idx()][l]
+                            .mul_add(self.vregs[vm.idx()][l], self.vregs[vd.idx()][l]);
+                    }
+                }
+                Inst::Fmls { vd, vn, vm } => {
+                    for l in 0..lanes {
+                        self.vregs[vd.idx()][l] = (-self.vregs[vn.idx()][l])
+                            .mul_add(self.vregs[vm.idx()][l], self.vregs[vd.idx()][l]);
+                    }
+                }
+                Inst::FmlaScalar { vd, vn, alpha } => {
+                    for l in 0..lanes {
+                        self.vregs[vd.idx()][l] =
+                            self.vregs[vn.idx()][l].mul_add(alpha, self.vregs[vd.idx()][l]);
+                    }
+                }
+                Inst::FmulScalar { vd, vn, alpha } => {
+                    for l in 0..lanes {
+                        self.vregs[vd.idx()][l] = self.vregs[vn.idx()][l] * alpha;
+                    }
+                }
+                Inst::Prfm { .. } => {}
+            }
+        }
+    }
+}
+
+/// Lanes-aware helper: interprets `p` with the given input buffers and
+/// returns the final contents of the `Pc` (GEMM) buffer.
+pub fn run_gemm(p: &Program, pa: Vec<f64>, pb: Vec<f64>, c: Vec<f64>) -> Vec<f64> {
+    let mut mem = Memory::new();
+    mem.set_buffer(XReg::Pa, pa);
+    mem.set_buffer(XReg::Pb, pb);
+    mem.set_buffer(XReg::Pc, c);
+    Interpreter::new().run(p, &mut mem);
+    mem.buffer(XReg::Pc).to_vec()
+}
+
+/// Interprets a TRSM triangular kernel: returns the solved panel (`Pb`).
+pub fn run_trsm(p: &Program, tri: Vec<f64>, panel: Vec<f64>) -> Vec<f64> {
+    let mut mem = Memory::new();
+    mem.set_buffer(XReg::Ptri, tri);
+    mem.set_buffer(XReg::Pb, panel);
+    Interpreter::new().run(p, &mut mem);
+    mem.buffer(XReg::Pb).to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{DataType, VReg};
+
+    #[test]
+    fn load_compute_store_round_trip() {
+        let mut p = Program::new(DataType::F64);
+        p.push(Inst::Ldr {
+            dst: VReg(0),
+            base: XReg::Pa,
+            offset: 0,
+        });
+        p.push(Inst::Ldr {
+            dst: VReg(1),
+            base: XReg::Pa,
+            offset: 16,
+        });
+        p.push(Inst::Fmul {
+            vd: VReg(2),
+            vn: VReg(0),
+            vm: VReg(1),
+        });
+        p.push(Inst::Str {
+            src: VReg(2),
+            base: XReg::Pc,
+            offset: 0,
+        });
+        let mut mem = Memory::new();
+        mem.set_buffer(XReg::Pa, vec![2.0, 3.0, 5.0, 7.0]);
+        mem.set_buffer(XReg::Pc, vec![0.0, 0.0]);
+        Interpreter::new().run(&p, &mut mem);
+        assert_eq!(mem.buffer(XReg::Pc), &[10.0, 21.0]);
+    }
+
+    #[test]
+    fn pointer_bump_changes_addressing() {
+        let mut p = Program::new(DataType::F64);
+        p.push(Inst::AddImm {
+            reg: XReg::Pa,
+            imm: 16,
+        });
+        p.push(Inst::Ldr {
+            dst: VReg(0),
+            base: XReg::Pa,
+            offset: 0,
+        });
+        p.push(Inst::Str {
+            src: VReg(0),
+            base: XReg::Pc,
+            offset: 0,
+        });
+        let mut mem = Memory::new();
+        mem.set_buffer(XReg::Pa, vec![1.0, 2.0, 3.0, 4.0]);
+        mem.set_buffer(XReg::Pc, vec![0.0, 0.0]);
+        Interpreter::new().run(&p, &mut mem);
+        assert_eq!(mem.buffer(XReg::Pc), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn f32_uses_four_lanes() {
+        let mut p = Program::new(DataType::F32);
+        p.push(Inst::Ldr {
+            dst: VReg(0),
+            base: XReg::Pa,
+            offset: 0,
+        });
+        p.push(Inst::Str {
+            src: VReg(0),
+            base: XReg::Pc,
+            offset: 0,
+        });
+        let mut mem = Memory::new();
+        mem.set_buffer(XReg::Pa, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        mem.set_buffer(XReg::Pc, vec![0.0; 4]);
+        Interpreter::new().run(&p, &mut mem);
+        assert_eq!(mem.buffer(XReg::Pc), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn fmla_fmls_are_fused() {
+        let mut p = Program::new(DataType::F64);
+        p.push(Inst::Fmla {
+            vd: VReg(2),
+            vn: VReg(0),
+            vm: VReg(1),
+        });
+        let mut interp = Interpreter::new();
+        interp.vregs[0][0] = 1.0 + 1e-16;
+        interp.vregs[1][0] = 1.0 - 1e-16;
+        interp.vregs[2][0] = -1.0;
+        let mut mem = Memory::new();
+        interp.run(&p, &mut mem);
+        // fused: (1+e)(1−e) − 1 = −e² ≈ −1e-32 ≠ 0; unfused would round to 0
+        assert!(interp.vregs[2][0] != 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_access_detected() {
+        let mut p = Program::new(DataType::F64);
+        p.push(Inst::Ldr {
+            dst: VReg(0),
+            base: XReg::Pa,
+            offset: 4,
+        });
+        let mut mem = Memory::new();
+        mem.set_buffer(XReg::Pa, vec![0.0; 8]);
+        Interpreter::new().run(&p, &mut mem);
+    }
+}

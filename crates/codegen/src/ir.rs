@@ -1,0 +1,451 @@
+//! The kernel instruction IR.
+//!
+//! A small, typed subset of AArch64: 128-bit vector loads/stores (`LDR q`,
+//! `LDP q, q`), FP vector arithmetic (`FMUL`/`FMLA`/`FMLS`), pointer
+//! arithmetic (`ADD x, x, #imm`), prefetch (`PRFM`), and a scalar-broadcast
+//! FMA used by the SAVE template's `alpha` scaling. Rendering matches the
+//! notation of the paper's Figure 5.
+
+use core::fmt;
+
+/// One of the 32 architectural SIMD registers V0–V31.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u8);
+
+impl VReg {
+    /// Register index.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Symbolic pointer registers (the kernel's X registers).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum XReg {
+    /// Packed A panel pointer.
+    Pa,
+    /// Packed B panel pointer.
+    Pb,
+    /// C tile pointer.
+    Pc,
+    /// Packed triangle pointer (TRSM kernels).
+    Ptri,
+}
+
+impl XReg {
+    /// All pointer registers.
+    pub const ALL: [XReg; 4] = [XReg::Pa, XReg::Pb, XReg::Pc, XReg::Ptri];
+
+    fn name(self) -> &'static str {
+        match self {
+            XReg::Pa => "pA",
+            XReg::Pb => "pB",
+            XReg::Pc => "pC",
+            XReg::Ptri => "pT",
+        }
+    }
+}
+
+/// Element type of a kernel (selects the arrangement specifier and lane
+/// count).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Single precision: four lanes (`.4s`).
+    F32,
+    /// Double precision: two lanes (`.2d`).
+    F64,
+}
+
+impl DataType {
+    /// Lanes per 128-bit vector.
+    pub fn lanes(self) -> usize {
+        match self {
+            DataType::F32 => 4,
+            DataType::F64 => 2,
+        }
+    }
+
+    /// Bytes per scalar.
+    pub fn scalar_bytes(self) -> usize {
+        match self {
+            DataType::F32 => 4,
+            DataType::F64 => 8,
+        }
+    }
+
+    /// AArch64 arrangement suffix.
+    pub fn arr(self) -> &'static str {
+        match self {
+            DataType::F32 => ".4s",
+            DataType::F64 => ".2d",
+        }
+    }
+}
+
+/// One instruction.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum Inst {
+    /// `ldr q<dst>, [base, #offset]` — one 128-bit vector load.
+    Ldr {
+        /// Destination register.
+        dst: VReg,
+        /// Base pointer.
+        base: XReg,
+        /// Byte offset from the base.
+        offset: i32,
+    },
+    /// `ldp q<dst1>, q<dst2>, [base, #offset]` — a 256-bit pair load.
+    Ldp {
+        /// First destination.
+        dst1: VReg,
+        /// Second destination (offset + 16 bytes).
+        dst2: VReg,
+        /// Base pointer.
+        base: XReg,
+        /// Byte offset from the base.
+        offset: i32,
+    },
+    /// `str q<src>, [base, #offset]`.
+    Str {
+        /// Source register.
+        src: VReg,
+        /// Base pointer.
+        base: XReg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// `add base, base, #imm` — pointer bump.
+    AddImm {
+        /// Pointer register.
+        reg: XReg,
+        /// Increment in bytes.
+        imm: i32,
+    },
+    /// `fmul vd, vn, vm`.
+    Fmul {
+        /// Destination.
+        vd: VReg,
+        /// First operand.
+        vn: VReg,
+        /// Second operand.
+        vm: VReg,
+    },
+    /// `fmla vd, vn, vm` — `vd += vn · vm`.
+    Fmla {
+        /// Accumulator/destination.
+        vd: VReg,
+        /// First operand.
+        vn: VReg,
+        /// Second operand.
+        vm: VReg,
+    },
+    /// `fmls vd, vn, vm` — `vd -= vn · vm`.
+    Fmls {
+        /// Accumulator/destination.
+        vd: VReg,
+        /// First operand.
+        vn: VReg,
+        /// Second operand.
+        vm: VReg,
+    },
+    /// Scalar-broadcast FMA: `vd += vn · alpha` (models
+    /// `fmla vd, vn, v_alpha[0]`; the SAVE template's alpha scaling).
+    FmlaScalar {
+        /// Accumulator/destination.
+        vd: VReg,
+        /// Vector operand.
+        vn: VReg,
+        /// Broadcast immediate.
+        alpha: f64,
+    },
+    /// Scalar-broadcast multiply: `vd = vn · alpha`.
+    FmulScalar {
+        /// Destination.
+        vd: VReg,
+        /// Vector operand.
+        vn: VReg,
+        /// Broadcast immediate.
+        alpha: f64,
+    },
+    /// `prfm pldl1keep, [base, #offset]` — prefetch for read.
+    Prfm {
+        /// Base pointer.
+        base: XReg,
+        /// Byte offset.
+        offset: i32,
+    },
+}
+
+impl Inst {
+    /// Vector register read by this instruction (at most three).
+    pub fn vreads(&self) -> Vec<VReg> {
+        match *self {
+            Inst::Fmul { vn, vm, .. } => vec![vn, vm],
+            Inst::Fmla { vd, vn, vm } | Inst::Fmls { vd, vn, vm } => vec![vd, vn, vm],
+            Inst::FmlaScalar { vd, vn, .. } => vec![vd, vn],
+            Inst::FmulScalar { vn, .. } => vec![vn],
+            Inst::Str { src, .. } => vec![src],
+            _ => vec![],
+        }
+    }
+
+    /// Vector registers written.
+    pub fn vwrites(&self) -> Vec<VReg> {
+        match *self {
+            Inst::Ldr { dst, .. } => vec![dst],
+            Inst::Ldp { dst1, dst2, .. } => vec![dst1, dst2],
+            Inst::Fmul { vd, .. }
+            | Inst::Fmla { vd, .. }
+            | Inst::Fmls { vd, .. }
+            | Inst::FmlaScalar { vd, .. }
+            | Inst::FmulScalar { vd, .. } => vec![vd],
+            _ => vec![],
+        }
+    }
+
+    /// Pointer register read (all memory ops read their base).
+    pub fn xreads(&self) -> Option<XReg> {
+        match *self {
+            Inst::Ldr { base, .. }
+            | Inst::Ldp { base, .. }
+            | Inst::Str { base, .. }
+            | Inst::Prfm { base, .. } => Some(base),
+            Inst::AddImm { reg, .. } => Some(reg),
+            _ => None,
+        }
+    }
+
+    /// Pointer register written.
+    pub fn xwrites(&self) -> Option<XReg> {
+        match *self {
+            Inst::AddImm { reg, .. } => Some(reg),
+            _ => None,
+        }
+    }
+
+    /// True for memory-port instructions (load/store/prefetch).
+    pub fn is_mem(&self) -> bool {
+        matches!(
+            self,
+            Inst::Ldr { .. } | Inst::Ldp { .. } | Inst::Str { .. } | Inst::Prfm { .. }
+        )
+    }
+
+    /// True for FP-port instructions.
+    pub fn is_fp(&self) -> bool {
+        matches!(
+            self,
+            Inst::Fmul { .. }
+                | Inst::Fmla { .. }
+                | Inst::Fmls { .. }
+                | Inst::FmlaScalar { .. }
+                | Inst::FmulScalar { .. }
+        )
+    }
+
+    /// True for stores (memory side effects).
+    pub fn is_store(&self) -> bool {
+        matches!(self, Inst::Str { .. })
+    }
+}
+
+/// A straight-line kernel with its element type.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// Element type (arrangement) of every vector op.
+    pub dtype: DataType,
+    /// The instructions in order.
+    pub insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new(dtype: DataType) -> Self {
+        Self {
+            dtype,
+            insts: Vec::new(),
+        }
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, inst: Inst) {
+        self.insts.push(inst);
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Counts (memory ops, fp ops).
+    pub fn port_counts(&self) -> (usize, usize) {
+        let mem = self.insts.iter().filter(|i| i.is_mem()).count();
+        let fp = self.insts.iter().filter(|i| i.is_fp()).count();
+        (mem, fp)
+    }
+
+    /// Renders assembly text in the Figure-5 notation.
+    pub fn render(&self) -> String {
+        use fmt::Write;
+        let arr = self.dtype.arr();
+        let mut out = String::new();
+        for inst in &self.insts {
+            match *inst {
+                Inst::Ldr { dst, base, offset } => {
+                    let _ = writeln!(out, "ldr     q{}, [{}, #{}]", dst.0, base.name(), offset);
+                }
+                Inst::Ldp {
+                    dst1,
+                    dst2,
+                    base,
+                    offset,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "ldp     q{}, q{}, [{}, #{}]",
+                        dst1.0,
+                        dst2.0,
+                        base.name(),
+                        offset
+                    );
+                }
+                Inst::Str { src, base, offset } => {
+                    let _ = writeln!(out, "str     q{}, [{}, #{}]", src.0, base.name(), offset);
+                }
+                Inst::AddImm { reg, imm } => {
+                    let _ = writeln!(out, "add     {r}, {r}, #{imm}", r = reg.name());
+                }
+                Inst::Fmul { vd, vn, vm } => {
+                    let _ = writeln!(
+                        out,
+                        "fmul    v{}{arr}, v{}{arr}, v{}{arr}",
+                        vd.0, vn.0, vm.0
+                    );
+                }
+                Inst::Fmla { vd, vn, vm } => {
+                    let _ = writeln!(
+                        out,
+                        "fmla    v{}{arr}, v{}{arr}, v{}{arr}",
+                        vd.0, vn.0, vm.0
+                    );
+                }
+                Inst::Fmls { vd, vn, vm } => {
+                    let _ = writeln!(
+                        out,
+                        "fmls    v{}{arr}, v{}{arr}, v{}{arr}",
+                        vd.0, vn.0, vm.0
+                    );
+                }
+                Inst::FmlaScalar { vd, vn, alpha } => {
+                    let _ = writeln!(
+                        out,
+                        "fmla    v{}{arr}, v{}{arr}, #{alpha} // alpha",
+                        vd.0, vn.0
+                    );
+                }
+                Inst::FmulScalar { vd, vn, alpha } => {
+                    let _ = writeln!(
+                        out,
+                        "fmul    v{}{arr}, v{}{arr}, #{alpha} // alpha",
+                        vd.0, vn.0
+                    );
+                }
+                Inst::Prfm { base, offset } => {
+                    let _ = writeln!(out, "prfm    pldl1keep, [{}, #{}]", base.name(), offset);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_sets() {
+        let fmla = Inst::Fmla {
+            vd: VReg(16),
+            vn: VReg(0),
+            vm: VReg(8),
+        };
+        assert_eq!(fmla.vreads(), vec![VReg(16), VReg(0), VReg(8)]);
+        assert_eq!(fmla.vwrites(), vec![VReg(16)]);
+        assert!(fmla.is_fp() && !fmla.is_mem());
+
+        let ldp = Inst::Ldp {
+            dst1: VReg(0),
+            dst2: VReg(1),
+            base: XReg::Pa,
+            offset: 32,
+        };
+        assert_eq!(ldp.vwrites(), vec![VReg(0), VReg(1)]);
+        assert!(ldp.vreads().is_empty());
+        assert_eq!(ldp.xreads(), Some(XReg::Pa));
+        assert!(ldp.is_mem());
+
+        let add = Inst::AddImm {
+            reg: XReg::Pb,
+            imm: 32,
+        };
+        assert_eq!(add.xwrites(), Some(XReg::Pb));
+        assert!(!add.is_mem() && !add.is_fp());
+    }
+
+    #[test]
+    fn render_matches_figure5_notation() {
+        let mut p = Program::new(DataType::F64);
+        p.push(Inst::Ldp {
+            dst1: VReg(8),
+            dst2: VReg(9),
+            base: XReg::Pb,
+            offset: 0,
+        });
+        p.push(Inst::AddImm {
+            reg: XReg::Pb,
+            imm: 32,
+        });
+        p.push(Inst::Fmul {
+            vd: VReg(16),
+            vn: VReg(0),
+            vm: VReg(8),
+        });
+        let text = p.render();
+        assert!(text.contains("ldp     q8, q9, [pB, #0]"));
+        assert!(text.contains("add     pB, pB, #32"));
+        assert!(text.contains("fmul    v16.2d, v0.2d, v8.2d"));
+    }
+
+    #[test]
+    fn port_counts() {
+        let mut p = Program::new(DataType::F32);
+        p.push(Inst::Ldr {
+            dst: VReg(0),
+            base: XReg::Pa,
+            offset: 0,
+        });
+        p.push(Inst::Fmla {
+            vd: VReg(2),
+            vn: VReg(0),
+            vm: VReg(1),
+        });
+        p.push(Inst::Str {
+            src: VReg(2),
+            base: XReg::Pc,
+            offset: 0,
+        });
+        assert_eq!(p.port_counts(), (2, 1));
+    }
+}

@@ -1,0 +1,51 @@
+//! Install-time stage model: kernel code generation as the paper describes
+//! it (§4.2–4.3).
+//!
+//! The paper's install-time stage emits AArch64 assembly kernels from six
+//! abstract templates (`I`, `M1`, `M2`, `E`, `SUB`, `SAVE` — Algorithm 2),
+//! sequences them by K (Algorithm 3), and then runs a *kernel optimizer*
+//! that re-schedules instructions to hide load latency (Figure 5). The host
+//! running this reproduction is not necessarily an ARMv8 machine, so this
+//! crate models that pipeline end to end instead of emitting machine code:
+//!
+//! * [`ir`] — an AArch64-flavoured instruction IR (`LDP`/`LDR`/`FMUL`/
+//!   `FMLA`/`FMLS`/`STR`/`PRFM`/pointer `ADD`) over the V0–V31 register
+//!   file, with an assembly-text renderer that matches Figure 5's notation.
+//! * [`templates`] — the six GEMM templates with the paper's register
+//!   allocation (`A: V0..2m_c`, `B: V2m_c..2(m_c+n_c)`,
+//!   `C: V2(m_c+n_c)..`), plus the TRSM triangular template (Algorithm 4).
+//! * [`generator`] — Algorithm 3: sequencing templates into a complete
+//!   straight-line kernel for a given K (with the printed algorithm's
+//!   odd-K off-by-one corrected, as in `iatf-kernels`).
+//! * [`schedule`] — the kernel optimizer: dependency analysis and the
+//!   latency-aware list scheduler that reproduces Figure 5's two passes
+//!   (separate dependent pairs, then interleave loads between computes).
+//! * [`pipeline`] — a dual-issue in-order pipeline model of the Kunpeng 920
+//!   (one load/store + one FP op per cycle — §6.3) that scores schedules in
+//!   modeled cycles.
+//! * [`interp`] — an IR interpreter used to prove that generation and
+//!   scheduling preserve semantics: generated kernels are executed on
+//!   random inputs and compared against `iatf-kernels` (see the crate's
+//!   integration tests).
+
+#![warn(missing_docs)]
+// Register-file and lane loops are clearer indexed, matching the emitted
+// assembly ordering.
+#![allow(clippy::needless_range_loop, clippy::manual_is_multiple_of)]
+
+pub mod ctemplates;
+pub mod generator;
+pub mod interp;
+pub mod ir;
+pub mod pipeline;
+pub mod schedule;
+pub mod templates;
+
+pub use generator::{
+    generate_cgemm_kernel, generate_gemm_kernel, generate_trsm_block_kernel,
+    generate_trsm_tri_kernel, GemmKernelSpec,
+};
+pub use interp::{Interpreter, Memory};
+pub use ir::{DataType, Inst, Program, VReg, XReg};
+pub use pipeline::PipelineModel;
+pub use schedule::{dependency_edges, optimize, schedule_stats};

@@ -1,0 +1,191 @@
+//! Dual-issue in-order pipeline model of the evaluation CPU.
+//!
+//! The paper (§6.3): "Kunpeng 920 CPU can only issue one memory access
+//! instruction and one calculation instruction at the same time". The model
+//! issues at most one memory op, one FP op, and one integer op per cycle,
+//! strictly in program order, with result latencies on loads and FP
+//! arithmetic. Scheduling quality is scored as total modeled cycles — the
+//! metric the Figure-5 optimizer reduces.
+
+use crate::ir::{Program, VReg, XReg};
+use std::collections::HashMap;
+
+/// Latency/width parameters of the modeled core.
+#[derive(Copy, Clone, Debug)]
+pub struct PipelineModel {
+    /// Cycles from load issue to register availability.
+    pub load_latency: u32,
+    /// Cycles from FP issue to result availability.
+    pub fp_latency: u32,
+    /// Cycles for a pointer add.
+    pub int_latency: u32,
+}
+
+impl Default for PipelineModel {
+    fn default() -> Self {
+        // L1-hit load and FMA latencies typical of the TaiShan V110 core.
+        Self {
+            load_latency: 4,
+            fp_latency: 4,
+            int_latency: 1,
+        }
+    }
+}
+
+/// Result of simulating a program.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SimResult {
+    /// Total cycles to issue every instruction.
+    pub cycles: u64,
+    /// Cycles in which nothing could issue (pure stall).
+    pub stall_cycles: u64,
+    /// Lower bound from port throughput alone.
+    pub port_bound: u64,
+}
+
+impl PipelineModel {
+    /// Simulates in-order dual issue and returns cycle counts.
+    pub fn simulate(&self, p: &Program) -> SimResult {
+        let mut vready: HashMap<VReg, u64> = HashMap::new();
+        let mut xready: HashMap<XReg, u64> = HashMap::new();
+        let mut cycle: u64 = 0;
+        let mut mem_busy: u64 = 0; // next cycle the mem port is free
+        let mut fp_busy: u64 = 0;
+        let mut int_busy: u64 = 0;
+        let mut issued_total: u64 = 0;
+        let mut busy_cycles: u64 = 0;
+
+        for inst in &p.insts {
+            // operand readiness
+            let mut ready = cycle;
+            for r in inst.vreads() {
+                ready = ready.max(*vready.get(&r).unwrap_or(&0));
+            }
+            if let Some(x) = inst.xreads() {
+                ready = ready.max(*xready.get(&x).unwrap_or(&0));
+            }
+            // port availability (in-order: cannot issue before predecessors'
+            // issue cycle, tracked implicitly by `cycle`)
+            let port_free = if inst.is_mem() {
+                mem_busy
+            } else if inst.is_fp() {
+                fp_busy
+            } else {
+                int_busy
+            };
+            let issue = ready.max(port_free).max(cycle);
+            // in-order front end: later instructions cannot issue earlier
+            cycle = issue;
+            // occupy the port for one cycle
+            if inst.is_mem() {
+                mem_busy = issue + 1;
+            } else if inst.is_fp() {
+                fp_busy = issue + 1;
+            } else {
+                int_busy = issue + 1;
+            }
+            // results
+            let lat = if inst.is_mem() {
+                self.load_latency as u64
+            } else if inst.is_fp() {
+                self.fp_latency as u64
+            } else {
+                self.int_latency as u64
+            };
+            for w in inst.vwrites() {
+                vready.insert(w, issue + lat);
+            }
+            if let Some(x) = inst.xwrites() {
+                xready.insert(x, issue + lat);
+            }
+            issued_total += 1;
+            busy_cycles = busy_cycles.max(issue + 1);
+        }
+
+        let (mem, fp) = p.port_counts();
+        let others = p.insts.len() - mem - fp;
+        let port_bound = mem.max(fp).max(others) as u64;
+        let cycles = busy_cycles;
+        let stall = cycles.saturating_sub(issued_total.div_ceil(2));
+        SimResult {
+            cycles,
+            stall_cycles: stall,
+            port_bound,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{DataType, Inst, VReg, XReg};
+
+    #[test]
+    fn dependent_chain_stalls() {
+        // load feeding an FMA immediately: fp must wait for load latency.
+        let mut p = Program::new(DataType::F64);
+        p.push(Inst::Ldr {
+            dst: VReg(0),
+            base: XReg::Pa,
+            offset: 0,
+        });
+        p.push(Inst::Fmla {
+            vd: VReg(2),
+            vn: VReg(0),
+            vm: VReg(1),
+        });
+        let r = PipelineModel::default().simulate(&p);
+        // load at 0, fma at 4 → 5 cycles total
+        assert_eq!(r.cycles, 5);
+    }
+
+    #[test]
+    fn independent_ops_dual_issue() {
+        // a load and an unrelated FMA issue in the same cycle.
+        let mut p = Program::new(DataType::F64);
+        p.push(Inst::Ldr {
+            dst: VReg(0),
+            base: XReg::Pa,
+            offset: 0,
+        });
+        p.push(Inst::Fmla {
+            vd: VReg(4),
+            vn: VReg(2),
+            vm: VReg(3),
+        });
+        let r = PipelineModel::default().simulate(&p);
+        assert_eq!(r.cycles, 1);
+    }
+
+    #[test]
+    fn same_port_serializes() {
+        let mut p = Program::new(DataType::F64);
+        for i in 0..4 {
+            p.push(Inst::Fmla {
+                vd: VReg(10 + i),
+                vn: VReg(0),
+                vm: VReg(1),
+            });
+        }
+        let r = PipelineModel::default().simulate(&p);
+        assert_eq!(r.cycles, 4);
+    }
+
+    #[test]
+    fn pointer_dependency_respected() {
+        // add pA then load from pA: load waits for the add.
+        let mut p = Program::new(DataType::F64);
+        p.push(Inst::AddImm {
+            reg: XReg::Pa,
+            imm: 32,
+        });
+        p.push(Inst::Ldr {
+            dst: VReg(0),
+            base: XReg::Pa,
+            offset: 0,
+        });
+        let r = PipelineModel::default().simulate(&p);
+        // add at 0 (1 cycle), load at 1, retires at 2
+        assert_eq!(r.cycles, 2);
+    }
+}

@@ -1,0 +1,451 @@
+//! The six GEMM computing-kernel templates (Algorithm 2) and the TRSM
+//! triangular template (Algorithm 4), with the paper's register allocation:
+//!
+//! ```text
+//! A set 0 : V0        .. Vm_c−1          A set 1 : Vm_c      .. V2m_c−1
+//! B set 0 : V2m_c     .. V2m_c+n_c−1     B set 1 : V2m_c+n_c .. V2(m_c+n_c)−1
+//! C accum : V2(m_c+n_c) .. V2(m_c+n_c)+m_c·n_c−1
+//! ```
+//!
+//! Loads are emitted as `ldp`/`ldr` + pointer `add` pairs exactly like the
+//! "original code" column of Figure 5; the scheduling optimizer
+//! (`crate::schedule`) then transforms them into the right-hand column.
+
+use crate::ir::{Inst, Program, VReg, XReg};
+
+/// Identifies which register set a template works on.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Set {
+    /// Set 0 (`A: V0.., B: V2m_c..`).
+    Zero,
+    /// Set 1 (`A: Vm_c.., B: V2m_c+n_c..`).
+    One,
+}
+
+/// Register-allocation helper for an `(m_c, n_c)` kernel.
+#[derive(Copy, Clone, Debug)]
+pub struct RegMap {
+    /// Kernel rows.
+    pub mc: usize,
+    /// Kernel columns.
+    pub nc: usize,
+}
+
+impl RegMap {
+    /// A-register for row `i` of a set.
+    pub fn a(&self, set: Set, i: usize) -> VReg {
+        debug_assert!(i < self.mc);
+        let base = match set {
+            Set::Zero => 0,
+            Set::One => self.mc,
+        };
+        VReg((base + i) as u8)
+    }
+
+    /// B-register for column `j` of a set.
+    pub fn b(&self, set: Set, j: usize) -> VReg {
+        debug_assert!(j < self.nc);
+        let base = match set {
+            Set::Zero => 2 * self.mc,
+            Set::One => 2 * self.mc + self.nc,
+        };
+        VReg((base + j) as u8)
+    }
+
+    /// C accumulator register for `(i, j)` (column-major within the tile).
+    pub fn c(&self, i: usize, j: usize) -> VReg {
+        debug_assert!(i < self.mc && j < self.nc);
+        VReg((2 * (self.mc + self.nc) + j * self.mc + i) as u8)
+    }
+
+    /// Scratch register for the SAVE template's C loads (reuses the A/B
+    /// registers, dead after the last compute).
+    pub fn save_tmp(&self, idx: usize) -> VReg {
+        debug_assert!(idx < 2 * (self.mc + self.nc));
+        VReg(idx as u8)
+    }
+
+    /// Highest register index used (must stay < 32).
+    pub fn high_water(&self) -> usize {
+        2 * (self.mc + self.nc) + self.mc * self.nc - 1
+    }
+}
+
+/// Emits `count` vector loads from `base` (as `ldp` pairs plus a trailing
+/// `ldr`), followed by one pointer bump of `count · 16` bytes — the
+/// generator's load idiom from Figure 5.
+fn emit_loads(p: &mut Program, regs: &[VReg], base: XReg) {
+    let mut i = 0;
+    while i + 2 <= regs.len() {
+        p.push(Inst::Ldp {
+            dst1: regs[i],
+            dst2: regs[i + 1],
+            base,
+            offset: (i * 16) as i32,
+        });
+        i += 2;
+    }
+    if i < regs.len() {
+        p.push(Inst::Ldr {
+            dst: regs[i],
+            base,
+            offset: (i * 16) as i32,
+        });
+    }
+    p.push(Inst::AddImm {
+        reg: base,
+        imm: (regs.len() * 16) as i32,
+    });
+}
+
+fn a_regs(r: &RegMap, set: Set) -> Vec<VReg> {
+    (0..r.mc).map(|i| r.a(set, i)).collect()
+}
+
+fn b_regs(r: &RegMap, set: Set) -> Vec<VReg> {
+    (0..r.nc).map(|j| r.b(set, j)).collect()
+}
+
+fn emit_compute(p: &mut Program, r: &RegMap, set: Set, first: bool) {
+    for j in 0..r.nc {
+        for i in 0..r.mc {
+            let (vd, vn, vm) = (r.c(i, j), r.a(set, i), r.b(set, j));
+            p.push(if first {
+                Inst::Fmul { vd, vn, vm }
+            } else {
+                Inst::Fmla { vd, vn, vm }
+            });
+        }
+    }
+}
+
+/// `TEMPLATE_I`: loads both register sets (K steps 0 and 1) and computes
+/// step 0 with `FMUL` so nothing reads a zeroed accumulator.
+pub fn template_i(p: &mut Program, r: &RegMap) {
+    let mut a = a_regs(r, Set::Zero);
+    a.extend(a_regs(r, Set::One));
+    emit_loads(p, &a, XReg::Pa);
+    let mut b = b_regs(r, Set::Zero);
+    b.extend(b_regs(r, Set::One));
+    emit_loads(p, &b, XReg::Pb);
+    emit_compute(p, r, Set::Zero, true);
+}
+
+/// `TEMPLATE_M1`: loads set 1, computes set 0.
+pub fn template_m1(p: &mut Program, r: &RegMap) {
+    emit_loads(p, &a_regs(r, Set::One), XReg::Pa);
+    emit_loads(p, &b_regs(r, Set::One), XReg::Pb);
+    emit_compute(p, r, Set::Zero, false);
+}
+
+/// `TEMPLATE_M2`: loads set 0, computes set 1.
+pub fn template_m2(p: &mut Program, r: &RegMap) {
+    emit_loads(p, &a_regs(r, Set::Zero), XReg::Pa);
+    emit_loads(p, &b_regs(r, Set::Zero), XReg::Pb);
+    emit_compute(p, r, Set::One, false);
+}
+
+/// `TEMPLATE_E`: compute-only exit on set 1.
+pub fn template_e(p: &mut Program, r: &RegMap) {
+    emit_compute(p, r, Set::One, false);
+}
+
+/// Compute-only exit on set 0 (the corrected generator's even-K tail; the
+/// printed Algorithm 3 reaches the same state through `SUB`).
+pub fn template_e0(p: &mut Program, r: &RegMap) {
+    emit_compute(p, r, Set::Zero, false);
+}
+
+/// `TEMPLATE_SUB`: loads set 0 and computes it (no pipelining; the K = 1
+/// arm and odd tails).
+pub fn template_sub(p: &mut Program, r: &RegMap) {
+    emit_loads(p, &a_regs(r, Set::Zero), XReg::Pa);
+    emit_loads(p, &b_regs(r, Set::Zero), XReg::Pb);
+    emit_compute(p, r, Set::Zero, false);
+}
+
+/// `TEMPLATE_SAVE`: loads the original C tile into the (now dead) A/B
+/// registers, accumulates `alpha ·` the computed tile into it, and stores
+/// (paper lines 22–25: `C_orig += alpha · C_acc`, i.e. β = 1).
+///
+/// `ldc` is the C leading dimension in element groups (the compact row
+/// count); the group at `(i, j)` lives `((j·ldc) + i) · 16` bytes from `pC`.
+pub fn template_save(p: &mut Program, r: &RegMap, alpha: f64, ldc: usize) {
+    for j in 0..r.nc {
+        for i in 0..r.mc {
+            let tmp = r.save_tmp(j * r.mc + i);
+            let offset = ((j * ldc + i) * 16) as i32;
+            p.push(Inst::Ldr {
+                dst: tmp,
+                base: XReg::Pc,
+                offset,
+            });
+            p.push(Inst::FmlaScalar {
+                vd: tmp,
+                vn: r.c(i, j),
+                alpha,
+            });
+            p.push(Inst::Str {
+                src: tmp,
+                base: XReg::Pc,
+                offset,
+            });
+        }
+    }
+}
+
+/// Emits the PRFM prefetch of the C tile at kernel entry (§4.3).
+pub fn prefetch_c(p: &mut Program, r: &RegMap, ldc: usize) {
+    p.push(Inst::Prfm {
+        base: XReg::Pc,
+        offset: 0,
+    });
+    p.push(Inst::Prfm {
+        base: XReg::Pc,
+        offset: (((r.nc - 1) * ldc) * 16) as i32,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// TRSM triangular template (Algorithm 4)
+// ---------------------------------------------------------------------------
+
+/// Register map for the register-resident TRSM triangular kernel: the
+/// packed triangle occupies `V0 .. M(M+1)/2 − 1`, and two B-column sets of
+/// `M` registers follow (ping-pong over columns).
+#[derive(Copy, Clone, Debug)]
+pub struct TrsmRegMap {
+    /// Triangle order (≤ 5).
+    pub m: usize,
+}
+
+impl TrsmRegMap {
+    /// Triangle register for `A(i, j)`, `j ≤ i` (reciprocal diagonal at
+    /// `j == i`).
+    pub fn a(&self, i: usize, j: usize) -> VReg {
+        debug_assert!(j <= i && i < self.m);
+        VReg((i * (i + 1) / 2 + j) as u8)
+    }
+
+    /// B-column register `i` of a set.
+    pub fn b(&self, set: Set, i: usize) -> VReg {
+        let tri = self.m * (self.m + 1) / 2;
+        let base = match set {
+            Set::Zero => tri,
+            Set::One => tri + self.m,
+        };
+        VReg((base + i) as u8)
+    }
+
+    /// Highest register index used.
+    pub fn high_water(&self) -> usize {
+        self.m * (self.m + 1) / 2 + 2 * self.m - 1
+    }
+}
+
+/// Loads the whole packed triangle into registers (Algorithm 4 lines 1–3).
+pub fn trsm_load_triangle(p: &mut Program, r: &TrsmRegMap) {
+    let regs: Vec<VReg> = (0..r.m)
+        .flat_map(|i| (0..=i).map(move |j| (i, j)))
+        .map(|(i, j)| r.a(i, j))
+        .collect();
+    // static offsets from pT, no pointer bump (straight-line kernel)
+    let mut i = 0;
+    while i + 2 <= regs.len() {
+        p.push(Inst::Ldp {
+            dst1: regs[i],
+            dst2: regs[i + 1],
+            base: XReg::Ptri,
+            offset: (i * 16) as i32,
+        });
+        i += 2;
+    }
+    if i < regs.len() {
+        p.push(Inst::Ldr {
+            dst: regs[i],
+            base: XReg::Ptri,
+            offset: (i * 16) as i32,
+        });
+    }
+}
+
+/// Emits the load of B column `l` into a register set (column-major panel:
+/// column `l` starts `l · m · 16` bytes from `pB`).
+pub fn trsm_load_column(p: &mut Program, r: &TrsmRegMap, set: Set, l: usize) {
+    let regs: Vec<VReg> = (0..r.m).map(|i| r.b(set, i)).collect();
+    let base_off = l * r.m * 16;
+    let mut i = 0;
+    while i + 2 <= regs.len() {
+        p.push(Inst::Ldp {
+            dst1: regs[i],
+            dst2: regs[i + 1],
+            base: XReg::Pb,
+            offset: (base_off + i * 16) as i32,
+        });
+        i += 2;
+    }
+    if i < regs.len() {
+        p.push(Inst::Ldr {
+            dst: regs[i],
+            base: XReg::Pb,
+            offset: (base_off + i * 16) as i32,
+        });
+    }
+}
+
+/// Emits the in-register forward solve of one column (Algorithm 4 lines
+/// 6–9) and its store back (line 10).
+pub fn trsm_solve_column(p: &mut Program, r: &TrsmRegMap, set: Set, l: usize) {
+    for i in 0..r.m {
+        for j in 0..i {
+            p.push(Inst::Fmls {
+                vd: r.b(set, i),
+                vn: r.a(i, j),
+                vm: r.b(set, j),
+            });
+        }
+        // reciprocal diagonal: multiply, never divide (§4.4)
+        p.push(Inst::Fmul {
+            vd: r.b(set, i),
+            vn: r.b(set, i),
+            vm: r.a(i, i),
+        });
+    }
+    for i in 0..r.m {
+        p.push(Inst::Str {
+            src: r.b(set, i),
+            base: XReg::Pb,
+            offset: ((l * r.m + i) * 16) as i32,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::DataType;
+
+    #[test]
+    fn register_allocation_matches_paper() {
+        let r = RegMap { mc: 4, nc: 4 };
+        assert_eq!(r.a(Set::Zero, 0), VReg(0));
+        assert_eq!(r.a(Set::One, 0), VReg(4));
+        assert_eq!(r.b(Set::Zero, 0), VReg(8));
+        assert_eq!(r.b(Set::One, 0), VReg(12));
+        assert_eq!(r.c(0, 0), VReg(16));
+        assert_eq!(r.c(3, 3), VReg(31));
+        assert_eq!(r.high_water(), 31);
+    }
+
+    #[test]
+    fn template_i_shape_matches_figure5() {
+        // Figure 5 "original code": 4 A ldp + 4 adds, 4 B ldp + 4 adds,
+        // then 16 fmul — for the DGEMM 4×4 TEMPLATE_I.
+        let r = RegMap { mc: 4, nc: 4 };
+        let mut p = Program::new(DataType::F64);
+        template_i(&mut p, &r);
+        let ldp = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Ldp { .. }))
+            .count();
+        let adds = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::AddImm { .. }))
+            .count();
+        let fmul = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Fmul { .. }))
+            .count();
+        assert_eq!(ldp, 8);
+        assert_eq!(adds, 2);
+        assert_eq!(fmul, 16);
+        // first fmul matches "fmul v16.2d, v0.2d, v8.2d"
+        let first_fmul = p.insts.iter().find(|i| matches!(i, Inst::Fmul { .. }));
+        assert_eq!(
+            first_fmul,
+            Some(&Inst::Fmul {
+                vd: VReg(16),
+                vn: VReg(0),
+                vm: VReg(8)
+            })
+        );
+    }
+
+    #[test]
+    fn m_templates_load_opposite_sets() {
+        let r = RegMap { mc: 3, nc: 2 };
+        let mut m1 = Program::new(DataType::F32);
+        template_m1(&mut m1, &r);
+        // M1 loads set 1 (A: v3..v5, B: v8..v9) and computes with set 0.
+        for i in &m1.insts {
+            for w in i.vwrites() {
+                if i.is_mem() {
+                    assert!(
+                        (3..6).contains(&w.idx()) || (8..10).contains(&w.idx()),
+                        "M1 loaded {w:?}"
+                    );
+                }
+            }
+            if let Inst::Fmla { vn, vm, .. } = i {
+                assert!(vn.idx() < 3);
+                assert!((6..8).contains(&vm.idx()));
+            }
+        }
+    }
+
+    #[test]
+    fn save_register_reuse_fits() {
+        // SAVE reuses the 2(m+n) dead A/B registers for C loads; for every
+        // Table-1 size the tile fits.
+        for (m, n) in [(4, 4), (4, 3), (3, 4), (2, 2), (1, 4), (3, 3)] {
+            assert!(m * n <= 2 * (m + n), "({m},{n})");
+            let r = RegMap { mc: m, nc: n };
+            let mut p = Program::new(DataType::F64);
+            template_save(&mut p, &r, 1.0, 8);
+            // every load target is below the accumulator base
+            for i in &p.insts {
+                if let Inst::Ldr { dst, .. } = i {
+                    assert!(dst.idx() < 2 * (m + n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_regmap_capacity() {
+        let r = TrsmRegMap { m: 5 };
+        assert_eq!(r.a(0, 0), VReg(0));
+        assert_eq!(r.a(4, 4), VReg(14));
+        assert_eq!(r.b(Set::Zero, 0), VReg(15));
+        assert_eq!(r.b(Set::One, 4), VReg(24));
+        assert_eq!(r.high_water(), 24); // 15 + 10 ≤ 32 (paper §4.2.2)
+    }
+
+    #[test]
+    fn trsm_column_solve_structure() {
+        let r = TrsmRegMap { m: 3 };
+        let mut p = Program::new(DataType::F64);
+        trsm_solve_column(&mut p, &r, Set::Zero, 0);
+        let fmls = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Fmls { .. }))
+            .count();
+        let fmul = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Fmul { .. }))
+            .count();
+        let str_ = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Str { .. }))
+            .count();
+        assert_eq!(fmls, 3); // 0 + 1 + 2 eliminations
+        assert_eq!(fmul, 3); // one reciprocal multiply per row
+        assert_eq!(str_, 3);
+    }
+}

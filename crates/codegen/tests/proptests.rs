@@ -1,0 +1,185 @@
+//! Property-based codegen tests: for random kernel specifications, the
+//! generated IR must (a) respect the register file and port structure,
+//! (b) compute exactly what the runtime kernels compute, and (c) survive
+//! the scheduling optimizer bit-for-bit.
+
+use iatf_codegen::{
+    dependency_edges, generate_cgemm_kernel, generate_gemm_kernel, generate_trsm_tri_kernel,
+    interp, optimize, DataType, GemmKernelSpec, PipelineModel,
+};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = GemmKernelSpec> {
+    (1usize..=4, 1usize..=4, 1usize..=24, -2.0f64..2.0).prop_map(|(mc, nc, k, alpha)| {
+        GemmKernelSpec {
+            mc,
+            nc,
+            k,
+            dtype: DataType::F64,
+            alpha,
+            ldc: mc,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_kernels_fit_the_register_file(spec in spec_strategy()) {
+        let p = generate_gemm_kernel(&spec);
+        for inst in &p.insts {
+            for r in inst.vwrites().into_iter().chain(inst.vreads()) {
+                prop_assert!(r.idx() < 32, "register {r:?} out of file");
+            }
+        }
+        // instruction budget: k·mc·nc computes + mc·nc SAVE FMAs
+        let fp = p.insts.iter().filter(|i| i.is_fp()).count();
+        prop_assert_eq!(fp, (spec.k + 1) * spec.mc * spec.nc);
+    }
+
+    #[test]
+    fn scheduling_is_a_permutation_and_never_regresses(spec in spec_strategy()) {
+        let model = PipelineModel::default();
+        let p = generate_gemm_kernel(&spec);
+        let q = optimize(&p, &model);
+        prop_assert_eq!(p.insts.len(), q.insts.len());
+        // multiset equality of instructions
+        let key = |prog: &iatf_codegen::Program| {
+            let mut v: Vec<String> = prog.insts.iter().map(|i| format!("{i:?}")).collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(key(&p), key(&q));
+        // the optimizer must never be slower on the model
+        let before = model.simulate(&p).cycles;
+        let after = model.simulate(&q).cycles;
+        prop_assert!(after <= before, "{before} -> {after}");
+        // and the schedule must stay dependency-consistent
+        for (i, j, _) in dependency_edges(&q) {
+            prop_assert!(i < j);
+        }
+    }
+
+    #[test]
+    fn interpreted_random_kernels_match_oracle(spec in spec_strategy(), seed in any::<u32>()) {
+        // oracle: plain f64 mul_add in the same per-element order
+        let p2 = 2usize;
+        let mut state = seed as u64;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let pa: Vec<f64> = (0..spec.k * spec.mc * p2).map(|_| next()).collect();
+        let pb: Vec<f64> = (0..spec.k * spec.nc * p2).map(|_| next()).collect();
+        let c0: Vec<f64> = (0..spec.mc * spec.nc * p2).map(|_| next()).collect();
+
+        let prog = optimize(&generate_gemm_kernel(&spec), &PipelineModel::default());
+        let got = interp::run_gemm(&prog, pa.clone(), pb.clone(), c0.clone());
+
+        for i in 0..spec.mc {
+            for j in 0..spec.nc {
+                for l in 0..p2 {
+                    let mut acc = 0.0f64;
+                    for kk in 0..spec.k {
+                        acc = pa[(kk * spec.mc + i) * p2 + l]
+                            .mul_add(pb[(kk * spec.nc + j) * p2 + l], acc);
+                    }
+                    let idx = (j * spec.mc + i) * p2 + l;
+                    let want = acc.mul_add(spec.alpha, c0[idx]);
+                    let g = got[idx];
+                    prop_assert!(
+                        (g - want).abs() <= 1e-12 * want.abs().max(1.0),
+                        "({i},{j},{l}): {g} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complex_kernels_fit_and_schedule(
+        mc in 1usize..=3,
+        nc in 1usize..=2,
+        k in 1usize..=12,
+    ) {
+        let spec = GemmKernelSpec {
+            mc,
+            nc,
+            k,
+            dtype: DataType::F64,
+            alpha: 1.0,
+            ldc: mc,
+        };
+        let p = generate_cgemm_kernel(&spec);
+        for inst in &p.insts {
+            for r in inst.vwrites().into_iter().chain(inst.vreads()) {
+                prop_assert!(r.idx() < 32);
+            }
+        }
+        // 4 FMA-class ops per complex element per step + 2 per SAVE element
+        let fp = p.insts.iter().filter(|i| i.is_fp()).count();
+        prop_assert_eq!(fp, 4 * k * mc * nc + 2 * mc * nc);
+        let model = PipelineModel::default();
+        let q = optimize(&p, &model);
+        prop_assert!(model.simulate(&q).cycles <= model.simulate(&p).cycles);
+    }
+
+    #[test]
+    fn trsm_tri_kernels_fit_and_solve(m in 1usize..=5, n in 1usize..=6, seed in any::<u32>()) {
+        let prog = generate_trsm_tri_kernel(m, n, DataType::F64);
+        for inst in &prog.insts {
+            for r in inst.vwrites().into_iter().chain(inst.vreads()) {
+                prop_assert!(r.idx() < 32);
+            }
+        }
+        // build a well-conditioned packed triangle and random panel
+        let p2 = 2usize;
+        let mut state = seed as u64 + 1;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut tri = vec![0.0f64; m * (m + 1) / 2 * p2];
+        let mut dense = vec![0.0f64; m * m * p2]; // lower triangle per lane
+        for r in 0..m {
+            let base = r * (r + 1) / 2;
+            for c in 0..=r {
+                for l in 0..p2 {
+                    if c == r {
+                        let d = 1.0 + next().abs();
+                        tri[(base + c) * p2 + l] = 1.0 / d;
+                        dense[(r * m + c) * p2 + l] = d;
+                    } else {
+                        let v = next() / m as f64;
+                        tri[(base + c) * p2 + l] = v;
+                        dense[(r * m + c) * p2 + l] = v;
+                    }
+                }
+            }
+        }
+        let panel0: Vec<f64> = (0..m * n * p2).map(|_| next()).collect();
+        let solved = interp::run_trsm(&prog, tri, panel0.clone());
+        // residual: L·X == B per lane/column
+        for l in 0..p2 {
+            for col in 0..n {
+                for i in 0..m {
+                    let mut lhs = 0.0;
+                    for j in 0..=i {
+                        lhs += dense[(i * m + j) * p2 + l] * solved[(col * m + j) * p2 + l];
+                    }
+                    let rhs = panel0[(col * m + i) * p2 + l];
+                    prop_assert!((lhs - rhs).abs() < 1e-10, "m={m} n={n}: {lhs} vs {rhs}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Kernel-size analysis (paper §4.2.1, Eqs. 2–3) and the Figure-4 tiling
+//! comparison.
+//!
+//! The install-time stage picks the main kernel size by maximizing the
+//! compute-to-memory-access ratio (CMAR) subject to fitting the 32-register
+//! SIMD file, with registers reserved for the ping-pong double buffering:
+//!
+//! * real: maximize `m·n / (m+n)` s.t. `2m + 2n + m·n ≤ 32` → `(4, 4)`;
+//! * complex: maximize `4·m·n / 2(m+n)` s.t. `4m + 4n + 2·m·n ≤ 32` →
+//!   `(3, 2)` (or its transpose).
+
+/// Number of architectural SIMD registers (ARMv8: V0–V31).
+pub const SIMD_REGISTERS: usize = 32;
+
+/// Compute-to-memory-access ratio of a real `m × n` kernel (Eq. 2):
+/// `m·n` FMAs per `m + n` loads per K step.
+pub fn cmar_real(m: usize, n: usize) -> f64 {
+    (m * n) as f64 / (m + n) as f64
+}
+
+/// CMAR of a complex `m × n` kernel (Eq. 3): `4·m·n` FMA-class ops per
+/// `2(m + n)` vector loads per K step.
+pub fn cmar_complex(m: usize, n: usize) -> f64 {
+    (4 * m * n) as f64 / (2 * (m + n)) as f64
+}
+
+/// Vector registers a real kernel occupies: double-buffered A (`2m`) and B
+/// (`2n`) plus the C accumulator (`m·n`).
+pub fn real_register_cost(m: usize, n: usize) -> usize {
+    2 * m + 2 * n + m * n
+}
+
+/// Vector registers a complex kernel occupies: split re/im doubles
+/// everything (`4m + 4n + 2·m·n`).
+pub fn complex_register_cost(m: usize, n: usize) -> usize {
+    4 * m + 4 * n + 2 * m * n
+}
+
+/// Exhaustively finds the CMAR-optimal real kernel size under the register
+/// constraint. Ties break toward larger `m·n`, then larger `m` (the paper
+/// reports the symmetric (4, 4)).
+pub fn optimal_real_kernel() -> (usize, usize) {
+    optimal_by(cmar_real, real_register_cost)
+}
+
+/// Exhaustively finds the CMAR-optimal complex kernel size; the paper's
+/// (3, 2) — (2, 3) is the equal-CMAR transpose.
+pub fn optimal_complex_kernel() -> (usize, usize) {
+    optimal_by(cmar_complex, complex_register_cost)
+}
+
+fn optimal_by(cmar: fn(usize, usize) -> f64, cost: fn(usize, usize) -> usize) -> (usize, usize) {
+    let mut best = (1, 1);
+    let mut best_cmar = f64::MIN;
+    for m in 1..=SIMD_REGISTERS {
+        for n in 1..=SIMD_REGISTERS {
+            if cost(m, n) > SIMD_REGISTERS {
+                continue;
+            }
+            let c = cmar(m, n);
+            let better = c > best_cmar + 1e-12
+                || ((c - best_cmar).abs() <= 1e-12
+                    && (m * n > best.0 * best.1 || (m * n == best.0 * best.1 && m > best.0)));
+            if better {
+                best_cmar = c;
+                best = (m, n);
+            }
+        }
+    }
+    best
+}
+
+/// Largest triangle order that fits the register file for the TRSM
+/// register-resident solve: `M(M+1)/2` triangle registers plus `2M`
+/// double-buffered B registers must fit (§4.2.2) → 5.
+pub fn trsm_register_capacity() -> usize {
+    let mut m = 1;
+    while (m + 1) * (m + 2) / 2 + 2 * (m + 1) <= SIMD_REGISTERS {
+        m += 1;
+    }
+    m
+}
+
+/// One tile of a kernel decomposition (Figure 4).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Tile {
+    /// Top-left row.
+    pub i0: usize,
+    /// Top-left column.
+    pub j0: usize,
+    /// Tile height.
+    pub h: usize,
+    /// Tile width.
+    pub w: usize,
+}
+
+/// Greedy row/column tiling of an `m × n` C matrix by a main kernel of
+/// `mr × nr` with remainder tiles, as both the traditional layout (Figure
+/// 4a, `mr = 12, nr = 8` for NEON sgemm) and the compact layout (Figure 4b,
+/// `mr = nr = 4`) decompose it.
+pub fn tile_decomposition(m: usize, n: usize, mr: usize, nr: usize) -> Vec<Tile> {
+    let mut tiles = Vec::new();
+    let mut i0 = 0;
+    while i0 < m {
+        let h = mr.min(m - i0);
+        let mut j0 = 0;
+        while j0 < n {
+            let w = nr.min(n - j0);
+            tiles.push(Tile { i0, j0, h, w });
+            j0 += w;
+        }
+        i0 += h;
+    }
+    tiles
+}
+
+/// Fraction of a decomposition's tiles that are full main-kernel tiles,
+/// weighted by area — the Figure-4 argument that smaller compact kernels
+/// shrink the edge-processing share.
+pub fn main_kernel_area_fraction(m: usize, n: usize, mr: usize, nr: usize) -> f64 {
+    let tiles = tile_decomposition(m, n, mr, nr);
+    let main_area: usize = tiles
+        .iter()
+        .filter(|t| t.h == mr && t.w == nr)
+        .map(|t| t.h * t.w)
+        .sum();
+    main_area as f64 / (m * n) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq2_optimum_is_4x4() {
+        assert_eq!(optimal_real_kernel(), (4, 4));
+        assert_eq!(real_register_cost(4, 4), 32);
+        assert!((cmar_real(4, 4) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq3_optimum_is_3x2() {
+        let (m, n) = optimal_complex_kernel();
+        assert!((m, n) == (3, 2) || (m, n) == (2, 3));
+        assert!(complex_register_cost(3, 2) <= 32);
+        let (a, b) = (cmar_complex(3, 2), cmar_complex(2, 3));
+        assert!((a - b).abs() < 1e-12);
+        assert!((cmar_complex(3, 2) - 2.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_feasible_kernel_beats_the_optimum() {
+        for m in 1..=32 {
+            for n in 1..=32 {
+                if real_register_cost(m, n) <= 32 {
+                    assert!(cmar_real(m, n) <= cmar_real(4, 4) + 1e-12, "({m},{n})");
+                }
+                if complex_register_cost(m, n) <= 32 {
+                    assert!(cmar_complex(m, n) <= cmar_complex(3, 2) + 1e-12, "({m},{n})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_capacity_is_5() {
+        assert_eq!(trsm_register_capacity(), 5);
+        // the paper's arithmetic: 15 + 10 = 25 ≤ 32, but M=6 needs 21+12=33.
+        let m6 = 6 * 7 / 2 + 2 * 6;
+        assert!(m6 > SIMD_REGISTERS);
+    }
+
+    #[test]
+    fn fig4_15x15_decomposition() {
+        // Compact tiling of 15×15 sgemm uses 4×4, 4×3, 3×4 and 3×3 kernels
+        // only (paper: "we can use 4×4, 4×3, 3×4, and 3×3 kernels to solve
+        // 15×15 compact GEMM").
+        let tiles = tile_decomposition(15, 15, 4, 4);
+        let mut sizes: Vec<(usize, usize)> = tiles.iter().map(|t| (t.h, t.w)).collect();
+        sizes.sort();
+        sizes.dedup();
+        assert_eq!(sizes, vec![(3, 3), (3, 4), (4, 3), (4, 4)]);
+        // coverage is exact
+        let area: usize = tiles.iter().map(|t| t.h * t.w).sum();
+        assert_eq!(area, 225);
+    }
+
+    #[test]
+    fn compact_tiling_has_less_edge_area_than_traditional() {
+        // Figure 4: traditional NEON sgemm (12×8 main kernel) vs compact
+        // (4×4) on 15×15 — the compact decomposition's main-kernel share is
+        // much higher.
+        let traditional = main_kernel_area_fraction(15, 15, 12, 8);
+        let compact = main_kernel_area_fraction(15, 15, 4, 4);
+        assert!(compact > traditional);
+        assert!(compact >= 0.5, "compact {compact}");
+        assert!(traditional <= 0.5, "traditional {traditional}");
+    }
+
+    #[test]
+    fn decomposition_covers_without_overlap() {
+        for (m, n) in [(1, 1), (5, 7), (16, 16), (33, 33), (13, 2)] {
+            let tiles = tile_decomposition(m, n, 4, 4);
+            let mut covered = vec![false; m * n];
+            for t in &tiles {
+                for i in t.i0..t.i0 + t.h {
+                    for j in t.j0..t.j0 + t.w {
+                        assert!(!covered[i * n + j], "overlap at ({i},{j})");
+                        covered[i * n + j] = true;
+                    }
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "{m}x{n} not covered");
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Framework configuration.
+
+use crate::machine::{host_profile, MachineProfile};
+
+/// Packing policy for the Pack Selecter.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum PackPolicy {
+    /// Paper behaviour: pack only when the kernel cannot already stream the
+    /// operand sequentially (no-pack "as much as possible", §5.2).
+    #[default]
+    Auto,
+    /// Always pack (ablation: isolates the cost of packing).
+    Always,
+    /// Never pack where structurally possible (ablation: isolates the cost
+    /// of strided kernel access; conjugated operands still pack since
+    /// conjugation cannot be expressed as a stride).
+    Never,
+}
+
+/// Super-block sizing policy for the Batch Counter.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum BatchPolicy {
+    /// Paper behaviour: as many packs per super-block as fit the L1 budget.
+    #[default]
+    Auto,
+    /// Fixed number of packs per super-block (ablation).
+    Fixed(usize),
+}
+
+/// Tuning configuration consumed by the run-time stage.
+#[derive(Clone, Debug)]
+pub struct TuningConfig {
+    /// L1 data cache capacity the Batch Counter budgets against.
+    pub l1d_bytes: usize,
+    /// Fraction of L1 the packed working set may occupy (the remainder is
+    /// headroom for C traffic and stacks; the paper "reserves space for
+    /// matrix C").
+    pub l1_budget_fraction: f64,
+    /// Packing policy.
+    pub pack: PackPolicy,
+    /// Super-block sizing policy.
+    pub batch: BatchPolicy,
+}
+
+impl TuningConfig {
+    /// Configuration for an explicit machine profile.
+    pub fn for_machine(m: &MachineProfile) -> Self {
+        Self {
+            l1d_bytes: m.l1d_bytes,
+            l1_budget_fraction: 0.5,
+            pack: PackPolicy::Auto,
+            batch: BatchPolicy::Auto,
+        }
+    }
+
+    /// Host-detected configuration.
+    pub fn host() -> Self {
+        Self::for_machine(&host_profile())
+    }
+
+    /// Bytes of packed operands the Batch Counter may keep live at once.
+    pub fn l1_budget_bytes(&self) -> usize {
+        ((self.l1d_bytes as f64) * self.l1_budget_fraction) as usize
+    }
+}
+
+impl Default for TuningConfig {
+    fn default() -> Self {
+        Self::host()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::KUNPENG_920;
+
+    #[test]
+    fn kunpeng_budget() {
+        let cfg = TuningConfig::for_machine(&KUNPENG_920);
+        assert_eq!(cfg.l1d_bytes, 65536);
+        assert_eq!(cfg.l1_budget_bytes(), 32768);
+    }
+
+    #[test]
+    fn default_is_host() {
+        let cfg = TuningConfig::default();
+        assert!(cfg.l1_budget_bytes() > 0);
+        assert_eq!(cfg.pack, PackPolicy::Auto);
+        assert_eq!(cfg.batch, BatchPolicy::Auto);
+    }
+}

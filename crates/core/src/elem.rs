@@ -1,0 +1,288 @@
+//! Element-to-kernel dispatch glue.
+//!
+//! [`CompactElement`] extends `iatf_simd::Element` with the install-time
+//! constants (main kernel sizes, TRSM blocking parameters) and the kernel
+//! invocation shims the run-time stage needs. Real and complex elements
+//! route to different kernel families but expose the same interface, so the
+//! planners are written once.
+
+use iatf_kernels::table::{
+    cplx_gemm_kernel, cplx_trmm_kernel, cplx_trsm_kernel, real_gemm_kernel, real_trmm_kernel,
+    real_trsm_kernel,
+};
+use iatf_simd::Element;
+
+/// An element type the IATF framework can plan and execute for.
+pub trait CompactElement: Element {
+    /// Main GEMM kernel rows (CMAR-optimal: 4 real, 3 complex).
+    const MR: usize;
+    /// Main GEMM kernel columns (4 real, 2 complex).
+    const NR: usize;
+    /// TRSM diagonal-block height for the blocked path (4 real, 2 complex —
+    /// Table 1's rectangular kernel heights).
+    const TRSM_TB: usize;
+    /// Largest order solved entirely in registers (5 real, 2 complex).
+    const TRSM_TMAX: usize;
+    /// TRSM B-panel width (4 real, 2 complex).
+    const TRSM_NR: usize;
+
+    /// Invokes the `(mr, nr)` GEMM microkernel. See
+    /// `iatf_kernels::RealGemmKernel` for the addressing contract.
+    ///
+    /// # Safety
+    /// Pointer/stride contract of the underlying kernel.
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn gemm_kernel(
+        mr: usize,
+        nr: usize,
+        k: usize,
+        alpha: Self,
+        beta: Self,
+        pa: *const Self::Real,
+        a_i: usize,
+        a_k: usize,
+        pb: *const Self::Real,
+        b_j: usize,
+        b_k: usize,
+        c: *mut Self::Real,
+        c_i: usize,
+        c_j: usize,
+    );
+
+    /// Invokes the fused `(mr, nr)` TRSM block kernel. See
+    /// `iatf_kernels::RealTrsmKernel` for the addressing contract.
+    ///
+    /// # Safety
+    /// Pointer/stride contract of the underlying kernel.
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn trsm_kernel(
+        mr: usize,
+        nr: usize,
+        kk: usize,
+        pa_rect: *const Self::Real,
+        a_i: usize,
+        a_k: usize,
+        pa_tri: *const Self::Real,
+        panel: *mut Self::Real,
+        row0: usize,
+        row_stride: usize,
+        col_stride: usize,
+    );
+
+    /// Invokes the fused `(mr, nr)` TRMM block kernel (extension). Same
+    /// addressing as [`CompactElement::trsm_kernel`] with a direct-diagonal
+    /// triangle and an explicit `alpha`.
+    ///
+    /// # Safety
+    /// Pointer/stride contract of the underlying kernel.
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn trmm_kernel(
+        mr: usize,
+        nr: usize,
+        kk: usize,
+        alpha: Self,
+        pa_rect: *const Self::Real,
+        a_i: usize,
+        a_k: usize,
+        pa_tri: *const Self::Real,
+        panel: *mut Self::Real,
+        row0: usize,
+        row_stride: usize,
+        col_stride: usize,
+    );
+}
+
+macro_rules! impl_real_compact {
+    ($t:ty) => {
+        impl CompactElement for $t {
+            const MR: usize = 4;
+            const NR: usize = 4;
+            const TRSM_TB: usize = 4;
+            const TRSM_TMAX: usize = 5;
+            const TRSM_NR: usize = 4;
+
+            #[inline]
+            unsafe fn gemm_kernel(
+                mr: usize,
+                nr: usize,
+                k: usize,
+                alpha: Self,
+                beta: Self,
+                pa: *const Self,
+                a_i: usize,
+                a_k: usize,
+                pb: *const Self,
+                b_j: usize,
+                b_k: usize,
+                c: *mut Self,
+                c_i: usize,
+                c_j: usize,
+            ) {
+                real_gemm_kernel::<$t>(mr, nr)(
+                    k, alpha, beta, pa, a_i, a_k, pb, b_j, b_k, c, c_i, c_j,
+                )
+            }
+
+            #[inline]
+            unsafe fn trsm_kernel(
+                mr: usize,
+                nr: usize,
+                kk: usize,
+                pa_rect: *const Self,
+                a_i: usize,
+                a_k: usize,
+                pa_tri: *const Self,
+                panel: *mut Self,
+                row0: usize,
+                row_stride: usize,
+                col_stride: usize,
+            ) {
+                real_trsm_kernel::<$t>(mr, nr)(
+                    kk, pa_rect, a_i, a_k, pa_tri, panel, row0, row_stride, col_stride,
+                )
+            }
+
+            #[inline]
+            unsafe fn trmm_kernel(
+                mr: usize,
+                nr: usize,
+                kk: usize,
+                alpha: Self,
+                pa_rect: *const Self,
+                a_i: usize,
+                a_k: usize,
+                pa_tri: *const Self,
+                panel: *mut Self,
+                row0: usize,
+                row_stride: usize,
+                col_stride: usize,
+            ) {
+                real_trmm_kernel::<$t>(mr, nr)(
+                    kk, alpha, pa_rect, a_i, a_k, pa_tri, panel, row0, row_stride, col_stride,
+                )
+            }
+        }
+    };
+}
+
+impl_real_compact!(f32);
+impl_real_compact!(f64);
+
+macro_rules! impl_cplx_compact {
+    ($t:ty, $r:ty) => {
+        impl CompactElement for $t {
+            const MR: usize = 3;
+            const NR: usize = 2;
+            const TRSM_TB: usize = 2;
+            const TRSM_TMAX: usize = 2;
+            const TRSM_NR: usize = 2;
+
+            #[inline]
+            unsafe fn gemm_kernel(
+                mr: usize,
+                nr: usize,
+                k: usize,
+                alpha: Self,
+                beta: Self,
+                pa: *const $r,
+                a_i: usize,
+                a_k: usize,
+                pb: *const $r,
+                b_j: usize,
+                b_k: usize,
+                c: *mut $r,
+                c_i: usize,
+                c_j: usize,
+            ) {
+                cplx_gemm_kernel::<$r>(mr, nr)(
+                    k,
+                    [alpha.re, alpha.im],
+                    [beta.re, beta.im],
+                    pa,
+                    a_i,
+                    a_k,
+                    pb,
+                    b_j,
+                    b_k,
+                    c,
+                    c_i,
+                    c_j,
+                )
+            }
+
+            #[inline]
+            unsafe fn trsm_kernel(
+                mr: usize,
+                nr: usize,
+                kk: usize,
+                pa_rect: *const $r,
+                a_i: usize,
+                a_k: usize,
+                pa_tri: *const $r,
+                panel: *mut $r,
+                row0: usize,
+                row_stride: usize,
+                col_stride: usize,
+            ) {
+                cplx_trsm_kernel::<$r>(mr, nr)(
+                    kk, pa_rect, a_i, a_k, pa_tri, panel, row0, row_stride, col_stride,
+                )
+            }
+
+            #[inline]
+            unsafe fn trmm_kernel(
+                mr: usize,
+                nr: usize,
+                kk: usize,
+                alpha: Self,
+                pa_rect: *const $r,
+                a_i: usize,
+                a_k: usize,
+                pa_tri: *const $r,
+                panel: *mut $r,
+                row0: usize,
+                row_stride: usize,
+                col_stride: usize,
+            ) {
+                cplx_trmm_kernel::<$r>(mr, nr)(
+                    kk,
+                    [alpha.re, alpha.im],
+                    pa_rect,
+                    a_i,
+                    a_k,
+                    pa_tri,
+                    panel,
+                    row0,
+                    row_stride,
+                    col_stride,
+                )
+            }
+        }
+    };
+}
+
+impl_cplx_compact!(iatf_simd::c32, f32);
+impl_cplx_compact!(iatf_simd::c64, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use iatf_simd::{c32, c64};
+
+    #[test]
+    fn main_kernel_sizes_match_cmar_analysis() {
+        assert_eq!((f32::MR, f32::NR), analysis::optimal_real_kernel());
+        assert_eq!((f64::MR, f64::NR), analysis::optimal_real_kernel());
+        let (m, n) = analysis::optimal_complex_kernel();
+        assert_eq!((c32::MR, c32::NR), (m, n));
+        assert_eq!((c64::MR, c64::NR), (m, n));
+    }
+
+    #[test]
+    fn trsm_capacity_matches_analysis() {
+        assert_eq!(f32::TRSM_TMAX, analysis::trsm_register_capacity());
+        assert_eq!(f64::TRSM_TMAX, analysis::trsm_register_capacity());
+        assert_eq!(c64::TRSM_TMAX, 2);
+    }
+}

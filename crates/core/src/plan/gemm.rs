@@ -1,0 +1,584 @@
+//! GEMM execution plans.
+
+use crate::config::{PackPolicy, TuningConfig};
+use crate::elem::CompactElement;
+use crate::plan::{group_packs, tiles, Command};
+use iatf_layout::{CompactBatch, GemmDims, GemmMode, LayoutError};
+use iatf_pack::gemm as pk;
+use iatf_pack::PackBuffer;
+
+/// How one GEMM operand is accessed (Pack Selecter output).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum OperandPlan {
+    /// Gather into a unit-stride panel before computing.
+    Packed,
+    /// Stream directly from the compact layout (no-pack, §4.4).
+    Direct,
+}
+
+/// A reusable execution plan for compact batched GEMM:
+/// `C = α·op(A)·op(B) + β·C` over a group of `count` matrices.
+#[derive(Clone, Debug)]
+pub struct GemmPlan<E: CompactElement> {
+    dims: GemmDims,
+    mode: GemmMode,
+    conj_a: bool,
+    conj_b: bool,
+    count: usize,
+    packs: usize,
+    /// Packs per super-block (Batch Counter output).
+    pub group_packs: usize,
+    /// A access decision.
+    pub a_plan: OperandPlan,
+    /// B access decision.
+    pub b_plan: OperandPlan,
+    m_tiles: Vec<(usize, usize)>,
+    n_tiles: Vec<(usize, usize)>,
+    a_panel_len: usize,
+    b_panel_len: usize,
+    _marker: core::marker::PhantomData<E>,
+}
+
+impl<E: CompactElement> GemmPlan<E> {
+    /// Builds a plan from the input matrix properties.
+    pub fn new(
+        dims: GemmDims,
+        mode: GemmMode,
+        conj_a: bool,
+        conj_b: bool,
+        count: usize,
+        cfg: &TuningConfig,
+    ) -> Result<Self, LayoutError> {
+        dims.validate()?;
+        if count == 0 {
+            return Err(LayoutError::EmptyDimension("batch count"));
+        }
+        let g = CompactBatch::<E>::GROUP;
+        let m_tiles = tiles(dims.m, E::MR);
+        let n_tiles = tiles(dims.n, E::NR);
+
+        // Pack Selecter (§5.2): pack only when the kernel cannot stream the
+        // operand — more than one tile row/column — or when conjugation must
+        // happen during a copy. Policy overrides support the ablations.
+        let a_plan = decide(cfg.pack, conj_a, dims.m > E::MR);
+        let b_plan = decide(cfg.pack, conj_b, dims.n > E::NR);
+
+        let a_panel_len = pk::panel_a_len::<E>(dims.m, dims.k);
+        let b_panel_len = pk::panel_b_len::<E>(dims.k, dims.n);
+        let scalar_bytes = core::mem::size_of::<E::Real>();
+        // Batch Counter: packed A and B panels (or their directly-streamed
+        // sources, same footprint) plus the C pack must cycle through L1.
+        let bytes_per_pack =
+            (a_panel_len + b_panel_len + dims.m * dims.n * g) * scalar_bytes;
+        let packs = count.div_ceil(E::P);
+        let gp = group_packs(cfg.batch, cfg.l1_budget_bytes(), bytes_per_pack, packs);
+
+        Ok(Self {
+            dims,
+            mode,
+            conj_a,
+            conj_b,
+            count,
+            packs,
+            group_packs: gp,
+            a_plan,
+            b_plan,
+            m_tiles,
+            n_tiles,
+            a_panel_len,
+            b_panel_len,
+            _marker: core::marker::PhantomData,
+        })
+    }
+
+    /// Problem dimensions.
+    pub fn dims(&self) -> GemmDims {
+        self.dims
+    }
+
+    /// Transpose mode.
+    pub fn mode(&self) -> GemmMode {
+        self.mode
+    }
+
+    /// Group size the plan was built for.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Validates operand batches against the planned shapes.
+    fn validate(
+        &self,
+        a: &CompactBatch<E>,
+        b: &CompactBatch<E>,
+        c: &CompactBatch<E>,
+    ) -> Result<(), LayoutError> {
+        let (ar, ac) = self.dims.a_shape(self.mode);
+        check_shape("A", a, ar, ac, self.count)?;
+        let (br, bc) = self.dims.b_shape(self.mode);
+        check_shape("B", b, br, bc, self.count)?;
+        let (cr, cc) = self.dims.c_shape();
+        check_shape("C", c, cr, cc, self.count)?;
+        Ok(())
+    }
+
+    /// Executes the plan: `C = α·op(A)·op(B) + β·C`.
+    pub fn execute(
+        &self,
+        alpha: E,
+        a: &CompactBatch<E>,
+        b: &CompactBatch<E>,
+        beta: E,
+        c: &mut CompactBatch<E>,
+    ) -> Result<(), LayoutError> {
+        self.validate(a, b, c)?;
+        let mut buf = PackBuffer::<E::Real>::new();
+        let gp = self.group_packs;
+        let mut sb = 0usize;
+        while sb < self.packs {
+            let sb_packs = gp.min(self.packs - sb);
+            self.run_superblock(alpha, a, b, beta, c, sb, sb_packs, &mut buf);
+            sb += sb_packs;
+        }
+        Ok(())
+    }
+
+    /// Scalar lengths of the packed A and B panels (0 when streamed).
+    fn panel_lens(&self) -> (usize, usize) {
+        let a_len = if self.a_plan == OperandPlan::Packed {
+            self.a_panel_len
+        } else {
+            0
+        };
+        let b_len = if self.b_plan == OperandPlan::Packed {
+            self.b_panel_len
+        } else {
+            0
+        };
+        (a_len, b_len)
+    }
+
+    /// Packs one pack's operands into the given buffer slots (no-ops for
+    /// streamed operands, whose slots are empty).
+    fn pack_one(
+        &self,
+        a: &CompactBatch<E>,
+        b: &CompactBatch<E>,
+        pk_idx: usize,
+        buf_a: &mut [E::Real],
+        buf_b: &mut [E::Real],
+    ) {
+        if !buf_a.is_empty() {
+            pk::pack_a(
+                buf_a,
+                a,
+                pk_idx,
+                self.mode.transa,
+                self.conj_a,
+                E::MR,
+                self.dims.m,
+                self.dims.k,
+            );
+        }
+        if !buf_b.is_empty() {
+            pk::pack_b(
+                buf_b,
+                b,
+                pk_idx,
+                self.mode.transb,
+                self.conj_b,
+                E::NR,
+                self.dims.k,
+                self.dims.n,
+            );
+        }
+    }
+
+    /// Computes one pack's C tiles. `cp` is the pack's base scalar pointer.
+    #[allow(clippy::too_many_arguments)]
+    fn compute_one(
+        &self,
+        alpha: E,
+        beta: E,
+        a: &CompactBatch<E>,
+        b: &CompactBatch<E>,
+        pk_idx: usize,
+        buf_a: &[E::Real],
+        buf_b: &[E::Real],
+        cp: *mut E::Real,
+    ) {
+        let g = CompactBatch::<E>::GROUP;
+        let dims = self.dims;
+        let da = pk::direct_a::<E>(self.mode.transa, a.rows());
+        let db = pk::direct_b::<E>(self.mode.transb, b.rows());
+        let c_rows = dims.m;
+        let ap_direct = a.pack_ptr(pk_idx);
+        let bp_direct = b.pack_ptr(pk_idx);
+        for &(j0, w) in &self.n_tiles {
+            let (pb, b_j, b_k) = if !buf_b.is_empty() {
+                let base = unsafe { buf_b.as_ptr().add(pk::b_tile_offset::<E>(j0, dims.k)) };
+                (base, g, w * g)
+            } else {
+                (
+                    unsafe { bp_direct.add(j0 * db.tile_scale) },
+                    db.minor,
+                    db.step_k,
+                )
+            };
+            for &(i0, h) in &self.m_tiles {
+                let (pa, a_i, a_k) = if !buf_a.is_empty() {
+                    let base = unsafe { buf_a.as_ptr().add(pk::a_tile_offset::<E>(i0, dims.k)) };
+                    (base, g, h * g)
+                } else {
+                    (
+                        unsafe { ap_direct.add(i0 * da.tile_scale) },
+                        da.minor,
+                        da.step_k,
+                    )
+                };
+                let ct = unsafe { cp.add((j0 * c_rows + i0) * g) };
+                // Safety: pointers/strides cover exactly the tile regions
+                // validated against the batch shapes above.
+                unsafe {
+                    E::gemm_kernel(
+                        h,
+                        w,
+                        dims.k,
+                        alpha,
+                        beta,
+                        pa,
+                        a_i,
+                        a_k,
+                        pb,
+                        b_j,
+                        b_k,
+                        ct,
+                        g,
+                        c_rows * g,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Packs then computes one super-block of packs.
+    #[allow(clippy::too_many_arguments)]
+    fn run_superblock(
+        &self,
+        alpha: E,
+        a: &CompactBatch<E>,
+        b: &CompactBatch<E>,
+        beta: E,
+        c: &mut CompactBatch<E>,
+        sb: usize,
+        sb_packs: usize,
+        buf: &mut PackBuffer<E::Real>,
+    ) {
+        let (a_len, b_len) = self.panel_lens();
+        let (buf_a, buf_b) = buf.split_two(a_len * sb_packs, b_len * sb_packs);
+
+        // Packing phase: the whole super-block's panels land in L1 together.
+        for slot in 0..sb_packs {
+            self.pack_one(
+                a,
+                b,
+                sb + slot,
+                &mut buf_a[slot * a_len..(slot + 1) * a_len],
+                &mut buf_b[slot * b_len..(slot + 1) * b_len],
+            );
+        }
+
+        // Compute phase.
+        for slot in 0..sb_packs {
+            let pk_idx = sb + slot;
+            let cp = c.pack_ptr_mut(pk_idx);
+            self.compute_one(
+                alpha,
+                beta,
+                a,
+                b,
+                pk_idx,
+                &buf_a[slot * a_len..(slot + 1) * a_len],
+                &buf_b[slot * b_len..(slot + 1) * b_len],
+                cp,
+            );
+        }
+    }
+
+    /// Multi-threaded execution: packs of `P` matrices are distributed
+    /// across the rayon pool (parallelism *between* packs, each thread
+    /// running the same plan with a thread-local packing buffer). This is
+    /// the paper's "extend our approach to multicore CPU" future-work item;
+    /// the Batch Counter degenerates to one pack per task since every
+    /// worker owns a private L1.
+    #[cfg(feature = "parallel")]
+    pub fn execute_parallel(
+        &self,
+        alpha: E,
+        a: &CompactBatch<E>,
+        b: &CompactBatch<E>,
+        beta: E,
+        c: &mut CompactBatch<E>,
+    ) -> Result<(), LayoutError> {
+        use rayon::prelude::*;
+        self.validate(a, b, c)?;
+        let (a_len, b_len) = self.panel_lens();
+        let ps = c.pack_stride();
+        c.as_scalars_mut()
+            .par_chunks_mut(ps)
+            .enumerate()
+            .for_each_init(PackBuffer::<E::Real>::new, |buf, (pk_idx, c_pack)| {
+                let (buf_a, buf_b) = buf.split_two(a_len, b_len);
+                self.pack_one(a, b, pk_idx, buf_a, buf_b);
+                self.compute_one(alpha, beta, a, b, pk_idx, buf_a, buf_b, c_pack.as_mut_ptr());
+            });
+        Ok(())
+    }
+
+    /// Renders the plan as the paper's command-queue view.
+    pub fn commands(&self) -> Vec<Command> {
+        let mut out = Vec::new();
+        let mut sb = 0usize;
+        while sb < self.packs {
+            let sb_packs = self.group_packs.min(self.packs - sb);
+            for slot in 0..sb_packs {
+                let pack = sb + slot;
+                if self.a_plan == OperandPlan::Packed {
+                    out.push(Command::PackA { pack });
+                }
+                if self.b_plan == OperandPlan::Packed {
+                    out.push(Command::PackB { pack });
+                }
+            }
+            for slot in 0..sb_packs {
+                let pack = sb + slot;
+                for &(j0, w) in &self.n_tiles {
+                    for &(i0, h) in &self.m_tiles {
+                        out.push(Command::Gemm {
+                            pack,
+                            i0,
+                            j0,
+                            mr: h,
+                            nr: w,
+                        });
+                    }
+                }
+            }
+            sb += sb_packs;
+        }
+        out
+    }
+}
+
+
+fn decide(policy: PackPolicy, conj: bool, needs_pack: bool) -> OperandPlan {
+    match policy {
+        PackPolicy::Always => OperandPlan::Packed,
+        PackPolicy::Never => {
+            if conj {
+                OperandPlan::Packed
+            } else {
+                OperandPlan::Direct
+            }
+        }
+        PackPolicy::Auto => {
+            if conj || needs_pack {
+                OperandPlan::Packed
+            } else {
+                OperandPlan::Direct
+            }
+        }
+    }
+}
+
+fn check_shape<E: CompactElement>(
+    operand: &'static str,
+    batch: &CompactBatch<E>,
+    rows: usize,
+    cols: usize,
+    count: usize,
+) -> Result<(), LayoutError> {
+    if (batch.rows(), batch.cols()) != (rows, cols) {
+        return Err(LayoutError::ShapeMismatch {
+            operand,
+            expected: (rows, cols),
+            got: (batch.rows(), batch.cols()),
+        });
+    }
+    if batch.count() != count {
+        return Err(LayoutError::BatchMismatch {
+            operand,
+            expected: count,
+            got: batch.count(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_selection_follows_paper_rule() {
+        let cfg = TuningConfig::default();
+        // M ≤ m_r and N ≤ n_r: both direct.
+        let p = GemmPlan::<f64>::new(GemmDims::new(4, 4, 9), GemmMode::NN, false, false, 10, &cfg)
+            .unwrap();
+        assert_eq!(p.a_plan, OperandPlan::Direct);
+        assert_eq!(p.b_plan, OperandPlan::Direct);
+        // M > m_r forces A packing.
+        let p = GemmPlan::<f64>::new(GemmDims::new(5, 4, 9), GemmMode::NN, false, false, 10, &cfg)
+            .unwrap();
+        assert_eq!(p.a_plan, OperandPlan::Packed);
+        assert_eq!(p.b_plan, OperandPlan::Direct);
+        // complex kernels are 3×2
+        let p = GemmPlan::<iatf_simd::c32>::new(
+            GemmDims::new(3, 3, 3),
+            GemmMode::NN,
+            false,
+            false,
+            4,
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(p.a_plan, OperandPlan::Direct);
+        assert_eq!(p.b_plan, OperandPlan::Packed); // 3 > NR = 2
+    }
+
+    #[test]
+    fn conjugation_forces_packing() {
+        let cfg = TuningConfig::default();
+        let p = GemmPlan::<iatf_simd::c64>::new(
+            GemmDims::new(2, 2, 2),
+            GemmMode::NN,
+            true,
+            true,
+            4,
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(p.a_plan, OperandPlan::Packed);
+        assert_eq!(p.b_plan, OperandPlan::Packed);
+    }
+
+    #[test]
+    fn policy_overrides() {
+        let mut cfg = TuningConfig {
+            pack: PackPolicy::Always,
+            ..TuningConfig::default()
+        };
+        let p = GemmPlan::<f32>::new(GemmDims::new(2, 2, 2), GemmMode::NN, false, false, 4, &cfg)
+            .unwrap();
+        assert_eq!(p.a_plan, OperandPlan::Packed);
+        cfg.pack = PackPolicy::Never;
+        let p = GemmPlan::<f32>::new(
+            GemmDims::new(20, 20, 20),
+            GemmMode::TT,
+            false,
+            false,
+            4,
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(p.a_plan, OperandPlan::Direct);
+        assert_eq!(p.b_plan, OperandPlan::Direct);
+    }
+
+    #[test]
+    fn batch_counter_scales_with_size() {
+        let cfg = TuningConfig::default();
+        let small =
+            GemmPlan::<f32>::new(GemmDims::square(2), GemmMode::NN, false, false, 4096, &cfg)
+                .unwrap();
+        let large =
+            GemmPlan::<f32>::new(GemmDims::square(32), GemmMode::NN, false, false, 4096, &cfg)
+                .unwrap();
+        assert!(small.group_packs > large.group_packs);
+        assert!(large.group_packs >= 1);
+    }
+
+    #[test]
+    fn command_queue_covers_every_tile_once() {
+        let cfg = TuningConfig::default();
+        let plan =
+            GemmPlan::<f64>::new(GemmDims::new(7, 6, 5), GemmMode::NN, false, false, 5, &cfg)
+                .unwrap();
+        let cmds = plan.commands();
+        let mut tiles_seen = std::collections::HashSet::new();
+        let mut area_by_pack = vec![0usize; 3];
+        for c in &cmds {
+            if let Command::Gemm {
+                pack,
+                i0,
+                j0,
+                mr,
+                nr,
+            } = c
+            {
+                assert!(tiles_seen.insert((*pack, *i0, *j0)), "duplicate tile");
+                area_by_pack[*pack] += mr * nr;
+            }
+        }
+        for area in area_by_pack {
+            assert_eq!(area, 42);
+        }
+    }
+
+    #[test]
+    fn pack_commands_precede_compute_within_superblock() {
+        let cfg = TuningConfig {
+            pack: PackPolicy::Always,
+            batch: crate::config::BatchPolicy::Fixed(2),
+            ..TuningConfig::default()
+        };
+        let plan =
+            GemmPlan::<f64>::new(GemmDims::square(4), GemmMode::NN, false, false, 8, &cfg).unwrap();
+        let cmds = plan.commands();
+        // with P=2 → 4 packs → 2 super-blocks of 2
+        let pack_positions: Vec<usize> = cmds
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| matches!(c, Command::PackA { .. } | Command::PackB { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(pack_positions.len(), 8);
+        // first superblock: packs 0,1 packed before any Gemm command
+        let first_gemm = cmds
+            .iter()
+            .position(|c| matches!(c, Command::Gemm { .. }))
+            .unwrap();
+        assert!(pack_positions.iter().filter(|&&p| p < first_gemm).count() == 4);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let cfg = TuningConfig::default();
+        let plan =
+            GemmPlan::<f64>::new(GemmDims::new(3, 4, 5), GemmMode::NN, false, false, 2, &cfg)
+                .unwrap();
+        let a = CompactBatch::<f64>::zeroed(3, 5, 2);
+        let b = CompactBatch::<f64>::zeroed(5, 4, 2);
+        let mut c_bad = CompactBatch::<f64>::zeroed(4, 3, 2);
+        assert!(plan.execute(1.0, &a, &b, 1.0, &mut c_bad).is_err());
+        let b_bad = CompactBatch::<f64>::zeroed(4, 5, 2);
+        let mut c = CompactBatch::<f64>::zeroed(3, 4, 2);
+        assert!(plan.execute(1.0, &a, &b_bad, 1.0, &mut c).is_err());
+        let a_badcount = CompactBatch::<f64>::zeroed(3, 5, 3);
+        assert!(plan.execute(1.0, &a_badcount, &b, 1.0, &mut c).is_err());
+        assert!(plan.execute(1.0, &a, &b, 1.0, &mut c).is_ok());
+    }
+
+    #[test]
+    fn zero_dims_rejected_at_planning() {
+        let cfg = TuningConfig::default();
+        assert!(
+            GemmPlan::<f32>::new(GemmDims::new(0, 1, 1), GemmMode::NN, false, false, 1, &cfg)
+                .is_err()
+        );
+        assert!(
+            GemmPlan::<f32>::new(GemmDims::new(1, 1, 1), GemmMode::NN, false, false, 0, &cfg)
+                .is_err()
+        );
+    }
+}

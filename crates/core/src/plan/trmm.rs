@@ -1,0 +1,249 @@
+//! TRMM execution plans (extension: the paper's future-work "other BLAS
+//! functions under the SIMD-friendly data layout").
+//!
+//! `B = α·op(A)·B` (left) / `B = α·B·op(A)` (right) with triangular A.
+//! Mode canonicalization reuses the TRSM index maps verbatim — the algebra
+//! is identical (`X·op(A) = (op(A)ᵀ·Xᵀ)ᵀ`, reversal turns effective-upper
+//! into lower). The one structural difference: a canonical-lower *multiply*
+//! consumes original rows at or **above** each row, so diagonal blocks are
+//! processed **bottom-up** (TRSM solves top-down).
+
+use crate::config::{PackPolicy, TuningConfig};
+use crate::elem::CompactElement;
+use crate::plan::{group_packs, tiles};
+use iatf_layout::{CompactBatch, LayoutError, TrsmDims, TrsmMode};
+use iatf_pack::trsm as pk;
+use iatf_pack::PackBuffer;
+
+/// A reusable execution plan for compact batched TRMM.
+#[derive(Clone, Debug)]
+pub struct TrmmPlan<E: CompactElement> {
+    dims: TrsmDims,
+    mode: TrsmMode,
+    map: pk::TrsmIndexMap,
+    count: usize,
+    packs: usize,
+    /// Packs per super-block (Batch Counter output).
+    pub group_packs: usize,
+    /// True when B panels must be gathered (mode not canonical on B).
+    pub pack_b_structural: bool,
+    blocks: Vec<(usize, usize)>,
+    a_blocks: Vec<pk::ABlockLayout>,
+    a_len: usize,
+    panels: Vec<(usize, usize)>,
+    _marker: core::marker::PhantomData<E>,
+}
+
+impl<E: CompactElement> TrmmPlan<E> {
+    /// Builds a plan from the input matrix properties (B is `m × n`; A has
+    /// the order of the selected side, exactly as in TRSM).
+    pub fn new(
+        dims: TrsmDims,
+        mode: TrsmMode,
+        conj: bool,
+        count: usize,
+        cfg: &TuningConfig,
+    ) -> Result<Self, LayoutError> {
+        dims.validate()?;
+        if count == 0 {
+            return Err(LayoutError::EmptyDimension("batch count"));
+        }
+        let map = pk::TrsmIndexMap::new(mode, conj, dims.m, dims.n);
+        // TRMM has no register-capacity special case to exploit beyond the
+        // block kernel size: block uniformly by the kernel height.
+        let blocks = pk::block_decomposition(map.t, E::TRSM_TB, E::TRSM_TB);
+        let (a_blocks, a_len) = pk::a_layout::<E>(&blocks);
+        let panels = tiles(map.bn, E::TRSM_NR);
+        let identity_b = !map.reversed && !map.side_right;
+        let pack_b_structural = match cfg.pack {
+            PackPolicy::Always => true,
+            PackPolicy::Never | PackPolicy::Auto => !identity_b,
+        };
+        let g = CompactBatch::<E>::GROUP;
+        let scalar_bytes = core::mem::size_of::<E::Real>();
+        let bytes_per_pack = (a_len + map.t * map.bn * g) * scalar_bytes;
+        let packs = count.div_ceil(E::P);
+        let gp = group_packs(cfg.batch, cfg.l1_budget_bytes(), bytes_per_pack, packs);
+        Ok(Self {
+            dims,
+            mode,
+            map,
+            count,
+            packs,
+            group_packs: gp,
+            pack_b_structural,
+            blocks,
+            a_blocks,
+            a_len,
+            panels,
+            _marker: core::marker::PhantomData,
+        })
+    }
+
+    /// Problem dimensions.
+    pub fn dims(&self) -> TrsmDims {
+        self.dims
+    }
+
+    /// Mode.
+    pub fn mode(&self) -> TrsmMode {
+        self.mode
+    }
+
+    /// The diagonal-block decomposition (executed bottom-up).
+    pub fn blocks(&self) -> &[(usize, usize)] {
+        &self.blocks
+    }
+
+    fn validate(&self, a: &CompactBatch<E>, b: &CompactBatch<E>) -> Result<(), LayoutError> {
+        let t = self.map.t;
+        if (a.rows(), a.cols()) != (t, t) {
+            return Err(LayoutError::ShapeMismatch {
+                operand: "A",
+                expected: (t, t),
+                got: (a.rows(), a.cols()),
+            });
+        }
+        if (b.rows(), b.cols()) != (self.dims.m, self.dims.n) {
+            return Err(LayoutError::ShapeMismatch {
+                operand: "B",
+                expected: (self.dims.m, self.dims.n),
+                got: (b.rows(), b.cols()),
+            });
+        }
+        if a.count() != self.count || b.count() != self.count {
+            return Err(LayoutError::BatchMismatch {
+                operand: "A/B",
+                expected: self.count,
+                got: a.count().min(b.count()),
+            });
+        }
+        Ok(())
+    }
+
+    /// Executes the plan: B is overwritten with `α·op(A)·B` (left) or
+    /// `α·B·op(A)` (right).
+    pub fn execute(
+        &self,
+        alpha: E,
+        a: &CompactBatch<E>,
+        b: &mut CompactBatch<E>,
+    ) -> Result<(), LayoutError> {
+        self.validate(a, b)?;
+        let g = CompactBatch::<E>::GROUP;
+        let pack_b = self.pack_b_structural;
+        let panel_cap = if pack_b {
+            self.panels
+                .iter()
+                .map(|&(_, w)| pk::panel_b_len::<E>(self.map.t, w))
+                .max()
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        let mut buf = PackBuffer::<E::Real>::new();
+        let b_rows = b.rows();
+        let a_rows = a.rows();
+        let bps = b.pack_stride();
+        let gp = self.group_packs;
+        let mut sb = 0usize;
+        while sb < self.packs {
+            let sb_packs = gp.min(self.packs - sb);
+            let (buf_a, buf_panel) = buf.split_two(self.a_len * sb_packs, panel_cap);
+            for slot in 0..sb_packs {
+                let pack = sb + slot;
+                let live = E::P.min(self.count - pack * E::P);
+                // direct (non-reciprocal) diagonal for the multiply
+                pk::pack_a_tri::<E>(
+                    &mut buf_a[slot * self.a_len..(slot + 1) * self.a_len],
+                    a.pack_slice(pack),
+                    a_rows,
+                    &self.map,
+                    &self.a_blocks,
+                    live,
+                    false,
+                );
+            }
+            for slot in 0..sb_packs {
+                let pack = sb + slot;
+                let ab = &buf_a[slot * self.a_len..(slot + 1) * self.a_len];
+                let b_pack = &mut b.as_scalars_mut()[pack * bps..(pack + 1) * bps];
+                for &(j0, w) in &self.panels {
+                    let (panel_ptr, row_stride, col_stride) = if pack_b {
+                        let len = pk::panel_b_len::<E>(self.map.t, w);
+                        pk::pack_b_panel::<E>(
+                            &mut buf_panel[..len],
+                            b_pack,
+                            b_rows,
+                            &self.map,
+                            j0,
+                            w,
+                            E::one(),
+                        );
+                        (buf_panel.as_mut_ptr(), w * g, g)
+                    } else {
+                        let ptr = unsafe { b_pack.as_mut_ptr().add(j0 * b_rows * g) };
+                        (ptr, g, b_rows * g)
+                    };
+                    // bottom-up over diagonal blocks: rows above any block
+                    // stay original until that block consumes them
+                    for blk in self.a_blocks.iter().rev() {
+                        // Safety: identical operand coverage to the TRSM
+                        // path, validated above.
+                        unsafe {
+                            E::trmm_kernel(
+                                blk.mb,
+                                w,
+                                blk.r0,
+                                alpha,
+                                ab.as_ptr().add(blk.rect_off),
+                                g,
+                                blk.mb * g,
+                                ab.as_ptr().add(blk.tri_off),
+                                panel_ptr,
+                                blk.r0,
+                                row_stride,
+                                col_stride,
+                            );
+                        }
+                    }
+                    if pack_b {
+                        let len = pk::panel_b_len::<E>(self.map.t, w);
+                        pk::unpack_b_panel::<E>(&buf_panel[..len], b_pack, b_rows, &self.map, j0, w);
+                    }
+                }
+            }
+            sb += sb_packs;
+        }
+        Ok(())
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_are_uniform_kernel_height() {
+        let cfg = TuningConfig::default();
+        let p = TrmmPlan::<f64>::new(TrsmDims::new(11, 4), TrsmMode::LNLN, false, 4, &cfg)
+            .unwrap();
+        assert_eq!(p.blocks(), &[(0, 4), (4, 4), (8, 3)]);
+        let p = TrmmPlan::<iatf_simd::c32>::new(TrsmDims::new(5, 4), TrsmMode::LNLN, false, 4, &cfg)
+            .unwrap();
+        assert_eq!(p.blocks(), &[(0, 2), (2, 2), (4, 1)]);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let cfg = TuningConfig::default();
+        let plan =
+            TrmmPlan::<f32>::new(TrsmDims::new(4, 6), TrsmMode::LNLN, false, 5, &cfg).unwrap();
+        let a = CompactBatch::<f32>::zeroed(4, 4, 5);
+        let mut b = CompactBatch::<f32>::zeroed(4, 6, 5);
+        assert!(plan.execute(1.0, &a, &mut b).is_ok());
+        let a_bad = CompactBatch::<f32>::zeroed(5, 5, 5);
+        assert!(plan.execute(1.0, &a_bad, &mut b).is_err());
+    }
+}

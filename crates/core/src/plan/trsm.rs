@@ -1,0 +1,428 @@
+//! TRSM execution plans.
+
+use crate::config::{PackPolicy, TuningConfig};
+use crate::elem::CompactElement;
+use crate::plan::{group_packs, tiles, Command};
+use iatf_layout::{CompactBatch, LayoutError, TrsmDims, TrsmMode};
+use iatf_pack::trsm as pk;
+use iatf_pack::PackBuffer;
+
+/// A reusable execution plan for compact batched TRSM:
+/// `op(A)·X = α·B` (left) or `X·op(A) = α·B` (right), X overwriting B.
+#[derive(Clone, Debug)]
+pub struct TrsmPlan<E: CompactElement> {
+    dims: TrsmDims,
+    mode: TrsmMode,
+    map: pk::TrsmIndexMap,
+    count: usize,
+    packs: usize,
+    /// Packs per super-block (Batch Counter output).
+    pub group_packs: usize,
+    /// True when B panels must be gathered (mode not canonical, α ≠ 1 is
+    /// handled at execute time).
+    pub pack_b_structural: bool,
+    blocks: Vec<(usize, usize)>,
+    a_blocks: Vec<pk::ABlockLayout>,
+    a_len: usize,
+    panels: Vec<(usize, usize)>,
+    _marker: core::marker::PhantomData<E>,
+}
+
+impl<E: CompactElement> TrsmPlan<E> {
+    /// Builds a plan from the input matrix properties.
+    pub fn new(
+        dims: TrsmDims,
+        mode: TrsmMode,
+        conj: bool,
+        count: usize,
+        cfg: &TuningConfig,
+    ) -> Result<Self, LayoutError> {
+        dims.validate()?;
+        if count == 0 {
+            return Err(LayoutError::EmptyDimension("batch count"));
+        }
+        let map = pk::TrsmIndexMap::new(mode, conj, dims.m, dims.n);
+        let blocks = pk::block_decomposition(map.t, E::TRSM_TB, E::TRSM_TMAX);
+        let (a_blocks, a_len) = pk::a_layout::<E>(&blocks);
+        let panels = tiles(map.bn, E::TRSM_NR);
+
+        // Pack Selecter: the panel can be streamed in place only when the
+        // canonical mapping is the identity on B (left side, no reversal).
+        let identity_b = !map.reversed && !map.side_right;
+        let pack_b_structural = match cfg.pack {
+            PackPolicy::Always => true,
+            PackPolicy::Never | PackPolicy::Auto => !identity_b,
+        };
+
+        let g = CompactBatch::<E>::GROUP;
+        let scalar_bytes = core::mem::size_of::<E::Real>();
+        // Batch Counter (§5.1): the packed triangle strip plus B cycle L1.
+        let bytes_per_pack = (a_len + map.t * map.bn * g) * scalar_bytes;
+        let packs = count.div_ceil(E::P);
+        let gp = group_packs(cfg.batch, cfg.l1_budget_bytes(), bytes_per_pack, packs);
+
+        Ok(Self {
+            dims,
+            mode,
+            map,
+            count,
+            packs,
+            group_packs: gp,
+            pack_b_structural,
+            blocks,
+            a_blocks,
+            a_len,
+            panels,
+            _marker: core::marker::PhantomData,
+        })
+    }
+
+    /// Problem dimensions.
+    pub fn dims(&self) -> TrsmDims {
+        self.dims
+    }
+
+    /// TRSM mode.
+    pub fn mode(&self) -> TrsmMode {
+        self.mode
+    }
+
+    /// The canonicalizing index map (exposed for tests/diagnostics).
+    pub fn index_map(&self) -> &pk::TrsmIndexMap {
+        &self.map
+    }
+
+    /// The diagonal-block decomposition.
+    pub fn blocks(&self) -> &[(usize, usize)] {
+        &self.blocks
+    }
+
+    fn validate(&self, a: &CompactBatch<E>, b: &CompactBatch<E>) -> Result<(), LayoutError> {
+        let t = self.map.t;
+        if (a.rows(), a.cols()) != (t, t) {
+            return Err(LayoutError::ShapeMismatch {
+                operand: "A",
+                expected: (t, t),
+                got: (a.rows(), a.cols()),
+            });
+        }
+        if (b.rows(), b.cols()) != (self.dims.m, self.dims.n) {
+            return Err(LayoutError::ShapeMismatch {
+                operand: "B",
+                expected: (self.dims.m, self.dims.n),
+                got: (b.rows(), b.cols()),
+            });
+        }
+        if a.count() != self.count {
+            return Err(LayoutError::BatchMismatch {
+                operand: "A",
+                expected: self.count,
+                got: a.count(),
+            });
+        }
+        if b.count() != self.count {
+            return Err(LayoutError::BatchMismatch {
+                operand: "B",
+                expected: self.count,
+                got: b.count(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Executes the plan; B is overwritten with the solution X.
+    pub fn execute(
+        &self,
+        alpha: E,
+        a: &CompactBatch<E>,
+        b: &mut CompactBatch<E>,
+    ) -> Result<(), LayoutError> {
+        self.validate(a, b)?;
+        // α ≠ 1 must be folded in during a copy, so it forces panel packing.
+        let pack_b = self.pack_b_structural || alpha != E::one();
+        let panel_cap = self.panel_cap(pack_b);
+        let mut buf = PackBuffer::<E::Real>::new();
+        let gp = self.group_packs;
+        let b_rows = b.rows();
+        let a_rows = a.rows();
+        let bps = b.pack_stride();
+        let mut sb = 0usize;
+        while sb < self.packs {
+            let sb_packs = gp.min(self.packs - sb);
+            let (buf_a, buf_panel) = buf.split_two(self.a_len * sb_packs, panel_cap);
+            // Packing phase: coefficient triangles for the whole super-block.
+            for slot in 0..sb_packs {
+                let pack = sb + slot;
+                let live = E::P.min(self.count - pack * E::P);
+                pk::pack_a_trsm::<E>(
+                    &mut buf_a[slot * self.a_len..(slot + 1) * self.a_len],
+                    a.pack_slice(pack),
+                    a_rows,
+                    &self.map,
+                    &self.a_blocks,
+                    live,
+                );
+            }
+            // Compute phase: per pack, per column panel, per diagonal block.
+            for slot in 0..sb_packs {
+                let pack = sb + slot;
+                let ab = &buf_a[slot * self.a_len..(slot + 1) * self.a_len];
+                let b_pack =
+                    &mut b.as_scalars_mut()[pack * bps..(pack + 1) * bps];
+                self.solve_pack(alpha, pack_b, ab, buf_panel, b_pack, b_rows);
+            }
+            sb += sb_packs;
+        }
+        Ok(())
+    }
+
+    /// Panel scratch capacity (0 when streaming B in place).
+    fn panel_cap(&self, pack_b: bool) -> usize {
+        if !pack_b {
+            return 0;
+        }
+        self.panels
+            .iter()
+            .map(|&(_, w)| pk::panel_b_len::<E>(self.map.t, w))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Solves one pack's B in place, given its packed A strips.
+    fn solve_pack(
+        &self,
+        alpha: E,
+        pack_b: bool,
+        ab: &[E::Real],
+        buf_panel: &mut [E::Real],
+        b_pack: &mut [E::Real],
+        b_rows: usize,
+    ) {
+        let g = CompactBatch::<E>::GROUP;
+        for &(j0, w) in &self.panels {
+            let (panel_ptr, row_stride, col_stride) = if pack_b {
+                let len = pk::panel_b_len::<E>(self.map.t, w);
+                pk::pack_b_panel::<E>(
+                    &mut buf_panel[..len],
+                    b_pack,
+                    b_rows,
+                    &self.map,
+                    j0,
+                    w,
+                    alpha,
+                );
+                (buf_panel.as_mut_ptr(), w * g, g)
+            } else {
+                // Stream the compact B columns in place: row stride is one
+                // element group, column stride one column.
+                let ptr = unsafe { b_pack.as_mut_ptr().add(j0 * b_rows * g) };
+                (ptr, g, b_rows * g)
+            };
+            for blk in &self.a_blocks {
+                // Safety: panel covers rows 0..t × w columns; the packed A
+                // strips cover blk's rect and triangle.
+                unsafe {
+                    E::trsm_kernel(
+                        blk.mb,
+                        w,
+                        blk.r0,
+                        ab.as_ptr().add(blk.rect_off),
+                        g,
+                        blk.mb * g,
+                        ab.as_ptr().add(blk.tri_off),
+                        panel_ptr,
+                        blk.r0,
+                        row_stride,
+                        col_stride,
+                    );
+                }
+            }
+            if pack_b {
+                let len = pk::panel_b_len::<E>(self.map.t, w);
+                pk::unpack_b_panel::<E>(&buf_panel[..len], b_pack, b_rows, &self.map, j0, w);
+            }
+        }
+    }
+
+    /// Multi-threaded execution: packs are distributed across the rayon
+    /// pool with thread-local scratch (the paper's multicore future-work
+    /// extension; parallelism is between packs, never within a solve).
+    #[cfg(feature = "parallel")]
+    pub fn execute_parallel(
+        &self,
+        alpha: E,
+        a: &CompactBatch<E>,
+        b: &mut CompactBatch<E>,
+    ) -> Result<(), LayoutError> {
+        use rayon::prelude::*;
+        self.validate(a, b)?;
+        let pack_b = self.pack_b_structural || alpha != E::one();
+        let panel_cap = self.panel_cap(pack_b);
+        let b_rows = b.rows();
+        let a_rows = a.rows();
+        let bps = b.pack_stride();
+        let count = self.count;
+        b.as_scalars_mut()
+            .par_chunks_mut(bps)
+            .enumerate()
+            .for_each_init(PackBuffer::<E::Real>::new, |buf, (pack, b_pack)| {
+                let (buf_a, buf_panel) = buf.split_two(self.a_len, panel_cap);
+                let live = E::P.min(count - pack * E::P);
+                pk::pack_a_trsm::<E>(
+                    buf_a,
+                    a.pack_slice(pack),
+                    a_rows,
+                    &self.map,
+                    &self.a_blocks,
+                    live,
+                );
+                self.solve_pack(alpha, pack_b, buf_a, buf_panel, b_pack, b_rows);
+            });
+        Ok(())
+    }
+
+    /// Renders the plan as the paper's command-queue view (assuming packed
+    /// panels; the no-pack fast path elides Pack/Unpack commands).
+    pub fn commands(&self) -> Vec<Command> {
+        let mut out = Vec::new();
+        let mut sb = 0usize;
+        while sb < self.packs {
+            let sb_packs = self.group_packs.min(self.packs - sb);
+            for slot in 0..sb_packs {
+                out.push(Command::PackA { pack: sb + slot });
+            }
+            for slot in 0..sb_packs {
+                let pack = sb + slot;
+                for &(j0, w) in &self.panels {
+                    if self.pack_b_structural {
+                        out.push(Command::PackPanel { pack, j0, w });
+                    }
+                    for &(r0, mb) in &self.blocks {
+                        out.push(Command::TrsmBlock {
+                            pack,
+                            j0,
+                            r0,
+                            mb,
+                            kk: r0,
+                        });
+                    }
+                    if self.pack_b_structural {
+                        out.push(Command::UnpackPanel { pack, j0, w });
+                    }
+                }
+            }
+            sb += sb_packs;
+        }
+        out
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iatf_layout::{Diag, Side, Trans, Uplo};
+
+    #[test]
+    fn canonical_mode_streams_b() {
+        let cfg = TuningConfig::default();
+        let p =
+            TrsmPlan::<f64>::new(TrsmDims::new(4, 8), TrsmMode::LNLN, false, 4, &cfg).unwrap();
+        assert!(!p.pack_b_structural);
+        // LTUN: trans flips upper to effective-lower — still identity on B.
+        let p =
+            TrsmPlan::<f64>::new(TrsmDims::new(4, 8), TrsmMode::LTUN, false, 4, &cfg).unwrap();
+        assert!(!p.pack_b_structural);
+        // LNUN reverses rows — must pack.
+        let p =
+            TrsmPlan::<f64>::new(TrsmDims::new(4, 8), TrsmMode::LNUN, false, 4, &cfg).unwrap();
+        assert!(p.pack_b_structural);
+        // right side transposes B — must pack.
+        let right = TrsmMode::new(Side::Right, Trans::No, Uplo::Lower, Diag::NonUnit);
+        let p = TrsmPlan::<f64>::new(TrsmDims::new(4, 8), right, false, 4, &cfg).unwrap();
+        assert!(p.pack_b_structural);
+    }
+
+    #[test]
+    fn block_structure_matches_capacity() {
+        let cfg = TuningConfig::default();
+        // M = 5 real: single register-resident block.
+        let p =
+            TrsmPlan::<f32>::new(TrsmDims::new(5, 5), TrsmMode::LNLN, false, 4, &cfg).unwrap();
+        assert_eq!(p.blocks(), &[(0, 5)]);
+        // M = 9: blocked 4+4+1.
+        let p =
+            TrsmPlan::<f32>::new(TrsmDims::new(9, 5), TrsmMode::LNLN, false, 4, &cfg).unwrap();
+        assert_eq!(p.blocks(), &[(0, 4), (4, 4), (8, 1)]);
+        // complex: capacity 2.
+        let p = TrsmPlan::<iatf_simd::c64>::new(
+            TrsmDims::new(5, 5),
+            TrsmMode::LNLN,
+            false,
+            4,
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(p.blocks(), &[(0, 2), (2, 2), (4, 1)]);
+    }
+
+    #[test]
+    fn command_queue_solves_blocks_in_order() {
+        let cfg = TuningConfig::default();
+        let p =
+            TrsmPlan::<f64>::new(TrsmDims::new(9, 4), TrsmMode::LNUN, false, 2, &cfg).unwrap();
+        let cmds = p.commands();
+        // within each panel the blocks must appear with increasing r0 and
+        // kk == r0 (rows solved so far)
+        let mut last: Option<(usize, usize, usize)> = None;
+        for c in &cmds {
+            if let Command::TrsmBlock {
+                pack,
+                j0,
+                r0,
+                kk,
+                ..
+            } = c
+            {
+                assert_eq!(r0, kk);
+                if let Some((lp, lj, lr)) = last {
+                    if lp == *pack && lj == *j0 {
+                        assert!(*r0 > lr);
+                    }
+                }
+                last = Some((*pack, *j0, *r0));
+            }
+        }
+        // every panel is packed and unpacked exactly once per pack
+        let packs = cmds
+            .iter()
+            .filter(|c| matches!(c, Command::PackPanel { .. }))
+            .count();
+        let unpacks = cmds
+            .iter()
+            .filter(|c| matches!(c, Command::UnpackPanel { .. }))
+            .count();
+        assert_eq!(packs, unpacks);
+        assert_eq!(packs, 1); // one pack × one panel of width 4
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let cfg = TuningConfig::default();
+        let plan =
+            TrsmPlan::<f64>::new(TrsmDims::new(3, 4), TrsmMode::LNLN, false, 2, &cfg).unwrap();
+        let a = CompactBatch::<f64>::zeroed(3, 3, 2);
+        let mut b = CompactBatch::<f64>::zeroed(3, 4, 2);
+        assert!(plan.execute(1.0, &a, &mut b).is_ok());
+        let a_bad = CompactBatch::<f64>::zeroed(4, 4, 2);
+        assert!(plan.execute(1.0, &a_bad, &mut b).is_err());
+        let mut b_bad = CompactBatch::<f64>::zeroed(4, 3, 2);
+        assert!(plan.execute(1.0, &a, &mut b_bad).is_err());
+        // right side: triangle order is N
+        let right = TrsmMode::new(Side::Right, Trans::No, Uplo::Upper, Diag::NonUnit);
+        let plan = TrsmPlan::<f64>::new(TrsmDims::new(3, 4), right, false, 2, &cfg).unwrap();
+        let a4 = CompactBatch::<f64>::zeroed(4, 4, 2);
+        let mut b34 = CompactBatch::<f64>::zeroed(3, 4, 2);
+        assert!(plan.execute(1.0, &a4, &mut b34).is_ok());
+    }
+}

@@ -1,0 +1,68 @@
+//! Multicore execution (`parallel` feature): results must be identical to
+//! the sequential path — packs are independent, so the parallel schedule
+//! cannot change any rounding.
+
+#![cfg(feature = "parallel")]
+
+use iatf_core::{GemmPlan, TrsmPlan, TuningConfig};
+use iatf_layout::{CompactBatch, GemmDims, GemmMode, StdBatch, TrsmDims, TrsmMode};
+use iatf_simd::c64;
+
+#[test]
+fn parallel_gemm_matches_sequential_bitwise() {
+    let cfg = TuningConfig::default();
+    for (m, n, k, count) in [(4usize, 4usize, 4usize, 64usize), (9, 7, 5, 33), (17, 3, 8, 10)] {
+        let a = CompactBatch::from_std(&StdBatch::<f32>::random(m, k, count, 1));
+        let b = CompactBatch::from_std(&StdBatch::<f32>::random(k, n, count, 2));
+        let plan =
+            GemmPlan::<f32>::new(GemmDims::new(m, n, k), GemmMode::NN, false, false, count, &cfg)
+                .unwrap();
+        let mut c_seq = CompactBatch::<f32>::zeroed(m, n, count);
+        plan.execute(1.5, &a, &b, 0.0, &mut c_seq).unwrap();
+        let mut c_par = CompactBatch::<f32>::zeroed(m, n, count);
+        plan.execute_parallel(1.5, &a, &b, 0.0, &mut c_par).unwrap();
+        assert_eq!(c_seq.as_scalars(), c_par.as_scalars(), "{m}x{n}x{k}");
+    }
+}
+
+#[test]
+fn parallel_trsm_matches_sequential_bitwise() {
+    let cfg = TuningConfig::default();
+    for mode in [TrsmMode::LNLN, TrsmMode::LNUN, TrsmMode::LTUN] {
+        let (m, n, count) = (9usize, 6usize, 41usize);
+        let a_std =
+            StdBatch::<f64>::random_triangular(m, count, mode.uplo, mode.diag, 7);
+        let a = CompactBatch::from_std(&a_std);
+        let b0 = CompactBatch::from_std(&StdBatch::<f64>::random(m, n, count, 8));
+        let plan = TrsmPlan::<f64>::new(TrsmDims::new(m, n), mode, false, count, &cfg).unwrap();
+        let mut b_seq = b0.clone();
+        plan.execute(2.0, &a, &mut b_seq).unwrap();
+        let mut b_par = b0.clone();
+        plan.execute_parallel(2.0, &a, &mut b_par).unwrap();
+        assert_eq!(b_seq.as_scalars(), b_par.as_scalars(), "{mode}");
+    }
+}
+
+#[test]
+fn parallel_complex_pipeline() {
+    let cfg = TuningConfig::default();
+    let count = 23usize;
+    let a = CompactBatch::from_std(&StdBatch::<c64>::random(6, 6, count, 11));
+    let b = CompactBatch::from_std(&StdBatch::<c64>::random(6, 6, count, 12));
+    let plan = GemmPlan::<c64>::new(
+        GemmDims::square(6),
+        GemmMode::TT,
+        false,
+        false,
+        count,
+        &cfg,
+    )
+    .unwrap();
+    let alpha = c64::new(0.5, -1.0);
+    let mut c_seq = CompactBatch::<c64>::zeroed(6, 6, count);
+    plan.execute(alpha, &a, &b, c64::zero(), &mut c_seq).unwrap();
+    let mut c_par = CompactBatch::<c64>::zeroed(6, 6, count);
+    plan.execute_parallel(alpha, &a, &b, c64::zero(), &mut c_par)
+        .unwrap();
+    assert_eq!(c_seq.as_scalars(), c_par.as_scalars());
+}

@@ -1,0 +1,168 @@
+//! Failure injection and robustness: non-finite inputs, degenerate shapes,
+//! large groups, and plan/operand lifecycle misuse.
+
+use iatf_baselines::naive;
+use iatf_core::{compact_gemm, compact_trsm, GemmPlan, TuningConfig};
+use iatf_layout::{CompactBatch, GemmDims, GemmMode, StdBatch, TrsmMode};
+
+#[test]
+fn nan_stays_confined_to_its_matrix() {
+    // A NaN in matrix v must poison only matrix v's outputs: the compact
+    // layout interleaves lanes, so this checks lane isolation end to end.
+    let cfg = TuningConfig::default();
+    let count = 9usize;
+    let n = 6usize;
+    let mut a_std = StdBatch::<f32>::random(n, n, count, 1);
+    a_std.set(4, 2, 3, f32::NAN);
+    let b_std = StdBatch::<f32>::random(n, n, count, 2);
+    let a = CompactBatch::from_std(&a_std);
+    let b = CompactBatch::from_std(&b_std);
+    let mut c = CompactBatch::<f32>::zeroed(n, n, count);
+    compact_gemm(GemmMode::NN, 1.0, &a, &b, 0.0, &mut c, &cfg).unwrap();
+    for v in 0..count {
+        for i in 0..n {
+            for j in 0..n {
+                let x = c.get(v, i, j);
+                if v == 4 && i == 2 {
+                    // row 2 of matrix 4 consumed the NaN
+                    assert!(x.is_nan(), "expected NaN at ({v},{i},{j})");
+                } else {
+                    assert!(x.is_finite(), "leaked non-finite to ({v},{i},{j})");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn infinity_propagates_like_the_oracle() {
+    let cfg = TuningConfig::default();
+    let mut a_std = StdBatch::<f64>::random(4, 4, 3, 5);
+    a_std.set(1, 0, 0, f64::INFINITY);
+    let b_std = StdBatch::<f64>::random(4, 4, 3, 6);
+    let mut want = StdBatch::<f64>::zeroed(4, 4, 3);
+    naive::gemm_ref(GemmMode::NN, false, false, 1.0, &a_std, &b_std, 0.0, &mut want);
+    let a = CompactBatch::from_std(&a_std);
+    let b = CompactBatch::from_std(&b_std);
+    let mut c = CompactBatch::<f64>::zeroed(4, 4, 3);
+    compact_gemm(GemmMode::NN, 1.0, &a, &b, 0.0, &mut c, &cfg).unwrap();
+    let got = c.to_std();
+    for v in 0..3 {
+        for i in 0..4 {
+            for j in 0..4 {
+                let (w, g) = (want.get(v, i, j), got.get(v, i, j));
+                assert_eq!(w.is_finite(), g.is_finite(), "({v},{i},{j})");
+                if w.is_finite() {
+                    assert!((w - g).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn trsm_zero_rhs_yields_zero_solution() {
+    let cfg = TuningConfig::default();
+    let a = CompactBatch::from_std(&StdBatch::<f64>::random_triangular(
+        7,
+        5,
+        iatf_layout::Uplo::Lower,
+        iatf_layout::Diag::NonUnit,
+        3,
+    ));
+    let mut b = CompactBatch::<f64>::zeroed(7, 4, 5);
+    compact_trsm(TrsmMode::LNLN, 1.0, &a, &mut b, &cfg).unwrap();
+    assert!(b.as_scalars().iter().all(|&x| x == 0.0));
+}
+
+#[test]
+fn alpha_zero_trsm_zeroes_b() {
+    let cfg = TuningConfig::default();
+    let a = CompactBatch::from_std(&StdBatch::<f64>::random_triangular(
+        4,
+        3,
+        iatf_layout::Uplo::Lower,
+        iatf_layout::Diag::NonUnit,
+        3,
+    ));
+    let mut b = CompactBatch::from_std(&StdBatch::<f64>::random(4, 4, 3, 9));
+    compact_trsm(TrsmMode::LNLN, 0.0, &a, &mut b, &cfg).unwrap();
+    for v in 0..3 {
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(b.get(v, i, j), 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn large_group_identity_check() {
+    // batch 16384 (the paper's group size) against an identity-B oracle —
+    // O(1) verification per element, so this is fast even in debug builds.
+    let cfg = TuningConfig::default();
+    let count = 16384usize;
+    let n = 5usize;
+    let a_std = StdBatch::<f32>::random(n, n, count, 31);
+    let eye = StdBatch::<f32>::from_fn(n, n, count, |_, i, j| if i == j { 1.0 } else { 0.0 });
+    let a = CompactBatch::from_std(&a_std);
+    let b = CompactBatch::from_std(&eye);
+    let mut c = CompactBatch::<f32>::zeroed(n, n, count);
+    compact_gemm(GemmMode::NN, 1.0, &a, &b, 0.0, &mut c, &cfg).unwrap();
+    for v in (0..count).step_by(1013) {
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(c.get(v, i, j), a_std.get(v, i, j), "({v},{i},{j})");
+            }
+        }
+    }
+    // padding case too
+    assert_eq!(c.get(count - 1, n - 1, n - 1), a_std.get(count - 1, n - 1, n - 1));
+}
+
+#[test]
+fn plan_survives_operand_replacement() {
+    // a plan holds no operand state: dropping and rebuilding batches
+    // between executions must be safe
+    let cfg = TuningConfig::default();
+    let plan =
+        GemmPlan::<f64>::new(GemmDims::square(4), GemmMode::NN, false, false, 6, &cfg).unwrap();
+    for round in 0..3 {
+        let a = CompactBatch::from_std(&StdBatch::<f64>::random(4, 4, 6, round));
+        let b = CompactBatch::from_std(&StdBatch::<f64>::random(4, 4, 6, round + 10));
+        let mut c = CompactBatch::<f64>::zeroed(4, 4, 6);
+        plan.execute(1.0, &a, &b, 0.0, &mut c).unwrap();
+        assert!(c.get(5, 3, 3).is_finite());
+    }
+}
+
+#[test]
+fn k_one_and_k_zero_edge() {
+    // K = 1 exercises the SUB-only arm everywhere; m=n=1 exercises the
+    // smallest kernels with padding.
+    let cfg = TuningConfig::default();
+    for count in [1usize, 2, 3, 5] {
+        let a = CompactBatch::from_std(&StdBatch::<f64>::random(1, 1, count, 1));
+        let b = CompactBatch::from_std(&StdBatch::<f64>::random(1, 1, count, 2));
+        let mut c = CompactBatch::<f64>::zeroed(1, 1, count);
+        compact_gemm(GemmMode::NN, 2.0, &a, &b, 0.0, &mut c, &cfg).unwrap();
+        for v in 0..count {
+            let want = 2.0 * a.get(v, 0, 0) * b.get(v, 0, 0);
+            assert!((c.get(v, 0, 0) - want).abs() < 1e-14);
+        }
+    }
+}
+
+#[test]
+fn denormal_inputs_do_not_panic() {
+    let cfg = TuningConfig::default();
+    let tiny = f64::MIN_POSITIVE / 4.0; // subnormal
+    let a_std = StdBatch::<f64>::from_fn(3, 3, 4, |_, _, _| tiny);
+    let b_std = StdBatch::<f64>::from_fn(3, 3, 4, |_, _, _| tiny);
+    let a = CompactBatch::from_std(&a_std);
+    let b = CompactBatch::from_std(&b_std);
+    let mut c = CompactBatch::<f64>::zeroed(3, 3, 4);
+    compact_gemm(GemmMode::NN, 1.0, &a, &b, 0.0, &mut c, &cfg).unwrap();
+    // products underflow to zero — fine, just must not trap
+    assert!(c.as_scalars().iter().all(|x| x.is_finite()));
+}

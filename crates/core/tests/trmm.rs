@@ -1,0 +1,93 @@
+//! End-to-end TRMM (extension) correctness: IATF compact TRMM against the
+//! scalar oracle for all sixteen modes, dtypes and batch paddings.
+
+use iatf_baselines::naive;
+use iatf_core::{compact_trmm, compact_trmm_ex, TuningConfig};
+use iatf_layout::{CompactBatch, Side, StdBatch, TrsmMode};
+use iatf_simd::{c32, c64, Real};
+
+fn check<E: iatf_core::CompactElement>(
+    m: usize,
+    n: usize,
+    mode: TrsmMode,
+    conj: bool,
+    count: usize,
+    alpha: E,
+    seed: u64,
+) {
+    let t = if mode.side == Side::Left { m } else { n };
+    let a = StdBatch::<E>::random_triangular(t, count, mode.uplo, mode.diag, seed);
+    let b0 = StdBatch::<E>::random(m, n, count, seed + 1);
+
+    let ca = CompactBatch::from_std(&a);
+    let mut cb = CompactBatch::from_std(&b0);
+    compact_trmm_ex(mode, conj, alpha, &ca, &mut cb, &TuningConfig::default()).unwrap();
+    let got = cb.to_std();
+
+    let mut want = b0.clone();
+    naive::trmm_ref(mode, conj, alpha, &a, &mut want);
+    let diff = want.max_abs_diff(&got);
+    let tol = if E::Real::BYTES == 4 { 1e-3 } else { 1e-11 };
+    assert!(
+        diff < tol,
+        "trmm {:?} {m}x{n} {mode} conj={conj} count={count}: diff {diff}",
+        E::DTYPE
+    );
+}
+
+#[test]
+fn trmm_size_sweep_lnln() {
+    for nsize in [1usize, 2, 3, 4, 5, 7, 8, 9, 12, 16, 17, 33] {
+        check::<f32>(nsize, nsize, TrsmMode::LNLN, false, 9, 1.0, nsize as u64);
+        check::<f64>(nsize, nsize, TrsmMode::LNLN, false, 5, 1.0, nsize as u64);
+        check::<c32>(nsize, nsize, TrsmMode::LNLN, false, 6, c32::new(1.0, 0.0), nsize as u64);
+        check::<c64>(nsize, nsize, TrsmMode::LNLN, false, 3, c64::new(1.0, 0.0), nsize as u64);
+    }
+}
+
+#[test]
+fn trmm_all_sixteen_modes() {
+    for mode in TrsmMode::all() {
+        check::<f32>(9, 7, mode, false, 10, 1.0, 3000);
+        check::<f64>(6, 10, mode, false, 5, 1.0, 3100);
+        check::<c64>(5, 4, mode, false, 4, c64::new(1.0, 0.0), 3200);
+    }
+}
+
+#[test]
+fn trmm_alpha_and_conj() {
+    check::<f64>(8, 8, TrsmMode::LNLN, false, 5, -2.5, 3300);
+    check::<f32>(6, 9, TrsmMode::LNUN, false, 7, 0.5, 3301);
+    check::<c64>(4, 4, TrsmMode::LTLN, true, 5, c64::new(0.0, 1.0), 3302);
+    check::<c32>(5, 5, TrsmMode::LNLN, true, 6, c32::new(1.0, -1.0), 3303);
+}
+
+#[test]
+fn trmm_then_trsm_round_trips() {
+    // TRSM(L, TRMM(L, B)) == B — the two extensions compose to identity.
+    let cfg = TuningConfig::default();
+    let count = 7usize;
+    let n = 10usize;
+    let a = StdBatch::<f64>::random_triangular(
+        n,
+        count,
+        iatf_layout::Uplo::Lower,
+        iatf_layout::Diag::NonUnit,
+        41,
+    );
+    let b0 = StdBatch::<f64>::random(n, n, count, 42);
+    let ca = CompactBatch::from_std(&a);
+    let mut cb = CompactBatch::from_std(&b0);
+    compact_trmm(TrsmMode::LNLN, 1.0, &ca, &mut cb, &cfg).unwrap();
+    iatf_core::compact_trsm(TrsmMode::LNLN, 1.0, &ca, &mut cb, &cfg).unwrap();
+    let diff = b0.max_abs_diff(&cb.to_std());
+    assert!(diff < 1e-10, "round trip diff {diff}");
+}
+
+#[test]
+fn trmm_batch_padding() {
+    for count in [1usize, 2, 3, 4, 5, 9] {
+        check::<f32>(6, 6, TrsmMode::LNLN, false, count, 1.0, 3400);
+        check::<f64>(6, 6, TrsmMode::LTUN, false, count, 1.0, 3401);
+    }
+}

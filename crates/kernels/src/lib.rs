@@ -1,0 +1,60 @@
+//! Computing kernels for the SIMD-friendly compact layout.
+//!
+//! This crate is the run-time realization of the paper's *install-time
+//! stage* kernel set (§4.2, Table 1): every GEMM and TRSM microkernel size
+//! the Computing Kernel Designer generates, implemented as monomorphized
+//! Rust functions over the 128-bit SIMD abstraction. The structural model of
+//! the paper's assembly generation — the six templates, Algorithm 3's
+//! sequencing, and the instruction scheduling passes — lives in
+//! `iatf-codegen`; the kernels here follow the same ping-pong two-deep
+//! software pipeline so the two paths are semantically interchangeable
+//! (asserted by cross-tests in `iatf-codegen`).
+//!
+//! # Kernel anatomy (paper Algorithm 2)
+//!
+//! A GEMM microkernel updates a `P × m_r × n_r` tile of C with the product of
+//! a `P × m_r × K` sliver of A and a `P × K × n_r` sliver of B, where `P` is
+//! the interleaving factor (lanes). Two register sets for A and B alternate
+//! ("ping-pong"): while one set feeds the FMAs of step `k`, the other is
+//! being loaded with step `k+1`, so loads never stall the FMA pipeline.
+//!
+//! All operand addressing is strided, which lets the same kernel body serve
+//! both the packed path (unit-stride panels produced by `iatf-pack`) and the
+//! paper's *no-pack* fast path (§4.4) where the kernel streams straight out
+//! of the compact layout.
+//!
+//! # Sizes (paper Table 1)
+//!
+//! | | main | generated set |
+//! |---|---|---|
+//! | real GEMM | 4×4 | m_r ∈ 1..=4, n_r ∈ 1..=4 |
+//! | complex GEMM | 3×2 | m_r ∈ 1..=3, n_r ∈ 1..=2 |
+//! | real TRSM | 4×4 | m_r ∈ 1..=5 (triangle), n_r ∈ 1..=4 |
+//! | complex TRSM | 2×2 | m_r ∈ 1..=2, n_r ∈ 1..=2 |
+//!
+//! The real-TRSM triangle goes up to `m_r = 5` because with the whole
+//! triangle register-resident the constraint is `M(M+1)/2 + 2M ≤ 32` → `M ≤ 5`
+//! (paper §4.2.2).
+
+#![warn(missing_docs)]
+// Indexed loops over fixed-size register arrays mirror the generated-
+// assembly structure and unroll identically; BLAS kernel signatures are
+// inherently wide.
+#![allow(clippy::needless_range_loop, clippy::too_many_arguments, clippy::manual_is_multiple_of)]
+
+pub mod gemm;
+pub mod oracle;
+pub mod table;
+pub mod trmm;
+pub mod trsm;
+
+pub use gemm::{cgemm_ukr, gemm_ukr, gemm_ukr_nopipeline, CplxGemmKernel, RealGemmKernel};
+pub use table::{
+    cplx_gemm_kernel, cplx_trsm_kernel, cplx_trsm_rect_kernel, real_gemm_kernel, real_trsm_kernel,
+    real_trsm_rect_kernel, KernelClass, KernelInfo, KernelScalar, TABLE1,
+};
+pub use trmm::{ctrmm_ukr, trmm_ukr, CplxTrmmKernel, RealTrmmKernel};
+pub use trsm::{
+    ctrsm_rect_ukr, ctrsm_ukr, trsm_rect_ukr, trsm_ukr, CplxTrsmKernel, CplxTrsmRectKernel,
+    RealTrsmKernel, RealTrsmRectKernel,
+};

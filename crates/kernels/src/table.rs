@@ -1,0 +1,384 @@
+//! The generated-kernel inventory (paper Table 1) and dispatch tables.
+//!
+//! [`TABLE1`] lists exactly the kernels the paper reports generating; the
+//! dispatch tables below hold the full monomorphized set (a superset on the
+//! TRSM side: the paper's Table 1 lists only the full-width `n_r = 4`
+//! rectangular kernels and relies on the register-resident triangular path
+//! for the rest, while we also monomorphize the narrow panel tails).
+
+use crate::gemm::{cgemm_ukr, gemm_ukr, CplxGemmKernel, RealGemmKernel};
+use crate::trmm::{ctrmm_ukr, trmm_ukr, CplxTrmmKernel, RealTrmmKernel};
+use crate::trsm::{
+    ctrsm_rect_ukr, ctrsm_ukr, trsm_rect_ukr, trsm_ukr, CplxTrsmKernel, CplxTrsmRectKernel,
+    RealTrsmKernel, RealTrsmRectKernel,
+};
+use iatf_simd::{F32x4, F64x2, Real};
+
+/// Which kernel family a Table-1 row belongs to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// Real GEMM (sgemm/dgemm).
+    RealGemm,
+    /// Complex GEMM (cgemm/zgemm).
+    CplxGemm,
+    /// Real TRSM rectangular kernels (strsm/dtrsm).
+    RealTrsm,
+    /// Complex TRSM rectangular kernels (ctrsm/ztrsm).
+    CplxTrsm,
+}
+
+/// One row of the kernel inventory.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct KernelInfo {
+    /// Kernel family.
+    pub class: KernelClass,
+    /// Tile rows.
+    pub mr: usize,
+    /// Tile columns.
+    pub nr: usize,
+    /// True for the family's main (CMAR-optimal) kernel.
+    pub main: bool,
+}
+
+const fn ki(class: KernelClass, mr: usize, nr: usize, main: bool) -> KernelInfo {
+    KernelInfo {
+        class,
+        mr,
+        nr,
+        main,
+    }
+}
+
+/// The paper's Table 1, row for row.
+pub static TABLE1: &[KernelInfo] = &[
+    // SGEMM / DGEMM: main 4×4, edges covering every m, n ∈ 1..=4.
+    ki(KernelClass::RealGemm, 4, 4, true),
+    ki(KernelClass::RealGemm, 4, 1, false),
+    ki(KernelClass::RealGemm, 4, 2, false),
+    ki(KernelClass::RealGemm, 4, 3, false),
+    ki(KernelClass::RealGemm, 3, 1, false),
+    ki(KernelClass::RealGemm, 3, 2, false),
+    ki(KernelClass::RealGemm, 3, 3, false),
+    ki(KernelClass::RealGemm, 3, 4, false),
+    ki(KernelClass::RealGemm, 2, 1, false),
+    ki(KernelClass::RealGemm, 2, 2, false),
+    ki(KernelClass::RealGemm, 2, 3, false),
+    ki(KernelClass::RealGemm, 2, 4, false),
+    ki(KernelClass::RealGemm, 1, 1, false),
+    ki(KernelClass::RealGemm, 1, 2, false),
+    ki(KernelClass::RealGemm, 1, 3, false),
+    ki(KernelClass::RealGemm, 1, 4, false),
+    // CGEMM / ZGEMM: main 3×2, edges 3×1, 2×{1,2}, 1×{1,2}.
+    ki(KernelClass::CplxGemm, 3, 2, true),
+    ki(KernelClass::CplxGemm, 3, 1, false),
+    ki(KernelClass::CplxGemm, 2, 1, false),
+    ki(KernelClass::CplxGemm, 2, 2, false),
+    ki(KernelClass::CplxGemm, 1, 1, false),
+    ki(KernelClass::CplxGemm, 1, 2, false),
+    // STRSM / DTRSM rectangular: 4×4 main, {3,2,1}×4 edges.
+    ki(KernelClass::RealTrsm, 4, 4, true),
+    ki(KernelClass::RealTrsm, 3, 4, false),
+    ki(KernelClass::RealTrsm, 2, 4, false),
+    ki(KernelClass::RealTrsm, 1, 4, false),
+    // CTRSM / ZTRSM rectangular: 2×2 main, 1×2 edge.
+    ki(KernelClass::CplxTrsm, 2, 2, true),
+    ki(KernelClass::CplxTrsm, 1, 2, false),
+];
+
+/// A real scalar for which the full kernel set is monomorphized.
+pub trait KernelScalar: Real {
+    /// Real GEMM kernels, indexed `[m_r − 1][n_r − 1]`, sizes 1..=4 each.
+    const RGEMM: [[RealGemmKernel<Self>; 4]; 4];
+    /// Complex GEMM kernels, `m_r ∈ 1..=3`, `n_r ∈ 1..=2`.
+    const CGEMM: [[CplxGemmKernel<Self>; 2]; 3];
+    /// Fused real TRSM block kernels, `m_r ∈ 1..=5`, `n_r ∈ 1..=4`.
+    const RTRSM: [[RealTrsmKernel<Self>; 4]; 5];
+    /// Fused complex TRSM block kernels, `m_r ∈ 1..=2`, `n_r ∈ 1..=2`.
+    const CTRSM: [[CplxTrsmKernel<Self>; 2]; 2];
+    /// Rect-only real TRSM kernels (Table 1's rectangular rows).
+    const RTRSM_RECT: [[RealTrsmRectKernel<Self>; 4]; 4];
+    /// Rect-only complex TRSM kernels.
+    const CTRSM_RECT: [[CplxTrsmRectKernel<Self>; 2]; 2];
+    /// Fused real TRMM block kernels (extension), `m_r, n_r ∈ 1..=4`.
+    const RTRMM: [[RealTrmmKernel<Self>; 4]; 4];
+    /// Fused complex TRMM block kernels (extension), `m_r, n_r ∈ 1..=2`.
+    const CTRMM: [[CplxTrmmKernel<Self>; 2]; 2];
+}
+
+macro_rules! kernel_tables {
+    ($scalar:ty, $vec:ty) => {
+        impl KernelScalar for $scalar {
+            const RGEMM: [[RealGemmKernel<$scalar>; 4]; 4] = [
+                [
+                    gemm_ukr::<$vec, 1, 1>,
+                    gemm_ukr::<$vec, 1, 2>,
+                    gemm_ukr::<$vec, 1, 3>,
+                    gemm_ukr::<$vec, 1, 4>,
+                ],
+                [
+                    gemm_ukr::<$vec, 2, 1>,
+                    gemm_ukr::<$vec, 2, 2>,
+                    gemm_ukr::<$vec, 2, 3>,
+                    gemm_ukr::<$vec, 2, 4>,
+                ],
+                [
+                    gemm_ukr::<$vec, 3, 1>,
+                    gemm_ukr::<$vec, 3, 2>,
+                    gemm_ukr::<$vec, 3, 3>,
+                    gemm_ukr::<$vec, 3, 4>,
+                ],
+                [
+                    gemm_ukr::<$vec, 4, 1>,
+                    gemm_ukr::<$vec, 4, 2>,
+                    gemm_ukr::<$vec, 4, 3>,
+                    gemm_ukr::<$vec, 4, 4>,
+                ],
+            ];
+            const CGEMM: [[CplxGemmKernel<$scalar>; 2]; 3] = [
+                [cgemm_ukr::<$vec, 1, 1>, cgemm_ukr::<$vec, 1, 2>],
+                [cgemm_ukr::<$vec, 2, 1>, cgemm_ukr::<$vec, 2, 2>],
+                [cgemm_ukr::<$vec, 3, 1>, cgemm_ukr::<$vec, 3, 2>],
+            ];
+            const RTRSM: [[RealTrsmKernel<$scalar>; 4]; 5] = [
+                [
+                    trsm_ukr::<$vec, 1, 1>,
+                    trsm_ukr::<$vec, 1, 2>,
+                    trsm_ukr::<$vec, 1, 3>,
+                    trsm_ukr::<$vec, 1, 4>,
+                ],
+                [
+                    trsm_ukr::<$vec, 2, 1>,
+                    trsm_ukr::<$vec, 2, 2>,
+                    trsm_ukr::<$vec, 2, 3>,
+                    trsm_ukr::<$vec, 2, 4>,
+                ],
+                [
+                    trsm_ukr::<$vec, 3, 1>,
+                    trsm_ukr::<$vec, 3, 2>,
+                    trsm_ukr::<$vec, 3, 3>,
+                    trsm_ukr::<$vec, 3, 4>,
+                ],
+                [
+                    trsm_ukr::<$vec, 4, 1>,
+                    trsm_ukr::<$vec, 4, 2>,
+                    trsm_ukr::<$vec, 4, 3>,
+                    trsm_ukr::<$vec, 4, 4>,
+                ],
+                [
+                    trsm_ukr::<$vec, 5, 1>,
+                    trsm_ukr::<$vec, 5, 2>,
+                    trsm_ukr::<$vec, 5, 3>,
+                    trsm_ukr::<$vec, 5, 4>,
+                ],
+            ];
+            const CTRSM: [[CplxTrsmKernel<$scalar>; 2]; 2] = [
+                [ctrsm_ukr::<$vec, 1, 1>, ctrsm_ukr::<$vec, 1, 2>],
+                [ctrsm_ukr::<$vec, 2, 1>, ctrsm_ukr::<$vec, 2, 2>],
+            ];
+            const RTRSM_RECT: [[RealTrsmRectKernel<$scalar>; 4]; 4] = [
+                [
+                    trsm_rect_ukr::<$vec, 1, 1>,
+                    trsm_rect_ukr::<$vec, 1, 2>,
+                    trsm_rect_ukr::<$vec, 1, 3>,
+                    trsm_rect_ukr::<$vec, 1, 4>,
+                ],
+                [
+                    trsm_rect_ukr::<$vec, 2, 1>,
+                    trsm_rect_ukr::<$vec, 2, 2>,
+                    trsm_rect_ukr::<$vec, 2, 3>,
+                    trsm_rect_ukr::<$vec, 2, 4>,
+                ],
+                [
+                    trsm_rect_ukr::<$vec, 3, 1>,
+                    trsm_rect_ukr::<$vec, 3, 2>,
+                    trsm_rect_ukr::<$vec, 3, 3>,
+                    trsm_rect_ukr::<$vec, 3, 4>,
+                ],
+                [
+                    trsm_rect_ukr::<$vec, 4, 1>,
+                    trsm_rect_ukr::<$vec, 4, 2>,
+                    trsm_rect_ukr::<$vec, 4, 3>,
+                    trsm_rect_ukr::<$vec, 4, 4>,
+                ],
+            ];
+            const CTRSM_RECT: [[CplxTrsmRectKernel<$scalar>; 2]; 2] = [
+                [ctrsm_rect_ukr::<$vec, 1, 1>, ctrsm_rect_ukr::<$vec, 1, 2>],
+                [ctrsm_rect_ukr::<$vec, 2, 1>, ctrsm_rect_ukr::<$vec, 2, 2>],
+            ];
+            const RTRMM: [[RealTrmmKernel<$scalar>; 4]; 4] = [
+                [
+                    trmm_ukr::<$vec, 1, 1>,
+                    trmm_ukr::<$vec, 1, 2>,
+                    trmm_ukr::<$vec, 1, 3>,
+                    trmm_ukr::<$vec, 1, 4>,
+                ],
+                [
+                    trmm_ukr::<$vec, 2, 1>,
+                    trmm_ukr::<$vec, 2, 2>,
+                    trmm_ukr::<$vec, 2, 3>,
+                    trmm_ukr::<$vec, 2, 4>,
+                ],
+                [
+                    trmm_ukr::<$vec, 3, 1>,
+                    trmm_ukr::<$vec, 3, 2>,
+                    trmm_ukr::<$vec, 3, 3>,
+                    trmm_ukr::<$vec, 3, 4>,
+                ],
+                [
+                    trmm_ukr::<$vec, 4, 1>,
+                    trmm_ukr::<$vec, 4, 2>,
+                    trmm_ukr::<$vec, 4, 3>,
+                    trmm_ukr::<$vec, 4, 4>,
+                ],
+            ];
+            const CTRMM: [[CplxTrmmKernel<$scalar>; 2]; 2] = [
+                [ctrmm_ukr::<$vec, 1, 1>, ctrmm_ukr::<$vec, 1, 2>],
+                [ctrmm_ukr::<$vec, 2, 1>, ctrmm_ukr::<$vec, 2, 2>],
+            ];
+        }
+    };
+}
+
+kernel_tables!(f32, F32x4);
+kernel_tables!(f64, F64x2);
+
+/// Fetches the real GEMM kernel for a tile size (`m_r, n_r ∈ 1..=4`).
+pub fn real_gemm_kernel<R: KernelScalar>(mr: usize, nr: usize) -> RealGemmKernel<R> {
+    R::RGEMM[mr - 1][nr - 1]
+}
+
+/// Fetches the complex GEMM kernel (`m_r ∈ 1..=3`, `n_r ∈ 1..=2`).
+pub fn cplx_gemm_kernel<R: KernelScalar>(mr: usize, nr: usize) -> CplxGemmKernel<R> {
+    R::CGEMM[mr - 1][nr - 1]
+}
+
+/// Fetches the fused real TRSM block kernel (`m_r ∈ 1..=5`, `n_r ∈ 1..=4`).
+pub fn real_trsm_kernel<R: KernelScalar>(mr: usize, nr: usize) -> RealTrsmKernel<R> {
+    R::RTRSM[mr - 1][nr - 1]
+}
+
+/// Fetches the fused complex TRSM block kernel (`m_r, n_r ∈ 1..=2`).
+pub fn cplx_trsm_kernel<R: KernelScalar>(mr: usize, nr: usize) -> CplxTrsmKernel<R> {
+    R::CTRSM[mr - 1][nr - 1]
+}
+
+/// Fetches the rect-only real TRSM kernel (`m_r, n_r ∈ 1..=4`).
+pub fn real_trsm_rect_kernel<R: KernelScalar>(mr: usize, nr: usize) -> RealTrsmRectKernel<R> {
+    R::RTRSM_RECT[mr - 1][nr - 1]
+}
+
+/// Fetches the rect-only complex TRSM kernel (`m_r, n_r ∈ 1..=2`).
+pub fn cplx_trsm_rect_kernel<R: KernelScalar>(mr: usize, nr: usize) -> CplxTrsmRectKernel<R> {
+    R::CTRSM_RECT[mr - 1][nr - 1]
+}
+
+/// Fetches the fused real TRMM block kernel (`m_r, n_r ∈ 1..=4`).
+pub fn real_trmm_kernel<R: KernelScalar>(mr: usize, nr: usize) -> RealTrmmKernel<R> {
+    R::RTRMM[mr - 1][nr - 1]
+}
+
+/// Fetches the fused complex TRMM block kernel (`m_r, n_r ∈ 1..=2`).
+pub fn cplx_trmm_kernel<R: KernelScalar>(mr: usize, nr: usize) -> CplxTrmmKernel<R> {
+    R::CTRMM[mr - 1][nr - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn table1_row_counts_match_paper() {
+        let count = |class: KernelClass| TABLE1.iter().filter(|k| k.class == class).count();
+        assert_eq!(count(KernelClass::RealGemm), 16);
+        assert_eq!(count(KernelClass::CplxGemm), 6);
+        assert_eq!(count(KernelClass::RealTrsm), 4);
+        assert_eq!(count(KernelClass::CplxTrsm), 2);
+        assert_eq!(TABLE1.len(), 28);
+    }
+
+    #[test]
+    fn exactly_one_main_kernel_per_family() {
+        for class in [
+            KernelClass::RealGemm,
+            KernelClass::CplxGemm,
+            KernelClass::RealTrsm,
+            KernelClass::CplxTrsm,
+        ] {
+            let mains: Vec<_> = TABLE1
+                .iter()
+                .filter(|k| k.class == class && k.main)
+                .collect();
+            assert_eq!(mains.len(), 1, "{class:?}");
+        }
+        // and they are the paper's headline sizes
+        let main = |class| {
+            TABLE1
+                .iter()
+                .find(|k: &&KernelInfo| k.class == class && k.main)
+                .unwrap()
+        };
+        assert_eq!(
+            (main(KernelClass::RealGemm).mr, main(KernelClass::RealGemm).nr),
+            (4, 4)
+        );
+        assert_eq!(
+            (main(KernelClass::CplxGemm).mr, main(KernelClass::CplxGemm).nr),
+            (3, 2)
+        );
+        assert_eq!(
+            (main(KernelClass::RealTrsm).mr, main(KernelClass::RealTrsm).nr),
+            (4, 4)
+        );
+        assert_eq!(
+            (main(KernelClass::CplxTrsm).mr, main(KernelClass::CplxTrsm).nr),
+            (2, 2)
+        );
+    }
+
+    #[test]
+    fn no_duplicate_rows() {
+        let mut seen = HashSet::new();
+        for k in TABLE1 {
+            assert!(seen.insert((k.class, k.mr, k.nr)), "duplicate {k:?}");
+        }
+    }
+
+    #[test]
+    fn dispatch_tables_cover_table1() {
+        // Fetching every Table-1 kernel must succeed for both precisions;
+        // distinct sizes must map to distinct monomorphizations.
+        let mut f32_ptrs = HashSet::new();
+        let mut f64_ptrs = HashSet::new();
+        for k in TABLE1 {
+            match k.class {
+                KernelClass::RealGemm => {
+                    f32_ptrs.insert(real_gemm_kernel::<f32>(k.mr, k.nr) as usize);
+                    f64_ptrs.insert(real_gemm_kernel::<f64>(k.mr, k.nr) as usize);
+                }
+                KernelClass::CplxGemm => {
+                    f32_ptrs.insert(cplx_gemm_kernel::<f32>(k.mr, k.nr) as usize);
+                    f64_ptrs.insert(cplx_gemm_kernel::<f64>(k.mr, k.nr) as usize);
+                }
+                KernelClass::RealTrsm => {
+                    f32_ptrs.insert(real_trsm_rect_kernel::<f32>(k.mr, k.nr) as usize);
+                    f64_ptrs.insert(real_trsm_rect_kernel::<f64>(k.mr, k.nr) as usize);
+                }
+                KernelClass::CplxTrsm => {
+                    f32_ptrs.insert(cplx_trsm_rect_kernel::<f32>(k.mr, k.nr) as usize);
+                    f64_ptrs.insert(cplx_trsm_rect_kernel::<f64>(k.mr, k.nr) as usize);
+                }
+            }
+        }
+        assert_eq!(f32_ptrs.len(), TABLE1.len());
+        assert_eq!(f64_ptrs.len(), TABLE1.len());
+    }
+
+    #[test]
+    fn fused_trsm_covers_register_limit() {
+        // m_r = 5 is the register-capacity bound of §4.2.2.
+        let _ = real_trsm_kernel::<f64>(5, 4);
+        let _ = real_trsm_kernel::<f32>(5, 1);
+        let _ = cplx_trsm_kernel::<f64>(2, 2);
+    }
+}

@@ -1,0 +1,327 @@
+//! TRMM microkernels — triangular matrix multiply, the first of the
+//! paper's future-work "other BLAS functions under the SIMD-friendly data
+//! layout".
+//!
+//! Canonical operation (modes are canonicalized by the same index maps as
+//! TRSM): `B = α · L · B` with `L` lower triangular, over an `nr`-wide
+//! row-major B panel. Row `i` of the result needs *original* rows `j ≤ i`,
+//! so the driver walks diagonal blocks **bottom-up** and each block kernel
+//! reads only rows at or above itself — which are still original when it
+//! runs.
+//!
+//! Per block (`mb` rows starting at `row0`, preceded by `kk = row0` rows):
+//!
+//! ```text
+//! acc = Tri(block) · B[row0 .. row0+mb]        (triangle includes diagonal)
+//! acc += Rect · B[0 .. kk]                     (FMA over the rows above)
+//! B[row0 ..] = α · acc
+//! ```
+//!
+//! Packed layouts are shared with TRSM (`iatf_pack::trsm`), except the
+//! diagonal is stored *directly* (multiplied, not divided — no reciprocal
+//! needed here; unit diagonals pack as 1).
+
+use iatf_simd::{prefetch_read, CVec, SimdReal};
+
+/// Function-pointer type of a monomorphized real TRMM block kernel.
+pub type RealTrmmKernel<R> = unsafe fn(
+    kk: usize,
+    alpha: R,
+    pa_rect: *const R,
+    a_i: usize,
+    a_k: usize,
+    pa_tri: *const R,
+    panel: *mut R,
+    row0: usize,
+    row_stride: usize,
+    col_stride: usize,
+);
+
+/// Complex counterpart of [`RealTrmmKernel`] (`alpha` as `[re, im]`).
+pub type CplxTrmmKernel<R> = unsafe fn(
+    kk: usize,
+    alpha: [R; 2],
+    pa_rect: *const R,
+    a_i: usize,
+    a_k: usize,
+    pa_tri: *const R,
+    panel: *mut R,
+    row0: usize,
+    row_stride: usize,
+    col_stride: usize,
+);
+
+#[inline(always)]
+unsafe fn load_set<V: SimdReal, const N: usize>(p: *const V::Scalar, stride: usize) -> [V; N] {
+    let mut out = [V::zero(); N];
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = V::load(p.add(i * stride));
+    }
+    out
+}
+
+/// Fused real TRMM block kernel.
+///
+/// # Safety
+/// Same operand contract as `iatf_kernels::trsm_ukr` (packed rect strip,
+/// packed triangle with *direct* diagonal, row-major panel).
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn trmm_ukr<V: SimdReal, const MR: usize, const NR: usize>(
+    kk: usize,
+    alpha: V::Scalar,
+    mut pa_rect: *const V::Scalar,
+    a_i: usize,
+    a_k: usize,
+    pa_tri: *const V::Scalar,
+    panel: *mut V::Scalar,
+    row0: usize,
+    row_stride: usize,
+    col_stride: usize,
+) {
+    let p = V::LANES;
+    prefetch_read(panel.add(row0 * row_stride));
+    let mut acc = [[V::zero(); NR]; MR];
+
+    // triangular part: acc_i = Σ_{j ≤ i} L(i,j) · B_orig(row0+j)
+    let mut tri = pa_tri;
+    for i in 0..MR {
+        for j in 0..=i {
+            let lij = V::load(tri);
+            tri = tri.add(p);
+            for col in 0..NR {
+                let x = V::load(panel.add((row0 + j) * row_stride + col * col_stride));
+                acc[i][col] = acc[i][col].fma(lij, x);
+            }
+        }
+    }
+
+    // rectangular part over the rows above the block (double-buffered)
+    if kk == 1 {
+        let a0 = load_set::<V, MR>(pa_rect, a_i);
+        let x0 = load_set::<V, NR>(panel, col_stride);
+        for i in 0..MR {
+            for j in 0..NR {
+                acc[i][j] = acc[i][j].fma(a0[i], x0[j]);
+            }
+        }
+    } else if kk >= 2 {
+        let mut a0 = load_set::<V, MR>(pa_rect, a_i);
+        let mut a1 = load_set::<V, MR>(pa_rect.add(a_k), a_i);
+        pa_rect = pa_rect.add(2 * a_k);
+        let mut x0 = load_set::<V, NR>(panel, col_stride);
+        let mut x1 = load_set::<V, NR>(panel.add(row_stride), col_stride);
+        let mut xrow = 2usize;
+        let mut k = 0usize;
+        while k < kk {
+            let (a, x) = if k % 2 == 0 { (&a0, &x0) } else { (&a1, &x1) };
+            for i in 0..MR {
+                for j in 0..NR {
+                    acc[i][j] = acc[i][j].fma(a[i], x[j]);
+                }
+            }
+            if k + 2 < kk {
+                if k % 2 == 0 {
+                    a0 = load_set::<V, MR>(pa_rect, a_i);
+                    x0 = load_set::<V, NR>(panel.add(xrow * row_stride), col_stride);
+                } else {
+                    a1 = load_set::<V, MR>(pa_rect, a_i);
+                    x1 = load_set::<V, NR>(panel.add(xrow * row_stride), col_stride);
+                }
+                pa_rect = pa_rect.add(a_k);
+                xrow += 1;
+            }
+            k += 1;
+        }
+    }
+
+    // scale and store
+    let va = V::splat(alpha);
+    for (i, row) in acc.iter().enumerate() {
+        for (j, cell) in row.iter().enumerate() {
+            cell.mul(va)
+                .store(panel.add((row0 + i) * row_stride + j * col_stride));
+        }
+    }
+}
+
+/// Fused complex TRMM block kernel (split representation).
+///
+/// # Safety
+/// As [`trmm_ukr`] with `2·P`-scalar element groups.
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn ctrmm_ukr<V: SimdReal, const MR: usize, const NR: usize>(
+    kk: usize,
+    alpha: [V::Scalar; 2],
+    mut pa_rect: *const V::Scalar,
+    a_i: usize,
+    a_k: usize,
+    pa_tri: *const V::Scalar,
+    panel: *mut V::Scalar,
+    row0: usize,
+    row_stride: usize,
+    col_stride: usize,
+) {
+    let g = 2 * V::LANES;
+    prefetch_read(panel.add(row0 * row_stride));
+    let mut acc = [[CVec::<V>::zero(); NR]; MR];
+
+    let mut tri = pa_tri;
+    for i in 0..MR {
+        for j in 0..=i {
+            let lij = CVec::<V>::load(tri);
+            tri = tri.add(g);
+            for col in 0..NR {
+                let x =
+                    CVec::<V>::load(panel.add((row0 + j) * row_stride + col * col_stride));
+                acc[i][col] = acc[i][col].fma(lij, x);
+            }
+        }
+    }
+
+    let mut k = 0usize;
+    while k < kk {
+        let a = {
+            let mut out = [CVec::<V>::zero(); MR];
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = CVec::load(pa_rect.add(i * a_i));
+            }
+            out
+        };
+        pa_rect = pa_rect.add(a_k);
+        for i in 0..MR {
+            for j in 0..NR {
+                let x = CVec::<V>::load(panel.add(k * row_stride + j * col_stride));
+                acc[i][j] = acc[i][j].fma(a[i], x);
+            }
+        }
+        k += 1;
+    }
+
+    for (i, row) in acc.iter().enumerate() {
+        for (j, cell) in row.iter().enumerate() {
+            cell.scale(alpha[0], alpha[1])
+                .store(panel.add((row0 + i) * row_stride + j * col_stride));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::TestRng;
+    use iatf_simd::{F32x4, F64x2, Real};
+
+    /// Scalar reference: acc_i = α·(Σ_{k<kk} rect(i,k)·panel[k] +
+    /// Σ_{j≤i} tri(i,j)·panel[row0+j]), stored into rows row0..row0+mr.
+    #[allow(clippy::too_many_arguments)]
+    fn reference(
+        mr: usize,
+        nr: usize,
+        kk: usize,
+        p: usize,
+        alpha: f64,
+        rect: &[f64],
+        tri: &[f64],
+        panel: &[f64],
+        row0: usize,
+        row_stride: usize,
+    ) -> Vec<f64> {
+        let mut out = panel.to_vec();
+        for l in 0..p {
+            for j in 0..nr {
+                for i in 0..mr {
+                    let mut acc = 0.0;
+                    for k in 0..kk {
+                        acc += rect[(k * mr + i) * p + l] * panel[k * row_stride + j * p + l];
+                    }
+                    for jj in 0..=i {
+                        let a = tri[(i * (i + 1) / 2 + jj) * p + l];
+                        acc += a * panel[(row0 + jj) * row_stride + j * p + l];
+                    }
+                    out[(row0 + i) * row_stride + j * p + l] = alpha * acc;
+                }
+            }
+        }
+        out
+    }
+
+    fn check<V: SimdReal, const MR: usize, const NR: usize>(kk: usize, alpha: f64) {
+        let p = V::LANES;
+        let rows = kk + MR;
+        let mut rng = TestRng::new((MR * 19 + NR * 3 + kk) as u64);
+        let rect: Vec<V::Scalar> = (0..kk * MR * p)
+            .map(|_| V::Scalar::from_f64(rng.next()))
+            .collect();
+        let tri: Vec<V::Scalar> = (0..MR * (MR + 1) / 2 * p)
+            .map(|_| V::Scalar::from_f64(rng.next()))
+            .collect();
+        let panel0: Vec<V::Scalar> = (0..rows * NR * p)
+            .map(|_| V::Scalar::from_f64(rng.next()))
+            .collect();
+        let mut panel = panel0.clone();
+        unsafe {
+            trmm_ukr::<V, MR, NR>(
+                kk,
+                V::Scalar::from_f64(alpha),
+                rect.as_ptr(),
+                p,
+                MR * p,
+                tri.as_ptr(),
+                panel.as_mut_ptr(),
+                kk,
+                NR * p,
+                p,
+            );
+        }
+        let rect_f: Vec<f64> = rect.iter().map(|x| x.to_f64()).collect();
+        let tri_f: Vec<f64> = tri.iter().map(|x| x.to_f64()).collect();
+        let panel_f: Vec<f64> = panel0.iter().map(|x| x.to_f64()).collect();
+        let want = reference(MR, NR, kk, p, alpha, &rect_f, &tri_f, &panel_f, kk, NR * p);
+        let tol = if V::Scalar::BYTES == 4 { 1e-4 } else { 1e-12 };
+        for (idx, (got, w)) in panel.iter().zip(want.iter()).enumerate() {
+            assert!(
+                (got.to_f64() - w).abs() <= tol * w.abs().max(1.0),
+                "trmm {MR}x{NR} kk={kk}: idx {idx}: {got} vs {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn real_blocks_match_reference() {
+        for kk in [0usize, 1, 2, 3, 5, 9] {
+            check::<F64x2, 4, 4>(kk, 1.0);
+            check::<F64x2, 2, 3>(kk, -0.5);
+            check::<F32x4, 4, 4>(kk, 2.0);
+            check::<F32x4, 1, 2>(kk, 1.0);
+            check::<F64x2, 3, 1>(kk, 1.5);
+        }
+    }
+
+    #[test]
+    fn complex_block_matches_manual() {
+        // 1×1 block, no rect: out = α·l·x per lane
+        let p = F64x2::LANES;
+        let tri = [2.0, 3.0, 0.5, -0.5]; // re lanes | im lanes
+        let panel0 = [1.0, 1.0, 1.0, 0.0]; // x = (1+i, 1)
+        let mut panel = panel0;
+        unsafe {
+            ctrmm_ukr::<F64x2, 1, 1>(
+                0,
+                [1.0, 0.0],
+                core::ptr::null(),
+                0,
+                0,
+                tri.as_ptr(),
+                panel.as_mut_ptr(),
+                0,
+                2 * p,
+                2 * p,
+            );
+        }
+        // lane 0: (2+0.5i)(1+i) = 1.5 + 2.5i; lane 1: (3−0.5i)(1) = 3 − 0.5i
+        assert!((panel[0] - 1.5).abs() < 1e-14);
+        assert!((panel[1] - 3.0).abs() < 1e-14);
+        assert!((panel[2] - 2.5).abs() < 1e-14);
+        assert!((panel[3] + 0.5).abs() < 1e-14);
+    }
+}

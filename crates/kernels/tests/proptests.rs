@@ -1,0 +1,183 @@
+//! Property-based kernel tests: every dispatch-table kernel against the
+//! scalar oracle over random shapes, depths and operands.
+
+use iatf_kernels::oracle;
+use iatf_kernels::table::{
+    cplx_gemm_kernel, cplx_trsm_kernel, real_gemm_kernel, real_trsm_kernel,
+};
+use iatf_simd::{F32x4, F64x2, Real, SimdReal};
+use proptest::prelude::*;
+
+fn vecs(len: usize, seed: u64, scale: f64) -> Vec<f64> {
+    let mut rng = oracle::TestRng::new(seed);
+    (0..len).map(|_| rng.next() * scale).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn real_gemm_kernels_match_oracle_f64(
+        mr in 1usize..=4,
+        nr in 1usize..=4,
+        k in 1usize..=40,
+        alpha in -2.0f64..2.0,
+        beta in -2.0f64..2.0,
+        seed in any::<u32>(),
+    ) {
+        let p = F64x2::LANES;
+        let pa: Vec<f64> = vecs(k * mr * p, seed as u64, 1.0);
+        let pb: Vec<f64> = vecs(k * nr * p, seed as u64 + 1, 1.0);
+        let c0: Vec<f64> = vecs(mr * nr * p, seed as u64 + 2, 1.0);
+        let mut c = c0.clone();
+        let kern = real_gemm_kernel::<f64>(mr, nr);
+        unsafe {
+            kern(k, alpha, beta, pa.as_ptr(), p, mr * p, pb.as_ptr(), p, nr * p,
+                 c.as_mut_ptr(), p, mr * p);
+        }
+        let want = oracle::real_gemm_tile(mr, nr, k, p, alpha, beta, &pa, &pb, &c0);
+        for (got, w) in c.iter().zip(&want) {
+            prop_assert!((got - w).abs() < 1e-11 * w.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn real_gemm_kernels_match_oracle_f32(
+        mr in 1usize..=4,
+        nr in 1usize..=4,
+        k in 1usize..=24,
+        seed in any::<u32>(),
+    ) {
+        let p = F32x4::LANES;
+        let paf: Vec<f32> = vecs(k * mr * p, seed as u64, 1.0).iter().map(|&x| x as f32).collect();
+        let pbf: Vec<f32> = vecs(k * nr * p, seed as u64 + 1, 1.0).iter().map(|&x| x as f32).collect();
+        let c0f: Vec<f32> = vecs(mr * nr * p, seed as u64 + 2, 1.0).iter().map(|&x| x as f32).collect();
+        let mut c = c0f.clone();
+        let kern = real_gemm_kernel::<f32>(mr, nr);
+        unsafe {
+            kern(k, 1.5, 0.5, paf.as_ptr(), p, mr * p, pbf.as_ptr(), p, nr * p,
+                 c.as_mut_ptr(), p, mr * p);
+        }
+        let want = oracle::real_gemm_tile(mr, nr, k, p, 1.5, 0.5, &paf, &pbf, &c0f);
+        for (got, w) in c.iter().zip(&want) {
+            prop_assert!((got.to_f64() - w).abs() < 1e-4 * w.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn cplx_gemm_kernels_match_oracle(
+        mr in 1usize..=3,
+        nr in 1usize..=2,
+        k in 1usize..=24,
+        ar in -1.5f64..1.5,
+        ai in -1.5f64..1.5,
+        seed in any::<u32>(),
+    ) {
+        let p = F64x2::LANES;
+        let g = 2 * p;
+        let pa: Vec<f64> = vecs(k * mr * g, seed as u64, 1.0);
+        let pb: Vec<f64> = vecs(k * nr * g, seed as u64 + 1, 1.0);
+        let c0: Vec<f64> = vecs(mr * nr * g, seed as u64 + 2, 1.0);
+        let mut c = c0.clone();
+        let kern = cplx_gemm_kernel::<f64>(mr, nr);
+        unsafe {
+            kern(k, [ar, ai], [0.5, -0.25], pa.as_ptr(), g, mr * g, pb.as_ptr(), g, nr * g,
+                 c.as_mut_ptr(), g, mr * g);
+        }
+        let want = oracle::cplx_gemm_tile(mr, nr, k, p, [ar, ai], [0.5, -0.25], &pa, &pb, &c0);
+        for (got, w) in c.iter().zip(&want) {
+            prop_assert!((got - w).abs() < 1e-10 * w.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn real_trsm_kernels_match_oracle(
+        mr in 1usize..=5,
+        nr in 1usize..=4,
+        kk in 0usize..=24,
+        seed in any::<u32>(),
+    ) {
+        let p = F64x2::LANES;
+        let rows = kk + mr;
+        let pa_rect: Vec<f64> = vecs(kk * mr * p, seed as u64, 1.0 / rows as f64);
+        // triangle with safe reciprocal diagonal
+        let mut rng = oracle::TestRng::new(seed as u64 + 9);
+        let tg = mr * (mr + 1) / 2;
+        let mut tri = vec![0.0f64; tg * p];
+        for r in 0..mr {
+            let base = r * (r + 1) / 2;
+            for cc in 0..=r {
+                for l in 0..p {
+                    tri[(base + cc) * p + l] = if cc == r {
+                        1.0 / (1.0 + rng.next().abs())
+                    } else {
+                        rng.next() / mr as f64
+                    };
+                }
+            }
+        }
+        let row_stride = nr * p;
+        let panel0: Vec<f64> = vecs(rows * nr * p, seed as u64 + 3, 1.0);
+        let mut panel = panel0.clone();
+        let kern = real_trsm_kernel::<f64>(mr, nr);
+        unsafe {
+            kern(kk, pa_rect.as_ptr(), p, mr * p, tri.as_ptr(),
+                 panel.as_mut_ptr(), kk, row_stride, p);
+        }
+        let want = oracle::real_trsm_block(mr, nr, kk, p, &pa_rect, &tri, &panel0, kk, row_stride, p);
+        for (got, w) in panel.iter().zip(&want) {
+            prop_assert!((got - w).abs() < 1e-10 * w.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn cplx_trsm_kernels_match_oracle(
+        mr in 1usize..=2,
+        nr in 1usize..=2,
+        kk in 0usize..=16,
+        seed in any::<u32>(),
+    ) {
+        let p = F32x4::LANES;
+        let g = 2 * p;
+        let rows = kk + mr;
+        let rect64 = vecs(kk * mr * g, seed as u64, 1.0 / rows as f64);
+        let pa_rect: Vec<f32> = rect64.iter().map(|&x| x as f32).collect();
+        let mut rng = oracle::TestRng::new(seed as u64 + 9);
+        let tg = mr * (mr + 1) / 2;
+        let mut tri = vec![0.0f32; tg * g];
+        for r in 0..mr {
+            let base = r * (r + 1) / 2;
+            for cc in 0..=r {
+                for l in 0..p {
+                    if cc == r {
+                        let d = 1.0 + rng.next().abs();
+                        let di = 0.2 * rng.next();
+                        let n = d * d + di * di;
+                        tri[(base + cc) * g + l] = (d / n) as f32;
+                        tri[(base + cc) * g + p + l] = (-di / n) as f32;
+                    } else {
+                        tri[(base + cc) * g + l] = (rng.next() / mr as f64) as f32;
+                        tri[(base + cc) * g + p + l] = (rng.next() / mr as f64) as f32;
+                    }
+                }
+            }
+        }
+        let row_stride = nr * g;
+        let panel064 = vecs(rows * nr * g, seed as u64 + 3, 1.0);
+        let panel0: Vec<f32> = panel064.iter().map(|&x| x as f32).collect();
+        let mut panel = panel0.clone();
+        let kern = cplx_trsm_kernel::<f32>(mr, nr);
+        unsafe {
+            kern(kk, pa_rect.as_ptr(), g, mr * g, tri.as_ptr(),
+                 panel.as_mut_ptr(), kk, row_stride, g);
+        }
+        let rect_f: Vec<f64> = pa_rect.iter().map(|&x| x as f64).collect();
+        let tri_f: Vec<f64> = tri.iter().map(|&x| x as f64).collect();
+        let panel_f: Vec<f64> = panel0.iter().map(|&x| x as f64).collect();
+        let want = oracle::cplx_trsm_block(mr, nr, kk, p, &rect_f, &tri_f, &panel_f, kk, row_stride, g);
+        for (got, w) in panel.iter().zip(&want) {
+            prop_assert!((got.to_f64() - w).abs() < 2e-3 * w.abs().max(1.0),
+                "got {got} want {w}");
+        }
+    }
+}

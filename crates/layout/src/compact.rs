@@ -1,0 +1,331 @@
+//! The SIMD-friendly compact data layout (paper §4.1, Figure 3).
+//!
+//! A [`CompactBatch`] stores a group of same-sized matrices in *packs* of
+//! `P = Element::P` consecutive matrices. Within a pack the matrix is
+//! column-major, but each "element" is an *element group* of `P` scalars —
+//! lane `l` belongs to matrix `pack·P + l`. Loading one element group with a
+//! single 128-bit vector load yields the same `(i, j)` element of `P`
+//! matrices, so every SIMD arithmetic instruction advances `P` problems.
+//!
+//! Complex matrices use the split representation: an element group is `2·P`
+//! scalars — `P` real parts followed by `P` imaginary parts (two vector
+//! registers per element group, matching the paper's complex kernels).
+//!
+//! When the group size is not a multiple of `P`, the trailing lanes of the
+//! last pack are zero-filled ("zero padding for the cases where there are
+//! not enough P matrices", §4.1); TRSM additionally needs padded *diagonals*
+//! to be one so the padded lanes stay finite — see
+//! [`CompactBatch::pad_triangle_identity`].
+
+use crate::std_batch::StdBatch;
+use iatf_simd::{Element, Real};
+
+/// A group of matrices in the SIMD-friendly compact layout.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompactBatch<E: Element> {
+    rows: usize,
+    cols: usize,
+    count: usize,
+    data: Vec<E::Real>,
+}
+
+impl<E: Element> CompactBatch<E> {
+    /// Scalars in one element group (`P` for real, `2·P` for complex).
+    pub const GROUP: usize = E::P * E::SCALARS;
+
+    /// Allocates a zero-filled compact batch for `count` matrices of shape
+    /// `rows × cols`.
+    pub fn zeroed(rows: usize, cols: usize, count: usize) -> Self {
+        let packs = count.div_ceil(E::P);
+        Self {
+            rows,
+            cols,
+            count,
+            data: vec![E::Real::default(); packs * rows * cols * Self::GROUP],
+        }
+    }
+
+    /// Converts a standard batch into the compact layout (the MKL-compact
+    /// "pack into compact format" operation). Padding lanes are zero.
+    pub fn from_std(src: &StdBatch<E>) -> Self {
+        let mut dst = Self::zeroed(src.rows(), src.cols(), src.count());
+        for v in 0..src.count() {
+            for j in 0..src.cols() {
+                for i in 0..src.rows() {
+                    dst.set(v, i, j, src.get(v, i, j));
+                }
+            }
+        }
+        dst
+    }
+
+    /// Converts back to a standard batch, dropping padding lanes.
+    pub fn to_std(&self) -> StdBatch<E> {
+        let mut dst = StdBatch::zeroed(self.rows, self.cols, self.count);
+        self.unpack_into(&mut dst);
+        dst
+    }
+
+    /// Writes this batch's matrices into an existing standard batch of the
+    /// same shape and group size.
+    pub fn unpack_into(&self, dst: &mut StdBatch<E>) {
+        assert_eq!(dst.shape(), (self.rows, self.cols));
+        assert_eq!(dst.count(), self.count);
+        for v in 0..self.count {
+            for j in 0..self.cols {
+                for i in 0..self.rows {
+                    dst.set(v, i, j, self.get(v, i, j));
+                }
+            }
+        }
+    }
+
+    /// Number of rows of each matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of each matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of *logical* matrices (excluding padding lanes).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Number of packs (`⌈count / P⌉`).
+    pub fn packs(&self) -> usize {
+        self.count.div_ceil(E::P)
+    }
+
+    /// Scalars from one pack to the next.
+    pub fn pack_stride(&self) -> usize {
+        self.rows * self.cols * Self::GROUP
+    }
+
+    /// Scalars from one column to the next within a pack.
+    pub fn col_stride(&self) -> usize {
+        self.rows * Self::GROUP
+    }
+
+    /// Scalar offset of element group `(i, j)` of pack `p`.
+    #[inline]
+    pub fn group_offset(&self, pack: usize, i: usize, j: usize) -> usize {
+        debug_assert!(pack < self.packs() && i < self.rows && j < self.cols);
+        pack * self.pack_stride() + (j * self.rows + i) * Self::GROUP
+    }
+
+    /// Element `(i, j)` of matrix `v`.
+    #[inline]
+    pub fn get(&self, v: usize, i: usize, j: usize) -> E {
+        debug_assert!(v < self.count);
+        let base = self.group_offset(v / E::P, i, j) + (v % E::P);
+        if E::IS_COMPLEX {
+            let re = self.data[base];
+            let im = self.data[base + E::P];
+            E::from_f64s(re.to_f64(), im.to_f64())
+        } else {
+            E::from_f64s(self.data[base].to_f64(), 0.0)
+        }
+    }
+
+    /// Sets element `(i, j)` of matrix `v`.
+    #[inline]
+    pub fn set(&mut self, v: usize, i: usize, j: usize, x: E) {
+        debug_assert!(v < self.count);
+        let base = self.group_offset(v / E::P, i, j) + (v % E::P);
+        self.data[base] = x.re();
+        if E::IS_COMPLEX {
+            let p = E::P;
+            self.data[base + p] = x.im();
+        }
+    }
+
+    /// The scalar slice of one pack.
+    pub fn pack_slice(&self, pack: usize) -> &[E::Real] {
+        let s = self.pack_stride();
+        &self.data[pack * s..(pack + 1) * s]
+    }
+
+    /// The mutable scalar slice of one pack.
+    pub fn pack_slice_mut(&mut self, pack: usize) -> &mut [E::Real] {
+        let s = self.pack_stride();
+        &mut self.data[pack * s..(pack + 1) * s]
+    }
+
+    /// Raw pointer to the first scalar of a pack (kernel entry point).
+    pub fn pack_ptr(&self, pack: usize) -> *const E::Real {
+        debug_assert!(pack < self.packs());
+        // Safety of later dereferences is the caller's responsibility; the
+        // offset itself is in bounds.
+        unsafe { self.data.as_ptr().add(pack * self.pack_stride()) }
+    }
+
+    /// Mutable raw pointer to the first scalar of a pack.
+    pub fn pack_ptr_mut(&mut self, pack: usize) -> *mut E::Real {
+        debug_assert!(pack < self.packs());
+        unsafe { self.data.as_mut_ptr().add(pack * self.pack_stride()) }
+    }
+
+    /// Whole scalar storage.
+    pub fn as_scalars(&self) -> &[E::Real] {
+        &self.data
+    }
+
+    /// Mutable scalar storage.
+    pub fn as_scalars_mut(&mut self) -> &mut [E::Real] {
+        &mut self.data
+    }
+
+    /// Number of padding lanes in the final pack (0 when `count % P == 0`).
+    pub fn padding_lanes(&self) -> usize {
+        (E::P - self.count % E::P) % E::P
+    }
+
+    /// Sets the diagonal of every *padding lane* to one (identity matrix in
+    /// the padded lanes). GEMM is insensitive to padding (0·0 = 0), but TRSM
+    /// divides by diagonal entries, and zero diagonals in dead lanes would
+    /// produce infinities that can trap or slow down the whole vector on
+    /// some cores. The framework's packing kernels neutralize padded
+    /// diagonals themselves (`iatf-pack` writes reciprocal 1 for dead
+    /// lanes); this helper is for callers driving the raw kernels directly.
+    pub fn pad_triangle_identity(&mut self) {
+        let pad = self.padding_lanes();
+        if pad == 0 {
+            return;
+        }
+        let pack = self.packs() - 1;
+        let d = self.rows.min(self.cols);
+        for i in 0..d {
+            let base = self.group_offset(pack, i, i);
+            for lane in (E::P - pad)..E::P {
+                self.data[base + lane] = <E::Real as iatf_simd::Real>::ONE;
+                if E::IS_COMPLEX {
+                    self.data[base + E::P + lane] = E::Real::default();
+                }
+            }
+        }
+    }
+
+    /// Largest absolute difference to another compact batch over logical
+    /// matrices (padding excluded).
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
+        assert_eq!((self.rows, self.cols, self.count), (other.rows, other.cols, other.count));
+        let mut worst = 0.0f64;
+        for v in 0..self.count {
+            for j in 0..self.cols {
+                for i in 0..self.rows {
+                    let d = self.get(v, i, j).sub(other.get(v, i, j)).abs_f64();
+                    worst = worst.max(d);
+                }
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iatf_simd::{c32, c64, Real};
+
+    #[test]
+    fn group_offsets_match_figure3() {
+        // Figure 3: 3×3 f32 matrices on a 128-bit unit → P = 4. The first
+        // element group holds (0,0) of matrices 0..4, the next group is
+        // (1,0) — column-major within the pack.
+        let b = CompactBatch::<f32>::zeroed(3, 3, 8);
+        assert_eq!(CompactBatch::<f32>::GROUP, 4);
+        assert_eq!(b.group_offset(0, 0, 0), 0);
+        assert_eq!(b.group_offset(0, 1, 0), 4);
+        assert_eq!(b.group_offset(0, 0, 1), 12);
+        assert_eq!(b.group_offset(1, 0, 0), 3 * 3 * 4);
+        assert_eq!(b.packs(), 2);
+    }
+
+    #[test]
+    fn complex_group_is_split() {
+        let mut b = CompactBatch::<c64>::zeroed(2, 2, 2);
+        assert_eq!(CompactBatch::<c64>::GROUP, 4);
+        b.set(0, 1, 1, c64::new(3.0, -4.0));
+        b.set(1, 1, 1, c64::new(5.0, 6.0));
+        let base = b.group_offset(0, 1, 1);
+        // re0 re1 | im0 im1
+        assert_eq!(&b.as_scalars()[base..base + 4], &[3.0, 5.0, -4.0, 6.0]);
+    }
+
+    #[test]
+    fn lanes_interleave_consecutive_matrices() {
+        let src = StdBatch::<f32>::from_fn(2, 2, 6, |v, i, j| (v * 100 + i * 10 + j) as f32);
+        let c = CompactBatch::from_std(&src);
+        // element (0,0): lanes are matrices 0..4
+        let base = c.group_offset(0, 0, 0);
+        assert_eq!(&c.as_scalars()[base..base + 4], &[0.0, 100.0, 200.0, 300.0]);
+        // second pack holds matrices 4,5 and zero padding in lanes 2,3
+        let base = c.group_offset(1, 1, 1);
+        assert_eq!(&c.as_scalars()[base..base + 4], &[411.0, 511.0, 0.0, 0.0]);
+        assert_eq!(c.padding_lanes(), 2);
+    }
+
+    #[test]
+    fn round_trip_all_types() {
+        fn check<E: Element>() {
+            let src = StdBatch::<E>::random(5, 3, 7, 99);
+            let compact = CompactBatch::from_std(&src);
+            let back = compact.to_std();
+            assert_eq!(src.max_abs_diff(&back), 0.0, "{:?}", E::DTYPE);
+        }
+        check::<f32>();
+        check::<f64>();
+        check::<c32>();
+        check::<c64>();
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut b = CompactBatch::<c32>::zeroed(4, 5, 9);
+        let z = c32::new(1.5, -2.5);
+        b.set(8, 3, 4, z);
+        assert_eq!(b.get(8, 3, 4), z);
+        assert_eq!(b.get(7, 3, 4), c32::zero());
+    }
+
+    #[test]
+    fn pad_triangle_identity_sets_dead_lanes() {
+        let mut b = CompactBatch::<f64>::zeroed(3, 3, 3); // P=2 → 1 padding lane
+        assert_eq!(b.padding_lanes(), 1);
+        b.pad_triangle_identity();
+        for i in 0..3 {
+            let base = b.group_offset(1, i, i);
+            // lane 0 is matrix 2 (logical, untouched zero), lane 1 is padding
+            assert_eq!(b.as_scalars()[base], 0.0);
+            assert_eq!(b.as_scalars()[base + 1], 1.0);
+        }
+        // logical values unchanged
+        assert_eq!(b.get(2, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn strides_consistent() {
+        let b = CompactBatch::<c64>::zeroed(4, 6, 10);
+        assert_eq!(b.pack_stride(), 4 * 6 * 4);
+        assert_eq!(b.col_stride(), 4 * 4);
+        assert_eq!(
+            b.group_offset(2, 0, 0) - b.group_offset(1, 0, 0),
+            b.pack_stride()
+        );
+        assert_eq!(
+            b.group_offset(0, 0, 3) - b.group_offset(0, 0, 2),
+            b.col_stride()
+        );
+        assert_eq!(b.as_scalars().len(), b.packs() * b.pack_stride());
+    }
+
+    #[test]
+    fn one_is_real_one() {
+        // pad_triangle_identity writes Real::ONE; sanity-check the constant.
+        assert_eq!(<f64 as Real>::ONE, 1.0);
+    }
+}

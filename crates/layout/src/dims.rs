@@ -1,0 +1,220 @@
+//! Problem dimensions and validation.
+
+use crate::props::{GemmMode, Side, TrsmMode};
+use core::fmt;
+
+/// Errors produced when batch shapes or problem dimensions are inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// An operand's (rows, cols) don't match what the operation requires.
+    ShapeMismatch {
+        /// Operand name ("A", "B", "C").
+        operand: &'static str,
+        /// Shape the operation expected.
+        expected: (usize, usize),
+        /// Shape the operand actually has.
+        got: (usize, usize),
+    },
+    /// Batch counts differ between operands.
+    BatchMismatch {
+        /// Operand name.
+        operand: &'static str,
+        /// Expected group size.
+        expected: usize,
+        /// Actual group size.
+        got: usize,
+    },
+    /// A dimension is zero where the operation requires it positive.
+    EmptyDimension(&'static str),
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::ShapeMismatch {
+                operand,
+                expected,
+                got,
+            } => write!(
+                f,
+                "operand {operand}: expected shape {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            LayoutError::BatchMismatch {
+                operand,
+                expected,
+                got,
+            } => write!(
+                f,
+                "operand {operand}: expected batch of {expected} matrices, got {got}"
+            ),
+            LayoutError::EmptyDimension(d) => write!(f, "dimension {d} must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// GEMM problem dimensions: `C (M×N) += op(A) (M×K) · op(B) (K×N)`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct GemmDims {
+    /// Rows of C and of op(A).
+    pub m: usize,
+    /// Columns of C and of op(B).
+    pub n: usize,
+    /// Inner dimension.
+    pub k: usize,
+}
+
+impl GemmDims {
+    /// Builds a dimension triple.
+    pub const fn new(m: usize, n: usize, k: usize) -> Self {
+        Self { m, n, k }
+    }
+
+    /// Square problem of order `n` (the paper's sweep shape).
+    pub const fn square(n: usize) -> Self {
+        Self::new(n, n, n)
+    }
+
+    /// Stored shape of A given the transpose flag.
+    pub fn a_shape(&self, mode: GemmMode) -> (usize, usize) {
+        match mode.transa {
+            crate::props::Trans::No => (self.m, self.k),
+            crate::props::Trans::Yes => (self.k, self.m),
+        }
+    }
+
+    /// Stored shape of B given the transpose flag.
+    pub fn b_shape(&self, mode: GemmMode) -> (usize, usize) {
+        match mode.transb {
+            crate::props::Trans::No => (self.k, self.n),
+            crate::props::Trans::Yes => (self.n, self.k),
+        }
+    }
+
+    /// Shape of C (independent of mode).
+    pub fn c_shape(&self) -> (usize, usize) {
+        (self.m, self.n)
+    }
+
+    /// Real multiply-accumulate count per matrix; multiply by
+    /// [`iatf_simd::DType::flops_per_mac`] for FLOPs.
+    pub fn macs(&self) -> usize {
+        self.m * self.n * self.k
+    }
+
+    /// Validates positivity of all dimensions.
+    pub fn validate(&self) -> Result<(), LayoutError> {
+        if self.m == 0 {
+            return Err(LayoutError::EmptyDimension("M"));
+        }
+        if self.n == 0 {
+            return Err(LayoutError::EmptyDimension("N"));
+        }
+        if self.k == 0 {
+            return Err(LayoutError::EmptyDimension("K"));
+        }
+        Ok(())
+    }
+}
+
+/// TRSM problem dimensions: B is `M×N`; A is `M×M` (left) or `N×N` (right).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TrsmDims {
+    /// Rows of B.
+    pub m: usize,
+    /// Columns of B.
+    pub n: usize,
+}
+
+impl TrsmDims {
+    /// Builds a dimension pair.
+    pub const fn new(m: usize, n: usize) -> Self {
+        Self { m, n }
+    }
+
+    /// Square problem of order `n` (the paper's sweep shape).
+    pub const fn square(n: usize) -> Self {
+        Self::new(n, n)
+    }
+
+    /// Order of the triangular matrix for the given mode.
+    pub fn triangle_order(&self, mode: TrsmMode) -> usize {
+        match mode.side {
+            Side::Left => self.m,
+            Side::Right => self.n,
+        }
+    }
+
+    /// Real multiply-accumulate count per matrix (the standard `TRSM`
+    /// operation count: `N·M²/2` solves + `N·M²/2` updates ≈ `M²·N` MACs for
+    /// the left side, symmetric for the right).
+    pub fn macs(&self, mode: TrsmMode) -> usize {
+        let t = self.triangle_order(mode);
+        let other = if mode.side == Side::Left {
+            self.n
+        } else {
+            self.m
+        };
+        // sum over rows i of (i multiply-subtracts + 1 divide) per column
+        // ≈ t·(t+1)/2 per column, counting the divide as one MAC.
+        other * t * (t + 1) / 2
+    }
+
+    /// Validates positivity of both dimensions.
+    pub fn validate(&self) -> Result<(), LayoutError> {
+        if self.m == 0 {
+            return Err(LayoutError::EmptyDimension("M"));
+        }
+        if self.n == 0 {
+            return Err(LayoutError::EmptyDimension("N"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::{Diag, Trans, Uplo};
+
+    #[test]
+    fn gemm_shapes_follow_transpose() {
+        let d = GemmDims::new(3, 5, 7);
+        assert_eq!(d.a_shape(GemmMode::NN), (3, 7));
+        assert_eq!(d.a_shape(GemmMode::TN), (7, 3));
+        assert_eq!(d.b_shape(GemmMode::NN), (7, 5));
+        assert_eq!(d.b_shape(GemmMode::NT), (5, 7));
+        assert_eq!(d.c_shape(), (3, 5));
+        assert_eq!(d.macs(), 105);
+    }
+
+    #[test]
+    fn trsm_triangle_side() {
+        let d = TrsmDims::new(4, 9);
+        assert_eq!(d.triangle_order(TrsmMode::LNLN), 4);
+        let right = TrsmMode::new(Side::Right, Trans::No, Uplo::Upper, Diag::NonUnit);
+        assert_eq!(d.triangle_order(right), 9);
+        assert_eq!(d.macs(TrsmMode::LNLN), 9 * 4 * 5 / 2);
+    }
+
+    #[test]
+    fn validation_rejects_empty() {
+        assert!(GemmDims::new(0, 1, 1).validate().is_err());
+        assert!(GemmDims::new(1, 1, 1).validate().is_ok());
+        assert!(TrsmDims::new(1, 0).validate().is_err());
+        assert!(TrsmDims::new(2, 3).validate().is_ok());
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = LayoutError::ShapeMismatch {
+            operand: "A",
+            expected: (3, 4),
+            got: (4, 3),
+        };
+        assert!(e.to_string().contains("A"));
+        assert!(e.to_string().contains("3x4"));
+    }
+}

@@ -1,0 +1,268 @@
+//! BLAS matrix property types.
+//!
+//! These are the "input matrix properties" the run-time stage inspects
+//! (paper §3): transpose flags for GEMM; side, triangle, transpose and
+//! diagonal flags for TRSM.
+
+use core::fmt;
+
+/// Transpose flag for a GEMM operand or the TRSM coefficient matrix.
+///
+/// Conjugate-transpose is folded into `Trans` for complex types at the API
+/// layer (the packing kernels conjugate while gathering), so the planner only
+/// distinguishes transposed/non-transposed — exactly the property set the
+/// paper tunes on.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Trans {
+    /// Use the matrix as stored (`N`).
+    No,
+    /// Use the transpose (`T`).
+    Yes,
+}
+
+impl Trans {
+    /// Both values, `N` first.
+    pub const ALL: [Trans; 2] = [Trans::No, Trans::Yes];
+
+    /// BLAS character code.
+    pub fn code(self) -> char {
+        match self {
+            Trans::No => 'N',
+            Trans::Yes => 'T',
+        }
+    }
+
+    /// The opposite flag.
+    pub fn flip(self) -> Self {
+        match self {
+            Trans::No => Trans::Yes,
+            Trans::Yes => Trans::No,
+        }
+    }
+
+    /// True if transposed.
+    pub fn is_trans(self) -> bool {
+        self == Trans::Yes
+    }
+}
+
+/// Which side the triangular matrix appears on in TRSM.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Side {
+    /// Solve `op(A)·X = α·B` (A is M×M).
+    Left,
+    /// Solve `X·op(A) = α·B` (A is N×N).
+    Right,
+}
+
+impl Side {
+    /// Both values, `L` first.
+    pub const ALL: [Side; 2] = [Side::Left, Side::Right];
+
+    /// BLAS character code.
+    pub fn code(self) -> char {
+        match self {
+            Side::Left => 'L',
+            Side::Right => 'R',
+        }
+    }
+}
+
+/// Which triangle of the TRSM coefficient matrix is referenced.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Uplo {
+    /// Lower triangle.
+    Lower,
+    /// Upper triangle.
+    Upper,
+}
+
+impl Uplo {
+    /// Both values, `L` first.
+    pub const ALL: [Uplo; 2] = [Uplo::Lower, Uplo::Upper];
+
+    /// BLAS character code.
+    pub fn code(self) -> char {
+        match self {
+            Uplo::Lower => 'L',
+            Uplo::Upper => 'U',
+        }
+    }
+
+    /// The opposite triangle (transposing a triangular matrix flips it).
+    pub fn flip(self) -> Self {
+        match self {
+            Uplo::Lower => Uplo::Upper,
+            Uplo::Upper => Uplo::Lower,
+        }
+    }
+}
+
+/// Whether the TRSM diagonal is implicitly ones.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Diag {
+    /// Diagonal stored explicitly (`NonUnit`).
+    NonUnit,
+    /// Diagonal assumed to be all ones (`Unit`), not referenced.
+    Unit,
+}
+
+impl Diag {
+    /// Both values, `NonUnit` first (matching the paper's LNLN default).
+    pub const ALL: [Diag; 2] = [Diag::NonUnit, Diag::Unit];
+
+    /// BLAS character code.
+    pub fn code(self) -> char {
+        match self {
+            Diag::NonUnit => 'N',
+            Diag::Unit => 'U',
+        }
+    }
+}
+
+/// The transpose mode pair of a GEMM call (`NN`, `NT`, `TN`, `TT`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GemmMode {
+    /// Transpose flag of A.
+    pub transa: Trans,
+    /// Transpose flag of B.
+    pub transb: Trans,
+}
+
+impl GemmMode {
+    /// `C += A·B`.
+    pub const NN: GemmMode = GemmMode::new(Trans::No, Trans::No);
+    /// `C += A·Bᵀ`.
+    pub const NT: GemmMode = GemmMode::new(Trans::No, Trans::Yes);
+    /// `C += Aᵀ·B`.
+    pub const TN: GemmMode = GemmMode::new(Trans::Yes, Trans::No);
+    /// `C += Aᵀ·Bᵀ`.
+    pub const TT: GemmMode = GemmMode::new(Trans::Yes, Trans::Yes);
+    /// The four modes evaluated in the paper's Figure 8.
+    pub const ALL: [GemmMode; 4] = [Self::NN, Self::NT, Self::TN, Self::TT];
+
+    /// Builds a mode from its two flags.
+    pub const fn new(transa: Trans, transb: Trans) -> Self {
+        Self { transa, transb }
+    }
+}
+
+impl fmt::Display for GemmMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.transa.code(), self.transb.code())
+    }
+}
+
+/// The full mode of a TRSM call, e.g. `LNLN` = Left, Non-transpose, Lower,
+/// NonUnit — the paper's headline TRSM configuration.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TrsmMode {
+    /// Side of the triangular matrix.
+    pub side: Side,
+    /// Transpose flag of the triangular matrix.
+    pub trans: Trans,
+    /// Referenced triangle.
+    pub uplo: Uplo,
+    /// Diagonal kind.
+    pub diag: Diag,
+}
+
+impl TrsmMode {
+    /// Left, Non-transpose, Lower, NonUnit (paper Figure 9).
+    pub const LNLN: TrsmMode = TrsmMode::new(Side::Left, Trans::No, Uplo::Lower, Diag::NonUnit);
+    /// Left, Non-transpose, Upper, NonUnit (paper Figure 10).
+    pub const LNUN: TrsmMode = TrsmMode::new(Side::Left, Trans::No, Uplo::Upper, Diag::NonUnit);
+    /// Left, Transpose, Lower, NonUnit (paper Figure 10).
+    pub const LTLN: TrsmMode = TrsmMode::new(Side::Left, Trans::Yes, Uplo::Lower, Diag::NonUnit);
+    /// Left, Transpose, Upper, NonUnit (paper Figure 10).
+    pub const LTUN: TrsmMode = TrsmMode::new(Side::Left, Trans::Yes, Uplo::Upper, Diag::NonUnit);
+
+    /// Builds a mode from its four flags.
+    pub const fn new(side: Side, trans: Trans, uplo: Uplo, diag: Diag) -> Self {
+        Self {
+            side,
+            trans,
+            uplo,
+            diag,
+        }
+    }
+
+    /// All sixteen TRSM modes.
+    pub fn all() -> Vec<TrsmMode> {
+        let mut out = Vec::with_capacity(16);
+        for side in Side::ALL {
+            for trans in Trans::ALL {
+                for uplo in Uplo::ALL {
+                    for diag in Diag::ALL {
+                        out.push(TrsmMode::new(side, trans, uplo, diag));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The four left-side modes of the paper's Figure 10 in paper order.
+    pub const FIG10: [TrsmMode; 4] = [Self::LNLN, Self::LNUN, Self::LTLN, Self::LTUN];
+
+    /// The triangle that is *effectively* referenced after applying the
+    /// transpose flag: `op(A)` of a lower-stored matrix is upper triangular
+    /// when `trans == Yes`.
+    pub fn effective_uplo(self) -> Uplo {
+        match self.trans {
+            Trans::No => self.uplo,
+            Trans::Yes => self.uplo.flip(),
+        }
+    }
+}
+
+impl fmt::Display for TrsmMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}{}",
+            self.side.code(),
+            self.trans.code(),
+            self.uplo.code(),
+            self.diag.code()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_mode_display() {
+        let shown: Vec<String> = GemmMode::ALL.iter().map(|m| m.to_string()).collect();
+        assert_eq!(shown, ["NN", "NT", "TN", "TT"]);
+    }
+
+    #[test]
+    fn trsm_mode_display_matches_paper_names() {
+        assert_eq!(TrsmMode::LNLN.to_string(), "LNLN");
+        assert_eq!(TrsmMode::LNUN.to_string(), "LNUN");
+        assert_eq!(TrsmMode::LTLN.to_string(), "LTLN");
+        assert_eq!(TrsmMode::LTUN.to_string(), "LTUN");
+    }
+
+    #[test]
+    fn sixteen_trsm_modes_unique() {
+        let all = TrsmMode::all();
+        assert_eq!(all.len(), 16);
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_flips_triangle() {
+        assert_eq!(TrsmMode::LTLN.effective_uplo(), Uplo::Upper);
+        assert_eq!(TrsmMode::LNLN.effective_uplo(), Uplo::Lower);
+        assert_eq!(Trans::No.flip(), Trans::Yes);
+        assert_eq!(Uplo::Upper.flip(), Uplo::Lower);
+    }
+}

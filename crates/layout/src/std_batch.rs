@@ -1,0 +1,268 @@
+//! Standard batch container: column-major matrices stored back to back.
+//!
+//! This is the layout conventional BLAS interfaces consume; the baselines
+//! operate on it directly and the compact API converts from/to it.
+
+use crate::dims::LayoutError;
+use crate::props::{Diag, Uplo};
+use crate::rng::SplitMix64;
+use iatf_simd::Element;
+
+/// A group of `count` column-major `rows × cols` matrices, stored
+/// contiguously with leading dimension equal to `rows`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StdBatch<E> {
+    rows: usize,
+    cols: usize,
+    count: usize,
+    data: Vec<E>,
+}
+
+impl<E: Element> StdBatch<E> {
+    /// Allocates a zero-filled batch.
+    pub fn zeroed(rows: usize, cols: usize, count: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            count,
+            data: vec![E::zero(); rows * cols * count],
+        }
+    }
+
+    /// Builds a batch by evaluating `f(matrix, row, col)` for every element.
+    pub fn from_fn(
+        rows: usize,
+        cols: usize,
+        count: usize,
+        mut f: impl FnMut(usize, usize, usize) -> E,
+    ) -> Self {
+        let mut b = Self::zeroed(rows, cols, count);
+        for v in 0..count {
+            for j in 0..cols {
+                for i in 0..rows {
+                    b.set(v, i, j, f(v, i, j));
+                }
+            }
+        }
+        b
+    }
+
+    /// Fills with uniform random values in `[0, 1)` (paper's initialization;
+    /// complex types get independent random real and imaginary parts).
+    pub fn fill_random(&mut self, seed: u64) {
+        let mut rng = SplitMix64::new(seed);
+        for x in &mut self.data {
+            *x = E::from_f64s(rng.next_f64(), rng.next_f64());
+        }
+    }
+
+    /// Convenience constructor: random batch in `[0, 1)`.
+    pub fn random(rows: usize, cols: usize, count: usize, seed: u64) -> Self {
+        let mut b = Self::zeroed(rows, cols, count);
+        b.fill_random(seed);
+        b
+    }
+
+    /// Builds a well-conditioned random triangular batch for TRSM testing:
+    /// diagonal magnitudes in `[1, 2]`, off-diagonal magnitudes scaled by
+    /// `1/order` so forward/back substitution stays stable. Elements outside
+    /// the referenced triangle are filled with garbage (they must never be
+    /// read). With `Diag::Unit` the stored diagonal is also garbage.
+    pub fn random_triangular(order: usize, count: usize, uplo: Uplo, diag: Diag, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let scale = 1.0 / (order.max(1) as f64);
+        Self::from_fn(order, order, count, |_, i, j| {
+            let in_triangle = match uplo {
+                Uplo::Lower => i >= j,
+                Uplo::Upper => i <= j,
+            };
+            if i == j {
+                if diag == Diag::Unit {
+                    // Poison: unit-diagonal solves must not read this.
+                    E::from_f64s(1e30, -1e30)
+                } else {
+                    E::from_f64s(1.0 + rng.next_f64(), rng.next_f64() * 0.25)
+                }
+            } else if in_triangle {
+                E::from_f64s(
+                    rng.range_f64(-1.0, 1.0) * scale,
+                    rng.range_f64(-1.0, 1.0) * scale,
+                )
+            } else {
+                // Poison: outside the referenced triangle.
+                E::from_f64s(7e29, 7e29)
+            }
+        })
+    }
+
+    /// Number of rows of each matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of each matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of matrices in the group.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// (rows, cols) pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Elements of one matrix (column-major slice of length `rows·cols`).
+    pub fn mat(&self, v: usize) -> &[E] {
+        let len = self.rows * self.cols;
+        &self.data[v * len..(v + 1) * len]
+    }
+
+    /// Mutable elements of one matrix.
+    pub fn mat_mut(&mut self, v: usize) -> &mut [E] {
+        let len = self.rows * self.cols;
+        &mut self.data[v * len..(v + 1) * len]
+    }
+
+    /// Element `(i, j)` of matrix `v`.
+    #[inline]
+    pub fn get(&self, v: usize, i: usize, j: usize) -> E {
+        debug_assert!(v < self.count && i < self.rows && j < self.cols);
+        self.data[v * self.rows * self.cols + j * self.rows + i]
+    }
+
+    /// Sets element `(i, j)` of matrix `v`.
+    #[inline]
+    pub fn set(&mut self, v: usize, i: usize, j: usize, x: E) {
+        debug_assert!(v < self.count && i < self.rows && j < self.cols);
+        self.data[v * self.rows * self.cols + j * self.rows + i] = x;
+    }
+
+    /// Whole backing storage.
+    pub fn as_slice(&self) -> &[E] {
+        &self.data
+    }
+
+    /// Mutable backing storage.
+    pub fn as_mut_slice(&mut self) -> &mut [E] {
+        &mut self.data
+    }
+
+    /// Checks this batch has the given shape and group size.
+    pub fn expect_shape(
+        &self,
+        operand: &'static str,
+        rows: usize,
+        cols: usize,
+        count: usize,
+    ) -> Result<(), LayoutError> {
+        if (self.rows, self.cols) != (rows, cols) {
+            return Err(LayoutError::ShapeMismatch {
+                operand,
+                expected: (rows, cols),
+                got: (self.rows, self.cols),
+            });
+        }
+        if self.count != count {
+            return Err(LayoutError::BatchMismatch {
+                operand,
+                expected: count,
+                got: self.count,
+            });
+        }
+        Ok(())
+    }
+
+    /// Largest absolute difference to another batch (∞-norm over all
+    /// matrices), for test assertions.
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
+        assert_eq!(self.shape(), other.shape());
+        assert_eq!(self.count, other.count);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a.sub(*b).abs_f64())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iatf_simd::c32;
+
+    #[test]
+    fn column_major_indexing() {
+        let b = StdBatch::<f64>::from_fn(2, 3, 2, |v, i, j| (100 * v + 10 * i + j) as f64);
+        // matrix 0, column-major: (0,0) (1,0) (0,1) (1,1) (0,2) (1,2)
+        assert_eq!(b.mat(0), &[0.0, 10.0, 1.0, 11.0, 2.0, 12.0]);
+        assert_eq!(b.get(1, 1, 2), 112.0);
+    }
+
+    #[test]
+    fn random_fill_in_unit_interval() {
+        let b = StdBatch::<f32>::random(4, 4, 3, 11);
+        for x in b.as_slice() {
+            assert!((0.0..1.0).contains(x));
+        }
+        // complex fills both components
+        let c = StdBatch::<c32>::random(3, 3, 2, 11);
+        for z in c.as_slice() {
+            assert!((0.0..1.0).contains(&z.re) && (0.0..1.0).contains(&z.im));
+        }
+    }
+
+    #[test]
+    fn triangular_fill_is_well_conditioned() {
+        let t = StdBatch::<f64>::random_triangular(8, 2, Uplo::Lower, Diag::NonUnit, 3);
+        for v in 0..2 {
+            for i in 0..8 {
+                let d = t.get(v, i, i);
+                assert!((1.0..=2.0).contains(&d), "diag {d}");
+                for j in 0..8 {
+                    if i > j {
+                        assert!(t.get(v, i, j).abs() <= 1.0 / 8.0 + 1e-12);
+                    } else if i < j {
+                        // poison above the diagonal
+                        assert!(t.get(v, i, j).abs() > 1e20);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_diag_is_poisoned() {
+        let t = StdBatch::<f64>::random_triangular(4, 1, Uplo::Upper, Diag::Unit, 5);
+        for i in 0..4 {
+            assert!(t.get(0, i, i).abs() > 1e20);
+        }
+    }
+
+    #[test]
+    fn shape_check() {
+        let b = StdBatch::<f32>::zeroed(3, 4, 5);
+        assert!(b.expect_shape("A", 3, 4, 5).is_ok());
+        assert!(matches!(
+            b.expect_shape("A", 4, 3, 5),
+            Err(LayoutError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            b.expect_shape("A", 3, 4, 6),
+            Err(LayoutError::BatchMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn max_abs_diff_detects_change() {
+        let a = StdBatch::<f64>::random(3, 3, 2, 1);
+        let mut b = a.clone();
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        let old = b.get(1, 2, 0);
+        b.set(1, 2, 0, old + 0.5);
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-15);
+    }
+}

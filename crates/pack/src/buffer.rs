@@ -1,0 +1,97 @@
+//! Reusable packing buffer.
+
+use iatf_simd::Real;
+
+/// A growable scratch buffer for packed panels.
+///
+/// Execution plans reuse one buffer across all super-blocks so the packing
+/// traffic stays in the same L1-resident working set (the Batch Counter
+/// sizes the per-super-block footprint to the L1 capacity).
+#[derive(Debug, Default)]
+pub struct PackBuffer<R> {
+    data: Vec<R>,
+}
+
+impl<R: Real> PackBuffer<R> {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self { data: Vec::new() }
+    }
+
+    /// Creates a buffer with capacity for `len` scalars.
+    pub fn with_len(len: usize) -> Self {
+        Self {
+            data: vec![R::ZERO; len],
+        }
+    }
+
+    /// Ensures at least `len` scalars are available and returns the slice.
+    /// Contents are unspecified (packing overwrites what it uses).
+    pub fn get_mut(&mut self, len: usize) -> &mut [R] {
+        if self.data.len() < len {
+            self.data.resize(len, R::ZERO);
+        }
+        &mut self.data[..len]
+    }
+
+    /// Read-only view of the first `len` scalars.
+    pub fn get(&self, len: usize) -> &[R] {
+        &self.data[..len]
+    }
+
+    /// Current capacity in scalars.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been allocated yet.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Splits into two disjoint mutable regions of `a_len` and `b_len`
+    /// scalars (grows as needed) — one allocation for the A and B panels of
+    /// a super-block.
+    pub fn split_two(&mut self, a_len: usize, b_len: usize) -> (&mut [R], &mut [R]) {
+        let total = a_len + b_len;
+        if self.data.len() < total {
+            self.data.resize(total, R::ZERO);
+        }
+        let (a, rest) = self.data.split_at_mut(a_len);
+        (a, &mut rest[..b_len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_and_reuses() {
+        let mut buf = PackBuffer::<f64>::new();
+        assert!(buf.is_empty());
+        {
+            let s = buf.get_mut(10);
+            s[9] = 1.0;
+        }
+        assert_eq!(buf.len(), 10);
+        {
+            let s = buf.get_mut(4); // no shrink
+            s[0] = 2.0;
+        }
+        assert_eq!(buf.len(), 10);
+        assert_eq!(buf.get(10)[9], 1.0);
+    }
+
+    #[test]
+    fn split_two_disjoint() {
+        let mut buf = PackBuffer::<f32>::with_len(2);
+        let (a, b) = buf.split_two(3, 5);
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 5);
+        a[2] = 7.0;
+        b[0] = 9.0;
+        assert_eq!(buf.get(4)[2], 7.0);
+        assert_eq!(buf.get(4)[3], 9.0);
+    }
+}

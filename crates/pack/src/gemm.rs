@@ -1,0 +1,405 @@
+//! GEMM packing kernels (N-shaped A panels, Z-shaped B panels — paper
+//! Figure 6) and the no-pack direct-access strides.
+//!
+//! Panel formats consumed by `iatf_kernels::gemm_ukr`:
+//!
+//! * **A panel** — row tiles of height ≤ `m_r` in row order ("N-shape": the
+//!   panel walks down A's rows, and within a tile across K). Tile starting
+//!   at row `i0` begins at scalar offset `i0 · K · GROUP`; inside, sliver
+//!   `k` holds the tile's `h` element groups contiguously
+//!   (`a_i = GROUP`, `a_k = h·GROUP`).
+//! * **B panel** — column tiles of width ≤ `n_r` ("Z-shape": across the
+//!   columns of a tile, then down K). Tile at column `j0` begins at
+//!   `j0 · K · GROUP`; sliver `k` holds `w` groups
+//!   (`b_j = GROUP`, `b_k = w·GROUP`).
+//!
+//! Transposition (and complex conjugation) happen during the gather, so the
+//! computing kernel is mode-oblivious.
+
+use iatf_layout::{CompactBatch, Trans};
+use iatf_simd::Element;
+
+/// Scalar length of a packed A panel for an `m × k` operand.
+pub fn panel_a_len<E: Element>(m: usize, k: usize) -> usize {
+    m * k * CompactBatch::<E>::GROUP
+}
+
+/// Scalar length of a packed B panel for a `k × n` operand.
+pub fn panel_b_len<E: Element>(k: usize, n: usize) -> usize {
+    k * n * CompactBatch::<E>::GROUP
+}
+
+/// Scalar offset of the A tile starting at op-row `i0`.
+pub fn a_tile_offset<E: Element>(i0: usize, k: usize) -> usize {
+    i0 * k * CompactBatch::<E>::GROUP
+}
+
+/// Scalar offset of the B tile starting at op-column `j0`.
+pub fn b_tile_offset<E: Element>(j0: usize, k: usize) -> usize {
+    j0 * k * CompactBatch::<E>::GROUP
+}
+
+#[inline]
+fn conj_groups<E: Element>(dst: &mut [E::Real]) {
+    if !E::IS_COMPLEX {
+        return;
+    }
+    let p = E::P;
+    for group in dst.chunks_exact_mut(2 * p) {
+        for x in &mut group[p..] {
+            *x = -*x;
+        }
+    }
+}
+
+/// Packs one pack's A operand into N-shaped panels.
+///
+/// `m`/`k` are the dimensions of `op(A)`; `mr` is the tile height (the main
+/// kernel's `m_r`). `conj` conjugates complex data during the copy.
+#[allow(clippy::too_many_arguments)]
+pub fn pack_a<E: Element>(
+    dst: &mut [E::Real],
+    src: &CompactBatch<E>,
+    pack: usize,
+    trans: Trans,
+    conj: bool,
+    mr: usize,
+    m: usize,
+    k: usize,
+) {
+    let g = CompactBatch::<E>::GROUP;
+    let rows = src.rows();
+    let sp = src.pack_slice(pack);
+    debug_assert!(dst.len() >= panel_a_len::<E>(m, k));
+
+    let mut out = 0usize;
+    let mut i0 = 0usize;
+    while i0 < m {
+        let h = mr.min(m - i0);
+        match trans {
+            Trans::No => {
+                // Stored rows i0..i0+h of column kk are contiguous: one
+                // memcpy per sliver (the paper's vector-at-a-time copies).
+                for kk in 0..k {
+                    let s = (kk * rows + i0) * g;
+                    dst[out..out + h * g].copy_from_slice(&sp[s..s + h * g]);
+                    out += h * g;
+                }
+            }
+            Trans::Yes => {
+                // op(A)(i, kk) = A(kk, i): gather one group per element.
+                for kk in 0..k {
+                    for i in 0..h {
+                        let s = ((i0 + i) * rows + kk) * g;
+                        dst[out..out + g].copy_from_slice(&sp[s..s + g]);
+                        out += g;
+                    }
+                }
+            }
+        }
+        let tile = &mut dst[out - h * k * g..out];
+        if conj {
+            conj_groups::<E>(tile);
+        }
+        i0 += h;
+    }
+}
+
+/// Packs one pack's B operand into Z-shaped panels.
+///
+/// `k`/`n` are the dimensions of `op(B)`; `nr` is the tile width.
+#[allow(clippy::too_many_arguments)]
+pub fn pack_b<E: Element>(
+    dst: &mut [E::Real],
+    src: &CompactBatch<E>,
+    pack: usize,
+    trans: Trans,
+    conj: bool,
+    nr: usize,
+    k: usize,
+    n: usize,
+) {
+    let g = CompactBatch::<E>::GROUP;
+    let rows = src.rows();
+    let sp = src.pack_slice(pack);
+    debug_assert!(dst.len() >= panel_b_len::<E>(k, n));
+
+    let mut out = 0usize;
+    let mut j0 = 0usize;
+    while j0 < n {
+        let w = nr.min(n - j0);
+        match trans {
+            Trans::No => {
+                // op(B)(kk, j) = B(kk, j0+j): gather one group per column.
+                for kk in 0..k {
+                    for j in 0..w {
+                        let s = ((j0 + j) * rows + kk) * g;
+                        dst[out..out + g].copy_from_slice(&sp[s..s + g]);
+                        out += g;
+                    }
+                }
+            }
+            Trans::Yes => {
+                // Stored B(j0..j0+w, kk) is contiguous: memcpy per sliver.
+                for kk in 0..k {
+                    let s = (kk * rows + j0) * g;
+                    dst[out..out + w * g].copy_from_slice(&sp[s..s + w * g]);
+                    out += w * g;
+                }
+            }
+        }
+        let tile = &mut dst[out - w * k * g..out];
+        if conj {
+            conj_groups::<E>(tile);
+        }
+        j0 += w;
+    }
+}
+
+/// Direct (no-pack) access description for one GEMM operand: the compute
+/// kernels take runtime strides, so a non-conjugated operand can be streamed
+/// straight from the compact layout (paper §4.4's no-packing strategy).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DirectAccess {
+    /// Scalar offset of the tile starting at minor index `t`: `t · tile_scale`.
+    pub tile_scale: usize,
+    /// Stride between consecutive rows (A) / columns (B) of the op-operand.
+    pub minor: usize,
+    /// Stride between consecutive K steps.
+    pub step_k: usize,
+}
+
+/// Direct-access strides for `op(A)` stored as a `rows × cols` compact
+/// matrix.
+pub fn direct_a<E: Element>(trans: Trans, rows: usize) -> DirectAccess {
+    let g = CompactBatch::<E>::GROUP;
+    match trans {
+        Trans::No => DirectAccess {
+            tile_scale: g,
+            minor: g,
+            step_k: rows * g,
+        },
+        Trans::Yes => DirectAccess {
+            tile_scale: rows * g,
+            minor: rows * g,
+            step_k: g,
+        },
+    }
+}
+
+/// Direct-access strides for `op(B)` stored as a `rows × cols` compact
+/// matrix.
+pub fn direct_b<E: Element>(trans: Trans, rows: usize) -> DirectAccess {
+    let g = CompactBatch::<E>::GROUP;
+    match trans {
+        Trans::No => DirectAccess {
+            tile_scale: rows * g,
+            minor: rows * g,
+            step_k: g,
+        },
+        Trans::Yes => DirectAccess {
+            tile_scale: g,
+            minor: g,
+            step_k: rows * g,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iatf_layout::StdBatch;
+    use iatf_simd::{c32, c64, Element, Real};
+
+    /// Scalar view of op(A)(i, kk) for logical matrix v.
+    fn op_elem<E: Element>(
+        src: &StdBatch<E>,
+        v: usize,
+        trans: Trans,
+        conj: bool,
+        i: usize,
+        kk: usize,
+    ) -> E {
+        let raw = match trans {
+            Trans::No => src.get(v, i, kk),
+            Trans::Yes => src.get(v, kk, i),
+        };
+        if conj {
+            E::from_f64s(raw.re().to_f64(), -raw.im().to_f64())
+        } else {
+            raw
+        }
+    }
+
+    fn check_pack_a<E: Element>(m: usize, k: usize, mr: usize, trans: Trans, conj: bool) {
+        let (rows, cols) = match trans {
+            Trans::No => (m, k),
+            Trans::Yes => (k, m),
+        };
+        let count = E::P + 1; // force a padded pack too
+        let std = StdBatch::<E>::random(rows, cols, count, 42);
+        let compact = CompactBatch::from_std(&std);
+        let g = CompactBatch::<E>::GROUP;
+        let mut dst = vec![E::Real::ZERO; panel_a_len::<E>(m, k)];
+        for pack in 0..compact.packs() {
+            pack_a(&mut dst, &compact, pack, trans, conj, mr, m, k);
+            // walk the panel layout and compare each lane
+            let mut i0 = 0;
+            let mut off = 0usize;
+            while i0 < m {
+                let h = mr.min(m - i0);
+                for kk in 0..k {
+                    for i in 0..h {
+                        for lane in 0..E::P {
+                            let v = pack * E::P + lane;
+                            let (want_re, want_im) = if v < count {
+                                let e = op_elem(&std, v, trans, conj, i0 + i, kk);
+                                (e.re().to_f64(), e.im().to_f64())
+                            } else {
+                                (0.0, 0.0)
+                            };
+                            let got_re = dst[off + lane].to_f64();
+                            assert_eq!(got_re, want_re, "re {trans:?} i={} k={kk}", i0 + i);
+                            if E::IS_COMPLEX {
+                                let got_im = dst[off + E::P + lane].to_f64();
+                                assert_eq!(got_im, want_im, "im {trans:?}");
+                            }
+                        }
+                        off += g;
+                    }
+                }
+                i0 += h;
+            }
+        }
+    }
+
+    fn check_pack_b<E: Element>(k: usize, n: usize, nr: usize, trans: Trans, conj: bool) {
+        let (rows, cols) = match trans {
+            Trans::No => (k, n),
+            Trans::Yes => (n, k),
+        };
+        let count = 2 * E::P;
+        let std = StdBatch::<E>::random(rows, cols, count, 7);
+        let compact = CompactBatch::from_std(&std);
+        let g = CompactBatch::<E>::GROUP;
+        let mut dst = vec![E::Real::ZERO; panel_b_len::<E>(k, n)];
+        for pack in 0..compact.packs() {
+            pack_b(&mut dst, &compact, pack, trans, conj, nr, k, n);
+            let mut j0 = 0;
+            let mut off = 0usize;
+            while j0 < n {
+                let w = nr.min(n - j0);
+                for kk in 0..k {
+                    for j in 0..w {
+                        for lane in 0..E::P {
+                            let v = pack * E::P + lane;
+                            // op(B)(kk, j): trans=No reads stored (kk, j),
+                            // i.e. the flipped index order of op_elem.
+                            let e = op_elem(&std, v, trans.flip(), conj, j0 + j, kk);
+                            let got = dst[off + lane].to_f64();
+                            assert_eq!(got, e.re().to_f64(), "B {trans:?} j={} k={kk}", j0 + j);
+                            if E::IS_COMPLEX {
+                                assert_eq!(dst[off + E::P + lane].to_f64(), e.im().to_f64());
+                            }
+                        }
+                        off += g;
+                    }
+                }
+                j0 += w;
+            }
+        }
+    }
+
+    #[test]
+    fn pack_a_all_modes_real() {
+        for trans in Trans::ALL {
+            check_pack_a::<f32>(7, 5, 4, trans, false);
+            check_pack_a::<f64>(4, 9, 4, trans, false);
+            check_pack_a::<f64>(1, 1, 4, trans, false);
+            check_pack_a::<f32>(13, 3, 4, trans, false);
+        }
+    }
+
+    #[test]
+    fn pack_a_complex_with_conjugation() {
+        for trans in Trans::ALL {
+            for conj in [false, true] {
+                check_pack_a::<c32>(5, 4, 3, trans, conj);
+                check_pack_a::<c64>(6, 3, 3, trans, conj);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_all_modes() {
+        for trans in Trans::ALL {
+            check_pack_b::<f32>(5, 7, 4, trans, false);
+            check_pack_b::<f64>(9, 4, 4, trans, false);
+            check_pack_b::<c64>(3, 5, 2, trans, true);
+            check_pack_b::<c32>(4, 2, 2, trans, false);
+        }
+    }
+
+    #[test]
+    fn direct_strides_address_same_elements() {
+        // Reading through DirectAccess must reproduce op(A)(i, kk).
+        let std = StdBatch::<f64>::random(5, 4, 2, 9);
+        let compact = CompactBatch::from_std(&std);
+        let g = CompactBatch::<f64>::GROUP;
+        for trans in Trans::ALL {
+            let (m, k) = match trans {
+                Trans::No => (5usize, 4usize),
+                Trans::Yes => (4, 5),
+            };
+            let acc = direct_a::<f64>(trans, compact.rows());
+            let sp = compact.pack_slice(0);
+            for i0 in 0..m {
+                for kk in 0..k {
+                    let off = i0 * acc.tile_scale + kk * acc.step_k;
+                    for lane in 0..2 {
+                        let want = match trans {
+                            Trans::No => std.get(lane, i0, kk),
+                            Trans::Yes => std.get(lane, kk, i0),
+                        };
+                        assert_eq!(sp[off + lane], want, "{trans:?} ({i0},{kk})");
+                    }
+                }
+            }
+            let _ = g;
+        }
+    }
+
+    #[test]
+    fn direct_b_strides_address_same_elements() {
+        let std = StdBatch::<f32>::random(3, 6, 4, 21);
+        let compact = CompactBatch::from_std(&std);
+        for trans in Trans::ALL {
+            let (k, n) = match trans {
+                Trans::No => (3usize, 6usize),
+                Trans::Yes => (6, 3),
+            };
+            let acc = direct_b::<f32>(trans, compact.rows());
+            let sp = compact.pack_slice(0);
+            for j0 in 0..n {
+                for kk in 0..k {
+                    let off = j0 * acc.tile_scale + kk * acc.step_k;
+                    for lane in 0..4 {
+                        let want = match trans {
+                            Trans::No => std.get(lane, kk, j0),
+                            Trans::Yes => std.get(lane, j0, kk),
+                        };
+                        assert_eq!(sp[off + lane], want, "{trans:?} ({kk},{j0})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_offsets() {
+        assert_eq!(a_tile_offset::<f32>(4, 7), 4 * 7 * 4);
+        assert_eq!(b_tile_offset::<c64>(2, 5), 2 * 5 * 4);
+        assert_eq!(panel_a_len::<f64>(3, 4), 24);
+        assert_eq!(panel_b_len::<c32>(3, 4), 96);
+    }
+}

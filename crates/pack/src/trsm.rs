@@ -1,0 +1,598 @@
+//! TRSM packing kernels (paper §4.4) and mode canonicalization.
+//!
+//! Every one of the sixteen `(side, trans, uplo, diag)` modes is folded into
+//! one canonical form — **left, lower, non-transposed** — by an index map
+//! applied while gathering:
+//!
+//! * `side = Right` and/or `trans = T` compose into a single *flip* (read
+//!   the stored element `(j, i)` instead of `(i, j)`): `X·op(A) = αB` is
+//!   `op(A)ᵀ·Xᵀ = αBᵀ`, so the right side is the left-side solve of the
+//!   transposed system on a transposed panel.
+//! * If the *effective* triangle after flipping is upper, indices are
+//!   *reversed* (`i ↦ T−1−i`): reversing rows and columns of an upper
+//!   triangular matrix yields a lower triangular one, and the permuted
+//!   solution is un-permuted for free while unpacking.
+//!
+//! This is exactly the paper's Pack Selecter contract: "pack matrices into
+//! the same order, so that only one computational kernel is needed to handle
+//! all modes."
+//!
+//! The packed A triangle stores diagonal entries as **reciprocals** (`1/aᵢᵢ`;
+//! complex: `ā/|a|²`) because "considering the long delay of division
+//! instructions under the ARM architecture ... the diagonal part is stored
+//! as its reciprocal" (§4.4). `Diag::Unit` packs reciprocal 1 and never
+//! reads the stored diagonal. The α of `op(A)·X = α·B` is applied while
+//! packing B.
+
+use iatf_layout::{CompactBatch, Diag, Side, Trans, TrsmMode, Uplo};
+use iatf_simd::{Element, Real};
+
+/// Canonicalizing index map for one TRSM problem.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TrsmIndexMap {
+    /// Order of the triangular matrix.
+    pub t: usize,
+    /// Columns of the canonical right-hand side `B̂` (`n` for left, `m` for
+    /// right).
+    pub bn: usize,
+    /// Read stored `(j, i)` instead of `(i, j)` (side/trans composition).
+    pub flip: bool,
+    /// Reverse indices (`i ↦ t−1−i`) to turn effective-upper into lower.
+    pub reversed: bool,
+    /// Conjugate A elements while packing (conjugate-transpose modes).
+    pub conj: bool,
+    /// Unit-diagonal solve: pack reciprocal 1, never read the diagonal.
+    pub unit: bool,
+    /// Right-side problem (affects the B mapping).
+    pub side_right: bool,
+}
+
+impl TrsmIndexMap {
+    /// Builds the map for a mode and the B dimensions `m × n`.
+    pub fn new(mode: TrsmMode, conj: bool, m: usize, n: usize) -> Self {
+        let side_right = mode.side == Side::Right;
+        let t = if side_right { n } else { m };
+        let bn = if side_right { m } else { n };
+        let flip = side_right ^ (mode.trans == Trans::Yes);
+        let uplo_eff = if flip { mode.uplo.flip() } else { mode.uplo };
+        Self {
+            t,
+            bn,
+            flip,
+            reversed: uplo_eff == Uplo::Upper,
+            conj,
+            unit: mode.diag == Diag::Unit,
+            side_right,
+        }
+    }
+
+    /// Stored `(row, col)` of the canonical coefficient `Â(i, j)`, `i ≥ j`.
+    #[inline]
+    pub fn a_src(&self, i: usize, j: usize) -> (usize, usize) {
+        debug_assert!(i >= j && i < self.t);
+        let (ii, jj) = if self.reversed {
+            (self.t - 1 - i, self.t - 1 - j)
+        } else {
+            (i, j)
+        };
+        if self.flip {
+            (jj, ii)
+        } else {
+            (ii, jj)
+        }
+    }
+
+    /// Stored `(row, col)` in B of the canonical `B̂(i, j)`. The same map
+    /// serves packing (gather) and unpacking (scatter of the solution).
+    #[inline]
+    pub fn b_src(&self, i: usize, j: usize) -> (usize, usize) {
+        debug_assert!(i < self.t && j < self.bn);
+        let ii = if self.reversed { self.t - 1 - i } else { i };
+        if self.side_right {
+            (j, ii)
+        } else {
+            (ii, j)
+        }
+    }
+}
+
+/// Placement of one diagonal block's packed data inside the A buffer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ABlockLayout {
+    /// First canonical row of the block.
+    pub r0: usize,
+    /// Block height (rows of the diagonal triangle).
+    pub mb: usize,
+    /// Scalar offset of the rectangular strip (`r0` slivers of `mb` groups).
+    pub rect_off: usize,
+    /// Scalar offset of the packed triangle (`mb·(mb+1)/2` groups).
+    pub tri_off: usize,
+}
+
+/// Computes the packed-A layout for a block decomposition and the total
+/// buffer length in scalars. `blocks` are `(r0, mb)` pairs in row order
+/// (N-shaped: by the time block `b` is packed/consumed, all rows above it
+/// already are — paper §4.4's requirement for the solve ordering).
+pub fn a_layout<E: Element>(blocks: &[(usize, usize)]) -> (Vec<ABlockLayout>, usize) {
+    let g = CompactBatch::<E>::GROUP;
+    let mut out = Vec::with_capacity(blocks.len());
+    let mut off = 0usize;
+    for &(r0, mb) in blocks {
+        let rect_off = off;
+        off += r0 * mb * g;
+        let tri_off = off;
+        off += mb * (mb + 1) / 2 * g;
+        out.push(ABlockLayout {
+            r0,
+            mb,
+            rect_off,
+            tri_off,
+        });
+    }
+    (out, off)
+}
+
+/// Standard block decomposition: diagonal blocks of height `tb`, with the
+/// register-capacity special case — when the whole triangle fits the
+/// register file (`t ≤ t_max`, paper: `M ≤ 5` real / `M ≤ 2` complex) a
+/// single block is used and no rectangular phase exists.
+pub fn block_decomposition(t: usize, tb: usize, t_max: usize) -> Vec<(usize, usize)> {
+    if t == 0 {
+        return Vec::new();
+    }
+    if t <= t_max {
+        return vec![(0, t)];
+    }
+    let mut blocks = Vec::with_capacity(t.div_ceil(tb));
+    let mut r0 = 0;
+    while r0 < t {
+        let mb = tb.min(t - r0);
+        blocks.push((r0, mb));
+        r0 += mb;
+    }
+    blocks
+}
+
+#[inline]
+fn write_group<E: Element>(
+    dst: &mut [E::Real],
+    src_pack: &[E::Real],
+    rows: usize,
+    (r, c): (usize, usize),
+    conj: bool,
+) {
+    let g = CompactBatch::<E>::GROUP;
+    let s = (c * rows + r) * g;
+    dst[..g].copy_from_slice(&src_pack[s..s + g]);
+    if conj && E::IS_COMPLEX {
+        for x in &mut dst[E::P..g] {
+            *x = -*x;
+        }
+    }
+}
+
+/// Writes the stored diagonal group into `dst`, inverted when `recip`
+/// (TRSM) or verbatim (TRMM). Padding lanes (≥ `live`) and unit mode get
+/// the identity value 1.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn write_diag_group<E: Element>(
+    dst: &mut [E::Real],
+    src_pack: &[E::Real],
+    rows: usize,
+    (r, c): (usize, usize),
+    live: usize,
+    unit: bool,
+    conj: bool,
+    recip: bool,
+) {
+    let p = E::P;
+    let s = (c * rows + r) * p * E::SCALARS;
+    for lane in 0..p {
+        if unit || lane >= live {
+            dst[lane] = E::Real::ONE;
+            if E::IS_COMPLEX {
+                dst[p + lane] = E::Real::ZERO;
+            }
+        } else if E::IS_COMPLEX {
+            let re = src_pack[s + lane];
+            // conjugate-transpose modes see the conjugated diagonal
+            let im = if conj {
+                -src_pack[s + p + lane]
+            } else {
+                src_pack[s + p + lane]
+            };
+            if recip {
+                let norm = re * re + im * im;
+                dst[lane] = re / norm;
+                dst[p + lane] = -im / norm;
+            } else {
+                dst[lane] = re;
+                dst[p + lane] = im;
+            }
+        } else if recip {
+            dst[lane] = E::Real::ONE / src_pack[s + lane];
+        } else {
+            dst[lane] = src_pack[s + lane];
+        }
+    }
+}
+
+/// Packs one pack of the TRSM coefficient matrix (given as its scalar
+/// slice `sp` with `rows` stored rows) into block layout: per
+/// block, the rectangular strip (K-major `mb`-group slivers) followed by the
+/// lower triangle rows with reciprocal diagonals.
+///
+/// `live` is the number of valid lanes in this pack (`P` except possibly the
+/// last pack); padded diagonal lanes get reciprocal 1 so the dead lanes stay
+/// finite through the solve.
+pub fn pack_a_trsm<E: Element>(
+    dst: &mut [E::Real],
+    sp: &[E::Real],
+    rows: usize,
+    map: &TrsmIndexMap,
+    layout: &[ABlockLayout],
+    live: usize,
+) {
+    pack_a_tri::<E>(dst, sp, rows, map, layout, live, true)
+}
+
+/// Packs the coefficient triangle with either reciprocal (TRSM) or direct
+/// (TRMM) diagonals — everything else identical.
+pub fn pack_a_tri<E: Element>(
+    dst: &mut [E::Real],
+    sp: &[E::Real],
+    rows: usize,
+    map: &TrsmIndexMap,
+    layout: &[ABlockLayout],
+    live: usize,
+    recip: bool,
+) {
+    let g = CompactBatch::<E>::GROUP;
+    for blk in layout {
+        // rectangular strip: Â(r0+i, k) for k < r0, K-major
+        let mut off = blk.rect_off;
+        for k in 0..blk.r0 {
+            for i in 0..blk.mb {
+                write_group::<E>(
+                    &mut dst[off..off + g],
+                    sp,
+                    rows,
+                    map.a_src(blk.r0 + i, k),
+                    map.conj,
+                );
+                off += g;
+            }
+        }
+        // triangle rows: Â(r0+i, r0+j), j ≤ i, reciprocal diagonal
+        let mut off = blk.tri_off;
+        for i in 0..blk.mb {
+            for j in 0..i {
+                write_group::<E>(
+                    &mut dst[off..off + g],
+                    sp,
+                    rows,
+                    map.a_src(blk.r0 + i, blk.r0 + j),
+                    map.conj,
+                );
+                off += g;
+            }
+            write_diag_group::<E>(
+                &mut dst[off..off + g],
+                sp,
+                rows,
+                map.a_src(blk.r0 + i, blk.r0 + i),
+                live,
+                map.unit,
+                map.conj,
+                recip,
+            );
+            off += g;
+        }
+    }
+}
+
+/// Scalar length of a packed B panel of width `w`.
+pub fn panel_b_len<E: Element>(t: usize, w: usize) -> usize {
+    t * w * CompactBatch::<E>::GROUP
+}
+
+#[inline]
+fn scale_group<E: Element>(dst: &mut [E::Real], alpha: E) {
+    let p = E::P;
+    if E::IS_COMPLEX {
+        let (ar, ai) = (alpha.re(), alpha.im());
+        for lane in 0..p {
+            let re = dst[lane];
+            let im = dst[p + lane];
+            dst[lane] = re * ar - im * ai;
+            dst[p + lane] = re * ai + im * ar;
+        }
+    } else {
+        let a = alpha.re();
+        for x in dst.iter_mut() {
+            *x *= a;
+        }
+    }
+}
+
+/// Packs a width-`w` column panel of B̂ (rows `0..t`, columns `j0..j0+w`)
+/// into row-major panel layout (`row_stride = w·GROUP`, `col_stride =
+/// GROUP`), scaling by α during the copy.
+pub fn pack_b_panel<E: Element>(
+    dst: &mut [E::Real],
+    sp: &[E::Real],
+    rows: usize,
+    map: &TrsmIndexMap,
+    j0: usize,
+    w: usize,
+    alpha: E,
+) {
+    let g = CompactBatch::<E>::GROUP;
+    let scale = alpha != E::one();
+    let mut off = 0usize;
+    for i in 0..map.t {
+        for j in 0..w {
+            let dg = &mut dst[off..off + g];
+            write_group::<E>(dg, sp, rows, map.b_src(i, j0 + j), false);
+            if scale {
+                scale_group::<E>(dg, alpha);
+            }
+            off += g;
+        }
+    }
+}
+
+/// Scatters a solved panel back into the compact B batch (which becomes X),
+/// inverting the canonical mapping.
+pub fn unpack_b_panel<E: Element>(
+    src_panel: &[E::Real],
+    dp: &mut [E::Real],
+    rows: usize,
+    map: &TrsmIndexMap,
+    j0: usize,
+    w: usize,
+) {
+    let g = CompactBatch::<E>::GROUP;
+    let mut off = 0usize;
+    for i in 0..map.t {
+        for j in 0..w {
+            let (r, c) = map.b_src(i, j0 + j);
+            let d = (c * rows + r) * g;
+            dp[d..d + g].copy_from_slice(&src_panel[off..off + g]);
+            off += g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iatf_layout::StdBatch;
+    use iatf_simd::c64;
+
+    #[test]
+    fn maps_read_only_the_stored_triangle() {
+        // For every mode, a_src of a canonical-lower position must land in
+        // the triangle the mode says is referenced.
+        for mode in TrsmMode::all() {
+            let map = TrsmIndexMap::new(mode, false, 6, 4);
+            for i in 0..map.t {
+                for j in 0..=i {
+                    let (r, c) = map.a_src(i, j);
+                    match mode.uplo {
+                        Uplo::Lower => assert!(r >= c, "{mode}: ({i},{j})→({r},{c})"),
+                        Uplo::Upper => assert!(r <= c, "{mode}: ({i},{j})→({r},{c})"),
+                    }
+                    // diagonal maps to diagonal
+                    if i == j {
+                        assert_eq!(r, c);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a_src_is_a_bijection_on_the_triangle() {
+        for mode in TrsmMode::all() {
+            let map = TrsmIndexMap::new(mode, false, 5, 5);
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..map.t {
+                for j in 0..=i {
+                    assert!(seen.insert(map.a_src(i, j)), "{mode}");
+                }
+            }
+            assert_eq!(seen.len(), map.t * (map.t + 1) / 2);
+        }
+    }
+
+    #[test]
+    fn b_src_is_a_bijection() {
+        for mode in TrsmMode::all() {
+            let map = TrsmIndexMap::new(mode, false, 3, 7);
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..map.t {
+                for j in 0..map.bn {
+                    let (r, c) = map.b_src(i, j);
+                    assert!(r < 3 && c < 7, "{mode}");
+                    assert!(seen.insert((r, c)), "{mode}");
+                }
+            }
+            assert_eq!(seen.len(), 21);
+        }
+    }
+
+    #[test]
+    fn dimensions_follow_side() {
+        let left = TrsmIndexMap::new(TrsmMode::LNLN, false, 4, 9);
+        assert_eq!((left.t, left.bn), (4, 9));
+        let right = TrsmMode::new(Side::Right, Trans::No, Uplo::Upper, Diag::NonUnit);
+        let map = TrsmIndexMap::new(right, false, 4, 9);
+        assert_eq!((map.t, map.bn), (9, 4));
+        // Right + NoTrans flips; upper flipped becomes lower → not reversed.
+        assert!(map.flip);
+        assert!(!map.reversed);
+    }
+
+    #[test]
+    fn block_decomposition_shapes() {
+        assert_eq!(block_decomposition(3, 4, 5), vec![(0, 3)]);
+        assert_eq!(block_decomposition(5, 4, 5), vec![(0, 5)]);
+        assert_eq!(block_decomposition(6, 4, 5), vec![(0, 4), (4, 2)]);
+        assert_eq!(block_decomposition(12, 4, 5), vec![(0, 4), (4, 4), (8, 4)]);
+        assert_eq!(block_decomposition(0, 4, 5), vec![]);
+        // complex parameters
+        assert_eq!(block_decomposition(3, 2, 2), vec![(0, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn a_layout_offsets() {
+        let blocks = block_decomposition(6, 4, 5);
+        let (layout, total) = a_layout::<f64>(&blocks);
+        let g = 2;
+        // block 0: rect 0 groups, tri 10 groups; block 1: rect 4·2=8, tri 3.
+        assert_eq!(layout[0].rect_off, 0);
+        assert_eq!(layout[0].tri_off, 0);
+        assert_eq!(layout[1].rect_off, 10 * g);
+        assert_eq!(layout[1].tri_off, (10 + 8) * g);
+        assert_eq!(total, (10 + 8 + 3) * g);
+    }
+
+    #[test]
+    fn packed_triangle_has_reciprocal_diagonal() {
+        let t = 5usize;
+        let std = StdBatch::<f64>::random_triangular(t, 2, Uplo::Lower, Diag::NonUnit, 3);
+        let compact = CompactBatch::from_std(&std);
+        let map = TrsmIndexMap::new(TrsmMode::LNLN, false, t, 3);
+        let blocks = block_decomposition(t, 4, 5);
+        let (layout, total) = a_layout::<f64>(&blocks);
+        let mut dst = vec![0.0f64; total];
+        pack_a_trsm::<f64>(&mut dst, compact.pack_slice(0), compact.rows(), &map, &layout, 2);
+        // single block (t=5 ≤ 5): triangle rows at tri_off
+        let blk = layout[0];
+        for i in 0..t {
+            let base = blk.tri_off + (i * (i + 1) / 2) * 2;
+            for j in 0..i {
+                for lane in 0..2 {
+                    assert_eq!(dst[base + j * 2 + lane], std.get(lane, i, j));
+                }
+            }
+            for lane in 0..2 {
+                let want = 1.0 / std.get(lane, i, i);
+                assert!((dst[base + i * 2 + lane] - want).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_diag_never_reads_stored_diagonal() {
+        // random_triangular poisons the diagonal under Unit; packing must
+        // still produce reciprocal 1.
+        let std = StdBatch::<f64>::random_triangular(4, 2, Uplo::Lower, Diag::Unit, 9);
+        let compact = CompactBatch::from_std(&std);
+        let mode = TrsmMode::new(Side::Left, Trans::No, Uplo::Lower, Diag::Unit);
+        let map = TrsmIndexMap::new(mode, false, 4, 2);
+        let (layout, total) = a_layout::<f64>(&block_decomposition(4, 4, 5));
+        let mut dst = vec![0.0f64; total];
+        pack_a_trsm::<f64>(&mut dst, compact.pack_slice(0), compact.rows(), &map, &layout, 2);
+        let blk = layout[0];
+        for i in 0..4 {
+            let base = blk.tri_off + (i * (i + 1) / 2 + i) * 2;
+            assert_eq!(&dst[base..base + 2], &[1.0, 1.0]);
+        }
+    }
+
+    #[test]
+    fn padding_lane_diag_is_one() {
+        let std = StdBatch::<f64>::random_triangular(3, 1, Uplo::Lower, Diag::NonUnit, 4);
+        let compact = CompactBatch::from_std(&std); // P=2 → 1 padding lane
+        let map = TrsmIndexMap::new(TrsmMode::LNLN, false, 3, 2);
+        let (layout, total) = a_layout::<f64>(&block_decomposition(3, 4, 5));
+        let mut dst = vec![0.0f64; total];
+        pack_a_trsm::<f64>(&mut dst, compact.pack_slice(0), compact.rows(), &map, &layout, 1);
+        let blk = layout[0];
+        for i in 0..3 {
+            let base = blk.tri_off + (i * (i + 1) / 2 + i) * 2;
+            assert!((dst[base] - 1.0 / std.get(0, i, i)).abs() < 1e-15);
+            assert_eq!(dst[base + 1], 1.0); // padding lane
+        }
+    }
+
+    #[test]
+    fn complex_reciprocal() {
+        let t = 2usize;
+        let std = StdBatch::<c64>::random_triangular(t, 2, Uplo::Lower, Diag::NonUnit, 5);
+        let compact = CompactBatch::from_std(&std);
+        let map = TrsmIndexMap::new(TrsmMode::LNLN, false, t, 1);
+        let (layout, total) = a_layout::<c64>(&block_decomposition(t, 2, 2));
+        let mut dst = vec![0.0f64; total];
+        pack_a_trsm::<c64>(&mut dst, compact.pack_slice(0), compact.rows(), &map, &layout, 2);
+        let blk = layout[0];
+        for i in 0..t {
+            let base = blk.tri_off + (i * (i + 1) / 2 + i) * 4;
+            for lane in 0..2 {
+                let d = std.get(lane, i, i);
+                let want = d.recip();
+                assert!((dst[base + lane] - want.re).abs() < 1e-14);
+                assert!((dst[base + 2 + lane] - want.im).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn b_panel_roundtrip_with_alpha() {
+        for mode in TrsmMode::all() {
+            let (m, n) = (5usize, 6usize);
+            let std = StdBatch::<f64>::random(m, n, 2, 77);
+            let compact = CompactBatch::from_std(&std);
+            let map = TrsmIndexMap::new(mode, false, m, n);
+            let w = 3.min(map.bn);
+            let mut panel = vec![0.0f64; panel_b_len::<f64>(map.t, w)];
+            pack_b_panel(&mut panel, compact.pack_slice(0), compact.rows(), &map, 0, w, 2.0);
+            // every packed value is 2× its source
+            for i in 0..map.t {
+                for j in 0..w {
+                    let (r, c) = map.b_src(i, j);
+                    for lane in 0..2 {
+                        let got = panel[(i * w + j) * 2 + lane];
+                        assert_eq!(got, 2.0 * std.get(lane, r, c), "{mode}");
+                    }
+                }
+            }
+            // unpack writes back to the mapped positions
+            let mut out = CompactBatch::<f64>::zeroed(m, n, 2);
+            unpack_b_panel::<f64>(&panel, out.pack_slice_mut(0), 5, &map, 0, w);
+            for i in 0..map.t {
+                for j in 0..w {
+                    let (r, c) = map.b_src(i, j);
+                    for lane in 0..2 {
+                        assert_eq!(out.get(lane, r, c), 2.0 * std.get(lane, r, c), "{mode}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complex_alpha_scaling() {
+        let std = StdBatch::<c64>::random(2, 2, 2, 13);
+        let compact = CompactBatch::from_std(&std);
+        let map = TrsmIndexMap::new(TrsmMode::LNLN, false, 2, 2);
+        let alpha = c64::new(0.0, 1.0); // multiply by i
+        let mut panel = vec![0.0f64; panel_b_len::<c64>(2, 2)];
+        pack_b_panel(&mut panel, compact.pack_slice(0), compact.rows(), &map, 0, 2, alpha);
+        for i in 0..2 {
+            for j in 0..2 {
+                for lane in 0..2 {
+                    let src = std.get(lane, i, j);
+                    let got_re = panel[(i * 2 + j) * 4 + lane];
+                    let got_im = panel[(i * 2 + j) * 4 + 2 + lane];
+                    // i·(a+bi) = -b + ai
+                    assert!((got_re + src.im).abs() < 1e-15);
+                    assert!((got_im - src.re).abs() < 1e-15);
+                }
+            }
+        }
+    }
+}

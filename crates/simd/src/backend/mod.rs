@@ -1,0 +1,93 @@
+//! Architecture backends for the 128-bit vector types.
+//!
+//! Exactly one backend is compiled in:
+//! * `aarch64` → NEON intrinsics (the paper's target ISA),
+//! * `x86_64` → SSE2, with FMA contraction when the `fma` target feature is
+//!   enabled (the workspace builds with `target-cpu=native`),
+//! * anything else → a scalar array fallback with identical semantics.
+
+#[cfg(target_arch = "aarch64")]
+mod neon;
+#[cfg(target_arch = "aarch64")]
+pub use neon::{F32x4, F64x2};
+
+#[cfg(target_arch = "x86_64")]
+mod x86;
+#[cfg(target_arch = "x86_64")]
+pub use x86::{F32x4, F64x2};
+
+#[cfg(not(any(target_arch = "aarch64", target_arch = "x86_64")))]
+mod scalar;
+#[cfg(not(any(target_arch = "aarch64", target_arch = "x86_64")))]
+pub use scalar::{F32x4, F64x2};
+
+// The scalar backend is always compiled (dead-code allowed) so its semantics
+// stay checked on every host; cross-backend agreement is asserted in tests.
+#[cfg(all(test, any(target_arch = "aarch64", target_arch = "x86_64")))]
+#[path = "scalar.rs"]
+pub(crate) mod scalar_ref;
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::excessive_precision)]
+    use crate::vector::SimdReal;
+
+    /// The hardware backend must agree with the scalar reference on a grid of
+    /// values including negatives, subnormal-ish magnitudes and exact powers
+    /// of two.
+    #[cfg(any(target_arch = "aarch64", target_arch = "x86_64"))]
+    #[test]
+    fn agrees_with_scalar_reference_f64() {
+        use super::scalar_ref;
+        let xs = [-3.5f64, 1.0e-300, 2.0, 0.015625];
+        let ys = [7.25f64, -2.0, 1.0e10, -0.5];
+        let zs = [0.0f64, 1.0, -1.0e-5, 123.456];
+        let hw_x = super::F64x2::from_slice(&xs[..2]);
+        let hw_y = super::F64x2::from_slice(&ys[..2]);
+        let hw_z = super::F64x2::from_slice(&zs[..2]);
+        let sc_x = scalar_ref::F64x2::from_slice(&xs[..2]);
+        let sc_y = scalar_ref::F64x2::from_slice(&ys[..2]);
+        let sc_z = scalar_ref::F64x2::from_slice(&zs[..2]);
+        assert_eq!(hw_x.add(hw_y).to_array(), sc_x.add(sc_y).to_array());
+        assert_eq!(hw_x.sub(hw_y).to_array(), sc_x.sub(sc_y).to_array());
+        assert_eq!(hw_x.mul(hw_y).to_array(), sc_x.mul(sc_y).to_array());
+        assert_eq!(hw_x.div(hw_y).to_array(), sc_x.div(sc_y).to_array());
+        assert_eq!(hw_x.neg().to_array(), sc_x.neg().to_array());
+        assert_eq!(
+            hw_z.fma(hw_x, hw_y).to_array(),
+            sc_z.fma(sc_x, sc_y).to_array()
+        );
+        assert_eq!(
+            hw_z.fms(hw_x, hw_y).to_array(),
+            sc_z.fms(sc_x, sc_y).to_array()
+        );
+    }
+
+    #[cfg(any(target_arch = "aarch64", target_arch = "x86_64"))]
+    #[test]
+    fn agrees_with_scalar_reference_f32() {
+        use super::scalar_ref;
+        let xs = [-3.5f32, 1.0e-30, 2.0, 0.015625];
+        let ys = [7.25f32, -2.0, 1.0e10, -0.5];
+        let zs = [0.0f32, 1.0, -1.0e-5, 123.456];
+        let hw_x = super::F32x4::from_slice(&xs);
+        let hw_y = super::F32x4::from_slice(&ys);
+        let hw_z = super::F32x4::from_slice(&zs);
+        let sc_x = scalar_ref::F32x4::from_slice(&xs);
+        let sc_y = scalar_ref::F32x4::from_slice(&ys);
+        let sc_z = scalar_ref::F32x4::from_slice(&zs);
+        assert_eq!(hw_x.add(hw_y).to_array(), sc_x.add(sc_y).to_array());
+        assert_eq!(hw_x.sub(hw_y).to_array(), sc_x.sub(sc_y).to_array());
+        assert_eq!(hw_x.mul(hw_y).to_array(), sc_x.mul(sc_y).to_array());
+        assert_eq!(hw_x.div(hw_y).to_array(), sc_x.div(sc_y).to_array());
+        assert_eq!(hw_x.neg().to_array(), sc_x.neg().to_array());
+        assert_eq!(
+            hw_z.fma(hw_x, hw_y).to_array(),
+            sc_z.fma(sc_x, sc_y).to_array()
+        );
+        assert_eq!(
+            hw_z.fms(hw_x, hw_y).to_array(),
+            sc_z.fms(sc_x, sc_y).to_array()
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! aarch64 backend: NEON intrinsics — the paper's native ISA.
+//!
+//! `fma`/`fms` map to `FMLA`/`FMLS` exactly as in the paper's generated
+//! kernels (Algorithm 2 and the FMLS rectangular TRSM kernels of §4.2.2).
+
+use crate::vector::SimdReal;
+use core::arch::aarch64::*;
+
+/// Four `f32` lanes in one 128-bit NEON register (`P = 4`).
+#[derive(Copy, Clone)]
+#[repr(transparent)]
+pub struct F32x4(pub(crate) float32x4_t);
+
+/// Two `f64` lanes in one 128-bit NEON register (`P = 2`).
+#[derive(Copy, Clone)]
+#[repr(transparent)]
+pub struct F64x2(pub(crate) float64x2_t);
+
+impl core::fmt::Debug for F32x4 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "F32x4({:?})", self.to_array())
+    }
+}
+
+impl core::fmt::Debug for F64x2 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "F64x2({:?})", &self.to_array()[..2])
+    }
+}
+
+// Safety: NEON vector types are plain 128-bit values.
+unsafe impl Send for F32x4 {}
+unsafe impl Sync for F32x4 {}
+unsafe impl Send for F64x2 {}
+unsafe impl Sync for F64x2 {}
+
+impl SimdReal for F32x4 {
+    type Scalar = f32;
+    const LANES: usize = 4;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        Self(unsafe { vdupq_n_f32(0.0) })
+    }
+
+    #[inline(always)]
+    fn splat(x: f32) -> Self {
+        Self(unsafe { vdupq_n_f32(x) })
+    }
+
+    #[inline(always)]
+    unsafe fn load(ptr: *const f32) -> Self {
+        Self(vld1q_f32(ptr))
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut f32) {
+        vst1q_f32(ptr, self.0)
+    }
+
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Self(unsafe { vaddq_f32(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Self(unsafe { vsubq_f32(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        Self(unsafe { vmulq_f32(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn div(self, rhs: Self) -> Self {
+        Self(unsafe { vdivq_f32(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Self(unsafe { vnegq_f32(self.0) })
+    }
+
+    #[inline(always)]
+    fn fma(self, a: Self, b: Self) -> Self {
+        // FMLA Vd, Vn, Vm : Vd += Vn * Vm
+        Self(unsafe { vfmaq_f32(self.0, a.0, b.0) })
+    }
+
+    #[inline(always)]
+    fn fms(self, a: Self, b: Self) -> Self {
+        // FMLS Vd, Vn, Vm : Vd -= Vn * Vm
+        Self(unsafe { vfmsq_f32(self.0, a.0, b.0) })
+    }
+
+    #[inline(always)]
+    fn to_array(self) -> [f32; 4] {
+        let mut out = [0.0f32; 4];
+        unsafe { vst1q_f32(out.as_mut_ptr(), self.0) };
+        out
+    }
+}
+
+impl SimdReal for F64x2 {
+    type Scalar = f64;
+    const LANES: usize = 2;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        Self(unsafe { vdupq_n_f64(0.0) })
+    }
+
+    #[inline(always)]
+    fn splat(x: f64) -> Self {
+        Self(unsafe { vdupq_n_f64(x) })
+    }
+
+    #[inline(always)]
+    unsafe fn load(ptr: *const f64) -> Self {
+        Self(vld1q_f64(ptr))
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut f64) {
+        vst1q_f64(ptr, self.0)
+    }
+
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Self(unsafe { vaddq_f64(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Self(unsafe { vsubq_f64(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        Self(unsafe { vmulq_f64(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn div(self, rhs: Self) -> Self {
+        Self(unsafe { vdivq_f64(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Self(unsafe { vnegq_f64(self.0) })
+    }
+
+    #[inline(always)]
+    fn fma(self, a: Self, b: Self) -> Self {
+        Self(unsafe { vfmaq_f64(self.0, a.0, b.0) })
+    }
+
+    #[inline(always)]
+    fn fms(self, a: Self, b: Self) -> Self {
+        Self(unsafe { vfmsq_f64(self.0, a.0, b.0) })
+    }
+
+    #[inline(always)]
+    fn to_array(self) -> [f64; 4] {
+        let mut out = [0.0f64; 4];
+        unsafe { vst1q_f64(out.as_mut_ptr(), self.0) };
+        out
+    }
+}

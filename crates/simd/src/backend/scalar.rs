@@ -1,0 +1,120 @@
+//! Portable scalar backend: arrays of lanes with the same semantics as the
+//! hardware backends. Used on architectures without a dedicated backend and,
+//! in tests, as the reference the hardware backends are checked against.
+
+#![allow(dead_code)]
+
+use crate::real::Real;
+use crate::vector::SimdReal;
+
+/// Four `f32` lanes emulated with an array.
+#[derive(Copy, Clone, Debug)]
+pub struct F32x4(pub(crate) [f32; 4]);
+
+/// Two `f64` lanes emulated with an array.
+#[derive(Copy, Clone, Debug)]
+pub struct F64x2(pub(crate) [f64; 2]);
+
+macro_rules! impl_scalar_vec {
+    ($name:ident, $t:ty, $lanes:expr) => {
+        impl SimdReal for $name {
+            type Scalar = $t;
+            const LANES: usize = $lanes;
+
+            #[inline(always)]
+            fn zero() -> Self {
+                Self([0.0; $lanes])
+            }
+
+            #[inline(always)]
+            fn splat(x: $t) -> Self {
+                Self([x; $lanes])
+            }
+
+            #[inline(always)]
+            unsafe fn load(ptr: *const $t) -> Self {
+                let mut out = [0.0; $lanes];
+                core::ptr::copy_nonoverlapping(ptr, out.as_mut_ptr(), $lanes);
+                Self(out)
+            }
+
+            #[inline(always)]
+            unsafe fn store(self, ptr: *mut $t) {
+                core::ptr::copy_nonoverlapping(self.0.as_ptr(), ptr, $lanes);
+            }
+
+            #[inline(always)]
+            fn add(self, rhs: Self) -> Self {
+                let mut out = self.0;
+                for i in 0..$lanes {
+                    out[i] += rhs.0[i];
+                }
+                Self(out)
+            }
+
+            #[inline(always)]
+            fn sub(self, rhs: Self) -> Self {
+                let mut out = self.0;
+                for i in 0..$lanes {
+                    out[i] -= rhs.0[i];
+                }
+                Self(out)
+            }
+
+            #[inline(always)]
+            fn mul(self, rhs: Self) -> Self {
+                let mut out = self.0;
+                for i in 0..$lanes {
+                    out[i] *= rhs.0[i];
+                }
+                Self(out)
+            }
+
+            #[inline(always)]
+            fn div(self, rhs: Self) -> Self {
+                let mut out = self.0;
+                for i in 0..$lanes {
+                    out[i] /= rhs.0[i];
+                }
+                Self(out)
+            }
+
+            #[inline(always)]
+            fn neg(self) -> Self {
+                let mut out = self.0;
+                for x in out.iter_mut() {
+                    *x = -*x;
+                }
+                Self(out)
+            }
+
+            #[inline(always)]
+            fn fma(self, a: Self, b: Self) -> Self {
+                let mut out = self.0;
+                for i in 0..$lanes {
+                    out[i] = Real::mul_add(out[i], a.0[i], b.0[i]);
+                }
+                Self(out)
+            }
+
+            #[inline(always)]
+            fn fms(self, a: Self, b: Self) -> Self {
+                let mut out = self.0;
+                for i in 0..$lanes {
+                    out[i] = Real::mul_sub(out[i], a.0[i], b.0[i]);
+                }
+                Self(out)
+            }
+
+            #[inline(always)]
+            fn to_array(self) -> [$t; 4] {
+                let mut out = [0.0; 4];
+                out[..$lanes].copy_from_slice(&self.0);
+                out
+            }
+        }
+    };
+}
+
+impl_scalar_vec!(F32x4, f32, 4);
+impl_scalar_vec!(F64x2, f64, 2);

@@ -1,0 +1,210 @@
+//! x86_64 backend: SSE2 128-bit vectors, FMA contraction when available.
+//!
+//! The Kunpeng 920's NEON unit is 128 bits wide; using SSE (not AVX) keeps
+//! the vector width, lane count `P`, and register-blocking arithmetic of the
+//! paper intact on x86_64 hosts. When the `fma` target feature is enabled at
+//! compile time (the workspace builds with `target-cpu=native`), `fma`/`fms`
+//! lower to `vfmadd`/`vfnmadd`; otherwise they fall back to mul+add, which
+//! only differs in the intermediate rounding.
+
+use crate::real::Real;
+use crate::vector::SimdReal;
+use core::arch::x86_64::*;
+
+/// Four `f32` lanes in one 128-bit register (`P = 4`).
+#[derive(Copy, Clone)]
+#[repr(transparent)]
+pub struct F32x4(pub(crate) __m128);
+
+/// Two `f64` lanes in one 128-bit register (`P = 2`).
+#[derive(Copy, Clone)]
+#[repr(transparent)]
+pub struct F64x2(pub(crate) __m128d);
+
+impl core::fmt::Debug for F32x4 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "F32x4({:?})", self.to_array())
+    }
+}
+
+impl core::fmt::Debug for F64x2 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "F64x2({:?})", &self.to_array()[..2])
+    }
+}
+
+// Safety: __m128/__m128d are plain 128-bit values.
+unsafe impl Send for F32x4 {}
+unsafe impl Sync for F32x4 {}
+unsafe impl Send for F64x2 {}
+unsafe impl Sync for F64x2 {}
+
+impl SimdReal for F32x4 {
+    type Scalar = f32;
+    const LANES: usize = 4;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        Self(unsafe { _mm_setzero_ps() })
+    }
+
+    #[inline(always)]
+    fn splat(x: f32) -> Self {
+        Self(unsafe { _mm_set1_ps(x) })
+    }
+
+    #[inline(always)]
+    unsafe fn load(ptr: *const f32) -> Self {
+        Self(_mm_loadu_ps(ptr))
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut f32) {
+        _mm_storeu_ps(ptr, self.0)
+    }
+
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Self(unsafe { _mm_add_ps(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Self(unsafe { _mm_sub_ps(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        Self(unsafe { _mm_mul_ps(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn div(self, rhs: Self) -> Self {
+        Self(unsafe { _mm_div_ps(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn neg(self) -> Self {
+        // sign-bit flip, matching NEON FNEG semantics (0 − x would lose the
+        // sign of zero)
+        Self(unsafe { _mm_xor_ps(self.0, _mm_set1_ps(-0.0)) })
+    }
+
+    #[inline(always)]
+    fn fma(self, a: Self, b: Self) -> Self {
+        #[cfg(target_feature = "fma")]
+        {
+            Self(unsafe { _mm_fmadd_ps(a.0, b.0, self.0) })
+        }
+        #[cfg(not(target_feature = "fma"))]
+        {
+            self.add(a.mul(b))
+        }
+    }
+
+    #[inline(always)]
+    fn fms(self, a: Self, b: Self) -> Self {
+        #[cfg(target_feature = "fma")]
+        {
+            Self(unsafe { _mm_fnmadd_ps(a.0, b.0, self.0) })
+        }
+        #[cfg(not(target_feature = "fma"))]
+        {
+            self.sub(a.mul(b))
+        }
+    }
+
+    #[inline(always)]
+    fn to_array(self) -> [f32; 4] {
+        let mut out = [0.0f32; 4];
+        unsafe { _mm_storeu_ps(out.as_mut_ptr(), self.0) };
+        out
+    }
+}
+
+impl SimdReal for F64x2 {
+    type Scalar = f64;
+    const LANES: usize = 2;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        Self(unsafe { _mm_setzero_pd() })
+    }
+
+    #[inline(always)]
+    fn splat(x: f64) -> Self {
+        Self(unsafe { _mm_set1_pd(x) })
+    }
+
+    #[inline(always)]
+    unsafe fn load(ptr: *const f64) -> Self {
+        Self(_mm_loadu_pd(ptr))
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut f64) {
+        _mm_storeu_pd(ptr, self.0)
+    }
+
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Self(unsafe { _mm_add_pd(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Self(unsafe { _mm_sub_pd(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        Self(unsafe { _mm_mul_pd(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn div(self, rhs: Self) -> Self {
+        Self(unsafe { _mm_div_pd(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn neg(self) -> Self {
+        // sign-bit flip, matching NEON FNEG semantics
+        Self(unsafe { _mm_xor_pd(self.0, _mm_set1_pd(-0.0)) })
+    }
+
+    #[inline(always)]
+    fn fma(self, a: Self, b: Self) -> Self {
+        #[cfg(target_feature = "fma")]
+        {
+            Self(unsafe { _mm_fmadd_pd(a.0, b.0, self.0) })
+        }
+        #[cfg(not(target_feature = "fma"))]
+        {
+            self.add(a.mul(b))
+        }
+    }
+
+    #[inline(always)]
+    fn fms(self, a: Self, b: Self) -> Self {
+        #[cfg(target_feature = "fma")]
+        {
+            Self(unsafe { _mm_fnmadd_pd(a.0, b.0, self.0) })
+        }
+        #[cfg(not(target_feature = "fma"))]
+        {
+            self.sub(a.mul(b))
+        }
+    }
+
+    #[inline(always)]
+    fn to_array(self) -> [f64; 4] {
+        let mut out = [0.0f64; 4];
+        unsafe { _mm_storeu_pd(out.as_mut_ptr(), self.0) };
+        out
+    }
+}
+
+// Keep the unused `Real` import honest on both cfg branches.
+const _: () = {
+    let _ = f32::BYTES;
+};

@@ -1,0 +1,229 @@
+//! Minimal complex number type.
+//!
+//! The workspace deliberately avoids an external complex crate: the compact
+//! layout stores complex matrices in *split* form (separate real/imaginary
+//! planes), so the only places a packed `re, im` pair appears are the standard
+//! column-major batches used at the API boundary and in the baselines.
+
+use crate::real::Real;
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number stored as `re + i·im`, laid out like the C `_Complex`
+/// types (real part first), which is also the layout BLAS interfaces use.
+#[derive(Copy, Clone, Default, PartialEq)]
+#[repr(C)]
+pub struct Complex<T> {
+    /// Real component.
+    pub re: T,
+    /// Imaginary component.
+    pub im: T,
+}
+
+/// Single-precision complex, the `cgemm`/`ctrsm` element type.
+#[allow(non_camel_case_types)]
+pub type c32 = Complex<f32>;
+/// Double-precision complex, the `zgemm`/`ztrsm` element type.
+#[allow(non_camel_case_types)]
+pub type c64 = Complex<f64>;
+
+impl<T: Real> Complex<T> {
+    /// Builds a complex number from its components.
+    #[inline(always)]
+    pub fn new(re: T, im: T) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        Self::new(T::ZERO, T::ZERO)
+    }
+
+    /// The multiplicative identity.
+    #[inline(always)]
+    pub fn one() -> Self {
+        Self::new(T::ONE, T::ZERO)
+    }
+
+    /// Embeds a real value.
+    #[inline(always)]
+    pub fn from_real(re: T) -> Self {
+        Self::new(re, T::ZERO)
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `re² + im²`.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> T {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline(always)]
+    pub fn abs(self) -> T {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplicative inverse `1/z` via the conjugate formula. This mirrors
+    /// the reciprocal stored by the TRSM packing kernels for diagonal
+    /// elements, so the packed-reciprocal path and the reference path use
+    /// the same rounding.
+    #[inline(always)]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Self::new(self.re / d, -self.im / d)
+    }
+
+    /// True when both components are finite.
+    #[inline(always)]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl<T: Real> Add for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl<T: Real> Sub for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl<T: Real> Mul for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl<T: Real> Div for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.recip()
+    }
+}
+
+impl<T: Real> Neg for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl<T: Real> AddAssign for Complex<T> {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<T: Real> SubAssign for Complex<T> {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<T: Real> MulAssign for Complex<T> {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<T: Real> DivAssign for Complex<T> {
+    #[inline(always)]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl<T: Real> Sum for Complex<T> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::zero(), |acc, x| acc + x)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}+{:?}i)", self.re, self.im)
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}+{}i)", self.re, self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = c64::new(3.0, -4.0);
+        assert_eq!(z + Complex::zero(), z);
+        assert_eq!(z * Complex::one(), z);
+        assert_eq!(z - z, Complex::zero());
+        assert_eq!(-z + z, Complex::zero());
+    }
+
+    #[test]
+    fn multiplication_rule() {
+        let a = c32::new(1.0, 2.0);
+        let b = c32::new(3.0, -1.0);
+        // (1+2i)(3-i) = 3 - i + 6i - 2i² = 5 + 5i
+        assert_eq!(a * b, c32::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn reciprocal_and_division() {
+        let z = c64::new(2.0, 1.0);
+        let inv = z.recip();
+        let prod = z * inv;
+        assert!((prod.re - 1.0).abs() < 1e-14);
+        assert!(prod.im.abs() < 1e-14);
+        let q = c64::new(4.0, 2.0) / z;
+        assert!((q.re - 2.0).abs() < 1e-14);
+        assert!(q.im.abs() < 1e-14);
+    }
+
+    #[test]
+    fn modulus_and_conjugate() {
+        let z = c32::new(3.0, 4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.conj(), c32::new(3.0, -4.0));
+        assert_eq!((z * z.conj()).re, 25.0);
+    }
+
+    #[test]
+    fn layout_is_c_compatible() {
+        assert_eq!(core::mem::size_of::<c32>(), 8);
+        assert_eq!(core::mem::size_of::<c64>(), 16);
+        let z = c64::new(1.0, 2.0);
+        let raw: [f64; 2] = unsafe { core::mem::transmute(z) };
+        assert_eq!(raw, [1.0, 2.0]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Split-complex vector: a (real, imaginary) pair of 128-bit vectors.
+//!
+//! In the compact layout a complex element group occupies `2·P` scalars —
+//! `P` real parts followed by `P` imaginary parts — so a complex "value" in a
+//! kernel is a pair of vectors. The multiply-accumulate rules below expand to
+//! exactly four FMA-class instructions per complex FMA, matching the paper's
+//! complex-kernel instruction count (`4·m_c·n_c` compute ops, Eq. 3).
+
+use crate::vector::SimdReal;
+
+/// A vector of `P` complex numbers in split (planar) representation.
+#[derive(Copy, Clone, Debug)]
+pub struct CVec<V> {
+    /// Real plane.
+    pub re: V,
+    /// Imaginary plane.
+    pub im: V,
+}
+
+impl<V: SimdReal> CVec<V> {
+    /// All-zero complex vector.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        Self {
+            re: V::zero(),
+            im: V::zero(),
+        }
+    }
+
+    /// Broadcasts a complex scalar given as `(re, im)`.
+    #[inline(always)]
+    pub fn splat(re: V::Scalar, im: V::Scalar) -> Self {
+        Self {
+            re: V::splat(re),
+            im: V::splat(im),
+        }
+    }
+
+    /// Loads a split-complex element group: `P` reals at `ptr`, `P`
+    /// imaginaries at `ptr + P`.
+    ///
+    /// # Safety
+    /// `ptr` must point to at least `2·P` readable scalars.
+    #[inline(always)]
+    pub unsafe fn load(ptr: *const V::Scalar) -> Self {
+        Self {
+            re: V::load(ptr),
+            im: V::load(ptr.add(V::LANES)),
+        }
+    }
+
+    /// Stores a split-complex element group (see [`CVec::load`]).
+    ///
+    /// # Safety
+    /// `ptr` must point to at least `2·P` writable scalars.
+    #[inline(always)]
+    pub unsafe fn store(self, ptr: *mut V::Scalar) {
+        self.re.store(ptr);
+        self.im.store(ptr.add(V::LANES));
+    }
+
+    /// Lane-wise complex addition.
+    #[inline(always)]
+    pub fn add(self, rhs: Self) -> Self {
+        Self {
+            re: self.re.add(rhs.re),
+            im: self.im.add(rhs.im),
+        }
+    }
+
+    /// Lane-wise complex subtraction.
+    #[inline(always)]
+    pub fn sub(self, rhs: Self) -> Self {
+        Self {
+            re: self.re.sub(rhs.re),
+            im: self.im.sub(rhs.im),
+        }
+    }
+
+    /// Complex multiply (4 mul-class + 2 add-class ops; kernels prefer
+    /// [`CVec::fma`] which fuses the accumulate).
+    #[inline(always)]
+    pub fn mul(self, rhs: Self) -> Self {
+        Self {
+            re: self.re.mul(rhs.re).fms(self.im, rhs.im),
+            im: self.re.mul(rhs.im).fma(self.im, rhs.re),
+        }
+    }
+
+    /// Complex fused multiply-add `self + a·b`, expanded to four FMA-class
+    /// instructions:
+    /// `re += a.re·b.re; re -= a.im·b.im; im += a.re·b.im; im += a.im·b.re`.
+    #[inline(always)]
+    pub fn fma(self, a: Self, b: Self) -> Self {
+        Self {
+            re: self.re.fma(a.re, b.re).fms(a.im, b.im),
+            im: self.im.fma(a.re, b.im).fma(a.im, b.re),
+        }
+    }
+
+    /// Complex fused multiply-subtract `self - a·b` (four FMA-class
+    /// instructions; the TRSM rectangular-kernel update of Eq. 4).
+    #[inline(always)]
+    pub fn fms(self, a: Self, b: Self) -> Self {
+        Self {
+            re: self.re.fms(a.re, b.re).fma(a.im, b.im),
+            im: self.im.fms(a.re, b.im).fms(a.im, b.re),
+        }
+    }
+
+    /// Multiplies by a complex scalar broadcast (`alpha` scaling in SAVE).
+    #[inline(always)]
+    pub fn scale(self, re: V::Scalar, im: V::Scalar) -> Self {
+        let alpha = Self::splat(re, im);
+        Self::zero().fma(self, alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+    use crate::real::Real;
+    use crate::vector::{F32x4, F64x2};
+
+    fn cvec_matches_scalar<V: SimdReal>() {
+        // Independent complex values per lane, checked against the scalar
+        // Complex arithmetic lane by lane.
+        let p = V::LANES;
+        let mk = |base: f64| -> (Vec<V::Scalar>, Vec<Complex<V::Scalar>>) {
+            let mut split = vec![V::Scalar::ZERO; 2 * p];
+            let mut pairs = Vec::with_capacity(p);
+            for l in 0..p {
+                let re = V::Scalar::from_f64(base + l as f64 * 0.5);
+                let im = V::Scalar::from_f64(-base + l as f64 * 0.25);
+                split[l] = re;
+                split[p + l] = im;
+                pairs.push(Complex::new(re, im));
+            }
+            (split, pairs)
+        };
+        let (sa, ca) = mk(1.5);
+        let (sb, cb) = mk(-2.25);
+        let (sc, cc) = mk(0.75);
+        let va = unsafe { CVec::<V>::load(sa.as_ptr()) };
+        let vb = unsafe { CVec::<V>::load(sb.as_ptr()) };
+        let vc = unsafe { CVec::<V>::load(sc.as_ptr()) };
+
+        let check = |got: CVec<V>, want: &dyn Fn(usize) -> Complex<V::Scalar>, tol: f64| {
+            let mut out = vec![V::Scalar::ZERO; 2 * p];
+            unsafe { got.store(out.as_mut_ptr()) };
+            for l in 0..p {
+                let w = want(l);
+                assert!(
+                    (out[l].to_f64() - w.re.to_f64()).abs() <= tol,
+                    "re lane {l}: {} vs {}",
+                    out[l],
+                    w.re
+                );
+                assert!(
+                    (out[p + l].to_f64() - w.im.to_f64()).abs() <= tol,
+                    "im lane {l}: {} vs {}",
+                    out[p + l],
+                    w.im
+                );
+            }
+        };
+
+        // FMA contraction changes rounding vs the scalar two-step formula;
+        // allow a small relative tolerance.
+        let tol = if V::Scalar::BYTES == 4 { 1e-5 } else { 1e-13 };
+        check(va.add(vb), &|l| ca[l] + cb[l], 0.0);
+        check(va.sub(vb), &|l| ca[l] - cb[l], 0.0);
+        check(va.mul(vb), &|l| ca[l] * cb[l], tol);
+        check(vc.fma(va, vb), &|l| cc[l] + ca[l] * cb[l], tol);
+        check(vc.fms(va, vb), &|l| cc[l] - ca[l] * cb[l], tol);
+        check(va.scale(cb[0].re, cb[0].im), &|l| ca[l] * cb[0], tol);
+    }
+
+    #[test]
+    fn cvec_f32() {
+        cvec_matches_scalar::<F32x4>();
+    }
+
+    #[test]
+    fn cvec_f64() {
+        cvec_matches_scalar::<F64x2>();
+    }
+
+    #[test]
+    fn split_layout_round_trip() {
+        let src: [f64; 4] = [1.0, 2.0, 10.0, 20.0]; // re0 re1 | im0 im1
+        let v = unsafe { CVec::<F64x2>::load(src.as_ptr()) };
+        assert_eq!(&v.re.to_array()[..2], &[1.0, 2.0]);
+        assert_eq!(&v.im.to_array()[..2], &[10.0, 20.0]);
+        let mut out = [0.0f64; 4];
+        unsafe { v.store(out.as_mut_ptr()) };
+        assert_eq!(out, src);
+    }
+}

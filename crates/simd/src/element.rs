@@ -1,0 +1,392 @@
+//! The element abstraction tying scalar types to the compact layout.
+//!
+//! An [`Element`] is one of the four BLAS element types (`f32`, `f64`,
+//! [`c32`](crate::c32), [`c64`](crate::c64)). It knows its real component
+//! type, its interleaving factor `P`, and enough scalar arithmetic for the
+//! reference (oracle) implementations. High-performance kernels do not use
+//! this trait's arithmetic — they go through [`crate::SimdReal`] /
+//! [`crate::CVec`] — but drivers and packing code are generic over it.
+
+use crate::complex::{c32, c64, Complex};
+use crate::real::Real;
+use crate::vector::SIMD_BYTES;
+use core::fmt::Debug;
+
+/// Runtime tag for the four supported element types.
+///
+/// Used as a registry key by the install-time stage and for reporting.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DType {
+    /// Single-precision real (`sgemm`/`strsm`).
+    F32,
+    /// Double-precision real (`dgemm`/`dtrsm`).
+    F64,
+    /// Single-precision complex (`cgemm`/`ctrsm`).
+    C32,
+    /// Double-precision complex (`zgemm`/`ztrsm`).
+    C64,
+}
+
+impl DType {
+    /// All four dtypes in BLAS order (s, d, c, z).
+    pub const ALL: [DType; 4] = [DType::F32, DType::F64, DType::C32, DType::C64];
+
+    /// True for complex dtypes.
+    pub fn is_complex(self) -> bool {
+        matches!(self, DType::C32 | DType::C64)
+    }
+
+    /// Interleaving factor `P`: how many matrices share one SIMD vector.
+    pub fn p(self) -> usize {
+        match self {
+            DType::F32 | DType::C32 => SIMD_BYTES / 4,
+            DType::F64 | DType::C64 => SIMD_BYTES / 8,
+        }
+    }
+
+    /// Bytes of one real scalar component.
+    pub fn scalar_bytes(self) -> usize {
+        match self {
+            DType::F32 | DType::C32 => 4,
+            DType::F64 | DType::C64 => 8,
+        }
+    }
+
+    /// Bytes of one element (twice the scalar for complex).
+    pub fn elem_bytes(self) -> usize {
+        self.scalar_bytes() * if self.is_complex() { 2 } else { 1 }
+    }
+
+    /// Floating-point operations per multiply-accumulate (2 real, 8 complex),
+    /// the convention used for the paper's GFLOPS numbers.
+    pub fn flops_per_mac(self) -> usize {
+        if self.is_complex() {
+            8
+        } else {
+            2
+        }
+    }
+
+    /// BLAS routine prefix letter (`s`, `d`, `c`, `z`).
+    pub fn prefix(self) -> char {
+        match self {
+            DType::F32 => 's',
+            DType::F64 => 'd',
+            DType::C32 => 'c',
+            DType::C64 => 'z',
+        }
+    }
+}
+
+impl core::fmt::Display for DType {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            DType::F32 => "f32",
+            DType::F64 => "f64",
+            DType::C32 => "c32",
+            DType::C64 => "c64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A BLAS element type: real or complex, single or double precision.
+pub trait Element: Copy + Clone + Debug + Default + PartialEq + Send + Sync + 'static {
+    /// The real component scalar.
+    type Real: Real;
+    /// Runtime tag for this type.
+    const DTYPE: DType;
+    /// True for complex types.
+    const IS_COMPLEX: bool;
+    /// Real scalars per element (1 or 2).
+    const SCALARS: usize;
+    /// Interleaving factor: matrices per SIMD vector.
+    const P: usize;
+
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Addition (reference arithmetic).
+    fn add(self, rhs: Self) -> Self;
+    /// Subtraction (reference arithmetic).
+    fn sub(self, rhs: Self) -> Self;
+    /// Multiplication (reference arithmetic).
+    fn mul(self, rhs: Self) -> Self;
+    /// Negation.
+    fn neg(self) -> Self;
+    /// Multiplicative inverse (reference for packed reciprocal diagonals).
+    fn recip(self) -> Self;
+    /// `self + a·b` using the same contraction as the kernels where possible.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Builds an element from `f64` components (imaginary ignored for reals).
+    fn from_f64s(re: f64, im: f64) -> Self;
+    /// Real component.
+    fn re(self) -> Self::Real;
+    /// Imaginary component (zero for reals).
+    fn im(self) -> Self::Real;
+    /// Modulus as `f64` (absolute value for reals) for error norms.
+    fn abs_f64(self) -> f64;
+    /// True when all components are finite.
+    fn is_finite(self) -> bool;
+}
+
+impl Element for f32 {
+    type Real = f32;
+    const DTYPE: DType = DType::F32;
+    const IS_COMPLEX: bool = false;
+    const SCALARS: usize = 1;
+    const P: usize = 4;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline(always)]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        self - rhs
+    }
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        self * rhs
+    }
+    #[inline(always)]
+    fn neg(self) -> Self {
+        -self
+    }
+    #[inline(always)]
+    fn recip(self) -> Self {
+        Real::recip(self)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        Real::mul_add(self, a, b)
+    }
+    #[inline(always)]
+    fn from_f64s(re: f64, _im: f64) -> Self {
+        re as f32
+    }
+    #[inline(always)]
+    fn re(self) -> f32 {
+        self
+    }
+    #[inline(always)]
+    fn im(self) -> f32 {
+        0.0
+    }
+    #[inline(always)]
+    fn abs_f64(self) -> f64 {
+        (self as f64).abs()
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+impl Element for f64 {
+    type Real = f64;
+    const DTYPE: DType = DType::F64;
+    const IS_COMPLEX: bool = false;
+    const SCALARS: usize = 1;
+    const P: usize = 2;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline(always)]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        self - rhs
+    }
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        self * rhs
+    }
+    #[inline(always)]
+    fn neg(self) -> Self {
+        -self
+    }
+    #[inline(always)]
+    fn recip(self) -> Self {
+        Real::recip(self)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        Real::mul_add(self, a, b)
+    }
+    #[inline(always)]
+    fn from_f64s(re: f64, _im: f64) -> Self {
+        re
+    }
+    #[inline(always)]
+    fn re(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn im(self) -> f64 {
+        0.0
+    }
+    #[inline(always)]
+    fn abs_f64(self) -> f64 {
+        f64::abs(self)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+macro_rules! impl_complex_element {
+    ($t:ty, $real:ty, $dtype:expr, $p:expr) => {
+        impl Element for $t {
+            type Real = $real;
+            const DTYPE: DType = $dtype;
+            const IS_COMPLEX: bool = true;
+            const SCALARS: usize = 2;
+            const P: usize = $p;
+
+            #[inline(always)]
+            fn zero() -> Self {
+                Complex::zero()
+            }
+            #[inline(always)]
+            fn one() -> Self {
+                Complex::one()
+            }
+            #[inline(always)]
+            fn add(self, rhs: Self) -> Self {
+                self + rhs
+            }
+            #[inline(always)]
+            fn sub(self, rhs: Self) -> Self {
+                self - rhs
+            }
+            #[inline(always)]
+            fn mul(self, rhs: Self) -> Self {
+                self * rhs
+            }
+            #[inline(always)]
+            fn neg(self) -> Self {
+                -self
+            }
+            #[inline(always)]
+            fn recip(self) -> Self {
+                Complex::recip(self)
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                // Mirrors CVec::fma's contraction order: each component is a
+                // chain of two scalar FMAs.
+                let re = Real::mul_sub(Real::mul_add(self.re, a.re, b.re), a.im, b.im);
+                let im = Real::mul_add(Real::mul_add(self.im, a.re, b.im), a.im, b.re);
+                Complex::new(re, im)
+            }
+            #[inline(always)]
+            fn from_f64s(re: f64, im: f64) -> Self {
+                Complex::new(<$real as Real>::from_f64(re), <$real as Real>::from_f64(im))
+            }
+            #[inline(always)]
+            fn re(self) -> $real {
+                self.re
+            }
+            #[inline(always)]
+            fn im(self) -> $real {
+                self.im
+            }
+            #[inline(always)]
+            fn abs_f64(self) -> f64 {
+                let re = self.re.to_f64();
+                let im = self.im.to_f64();
+                (re * re + im * im).sqrt()
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                Complex::is_finite(self)
+            }
+        }
+    };
+}
+
+impl_complex_element!(c32, f32, DType::C32, 4);
+impl_complex_element!(c64, f64, DType::C64, 2);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_matches_simd_width() {
+        assert_eq!(f32::P, SIMD_BYTES / 4);
+        assert_eq!(f64::P, SIMD_BYTES / 8);
+        assert_eq!(c32::P, SIMD_BYTES / 4);
+        assert_eq!(c64::P, SIMD_BYTES / 8);
+        for dt in DType::ALL {
+            assert_eq!(
+                dt.p(),
+                match dt {
+                    DType::F32 => f32::P,
+                    DType::F64 => f64::P,
+                    DType::C32 => c32::P,
+                    DType::C64 => c64::P,
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn dtype_metadata() {
+        assert!(!DType::F32.is_complex());
+        assert!(DType::C64.is_complex());
+        assert_eq!(DType::F32.elem_bytes(), 4);
+        assert_eq!(DType::C32.elem_bytes(), 8);
+        assert_eq!(DType::C64.elem_bytes(), 16);
+        assert_eq!(DType::F64.flops_per_mac(), 2);
+        assert_eq!(DType::C32.flops_per_mac(), 8);
+        let prefixes: Vec<char> = DType::ALL.iter().map(|d| d.prefix()).collect();
+        assert_eq!(prefixes, ['s', 'd', 'c', 'z']);
+    }
+
+    fn element_algebra<E: Element>() {
+        let a = E::from_f64s(2.0, -1.0);
+        let b = E::from_f64s(-3.0, 0.5);
+        assert_eq!(a.add(E::zero()), a);
+        assert_eq!(a.mul(E::one()), a);
+        assert_eq!(a.sub(a), E::zero());
+        assert_eq!(a.neg().add(a), E::zero());
+        // recip is a right inverse up to rounding
+        let prod = a.mul(a.recip());
+        assert!((prod.re().to_f64() - 1.0).abs() < 1e-5);
+        assert!(prod.im().to_f64().abs() < 1e-5);
+        // mul_add consistent with mul+add up to contraction
+        let fused = E::zero().mul_add(a, b);
+        let plain = a.mul(b);
+        assert!((fused.re().to_f64() - plain.re().to_f64()).abs() < 1e-5);
+        assert!((fused.im().to_f64() - plain.im().to_f64()).abs() < 1e-5);
+        assert!(a.is_finite());
+    }
+
+    #[test]
+    fn algebra_all_types() {
+        element_algebra::<f32>();
+        element_algebra::<f64>();
+        element_algebra::<c32>();
+        element_algebra::<c64>();
+    }
+}

@@ -1,0 +1,31 @@
+//! 128-bit SIMD abstraction and scalar element types for IATF.
+//!
+//! The paper targets the Kunpeng 920's 128-bit NEON unit. This crate exposes a
+//! pair of 128-bit vector types, [`F32x4`] and [`F64x2`], whose lane counts are
+//! exactly the paper's interleaving factor `P` (4 for single precision, 2 for
+//! double precision). On `aarch64` they lower to NEON intrinsics, on `x86_64`
+//! to SSE2 (and FMA where the target enables it), and elsewhere to a scalar
+//! fallback with identical semantics.
+//!
+//! Complex data uses the *split* representation of the SIMD-friendly compact
+//! layout: the real parts of `P` matrices form one vector and the imaginary
+//! parts another. [`CVec`] packages that pair with complex multiply-accumulate
+//! rules built from `fma`/`fms` so that complex kernels follow the paper's
+//! `4·m_c·n_c` instruction count.
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop, clippy::should_implement_trait, clippy::suspicious_arithmetic_impl)]
+
+pub mod complex;
+pub mod cvector;
+pub mod element;
+pub mod real;
+pub mod vector;
+
+mod backend;
+
+pub use complex::{c32, c64, Complex};
+pub use cvector::CVec;
+pub use element::{DType, Element};
+pub use real::Real;
+pub use vector::{prefetch_read, simd_for, F32x4, F64x2, HasSimd, SimdReal, SIMD_BYTES};

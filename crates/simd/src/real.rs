@@ -1,0 +1,164 @@
+//! Real scalar abstraction shared by kernels, packing, and reference code.
+
+use core::fmt::{Debug, Display};
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real floating-point scalar (`f32` or `f64`).
+///
+/// This is the lane type of the SIMD vectors and the component type of
+/// [`crate::Complex`]. Only the operations the kernels and reference
+/// implementations need are exposed.
+pub trait Real:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon of the type.
+    const EPSILON: Self;
+    /// Size of the scalar in bytes.
+    const BYTES: usize;
+
+    /// Fused (or contracted) multiply-add: `self + a * b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// `self - a * b` (the FMLS pattern used by TRSM kernels).
+    fn mul_sub(self, a: Self, b: Self) -> Self;
+    /// Reciprocal `1 / self` (used when packing TRSM diagonals).
+    fn recip(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Largest of two values.
+    fn max(self, other: Self) -> Self;
+    /// Lossless widening to `f64` for error analysis.
+    fn to_f64(self) -> f64;
+    /// Lossy conversion from `f64` (for test data generation).
+    fn from_f64(x: f64) -> Self;
+    /// True if the value is finite (not NaN/inf).
+    fn is_finite(self) -> bool;
+}
+
+macro_rules! impl_real {
+    ($t:ty) => {
+        impl Real for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const EPSILON: Self = <$t>::EPSILON;
+            const BYTES: usize = core::mem::size_of::<$t>();
+
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                // `mul_add` maps to a hardware FMA when the target has one
+                // (always true on aarch64; on x86_64 it requires the `fma`
+                // target feature, which the workspace enables via
+                // `target-cpu=native`). The scalar reference implementations
+                // use the same contraction so kernel/oracle results agree
+                // bit-for-bit on the same input ordering.
+                a.mul_add(b, self)
+            }
+
+            #[inline(always)]
+            fn mul_sub(self, a: Self, b: Self) -> Self {
+                a.mul_add(-b, self)
+            }
+
+            #[inline(always)]
+            fn recip(self) -> Self {
+                1.0 / self
+            }
+
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+
+            #[inline(always)]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+        }
+    };
+}
+
+impl_real!(f32);
+impl_real!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_real_ops<T: Real>() {
+        let two = T::ONE + T::ONE;
+        let three = two + T::ONE;
+        assert_eq!(T::ZERO.mul_add(two, three), two * three);
+        assert_eq!(T::ONE.mul_add(two, three), T::ONE + two * three);
+        assert_eq!(T::ONE.mul_sub(two, three), T::ONE - two * three);
+        assert_eq!(two.recip(), T::ONE / two);
+        assert_eq!((-three).abs(), three);
+        assert!(two.max(three) == three);
+        assert!(two.is_finite());
+        assert!(!(T::ONE / T::ZERO).is_finite());
+    }
+
+    #[test]
+    fn f32_ops() {
+        check_real_ops::<f32>();
+        assert_eq!(f32::BYTES, 4);
+    }
+
+    #[test]
+    fn f64_ops() {
+        check_real_ops::<f64>();
+        assert_eq!(f64::BYTES, 8);
+    }
+
+    #[test]
+    fn widening_round_trip() {
+        let x: f32 = 1.25;
+        assert_eq!(f32::from_f64(x.to_f64()), x);
+        let y: f64 = -3.5;
+        assert_eq!(f64::from_f64(y.to_f64()), y);
+    }
+}

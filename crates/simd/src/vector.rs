@@ -1,0 +1,194 @@
+//! The 128-bit SIMD vector trait and its two instantiations.
+
+use crate::real::Real;
+
+pub use crate::backend::{F32x4, F64x2};
+
+/// Width of the SIMD unit in bytes. The paper's Kunpeng 920 has 128-bit NEON;
+/// every backend here is exactly 128 bits wide so the interleaving factor `P`
+/// matches the paper on any host.
+pub const SIMD_BYTES: usize = 16;
+
+/// A 128-bit vector of real lanes.
+///
+/// The lane count is the compact layout's interleaving factor `P`: one vector
+/// holds the same matrix element of `P` consecutive matrices, so one `fma`
+/// advances `P` independent problems — the core of the SIMD-friendly layout.
+///
+/// # Safety contract
+/// `load`/`store` are unsafe raw-pointer operations; callers must guarantee
+/// `LANES` valid scalars at the pointer. No alignment beyond the scalar's is
+/// required (unaligned loads are used, as the compact layout only guarantees
+/// scalar alignment for arbitrary batch offsets).
+pub trait SimdReal: Copy + Clone + Send + Sync + core::fmt::Debug + 'static {
+    /// Lane scalar type.
+    type Scalar: Real;
+    /// Number of lanes (= interleaving factor `P`).
+    const LANES: usize;
+
+    /// Vector of zeros.
+    fn zero() -> Self;
+    /// Broadcast a scalar to all lanes.
+    fn splat(x: Self::Scalar) -> Self;
+    /// Loads `LANES` scalars from `ptr`.
+    ///
+    /// # Safety
+    /// `ptr` must point to at least `LANES` readable scalars.
+    unsafe fn load(ptr: *const Self::Scalar) -> Self;
+    /// Stores `LANES` scalars to `ptr`.
+    ///
+    /// # Safety
+    /// `ptr` must point to at least `LANES` writable scalars.
+    unsafe fn store(self, ptr: *mut Self::Scalar);
+
+    /// Lane-wise addition.
+    fn add(self, rhs: Self) -> Self;
+    /// Lane-wise subtraction.
+    fn sub(self, rhs: Self) -> Self;
+    /// Lane-wise multiplication.
+    fn mul(self, rhs: Self) -> Self;
+    /// Lane-wise division.
+    fn div(self, rhs: Self) -> Self;
+    /// Lane-wise negation.
+    fn neg(self) -> Self;
+    /// Fused multiply-add: `self + a * b` (NEON `FMLA`).
+    fn fma(self, a: Self, b: Self) -> Self;
+    /// Fused multiply-subtract: `self - a * b` (NEON `FMLS`).
+    fn fms(self, a: Self, b: Self) -> Self;
+
+    /// Copies the lanes into an array (diagnostics and tests).
+    fn to_array(self) -> [Self::Scalar; 4];
+    /// Builds a vector from the first `LANES` entries of an array.
+    fn from_slice(xs: &[Self::Scalar]) -> Self {
+        assert!(xs.len() >= Self::LANES);
+        // Safety: length checked above.
+        unsafe { Self::load(xs.as_ptr()) }
+    }
+}
+
+/// Maps a real scalar type to its 128-bit vector type.
+///
+/// This is the associated-type direction kernels use: generic code writes
+/// `<T as HasSimd>::Vector` (via the [`simd_for`] alias) and gets `F32x4`
+/// or `F64x2`.
+pub trait HasSimd: Real {
+    /// The 128-bit vector whose lanes are `Self`.
+    type Vector: SimdReal<Scalar = Self>;
+}
+
+impl HasSimd for f32 {
+    type Vector = F32x4;
+}
+
+impl HasSimd for f64 {
+    type Vector = F64x2;
+}
+
+/// Shorthand for "the 128-bit vector of scalar `T`".
+#[allow(non_camel_case_types)]
+pub type simd_for<T> = <T as HasSimd>::Vector;
+
+/// Hints the hardware to prefetch the cache line at `ptr` for reading.
+///
+/// This is the paper's `PRFM PLDL1KEEP` used at computing-kernel entry to
+/// cover the C tile (§4.3: "matrix C is still in the memory, thus we use the
+/// PRFM instruction ... to prefetch it at the beginning of the computing
+/// kernel"). A no-op on architectures without a mapping.
+#[inline(always)]
+pub fn prefetch_read<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(ptr as *const i8);
+    }
+    #[cfg(target_arch = "aarch64")]
+    unsafe {
+        core::arch::asm!("prfm pldl1keep, [{0}]", in(reg) ptr, options(nostack, readonly, preserves_flags));
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        let _ = ptr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<V: SimdReal>() {
+        let mut src = [V::Scalar::ZERO; 4];
+        for (i, s) in src.iter_mut().enumerate().take(V::LANES) {
+            *s = V::Scalar::from_f64(1.5 + i as f64);
+        }
+        let v = V::from_slice(&src[..V::LANES]);
+        let arr = v.to_array();
+        for i in 0..V::LANES {
+            assert_eq!(arr[i], src[i]);
+        }
+    }
+
+    fn arithmetic<V: SimdReal>() {
+        let two = V::splat(V::Scalar::from_f64(2.0));
+        let three = V::splat(V::Scalar::from_f64(3.0));
+        assert_eq!(two.add(three).to_array()[0].to_f64(), 5.0);
+        assert_eq!(three.sub(two).to_array()[0].to_f64(), 1.0);
+        assert_eq!(two.mul(three).to_array()[0].to_f64(), 6.0);
+        assert_eq!(three.div(two).to_array()[0].to_f64(), 1.5);
+        assert_eq!(three.neg().to_array()[0].to_f64(), -3.0);
+        // fma: 1 + 2*3 = 7, fms: 1 - 2*3 = -5
+        let one = V::splat(V::Scalar::ONE);
+        assert_eq!(one.fma(two, three).to_array()[0].to_f64(), 7.0);
+        assert_eq!(one.fms(two, three).to_array()[0].to_f64(), -5.0);
+        // zero behaves as identity for add
+        assert_eq!(V::zero().add(two).to_array()[0].to_f64(), 2.0);
+    }
+
+    fn lanes_independent<V: SimdReal>() {
+        let mut a = [V::Scalar::ZERO; 4];
+        let mut b = [V::Scalar::ZERO; 4];
+        for i in 0..V::LANES {
+            a[i] = V::Scalar::from_f64(i as f64 + 1.0);
+            b[i] = V::Scalar::from_f64(10.0 * (i as f64 + 1.0));
+        }
+        let va = V::from_slice(&a[..V::LANES]);
+        let vb = V::from_slice(&b[..V::LANES]);
+        let prod = va.mul(vb).to_array();
+        for i in 0..V::LANES {
+            assert_eq!(prod[i].to_f64(), a[i].to_f64() * b[i].to_f64());
+        }
+    }
+
+    #[test]
+    fn f32x4_semantics() {
+        assert_eq!(F32x4::LANES, 4);
+        roundtrip::<F32x4>();
+        arithmetic::<F32x4>();
+        lanes_independent::<F32x4>();
+    }
+
+    #[test]
+    fn f64x2_semantics() {
+        assert_eq!(F64x2::LANES, 2);
+        roundtrip::<F64x2>();
+        arithmetic::<F64x2>();
+        lanes_independent::<F64x2>();
+    }
+
+    #[test]
+    fn unaligned_access() {
+        // The compact layout only guarantees scalar alignment; loads/stores
+        // must accept any scalar-aligned pointer.
+        let data: [f32; 9] = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let v = unsafe { F32x4::load(data.as_ptr().add(1)) };
+        assert_eq!(&v.to_array()[..], &[1.0, 2.0, 3.0, 4.0]);
+        let mut out = [0.0f32; 6];
+        unsafe { v.store(out.as_mut_ptr().add(1)) };
+        assert_eq!(out, [0.0, 1.0, 2.0, 3.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        let v = F64x2::splat(f64::NAN);
+        let r = v.fma(F64x2::splat(1.0), F64x2::splat(1.0)).to_array();
+        assert!(r[0].is_nan() && r[1].is_nan());
+    }
+}

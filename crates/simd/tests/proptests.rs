@@ -1,0 +1,127 @@
+//! Property-based SIMD semantics: every vector op must match scalar
+//! arithmetic lane by lane on random values, including signed zeros and
+//! extreme magnitudes.
+
+use iatf_simd::{CVec, Complex, F32x4, F64x2, Real, SimdReal};
+use proptest::prelude::*;
+
+fn check_lanes_f64(xs: [f64; 2], ys: [f64; 2], zs: [f64; 2]) {
+    let vx = F64x2::from_slice(&xs);
+    let vy = F64x2::from_slice(&ys);
+    let vz = F64x2::from_slice(&zs);
+    for l in 0..2 {
+        assert_eq!(vx.add(vy).to_array()[l], xs[l] + ys[l]);
+        assert_eq!(vx.sub(vy).to_array()[l], xs[l] - ys[l]);
+        assert_eq!(vx.mul(vy).to_array()[l], xs[l] * ys[l]);
+        if ys[l] != 0.0 {
+            assert_eq!(vx.div(vy).to_array()[l], xs[l] / ys[l]);
+        }
+        assert_eq!(vx.neg().to_array()[l], -xs[l]);
+        assert_eq!(
+            vz.fma(vx, vy).to_array()[l],
+            xs[l].mul_add(ys[l], zs[l]),
+            "fma lane {l}"
+        );
+        assert_eq!(
+            vz.fms(vx, vy).to_array()[l],
+            (-xs[l]).mul_add(ys[l], zs[l]),
+            "fms lane {l}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn f64x2_matches_scalar(
+        x0 in -1e6f64..1e6, x1 in -1e6f64..1e6,
+        y0 in -1e6f64..1e6, y1 in -1e6f64..1e6,
+        z0 in -1e6f64..1e6, z1 in -1e6f64..1e6,
+    ) {
+        check_lanes_f64([x0, x1], [y0, y1], [z0, z1]);
+    }
+
+    #[test]
+    fn f32x4_matches_scalar(
+        xs in prop::array::uniform4(-1e5f32..1e5),
+        ys in prop::array::uniform4(-1e5f32..1e5),
+        zs in prop::array::uniform4(-1e5f32..1e5),
+    ) {
+        let vx = F32x4::from_slice(&xs);
+        let vy = F32x4::from_slice(&ys);
+        let vz = F32x4::from_slice(&zs);
+        for l in 0..4 {
+            prop_assert_eq!(vx.add(vy).to_array()[l], xs[l] + ys[l]);
+            prop_assert_eq!(vx.mul(vy).to_array()[l], xs[l] * ys[l]);
+            prop_assert_eq!(
+                vz.fma(vx, vy).to_array()[l],
+                xs[l].mul_add(ys[l], zs[l])
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_magnitudes_do_not_corrupt_neighbors(
+        big in 1e300f64..1e308,
+        small in 1e-308f64..1e-300,
+    ) {
+        // one lane overflows to inf, the other must stay exact
+        let v = F64x2::from_slice(&[big, small]);
+        let sq = v.mul(v).to_array();
+        prop_assert!(sq[0].is_infinite() || sq[0] > 1e300);
+        prop_assert_eq!(sq[1], small * small);
+    }
+
+    #[test]
+    fn cvec_complex_product_matches_complex_type(
+        ar in -100.0f64..100.0, ai in -100.0f64..100.0,
+        br in -100.0f64..100.0, bi in -100.0f64..100.0,
+    ) {
+        let a = Complex::new(ar, ai);
+        let b = Complex::new(br, bi);
+        let want = a * b;
+        let va = CVec::<F64x2>::splat(ar, ai);
+        let vb = CVec::<F64x2>::splat(br, bi);
+        let got = CVec::<F64x2>::zero().fma(va, vb);
+        let tol = 1e-12 * (want.re.abs() + want.im.abs()).max(1.0);
+        prop_assert!((got.re.to_array()[0] - want.re).abs() <= tol);
+        prop_assert!((got.im.to_array()[0] - want.im).abs() <= tol);
+    }
+
+    #[test]
+    fn splat_fills_all_lanes(x in -1e9f64..1e9) {
+        let v = F64x2::splat(x);
+        prop_assert_eq!(&v.to_array()[..2], &[x, x][..]);
+        let w = F32x4::splat(x as f32);
+        for l in 0..4 {
+            prop_assert_eq!(w.to_array()[l], x as f32);
+        }
+    }
+
+    #[test]
+    fn real_trait_ops_are_consistent(a in -1e3f64..1e3, b in -1e3f64..1e3, c in -1e3f64..1e3) {
+        prop_assert_eq!(Real::mul_add(a, b, c), b.mul_add(c, a));
+        prop_assert_eq!(Real::mul_sub(a, b, c), b.mul_add(-c, a));
+        if a != 0.0 {
+            prop_assert_eq!(Real::recip(a), 1.0 / a);
+        }
+    }
+}
+
+#[test]
+fn signed_zero_semantics() {
+    let v = F64x2::from_slice(&[0.0, -0.0]);
+    let n = v.neg().to_array();
+    assert!(n[0].is_sign_negative());
+    assert!(n[1].is_sign_positive());
+}
+
+#[test]
+fn infinity_arithmetic() {
+    let inf = F64x2::splat(f64::INFINITY);
+    let one = F64x2::splat(1.0);
+    assert!(inf.add(one).to_array()[0].is_infinite());
+    assert!(inf.sub(inf).to_array()[0].is_nan());
+    assert!(one.div(inf).to_array()[0] == 0.0);
+}

@@ -1,0 +1,98 @@
+//! Block Gauss–Seidel smoothing for many independent subdomain systems —
+//! the PDE-simulation workload that motivates compact batched BLAS (paper
+//! §1: "PDE based simulations ... apply BLAS routines to large group of
+//! small matrices").
+//!
+//! Each of `N_SUB` subdomains carries a small dense operator `A_e = L_e +
+//! U_e` (strictly-lower+diagonal and strictly-upper parts). One smoothing
+//! sweep for every subdomain at once is
+//!
+//! ```text
+//! x ← x + (L_e + D_e)⁻¹ (b − A_e x)
+//! ```
+//!
+//! i.e. a compact batched GEMM (residual) followed by a compact batched
+//! TRSM (forward solve), iterated until the residual norm stalls.
+//!
+//! ```sh
+//! cargo run --release --example block_jacobi
+//! ```
+
+use iatf::prelude::*;
+
+const N_SUB: usize = 4096; // subdomains
+const NB: usize = 12; // unknowns per subdomain
+const NRHS: usize = 4; // simultaneous right-hand sides
+const SWEEPS: usize = 25;
+
+fn main() {
+    let cfg = TuningConfig::host();
+
+    // Diagonally dominant subdomain operators: A = D + off-diagonal/NB.
+    let a_std = StdBatch::<f64>::from_fn(NB, NB, N_SUB, |e, i, j| {
+        let h = ((e * 31 + i * 7 + j * 13) % 97) as f64 / 97.0 - 0.5;
+        if i == j {
+            2.5 + 0.5 * ((e + i) % 3) as f64
+        } else {
+            h / NB as f64
+        }
+    });
+    let a = CompactBatch::from_std(&a_std);
+
+    // The (L + D) part for the Gauss–Seidel solve: reuse A directly — TRSM
+    // with Uplo::Lower reads exactly the lower triangle plus diagonal.
+    let b_std = StdBatch::<f64>::random(NB, NRHS, N_SUB, 77);
+    let b = CompactBatch::from_std(&b_std);
+
+    let mut x = CompactBatch::<f64>::zeroed(NB, NRHS, N_SUB);
+    let mut r = CompactBatch::<f64>::zeroed(NB, NRHS, N_SUB);
+
+    let mut last = f64::INFINITY;
+    for sweep in 0..SWEEPS {
+        // r = b − A·x
+        r.as_scalars_mut().copy_from_slice(b.as_scalars());
+        compact_gemm(GemmMode::NN, -1.0, &a, &x, 1.0, &mut r, &cfg).unwrap();
+
+        let norm = r
+            .as_scalars()
+            .iter()
+            .map(|v| v * v)
+            .sum::<f64>()
+            .sqrt();
+        if sweep % 5 == 0 || sweep == SWEEPS - 1 {
+            println!("sweep {sweep:>3}: ||b − A·x||₂ = {norm:.3e}");
+        }
+        if norm < 1e-10 {
+            println!("converged after {sweep} sweeps");
+            break;
+        }
+        assert!(norm < last * 1.01, "smoother must not diverge");
+        last = norm;
+
+        // dx = (L + D)⁻¹ r   (forward solve on every subdomain at once)
+        compact_trsm(TrsmMode::LNLN, 1.0, &a, &mut r, &cfg).unwrap();
+
+        // x += dx — element-wise over the raw compact storage (layouts match)
+        for (xs, ds) in x.as_scalars_mut().iter_mut().zip(r.as_scalars()) {
+            *xs += ds;
+        }
+    }
+
+    // final verification on a few subdomains
+    let xs = x.to_std();
+    let mut worst: f64 = 0.0;
+    for e in (0..N_SUB).step_by(499) {
+        for rhs in 0..NRHS {
+            for i in 0..NB {
+                let mut ax = 0.0;
+                for j in 0..NB {
+                    ax += a_std.get(e, i, j) * xs.get(e, j, rhs);
+                }
+                worst = worst.max((ax - b_std.get(e, i, rhs)).abs());
+            }
+        }
+    }
+    println!("max |A·x − b| over sampled subdomains = {worst:.3e}");
+    assert!(worst < 1e-6, "smoother did not converge far enough");
+    println!("ok: {N_SUB} subdomain systems smoothed with compact batched GEMM+TRSM");
+}

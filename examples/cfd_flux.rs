@@ -1,0 +1,86 @@
+//! High-order CFD flux evaluation — the GiMMiK-style workload the paper's
+//! introduction cites ("high-order Computational Fluid Dynamics"): every
+//! element applies its own small, geometry-scaled derivative operator to a
+//! small state block.
+//!
+//! For `N_ELEM` elements with `NP` solution points and `NV` conserved
+//! variables, the per-element work is `D_e (NQ×NP) · U_e (NP×NV)` — a large
+//! group of fixed-size small GEMMs, where `D_e` differs per element (metric
+//! terms), so the compact layout's matrix interleaving applies to both
+//! operands.
+//!
+//! ```sh
+//! cargo run --release --example cfd_flux
+//! ```
+
+use iatf::prelude::*;
+use std::time::Instant;
+
+const N_ELEM: usize = 8192;
+const NP: usize = 16; // solution points per element (p3 quad)
+const NQ: usize = 16; // flux points
+const NV: usize = 4; // conserved variables (2-D Euler)
+
+fn main() {
+    let cfg = TuningConfig::host();
+
+    // Per-element derivative operators: a reference stencil scaled by each
+    // element's (synthetic) metric Jacobian.
+    let d_std = StdBatch::<f64>::from_fn(NQ, NP, N_ELEM, |e, q, p| {
+        let jac = 0.5 + ((e * 2654435761) % 1000) as f64 / 1000.0;
+        let stencil = if q == p {
+            1.5
+        } else {
+            1.0 / (1.0 + (q as f64 - p as f64).abs())
+        };
+        jac * stencil / NP as f64
+    });
+    // Per-element states.
+    let u_std = StdBatch::<f64>::random(NP, NV, N_ELEM, 42);
+
+    let d = CompactBatch::from_std(&d_std);
+    let u = CompactBatch::from_std(&u_std);
+    let mut f = CompactBatch::<f64>::zeroed(NQ, NV, N_ELEM);
+
+    // Reusable plan: the mesh topology is fixed, so one plan serves every
+    // time step (the run-time stage is amortized exactly as in §5.3).
+    let plan = GemmPlan::<f64>::new(
+        GemmDims::new(NQ, NV, NP),
+        GemmMode::NN,
+        false,
+        false,
+        N_ELEM,
+        &cfg,
+    )
+    .unwrap();
+
+    let steps = 50;
+    let t0 = Instant::now();
+    for _ in 0..steps {
+        plan.execute(1.0, &d, &u, 0.0, &mut f).unwrap();
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    let flops = (2 * NQ * NP * NV * N_ELEM * steps) as f64;
+    println!(
+        "flux evaluation: {N_ELEM} elements × {steps} steps in {:.3} s → {:.2} GFLOPS",
+        dt,
+        flops / dt / 1e9
+    );
+
+    // verify one element against a scalar reference
+    let fs = f.to_std();
+    let e = 777;
+    let mut worst: f64 = 0.0;
+    for q in 0..NQ {
+        for v in 0..NV {
+            let mut acc = 0.0;
+            for p in 0..NP {
+                acc += d_std.get(e, q, p) * u_std.get(e, p, v);
+            }
+            worst = worst.max((acc - fs.get(e, q, v)).abs());
+        }
+    }
+    println!("max |reference − compact| on element {e}: {worst:.3e}");
+    assert!(worst < 1e-12);
+    println!("ok: per-element flux derivatives verified");
+}

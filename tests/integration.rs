@@ -1,0 +1,161 @@
+//! Workspace-level integration tests: the facade API, cross-crate
+//! consistency (IATF vs every baseline vs the oracle), and the examples'
+//! algorithmic patterns.
+
+use iatf::prelude::*;
+use iatf::LayoutError;
+use iatf_baselines::{batched, blasloop, naive, specialized};
+
+#[test]
+fn facade_reexports_work_end_to_end() {
+    let cfg = TuningConfig::host();
+    let a = CompactBatch::from_std(&StdBatch::<f32>::random(4, 3, 100, 1));
+    let b = CompactBatch::from_std(&StdBatch::<f32>::random(3, 5, 100, 2));
+    let mut c = CompactBatch::<f32>::zeroed(4, 5, 100);
+    compact_gemm(GemmMode::NN, 1.0, &a, &b, 0.0, &mut c, &cfg).unwrap();
+    assert!(c.get(99, 3, 4).is_finite());
+}
+
+#[test]
+fn four_implementations_agree() {
+    // IATF, blasloop, batched, specialized and the oracle must all compute
+    // the same product.
+    let (m, n, k, count) = (7usize, 6usize, 5usize, 9usize);
+    let a = StdBatch::<f32>::random(m, k, count, 11);
+    let b = StdBatch::<f32>::random(k, n, count, 12);
+    let c0 = StdBatch::<f32>::random(m, n, count, 13);
+
+    let mut oracle = c0.clone();
+    naive::gemm_ref(GemmMode::NN, false, false, 1.5, &a, &b, 0.5, &mut oracle);
+
+    let mut via_loop = c0.clone();
+    blasloop::gemm(GemmMode::NN, 1.5, &a, &b, 0.5, &mut via_loop);
+    assert!(oracle.max_abs_diff(&via_loop) < 1e-4);
+
+    let mut via_batch = c0.clone();
+    batched::gemm(GemmMode::NN, 1.5, &a, &b, 0.5, &mut via_batch);
+    assert!(oracle.max_abs_diff(&via_batch) < 1e-4);
+
+    let mut via_spec = c0.clone();
+    specialized::gemm(GemmMode::NN, 1.5, &a, &b, 0.5, &mut via_spec);
+    assert!(oracle.max_abs_diff(&via_spec) < 1e-4);
+
+    let mut via_iatf = c0.clone();
+    iatf::std_gemm_via_compact(
+        GemmMode::NN,
+        1.5,
+        &a,
+        &b,
+        0.5,
+        &mut via_iatf,
+        &TuningConfig::host(),
+    )
+    .unwrap();
+    assert!(oracle.max_abs_diff(&via_iatf) < 1e-4);
+}
+
+#[test]
+fn trsm_implementations_agree() {
+    for mode in [TrsmMode::LNLN, TrsmMode::LTUN, TrsmMode::LNUN] {
+        let (m, n, count) = (8usize, 5usize, 5usize);
+        let a = StdBatch::<f64>::random_triangular(m, count, mode.uplo, mode.diag, 21);
+        let b0 = StdBatch::<f64>::random(m, n, count, 22);
+
+        let mut oracle = b0.clone();
+        naive::trsm_ref(mode, false, 2.0, &a, &mut oracle);
+
+        let mut via_loop = b0.clone();
+        blasloop::trsm(mode, 2.0, &a, &mut via_loop);
+        assert!(oracle.max_abs_diff(&via_loop) < 1e-9, "{mode}");
+
+        let mut via_iatf = b0.clone();
+        iatf::std_trsm_via_compact(mode, 2.0, &a, &mut via_iatf, &TuningConfig::host()).unwrap();
+        assert!(oracle.max_abs_diff(&via_iatf) < 1e-9, "{mode}");
+    }
+}
+
+#[test]
+fn complex_pipeline_end_to_end() {
+    let cfg = TuningConfig::host();
+    let count = 7usize;
+    let n = 6usize;
+    let a = StdBatch::<c64>::random(n, n, count, 31);
+    let b = StdBatch::<c64>::random(n, n, count, 32);
+    let mut c_ref = StdBatch::<c64>::zeroed(n, n, count);
+    let alpha = c64::new(0.5, -1.0);
+    naive::gemm_ref(
+        GemmMode::TN,
+        false,
+        false,
+        alpha,
+        &a,
+        &b,
+        c64::zero(),
+        &mut c_ref,
+    );
+    let ca = CompactBatch::from_std(&a);
+    let cb = CompactBatch::from_std(&b);
+    let mut cc = CompactBatch::<c64>::zeroed(n, n, count);
+    compact_gemm(GemmMode::TN, alpha, &ca, &cb, c64::zero(), &mut cc, &cfg).unwrap();
+    assert!(c_ref.max_abs_diff(&cc.to_std()) < 1e-12);
+}
+
+#[test]
+fn gemm_then_trsm_composes() {
+    // Solve (L·X = A·B) for many matrices: the output of compact GEMM feeds
+    // compact TRSM without leaving the compact layout.
+    let cfg = TuningConfig::host();
+    let count = 10usize;
+    let n = 9usize;
+    let a = CompactBatch::from_std(&StdBatch::<f64>::random(n, n, count, 41));
+    let b = CompactBatch::from_std(&StdBatch::<f64>::random(n, n, count, 42));
+    let l_std = StdBatch::<f64>::random_triangular(n, count, Uplo::Lower, Diag::NonUnit, 43);
+    let l = CompactBatch::from_std(&l_std);
+
+    let mut rhs = CompactBatch::<f64>::zeroed(n, n, count);
+    compact_gemm(GemmMode::NN, 1.0, &a, &b, 0.0, &mut rhs, &cfg).unwrap();
+    let rhs_copy = rhs.to_std();
+    compact_trsm(TrsmMode::LNLN, 1.0, &l, &mut rhs, &cfg).unwrap();
+    let x = rhs.to_std();
+    let r = naive::trsm_residual(TrsmMode::LNLN, false, 1.0, &l_std, &x, &rhs_copy);
+    assert!(r < 1e-10, "residual {r}");
+}
+
+#[test]
+fn large_group_with_padding() {
+    // group sizes that are not multiples of P, at the paper's largest size
+    let cfg = TuningConfig::host();
+    for count in [1usize, 5, 127] {
+        let a = StdBatch::<f32>::random(33, 33, count, 51);
+        let b = StdBatch::<f32>::random(33, 33, count, 52);
+        let ca = CompactBatch::from_std(&a);
+        let cb = CompactBatch::from_std(&b);
+        let mut cc = CompactBatch::<f32>::zeroed(33, 33, count);
+        compact_gemm(GemmMode::NN, 1.0, &ca, &cb, 0.0, &mut cc, &cfg).unwrap();
+        let mut want = StdBatch::<f32>::zeroed(33, 33, count);
+        naive::gemm_ref(GemmMode::NN, false, false, 1.0, &a, &b, 0.0, &mut want);
+        assert!(want.max_abs_diff(&cc.to_std()) < 1e-2, "count={count}");
+    }
+}
+
+#[test]
+fn error_paths_are_reported() {
+    let cfg = TuningConfig::host();
+    let a = CompactBatch::from_std(&StdBatch::<f32>::random(4, 3, 10, 1));
+    let b = CompactBatch::from_std(&StdBatch::<f32>::random(4, 5, 10, 2)); // wrong k
+    let mut c = CompactBatch::<f32>::zeroed(4, 5, 10);
+    let err = compact_gemm(GemmMode::NN, 1.0, &a, &b, 0.0, &mut c, &cfg).unwrap_err();
+    assert!(matches!(err, LayoutError::ShapeMismatch { operand: "B", .. }));
+
+    let b_badcount = CompactBatch::from_std(&StdBatch::<f32>::random(3, 5, 11, 2));
+    let err = compact_gemm(GemmMode::NN, 1.0, &a, &b_badcount, 0.0, &mut c, &cfg).unwrap_err();
+    assert!(matches!(err, LayoutError::BatchMismatch { .. }));
+}
+
+#[test]
+fn install_time_analysis_is_exposed() {
+    // the facade's core module gives access to the CMAR analysis
+    assert_eq!(iatf::core::optimal_real_kernel(), (4, 4));
+    let (m, n) = iatf::core::optimal_complex_kernel();
+    assert!((m, n) == (3, 2) || (m, n) == (2, 3));
+}
