@@ -1,19 +1,23 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! reproduce <target> [--paper|--quick] [--batch N] [--csv]
+//! reproduce <target> [--paper|--quick] [--batch N] [--csv|--json]
 //!
 //! targets:
 //!   table1 table2 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12
 //!   ablation-pack ablation-batch ablation-kernel-size ablation-fmls
-//!   ablation-schedule all
+//!   ablation-schedule obs all
 //! ```
+//!
+//! `obs` exercises every routine/precision once and prints the telemetry
+//! document: plan explainers (always live) plus the runtime counters,
+//! which are non-zero only when built with `--features obs`.
 //!
 //! `--quick` (default) uses a reduced size grid and a scaled batch so a full
 //! `reproduce all` finishes in minutes; `--paper` uses the paper's exact
 //! protocol (sizes 1–33, batch 16384, 100 repetitions).
 
-use iatf_bench::report::{render_csv, render_table, speedup_summary, Series};
+use iatf_bench::report::{render_csv, render_json, render_table, speedup_summary, Series};
 use iatf_bench::runners;
 use iatf_bench::timer::TimeOpts;
 use iatf_bench::workloads::{gemm_workload, scaled_batch, trsm_workload};
@@ -30,6 +34,7 @@ struct Opts {
     batch_base: usize,
     time: TimeOpts,
     csv: bool,
+    json: bool,
     paper: bool,
 }
 
@@ -41,6 +46,7 @@ fn main() {
         batch_base: 2048,
         time: TimeOpts::quick(),
         csv: false,
+        json: false,
         paper: false,
     };
     let mut it = args.iter();
@@ -54,6 +60,7 @@ fn main() {
             }
             "--quick" => {}
             "--csv" => opts.csv = true,
+            "--json" => opts.json = true,
             "--batch" => {
                 opts.batch_base = match it.next().and_then(|s| s.parse().ok()) {
                     Some(b) => b,
@@ -106,6 +113,7 @@ fn main() {
         "ablation-pingpong" => ablation_pingpong(&opts),
         "ext-trmm" => ext_trmm(&opts),
         "ablation-schedule" => ablation_schedule(),
+        "obs" => obs_telemetry(&opts),
         "all" => {
             table1();
             table2();
@@ -124,6 +132,7 @@ fn main() {
             ablation_pingpong(&opts);
             ablation_schedule();
             ext_trmm(&opts);
+            obs_telemetry(&opts);
         }
         other => {
             eprintln!("unknown target {other}");
@@ -133,6 +142,10 @@ fn main() {
 }
 
 fn emit(opts: &Opts, title: &str, xlabel: &str, xs: &[usize], series: &[Series]) {
+    if opts.json {
+        println!("{}", render_json(title, xlabel, xs, series));
+        return;
+    }
     if opts.csv {
         println!("# {title}");
         print!("{}", render_csv(xlabel, xs, series));
@@ -715,14 +728,95 @@ fn ablation_pingpong(opts: &Opts) {
     println!("(on out-of-order hosts the hardware scheduler hides much of the\n difference; the modeled in-order gap is in ablation-schedule)\n");
 }
 
+// ---------------------------------------------------------------------------
+// Observability telemetry export
+// ---------------------------------------------------------------------------
+
+fn obs_gemm_once<E: CompactElement>(n: usize, count: usize) -> iatf_obs::PlanExplain {
+    use iatf_layout::{CompactBatch, GemmDims};
+    let cfg = TuningConfig::default();
+    let plan = iatf_core::GemmPlan::<E>::new(
+        GemmDims::square(n),
+        GemmMode::NN,
+        false,
+        false,
+        count,
+        &cfg,
+    )
+    .unwrap();
+    let a = CompactBatch::<E>::zeroed(n, n, count);
+    let b = CompactBatch::<E>::zeroed(n, n, count);
+    let mut c = CompactBatch::<E>::zeroed(n, n, count);
+    plan.execute(E::one(), &a, &b, E::one(), &mut c).unwrap();
+    plan.explain()
+}
+
+fn obs_trsm_once<E: CompactElement>(n: usize, count: usize) -> iatf_obs::PlanExplain {
+    use iatf_layout::{CompactBatch, TrsmDims};
+    let cfg = TuningConfig::default();
+    let plan =
+        iatf_core::TrsmPlan::<E>::new(TrsmDims::square(n), TrsmMode::LNLN, false, count, &cfg)
+            .unwrap();
+    let mut a = CompactBatch::<E>::zeroed(n, n, count);
+    // all-ones triangle: unit diagonal, so the solve is well-defined
+    for s in a.as_scalars_mut().iter_mut() {
+        *s = <E::Real as iatf_simd::Real>::ONE;
+    }
+    let mut b = CompactBatch::<E>::zeroed(n, n, count);
+    plan.execute(E::one(), &a, &mut b).unwrap();
+    plan.explain()
+}
+
+fn obs_trmm_once<E: CompactElement>(n: usize, count: usize) -> iatf_obs::PlanExplain {
+    use iatf_layout::{CompactBatch, TrsmDims};
+    let cfg = TuningConfig::default();
+    let plan =
+        iatf_core::TrmmPlan::<E>::new(TrsmDims::square(n), TrsmMode::LNLN, false, count, &cfg)
+            .unwrap();
+    let a = CompactBatch::<E>::zeroed(n, n, count);
+    let mut b = CompactBatch::<E>::zeroed(n, n, count);
+    plan.execute(E::one(), &a, &mut b).unwrap();
+    plan.explain()
+}
+
+/// Runs every routine × precision once over a small batch, then prints the
+/// full telemetry document: one explainer per plan plus the counter
+/// snapshot. The explainers' main-kernel sizes reproduce Table 1 (real
+/// GEMM 4×4, complex GEMM 3×2, real TRSM 4×4, complex TRSM 2×2).
+fn obs_telemetry(opts: &Opts) {
+    iatf_obs::reset();
+    // n=10 has edge tiles in every precision (Table 1 main kernels: real
+    // GEMM 4x4, complex GEMM 3x2, real TRSM 4x4, complex TRSM 2x2)
+    let n = 10;
+    let count = opts.batch_base.clamp(1, 64);
+    let explainers: Vec<iatf_obs::Json> = vec![
+        obs_gemm_once::<f32>(n, count).to_json(),
+        obs_gemm_once::<f64>(n, count).to_json(),
+        obs_gemm_once::<c32>(n, count).to_json(),
+        obs_gemm_once::<c64>(n, count).to_json(),
+        obs_trsm_once::<f32>(n, count).to_json(),
+        obs_trsm_once::<f64>(n, count).to_json(),
+        obs_trsm_once::<c32>(n, count).to_json(),
+        obs_trsm_once::<c64>(n, count).to_json(),
+        obs_trmm_once::<f64>(n, count).to_json(),
+    ];
+
+    let doc = iatf_obs::Json::object()
+        .set("obs_enabled", iatf_obs::is_enabled())
+        .set("workload", iatf_obs::Json::object().set("n", n).set("count", count))
+        .set("explainers", explainers)
+        .set("metrics", iatf_obs::snapshot().to_json());
+    println!("{}", doc.to_pretty());
+}
+
 fn ablation_schedule() {
     use iatf_codegen::{
         generate_gemm_kernel, schedule_stats, DataType, GemmKernelSpec, PipelineModel,
     };
     println!("## Ablation: instruction scheduling (modeled cycles, dual-issue in-order)");
     println!(
-        "{:>6} {:>6} {:>6} {:>10} {:>10} {:>9}",
-        "mc", "nc", "K", "before", "after", "gain"
+        "{:>6} {:>6} {:>6} {:>7} {:>10} {:>10} {:>6} {:>9}",
+        "mc", "nc", "K", "insts", "before", "after", "bound", "gain"
     );
     let model = PipelineModel::default();
     for (mc, nc) in [(4usize, 4usize), (4, 3), (3, 3), (2, 2)] {
@@ -735,10 +829,14 @@ fn ablation_schedule() {
                 alpha: 1.0,
                 ldc: mc,
             });
-            let (before, after) = schedule_stats(&p, &model);
+            let s = schedule_stats(&p, &model);
             println!(
-                "{mc:>6} {nc:>6} {k:>6} {before:>10} {after:>10} {:>8.1}%",
-                100.0 * (before - after) as f64 / before as f64
+                "{mc:>6} {nc:>6} {k:>6} {:>7} {:>10} {:>10} {:>6} {:>8.1}%",
+                s.insts,
+                s.cycles_before,
+                s.cycles_after,
+                s.port_bound,
+                100.0 * (s.cycles_before - s.cycles_after) as f64 / s.cycles_before as f64
             );
         }
     }

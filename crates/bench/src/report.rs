@@ -41,6 +41,30 @@ pub fn render_table(title: &str, xlabel: &str, xs: &[usize], series: &[Series]) 
     out
 }
 
+/// Renders the same data as a JSON document (pretty-printed), using the
+/// serializer from `iatf-obs` so figure exports and telemetry share one
+/// schema style. Non-finite values become `null`.
+pub fn render_json(title: &str, xlabel: &str, xs: &[usize], series: &[Series]) -> String {
+    use iatf_obs::Json;
+    Json::object()
+        .set("title", title)
+        .set("x_label", xlabel)
+        .set("x", xs.iter().map(|&x| Json::from(x)).collect::<Vec<_>>())
+        .set(
+            "series",
+            series
+                .iter()
+                .map(|s| {
+                    Json::object().set("name", s.name.as_str()).set(
+                        "values",
+                        s.values.iter().map(|&v| Json::from(v)).collect::<Vec<_>>(),
+                    )
+                })
+                .collect::<Vec<_>>(),
+        )
+        .to_pretty()
+}
+
 /// Renders the same data as CSV.
 pub fn render_csv(xlabel: &str, xs: &[usize], series: &[Series]) -> String {
     let mut out = String::new();
@@ -105,6 +129,17 @@ mod tests {
         assert!(t.contains("## Fig X"));
         assert!(t.contains("IATF"));
         assert!(t.lines().count() >= 5);
+    }
+
+    #[test]
+    fn json_renders_with_null_for_nan() {
+        let xs = vec![4, 8];
+        let s = vec![Series::new("a", vec![1.5, f64::NAN])];
+        let j = render_json("Fig X", "n", &xs, &s);
+        assert!(j.contains("\"title\": \"Fig X\""));
+        assert!(j.contains("\"name\": \"a\""));
+        assert!(j.contains("null"));
+        assert!(!j.contains("NaN"));
     }
 
     #[test]

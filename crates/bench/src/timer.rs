@@ -37,7 +37,14 @@ impl TimeOpts {
 }
 
 /// Times `f`, returning seconds per invocation (geometric mean over reps).
+///
+/// The result is always finite and strictly positive: zero reps are treated
+/// as one, and each per-rep interval is floored at a picosecond before
+/// entering the geometric mean — a coarse clock returning a zero (or a
+/// platform hiccup, a negative) elapsed interval can therefore never
+/// propagate an `inf`/`NaN` into a derived GFLOPS figure.
 pub fn time_secs(opts: &TimeOpts, mut f: impl FnMut()) -> f64 {
+    let reps = opts.reps.max(1);
     for _ in 0..opts.warmup {
         f();
     }
@@ -57,7 +64,7 @@ pub fn time_secs(opts: &TimeOpts, mut f: impl FnMut()) -> f64 {
     }
 
     let mut log_sum = 0.0f64;
-    for _ in 0..opts.reps {
+    for _ in 0..reps {
         let t0 = Instant::now();
         for _ in 0..iters {
             f();
@@ -65,11 +72,17 @@ pub fn time_secs(opts: &TimeOpts, mut f: impl FnMut()) -> f64 {
         let per = t0.elapsed().as_secs_f64() / iters as f64;
         log_sum += per.max(1e-12).ln();
     }
-    (log_sum / opts.reps as f64).exp()
+    (log_sum / reps as f64).exp()
 }
 
-/// GFLOPS for a measured time.
+/// GFLOPS for a measured time. Non-positive or non-finite `secs` (which
+/// [`time_secs`] never produces, but hand-computed intervals can) yields
+/// `NaN` rather than `inf`, so downstream geomean/table code — which
+/// already skips non-finite entries — degrades gracefully.
 pub fn gflops(total_flops: f64, secs: f64) -> f64 {
+    if !secs.is_finite() || secs <= 0.0 {
+        return f64::NAN;
+    }
     total_flops / secs / 1e9
 }
 
@@ -98,6 +111,25 @@ mod tests {
     fn gflops_math() {
         assert_eq!(gflops(2e9, 1.0), 2.0);
         assert_eq!(gflops(1e9, 0.5), 2.0);
+    }
+
+    #[test]
+    fn degenerate_intervals_never_yield_inf_or_nan_rates() {
+        // zero reps + an effectively-zero workload: the old code divided by
+        // reps (NaN) and a zero interval made GFLOPS infinite
+        let opts = TimeOpts {
+            reps: 0,
+            min_rep_secs: 0.0,
+            warmup: 0,
+        };
+        let t = time_secs(&opts, || {});
+        assert!(t.is_finite() && t > 0.0, "time_secs returned {t}");
+        assert!(gflops(1e9, t).is_finite());
+        // gflops on raw degenerate intervals reports NaN, never inf
+        assert!(gflops(1e9, 0.0).is_nan());
+        assert!(gflops(1e9, -1.0).is_nan());
+        assert!(gflops(1e9, f64::NAN).is_nan());
+        assert!(gflops(1e9, f64::INFINITY).is_nan());
     }
 
     #[test]

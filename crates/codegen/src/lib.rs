@@ -48,4 +48,4 @@ pub use generator::{
 pub use interp::{Interpreter, Memory};
 pub use ir::{DataType, Inst, Program, VReg, XReg};
 pub use pipeline::PipelineModel;
-pub use schedule::{dependency_edges, optimize, schedule_stats};
+pub use schedule::{dependency_edges, optimize, schedule_stats, ScheduleStats};

@@ -226,11 +226,37 @@ pub fn optimize(p: &Program, model: &PipelineModel) -> Program {
     out
 }
 
-/// Convenience: modeled cycles before and after optimization.
-pub fn schedule_stats(p: &Program, model: &PipelineModel) -> (u64, u64) {
-    let before = model.simulate(p).cycles;
-    let after = model.simulate(&optimize(p, model)).cycles;
-    (before, after)
+/// Install-time scheduling stats for one generated kernel: what the
+/// optimizer report (paper Fig. 5) is made of.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Instructions in the program (unchanged by scheduling).
+    pub insts: u64,
+    /// Modeled cycles of the generation-order schedule.
+    pub cycles_before: u64,
+    /// Modeled cycles after the scheduling optimizer.
+    pub cycles_after: u64,
+    /// Issue-port lower bound on cycles for this instruction mix.
+    pub port_bound: u64,
+}
+
+impl ScheduleStats {
+    /// Modeled speedup of the optimized schedule (≥ 1 in practice).
+    pub fn speedup(&self) -> f64 {
+        self.cycles_before as f64 / self.cycles_after.max(1) as f64
+    }
+}
+
+/// Convenience: simulate a program before and after optimization.
+pub fn schedule_stats(p: &Program, model: &PipelineModel) -> ScheduleStats {
+    let before = model.simulate(p);
+    let after = model.simulate(&optimize(p, model));
+    ScheduleStats {
+        insts: p.insts.len() as u64,
+        cycles_before: before.cycles,
+        cycles_after: after.cycles,
+        port_bound: before.port_bound,
+    }
 }
 
 #[cfg(test)]
@@ -315,13 +341,18 @@ mod tests {
                 alpha: 1.0,
                 ldc: 4,
             });
-            let (before, after) = schedule_stats(&p, &model);
+            let stats = schedule_stats(&p, &model);
             assert!(
-                after < before,
-                "k={k}: optimizer should reduce cycles ({before} → {after})"
+                stats.cycles_after < stats.cycles_before,
+                "k={k}: optimizer should reduce cycles ({} → {})",
+                stats.cycles_before,
+                stats.cycles_after,
             );
             // and must never be worse than the port bound
-            assert!(after >= model.simulate(&p).port_bound);
+            assert!(stats.cycles_after >= stats.port_bound);
+            assert_eq!(stats.insts, p.insts.len() as u64);
+            assert_eq!(stats.port_bound, model.simulate(&p).port_bound);
+            assert!(stats.speedup() > 1.0);
         }
     }
 

@@ -213,12 +213,15 @@ fn figure5_stall_reduction_holds_across_kernels() {
                 alpha: 1.0,
                 ldc: mc,
             });
-            let (before, after) = schedule_stats(&p, &model);
+            let stats = schedule_stats(&p, &model);
             total += 1;
-            if after < before {
+            if stats.cycles_after < stats.cycles_before {
                 improved += 1;
             }
-            assert!(after <= before, "optimizer must never regress");
+            assert!(
+                stats.cycles_after <= stats.cycles_before,
+                "optimizer must never regress"
+            );
         }
     }
     // the optimizer should win on the vast majority of kernels
@@ -303,8 +306,13 @@ fn complex_scheduler_gains() {
         alpha: 1.0,
         ldc: 3,
     });
-    let (before, after) = schedule_stats(&p, &model);
-    assert!(after < before, "{before} -> {after}");
+    let stats = schedule_stats(&p, &model);
+    assert!(
+        stats.cycles_after < stats.cycles_before,
+        "{} -> {}",
+        stats.cycles_before,
+        stats.cycles_after,
+    );
 }
 
 #[test]

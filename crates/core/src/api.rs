@@ -134,6 +134,7 @@ pub fn std_gemm_via_compact<E: CompactElement>(
     c: &mut StdBatch<E>,
     cfg: &TuningConfig,
 ) -> Result<(), LayoutError> {
+    iatf_obs::count_fallback();
     let ca = CompactBatch::from_std(a);
     let cb = CompactBatch::from_std(b);
     let mut cc = CompactBatch::from_std(c);
@@ -151,6 +152,7 @@ pub fn std_trsm_via_compact<E: CompactElement>(
     b: &mut StdBatch<E>,
     cfg: &TuningConfig,
 ) -> Result<(), LayoutError> {
+    iatf_obs::count_fallback();
     let ca = CompactBatch::from_std(a);
     let mut cb = CompactBatch::from_std(b);
     compact_trsm(mode, alpha, &ca, &mut cb, cfg)?;

@@ -41,6 +41,12 @@ pub mod elem;
 pub mod machine;
 pub mod plan;
 
+/// Observability layer: plan explainers are always live; the counters and
+/// phase timers wired through the planner/executor become real (atomic,
+/// monotonic-clocked) only with the `obs` cargo feature — otherwise every
+/// probe is an empty `#[inline(always)]` body.
+pub use iatf_obs as obs;
+
 pub use analysis::{cmar_complex, cmar_real, optimal_complex_kernel, optimal_real_kernel};
 pub use api::{
     compact_gemm, compact_gemm_ex, compact_trmm, compact_trmm_ex, compact_trsm, compact_trsm_ex,

@@ -1,0 +1,144 @@
+//! Shared helpers behind `GemmPlan::explain()` / `TrsmPlan::explain()` /
+//! `TrmmPlan::explain()`.
+//!
+//! The explainer is a cold-path introspection API (never feature-gated): it
+//! folds a plan's tile/block/panel tables into [`iatf_obs::TileClass`]
+//! multiplicities and, where the install-time stage has a generator for the
+//! element type, regenerates each dispatchable kernel to report its Fig. 5
+//! scheduling stats ([`iatf_obs::KernelStats`]).
+
+use iatf_codegen::{
+    generate_cgemm_kernel, generate_gemm_kernel, generate_trsm_block_kernel,
+    generate_trsm_tri_kernel, schedule_stats, DataType, GemmKernelSpec, PipelineModel,
+};
+use iatf_obs::{KernelStats, TileClass};
+use iatf_simd::DType;
+
+use crate::plan::gemm::OperandPlan;
+
+/// Scalar precision of an element type, as the codegen IR sees it (the
+/// complex kernels are generated over the real lanes of the split layout).
+pub(crate) fn scalar_dtype(d: DType) -> DataType {
+    match d {
+        DType::F32 | DType::C32 => DataType::F32,
+        DType::F64 | DType::C64 => DataType::F64,
+    }
+}
+
+/// Folds a stream of `(mr, nr)` tile sizes into distinct classes with
+/// multiplicities, in first-seen order.
+pub(crate) fn tile_classes(
+    sizes: impl Iterator<Item = (usize, usize)>,
+    main: (usize, usize),
+) -> Vec<TileClass> {
+    let mut classes: Vec<TileClass> = Vec::new();
+    for (mr, nr) in sizes {
+        match classes.iter_mut().find(|t| (t.mr, t.nr) == (mr, nr)) {
+            Some(t) => t.tiles += 1,
+            None => classes.push(TileClass {
+                mr,
+                nr,
+                tiles: 1,
+                is_main: (mr, nr) == main,
+            }),
+        }
+    }
+    classes
+}
+
+/// Output-area fraction covered by main-kernel tiles, from the class table.
+pub(crate) fn main_area_fraction(classes: &[TileClass], total_area: usize) -> f64 {
+    if total_area == 0 {
+        return 0.0;
+    }
+    let main: usize = classes
+        .iter()
+        .filter(|t| t.is_main)
+        .map(|t| t.mr * t.nr * t.tiles)
+        .sum();
+    main as f64 / total_area as f64
+}
+
+/// Pack-decision string for a GEMM operand.
+pub(crate) fn operand_str(p: OperandPlan) -> &'static str {
+    match p {
+        OperandPlan::Packed => "packed",
+        OperandPlan::Direct => "direct",
+    }
+}
+
+fn stats_for(mr: usize, nr: usize, k: usize, p: &iatf_codegen::Program) -> KernelStats {
+    let s = schedule_stats(p, &PipelineModel::default());
+    KernelStats {
+        mr,
+        nr,
+        k,
+        insts: s.insts,
+        cycles_before: s.cycles_before,
+        cycles_after: s.cycles_after,
+        port_bound: s.port_bound,
+    }
+}
+
+/// Static scheduling stats for every distinct GEMM tile class. Both the
+/// real (Algorithm 3) and complex generators exist, so this is total.
+pub(crate) fn gemm_kernel_stats(
+    d: DType,
+    classes: &[TileClass],
+    k: usize,
+    ldc: usize,
+) -> Vec<KernelStats> {
+    classes
+        .iter()
+        .map(|t| {
+            let spec = GemmKernelSpec {
+                mc: t.mr,
+                nc: t.nr,
+                k,
+                dtype: scalar_dtype(d),
+                alpha: 1.0,
+                ldc,
+            };
+            let p = if d.is_complex() {
+                generate_cgemm_kernel(&spec)
+            } else {
+                generate_gemm_kernel(&spec)
+            };
+            stats_for(t.mr, t.nr, k, &p)
+        })
+        .collect()
+}
+
+/// Static scheduling stats for the TRSM kernels a plan dispatches: one
+/// entry per distinct `(mb, kk, width)` combination over the diagonal
+/// blocks and column panels. Register-resident blocks (`mb > 4`, only the
+/// whole-triangle M ≤ 5 case) use the triangular generator; everything else
+/// the fused block generator. The complex TRSM path has no generator in
+/// `iatf-codegen`, so complex plans report an empty kernel list.
+pub(crate) fn trsm_kernel_stats(
+    d: DType,
+    blocks: &[(usize, usize)],
+    panels: &[(usize, usize)],
+) -> Vec<KernelStats> {
+    if d.is_complex() {
+        return Vec::new();
+    }
+    let dt = scalar_dtype(d);
+    let mut seen: Vec<(usize, usize, usize)> = Vec::new();
+    let mut out = Vec::new();
+    for &(r0, mb) in blocks {
+        for &(_, w) in panels {
+            if seen.contains(&(mb, r0, w)) {
+                continue;
+            }
+            seen.push((mb, r0, w));
+            let p = if mb > 4 {
+                generate_trsm_tri_kernel(mb, w, dt)
+            } else {
+                generate_trsm_block_kernel(mb, w, r0, dt)
+            };
+            out.push(stats_for(mb, w, r0, &p));
+        }
+    }
+    out
+}

@@ -2,8 +2,9 @@
 
 use crate::config::{PackPolicy, TuningConfig};
 use crate::elem::CompactElement;
-use crate::plan::{group_packs, tiles, Command};
+use crate::plan::{explain as ex, group_packs, tiles, Command};
 use iatf_layout::{CompactBatch, GemmDims, GemmMode, LayoutError};
+use iatf_obs as obs;
 use iatf_pack::gemm as pk;
 use iatf_pack::PackBuffer;
 
@@ -49,6 +50,7 @@ impl<E: CompactElement> GemmPlan<E> {
         count: usize,
         cfg: &TuningConfig,
     ) -> Result<Self, LayoutError> {
+        let _span = obs::phase(obs::Phase::PlanBuild);
         dims.validate()?;
         if count == 0 {
             return Err(LayoutError::EmptyDimension("batch count"));
@@ -73,6 +75,7 @@ impl<E: CompactElement> GemmPlan<E> {
         let packs = count.div_ceil(E::P);
         let gp = group_packs(cfg.batch, cfg.l1_budget_bytes(), bytes_per_pack, packs);
 
+        obs::count_plan_build(obs::Op::Gemm, count);
         Ok(Self {
             dims,
             mode,
@@ -132,6 +135,7 @@ impl<E: CompactElement> GemmPlan<E> {
         c: &mut CompactBatch<E>,
     ) -> Result<(), LayoutError> {
         self.validate(a, b, c)?;
+        obs::count_execute(obs::Op::Gemm);
         let mut buf = PackBuffer::<E::Real>::new();
         let gp = self.group_packs;
         let mut sb = 0usize;
@@ -169,6 +173,7 @@ impl<E: CompactElement> GemmPlan<E> {
         buf_b: &mut [E::Real],
     ) {
         if !buf_a.is_empty() {
+            let _span = obs::phase(obs::Phase::PackA);
             pk::pack_a(
                 buf_a,
                 a,
@@ -179,8 +184,10 @@ impl<E: CompactElement> GemmPlan<E> {
                 self.dims.m,
                 self.dims.k,
             );
+            obs::count_packed_bytes_a(core::mem::size_of_val(buf_a));
         }
         if !buf_b.is_empty() {
+            let _span = obs::phase(obs::Phase::PackB);
             pk::pack_b(
                 buf_b,
                 b,
@@ -191,6 +198,7 @@ impl<E: CompactElement> GemmPlan<E> {
                 self.dims.k,
                 self.dims.n,
             );
+            obs::count_packed_bytes_b(core::mem::size_of_val(buf_b));
         }
     }
 
@@ -207,6 +215,7 @@ impl<E: CompactElement> GemmPlan<E> {
         buf_b: &[E::Real],
         cp: *mut E::Real,
     ) {
+        let _span = obs::phase(obs::Phase::Compute);
         let g = CompactBatch::<E>::GROUP;
         let dims = self.dims;
         let da = pk::direct_a::<E>(self.mode.transa, a.rows());
@@ -237,6 +246,7 @@ impl<E: CompactElement> GemmPlan<E> {
                     )
                 };
                 let ct = unsafe { cp.add((j0 * c_rows + i0) * g) };
+                obs::count_dispatch(obs::Op::Gemm, h, w, h == E::MR && w == E::NR);
                 // Safety: pointers/strides cover exactly the tile regions
                 // validated against the batch shapes above.
                 unsafe {
@@ -322,6 +332,7 @@ impl<E: CompactElement> GemmPlan<E> {
     ) -> Result<(), LayoutError> {
         use rayon::prelude::*;
         self.validate(a, b, c)?;
+        obs::count_execute(obs::Op::Gemm);
         let (a_len, b_len) = self.panel_lens();
         let ps = c.pack_stride();
         c.as_scalars_mut()
@@ -366,7 +377,47 @@ impl<E: CompactElement> GemmPlan<E> {
             }
             sb += sb_packs;
         }
+        obs::count_plan_commands(out.len());
         out
+    }
+
+    /// Structured description of what one `execute()` will do: kernel
+    /// sizes, tile grid, pack strategy, predicted work, and install-time
+    /// scheduling stats for every dispatchable kernel.
+    pub fn explain(&self) -> obs::PlanExplain {
+        let d = self.dims;
+        let main = (E::MR, E::NR);
+        let classes = ex::tile_classes(
+            self.n_tiles
+                .iter()
+                .flat_map(|&(_, w)| self.m_tiles.iter().map(move |&(_, h)| (h, w))),
+            main,
+        );
+        let tiles_per_matrix: usize = classes.iter().map(|t| t.tiles).sum();
+        let (a_len, b_len) = self.panel_lens();
+        let scalar_bytes = core::mem::size_of::<E::Real>() as u64;
+        let macs = (d.m * d.n * d.k * self.count) as u64;
+        obs::PlanExplain {
+            op: "gemm".into(),
+            dtype: E::DTYPE.to_string(),
+            m: d.m,
+            n: d.n,
+            k: d.k,
+            mode: self.mode.to_string(),
+            count: self.count,
+            p: E::P,
+            packs: self.packs,
+            group_packs: self.group_packs,
+            main_kernel: main,
+            main_area_fraction: ex::main_area_fraction(&classes, d.m * d.n),
+            pack_a: ex::operand_str(self.a_plan).into(),
+            pack_b: ex::operand_str(self.b_plan).into(),
+            predicted_flops: E::DTYPE.flops_per_mac() as u64 * macs,
+            predicted_packed_bytes: ((a_len + b_len) * self.packs) as u64 * scalar_bytes,
+            predicted_dispatches: (tiles_per_matrix * self.packs) as u64,
+            kernels: ex::gemm_kernel_stats(E::DTYPE, &classes, d.k, d.m),
+            tile_classes: classes,
+        }
     }
 }
 

@@ -13,6 +13,7 @@
 //! same shapes — the paper's point that "it only generates this execution
 //! plan at the beginning", amortizing run-time overhead over the group.
 
+pub(crate) mod explain;
 pub mod gemm;
 pub mod trmm;
 pub mod trsm;

@@ -10,8 +10,9 @@
 
 use crate::config::{PackPolicy, TuningConfig};
 use crate::elem::CompactElement;
-use crate::plan::{group_packs, tiles};
+use crate::plan::{explain as ex, group_packs, tiles};
 use iatf_layout::{CompactBatch, LayoutError, TrsmDims, TrsmMode};
+use iatf_obs as obs;
 use iatf_pack::trsm as pk;
 use iatf_pack::PackBuffer;
 
@@ -44,6 +45,7 @@ impl<E: CompactElement> TrmmPlan<E> {
         count: usize,
         cfg: &TuningConfig,
     ) -> Result<Self, LayoutError> {
+        let _span = obs::phase(obs::Phase::PlanBuild);
         dims.validate()?;
         if count == 0 {
             return Err(LayoutError::EmptyDimension("batch count"));
@@ -64,6 +66,7 @@ impl<E: CompactElement> TrmmPlan<E> {
         let bytes_per_pack = (a_len + map.t * map.bn * g) * scalar_bytes;
         let packs = count.div_ceil(E::P);
         let gp = group_packs(cfg.batch, cfg.l1_budget_bytes(), bytes_per_pack, packs);
+        obs::count_plan_build(obs::Op::Trmm, count);
         Ok(Self {
             dims,
             mode,
@@ -130,6 +133,7 @@ impl<E: CompactElement> TrmmPlan<E> {
         b: &mut CompactBatch<E>,
     ) -> Result<(), LayoutError> {
         self.validate(a, b)?;
+        obs::count_execute(obs::Op::Trmm);
         let g = CompactBatch::<E>::GROUP;
         let pack_b = self.pack_b_structural;
         let panel_cap = if pack_b {
@@ -151,6 +155,7 @@ impl<E: CompactElement> TrmmPlan<E> {
             let sb_packs = gp.min(self.packs - sb);
             let (buf_a, buf_panel) = buf.split_two(self.a_len * sb_packs, panel_cap);
             for slot in 0..sb_packs {
+                let _span = obs::phase(obs::Phase::PackA);
                 let pack = sb + slot;
                 let live = E::P.min(self.count - pack * E::P);
                 // direct (non-reciprocal) diagonal for the multiply
@@ -163,6 +168,7 @@ impl<E: CompactElement> TrmmPlan<E> {
                     live,
                     false,
                 );
+                obs::count_packed_bytes_a(self.a_len * core::mem::size_of::<E::Real>());
             }
             for slot in 0..sb_packs {
                 let pack = sb + slot;
@@ -170,6 +176,7 @@ impl<E: CompactElement> TrmmPlan<E> {
                 let b_pack = &mut b.as_scalars_mut()[pack * bps..(pack + 1) * bps];
                 for &(j0, w) in &self.panels {
                     let (panel_ptr, row_stride, col_stride) = if pack_b {
+                        let _span = obs::phase(obs::Phase::Scale);
                         let len = pk::panel_b_len::<E>(self.map.t, w);
                         pk::pack_b_panel::<E>(
                             &mut buf_panel[..len],
@@ -180,34 +187,45 @@ impl<E: CompactElement> TrmmPlan<E> {
                             w,
                             E::one(),
                         );
+                        obs::count_packed_bytes_b(len * core::mem::size_of::<E::Real>());
                         (buf_panel.as_mut_ptr(), w * g, g)
                     } else {
                         let ptr = unsafe { b_pack.as_mut_ptr().add(j0 * b_rows * g) };
                         (ptr, g, b_rows * g)
                     };
-                    // bottom-up over diagonal blocks: rows above any block
-                    // stay original until that block consumes them
-                    for blk in self.a_blocks.iter().rev() {
-                        // Safety: identical operand coverage to the TRSM
-                        // path, validated above.
-                        unsafe {
-                            E::trmm_kernel(
+                    {
+                        let _span = obs::phase(obs::Phase::Compute);
+                        // bottom-up over diagonal blocks: rows above any
+                        // block stay original until that block consumes them
+                        for blk in self.a_blocks.iter().rev() {
+                            obs::count_dispatch(
+                                obs::Op::Trmm,
                                 blk.mb,
                                 w,
-                                blk.r0,
-                                alpha,
-                                ab.as_ptr().add(blk.rect_off),
-                                g,
-                                blk.mb * g,
-                                ab.as_ptr().add(blk.tri_off),
-                                panel_ptr,
-                                blk.r0,
-                                row_stride,
-                                col_stride,
+                                blk.mb == E::TRSM_TB && w == E::TRSM_NR,
                             );
+                            // Safety: identical operand coverage to the TRSM
+                            // path, validated above.
+                            unsafe {
+                                E::trmm_kernel(
+                                    blk.mb,
+                                    w,
+                                    blk.r0,
+                                    alpha,
+                                    ab.as_ptr().add(blk.rect_off),
+                                    g,
+                                    blk.mb * g,
+                                    ab.as_ptr().add(blk.tri_off),
+                                    panel_ptr,
+                                    blk.r0,
+                                    row_stride,
+                                    col_stride,
+                                );
+                            }
                         }
                     }
                     if pack_b {
+                        let _span = obs::phase(obs::Phase::Unpack);
                         let len = pk::panel_b_len::<E>(self.map.t, w);
                         pk::unpack_b_panel::<E>(&buf_panel[..len], b_pack, b_rows, &self.map, j0, w);
                     }
@@ -216,6 +234,59 @@ impl<E: CompactElement> TrmmPlan<E> {
             sb += sb_packs;
         }
         Ok(())
+    }
+
+    /// Structured description of what one `execute()` will do. `k` is 0
+    /// (triangular op); tile classes are diagonal blocks × column panels.
+    /// No install-time generator exists for the TRMM kernels yet, so the
+    /// kernel-stats list is empty.
+    pub fn explain(&self) -> obs::PlanExplain {
+        let main = (E::TRSM_TB, E::TRSM_NR);
+        let classes = ex::tile_classes(
+            self.blocks
+                .iter()
+                .flat_map(|&(_, mb)| self.panels.iter().map(move |&(_, w)| (mb, w))),
+            main,
+        );
+        let scalar_bytes = core::mem::size_of::<E::Real>() as u64;
+        let t = self.map.t;
+        // triangular multiply: t(t+1)/2 MACs per B column
+        let macs = (t * (t + 1) / 2 * self.map.bn * self.count) as u64;
+        let panel_bytes: usize = if self.pack_b_structural {
+            self.panels
+                .iter()
+                .map(|&(_, w)| pk::panel_b_len::<E>(t, w))
+                .sum()
+        } else {
+            0
+        };
+        obs::PlanExplain {
+            op: "trmm".into(),
+            dtype: E::DTYPE.to_string(),
+            m: self.dims.m,
+            n: self.dims.n,
+            k: 0,
+            mode: self.mode.to_string(),
+            count: self.count,
+            p: E::P,
+            packs: self.packs,
+            group_packs: self.group_packs,
+            main_kernel: main,
+            main_area_fraction: ex::main_area_fraction(&classes, t * self.map.bn),
+            pack_a: "packed".into(),
+            pack_b: if self.pack_b_structural {
+                "packed"
+            } else {
+                "direct"
+            }
+            .into(),
+            predicted_flops: E::DTYPE.flops_per_mac() as u64 * macs,
+            predicted_packed_bytes: ((self.a_len + panel_bytes) * self.packs) as u64
+                * scalar_bytes,
+            predicted_dispatches: (self.blocks.len() * self.panels.len() * self.packs) as u64,
+            kernels: Vec::new(),
+            tile_classes: classes,
+        }
     }
 }
 

@@ -2,8 +2,9 @@
 
 use crate::config::{PackPolicy, TuningConfig};
 use crate::elem::CompactElement;
-use crate::plan::{group_packs, tiles, Command};
+use crate::plan::{explain as ex, group_packs, tiles, Command};
 use iatf_layout::{CompactBatch, LayoutError, TrsmDims, TrsmMode};
+use iatf_obs as obs;
 use iatf_pack::trsm as pk;
 use iatf_pack::PackBuffer;
 
@@ -37,6 +38,7 @@ impl<E: CompactElement> TrsmPlan<E> {
         count: usize,
         cfg: &TuningConfig,
     ) -> Result<Self, LayoutError> {
+        let _span = obs::phase(obs::Phase::PlanBuild);
         dims.validate()?;
         if count == 0 {
             return Err(LayoutError::EmptyDimension("batch count"));
@@ -61,6 +63,7 @@ impl<E: CompactElement> TrsmPlan<E> {
         let packs = count.div_ceil(E::P);
         let gp = group_packs(cfg.batch, cfg.l1_budget_bytes(), bytes_per_pack, packs);
 
+        obs::count_plan_build(obs::Op::Trsm, count);
         Ok(Self {
             dims,
             mode,
@@ -138,6 +141,7 @@ impl<E: CompactElement> TrsmPlan<E> {
         b: &mut CompactBatch<E>,
     ) -> Result<(), LayoutError> {
         self.validate(a, b)?;
+        obs::count_execute(obs::Op::Trsm);
         // α ≠ 1 must be folded in during a copy, so it forces panel packing.
         let pack_b = self.pack_b_structural || alpha != E::one();
         let panel_cap = self.panel_cap(pack_b);
@@ -152,6 +156,7 @@ impl<E: CompactElement> TrsmPlan<E> {
             let (buf_a, buf_panel) = buf.split_two(self.a_len * sb_packs, panel_cap);
             // Packing phase: coefficient triangles for the whole super-block.
             for slot in 0..sb_packs {
+                let _span = obs::phase(obs::Phase::PackA);
                 let pack = sb + slot;
                 let live = E::P.min(self.count - pack * E::P);
                 pk::pack_a_trsm::<E>(
@@ -162,6 +167,7 @@ impl<E: CompactElement> TrsmPlan<E> {
                     &self.a_blocks,
                     live,
                 );
+                obs::count_packed_bytes_a(self.a_len * core::mem::size_of::<E::Real>());
             }
             // Compute phase: per pack, per column panel, per diagonal block.
             for slot in 0..sb_packs {
@@ -201,6 +207,7 @@ impl<E: CompactElement> TrsmPlan<E> {
         let g = CompactBatch::<E>::GROUP;
         for &(j0, w) in &self.panels {
             let (panel_ptr, row_stride, col_stride) = if pack_b {
+                let _span = obs::phase(obs::Phase::Scale);
                 let len = pk::panel_b_len::<E>(self.map.t, w);
                 pk::pack_b_panel::<E>(
                     &mut buf_panel[..len],
@@ -211,6 +218,7 @@ impl<E: CompactElement> TrsmPlan<E> {
                     w,
                     alpha,
                 );
+                obs::count_packed_bytes_b(len * core::mem::size_of::<E::Real>());
                 (buf_panel.as_mut_ptr(), w * g, g)
             } else {
                 // Stream the compact B columns in place: row stride is one
@@ -218,26 +226,36 @@ impl<E: CompactElement> TrsmPlan<E> {
                 let ptr = unsafe { b_pack.as_mut_ptr().add(j0 * b_rows * g) };
                 (ptr, g, b_rows * g)
             };
-            for blk in &self.a_blocks {
-                // Safety: panel covers rows 0..t × w columns; the packed A
-                // strips cover blk's rect and triangle.
-                unsafe {
-                    E::trsm_kernel(
+            {
+                let _span = obs::phase(obs::Phase::Compute);
+                for blk in &self.a_blocks {
+                    obs::count_dispatch(
+                        obs::Op::Trsm,
                         blk.mb,
                         w,
-                        blk.r0,
-                        ab.as_ptr().add(blk.rect_off),
-                        g,
-                        blk.mb * g,
-                        ab.as_ptr().add(blk.tri_off),
-                        panel_ptr,
-                        blk.r0,
-                        row_stride,
-                        col_stride,
+                        blk.mb == E::TRSM_TB && w == E::TRSM_NR,
                     );
+                    // Safety: panel covers rows 0..t × w columns; the packed
+                    // A strips cover blk's rect and triangle.
+                    unsafe {
+                        E::trsm_kernel(
+                            blk.mb,
+                            w,
+                            blk.r0,
+                            ab.as_ptr().add(blk.rect_off),
+                            g,
+                            blk.mb * g,
+                            ab.as_ptr().add(blk.tri_off),
+                            panel_ptr,
+                            blk.r0,
+                            row_stride,
+                            col_stride,
+                        );
+                    }
                 }
             }
             if pack_b {
+                let _span = obs::phase(obs::Phase::Unpack);
                 let len = pk::panel_b_len::<E>(self.map.t, w);
                 pk::unpack_b_panel::<E>(&buf_panel[..len], b_pack, b_rows, &self.map, j0, w);
             }
@@ -256,6 +274,7 @@ impl<E: CompactElement> TrsmPlan<E> {
     ) -> Result<(), LayoutError> {
         use rayon::prelude::*;
         self.validate(a, b)?;
+        obs::count_execute(obs::Op::Trsm);
         let pack_b = self.pack_b_structural || alpha != E::one();
         let panel_cap = self.panel_cap(pack_b);
         let b_rows = b.rows();
@@ -268,14 +287,18 @@ impl<E: CompactElement> TrsmPlan<E> {
             .for_each_init(PackBuffer::<E::Real>::new, |buf, (pack, b_pack)| {
                 let (buf_a, buf_panel) = buf.split_two(self.a_len, panel_cap);
                 let live = E::P.min(count - pack * E::P);
-                pk::pack_a_trsm::<E>(
-                    buf_a,
-                    a.pack_slice(pack),
-                    a_rows,
-                    &self.map,
-                    &self.a_blocks,
-                    live,
-                );
+                {
+                    let _span = obs::phase(obs::Phase::PackA);
+                    pk::pack_a_trsm::<E>(
+                        buf_a,
+                        a.pack_slice(pack),
+                        a_rows,
+                        &self.map,
+                        &self.a_blocks,
+                        live,
+                    );
+                    obs::count_packed_bytes_a(self.a_len * core::mem::size_of::<E::Real>());
+                }
                 self.solve_pack(alpha, pack_b, buf_a, buf_panel, b_pack, b_rows);
             });
         Ok(())
@@ -313,7 +336,62 @@ impl<E: CompactElement> TrsmPlan<E> {
             }
             sb += sb_packs;
         }
+        obs::count_plan_commands(out.len());
         out
+    }
+
+    /// Structured description of what one `execute()` will do. `k` is 0
+    /// (triangular op); tile classes are diagonal blocks × column panels.
+    /// Predicted packed bytes assume α = 1 (α ≠ 1 additionally forces
+    /// panel packing at execute time).
+    pub fn explain(&self) -> obs::PlanExplain {
+        let main = (E::TRSM_TB, E::TRSM_NR);
+        let classes = ex::tile_classes(
+            self.blocks
+                .iter()
+                .flat_map(|&(_, mb)| self.panels.iter().map(move |&(_, w)| (mb, w))),
+            main,
+        );
+        let scalar_bytes = core::mem::size_of::<E::Real>() as u64;
+        let t = self.map.t;
+        // left-looking solve: t(t+1)/2 MACs (counting the diagonal
+        // division as one) per B column
+        let macs = (t * (t + 1) / 2 * self.map.bn * self.count) as u64;
+        let panel_bytes: usize = if self.pack_b_structural {
+            self.panels
+                .iter()
+                .map(|&(_, w)| pk::panel_b_len::<E>(t, w))
+                .sum()
+        } else {
+            0
+        };
+        obs::PlanExplain {
+            op: "trsm".into(),
+            dtype: E::DTYPE.to_string(),
+            m: self.dims.m,
+            n: self.dims.n,
+            k: 0,
+            mode: self.mode.to_string(),
+            count: self.count,
+            p: E::P,
+            packs: self.packs,
+            group_packs: self.group_packs,
+            main_kernel: main,
+            main_area_fraction: ex::main_area_fraction(&classes, t * self.map.bn),
+            pack_a: "packed".into(),
+            pack_b: if self.pack_b_structural {
+                "packed"
+            } else {
+                "on-demand"
+            }
+            .into(),
+            predicted_flops: E::DTYPE.flops_per_mac() as u64 * macs,
+            predicted_packed_bytes: ((self.a_len + panel_bytes) * self.packs) as u64
+                * scalar_bytes,
+            predicted_dispatches: (self.blocks.len() * self.panels.len() * self.packs) as u64,
+            kernels: ex::trsm_kernel_stats(E::DTYPE, &self.blocks, &self.panels),
+            tile_classes: classes,
+        }
     }
 }
 

@@ -1,0 +1,142 @@
+//! Integration test for the observability layer: the plan explainer's
+//! static predictions must agree exactly with the runtime counters after
+//! one `execute()`. Compiled only with `--features obs` (without it the
+//! counters are no-ops and there is nothing to observe).
+//!
+//! Everything lives in ONE test function: the metrics registry is global
+//! and the harness runs test functions concurrently.
+
+#![cfg(feature = "obs")]
+
+use iatf_core::obs;
+use iatf_core::{GemmPlan, TrmmPlan, TrsmPlan, TuningConfig};
+use iatf_layout::{CompactBatch, GemmDims, GemmMode, TrsmDims, TrsmMode};
+
+fn dispatch_total(snap: &obs::MetricsSnapshot, op: obs::Op) -> u64 {
+    snap.dispatch
+        .iter()
+        .filter(|d| d.op == op)
+        .map(|d| d.count)
+        .sum()
+}
+
+#[test]
+fn explainer_predictions_match_observed_counters() {
+    let cfg = TuningConfig::default();
+
+    // --- GEMM: 7×6×5 f64, batch of 5 (edge tiles in both dimensions) ---
+    obs::reset();
+    let plan =
+        GemmPlan::<f64>::new(GemmDims::new(7, 6, 5), GemmMode::NN, false, false, 5, &cfg)
+            .unwrap();
+    let ex = plan.explain();
+    let a = CompactBatch::<f64>::zeroed(7, 5, 5);
+    let b = CompactBatch::<f64>::zeroed(5, 6, 5);
+    let mut c = CompactBatch::<f64>::zeroed(7, 6, 5);
+    plan.execute(1.0, &a, &b, 1.0, &mut c).unwrap();
+
+    let snap = obs::snapshot();
+    assert!(snap.enabled);
+    assert_eq!(snap.plan_builds, [1, 0, 0]);
+    assert_eq!(snap.executes, [1, 0, 0]);
+    assert_eq!(dispatch_total(&snap, obs::Op::Gemm), ex.predicted_dispatches);
+    // per-tile-class: explainer multiplicity × packs == observed slot count
+    for t in &ex.tile_classes {
+        assert_eq!(
+            obs::dispatch_count(obs::Op::Gemm, t.mr, t.nr),
+            (t.tiles * ex.packs) as u64,
+            "tile class {}x{}",
+            t.mr,
+            t.nr
+        );
+    }
+    assert_eq!(
+        snap.packed_bytes_a + snap.packed_bytes_b,
+        ex.predicted_packed_bytes
+    );
+    // 7×6 over a 4×4 main kernel: main tile hits exist, edges exist
+    assert!(snap.main_tile_hits > 0);
+    assert!(snap.edge_tile_hits > 0);
+    assert!(snap.edge_rate() > 0.0 && snap.edge_rate() < 1.0);
+    // pack + compute phases were timed
+    let phase_calls = |p: obs::Phase| {
+        snap.phases
+            .iter()
+            .find(|s| s.phase == p)
+            .map(|s| s.calls)
+            .unwrap_or(0)
+    };
+    assert_eq!(phase_calls(obs::Phase::PlanBuild), 1);
+    assert_eq!(phase_calls(obs::Phase::PackA), ex.packs as u64);
+    assert_eq!(phase_calls(obs::Phase::PackB), ex.packs as u64);
+    assert_eq!(phase_calls(obs::Phase::Compute), ex.packs as u64);
+
+    // the command-queue rendering counts its commands
+    let n_cmds = plan.commands().len();
+    assert_eq!(obs::snapshot().plan_commands, n_cmds as u64);
+
+    // --- TRSM: 9×4 f64 LNUN (reversal forces structural packing) ---
+    obs::reset();
+    let plan = TrsmPlan::<f64>::new(TrsmDims::new(9, 4), TrsmMode::LNUN, false, 3, &cfg).unwrap();
+    let ex = plan.explain();
+    let a = CompactBatch::<f64>::zeroed(9, 9, 3);
+    let mut bb = CompactBatch::<f64>::zeroed(9, 4, 3);
+    plan.execute(1.0, &a, &mut bb).unwrap();
+
+    let snap = obs::snapshot();
+    assert_eq!(snap.plan_builds, [0, 1, 0]);
+    assert_eq!(snap.executes, [0, 1, 0]);
+    assert_eq!(dispatch_total(&snap, obs::Op::Trsm), ex.predicted_dispatches);
+    for t in &ex.tile_classes {
+        assert_eq!(
+            obs::dispatch_count(obs::Op::Trsm, t.mr, t.nr),
+            (t.tiles * ex.packs) as u64
+        );
+    }
+    assert_eq!(ex.pack_b, "packed");
+    assert_eq!(
+        snap.packed_bytes_a + snap.packed_bytes_b,
+        ex.predicted_packed_bytes
+    );
+    // structural packing stages panels (Scale) and scatters them back
+    assert!(phase_calls_of(&snap, obs::Phase::Scale) > 0);
+    assert_eq!(
+        phase_calls_of(&snap, obs::Phase::Scale),
+        phase_calls_of(&snap, obs::Phase::Unpack)
+    );
+    // real TRSM has install-time kernel stats
+    assert!(!ex.kernels.is_empty());
+    for ks in &ex.kernels {
+        assert!(ks.insts > 0);
+        assert!(ks.cycles_after <= ks.cycles_before);
+        assert!(ks.port_bound <= ks.cycles_after);
+    }
+
+    // --- TRMM: 5×4 c32 (complex path, canonical mode streams B) ---
+    obs::reset();
+    let plan = TrmmPlan::<iatf_simd::c32>::new(TrsmDims::new(5, 4), TrsmMode::LNLN, false, 4, &cfg)
+        .unwrap();
+    let ex = plan.explain();
+    let a = CompactBatch::<iatf_simd::c32>::zeroed(5, 5, 4);
+    let mut bb = CompactBatch::<iatf_simd::c32>::zeroed(5, 4, 4);
+    plan.execute(iatf_simd::Element::from_f64s(1.0, 0.0), &a, &mut bb)
+        .unwrap();
+
+    let snap = obs::snapshot();
+    assert_eq!(snap.plan_builds, [0, 0, 1]);
+    assert_eq!(snap.executes, [0, 0, 1]);
+    assert_eq!(dispatch_total(&snap, obs::Op::Trmm), ex.predicted_dispatches);
+    assert_eq!(ex.pack_b, "direct");
+    assert_eq!(snap.packed_bytes_b, 0);
+    assert_eq!(snap.packed_bytes_a, ex.predicted_packed_bytes);
+    // no complex TRMM generator: explainer reports no kernel stats
+    assert!(ex.kernels.is_empty());
+}
+
+fn phase_calls_of(snap: &obs::MetricsSnapshot, p: obs::Phase) -> u64 {
+    snap.phases
+        .iter()
+        .find(|s| s.phase == p)
+        .map(|s| s.calls)
+        .unwrap_or(0)
+}

@@ -1,0 +1,280 @@
+//! Structured plan-explain reports.
+//!
+//! These types are the *schema* of `GemmPlan::explain()` /
+//! `TrsmPlan::explain()` / `TrmmPlan::explain()` in `iatf-core`: a
+//! plain-data description of what a plan will do — kernel sizes, tile
+//! grid, pack strategy, predicted work — plus install-time static stats
+//! for each kernel the plan can dispatch. They are always available (not
+//! feature-gated): explaining a plan is a cold-path operation.
+
+use crate::json::Json;
+
+/// Human- and machine-readable description of one execution plan.
+#[derive(Clone, Debug)]
+pub struct PlanExplain {
+    /// Routine: `"gemm"`, `"trsm"`, or `"trmm"`.
+    pub op: String,
+    /// Element type: `"f32"`, `"f64"`, `"c32"`, `"c64"`.
+    pub dtype: String,
+    /// Problem shape `m × n × k` (`k == 0` for triangular ops, where the
+    /// triangle side is `m` or `n` depending on `side`).
+    pub m: usize,
+    /// Columns of the output.
+    pub n: usize,
+    /// Inner dimension (GEMM only).
+    pub k: usize,
+    /// Mode string (transpose/side/uplo/diag as rendered by the layout
+    /// types, e.g. `"NT"` or `"LNLN"`).
+    pub mode: String,
+    /// Batch count (number of matrices).
+    pub count: usize,
+    /// Interleave width `P` (matrices per pack).
+    pub p: usize,
+    /// Number of packs (`⌈count / P⌉`).
+    pub packs: usize,
+    /// Packs per super-block chosen by the Batch Counter.
+    pub group_packs: usize,
+    /// Main register-tile kernel `(mr, nr)`.
+    pub main_kernel: (usize, usize),
+    /// Every distinct tile size in the grid with its multiplicity.
+    pub tile_classes: Vec<TileClass>,
+    /// Fraction of the output area covered by the main kernel, in `[0,1]`.
+    pub main_area_fraction: f64,
+    /// Pack decision for operand A: `"packed"` or `"direct"`.
+    pub pack_a: String,
+    /// Pack decision for operand B: `"packed"`, `"direct"`, or
+    /// `"on-demand"` (TRSM/TRMM panel staging).
+    pub pack_b: String,
+    /// Predicted real-arithmetic FLOPs for one `execute()` over the whole
+    /// batch.
+    pub predicted_flops: u64,
+    /// Predicted bytes written into packing buffers by one `execute()`.
+    pub predicted_packed_bytes: u64,
+    /// Predicted kernel dispatches for one `execute()`.
+    pub predicted_dispatches: u64,
+    /// Install-time static stats per dispatchable kernel (empty where no
+    /// generator exists for the element type).
+    pub kernels: Vec<KernelStats>,
+}
+
+/// One distinct tile size within a plan's grid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TileClass {
+    /// Tile rows.
+    pub mr: usize,
+    /// Tile columns.
+    pub nr: usize,
+    /// Tiles of this size per matrix (one pack, one pass).
+    pub tiles: usize,
+    /// Whether this is the plan's main kernel size.
+    pub is_main: bool,
+}
+
+/// Install-time scheduling stats for one generated kernel (the Fig. 5
+/// story: modeled cycles before/after the scheduling optimizer, against
+/// the issue-port lower bound).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Tile rows.
+    pub mr: usize,
+    /// Tile columns.
+    pub nr: usize,
+    /// Depth the kernel was generated for.
+    pub k: usize,
+    /// Instructions in the generated kernel.
+    pub insts: u64,
+    /// Modeled cycles before scheduling.
+    pub cycles_before: u64,
+    /// Modeled cycles after scheduling.
+    pub cycles_after: u64,
+    /// Issue-port lower bound on cycles.
+    pub port_bound: u64,
+}
+
+impl TileClass {
+    /// JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .set("mr", self.mr)
+            .set("nr", self.nr)
+            .set("tiles", self.tiles)
+            .set("is_main", self.is_main)
+    }
+}
+
+impl KernelStats {
+    /// JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .set("mr", self.mr)
+            .set("nr", self.nr)
+            .set("k", self.k)
+            .set("insts", self.insts)
+            .set("cycles_before", self.cycles_before)
+            .set("cycles_after", self.cycles_after)
+            .set("port_bound", self.port_bound)
+    }
+}
+
+impl PlanExplain {
+    /// Total tiles per matrix across all classes.
+    pub fn tiles_per_matrix(&self) -> usize {
+        self.tile_classes.iter().map(|t| t.tiles).sum()
+    }
+
+    /// JSON form (the schema documented in the README).
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .set("op", self.op.as_str())
+            .set("dtype", self.dtype.as_str())
+            .set(
+                "dims",
+                Json::object().set("m", self.m).set("n", self.n).set("k", self.k),
+            )
+            .set("mode", self.mode.as_str())
+            .set("count", self.count)
+            .set("p", self.p)
+            .set("packs", self.packs)
+            .set("group_packs", self.group_packs)
+            .set(
+                "main_kernel",
+                Json::object()
+                    .set("mr", self.main_kernel.0)
+                    .set("nr", self.main_kernel.1),
+            )
+            .set(
+                "tile_classes",
+                self.tile_classes.iter().map(TileClass::to_json).collect::<Vec<_>>(),
+            )
+            .set("main_area_fraction", self.main_area_fraction)
+            .set(
+                "pack",
+                Json::object()
+                    .set("a", self.pack_a.as_str())
+                    .set("b", self.pack_b.as_str()),
+            )
+            .set("predicted_flops", self.predicted_flops)
+            .set("predicted_packed_bytes", self.predicted_packed_bytes)
+            .set("predicted_dispatches", self.predicted_dispatches)
+            .set(
+                "kernels",
+                self.kernels.iter().map(KernelStats::to_json).collect::<Vec<_>>(),
+            )
+    }
+
+    /// Multi-line human-readable rendering (used by `plan_inspect`).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} {}  {}x{}x{}  mode={}  count={} (P={}, packs={}, group={})",
+            self.op, self.dtype, self.m, self.n, self.k, self.mode, self.count, self.p,
+            self.packs, self.group_packs,
+        );
+        let _ = writeln!(
+            out,
+            "  main kernel {}x{}  main-area {:.1}%  pack A={} B={}",
+            self.main_kernel.0,
+            self.main_kernel.1,
+            100.0 * self.main_area_fraction,
+            self.pack_a,
+            self.pack_b,
+        );
+        for t in &self.tile_classes {
+            let _ = writeln!(
+                out,
+                "  tile {}x{} x{}{}",
+                t.mr,
+                t.nr,
+                t.tiles,
+                if t.is_main { "  (main)" } else { "" },
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  predicted: {} dispatches, {} flops, {} packed bytes",
+            self.predicted_dispatches, self.predicted_flops, self.predicted_packed_bytes,
+        );
+        for ks in &self.kernels {
+            let _ = writeln!(
+                out,
+                "  kernel {}x{} (k={}): {} insts, {} -> {} cycles (port bound {})",
+                ks.mr, ks.nr, ks.k, ks.insts, ks.cycles_before, ks.cycles_after, ks.port_bound,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PlanExplain {
+        PlanExplain {
+            op: "gemm".into(),
+            dtype: "f64".into(),
+            m: 10,
+            n: 10,
+            k: 8,
+            mode: "NN".into(),
+            count: 7,
+            p: 2,
+            packs: 4,
+            group_packs: 2,
+            main_kernel: (4, 4),
+            tile_classes: vec![
+                TileClass { mr: 4, nr: 4, tiles: 4, is_main: true },
+                TileClass { mr: 2, nr: 4, tiles: 2, is_main: false },
+                TileClass { mr: 4, nr: 2, tiles: 2, is_main: false },
+                TileClass { mr: 2, nr: 2, tiles: 1, is_main: false },
+            ],
+            main_area_fraction: 0.64,
+            pack_a: "packed".into(),
+            pack_b: "direct".into(),
+            predicted_flops: 11200,
+            predicted_packed_bytes: 5120,
+            predicted_dispatches: 36,
+            kernels: vec![KernelStats {
+                mr: 4,
+                nr: 4,
+                k: 8,
+                insts: 224,
+                cycles_before: 293,
+                cycles_after: 154,
+                port_bound: 144,
+            }],
+        }
+    }
+
+    #[test]
+    fn tiles_per_matrix_sums_classes() {
+        assert_eq!(sample().tiles_per_matrix(), 9);
+    }
+
+    #[test]
+    fn json_has_documented_keys() {
+        let s = sample().to_json().to_compact();
+        for key in [
+            "\"op\"",
+            "\"dims\"",
+            "\"main_kernel\"",
+            "\"tile_classes\"",
+            "\"main_area_fraction\"",
+            "\"predicted_flops\"",
+            "\"predicted_dispatches\"",
+            "\"kernels\"",
+            "\"port_bound\"",
+        ] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+
+    #[test]
+    fn text_rendering_mentions_main_kernel() {
+        let txt = sample().render_text();
+        assert!(txt.contains("main kernel 4x4"));
+        assert!(txt.contains("(main)"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Hand-rolled JSON document model and serializer.
+//!
+//! No external serialization crates are available in this build
+//! environment, so telemetry export is built on this small value tree.
+//! Numbers keep their integer/float distinction (`u64` counters must not
+//! round-trip through `f64`, which loses precision past 2^53).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer (counters).
+    UInt(u64),
+    /// Signed integer.
+    Int(i64),
+    /// Finite float; NaN/inf serialize as `null` (JSON has no spelling for
+    /// them).
+    Float(f64),
+    /// String (escaped on output).
+    Str(String),
+    /// Array.
+    Array(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object builder starting empty.
+    pub fn object() -> Self {
+        Json::Object(Vec::new())
+    }
+
+    /// Adds/overwrites a key on an object (panics on non-objects — a
+    /// programming error, not a data error).
+    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Self {
+        match &mut self {
+            Json::Object(entries) => {
+                let value = value.into();
+                if let Some(e) = entries.iter_mut().find(|(k, _)| k == key) {
+                    e.1 = value;
+                } else {
+                    entries.push((key.to_string(), value));
+                }
+            }
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) => {
+                if v.is_finite() {
+                    // Ensure a decimal point or exponent so readers see a float.
+                    let s = format!("{v}");
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, depth + 1);
+                });
+            }
+            Json::Object(entries) => {
+                write_seq(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                    let (k, v) = &entries[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::UInt(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::UInt(v as u64)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::UInt(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Float(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Self {
+        Json::Array(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_numbers() {
+        let doc = Json::object()
+            .set("name", "tab\there \"quoted\"")
+            .set("big", u64::MAX)
+            .set("neg", -3i64)
+            .set("frac", 0.5f64)
+            .set("whole_float", 2.0f64)
+            .set("nan", f64::NAN)
+            .set("flag", true)
+            .set("items", vec![Json::UInt(1), Json::Null]);
+        let s = doc.to_compact();
+        assert_eq!(
+            s,
+            "{\"name\":\"tab\\there \\\"quoted\\\"\",\"big\":18446744073709551615,\
+             \"neg\":-3,\"frac\":0.5,\"whole_float\":2.0,\"nan\":null,\"flag\":true,\
+             \"items\":[1,null]}"
+        );
+    }
+
+    #[test]
+    fn pretty_round_trips_structure() {
+        let doc = Json::object().set("a", Json::object().set("b", 1u64)).set(
+            "c",
+            Json::Array(vec![Json::Bool(false)]),
+        );
+        let pretty = doc.to_pretty();
+        assert!(pretty.contains("\"a\": {\n    \"b\": 1\n  }"));
+        assert!(pretty.starts_with("{\n"));
+        assert!(pretty.ends_with("\n}"));
+    }
+
+    #[test]
+    fn set_overwrites_existing_key() {
+        let doc = Json::object().set("k", 1u64).set("k", 2u64);
+        assert_eq!(doc.to_compact(), "{\"k\":2}");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::object().to_pretty(), "{}");
+        assert_eq!(Json::Array(vec![]).to_compact(), "[]");
+    }
+}

@@ -1,0 +1,112 @@
+//! Zero-cost instrumentation for the IATF runtime.
+//!
+//! Three facilities, one crate, no dependencies:
+//!
+//! * [`metrics`] — a global registry of relaxed atomic counters and log2
+//!   histograms: plan builds, command counts, kernel dispatches keyed by
+//!   `(op, mr, nr)`, packed bytes, and main/edge/fallback hit rates.
+//! * [`timer`] — scoped monotonic phase timers ([`timer::phase`] returns a
+//!   guard that records on drop) covering plan build, pack-A, pack-B,
+//!   compute, scale, and unpack phases.
+//! * [`explain`] — the schema of the plan explainers (`*Plan::explain()`
+//!   in `iatf-core`): structured, JSON-exportable descriptions of what a
+//!   plan will do, including install-time kernel scheduling stats.
+//!
+//! The counters and timers are compile-time no-ops unless the `enabled`
+//! cargo feature is on (`--features obs` at the workspace level): probe
+//! functions are empty `#[inline(always)]` bodies and the timing guard is
+//! a zero-sized type without a `Drop` impl. The explainers and the
+//! [`json`] serializer are *not* gated — explaining a plan is a cold-path
+//! operation and always available.
+
+pub mod explain;
+pub mod json;
+pub mod metrics;
+pub mod timer;
+
+pub use explain::{KernelStats, PlanExplain, TileClass};
+pub use json::Json;
+pub use metrics::{
+    count_dispatch, count_execute, count_fallback, count_packed_bytes_a, count_packed_bytes_b,
+    count_plan_build, count_plan_commands, dispatch_count, is_enabled, reset, snapshot,
+    DispatchCount, MetricsSnapshot, Op, PhaseSnapshot,
+};
+pub use timer::{phase, Phase, PhaseGuard};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All counter-dependent assertions live in one test: the registry is
+    /// global and the test harness runs tests concurrently.
+    #[test]
+    fn counters_roundtrip_or_noop() {
+        reset();
+        count_plan_build(Op::Gemm, 12);
+        count_plan_build(Op::Gemm, 3);
+        count_plan_build(Op::Trsm, 5);
+        count_plan_commands(7);
+        count_execute(Op::Gemm);
+        count_dispatch(Op::Gemm, 4, 4, true);
+        count_dispatch(Op::Gemm, 4, 4, true);
+        count_dispatch(Op::Gemm, 2, 4, false);
+        count_fallback();
+        count_packed_bytes_a(1024);
+        count_packed_bytes_b(2048);
+        {
+            let _guard = phase(Phase::Unpack);
+            std::hint::black_box(0u64);
+        }
+        let s = snapshot();
+        if is_enabled() {
+            assert!(s.enabled);
+            assert_eq!(s.plan_builds, [2, 1, 0]);
+            assert_eq!(s.plan_commands, 7);
+            assert_eq!(s.executes, [1, 0, 0]);
+            assert_eq!(dispatch_count(Op::Gemm, 4, 4), 2);
+            assert_eq!(dispatch_count(Op::Gemm, 2, 4), 1);
+            assert_eq!(s.main_tile_hits, 2);
+            assert_eq!(s.edge_tile_hits, 1);
+            assert_eq!(s.fallback_hits, 1);
+            assert_eq!(s.packed_bytes_a, 1024);
+            assert_eq!(s.packed_bytes_b, 2048);
+            assert!((s.edge_rate() - 1.0 / 3.0).abs() < 1e-12);
+            // batch counts 12, 3, 5 land in log2 buckets 4, 2, 3
+            assert_eq!(s.batch_counts[4], 1);
+            assert_eq!(s.batch_counts[2], 1);
+            assert_eq!(s.batch_counts[3], 1);
+            let unpack = &s.phases[Phase::Unpack as usize];
+            assert_eq!(unpack.phase, Phase::Unpack);
+            assert_eq!(unpack.calls, 1);
+            assert_eq!(unpack.hist.iter().sum::<u64>(), 1);
+            reset();
+            let z = snapshot();
+            assert_eq!(z.plan_builds, [0, 0, 0]);
+            assert!(z.dispatch.is_empty());
+        } else {
+            // Feature off: every probe is a no-op and snapshots are zeroed.
+            assert!(!s.enabled);
+            assert_eq!(s.plan_builds, [0, 0, 0]);
+            assert_eq!(s.plan_commands, 0);
+            assert_eq!(dispatch_count(Op::Gemm, 4, 4), 0);
+            assert!(s.dispatch.is_empty());
+            assert!(s.phases.is_empty());
+            assert_eq!(s.edge_rate(), 0.0);
+        }
+    }
+
+    #[test]
+    fn snapshot_serializes_to_valid_shaped_json() {
+        let s = snapshot().to_json().to_pretty();
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        for key in [
+            "\"enabled\"",
+            "\"plan_builds\"",
+            "\"kernel_dispatches\"",
+            "\"packed_bytes\"",
+            "\"phases\"",
+        ] {
+            assert!(s.contains(key), "missing {key}");
+        }
+    }
+}

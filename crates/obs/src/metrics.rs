@@ -1,0 +1,466 @@
+//! Global metrics registry: relaxed atomic counters and log2 histograms.
+//!
+//! Every probe in this module is `#[inline(always)]` and compiles to an
+//! empty body unless the `enabled` cargo feature is on, so instrumented
+//! call sites in the planner/executor hot paths cost nothing by default.
+//! With the feature on, counters are relaxed atomics — safe under the
+//! `parallel` execution path, imprecise only in ordering, never in totals.
+
+use crate::json::Json;
+use crate::timer::Phase;
+#[cfg(feature = "enabled")]
+use crate::timer::PHASES;
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+#[cfg(feature = "enabled")]
+use std::sync::OnceLock;
+
+/// Which BLAS-3 routine a probe refers to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Batched compact GEMM.
+    Gemm = 0,
+    /// Batched compact TRSM.
+    Trsm = 1,
+    /// Batched compact TRMM.
+    Trmm = 2,
+}
+
+/// All ops, in counter-slot order.
+pub const OPS: [Op; 3] = [Op::Gemm, Op::Trsm, Op::Trmm];
+
+impl Op {
+    /// Lower-case routine name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Gemm => "gemm",
+            Op::Trsm => "trsm",
+            Op::Trmm => "trmm",
+        }
+    }
+}
+
+/// Kernel register-tile sides never exceed 5 (`TRSM_TMAX`); 8 leaves slack.
+pub const MAX_TILE_SIDE: usize = 8;
+
+/// Number of log2 buckets: bucket `i` holds values `v` with
+/// `bit_length(v) == i`, i.e. bucket 0 is `v == 0`, bucket 1 is `v == 1`,
+/// bucket `i` is `2^(i-1) <= v < 2^i`.
+pub const HIST_BUCKETS: usize = 65;
+
+#[cfg(feature = "enabled")]
+struct Histogram {
+    buckets: Vec<AtomicU64>,
+}
+
+#[cfg(feature = "enabled")]
+impl Histogram {
+    fn new() -> Self {
+        Self {
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn record(&self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Relaxed);
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Relaxed)).collect()
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Relaxed);
+        }
+    }
+}
+
+#[cfg(feature = "enabled")]
+struct Registry {
+    plan_builds: [AtomicU64; 3],
+    plan_commands: AtomicU64,
+    executes: [AtomicU64; 3],
+    dispatch: Vec<AtomicU64>, // [op][mr][nr] flattened
+    main_tile_hits: AtomicU64,
+    edge_tile_hits: AtomicU64,
+    fallback_hits: AtomicU64,
+    packed_bytes_a: AtomicU64,
+    packed_bytes_b: AtomicU64,
+    batch_counts: Histogram,
+    phase_ns: [AtomicU64; PHASES.len()],
+    phase_calls: [AtomicU64; PHASES.len()],
+    phase_hist: Vec<Histogram>,
+}
+
+#[cfg(feature = "enabled")]
+impl Registry {
+    fn new() -> Self {
+        Self {
+            plan_builds: Default::default(),
+            plan_commands: AtomicU64::new(0),
+            executes: Default::default(),
+            dispatch: (0..3 * MAX_TILE_SIDE * MAX_TILE_SIDE)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            main_tile_hits: AtomicU64::new(0),
+            edge_tile_hits: AtomicU64::new(0),
+            fallback_hits: AtomicU64::new(0),
+            packed_bytes_a: AtomicU64::new(0),
+            packed_bytes_b: AtomicU64::new(0),
+            batch_counts: Histogram::new(),
+            phase_ns: Default::default(),
+            phase_calls: Default::default(),
+            phase_hist: (0..PHASES.len()).map(|_| Histogram::new()).collect(),
+        }
+    }
+
+    fn dispatch_slot(&self, op: Op, mr: usize, nr: usize) -> &AtomicU64 {
+        let mr = mr.min(MAX_TILE_SIDE - 1);
+        let nr = nr.min(MAX_TILE_SIDE - 1);
+        &self.dispatch[(op as usize * MAX_TILE_SIDE + mr) * MAX_TILE_SIDE + nr]
+    }
+}
+
+#[cfg(feature = "enabled")]
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// One plan was built for `op` over a batch of `count` matrices.
+#[inline(always)]
+pub fn count_plan_build(op: Op, count: usize) {
+    #[cfg(feature = "enabled")]
+    {
+        let r = registry();
+        r.plan_builds[op as usize].fetch_add(1, Relaxed);
+        r.batch_counts.record(count as u64);
+    }
+    #[cfg(not(feature = "enabled"))]
+    let _ = (op, count);
+}
+
+/// A plan rendered `n` commands in its command-queue view.
+#[inline(always)]
+pub fn count_plan_commands(n: usize) {
+    #[cfg(feature = "enabled")]
+    registry().plan_commands.fetch_add(n as u64, Relaxed);
+    #[cfg(not(feature = "enabled"))]
+    let _ = n;
+}
+
+/// One `execute()` call ran for `op`.
+#[inline(always)]
+pub fn count_execute(op: Op) {
+    #[cfg(feature = "enabled")]
+    registry().executes[op as usize].fetch_add(1, Relaxed);
+    #[cfg(not(feature = "enabled"))]
+    let _ = op;
+}
+
+/// One register-tile kernel dispatch of size `mr × nr`; `main` says whether
+/// it was the plan's main kernel (vs an edge kernel).
+#[inline(always)]
+pub fn count_dispatch(op: Op, mr: usize, nr: usize, main: bool) {
+    #[cfg(feature = "enabled")]
+    {
+        let r = registry();
+        r.dispatch_slot(op, mr, nr).fetch_add(1, Relaxed);
+        if main {
+            r.main_tile_hits.fetch_add(1, Relaxed);
+        } else {
+            r.edge_tile_hits.fetch_add(1, Relaxed);
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    let _ = (op, mr, nr, main);
+}
+
+/// A call was served through a non-compact fallback route (convert to the
+/// compact layout, run, convert back) instead of natively on compact
+/// operands.
+#[inline(always)]
+pub fn count_fallback() {
+    #[cfg(feature = "enabled")]
+    registry().fallback_hits.fetch_add(1, Relaxed);
+}
+
+/// `bytes` of operand-A data were written into a packing buffer.
+#[inline(always)]
+pub fn count_packed_bytes_a(bytes: usize) {
+    #[cfg(feature = "enabled")]
+    registry().packed_bytes_a.fetch_add(bytes as u64, Relaxed);
+    #[cfg(not(feature = "enabled"))]
+    let _ = bytes;
+}
+
+/// `bytes` of operand-B data were written into a packing buffer.
+#[inline(always)]
+pub fn count_packed_bytes_b(bytes: usize) {
+    #[cfg(feature = "enabled")]
+    registry().packed_bytes_b.fetch_add(bytes as u64, Relaxed);
+    #[cfg(not(feature = "enabled"))]
+    let _ = bytes;
+}
+
+/// One timed span of `phase` took `ns` nanoseconds (called by the guard in
+/// [`crate::timer`], not by instrumented code directly).
+#[inline(always)]
+pub fn record_phase(phase: Phase, ns: u64) {
+    #[cfg(feature = "enabled")]
+    {
+        let r = registry();
+        r.phase_ns[phase as usize].fetch_add(ns, Relaxed);
+        r.phase_calls[phase as usize].fetch_add(1, Relaxed);
+        r.phase_hist[phase as usize].record(ns);
+    }
+    #[cfg(not(feature = "enabled"))]
+    let _ = (phase, ns);
+}
+
+/// Current dispatch count for one `(op, mr, nr)` kernel slot. Always 0 with
+/// the feature off.
+pub fn dispatch_count(op: Op, mr: usize, nr: usize) -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        registry().dispatch_slot(op, mr, nr).load(Relaxed)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = (op, mr, nr);
+        0
+    }
+}
+
+/// Zeroes every counter and histogram (test isolation; with the feature off
+/// there is nothing to zero).
+pub fn reset() {
+    #[cfg(feature = "enabled")]
+    {
+        let r = registry();
+        for c in &r.plan_builds {
+            c.store(0, Relaxed);
+        }
+        r.plan_commands.store(0, Relaxed);
+        for c in &r.executes {
+            c.store(0, Relaxed);
+        }
+        for c in &r.dispatch {
+            c.store(0, Relaxed);
+        }
+        r.main_tile_hits.store(0, Relaxed);
+        r.edge_tile_hits.store(0, Relaxed);
+        r.fallback_hits.store(0, Relaxed);
+        r.packed_bytes_a.store(0, Relaxed);
+        r.packed_bytes_b.store(0, Relaxed);
+        r.batch_counts.reset();
+        for c in &r.phase_ns {
+            c.store(0, Relaxed);
+        }
+        for c in &r.phase_calls {
+            c.store(0, Relaxed);
+        }
+        for h in &r.phase_hist {
+            h.reset();
+        }
+    }
+}
+
+/// Whether the `enabled` feature was compiled in.
+pub const fn is_enabled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+/// Point-in-time copy of every metric (all zeros with the feature off).
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Whether counters were compiled in (`false` ⇒ all fields are zero).
+    pub enabled: bool,
+    /// Plans built, per op (`OPS` order).
+    pub plan_builds: [u64; 3],
+    /// Total commands across all `commands()` renderings.
+    pub plan_commands: u64,
+    /// `execute()` calls, per op.
+    pub executes: [u64; 3],
+    /// Non-zero kernel-dispatch slots.
+    pub dispatch: Vec<DispatchCount>,
+    /// Dispatches that used the plan's main kernel.
+    pub main_tile_hits: u64,
+    /// Dispatches that used an edge kernel.
+    pub edge_tile_hits: u64,
+    /// Calls routed to a non-compact fallback.
+    pub fallback_hits: u64,
+    /// Bytes packed into A-panel buffers.
+    pub packed_bytes_a: u64,
+    /// Bytes packed into B-panel buffers.
+    pub packed_bytes_b: u64,
+    /// log2 histogram of batch counts seen at plan build.
+    pub batch_counts: Vec<u64>,
+    /// Per-phase timing totals.
+    pub phases: Vec<PhaseSnapshot>,
+}
+
+/// One non-zero kernel-dispatch counter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DispatchCount {
+    /// Routine.
+    pub op: Op,
+    /// Tile rows.
+    pub mr: usize,
+    /// Tile columns.
+    pub nr: usize,
+    /// Dispatches observed.
+    pub count: u64,
+}
+
+/// Timing totals for one phase.
+#[derive(Clone, Debug)]
+pub struct PhaseSnapshot {
+    /// Which phase.
+    pub phase: Phase,
+    /// Spans recorded.
+    pub calls: u64,
+    /// Total nanoseconds across spans.
+    pub total_ns: u64,
+    /// log2 histogram of span durations (ns).
+    pub hist: Vec<u64>,
+}
+
+/// Snapshot of the global registry.
+pub fn snapshot() -> MetricsSnapshot {
+    #[cfg(feature = "enabled")]
+    {
+        let r = registry();
+        let mut dispatch = Vec::new();
+        for op in OPS {
+            for mr in 0..MAX_TILE_SIDE {
+                for nr in 0..MAX_TILE_SIDE {
+                    let count = r.dispatch_slot(op, mr, nr).load(Relaxed);
+                    if count > 0 {
+                        dispatch.push(DispatchCount { op, mr, nr, count });
+                    }
+                }
+            }
+        }
+        MetricsSnapshot {
+            enabled: true,
+            plan_builds: std::array::from_fn(|i| r.plan_builds[i].load(Relaxed)),
+            plan_commands: r.plan_commands.load(Relaxed),
+            executes: std::array::from_fn(|i| r.executes[i].load(Relaxed)),
+            dispatch,
+            main_tile_hits: r.main_tile_hits.load(Relaxed),
+            edge_tile_hits: r.edge_tile_hits.load(Relaxed),
+            fallback_hits: r.fallback_hits.load(Relaxed),
+            packed_bytes_a: r.packed_bytes_a.load(Relaxed),
+            packed_bytes_b: r.packed_bytes_b.load(Relaxed),
+            batch_counts: r.batch_counts.snapshot(),
+            phases: PHASES
+                .iter()
+                .map(|&p| PhaseSnapshot {
+                    phase: p,
+                    calls: r.phase_calls[p as usize].load(Relaxed),
+                    total_ns: r.phase_ns[p as usize].load(Relaxed),
+                    hist: r.phase_hist[p as usize].snapshot(),
+                })
+                .collect(),
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    MetricsSnapshot::default()
+}
+
+impl MetricsSnapshot {
+    /// Fraction of dispatches that hit an edge kernel (0 when none ran).
+    pub fn edge_rate(&self) -> f64 {
+        let total = self.main_tile_hits + self.edge_tile_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.edge_tile_hits as f64 / total as f64
+        }
+    }
+
+    /// JSON document for telemetry export.
+    pub fn to_json(&self) -> Json {
+        let dispatch = self
+            .dispatch
+            .iter()
+            .map(|d| {
+                Json::object()
+                    .set("op", d.op.name())
+                    .set("mr", d.mr)
+                    .set("nr", d.nr)
+                    .set("count", d.count)
+            })
+            .collect::<Vec<_>>();
+        let phases = self
+            .phases
+            .iter()
+            .map(|p| {
+                Json::object()
+                    .set("phase", p.phase.name())
+                    .set("calls", p.calls)
+                    .set("total_ns", p.total_ns)
+                    .set("hist_log2_ns", hist_json(&p.hist))
+            })
+            .collect::<Vec<_>>();
+        Json::object()
+            .set("enabled", self.enabled)
+            .set(
+                "plan_builds",
+                Json::object()
+                    .set("gemm", self.plan_builds[0])
+                    .set("trsm", self.plan_builds[1])
+                    .set("trmm", self.plan_builds[2]),
+            )
+            .set("plan_commands", self.plan_commands)
+            .set(
+                "executes",
+                Json::object()
+                    .set("gemm", self.executes[0])
+                    .set("trsm", self.executes[1])
+                    .set("trmm", self.executes[2]),
+            )
+            .set("kernel_dispatches", dispatch)
+            .set("main_tile_hits", self.main_tile_hits)
+            .set("edge_tile_hits", self.edge_tile_hits)
+            .set("edge_rate", self.edge_rate())
+            .set("fallback_hits", self.fallback_hits)
+            .set(
+                "packed_bytes",
+                Json::object()
+                    .set("a", self.packed_bytes_a)
+                    .set("b", self.packed_bytes_b),
+            )
+            .set("batch_counts_log2", hist_json(&self.batch_counts))
+            .set("phases", phases)
+    }
+}
+
+/// Renders a log2 histogram as `[{bucket, lo, hi, count}]`, dropping empty
+/// buckets. Bucket `i` covers `[2^(i-1), 2^i)`; bucket 0 is exactly 0.
+fn hist_json(buckets: &[u64]) -> Vec<Json> {
+    buckets
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(i, &c)| {
+            let lo: u64 = if i <= 1 { i as u64 } else { 1u64 << (i - 1) };
+            let hi: u64 = if i == 0 {
+                0
+            } else if i >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << i) - 1
+            };
+            Json::object()
+                .set("bucket", i)
+                .set("lo", lo)
+                .set("hi", hi)
+                .set("count", c)
+        })
+        .collect()
+}

@@ -1,0 +1,111 @@
+//! Scoped phase timers.
+//!
+//! `phase(Phase::PackA)` returns a guard; when it drops, the elapsed
+//! monotonic time is recorded into the global registry under that phase.
+//! Guards nest freely (each span is recorded independently). With the
+//! `enabled` feature off the guard is a zero-sized type with **no Drop
+//! impl**, so the whole mechanism compiles away.
+
+#[cfg(feature = "enabled")]
+use crate::metrics::record_phase;
+
+/// Execution phases of a plan, matching the paper's pack/compute split.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Building an execution plan (run-time stage).
+    PlanBuild = 0,
+    /// Packing operand A (GEMM pack-A, TRSM/TRMM triangular pack).
+    PackA = 1,
+    /// Packing operand B (GEMM pack-B).
+    PackB = 2,
+    /// Register-tile kernel execution.
+    Compute = 3,
+    /// α-scaling / B-panel staging in TRSM & TRMM.
+    Scale = 4,
+    /// Writing solved panels back from packed scratch.
+    Unpack = 5,
+}
+
+/// All phases, in counter-slot order.
+pub const PHASES: [Phase; 6] = [
+    Phase::PlanBuild,
+    Phase::PackA,
+    Phase::PackB,
+    Phase::Compute,
+    Phase::Scale,
+    Phase::Unpack,
+];
+
+impl Phase {
+    /// Snake-case phase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::PlanBuild => "plan_build",
+            Phase::PackA => "pack_a",
+            Phase::PackB => "pack_b",
+            Phase::Compute => "compute",
+            Phase::Scale => "scale",
+            Phase::Unpack => "unpack",
+        }
+    }
+}
+
+/// Live timing span; records on drop. Zero-sized (and drop-free) with the
+/// `enabled` feature off.
+#[must_use = "a phase guard measures until it drops; binding it to _ ends the span immediately"]
+pub struct PhaseGuard {
+    #[cfg(feature = "enabled")]
+    phase: Phase,
+    #[cfg(feature = "enabled")]
+    start: std::time::Instant,
+}
+
+/// Opens a timing span for `phase`.
+#[inline(always)]
+pub fn phase(phase: Phase) -> PhaseGuard {
+    #[cfg(feature = "enabled")]
+    {
+        PhaseGuard {
+            phase,
+            start: std::time::Instant::now(),
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = phase;
+        PhaseGuard {}
+    }
+}
+
+#[cfg(feature = "enabled")]
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        // u64 nanoseconds saturate after ~584 years of span; cast is safe.
+        record_phase(self.phase, self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+#[cfg(all(test, not(feature = "enabled")))]
+mod zero_size_tests {
+    use super::*;
+
+    #[test]
+    fn guard_is_zero_sized_when_disabled() {
+        assert_eq!(std::mem::size_of::<PhaseGuard>(), 0);
+        assert!(!std::mem::needs_drop::<PhaseGuard>());
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod recording_tests {
+    use super::*;
+
+    #[test]
+    fn guard_carries_state_when_enabled() {
+        // Counter-dependent span assertions live in the crate-level
+        // round-trip test (the registry is global and tests run
+        // concurrently); here only check the guard is a real timer.
+        assert!(std::mem::size_of::<PhaseGuard>() > 0);
+        assert!(std::mem::needs_drop::<PhaseGuard>());
+    }
+}

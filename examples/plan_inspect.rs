@@ -1,56 +1,38 @@
 //! Inspecting the run-time stage: how the *input-aware* planner reacts to
 //! different matrix properties — the framework's namesake behavior.
 //!
+//! Every plan carries a structured explainer (`GemmPlan::explain`,
+//! `TrsmPlan::explain`, `TrmmPlan::explain`) reporting the selected main
+//! and edge kernel sizes, the tile grid, the pack strategy, and static
+//! per-kernel schedule statistics from the code generator. This example
+//! renders those reports; add `--features obs` to any real run to also get
+//! live counters (see `reproduce obs`).
+//!
 //! ```sh
 //! cargo run --release --example plan_inspect
 //! ```
 
-use iatf::core::Command;
+use iatf::obs::PlanExplain;
 use iatf::prelude::*;
+
+fn show(label: &str, ex: &PlanExplain) {
+    println!("── {label}");
+    for line in ex.render_text().lines() {
+        println!("   {line}");
+    }
+}
 
 fn describe_gemm(label: &str, m: usize, n: usize, k: usize, mode: GemmMode, batch: usize) {
     let cfg = TuningConfig::host();
     let plan =
         GemmPlan::<f32>::new(GemmDims::new(m, n, k), mode, false, false, batch, &cfg).unwrap();
-    let cmds = plan.commands();
-    let packs = cmds
-        .iter()
-        .filter(|c| matches!(c, Command::PackA { .. } | Command::PackB { .. }))
-        .count();
-    let kernels = cmds
-        .iter()
-        .filter(|c| matches!(c, Command::Gemm { .. }))
-        .count();
-    println!("── sgemm {label}: {m}x{n}x{k} {mode}, batch {batch}");
-    println!(
-        "   A: {:?}   B: {:?}   super-block: {} packs   queue: {} pack + {} kernel commands",
-        plan.a_plan, plan.b_plan, plan.group_packs, packs, kernels
-    );
-    // show the kernel sizes the Execution Plan Generator selected
-    let mut sizes: Vec<(usize, usize)> = cmds
-        .iter()
-        .filter_map(|c| match c {
-            Command::Gemm { mr, nr, .. } => Some((*mr, *nr)),
-            _ => None,
-        })
-        .collect();
-    sizes.sort();
-    sizes.dedup();
-    println!("   kernel sizes: {sizes:?}");
+    show(label, &plan.explain());
 }
 
 fn describe_trsm(label: &str, m: usize, n: usize, mode: TrsmMode, batch: usize) {
     let cfg = TuningConfig::host();
     let plan = TrsmPlan::<f64>::new(TrsmDims::new(m, n), mode, false, batch, &cfg).unwrap();
-    println!("── dtrsm {label}: {m}x{n} {mode}, batch {batch}");
-    println!(
-        "   canonical map: flip={} reversed={}   B panels: {}   blocks: {:?}   pack B: {}",
-        plan.index_map().flip,
-        plan.index_map().reversed,
-        plan.dims().n.div_ceil(4),
-        plan.blocks(),
-        plan.pack_b_structural,
-    );
+    show(label, &plan.explain());
 }
 
 fn main() {
@@ -72,7 +54,7 @@ fn main() {
     describe_trsm("register-resident", 5, 16, TrsmMode::LNLN, 1000);
     // blocked solve with 4-row diagonal blocks
     describe_trsm("blocked", 11, 16, TrsmMode::LNLN, 1000);
-    // canonical mode: B streams in place
+    // canonical mode: B streams in place (pack B "on-demand")
     describe_trsm("canonical", 8, 8, TrsmMode::LNLN, 1000);
     // upper triangle: index reversal makes it lower; B must be gathered
     describe_trsm("upper", 8, 8, TrsmMode::LNUN, 1000);

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full pre-merge verification: tier-1 build+test, both observability
+# feature states, the obs integration test, and a clean clippy run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: release build"
+cargo build --release
+
+echo "==> tier-1: workspace-root tests"
+cargo test -q
+
+echo "==> obs feature OFF is the default release artifact (built above)"
+echo "==> obs feature ON: release build"
+cargo build --release --features obs
+
+echo "==> obs probes are exact no-ops when the feature is off"
+cargo test -q -p iatf-obs
+
+echo "==> obs counters/timers live + explainer predictions match counters"
+cargo test -q -p iatf-obs --features enabled
+cargo test -q -p iatf-core --features obs
+
+echo "==> bench harness builds in both feature states"
+cargo build --release -p iatf-bench
+cargo build --release -p iatf-bench --features obs
+
+echo "==> clippy (warnings are errors)"
+cargo clippy --workspace -- -D warnings
+
+echo "OK: all verification steps passed"

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub use iatf_core as core;
+pub use iatf_core::obs;
 pub use iatf_layout as layout;
 pub use iatf_simd as simd;
 

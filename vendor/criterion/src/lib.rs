@@ -1,0 +1,250 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment has no registry access, so this crate mirrors the
+//! slice of the criterion API the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_with_input`, `Bencher::{iter, iter_batched}`,
+//! `BenchmarkId`, `Throughput`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a deliberately simple
+//! warmup-then-time loop printing one line per benchmark; there is no
+//! statistical analysis, no HTML report, and no saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(250),
+            throughput: None,
+        }
+    }
+
+    /// Registers a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut group = self.benchmark_group(name.to_string());
+        let mut b = Bencher::new(group.sample_size, group.warm_up_time, group.measurement_time);
+        f(&mut b);
+        b.report(name, None);
+        group.finish();
+        self
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Work per iteration, used to report rates.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup between runs (ignored here; every
+/// iteration gets a fresh setup).
+#[derive(Copy, Clone, Debug)]
+pub enum BatchSize {
+    /// Inputs cheap enough to batch many per allocation.
+    SmallInput,
+    /// Inputs large enough to process one at a time.
+    LargeInput,
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warmup budget before measuring.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Measurement budget.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Declares per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size, self.warm_up_time, self.measurement_time);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.label), self.throughput);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size, self.warm_up_time, self.measurement_time);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.label), self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    /// Mean seconds per iteration from the last `iter*` call.
+    secs_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, warm_up_time: Duration, measurement_time: Duration) -> Self {
+        Self {
+            sample_size,
+            warm_up_time,
+            measurement_time,
+            secs_per_iter: None,
+        }
+    }
+
+    /// Times `routine` over repeated calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: run until the warmup budget is spent, counting calls to
+        // pick an iteration count for the measured phase.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_warm = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size.max(1) as f64;
+        let iters = ((budget / per_warm.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+        let mut total = 0.0f64;
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            total += t0.elapsed().as_secs_f64();
+            total_iters += iters;
+        }
+        self.secs_per_iter = Some(total / total_iters.max(1) as f64);
+    }
+
+    /// Times `routine` with a fresh `setup()` value per call; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = 0.0f64;
+        let mut total_iters = 0u64;
+        let deadline = Instant::now() + self.warm_up_time + self.measurement_time;
+        for sample in 0..self.sample_size.max(1) {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            total += t0.elapsed().as_secs_f64();
+            total_iters += 1;
+            if sample > 0 && Instant::now() > deadline {
+                break;
+            }
+        }
+        self.secs_per_iter = Some(total / total_iters.max(1) as f64);
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        let Some(per) = self.secs_per_iter else {
+            println!("{label:<48} (no measurement)");
+            return;
+        };
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / per.max(1e-12);
+                println!("{label:<48} {:>12.3e} s/iter  {rate:>12.4e} elem/s", per);
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / per.max(1e-12);
+                println!("{label:<48} {:>12.3e} s/iter  {rate:>12.4e} B/s", per);
+            }
+            None => println!("{label:<48} {:>12.3e} s/iter", per),
+        }
+    }
+}
+
+/// Collects benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,134 @@
+//! Offline stand-in for [proptest](https://crates.io/crates/proptest).
+//!
+//! The build environment for this workspace has no registry access, so this
+//! crate reimplements the *subset* of proptest the workspace's test suites
+//! actually use, with the same surface syntax:
+//!
+//! * strategies: integer/float ranges, [`strategy::Just`], tuples,
+//!   [`Strategy::prop_map`], [`prop_oneof!`], [`any`], and
+//!   `prop::array::uniform4`;
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
+//! * `prop_assert!` / `prop_assert_eq!` failure reporting.
+//!
+//! Cases are generated from a deterministic per-case RNG (SplitMix64 →
+//! xorshift*), so failures are reproducible run to run. Unlike real
+//! proptest there is **no shrinking**: a failing case reports its inputs'
+//! case index and message only.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Strategy};
+
+/// `proptest::prelude::*` — everything the test files import.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// The `prop::` namespace (`prop::array::uniform4` et al.).
+pub mod prop {
+    /// Fixed-size array strategies.
+    pub mod array {
+        use crate::strategy::{Strategy, UniformArray};
+
+        /// Strategy producing `[T; 4]` from four independent draws of `s`.
+        pub fn uniform4<S: Strategy>(s: S) -> UniformArray<S, 4> {
+            UniformArray::new(s)
+        }
+    }
+}
+
+/// Declares property tests. Supports the subset syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0usize..10, s in any::<u32>()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(case);
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng); )*
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!("property failed at case {case}/{}: {e}", config.cases);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Chooses uniformly between same-valued strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![ $( $crate::strategy::Strategy::boxed($s) ),+ ])
+    };
+}
+
+/// Asserts inside a `proptest!` body; failure aborts the case with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", left, right),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}: {:?} != {:?}", format!($($fmt)+), left, right),
+            ));
+        }
+    }};
+}

@@ -1,0 +1,295 @@
+//! Value-generation strategies (no shrinking).
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Generates values of one type from the case RNG.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice among same-valued strategies.
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Builds from the boxed alternatives (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs alternatives");
+        Self(options)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = (rng.next_u64() % self.0.len() as u64) as usize;
+        self.0[idx].generate(rng)
+    }
+}
+
+/// `[T; N]` from independent draws of one element strategy.
+pub struct UniformArray<S, const N: usize>(S);
+
+impl<S, const N: usize> UniformArray<S, N> {
+    /// Wraps the element strategy.
+    pub fn new(s: S) -> Self {
+        Self(s)
+    }
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.0.generate(rng))
+    }
+}
+
+/// Full-range values of `T` (`any::<T>()`).
+pub struct Any<T>(PhantomData<T>);
+
+/// Strategy over every value of an [`Arbitrary`] type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % width) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi - lo) as u64 + 1;
+                if width == 0 {
+                    // the full u64 domain wrapped to zero
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % width) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(usize, u8, u16, u32, u64);
+
+macro_rules! impl_signed_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i64 - self.start as i64) as u64;
+                (self.start as i64 + (rng.next_u64() % width) as i64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i64, *self.end() as i64);
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi - lo) as u64 + 1;
+                (lo + (rng.next_u64() % width) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_ranges!(i8, i16, i32, isize);
+
+macro_rules! impl_float_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.next_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.start() + (rng.next_f64() as $t) * (self.end() - self.start())
+            }
+        }
+    )*};
+}
+
+impl_float_ranges!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case(7);
+        for _ in 0..2000 {
+            let v = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let v = (1usize..=34).generate(&mut rng);
+            assert!((1..=34).contains(&v));
+            let f = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let f = (-1e5f32..1e5).generate(&mut rng);
+            assert!(f > -1e5 && f < 1e5);
+        }
+    }
+
+    #[test]
+    fn ranges_reach_both_halves() {
+        let mut rng = TestRng::for_case(1);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..200 {
+            let v = (0usize..=9).generate(&mut rng);
+            lo |= v < 5;
+            hi |= v >= 5;
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn oneof_map_tuple_array_compose() {
+        let mut rng = TestRng::for_case(2);
+        let s = crate::prop_oneof![Just(1usize), Just(2usize)];
+        let mut seen = [false; 3];
+        for _ in 0..64 {
+            seen[s.generate(&mut rng)] = true;
+        }
+        assert!(seen[1] && seen[2] && !seen[0]);
+
+        let t = (1usize..=3, Just("x")).prop_map(|(n, s)| s.repeat(n));
+        let v = t.generate(&mut rng);
+        assert!(["x", "xx", "xxx"].contains(&v.as_str()));
+
+        let arr = UniformArray::<_, 4>::new(0.0f32..1.0);
+        let xs = arr.generate(&mut rng);
+        assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+    }
+}

@@ -1,0 +1,90 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment has no registry access, so this crate provides the
+//! parallel-iterator surface the workspace's `parallel` feature uses —
+//! `par_chunks_mut` + `enumerate` + `for_each_init` — executed
+//! **sequentially** on the calling thread. Results are therefore always
+//! bit-identical to the sequential path; only the speedup is absent.
+
+/// `rayon::prelude` — the traits the workspace imports.
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+/// Mutable slice extension mirroring rayon's `par_chunks_mut`.
+pub trait ParallelSliceMut<T> {
+    /// Non-overlapping mutable chunks of `size` (last may be shorter).
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParChunksMut { slice: self, size }
+    }
+}
+
+/// Pseudo-parallel mutable chunk iterator.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut(self)
+    }
+
+    /// Applies `op` to every chunk (sequentially here).
+    pub fn for_each<F: FnMut(&mut [T])>(self, mut op: F) {
+        for chunk in self.slice.chunks_mut(self.size) {
+            op(chunk);
+        }
+    }
+}
+
+/// Enumerated pseudo-parallel chunk iterator.
+pub struct EnumerateChunksMut<'a, T>(ParChunksMut<'a, T>);
+
+impl<T> EnumerateChunksMut<'_, T> {
+    /// rayon's `for_each_init`: `init()` would run once per worker thread;
+    /// sequentially that is exactly once, shared across all chunks.
+    pub fn for_each_init<S, INIT, F>(self, init: INIT, mut op: F)
+    where
+        INIT: Fn() -> S,
+        F: FnMut(&mut S, (usize, &mut [T])),
+    {
+        let mut state = init();
+        for (idx, chunk) in self.0.slice.chunks_mut(self.0.size).enumerate() {
+            op(&mut state, (idx, chunk));
+        }
+    }
+
+    /// Applies `op` to every `(index, chunk)` pair (sequentially here).
+    pub fn for_each<F: FnMut((usize, &mut [T]))>(self, mut op: F) {
+        for pair in self.0.slice.chunks_mut(self.0.size).enumerate() {
+            op(pair);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_cover_slice_in_order() {
+        let mut v: Vec<usize> = vec![0; 10];
+        v.par_chunks_mut(4).enumerate().for_each_init(
+            || 100usize,
+            |state, (idx, chunk)| {
+                for x in chunk.iter_mut() {
+                    *x = *state + idx;
+                }
+                *state += 1000;
+            },
+        );
+        assert_eq!(v, [100, 100, 100, 100, 1101, 1101, 1101, 1101, 2102, 2102]);
+    }
+}
