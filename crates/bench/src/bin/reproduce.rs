@@ -6,12 +6,17 @@
 //! targets:
 //!   table1 table2 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12
 //!   ablation-pack ablation-batch ablation-kernel-size ablation-fmls
-//!   ablation-schedule obs all
+//!   ablation-schedule obs verify all
 //! ```
 //!
 //! `obs` exercises every routine/precision once and prints the telemetry
 //! document: plan explainers (always live) plus the runtime counters,
 //! which are non-zero only when built with `--features obs`.
+//!
+//! `verify` statically certifies the exhaustive kernel enumeration with
+//! `iatf-verify` (register budgets, memory safety, pipeline structure,
+//! symbolic semantics) and exits non-zero unless 100% certify. `--json`
+//! prints the `verify_report.json` document instead of the text summary.
 //!
 //! `--quick` (default) uses a reduced size grid and a scaled batch so a full
 //! `reproduce all` finishes in minutes; `--paper` uses the paper's exact
@@ -114,6 +119,7 @@ fn main() {
         "ext-trmm" => ext_trmm(&opts),
         "ablation-schedule" => ablation_schedule(),
         "obs" => obs_telemetry(&opts),
+        "verify" => verify_kernels(&opts),
         "all" => {
             table1();
             table2();
@@ -133,6 +139,7 @@ fn main() {
             ablation_schedule();
             ext_trmm(&opts);
             obs_telemetry(&opts);
+            verify_kernels(&opts);
         }
         other => {
             eprintln!("unknown target {other}");
@@ -807,6 +814,26 @@ fn obs_telemetry(opts: &Opts) {
         .set("explainers", explainers)
         .set("metrics", iatf_obs::snapshot().to_json());
     println!("{}", doc.to_pretty());
+}
+
+// ---------------------------------------------------------------------------
+// Static kernel certification (the `reproduce verify` CI gate)
+// ---------------------------------------------------------------------------
+
+/// Certifies every enumerated kernel with `iatf-verify`. Text mode prints
+/// the per-family summary; `--json` prints the `verify_report.json`
+/// document. Exits non-zero unless every kernel certifies, so CI can gate
+/// on it directly.
+fn verify_kernels(opts: &Opts) {
+    let report = iatf_verify::certify_all();
+    if opts.json {
+        println!("{}", report.to_json().to_pretty());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if !report.is_certified() {
+        std::process::exit(1);
+    }
 }
 
 fn ablation_schedule() {

@@ -29,6 +29,7 @@
 //!   integration tests).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 // Register-file and lane loops are clearer indexed, matching the emitted
 // assembly ordering.
 #![allow(clippy::needless_range_loop, clippy::manual_is_multiple_of)]
@@ -42,8 +43,10 @@ pub mod schedule;
 pub mod templates;
 
 pub use generator::{
-    generate_cgemm_kernel, generate_gemm_kernel, generate_trsm_block_kernel,
-    generate_trsm_tri_kernel, GemmKernelSpec,
+    generate_cgemm_kernel, generate_cgemm_kernel_traced, generate_gemm_kernel,
+    generate_gemm_kernel_traced, generate_trmm_block_kernel, generate_trmm_block_kernel_traced,
+    generate_trsm_block_kernel, generate_trsm_block_kernel_traced, generate_trsm_tri_kernel,
+    generate_trsm_tri_kernel_traced, GemmKernelSpec, Span, TemplateId, TracedProgram,
 };
 pub use interp::{Interpreter, Memory};
 pub use ir::{DataType, Inst, Program, VReg, XReg};

@@ -38,11 +38,13 @@ pub fn dependency_edges(p: &Program) -> Vec<(usize, usize, DepKind)> {
     let mut edges = Vec::new();
     let n = p.insts.len();
     // pointer version = number of AddImms on that base seen so far; two
-    // offsets are only comparable within one version.
+    // offsets are only comparable within one version. An instruction with
+    // no base register carries no version at all (it can never alias), so
+    // bumps of unrelated bases cannot leak into its slot.
     let mut xversion: HashMap<XReg, usize> = HashMap::new();
-    let mut versions = Vec::with_capacity(n);
+    let mut versions: Vec<Option<usize>> = Vec::with_capacity(n);
     for inst in &p.insts {
-        versions.push(*xversion.get(&inst.xreads().unwrap_or(XReg::Pa)).unwrap_or(&0));
+        versions.push(inst.xreads().map(|x| *xversion.get(&x).unwrap_or(&0)));
         if let Some(x) = inst.xwrites() {
             *xversion.entry(x).or_insert(0) += 1;
         }
@@ -110,7 +112,9 @@ pub fn dependency_edges(p: &Program) -> Vec<(usize, usize, DepKind)> {
                     if bi != bj || (!j_store && !other.is_store()) {
                         continue;
                     }
-                    let disjoint = versions[i] == versions[j] && (hi <= lj || hj <= li);
+                    let disjoint = versions[i].is_some()
+                        && versions[i] == versions[j]
+                        && (hi <= lj || hj <= li);
                     if !disjoint {
                         edges.push((i, j, DepKind::Order));
                     }
@@ -326,6 +330,104 @@ mod tests {
         // disjoint store/load: no edge (0,1); overlapping: edge (0,2)
         assert!(!e.iter().any(|&(i, j, _)| (i, j) == (0, 1)));
         assert!(e.iter().any(|&(i, j, _)| (i, j) == (0, 2)));
+    }
+
+    #[test]
+    fn bump_on_unrelated_base_keeps_offsets_comparable() {
+        // An AddImm on Pa between two Pb accesses must not change Pb's
+        // version: disjoint Pb offsets stay provably disjoint (no edge) and
+        // overlapping ones still conflict.
+        let mut p = Program::new(DataType::F64);
+        p.push(Inst::Str {
+            src: VReg(0),
+            base: XReg::Pb,
+            offset: 0,
+        });
+        p.push(Inst::AddImm {
+            reg: XReg::Pa,
+            imm: 64,
+        });
+        p.push(Inst::Ldr {
+            dst: VReg(1),
+            base: XReg::Pb,
+            offset: 16,
+        });
+        p.push(Inst::Ldr {
+            dst: VReg(2),
+            base: XReg::Pb,
+            offset: 0,
+        });
+        let e = dependency_edges(&p);
+        assert!(!e.iter().any(|&(i, j, _)| (i, j) == (0, 2)));
+        assert!(e.iter().any(|&(i, j, _)| (i, j) == (0, 3)));
+    }
+
+    #[test]
+    fn overlap_across_pointer_bump_still_conflicts() {
+        // Str [Pb,#0]; add Pb,#16; Ldr [Pb,#-16] — the same 16 bytes, but
+        // in different pointer versions: the offsets are not comparable, so
+        // a conservative ordering edge is required.
+        let mut p = Program::new(DataType::F64);
+        p.push(Inst::Str {
+            src: VReg(0),
+            base: XReg::Pb,
+            offset: 0,
+        });
+        p.push(Inst::AddImm {
+            reg: XReg::Pb,
+            imm: 16,
+        });
+        p.push(Inst::Ldr {
+            dst: VReg(1),
+            base: XReg::Pb,
+            offset: -16,
+        });
+        let e = dependency_edges(&p);
+        assert!(e.iter().any(|&(i, j, _)| (i, j) == (0, 2)));
+    }
+
+    #[test]
+    fn non_mem_instructions_do_not_perturb_versioning() {
+        // Regression for the old `xreads().unwrap_or(XReg::Pa)` scheme: a
+        // baseless FP instruction between two mem ops must leave the memory
+        // edges exactly as without it (modulo index shifts).
+        let mem = |p: &mut Program| {
+            p.push(Inst::Str {
+                src: VReg(0),
+                base: XReg::Pc,
+                offset: 0,
+            });
+            p.push(Inst::Ldr {
+                dst: VReg(1),
+                base: XReg::Pc,
+                offset: 32,
+            });
+        };
+        let mut plain = Program::new(DataType::F64);
+        mem(&mut plain);
+        let mut with_fp = Program::new(DataType::F64);
+        with_fp.push(Inst::Str {
+            src: VReg(0),
+            base: XReg::Pc,
+            offset: 0,
+        });
+        with_fp.push(Inst::Fmla {
+            vd: VReg(2),
+            vn: VReg(3),
+            vm: VReg(4),
+        });
+        with_fp.push(Inst::Ldr {
+            dst: VReg(1),
+            base: XReg::Pc,
+            offset: 32,
+        });
+        // disjoint store/load: no memory edge in either program
+        assert!(!dependency_edges(&plain)
+            .iter()
+            .any(|&(i, j, _)| (i, j) == (0, 1)));
+        assert!(!dependency_edges(&with_fp)
+            .iter()
+            .any(|&(i, j, _)| (i, j) == (0, 2)));
     }
 
     #[test]

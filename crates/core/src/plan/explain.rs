@@ -7,12 +7,16 @@
 //! element type, regenerates each dispatchable kernel to report its Fig. 5
 //! scheduling stats ([`iatf_obs::KernelStats`]).
 
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
 use iatf_codegen::{
     generate_cgemm_kernel, generate_gemm_kernel, generate_trsm_block_kernel,
     generate_trsm_tri_kernel, schedule_stats, DataType, GemmKernelSpec, PipelineModel,
 };
-use iatf_obs::{KernelStats, TileClass};
+use iatf_obs::{KernelStats, TileClass, VerifySummary};
 use iatf_simd::DType;
+use iatf_verify::{certify, Contract, RuleId};
 
 use crate::plan::gemm::OperandPlan;
 
@@ -107,6 +111,138 @@ pub(crate) fn gemm_kernel_stats(
             stats_for(t.mr, t.nr, k, &p)
         })
         .collect()
+}
+
+/// Plan-time certification depth cap. Kernels deeper than this are not
+/// re-certified on every explain (the symbolic pass over a `TRSM` block
+/// with thousands of eliminated rows is quadratic in `kk`); the offline
+/// `reproduce verify` sweep covers their sequencing classes instead.
+const VERIFY_DEPTH_CAP: usize = 128;
+
+/// Process-global memo of certification verdicts, keyed by the full
+/// contract (`Debug` form). A plan shape is certified at most once per
+/// process no matter how many plans or explains touch it.
+fn verdict_cache() -> &'static Mutex<HashMap<String, bool>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, bool>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Certifies every dispatchable-kernel contract with `iatf-verify` and
+/// folds the verdicts into a [`VerifySummary`]. Verdicts are memoized per
+/// process. In debug builds an uncertified kernel is a planner bug and
+/// panics with the first diagnostic; release builds report it through the
+/// summary.
+pub(crate) fn verify_summary(contracts: impl IntoIterator<Item = Contract>) -> VerifySummary {
+    let mut s = VerifySummary {
+        kernels: 0,
+        certified: 0,
+        skipped: 0,
+        rules: RuleId::ALL.len() as u64,
+    };
+    let model = PipelineModel::default();
+    for c in contracts {
+        let depth = match c {
+            Contract::Gemm { k, .. } | Contract::CplxGemm { k, .. } => k,
+            Contract::TrsmBlock { kk, .. } | Contract::TrmmBlock { kk, .. } => kk,
+            Contract::TrsmTri { .. } => 0,
+        };
+        if depth > VERIFY_DEPTH_CAP {
+            s.skipped += 1;
+            continue;
+        }
+        s.kernels += 1;
+        let key = format!("{c:?}");
+        let mut cache = verdict_cache().lock().unwrap();
+        let ok = match cache.get(&key) {
+            Some(&ok) => ok,
+            None => {
+                let v = certify(&c, &model);
+                debug_assert!(
+                    v.certified(),
+                    "planner built an uncertified kernel {}: {}",
+                    v.label,
+                    v.diagnostics[0].headline()
+                );
+                cache.insert(key, v.certified());
+                v.certified()
+            }
+        };
+        drop(cache);
+        if ok {
+            s.certified += 1;
+        }
+    }
+    s
+}
+
+/// The verification contracts behind [`gemm_kernel_stats`]: one per
+/// distinct tile class, at the plan's depth, with a non-trivial `alpha` so
+/// the SAVE scaling stays semantically visible.
+pub(crate) fn gemm_contracts(
+    d: DType,
+    classes: &[TileClass],
+    k: usize,
+    ldc: usize,
+) -> Vec<Contract> {
+    let dtype = scalar_dtype(d);
+    classes
+        .iter()
+        .map(|t| {
+            if d.is_complex() {
+                Contract::CplxGemm {
+                    mc: t.mr,
+                    nc: t.nr,
+                    k,
+                    alpha: iatf_verify::ALPHA,
+                    ldc,
+                    dtype,
+                }
+            } else {
+                Contract::Gemm {
+                    mc: t.mr,
+                    nc: t.nr,
+                    k,
+                    alpha: iatf_verify::ALPHA,
+                    ldc,
+                    dtype,
+                }
+            }
+        })
+        .collect()
+}
+
+/// The verification contracts behind [`trsm_kernel_stats`] (empty for
+/// complex element types, which have no install-time TRSM generator).
+pub(crate) fn trsm_contracts(
+    d: DType,
+    blocks: &[(usize, usize)],
+    panels: &[(usize, usize)],
+) -> Vec<Contract> {
+    if d.is_complex() {
+        return Vec::new();
+    }
+    let dtype = scalar_dtype(d);
+    let mut seen: Vec<(usize, usize, usize)> = Vec::new();
+    let mut out = Vec::new();
+    for &(r0, mb) in blocks {
+        for &(_, w) in panels {
+            if seen.contains(&(mb, r0, w)) {
+                continue;
+            }
+            seen.push((mb, r0, w));
+            out.push(if mb > 4 {
+                Contract::TrsmTri { m: mb, n: w, dtype }
+            } else {
+                Contract::TrsmBlock {
+                    mb,
+                    nr: w,
+                    kk: r0,
+                    dtype,
+                }
+            });
+        }
+    }
+    out
 }
 
 /// Static scheduling stats for the TRSM kernels a plan dispatches: one

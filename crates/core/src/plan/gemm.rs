@@ -416,6 +416,9 @@ impl<E: CompactElement> GemmPlan<E> {
             predicted_packed_bytes: ((a_len + b_len) * self.packs) as u64 * scalar_bytes,
             predicted_dispatches: (tiles_per_matrix * self.packs) as u64,
             kernels: ex::gemm_kernel_stats(E::DTYPE, &classes, d.k, d.m),
+            verify: (d.k > 0).then(|| {
+                ex::verify_summary(ex::gemm_contracts(E::DTYPE, &classes, d.k, d.m))
+            }),
             tile_classes: classes,
         }
     }

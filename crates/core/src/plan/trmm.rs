@@ -285,6 +285,9 @@ impl<E: CompactElement> TrmmPlan<E> {
                 * scalar_bytes,
             predicted_dispatches: (self.blocks.len() * self.panels.len() * self.packs) as u64,
             kernels: Vec::new(),
+            // No install-time kernel is dispatched, so there is nothing to
+            // certify at plan time.
+            verify: None,
             tile_classes: classes,
         }
     }

@@ -390,6 +390,9 @@ impl<E: CompactElement> TrsmPlan<E> {
                 * scalar_bytes,
             predicted_dispatches: (self.blocks.len() * self.panels.len() * self.packs) as u64,
             kernels: ex::trsm_kernel_stats(E::DTYPE, &self.blocks, &self.panels),
+            verify: (!E::DTYPE.is_complex()).then(|| {
+                ex::verify_summary(ex::trsm_contracts(E::DTYPE, &self.blocks, &self.panels))
+            }),
             tile_classes: classes,
         }
     }

@@ -1,0 +1,86 @@
+//! Planner ↔ verifier wiring: every `explain()` statically certifies the
+//! kernels the plan can dispatch (via `iatf-verify`) and reports the
+//! outcome in `PlanExplain::verify`. In debug builds an uncertified kernel
+//! panics inside `explain()` itself, so these tests double as the planner
+//! debug-assert gate.
+
+use iatf_core::{GemmPlan, TrmmPlan, TrsmPlan, TuningConfig};
+use iatf_layout::{GemmDims, GemmMode, TrsmDims, TrsmMode};
+
+#[test]
+fn gemm_explain_certifies_every_tile_class() {
+    let cfg = TuningConfig::default();
+    let plan =
+        GemmPlan::<f64>::new(GemmDims::new(7, 6, 5), GemmMode::NN, false, false, 5, &cfg)
+            .unwrap();
+    let ex = plan.explain();
+    let v = ex.verify.clone().expect("real GEMM plans certify their kernels");
+    assert_eq!(v.kernels as usize, ex.tile_classes.len());
+    assert!(v.all_certified(), "{v:?}");
+    assert_eq!(v.skipped, 0);
+    assert!(v.rules >= 15, "rule set shrank: {v:?}");
+    assert!(ex.to_json().to_compact().contains("\"all_certified\":true"));
+}
+
+#[test]
+fn complex_gemm_explain_certifies_too() {
+    let cfg = TuningConfig::default();
+    let plan = GemmPlan::<iatf_simd::c32>::new(
+        GemmDims::new(3, 4, 4),
+        GemmMode::NN,
+        false,
+        false,
+        2,
+        &cfg,
+    )
+    .unwrap();
+    let v = plan.explain().verify.expect("cgemm generator exists");
+    assert!(v.all_certified(), "{v:?}");
+    assert!(v.kernels > 0);
+}
+
+#[test]
+fn deep_gemm_defers_to_offline_verification() {
+    let cfg = TuningConfig::default();
+    let plan = GemmPlan::<f64>::new(
+        GemmDims::new(4, 4, 200),
+        GemmMode::NN,
+        false,
+        false,
+        1,
+        &cfg,
+    )
+    .unwrap();
+    let v = plan.explain().verify.unwrap();
+    // k = 200 exceeds the plan-time depth cap: nothing certified inline,
+    // nothing falsely claimed.
+    assert_eq!(v.kernels, 0);
+    assert!(v.skipped > 0);
+}
+
+#[test]
+fn trsm_explain_certifies_blocks_and_panels() {
+    let cfg = TuningConfig::default();
+    let plan =
+        TrsmPlan::<f64>::new(TrsmDims::new(9, 4), TrsmMode::LNLN, false, 3, &cfg).unwrap();
+    let ex = plan.explain();
+    let v = ex.verify.expect("real TRSM plans certify their kernels");
+    assert!(v.all_certified(), "{v:?}");
+    assert_eq!(v.kernels as usize, ex.kernels.len());
+    assert_eq!(v.skipped, 0);
+}
+
+#[test]
+fn kernelless_plans_report_no_verification() {
+    let cfg = TuningConfig::default();
+    // complex TRSM: no install-time generator
+    let plan = TrsmPlan::<iatf_simd::c64>::new(TrsmDims::new(5, 3), TrsmMode::LNLN, false, 2, &cfg)
+        .unwrap();
+    assert!(plan.explain().verify.is_none());
+    // TRMM dispatches no generated kernels at all
+    let plan =
+        TrmmPlan::<f64>::new(TrsmDims::new(5, 3), TrsmMode::LNLN, false, 2, &cfg).unwrap();
+    let ex = plan.explain();
+    assert!(ex.verify.is_none());
+    assert!(ex.to_json().to_compact().contains("\"verify\":null"));
+}

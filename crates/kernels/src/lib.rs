@@ -51,7 +51,8 @@ pub mod trsm;
 pub use gemm::{cgemm_ukr, gemm_ukr, gemm_ukr_nopipeline, CplxGemmKernel, RealGemmKernel};
 pub use table::{
     cplx_gemm_kernel, cplx_trsm_kernel, cplx_trsm_rect_kernel, real_gemm_kernel, real_trsm_kernel,
-    real_trsm_rect_kernel, KernelClass, KernelInfo, KernelScalar, TABLE1,
+    real_trsm_rect_kernel, table1_sizes, KernelClass, KernelInfo, KernelScalar, FUSED_BLOCK_MAX,
+    TABLE1, TRSM_TRI_MAX_M,
 };
 pub use trmm::{ctrmm_ukr, trmm_ukr, CplxTrmmKernel, RealTrmmKernel};
 pub use trsm::{

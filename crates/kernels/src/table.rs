@@ -85,6 +85,24 @@ pub static TABLE1: &[KernelInfo] = &[
     ki(KernelClass::CplxTrsm, 1, 2, false),
 ];
 
+/// Tile sizes `(m_r, n_r)` of every [`TABLE1`] row in `class`, in table
+/// order — the enumeration surface exhaustive verification walks.
+pub fn table1_sizes(class: KernelClass) -> Vec<(usize, usize)> {
+    TABLE1
+        .iter()
+        .filter(|k| k.class == class)
+        .map(|k| (k.mr, k.nr))
+        .collect()
+}
+
+/// Largest register-resident triangular order (`RTRSM`'s `m_r = 5` row —
+/// the §4.2.2 capacity bound).
+pub const TRSM_TRI_MAX_M: usize = 5;
+
+/// Largest fused real TRSM/TRMM block shape monomorphized in the dispatch
+/// tables (`m_b, n_r ≤ 4`).
+pub const FUSED_BLOCK_MAX: (usize, usize) = (4, 4);
+
 /// A real scalar for which the full kernel set is monomorphized.
 pub trait KernelScalar: Real {
     /// Real GEMM kernels, indexed `[m_r − 1][n_r − 1]`, sizes 1..=4 each.

@@ -55,6 +55,43 @@ pub struct PlanExplain {
     /// Install-time static stats per dispatchable kernel (empty where no
     /// generator exists for the element type).
     pub kernels: Vec<KernelStats>,
+    /// Static-certification summary over the plan's dispatchable kernels
+    /// (`None` where the plan dispatches no generated kernels).
+    pub verify: Option<VerifySummary>,
+}
+
+/// Outcome of statically certifying a plan's dispatchable kernels with
+/// `iatf-verify` (register budgets, memory safety, pipeline structure,
+/// symbolic semantics). Plain data: the verifier itself lives above this
+/// crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifySummary {
+    /// Distinct kernels submitted to the verifier.
+    pub kernels: u64,
+    /// Kernels that certified with zero diagnostics.
+    pub certified: u64,
+    /// Kernels skipped because their depth exceeds the plan-time
+    /// certification cap (certified offline by `reproduce verify` instead).
+    pub skipped: u64,
+    /// Rules in the verifier's rule set.
+    pub rules: u64,
+}
+
+impl VerifySummary {
+    /// True when every submitted kernel certified.
+    pub fn all_certified(&self) -> bool {
+        self.certified == self.kernels
+    }
+
+    /// JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .set("kernels", self.kernels)
+            .set("certified", self.certified)
+            .set("skipped", self.skipped)
+            .set("rules", self.rules)
+            .set("all_certified", self.all_certified())
+    }
 }
 
 /// One distinct tile size within a plan's grid.
@@ -160,6 +197,13 @@ impl PlanExplain {
                 "kernels",
                 self.kernels.iter().map(KernelStats::to_json).collect::<Vec<_>>(),
             )
+            .set(
+                "verify",
+                self.verify
+                    .as_ref()
+                    .map(VerifySummary::to_json)
+                    .unwrap_or(Json::Null),
+            )
     }
 
     /// Multi-line human-readable rendering (used by `plan_inspect`).
@@ -201,6 +245,20 @@ impl PlanExplain {
                 out,
                 "  kernel {}x{} (k={}): {} insts, {} -> {} cycles (port bound {})",
                 ks.mr, ks.nr, ks.k, ks.insts, ks.cycles_before, ks.cycles_after, ks.port_bound,
+            );
+        }
+        if let Some(v) = &self.verify {
+            let _ = writeln!(
+                out,
+                "  verify: {}/{} kernels certified against {} rules{}",
+                v.certified,
+                v.kernels,
+                v.rules,
+                if v.skipped > 0 {
+                    format!(" ({} skipped by depth cap)", v.skipped)
+                } else {
+                    String::new()
+                },
             );
         }
         out
@@ -245,6 +303,12 @@ mod tests {
                 cycles_after: 154,
                 port_bound: 144,
             }],
+            verify: Some(VerifySummary {
+                kernels: 4,
+                certified: 4,
+                skipped: 0,
+                rules: 15,
+            }),
         }
     }
 
@@ -276,5 +340,20 @@ mod tests {
         let txt = sample().render_text();
         assert!(txt.contains("main kernel 4x4"));
         assert!(txt.contains("(main)"));
+        assert!(txt.contains("verify: 4/4 kernels certified"));
+    }
+
+    #[test]
+    fn verify_summary_json_and_absence() {
+        let s = sample().to_json().to_compact();
+        assert!(s.contains("\"verify\":{"), "missing verify object in {s}");
+        assert!(s.contains("\"all_certified\":true"));
+        let mut none = sample();
+        none.verify = None;
+        assert!(none.to_json().to_compact().contains("\"verify\":null"));
+        assert!(!none.render_text().contains("verify:"));
+        let partial = VerifySummary { kernels: 3, certified: 2, skipped: 1, rules: 15 };
+        assert!(!partial.all_certified());
+        assert!(partial.to_json().to_compact().contains("\"skipped\":1"));
     }
 }

@@ -19,12 +19,14 @@
 //! [`json`] serializer are *not* gated — explaining a plan is a cold-path
 //! operation and always available.
 
+#![forbid(unsafe_code)]
+
 pub mod explain;
 pub mod json;
 pub mod metrics;
 pub mod timer;
 
-pub use explain::{KernelStats, PlanExplain, TileClass};
+pub use explain::{KernelStats, PlanExplain, TileClass, VerifySummary};
 pub use json::Json;
 pub use metrics::{
     count_dispatch, count_execute, count_fallback, count_packed_bytes_a, count_packed_bytes_b,

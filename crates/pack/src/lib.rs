@@ -24,6 +24,7 @@
 //! operand can be streamed straight out of the compact layout; the run-time
 //! stage's Pack Selecter decides when that is profitable.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop, clippy::manual_is_multiple_of)]
 

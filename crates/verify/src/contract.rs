@@ -1,0 +1,287 @@
+//! Kernel contracts: the input-shape facts a generated kernel is verified
+//! against — register budget, packed-operand extents, writable output
+//! region, and expected pointer-stream consumption.
+
+use iatf_codegen::{
+    generate_cgemm_kernel_traced, generate_gemm_kernel_traced, generate_trmm_block_kernel_traced,
+    generate_trsm_block_kernel_traced, generate_trsm_tri_kernel_traced, DataType, GemmKernelSpec,
+    TracedProgram, XReg,
+};
+
+/// Dense index of an [`XReg`] (buffer-table slot).
+pub(crate) fn xreg_index(x: XReg) -> usize {
+    match x {
+        XReg::Pa => 0,
+        XReg::Pb => 1,
+        XReg::Pc => 2,
+        XReg::Ptri => 3,
+    }
+}
+
+/// What one generated kernel is contracted to do, and over which packed
+/// operands. One contract = one `(class, sizes, K, dtype)` point of the
+/// enumeration.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum Contract {
+    /// Real GEMM microkernel: `C += alpha · A·B` over an `(mc × nc)` tile
+    /// at depth `k`, C leading dimension `ldc` groups.
+    Gemm {
+        /// Tile rows (1..=4).
+        mc: usize,
+        /// Tile columns (1..=4).
+        nc: usize,
+        /// Unrolled depth.
+        k: usize,
+        /// SAVE-template scale.
+        alpha: f64,
+        /// C leading dimension in element groups.
+        ldc: usize,
+        /// Scalar precision.
+        dtype: DataType,
+    },
+    /// Complex (split-representation) GEMM microkernel, real `alpha`.
+    CplxGemm {
+        /// Tile rows (1..=3).
+        mc: usize,
+        /// Tile columns (1..=2).
+        nc: usize,
+        /// Unrolled depth.
+        k: usize,
+        /// SAVE-template scale (real).
+        alpha: f64,
+        /// C leading dimension in complex element groups.
+        ldc: usize,
+        /// Scalar precision of the split planes.
+        dtype: DataType,
+    },
+    /// Register-resident TRSM triangular kernel (Algorithm 4): solve
+    /// `L·X = B` for an `m×m` packed lower triangle (reciprocal diagonal)
+    /// over `n` columns, column-major panel.
+    TrsmTri {
+        /// Triangle order (1..=5).
+        m: usize,
+        /// Panel columns.
+        n: usize,
+        /// Scalar precision.
+        dtype: DataType,
+    },
+    /// Fused blocked TRSM kernel: FMLS elimination of `kk` solved rows,
+    /// then the in-register solve of an `mb`-row diagonal block over an
+    /// `nr`-wide row-major panel.
+    TrsmBlock {
+        /// Block rows (1..=4).
+        mb: usize,
+        /// Panel width (1..=4).
+        nr: usize,
+        /// Already-solved rows above the block.
+        kk: usize,
+        /// Scalar precision.
+        dtype: DataType,
+    },
+    /// Fused blocked TRMM kernel: triangular multiply (direct diagonal) of
+    /// the block plus FMLA accumulation of the `kk` rows above, scaled by
+    /// `alpha`.
+    TrmmBlock {
+        /// Block rows (1..=4).
+        mb: usize,
+        /// Panel width (1..=4).
+        nr: usize,
+        /// Original rows above the block.
+        kk: usize,
+        /// Result scale.
+        alpha: f64,
+        /// Scalar precision.
+        dtype: DataType,
+    },
+}
+
+impl Contract {
+    /// Scalar precision of the kernel.
+    pub fn dtype(&self) -> DataType {
+        match *self {
+            Contract::Gemm { dtype, .. }
+            | Contract::CplxGemm { dtype, .. }
+            | Contract::TrsmTri { dtype, .. }
+            | Contract::TrsmBlock { dtype, .. }
+            | Contract::TrmmBlock { dtype, .. } => dtype,
+        }
+    }
+
+    /// Kernel-family name used in reports.
+    pub fn class_name(&self) -> &'static str {
+        match self {
+            Contract::Gemm { .. } => "gemm",
+            Contract::CplxGemm { .. } => "cgemm",
+            Contract::TrsmTri { .. } => "trsm_tri",
+            Contract::TrsmBlock { .. } => "trsm_block",
+            Contract::TrmmBlock { .. } => "trmm_block",
+        }
+    }
+
+    /// Human-readable kernel label, e.g. `gemm f64 4x4 k=8`.
+    pub fn label(&self) -> String {
+        let dt = match self.dtype() {
+            DataType::F32 => "f32",
+            DataType::F64 => "f64",
+        };
+        match *self {
+            Contract::Gemm { mc, nc, k, .. } => format!("gemm {dt} {mc}x{nc} k={k}"),
+            Contract::CplxGemm { mc, nc, k, .. } => format!("cgemm {dt} {mc}x{nc} k={k}"),
+            Contract::TrsmTri { m, n, .. } => format!("trsm_tri {dt} m={m} n={n}"),
+            Contract::TrsmBlock { mb, nr, kk, .. } => {
+                format!("trsm_block {dt} {mb}x{nr} kk={kk}")
+            }
+            Contract::TrmmBlock { mb, nr, kk, .. } => {
+                format!("trmm_block {dt} {mb}x{nr} kk={kk}")
+            }
+        }
+    }
+
+    /// Generates the kernel this contract describes, with its template
+    /// trace.
+    pub fn build_traced(&self) -> TracedProgram {
+        match *self {
+            Contract::Gemm {
+                mc,
+                nc,
+                k,
+                alpha,
+                ldc,
+                dtype,
+            } => generate_gemm_kernel_traced(&GemmKernelSpec {
+                mc,
+                nc,
+                k,
+                dtype,
+                alpha,
+                ldc,
+            }),
+            Contract::CplxGemm {
+                mc,
+                nc,
+                k,
+                alpha,
+                ldc,
+                dtype,
+            } => generate_cgemm_kernel_traced(&GemmKernelSpec {
+                mc,
+                nc,
+                k,
+                dtype,
+                alpha,
+                ldc,
+            }),
+            Contract::TrsmTri { m, n, dtype } => generate_trsm_tri_kernel_traced(m, n, dtype),
+            Contract::TrsmBlock { mb, nr, kk, dtype } => {
+                generate_trsm_block_kernel_traced(mb, nr, kk, dtype)
+            }
+            Contract::TrmmBlock {
+                mb,
+                nr,
+                kk,
+                alpha,
+                dtype,
+            } => generate_trmm_block_kernel_traced(mb, nr, kk, alpha, dtype),
+        }
+    }
+
+    /// The paper's register-budget bound for this kernel class (must admit
+    /// the kernel *and* stay ≤ 32):
+    ///
+    /// * real GEMM: `2(m_c + n_c) + m_c·n_c` (Eq. 2),
+    /// * complex GEMM: `4(m_c + n_c) + 2·m_c·n_c` (Eq. 3),
+    /// * TRSM triangular: `M(M+1)/2 + 2M` (§4.2.2),
+    /// * TRSM/TRMM block: `m_b·n_r + 2·m_b + 2·n_r`.
+    pub fn register_budget(&self) -> usize {
+        match *self {
+            Contract::Gemm { mc, nc, .. } => 2 * (mc + nc) + mc * nc,
+            Contract::CplxGemm { mc, nc, .. } => 4 * (mc + nc) + 2 * mc * nc,
+            Contract::TrsmTri { m, .. } => m * (m + 1) / 2 + 2 * m,
+            Contract::TrsmBlock { mb, nr, .. } | Contract::TrmmBlock { mb, nr, .. } => {
+                mb * nr + 2 * mb + 2 * nr
+            }
+        }
+    }
+
+    /// Byte length of the packed operand behind each pointer register
+    /// (0 = the kernel must not touch that pointer).
+    pub fn buffer_bytes(&self, x: XReg) -> i64 {
+        let groups: usize = match *self {
+            Contract::Gemm {
+                mc, nc, k, ldc, ..
+            } => match x {
+                XReg::Pa => k * mc,
+                XReg::Pb => k * nc,
+                XReg::Pc => (nc - 1) * ldc + mc,
+                XReg::Ptri => 0,
+            },
+            Contract::CplxGemm {
+                mc, nc, k, ldc, ..
+            } => match x {
+                XReg::Pa => 2 * k * mc,
+                XReg::Pb => 2 * k * nc,
+                XReg::Pc => 2 * ((nc - 1) * ldc + mc),
+                XReg::Ptri => 0,
+            },
+            Contract::TrsmTri { m, n, .. } => match x {
+                XReg::Ptri => m * (m + 1) / 2,
+                XReg::Pb => m * n,
+                _ => 0,
+            },
+            Contract::TrsmBlock { mb, nr, kk, .. }
+            | Contract::TrmmBlock { mb, nr, kk, .. } => match x {
+                XReg::Ptri => kk * mb + mb * (mb + 1) / 2,
+                XReg::Pb => (kk + mb) * nr,
+                _ => 0,
+            },
+        };
+        (groups * 16) as i64
+    }
+
+    /// Byte range stores may legally target behind each pointer (empty =
+    /// read-only operand).
+    pub fn writable_bytes(&self, x: XReg) -> std::ops::Range<i64> {
+        match *self {
+            Contract::Gemm { .. } | Contract::CplxGemm { .. } => {
+                if x == XReg::Pc {
+                    0..self.buffer_bytes(XReg::Pc)
+                } else {
+                    0..0
+                }
+            }
+            Contract::TrsmTri { .. } => {
+                if x == XReg::Pb {
+                    0..self.buffer_bytes(XReg::Pb)
+                } else {
+                    0..0
+                }
+            }
+            Contract::TrsmBlock { nr, kk, .. } | Contract::TrmmBlock { nr, kk, .. } => {
+                if x == XReg::Pb {
+                    (kk * nr * 16) as i64..self.buffer_bytes(XReg::Pb)
+                } else {
+                    0..0
+                }
+            }
+        }
+    }
+
+    /// Expected final position of each pointer register, in bytes from its
+    /// start: the GEMM generators stream A and B with post-bumps and must
+    /// consume each panel exactly; every other pointer stays put.
+    pub fn final_offsets(&self) -> [(XReg, i64); 4] {
+        let (pa, pb) = match *self {
+            Contract::Gemm { mc, nc, k, .. } => ((k * mc * 16) as i64, (k * nc * 16) as i64),
+            Contract::CplxGemm { mc, nc, k, .. } => {
+                ((k * mc * 32) as i64, (k * nc * 32) as i64)
+            }
+            _ => (0, 0),
+        };
+        [
+            (XReg::Pa, pa),
+            (XReg::Pb, pb),
+            (XReg::Pc, 0),
+            (XReg::Ptri, 0),
+        ]
+    }
+}

@@ -1,0 +1,200 @@
+//! Structured diagnostics: every rule violation carries a stable rule id,
+//! the offending instruction index (when one exists), and a few lines of
+//! rendered IR context around it.
+
+use iatf_codegen::Program;
+
+/// Stable identifiers of the verifier's rules.
+///
+/// The string form ([`RuleId::id`]) is the machine-readable id surfaced in
+/// `verify_report.json`; [`RuleId::paper`] names the paper invariant each
+/// rule certifies (the full mapping lives in `DESIGN.md`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RuleId {
+    /// Every vector register index is within the V0–V31 file.
+    RegFile,
+    /// The kernel's distinct register count fits the paper's budget
+    /// formula for its class (and the formula itself admits ≤ 32).
+    RegBudget,
+    /// No instruction reads a vector register before it is written.
+    UninitRead,
+    /// No load's value is overwritten before being read.
+    DeadLoad,
+    /// Every vector write is eventually read (results reach a store).
+    WriteNeverRead,
+    /// All memory accesses stay within the packed-panel extents implied by
+    /// the kernel contract.
+    MemBounds,
+    /// All memory accesses are 16-byte (element-group) aligned.
+    MemAlign,
+    /// Stores land only in the contract's writable output region.
+    StoreRegion,
+    /// Every truly-overlapping access pair involving a store is covered by
+    /// a `dependency_edges` ordering edge.
+    AliasEdge,
+    /// Final pointer positions equal the packed-panel sizes (the load
+    /// streams consume their panels exactly).
+    PanelConsumed,
+    /// The traced template sequence matches Algorithm 3 / Algorithm 4.
+    TemplateSeq,
+    /// Each template's loads are first consumed by its own or its
+    /// successor's compute (the ping-pong invariant).
+    PingPong,
+    /// Scheduling preserved the instruction multiset.
+    SchedMultiset,
+    /// Scheduling did not regress modeled cycles (and stayed at or above
+    /// the issue-port bound).
+    SchedRegression,
+    /// Symbolic execution matches the reference GEMM/TRSM/TRMM formula
+    /// exactly.
+    Semantics,
+}
+
+impl RuleId {
+    /// All rules, in report order.
+    pub const ALL: [RuleId; 15] = [
+        RuleId::RegFile,
+        RuleId::RegBudget,
+        RuleId::UninitRead,
+        RuleId::DeadLoad,
+        RuleId::WriteNeverRead,
+        RuleId::MemBounds,
+        RuleId::MemAlign,
+        RuleId::StoreRegion,
+        RuleId::AliasEdge,
+        RuleId::PanelConsumed,
+        RuleId::TemplateSeq,
+        RuleId::PingPong,
+        RuleId::SchedMultiset,
+        RuleId::SchedRegression,
+        RuleId::Semantics,
+    ];
+
+    /// Machine-readable rule id.
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::RegFile => "REG_FILE",
+            RuleId::RegBudget => "REG_BUDGET",
+            RuleId::UninitRead => "UNINIT_READ",
+            RuleId::DeadLoad => "DEAD_LOAD",
+            RuleId::WriteNeverRead => "WRITE_NEVER_READ",
+            RuleId::MemBounds => "MEM_BOUNDS",
+            RuleId::MemAlign => "MEM_ALIGN",
+            RuleId::StoreRegion => "STORE_REGION",
+            RuleId::AliasEdge => "ALIAS_EDGE",
+            RuleId::PanelConsumed => "PANEL_CONSUMED",
+            RuleId::TemplateSeq => "TEMPLATE_SEQ",
+            RuleId::PingPong => "PING_PONG",
+            RuleId::SchedMultiset => "SCHED_MULTISET",
+            RuleId::SchedRegression => "SCHED_REGRESSION",
+            RuleId::Semantics => "SEMANTICS",
+        }
+    }
+
+    /// The paper invariant this rule certifies.
+    pub fn paper(self) -> &'static str {
+        match self {
+            RuleId::RegFile => "§4.2 register file (V0–V31)",
+            RuleId::RegBudget => "Table 1 size constraints (Eq. 2–3, §4.2.2)",
+            RuleId::UninitRead => "Algorithm 2 (FMUL-initialized accumulators)",
+            RuleId::DeadLoad => "Algorithm 3 ping-pong liveness",
+            RuleId::WriteNeverRead => "Algorithm 2 (every result reaches a store)",
+            RuleId::MemBounds => "packed-panel extents (§4.1)",
+            RuleId::MemAlign => "16-byte element groups (§4.1)",
+            RuleId::StoreRegion => "output regions (Alg. 2 SAVE, Alg. 4 line 10)",
+            RuleId::AliasEdge => "Fig. 5 dependency analysis",
+            RuleId::PanelConsumed => "Algorithm 3 load streams",
+            RuleId::TemplateSeq => "Algorithm 3 / Algorithm 4 sequencing",
+            RuleId::PingPong => "Algorithm 2–3 double buffering",
+            RuleId::SchedMultiset => "Fig. 5 (scheduling reorders only)",
+            RuleId::SchedRegression => "Fig. 5 objective under the §6.3 pipeline model",
+            RuleId::Semantics => "reference GEMM/TRSM/TRMM semantics (Eq. 1, Eq. 4)",
+        }
+    }
+}
+
+/// One rule violation.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// The violated rule.
+    pub rule: RuleId,
+    /// Offending instruction index, when the violation is localized.
+    pub index: Option<usize>,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Rendered IR lines around the offending instruction (empty for
+    /// program-level diagnostics).
+    pub context: String,
+}
+
+impl Diagnostic {
+    /// A program-level diagnostic (no single offending instruction).
+    pub fn new(rule: RuleId, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            index: None,
+            message: message.into(),
+            context: String::new(),
+        }
+    }
+
+    /// A diagnostic pinned to instruction `index` of `p`, with ±2 rendered
+    /// IR lines of context.
+    pub fn at(rule: RuleId, p: &Program, index: usize, message: impl Into<String>) -> Self {
+        let rendered: Vec<String> = p.render().lines().map(str::to_string).collect();
+        let lo = index.saturating_sub(2);
+        let hi = (index + 3).min(rendered.len());
+        let mut context = String::new();
+        for (i, line) in rendered.iter().enumerate().take(hi).skip(lo) {
+            let marker = if i == index { "->" } else { "  " };
+            context.push_str(&format!("{marker} {i:4}  {line}\n"));
+        }
+        Diagnostic {
+            rule,
+            index: Some(index),
+            message: message.into(),
+            context,
+        }
+    }
+
+    /// `RULE_ID[@index]: message` — the one-line rendering used in test
+    /// assertions and the text report.
+    pub fn headline(&self) -> String {
+        match self.index {
+            Some(i) => format!("{}@{}: {}", self.rule.id(), i, self.message),
+            None => format!("{}: {}", self.rule.id(), self.message),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iatf_codegen::{DataType, Inst, VReg, XReg};
+
+    #[test]
+    fn rule_ids_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for r in RuleId::ALL {
+            assert!(seen.insert(r.id()), "duplicate id {}", r.id());
+            assert!(!r.paper().is_empty());
+        }
+        assert_eq!(seen.len(), RuleId::ALL.len());
+    }
+
+    #[test]
+    fn context_marks_offending_instruction() {
+        let mut p = Program::new(DataType::F64);
+        for i in 0..5 {
+            p.push(Inst::Ldr {
+                dst: VReg(i),
+                base: XReg::Pa,
+                offset: (i as i32) * 16,
+            });
+        }
+        let d = Diagnostic::at(RuleId::MemBounds, &p, 3, "out of bounds");
+        assert_eq!(d.index, Some(3));
+        assert!(d.context.contains("->    3"));
+        assert!(d.headline().starts_with("MEM_BOUNDS@3:"));
+    }
+}

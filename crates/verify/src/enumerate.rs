@@ -1,0 +1,103 @@
+//! The certification surface: every kernel the install-time stage can
+//! generate, enumerated exhaustively.
+//!
+//! Sizes come from the paper's Table 1 (via `iatf_kernels::table1_sizes`),
+//! K from one representative of every Algorithm-3 sequencing class (the
+//! `SUB`, `I;E`, `I;M2;E0`, even-steady-state, and odd-steady-state arms,
+//! plus deeper members of the even/odd classes), and both precisions are
+//! covered. `alpha` is a non-trivial scalar so the SAVE scaling is
+//! semantically visible, and GEMM uses a strided C (`ldc = m_c + 1`) so the
+//! verifier also proves the gap groups stay untouched.
+
+use crate::contract::Contract;
+use iatf_codegen::DataType;
+use iatf_kernels::{table1_sizes, KernelClass, FUSED_BLOCK_MAX, TRSM_TRI_MAX_M};
+
+/// One K per Algorithm-3 sequencing class: the four explicit arms plus
+/// deeper even/odd steady states.
+pub const GEMM_K_CLASSES: [usize; 8] = [1, 2, 3, 4, 5, 8, 9, 17];
+
+/// Eliminated-row counts covering the blocked kernels' double-buffer
+/// states: none, single (no refill), the preload boundary, and deeper
+/// steady states of both parities.
+pub const BLOCK_KK_CLASSES: [usize; 6] = [0, 1, 2, 3, 4, 7];
+
+/// Panel widths for the register-resident triangular kernel (both
+/// ping-pong parities and deeper columns).
+pub const TRI_N_CLASSES: [usize; 4] = [1, 2, 3, 4];
+
+/// A non-trivial `alpha`, exactly representable so symbolic coefficients
+/// stay exact.
+pub const ALPHA: f64 = 1.5;
+
+/// Every kernel the verifier certifies: all Table-1 sizes × all sequencing
+/// classes × both precisions, for every kernel family.
+pub fn all_contracts() -> Vec<Contract> {
+    let mut out = Vec::new();
+    for dtype in [DataType::F32, DataType::F64] {
+        for (mc, nc) in table1_sizes(KernelClass::RealGemm) {
+            for k in GEMM_K_CLASSES {
+                out.push(Contract::Gemm {
+                    mc,
+                    nc,
+                    k,
+                    alpha: ALPHA,
+                    ldc: mc + 1,
+                    dtype,
+                });
+            }
+        }
+        for (mc, nc) in table1_sizes(KernelClass::CplxGemm) {
+            for k in GEMM_K_CLASSES {
+                out.push(Contract::CplxGemm {
+                    mc,
+                    nc,
+                    k,
+                    alpha: ALPHA,
+                    ldc: mc + 1,
+                    dtype,
+                });
+            }
+        }
+        for m in 1..=TRSM_TRI_MAX_M {
+            for n in TRI_N_CLASSES {
+                out.push(Contract::TrsmTri { m, n, dtype });
+            }
+        }
+        let (mb_max, nr_max) = FUSED_BLOCK_MAX;
+        for mb in 1..=mb_max {
+            for nr in 1..=nr_max {
+                for kk in BLOCK_KK_CLASSES {
+                    out.push(Contract::TrsmBlock { mb, nr, kk, dtype });
+                    out.push(Contract::TrmmBlock {
+                        mb,
+                        nr,
+                        kk,
+                        alpha: ALPHA,
+                        dtype,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_is_exhaustive_and_unique() {
+        let all = all_contracts();
+        // 2 dtypes × (16 GEMM sizes × 8 K + 6 CGEMM sizes × 8 K +
+        //             5×4 tri + 4×4×6 blocked × 2 families)
+        let expect = 2 * (16 * 8 + 6 * 8 + 5 * 4 + 4 * 4 * 6 * 2);
+        assert_eq!(all.len(), expect);
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b, "duplicate contract {}", a.label());
+            }
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! `iatf-verify`: a static kernel-IR verifier.
+//!
+//! The install-time stage (`iatf-codegen`) generates every compact-BLAS
+//! microkernel as straight-line IR. This crate *certifies* those kernels
+//! against the paper's constraints without executing them numerically,
+//! in four pass groups:
+//!
+//! 1. **Registers** ([`regs`]) — every register is architectural (V0–V31),
+//!    the kernel fits its class's Table-1 budget formula, and liveness is
+//!    clean (no uninitialized reads, dead loads, or values that never reach
+//!    a reader).
+//! 2. **Memory** ([`mem`]) — every `LDR`/`LDP`/`STR`/`PRFM` stays inside
+//!    the packed-panel extents the contract implies, on element-group
+//!    boundaries; stores stay in the output region; every overlapping
+//!    store pair is covered by a dependency edge; and the load streams
+//!    consume their panels exactly.
+//! 3. **Pipeline structure** ([`pipe`]) — the template trace matches the
+//!    Algorithm-3/-4 sequence, each template's loads are first consumed by
+//!    the right successor (the ping-pong invariant), and scheduling is a
+//!    cycle-non-regressing permutation.
+//! 4. **Semantics** ([`sym`]) — the kernel is run on symbolic polynomials
+//!    and every final buffer slot must *exactly* equal the reference
+//!    GEMM/TRSM/TRMM formula.
+//!
+//! [`certify`] runs all passes on one [`Contract`], pre- and post-schedule;
+//! [`certify_all`] sweeps the full Table-1 × K-class × precision
+//! enumeration (the `reproduce verify` target).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contract;
+pub mod diag;
+pub mod enumerate;
+pub mod mem;
+pub mod pipe;
+pub mod poly;
+pub mod regs;
+pub mod report;
+pub mod sym;
+
+pub use contract::Contract;
+pub use diag::{Diagnostic, RuleId};
+pub use enumerate::{all_contracts, ALPHA, BLOCK_KK_CLASSES, GEMM_K_CLASSES, TRI_N_CLASSES};
+pub use poly::Poly;
+pub use report::{KernelVerdict, VerifyReport};
+
+use iatf_codegen::{optimize, schedule_stats, PipelineModel, Program, TracedProgram};
+
+/// Runs the program-level passes (registers, memory, semantics) on one
+/// kernel body. Works on both the generation-order and the scheduled form.
+///
+/// The symbolic interpreter assumes well-formed register indices and
+/// in-bounds accesses, so it only runs when those passes are clean.
+pub fn verify_program(c: &Contract, p: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    regs::check(c, p, &mut diags);
+    mem::check(c, p, &mut diags);
+    let machine_safe = !diags.iter().any(|d| {
+        matches!(
+            d.rule,
+            RuleId::RegFile | RuleId::MemBounds | RuleId::MemAlign
+        )
+    });
+    if machine_safe {
+        sym::check(c, p, &mut diags);
+    }
+    diags
+}
+
+/// [`verify_program`] plus the trace-based pipeline-structure passes
+/// (template sequencing and the ping-pong invariant). Pre-schedule only:
+/// spans are emission-ordered and scheduling dissolves them.
+pub fn verify_traced(c: &Contract, t: &TracedProgram) -> Vec<Diagnostic> {
+    let mut diags = verify_program(c, &t.program);
+    pipe::check(c, t, &mut diags);
+    diags
+}
+
+/// Full certification of one contract: generate, verify pre-schedule,
+/// schedule, verify post-schedule, and check the schedule itself.
+pub fn certify(c: &Contract, model: &PipelineModel) -> KernelVerdict {
+    let traced = c.build_traced();
+    let mut diags = verify_traced(c, &traced);
+    let post = optimize(&traced.program, model);
+    diags.extend(verify_program(c, &post));
+    pipe::check_schedule(c, &traced.program, &post, model, &mut diags);
+    let stats = schedule_stats(&traced.program, model);
+    KernelVerdict {
+        label: c.label(),
+        class: c.class_name(),
+        dtype: match c.dtype() {
+            iatf_codegen::DataType::F32 => "f32",
+            iatf_codegen::DataType::F64 => "f64",
+        },
+        insts: traced.program.len() as u64,
+        cycles_before: stats.cycles_before,
+        cycles_after: stats.cycles_after,
+        diagnostics: diags,
+    }
+}
+
+/// Certifies the exhaustive kernel enumeration
+/// ([`enumerate::all_contracts`]) — the `reproduce verify` target.
+pub fn certify_all() -> VerifyReport {
+    let model = PipelineModel::default();
+    VerifyReport {
+        kernels: all_contracts().iter().map(|c| certify(c, &model)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iatf_codegen::DataType;
+
+    #[test]
+    fn representative_kernels_certify() {
+        let model = PipelineModel::default();
+        let cs = [
+            Contract::Gemm {
+                mc: 4,
+                nc: 4,
+                k: 8,
+                alpha: 1.5,
+                ldc: 5,
+                dtype: DataType::F64,
+            },
+            Contract::CplxGemm {
+                mc: 3,
+                nc: 2,
+                k: 5,
+                alpha: 1.5,
+                ldc: 4,
+                dtype: DataType::F32,
+            },
+            Contract::TrsmTri {
+                m: 5,
+                n: 4,
+                dtype: DataType::F64,
+            },
+            Contract::TrsmBlock {
+                mb: 4,
+                nr: 4,
+                kk: 3,
+                dtype: DataType::F64,
+            },
+            Contract::TrmmBlock {
+                mb: 4,
+                nr: 4,
+                kk: 4,
+                alpha: 1.5,
+                dtype: DataType::F32,
+            },
+        ];
+        for c in cs {
+            let v = certify(&c, &model);
+            assert!(
+                v.certified(),
+                "{}: {}",
+                v.label,
+                v.diagnostics[0].headline()
+            );
+            assert!(v.cycles_after <= v.cycles_before);
+        }
+    }
+
+    #[test]
+    fn corrupted_kernel_is_rejected_with_pinpointed_rule() {
+        use iatf_codegen::Inst;
+        let c = Contract::Gemm {
+            mc: 3,
+            nc: 3,
+            k: 4,
+            alpha: 1.5,
+            ldc: 3,
+            dtype: DataType::F64,
+        };
+        let mut t = c.build_traced();
+        // swap an FMLA's accumulator and factor operands
+        let idx = t
+            .program
+            .insts
+            .iter()
+            .position(|i| matches!(i, Inst::Fmla { .. }))
+            .unwrap();
+        if let Inst::Fmla { vd, vn, vm } = t.program.insts[idx] {
+            t.program.insts[idx] = Inst::Fmla { vd: vn, vn: vd, vm };
+        }
+        let diags = verify_traced(&c, &t);
+        assert!(
+            diags.iter().any(|d| d.rule == RuleId::Semantics),
+            "{diags:?}"
+        );
+    }
+}

@@ -1,0 +1,249 @@
+//! Memory-safety checks: bounds, alignment, store regions, aliasing
+//! coverage, and panel consumption.
+//!
+//! Walks the straight-line kernel tracking each pointer register's exact
+//! byte offset (pointer math is all `AddImm`), and proves every `LDR`/
+//! `LDP`/`STR`/`PRFM` lands inside the packed-panel extent the contract
+//! implies, on a 16-byte element-group boundary, with stores confined to
+//! the contract's writable output region. Every truly-overlapping access
+//! pair involving a store must be covered by a `dependency_edges` ordering
+//! edge (otherwise the scheduler could legally reorder it), and the load
+//! streams must consume their panels exactly.
+
+use crate::contract::{xreg_index, Contract};
+use crate::diag::{Diagnostic, RuleId};
+use iatf_codegen::{dependency_edges, Inst, Program, XReg};
+use std::collections::HashSet;
+
+/// One resolved memory access: absolute byte extent behind a base pointer.
+struct Access {
+    idx: usize,
+    base: XReg,
+    lo: i64,
+    len: i64,
+    store: bool,
+}
+
+/// Runs the memory passes; appends any violations to `diags`.
+pub fn check(c: &Contract, p: &Program, diags: &mut Vec<Diagnostic>) {
+    let mut ptr = [0i64; 4]; // running offset of each XReg
+    let mut accesses: Vec<Access> = Vec::new();
+
+    for (idx, inst) in p.insts.iter().enumerate() {
+        let resolved: Option<(XReg, i64, i64, bool)> = match *inst {
+            Inst::Ldr { base, offset, .. } => Some((base, offset as i64, 16, false)),
+            Inst::Ldp { base, offset, .. } => Some((base, offset as i64, 32, false)),
+            Inst::Str { base, offset, .. } => Some((base, offset as i64, 16, true)),
+            Inst::Prfm { base, offset } => Some((base, offset as i64, 16, false)),
+            Inst::AddImm { reg, imm } => {
+                ptr[xreg_index(reg)] += imm as i64;
+                None
+            }
+            _ => None,
+        };
+        let Some((base, offset, len, store)) = resolved else {
+            continue;
+        };
+        let lo = ptr[xreg_index(base)] + offset;
+        let extent = c.buffer_bytes(base);
+        if lo % 16 != 0 {
+            diags.push(Diagnostic::at(
+                RuleId::MemAlign,
+                p,
+                idx,
+                format!("access at byte {lo} is not element-group (16-byte) aligned"),
+            ));
+        }
+        if lo < 0 || lo + len > extent {
+            diags.push(Diagnostic::at(
+                RuleId::MemBounds,
+                p,
+                idx,
+                format!(
+                    "access covers bytes {lo}..{} of a {extent}-byte packed panel",
+                    lo + len
+                ),
+            ));
+        }
+        if store {
+            let w = c.writable_bytes(base);
+            if lo < w.start || lo + len > w.end {
+                diags.push(Diagnostic::at(
+                    RuleId::StoreRegion,
+                    p,
+                    idx,
+                    format!(
+                        "store at bytes {lo}..{} is outside the writable region \
+                         {}..{}",
+                        lo + len,
+                        w.start,
+                        w.end
+                    ),
+                ));
+            }
+        }
+        // prefetches are hints — they never alias architecturally
+        if !matches!(inst, Inst::Prfm { .. }) {
+            accesses.push(Access {
+                idx,
+                base,
+                lo,
+                len,
+                store,
+            });
+        }
+    }
+
+    // aliasing: every store-involved overlap must carry an ordering edge
+    let edges: HashSet<(usize, usize)> = dependency_edges(p)
+        .into_iter()
+        .map(|(i, j, _)| (i, j))
+        .collect();
+    for (a, acc_a) in accesses.iter().enumerate() {
+        for acc_b in accesses.iter().skip(a + 1) {
+            if acc_a.base != acc_b.base || !(acc_a.store || acc_b.store) {
+                continue;
+            }
+            let overlap = acc_a.lo < acc_b.lo + acc_b.len && acc_b.lo < acc_a.lo + acc_a.len;
+            if overlap && !edges.contains(&(acc_a.idx, acc_b.idx)) {
+                diags.push(Diagnostic::at(
+                    RuleId::AliasEdge,
+                    p,
+                    acc_b.idx,
+                    format!(
+                        "overlapping access pair (#{}, #{}) at bytes {}.. has no \
+                         dependency edge — the scheduler may reorder it",
+                        acc_a.idx, acc_b.idx, acc_b.lo
+                    ),
+                ));
+            }
+        }
+    }
+
+    for (x, expect) in c.final_offsets() {
+        let got = ptr[xreg_index(x)];
+        if got != expect {
+            diags.push(Diagnostic::new(
+                RuleId::PanelConsumed,
+                format!(
+                    "{x:?} ends {got} bytes in, expected {expect} — the load \
+                     stream does not consume its panel exactly"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iatf_codegen::{DataType, VReg};
+
+    fn gemm(k: usize) -> (Contract, Program) {
+        let c = Contract::Gemm {
+            mc: 4,
+            nc: 4,
+            k,
+            alpha: 1.0,
+            ldc: 5,
+            dtype: DataType::F64,
+        };
+        let p = c.build_traced().program;
+        (c, p)
+    }
+
+    #[test]
+    fn generated_kernels_are_clean() {
+        for k in [1usize, 2, 3, 4, 5, 9] {
+            let (c, p) = gemm(k);
+            let mut diags = Vec::new();
+            check(&c, &p, &mut diags);
+            assert!(diags.is_empty(), "k={k}: {}", diags[0].headline());
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_load_detected() {
+        let (c, mut p) = gemm(2);
+        p.insts.insert(
+            1,
+            Inst::Ldr {
+                dst: VReg(0),
+                base: XReg::Pa,
+                offset: 4096,
+            },
+        );
+        let mut diags = Vec::new();
+        check(&c, &p, &mut diags);
+        assert!(diags.iter().any(|d| d.rule == RuleId::MemBounds));
+    }
+
+    #[test]
+    fn misaligned_access_detected() {
+        let (c, mut p) = gemm(2);
+        p.insts.insert(
+            1,
+            Inst::Ldr {
+                dst: VReg(0),
+                base: XReg::Pa,
+                offset: 8,
+            },
+        );
+        let mut diags = Vec::new();
+        check(&c, &p, &mut diags);
+        assert!(diags.iter().any(|d| d.rule == RuleId::MemAlign));
+    }
+
+    #[test]
+    fn store_outside_output_region_detected() {
+        let (c, mut p) = gemm(2);
+        // a stray store into the read-only A panel
+        p.push(Inst::Str {
+            src: VReg(16),
+            base: XReg::Pa,
+            offset: -16, // Pa has been fully advanced; step back inside
+        });
+        let mut diags = Vec::new();
+        check(&c, &p, &mut diags);
+        assert!(diags.iter().any(|d| d.rule == RuleId::StoreRegion));
+    }
+
+    #[test]
+    fn unconsumed_panel_detected() {
+        let (c, mut p) = gemm(2);
+        // drop the final pointer bump on Pa
+        let last_bump = p
+            .insts
+            .iter()
+            .rposition(|i| matches!(i, Inst::AddImm { reg: XReg::Pa, .. }))
+            .unwrap();
+        p.insts.remove(last_bump);
+        let mut diags = Vec::new();
+        check(&c, &p, &mut diags);
+        assert!(diags.iter().any(|d| d.rule == RuleId::PanelConsumed));
+    }
+
+    #[test]
+    fn trsm_block_write_region_is_only_the_block_rows() {
+        let c = Contract::TrsmBlock {
+            mb: 2,
+            nr: 2,
+            kk: 3,
+            dtype: DataType::F32,
+        };
+        let p = c.build_traced().program;
+        let mut diags = Vec::new();
+        check(&c, &p, &mut diags);
+        assert!(diags.is_empty(), "{}", diags[0].headline());
+        // a store into an already-solved row must be rejected
+        let mut bad = p.clone();
+        bad.push(Inst::Str {
+            src: VReg(0),
+            base: XReg::Pb,
+            offset: 0,
+        });
+        let mut diags = Vec::new();
+        check(&c, &bad, &mut diags);
+        assert!(diags.iter().any(|d| d.rule == RuleId::StoreRegion));
+    }
+}

@@ -1,0 +1,362 @@
+//! Pipeline-structure checks: Algorithm-3/-4 template sequencing, the
+//! ping-pong double-buffering invariant, and scheduling sanity.
+//!
+//! The generator hands over a template trace ([`iatf_codegen::Span`]);
+//! this pass independently re-derives the expected template sequence from
+//! the contract and requires the trace to match, then proves the ping-pong
+//! invariant on the actual dataflow: every load a template issues is first
+//! consumed by its own or the correct successor template's compute — the
+//! property that lets the scheduler hide load latency behind FMAs.
+
+use crate::contract::Contract;
+use crate::diag::{Diagnostic, RuleId};
+use iatf_codegen::{
+    Inst, PipelineModel, Program, Span, TemplateId, TracedProgram,
+};
+
+/// The template sequence Algorithm 3 / Algorithm 4 prescribes for this
+/// contract.
+pub fn expected_sequence(c: &Contract) -> Vec<TemplateId> {
+    use TemplateId::*;
+    match *c {
+        Contract::Gemm { k, .. } | Contract::CplxGemm { k, .. } => {
+            let mut seq = vec![PrefetchC];
+            if k == 1 {
+                seq.push(Sub);
+            } else {
+                seq.push(I);
+                let mut remaining = k - 1;
+                let mut next_is_m2 = true;
+                while remaining >= 2 {
+                    seq.push(if next_is_m2 { M2 } else { M1 });
+                    next_is_m2 = !next_is_m2;
+                    remaining -= 1;
+                }
+                seq.push(if next_is_m2 { E } else { E0 });
+            }
+            seq.push(Save);
+            seq
+        }
+        Contract::TrsmTri { n, .. } => {
+            let mut seq = vec![TrsmLoadTriangle, TrsmLoadColumn(0)];
+            for l in 0..n {
+                if l + 1 < n {
+                    seq.push(TrsmLoadColumn(l + 1));
+                }
+                seq.push(TrsmSolveColumn(l));
+            }
+            seq
+        }
+        Contract::TrsmBlock { kk, .. } => {
+            let mut seq = vec![BlockProlog];
+            seq.extend(rect_sequence(kk));
+            seq.push(BlockTri);
+            seq.push(BlockStore);
+            seq
+        }
+        Contract::TrmmBlock { mb, kk, .. } => {
+            let mut seq = vec![BlockProlog, TrmmTriLoad(0)];
+            for j in 0..mb {
+                if j + 1 < mb {
+                    seq.push(TrmmTriLoad(j + 1));
+                }
+                seq.push(TrmmTriCompute(j));
+            }
+            seq.extend(rect_sequence(kk));
+            seq.push(BlockStore);
+            seq
+        }
+    }
+}
+
+/// The double-buffered rectangular-elimination sub-sequence shared by the
+/// blocked TRSM and TRMM kernels.
+fn rect_sequence(kk: usize) -> Vec<TemplateId> {
+    use TemplateId::*;
+    let mut seq = Vec::new();
+    if kk > 0 {
+        seq.push(BlockRectLoad(0));
+        if kk > 1 {
+            seq.push(BlockRectLoad(1));
+        }
+        for k in 0..kk {
+            seq.push(BlockRectCompute(k));
+            if k + 2 < kk {
+                seq.push(BlockRectLoad(k + 2));
+            }
+        }
+    }
+    seq
+}
+
+/// Where a load's value must first be consumed, per issuing template.
+enum ConsumerRule {
+    /// Same span or the immediately following span (the GEMM ping-pong).
+    SelfOrNext,
+    /// The span with exactly this template id.
+    InTemplate(TemplateId),
+    /// Same span only.
+    SameSpan,
+    /// Anywhere later (loads that prime a whole phase).
+    Anywhere,
+}
+
+fn consumer_rule(id: TemplateId) -> Option<ConsumerRule> {
+    use TemplateId::*;
+    match id {
+        I | M1 | M2 | Sub => Some(ConsumerRule::SelfOrNext),
+        Save | TrsmSolveColumn(_) | BlockTri | BlockStore => Some(ConsumerRule::SameSpan),
+        TrsmLoadColumn(l) => Some(ConsumerRule::InTemplate(TrsmSolveColumn(l))),
+        BlockRectLoad(k) => Some(ConsumerRule::InTemplate(BlockRectCompute(k))),
+        TrmmTriLoad(j) => Some(ConsumerRule::InTemplate(TrmmTriCompute(j))),
+        TrsmLoadTriangle | BlockProlog => Some(ConsumerRule::Anywhere),
+        PrefetchC | E | E0 | BlockRectCompute(_) | TrmmTriCompute(_) => None,
+    }
+}
+
+/// Index of the first instruction after `idx` that reads `reg`, stopping at
+/// an intervening overwrite (a dead load — the liveness pass reports it).
+fn first_consumer(p: &Program, idx: usize, reg: iatf_codegen::VReg) -> Option<usize> {
+    for (j, inst) in p.insts.iter().enumerate().skip(idx + 1) {
+        if inst.vreads().contains(&reg) {
+            return Some(j);
+        }
+        if inst.vwrites().contains(&reg) {
+            return None;
+        }
+    }
+    None
+}
+
+fn span_of(spans: &[Span], idx: usize) -> Option<usize> {
+    spans.iter().position(|s| s.start <= idx && idx < s.end)
+}
+
+/// Runs the pipeline-structure passes on a traced (pre-schedule) kernel.
+pub fn check(c: &Contract, t: &TracedProgram, diags: &mut Vec<Diagnostic>) {
+    let got: Vec<TemplateId> = t.spans.iter().map(|s| s.id).collect();
+    let want = expected_sequence(c);
+    if got != want {
+        diags.push(Diagnostic::new(
+            RuleId::TemplateSeq,
+            format!(
+                "{}: template sequence {:?} does not match Algorithm 3/4 \
+                 sequence {:?}",
+                c.label(),
+                got,
+                want
+            ),
+        ));
+        return; // ping-pong rules assume the canonical sequence
+    }
+
+    let p = &t.program;
+    for (s, sp) in t.spans.iter().enumerate() {
+        let Some(rule) = consumer_rule(sp.id) else {
+            continue;
+        };
+        for idx in sp.start..sp.end {
+            let inst = &p.insts[idx];
+            if !matches!(inst, Inst::Ldr { .. } | Inst::Ldp { .. }) {
+                continue;
+            }
+            for reg in inst.vwrites() {
+                let Some(consumer) = first_consumer(p, idx, reg) else {
+                    continue; // dead load — the liveness pass reports it
+                };
+                let cs = span_of(&t.spans, consumer).unwrap();
+                let ok = match rule {
+                    ConsumerRule::SelfOrNext => cs == s || cs == s + 1,
+                    ConsumerRule::SameSpan => cs == s,
+                    ConsumerRule::InTemplate(id) => t.spans[cs].id == id,
+                    ConsumerRule::Anywhere => true,
+                };
+                if !ok {
+                    diags.push(Diagnostic::at(
+                        RuleId::PingPong,
+                        p,
+                        idx,
+                        format!(
+                            "load into {reg:?} issued by {:?} is first consumed \
+                             by {:?} (#{consumer}) — breaks the ping-pong \
+                             hand-off",
+                            sp.id, t.spans[cs].id
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Scheduling sanity: the optimized kernel must be a permutation of the
+/// original and must not be slower under the pipeline model (nor beat the
+/// issue-port bound, which would mean the model is broken).
+pub fn check_schedule(
+    c: &Contract,
+    pre: &Program,
+    post: &Program,
+    model: &PipelineModel,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let key = |p: &Program| -> Vec<String> {
+        let mut v: Vec<String> = p.insts.iter().map(|i| format!("{i:?}")).collect();
+        v.sort_unstable();
+        v
+    };
+    if key(pre) != key(post) {
+        diags.push(Diagnostic::new(
+            RuleId::SchedMultiset,
+            format!(
+                "{}: scheduling changed the instruction multiset \
+                 ({} → {} instructions)",
+                c.label(),
+                pre.len(),
+                post.len()
+            ),
+        ));
+    }
+    let before = model.simulate(pre);
+    let after = model.simulate(post);
+    if after.cycles > before.cycles {
+        diags.push(Diagnostic::new(
+            RuleId::SchedRegression,
+            format!(
+                "{}: scheduling regressed modeled cycles {} → {}",
+                c.label(),
+                before.cycles,
+                after.cycles
+            ),
+        ));
+    }
+    if after.cycles < after.port_bound {
+        diags.push(Diagnostic::new(
+            RuleId::SchedRegression,
+            format!(
+                "{}: modeled {} cycles beat the issue-port bound {} — the \
+                 pipeline model is inconsistent",
+                c.label(),
+                after.cycles,
+                after.port_bound
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iatf_codegen::DataType;
+
+    #[test]
+    fn generated_sequences_match() {
+        let cs = [
+            Contract::Gemm {
+                mc: 4,
+                nc: 4,
+                k: 5,
+                alpha: 1.0,
+                ldc: 4,
+                dtype: DataType::F64,
+            },
+            Contract::CplxGemm {
+                mc: 3,
+                nc: 2,
+                k: 4,
+                alpha: 1.0,
+                ldc: 3,
+                dtype: DataType::F32,
+            },
+            Contract::TrsmTri {
+                m: 4,
+                n: 3,
+                dtype: DataType::F64,
+            },
+            Contract::TrsmBlock {
+                mb: 3,
+                nr: 2,
+                kk: 4,
+                dtype: DataType::F32,
+            },
+            Contract::TrmmBlock {
+                mb: 3,
+                nr: 3,
+                kk: 3,
+                alpha: 2.0,
+                dtype: DataType::F64,
+            },
+        ];
+        for c in cs {
+            let t = c.build_traced();
+            let mut diags = Vec::new();
+            check(&c, &t, &mut diags);
+            assert!(diags.is_empty(), "{}: {}", c.label(), diags[0].headline());
+        }
+    }
+
+    #[test]
+    fn wrong_sequence_detected() {
+        let c = Contract::Gemm {
+            mc: 2,
+            nc: 2,
+            k: 3,
+            alpha: 1.0,
+            ldc: 2,
+            dtype: DataType::F64,
+        };
+        let mut t = c.build_traced();
+        // claim the kernel was built for k=4 (one more middle template)
+        let wrong = Contract::Gemm {
+            mc: 2,
+            nc: 2,
+            k: 4,
+            alpha: 1.0,
+            ldc: 2,
+            dtype: DataType::F64,
+        };
+        let mut diags = Vec::new();
+        check(&wrong, &t, &mut diags);
+        assert!(diags.iter().any(|d| d.rule == RuleId::TemplateSeq));
+        // and a trace whose spans were shuffled is also rejected
+        t.spans.swap(1, 2);
+        let mut diags = Vec::new();
+        check(&c, &t, &mut diags);
+        assert!(diags.iter().any(|d| d.rule == RuleId::TemplateSeq));
+    }
+
+    #[test]
+    fn schedule_checks_accept_the_optimizer() {
+        let c = Contract::Gemm {
+            mc: 4,
+            nc: 4,
+            k: 8,
+            alpha: 1.5,
+            ldc: 4,
+            dtype: DataType::F64,
+        };
+        let pre = c.build_traced().program;
+        let model = PipelineModel::default();
+        let post = iatf_codegen::optimize(&pre, &model);
+        let mut diags = Vec::new();
+        check_schedule(&c, &pre, &post, &model, &mut diags);
+        assert!(diags.is_empty(), "{}", diags[0].headline());
+    }
+
+    #[test]
+    fn dropped_instruction_fails_multiset() {
+        let c = Contract::Gemm {
+            mc: 2,
+            nc: 2,
+            k: 2,
+            alpha: 1.0,
+            ldc: 2,
+            dtype: DataType::F32,
+        };
+        let pre = c.build_traced().program;
+        let mut post = pre.clone();
+        post.insts.pop();
+        let mut diags = Vec::new();
+        check_schedule(&c, &pre, &post, &PipelineModel::default(), &mut diags);
+        assert!(diags.iter().any(|d| d.rule == RuleId::SchedMultiset));
+    }
+}

@@ -1,0 +1,159 @@
+//! Exact multivariate polynomials over symbolic inputs.
+//!
+//! The semantics pass runs each kernel on *symbols* instead of numbers, so a
+//! value is a polynomial in the initial buffer contents. Kernel dataflow
+//! only multiplies and adds (never divides — the paper's reciprocal
+//! diagonal turns division into multiplication), so polynomials are closed
+//! under everything the IR can do, and the comparison against the reference
+//! formula is exact: coefficients are products of the small rational
+//! constants `±1` and `alpha`, every monomial is distinct, and no floating
+//! rounding can occur on the coefficient arithmetic performed here.
+
+use std::collections::BTreeMap;
+
+/// A polynomial: monomial → coefficient. A monomial is the sorted list of
+/// its symbol ids (with multiplicity); the empty monomial is the constant
+/// term. Zero coefficients are never stored, so `==` is semantic equality.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Poly {
+    terms: BTreeMap<Vec<u32>, f64>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly {
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// The symbol `x_id` as a polynomial.
+    pub fn sym(id: u32) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(vec![id], 1.0);
+        Poly { terms }
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: f64) -> Self {
+        let mut terms = BTreeMap::new();
+        if c != 0.0 {
+            terms.insert(Vec::new(), c);
+        }
+        Poly { terms }
+    }
+
+    /// True iff this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Set of symbol ids appearing in any monomial.
+    pub fn symbols(&self) -> Vec<u32> {
+        let mut syms: Vec<u32> = self.terms.keys().flatten().copied().collect();
+        syms.sort_unstable();
+        syms.dedup();
+        syms
+    }
+
+    fn add_term(&mut self, mono: Vec<u32>, coeff: f64) {
+        use std::collections::btree_map::Entry;
+        match self.terms.entry(mono) {
+            Entry::Vacant(v) => {
+                if coeff != 0.0 {
+                    v.insert(coeff);
+                }
+            }
+            Entry::Occupied(mut o) => {
+                let c = *o.get() + coeff;
+                if c == 0.0 {
+                    o.remove();
+                } else {
+                    *o.get_mut() = c;
+                }
+            }
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, &c) in &other.terms {
+            out.add_term(m.clone(), c);
+        }
+        out
+    }
+
+    /// `self − other`.
+    pub fn sub(&self, other: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, &c) in &other.terms {
+            out.add_term(m.clone(), -c);
+        }
+        out
+    }
+
+    /// `self · other` (exact monomial merge).
+    pub fn mul(&self, other: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for (ma, &ca) in &self.terms {
+            for (mb, &cb) in &other.terms {
+                let mut mono = Vec::with_capacity(ma.len() + mb.len());
+                mono.extend_from_slice(ma);
+                mono.extend_from_slice(mb);
+                mono.sort_unstable();
+                out.add_term(mono, ca * cb);
+            }
+        }
+        out
+    }
+
+    /// `self · c`.
+    pub fn scale(&self, c: f64) -> Poly {
+        if c == 0.0 {
+            return Poly::zero();
+        }
+        Poly {
+            terms: self.terms.iter().map(|(m, &v)| (m.clone(), v * c)).collect(),
+        }
+    }
+
+    /// `self + a·b` — the FMA the kernels are made of.
+    pub fn mul_add(&self, a: &Poly, b: &Poly) -> Poly {
+        self.add(&a.mul(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_identities() {
+        let x = Poly::sym(1);
+        let y = Poly::sym(2);
+        // (x + y)·(x − y) = x² − y²
+        let lhs = x.add(&y).mul(&x.sub(&y));
+        let rhs = x.mul(&x).sub(&y.mul(&y));
+        assert_eq!(lhs, rhs);
+        // x − x = 0 with no residual zero terms
+        assert!(x.sub(&x).is_zero());
+    }
+
+    #[test]
+    fn fma_matches_mul_then_add() {
+        let acc = Poly::sym(10);
+        let a = Poly::sym(11);
+        let b = Poly::sym(12);
+        assert_eq!(acc.mul_add(&a, &b), acc.add(&a.mul(&b)));
+        // and is sensitive to operand swaps into the accumulator slot
+        assert_ne!(acc.mul_add(&a, &b), a.mul_add(&acc, &b));
+    }
+
+    #[test]
+    fn scale_and_symbols() {
+        let p = Poly::sym(3).mul(&Poly::sym(5)).scale(1.5).add(&Poly::sym(3));
+        assert_eq!(p.symbols(), vec![3, 5]);
+        assert!(p.scale(0.0).is_zero());
+    }
+}

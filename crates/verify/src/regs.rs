@@ -1,0 +1,210 @@
+//! Register-file, register-budget, and liveness checks.
+//!
+//! Proves the paper's Table-1 size constraints hold for the generated
+//! kernel: every vector register index is architectural (V0–V31), the set
+//! of distinct registers fits the class budget formula (which itself must
+//! admit ≤ 32), and the dataflow is clean — nothing reads an uninitialized
+//! register, no load is overwritten before being consumed, and every
+//! computed value reaches a reader (ultimately a store).
+
+use crate::contract::Contract;
+use crate::diag::{Diagnostic, RuleId};
+use iatf_codegen::{Inst, Program};
+
+/// Runs the register passes; appends any violations to `diags`.
+pub fn check(c: &Contract, p: &Program, diags: &mut Vec<Diagnostic>) {
+    let budget = c.register_budget();
+    if budget > 32 {
+        diags.push(Diagnostic::new(
+            RuleId::RegBudget,
+            format!(
+                "{}: budget formula gives {budget} registers > 32 — the size \
+                 is outside Table 1",
+                c.label()
+            ),
+        ));
+    }
+
+    let mut used = [false; 256];
+    for (idx, inst) in p.insts.iter().enumerate() {
+        for r in inst.vwrites().into_iter().chain(inst.vreads()) {
+            if r.idx() >= 32 {
+                diags.push(Diagnostic::at(
+                    RuleId::RegFile,
+                    p,
+                    idx,
+                    format!("v{} is outside the V0–V31 register file", r.idx()),
+                ));
+            }
+            used[r.idx().min(255)] = true;
+        }
+    }
+    let distinct = used.iter().filter(|&&u| u).count();
+    if distinct > budget {
+        diags.push(Diagnostic::new(
+            RuleId::RegBudget,
+            format!(
+                "{}: kernel touches {distinct} distinct vector registers, \
+                 budget formula allows {budget}",
+                c.label()
+            ),
+        ));
+    }
+
+    liveness(p, diags);
+}
+
+/// True when `inst` is a load (the producer class whose wasted results are
+/// [`RuleId::DeadLoad`] rather than [`RuleId::WriteNeverRead`]).
+fn is_load(inst: &Inst) -> bool {
+    matches!(inst, Inst::Ldr { .. } | Inst::Ldp { .. })
+}
+
+fn liveness(p: &Program, diags: &mut Vec<Diagnostic>) {
+    // per register: Some(producer index) while a write is pending a read
+    let mut pending: [Option<usize>; 32] = [None; 32];
+    let mut written: [bool; 32] = [false; 32];
+
+    for (idx, inst) in p.insts.iter().enumerate() {
+        // reads happen before the same instruction's write (FMLA reads its
+        // accumulator before redefining it)
+        for r in inst.vreads() {
+            if r.idx() >= 32 {
+                continue; // RegFile already reported
+            }
+            if !written[r.idx()] {
+                diags.push(Diagnostic::at(
+                    RuleId::UninitRead,
+                    p,
+                    idx,
+                    format!("v{} read before any write", r.idx()),
+                ));
+                written[r.idx()] = true; // report once per register
+            }
+            pending[r.idx()] = None;
+        }
+        for r in inst.vwrites() {
+            if r.idx() >= 32 {
+                continue;
+            }
+            if let Some(producer) = pending[r.idx()] {
+                let (rule, what) = if is_load(&p.insts[producer]) {
+                    (RuleId::DeadLoad, "load")
+                } else {
+                    (RuleId::WriteNeverRead, "result")
+                };
+                diags.push(Diagnostic::at(
+                    rule,
+                    p,
+                    producer,
+                    format!(
+                        "{what} into v{} is overwritten at #{idx} without \
+                         ever being read",
+                        r.idx()
+                    ),
+                ));
+            }
+            pending[r.idx()] = Some(idx);
+            written[r.idx()] = true;
+        }
+    }
+
+    for (reg, slot) in pending.iter().enumerate() {
+        if let Some(producer) = *slot {
+            let (rule, what) = if is_load(&p.insts[producer]) {
+                (RuleId::DeadLoad, "load")
+            } else {
+                (RuleId::WriteNeverRead, "result")
+            };
+            diags.push(Diagnostic::at(
+                rule,
+                p,
+                producer,
+                format!("{what} into v{reg} is never read before kernel exit"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iatf_codegen::{DataType, Inst, VReg, XReg};
+
+    fn gemm_4x4(k: usize) -> (Contract, Program) {
+        let c = Contract::Gemm {
+            mc: 4,
+            nc: 4,
+            k,
+            alpha: 1.0,
+            ldc: 4,
+            dtype: DataType::F64,
+        };
+        let p = c.build_traced().program;
+        (c, p)
+    }
+
+    #[test]
+    fn generated_kernels_are_clean() {
+        for k in [1usize, 2, 3, 4, 5, 8] {
+            let (c, p) = gemm_4x4(k);
+            let mut diags = Vec::new();
+            check(&c, &p, &mut diags);
+            assert!(diags.is_empty(), "k={k}: {:?}", diags[0].headline());
+        }
+    }
+
+    #[test]
+    fn dead_load_detected() {
+        let (c, mut p) = gemm_4x4(2);
+        // a load whose value is clobbered by the next instruction
+        p.insts.insert(
+            1,
+            Inst::Ldr {
+                dst: VReg(0),
+                base: XReg::Pa,
+                offset: 0,
+            },
+        );
+        let mut diags = Vec::new();
+        check(&c, &p, &mut diags);
+        assert!(
+            diags.iter().any(|d| d.rule == RuleId::DeadLoad),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn uninit_read_detected() {
+        let c = Contract::Gemm {
+            mc: 1,
+            nc: 1,
+            k: 1,
+            alpha: 1.0,
+            ldc: 1,
+            dtype: DataType::F64,
+        };
+        let mut p = Program::new(DataType::F64);
+        p.push(Inst::Str {
+            src: VReg(7),
+            base: XReg::Pc,
+            offset: 0,
+        });
+        let mut diags = Vec::new();
+        check(&c, &p, &mut diags);
+        assert!(diags.iter().any(|d| d.rule == RuleId::UninitRead));
+    }
+
+    #[test]
+    fn out_of_file_register_detected() {
+        let (c, mut p) = gemm_4x4(2);
+        p.push(Inst::Fmla {
+            vd: VReg(33),
+            vn: VReg(0),
+            vm: VReg(8),
+        });
+        let mut diags = Vec::new();
+        check(&c, &p, &mut diags);
+        assert!(diags.iter().any(|d| d.rule == RuleId::RegFile));
+    }
+}

@@ -1,0 +1,204 @@
+//! Certification report: per-kernel verdicts, rule/class censuses, and
+//! machine-readable JSON (`verify_report.json`).
+
+use crate::diag::{Diagnostic, RuleId};
+use iatf_obs::Json;
+use std::collections::BTreeMap;
+
+/// The verdict for one enumerated kernel.
+#[derive(Clone, Debug)]
+pub struct KernelVerdict {
+    /// Human-readable kernel label (`gemm f64 4x4 k=8`).
+    pub label: String,
+    /// Kernel family (`gemm`, `cgemm`, `trsm_tri`, `trsm_block`,
+    /// `trmm_block`).
+    pub class: &'static str,
+    /// Precision (`f32` / `f64`).
+    pub dtype: &'static str,
+    /// Instruction count of the generated kernel.
+    pub insts: u64,
+    /// Modeled cycles before scheduling.
+    pub cycles_before: u64,
+    /// Modeled cycles after scheduling.
+    pub cycles_after: u64,
+    /// Every rule violation found (empty = certified).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl KernelVerdict {
+    /// True when every pass was clean.
+    pub fn certified(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// The full certification run.
+#[derive(Clone, Debug, Default)]
+pub struct VerifyReport {
+    /// One verdict per enumerated kernel.
+    pub kernels: Vec<KernelVerdict>,
+}
+
+impl VerifyReport {
+    /// Kernels verified.
+    pub fn total(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Kernels with zero diagnostics.
+    pub fn certified(&self) -> usize {
+        self.kernels.iter().filter(|k| k.certified()).count()
+    }
+
+    /// All diagnostics across all kernels.
+    pub fn diagnostics(&self) -> impl Iterator<Item = (&KernelVerdict, &Diagnostic)> {
+        self.kernels
+            .iter()
+            .flat_map(|k| k.diagnostics.iter().map(move |d| (k, d)))
+    }
+
+    /// True when 100% of kernels certified.
+    pub fn is_certified(&self) -> bool {
+        self.certified() == self.total() && self.total() > 0
+    }
+
+    /// Diagnostics per rule id (only violated rules appear).
+    pub fn rule_census(&self) -> BTreeMap<&'static str, usize> {
+        let mut census = BTreeMap::new();
+        for (_, d) in self.diagnostics() {
+            *census.entry(d.rule.id()).or_insert(0) += 1;
+        }
+        census
+    }
+
+    /// (total, certified) per kernel family.
+    pub fn class_census(&self) -> BTreeMap<&'static str, (usize, usize)> {
+        let mut census: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
+        for k in &self.kernels {
+            let e = census.entry(k.class).or_insert((0, 0));
+            e.0 += 1;
+            if k.certified() {
+                e.1 += 1;
+            }
+        }
+        census
+    }
+
+    /// The machine-readable report (`verify_report.json` schema).
+    pub fn to_json(&self) -> Json {
+        let classes = self
+            .class_census()
+            .into_iter()
+            .fold(Json::object(), |acc, (class, (total, certified))| {
+                acc.set(
+                    class,
+                    Json::object().set("total", total).set("certified", certified),
+                )
+            });
+        let rules = self
+            .rule_census()
+            .into_iter()
+            .fold(Json::object(), |acc, (rule, n)| acc.set(rule, n));
+        let failures: Vec<Json> = self
+            .diagnostics()
+            .map(|(k, d)| {
+                Json::object()
+                    .set("kernel", k.label.as_str())
+                    .set("rule", d.rule.id())
+                    .set("paper", d.rule.paper())
+                    .set(
+                        "instruction",
+                        d.index.map(|i| Json::UInt(i as u64)).unwrap_or(Json::Null),
+                    )
+                    .set("message", d.message.as_str())
+            })
+            .collect();
+        Json::object()
+            .set("schema", "iatf.verify_report.v1")
+            .set("total_kernels", self.total())
+            .set("certified_kernels", self.certified())
+            .set("certified", self.is_certified())
+            .set("rules_checked", RuleId::ALL.len())
+            .set("classes", classes)
+            .set("violated_rules", rules)
+            .set("failures", failures)
+    }
+
+    /// Human-readable summary (the `reproduce verify` console output).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "iatf-verify: {}/{} kernels certified against {} rules",
+            self.certified(),
+            self.total(),
+            RuleId::ALL.len()
+        );
+        for (class, (total, certified)) in self.class_census() {
+            let _ = writeln!(out, "  {class:<11} {certified}/{total}");
+        }
+        for (shown, (k, d)) in self.diagnostics().enumerate() {
+            if shown == 10 {
+                let _ = writeln!(out, "  ... more diagnostics elided");
+                break;
+            }
+            let _ = writeln!(out, "  FAIL {}: {}", k.label, d.headline());
+            if !d.context.is_empty() {
+                for line in d.context.lines() {
+                    let _ = writeln!(out, "       {line}");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict(label: &str, class: &'static str, diags: Vec<Diagnostic>) -> KernelVerdict {
+        KernelVerdict {
+            label: label.to_string(),
+            class,
+            dtype: "f64",
+            insts: 10,
+            cycles_before: 20,
+            cycles_after: 12,
+            diagnostics: diags,
+        }
+    }
+
+    #[test]
+    fn censuses_and_json() {
+        let report = VerifyReport {
+            kernels: vec![
+                verdict("gemm f64 4x4 k=2", "gemm", vec![]),
+                verdict(
+                    "gemm f64 4x4 k=3",
+                    "gemm",
+                    vec![Diagnostic::new(RuleId::Semantics, "wrong polynomial")],
+                ),
+                verdict("trsm_tri f64 m=4 n=1", "trsm_tri", vec![]),
+            ],
+        };
+        assert_eq!(report.total(), 3);
+        assert_eq!(report.certified(), 2);
+        assert!(!report.is_certified());
+        assert_eq!(report.rule_census().get("SEMANTICS"), Some(&1));
+        assert_eq!(report.class_census().get("gemm"), Some(&(2, 1)));
+        let json = report.to_json().to_compact();
+        assert!(json.contains("\"certified\":false"));
+        assert!(json.contains("\"SEMANTICS\":1"));
+        assert!(json.contains("iatf.verify_report.v1"));
+        let text = report.render_text();
+        assert!(text.contains("2/3 kernels certified"));
+        assert!(text.contains("FAIL gemm f64 4x4 k=3: SEMANTICS"));
+    }
+
+    #[test]
+    fn empty_report_is_not_certified() {
+        assert!(!VerifyReport::default().is_certified());
+    }
+}

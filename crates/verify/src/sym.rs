@@ -1,0 +1,460 @@
+//! Symbolic semantics: abstract interpretation of the kernel over exact
+//! polynomials, compared slot-for-slot against the reference GEMM/TRSM/
+//! TRMM formulas.
+//!
+//! Every scalar of every packed operand starts as a fresh symbol; each
+//! vector register starts as a *junk* symbol (so a read of anything
+//! uninitialized poisons the result and fails the comparison). The kernel
+//! is then executed lane-exactly — loads, stores, pointer bumps, and the
+//! FMA family all operate on [`Poly`] values — and the final contents of
+//! *every* buffer slot must equal the reference polynomial: output slots
+//! must carry exactly the contracted formula, untouched slots (read-only
+//! panels, `ldc` gaps, already-solved rows) must still be their original
+//! symbols. Equality is exact, so a swapped FMLA operand, a wrong offset,
+//! a missing term, or a clobbered accumulator all surface here.
+
+use crate::contract::{xreg_index, Contract};
+use crate::diag::{Diagnostic, RuleId};
+use crate::poly::Poly;
+use iatf_codegen::{Inst, Program, XReg};
+
+/// Scalars per 16-byte element group.
+fn lanes(c: &Contract) -> usize {
+    c.dtype().lanes()
+}
+
+/// Number of scalar slots behind a pointer.
+fn buf_scalars(c: &Contract, x: XReg) -> usize {
+    (c.buffer_bytes(x) / 16) as usize * lanes(c)
+}
+
+/// The symbolic machine state.
+struct SymMachine {
+    lanes: usize,
+    /// Per-register lane polynomials.
+    vregs: Vec<Vec<Poly>>,
+    /// Per-buffer flat scalar polynomials.
+    bufs: [Vec<Poly>; 4],
+    /// Running byte offset of each pointer.
+    ptr: [i64; 4],
+}
+
+impl SymMachine {
+    /// Fresh machine: buffer slot `i` of buffer `b` holds its own symbol,
+    /// registers hold junk symbols.
+    fn new(c: &Contract) -> Self {
+        let lanes = lanes(c);
+        let mut next = 0u32;
+        let bufs = XReg::ALL.map(|x| {
+            (0..buf_scalars(c, x))
+                .map(|_| {
+                    next += 1;
+                    Poly::sym(next - 1)
+                })
+                .collect::<Vec<_>>()
+        });
+        let vregs = (0..32)
+            .map(|_| {
+                (0..lanes)
+                    .map(|_| {
+                        next += 1;
+                        Poly::sym(next - 1)
+                    })
+                    .collect()
+            })
+            .collect();
+        SymMachine {
+            lanes,
+            vregs,
+            bufs,
+            ptr: [0; 4],
+        }
+    }
+
+    /// Flat scalar index of lane `l` of the group at absolute byte `b`.
+    fn slot(&self, b: i64, l: usize) -> usize {
+        (b / 16) as usize * self.lanes + l
+    }
+
+    fn load_group(&mut self, dst: usize, base: XReg, abs: i64) {
+        for l in 0..self.lanes {
+            self.vregs[dst][l] = self.bufs[xreg_index(base)][self.slot(abs, l)].clone();
+        }
+    }
+
+    /// Executes the whole program (assumes the memory pass already proved
+    /// accesses in-bounds and aligned).
+    fn run(&mut self, p: &Program) {
+        for inst in &p.insts {
+            match *inst {
+                Inst::Ldr { dst, base, offset } => {
+                    let abs = self.ptr[xreg_index(base)] + offset as i64;
+                    self.load_group(dst.idx(), base, abs);
+                }
+                Inst::Ldp {
+                    dst1,
+                    dst2,
+                    base,
+                    offset,
+                } => {
+                    let abs = self.ptr[xreg_index(base)] + offset as i64;
+                    self.load_group(dst1.idx(), base, abs);
+                    self.load_group(dst2.idx(), base, abs + 16);
+                }
+                Inst::Str { src, base, offset } => {
+                    let abs = self.ptr[xreg_index(base)] + offset as i64;
+                    for l in 0..self.lanes {
+                        let s = self.slot(abs, l);
+                        self.bufs[xreg_index(base)][s] = self.vregs[src.idx()][l].clone();
+                    }
+                }
+                Inst::AddImm { reg, imm } => {
+                    self.ptr[xreg_index(reg)] += imm as i64;
+                }
+                Inst::Fmul { vd, vn, vm } => {
+                    for l in 0..self.lanes {
+                        self.vregs[vd.idx()][l] =
+                            self.vregs[vn.idx()][l].mul(&self.vregs[vm.idx()][l]);
+                    }
+                }
+                Inst::Fmla { vd, vn, vm } => {
+                    for l in 0..self.lanes {
+                        self.vregs[vd.idx()][l] = self.vregs[vd.idx()][l]
+                            .mul_add(&self.vregs[vn.idx()][l], &self.vregs[vm.idx()][l]);
+                    }
+                }
+                Inst::Fmls { vd, vn, vm } => {
+                    for l in 0..self.lanes {
+                        let prod = self.vregs[vn.idx()][l].mul(&self.vregs[vm.idx()][l]);
+                        self.vregs[vd.idx()][l] = self.vregs[vd.idx()][l].sub(&prod);
+                    }
+                }
+                Inst::FmlaScalar { vd, vn, alpha } => {
+                    for l in 0..self.lanes {
+                        let scaled = self.vregs[vn.idx()][l].scale(alpha);
+                        self.vregs[vd.idx()][l] = self.vregs[vd.idx()][l].add(&scaled);
+                    }
+                }
+                Inst::FmulScalar { vd, vn, alpha } => {
+                    for l in 0..self.lanes {
+                        self.vregs[vd.idx()][l] = self.vregs[vn.idx()][l].scale(alpha);
+                    }
+                }
+                Inst::Prfm { .. } => {}
+            }
+        }
+    }
+}
+
+/// The contracted final contents of every buffer, as polynomials over the
+/// same initial symbols [`SymMachine::new`] assigns (buffer-major, in
+/// `XReg::ALL` order, lane-major within each 16-byte group).
+fn reference_buffers(c: &Contract) -> [Vec<Poly>; 4] {
+    let lanes = lanes(c);
+    let mut next = 0u32;
+    let mut bufs = XReg::ALL.map(|x| {
+        (0..buf_scalars(c, x))
+            .map(|_| {
+                next += 1;
+                Poly::sym(next - 1)
+            })
+            .collect::<Vec<_>>()
+    });
+    let [pa, pb, pc, ptri] = &mut bufs;
+    let at = |v: &Vec<Poly>, group: usize, l: usize| v[group * lanes + l].clone();
+
+    match *c {
+        Contract::Gemm {
+            mc,
+            nc,
+            k,
+            alpha,
+            ldc,
+            ..
+        } => {
+            // C(i,j) += alpha · Σ_k A(i,k)·B(k,j), per lane
+            for j in 0..nc {
+                for i in 0..mc {
+                    for l in 0..lanes {
+                        let mut acc = Poly::zero();
+                        for s in 0..k {
+                            acc = acc.mul_add(&at(pa, s * mc + i, l), &at(pb, s * nc + j, l));
+                        }
+                        let slot = (j * ldc + i) * lanes + l;
+                        pc[slot] = pc[slot].add(&acc.scale(alpha));
+                    }
+                }
+            }
+        }
+        Contract::CplxGemm {
+            mc,
+            nc,
+            k,
+            alpha,
+            ldc,
+            ..
+        } => {
+            // split representation: group 2g = re plane, 2g+1 = im plane
+            for j in 0..nc {
+                for i in 0..mc {
+                    for l in 0..lanes {
+                        let mut re = Poly::zero();
+                        let mut im = Poly::zero();
+                        for s in 0..k {
+                            let are = at(pa, 2 * (s * mc + i), l);
+                            let aim = at(pa, 2 * (s * mc + i) + 1, l);
+                            let bre = at(pb, 2 * (s * nc + j), l);
+                            let bim = at(pb, 2 * (s * nc + j) + 1, l);
+                            re = re.add(&are.mul(&bre)).sub(&aim.mul(&bim));
+                            im = im.add(&are.mul(&bim)).add(&aim.mul(&bre));
+                        }
+                        let g = 2 * (j * ldc + i);
+                        let (rs, is) = (g * lanes + l, (g + 1) * lanes + l);
+                        pc[rs] = pc[rs].add(&re.scale(alpha));
+                        pc[is] = pc[is].add(&im.scale(alpha));
+                    }
+                }
+            }
+        }
+        Contract::TrsmTri { m, n, .. } => {
+            // forward solve per column: x_i = (b_i − Σ_{j<i} L(i,j)·x_j)·d_i
+            // with d_i the packed reciprocal diagonal
+            let t = |i: usize, j: usize| i * (i + 1) / 2 + j;
+            for col in 0..n {
+                for l in 0..lanes {
+                    let mut x: Vec<Poly> = Vec::with_capacity(m);
+                    for i in 0..m {
+                        let mut v = at(pb, col * m + i, l);
+                        for (j, xj) in x.iter().enumerate() {
+                            v = v.sub(&at(ptri, t(i, j), l).mul(xj));
+                        }
+                        x.push(v.mul(&at(ptri, t(i, i), l)));
+                    }
+                    for (i, xi) in x.into_iter().enumerate() {
+                        pb[(col * m + i) * lanes + l] = xi;
+                    }
+                }
+            }
+        }
+        Contract::TrsmBlock { mb, nr, kk, .. } => {
+            // eliminate the kk solved rows, then solve the diagonal block
+            // (rect strip at Ptri group k·mb+i, triangle at kk·mb + t(i,j))
+            let t = |i: usize, j: usize| kk * mb + i * (i + 1) / 2 + j;
+            for col in 0..nr {
+                for l in 0..lanes {
+                    let mut acc: Vec<Poly> = (0..mb)
+                        .map(|i| {
+                            let mut v = at(pb, (kk + i) * nr + col, l);
+                            for s in 0..kk {
+                                v = v.sub(&at(ptri, s * mb + i, l).mul(&at(pb, s * nr + col, l)));
+                            }
+                            v
+                        })
+                        .collect();
+                    for i in 0..mb {
+                        for j in 0..i {
+                            let sub = at(ptri, t(i, j), l).mul(&acc[j]);
+                            acc[i] = acc[i].sub(&sub);
+                        }
+                        acc[i] = acc[i].mul(&at(ptri, t(i, i), l));
+                    }
+                    for (i, v) in acc.into_iter().enumerate() {
+                        pb[((kk + i) * nr + col) * lanes + l] = v;
+                    }
+                }
+            }
+        }
+        Contract::TrmmBlock {
+            mb,
+            nr,
+            kk,
+            alpha,
+            ..
+        } => {
+            // out_i = alpha · (Σ_{j≤i} T(i,j)·b_{kk+j} + Σ_{s<kk} R(s,i)·b_s)
+            // with a direct (non-reciprocal) diagonal
+            let t = |i: usize, j: usize| kk * mb + i * (i + 1) / 2 + j;
+            for col in 0..nr {
+                for l in 0..lanes {
+                    let out: Vec<Poly> = (0..mb)
+                        .map(|i| {
+                            let mut v = Poly::zero();
+                            for j in 0..=i {
+                                v = v.mul_add(
+                                    &at(ptri, t(i, j), l),
+                                    &at(pb, (kk + j) * nr + col, l),
+                                );
+                            }
+                            for s in 0..kk {
+                                v = v.mul_add(&at(ptri, s * mb + i, l), &at(pb, s * nr + col, l));
+                            }
+                            v.scale(alpha)
+                        })
+                        .collect();
+                    for (i, v) in out.into_iter().enumerate() {
+                        pb[((kk + i) * nr + col) * lanes + l] = v;
+                    }
+                }
+            }
+        }
+    }
+    bufs
+}
+
+/// Runs the kernel symbolically and compares every buffer slot against the
+/// reference formula; appends a [`RuleId::Semantics`] diagnostic for the
+/// first mismatching slot of each buffer.
+pub fn check(c: &Contract, p: &Program, diags: &mut Vec<Diagnostic>) {
+    let mut m = SymMachine::new(c);
+    m.run(p);
+    let want = reference_buffers(c);
+    for (bi, x) in XReg::ALL.into_iter().enumerate() {
+        for (slot, (got, expect)) in m.bufs[bi].iter().zip(&want[bi]).enumerate() {
+            if got != expect {
+                let group = slot / m.lanes;
+                let lane = slot % m.lanes;
+                diags.push(Diagnostic::new(
+                    RuleId::Semantics,
+                    format!(
+                        "{}: {x:?} group {group} lane {lane} computes the wrong \
+                         polynomial (first mismatching slot)",
+                        c.label()
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iatf_codegen::{optimize, DataType, PipelineModel, VReg};
+
+    fn clean(c: &Contract) {
+        let p = c.build_traced().program;
+        let mut diags = Vec::new();
+        check(c, &p, &mut diags);
+        assert!(diags.is_empty(), "{}: {}", c.label(), diags[0].headline());
+        // and the schedule preserves the polynomials
+        let post = optimize(&p, &PipelineModel::default());
+        let mut diags = Vec::new();
+        check(c, &post, &mut diags);
+        assert!(
+            diags.is_empty(),
+            "{} (scheduled): {}",
+            c.label(),
+            diags[0].headline()
+        );
+    }
+
+    #[test]
+    fn gemm_semantics_hold() {
+        for k in [1usize, 2, 3, 4, 5] {
+            clean(&Contract::Gemm {
+                mc: 3,
+                nc: 2,
+                k,
+                alpha: 1.5,
+                ldc: 4,
+                dtype: DataType::F64,
+            });
+        }
+    }
+
+    #[test]
+    fn cgemm_semantics_hold() {
+        for k in [1usize, 2, 3, 4] {
+            clean(&Contract::CplxGemm {
+                mc: 2,
+                nc: 2,
+                k,
+                alpha: 1.5,
+                ldc: 3,
+                dtype: DataType::F32,
+            });
+        }
+    }
+
+    #[test]
+    fn trsm_and_trmm_semantics_hold() {
+        clean(&Contract::TrsmTri {
+            m: 4,
+            n: 2,
+            dtype: DataType::F64,
+        });
+        clean(&Contract::TrsmBlock {
+            mb: 3,
+            nr: 2,
+            kk: 3,
+            dtype: DataType::F32,
+        });
+        clean(&Contract::TrmmBlock {
+            mb: 3,
+            nr: 2,
+            kk: 2,
+            alpha: 2.0,
+            dtype: DataType::F64,
+        });
+    }
+
+    #[test]
+    fn swapped_fmla_operands_detected() {
+        let c = Contract::Gemm {
+            mc: 2,
+            nc: 2,
+            k: 3,
+            alpha: 1.5,
+            ldc: 2,
+            dtype: DataType::F64,
+        };
+        let mut p = c.build_traced().program;
+        // swap an FMLA's accumulator with one of its factors
+        let idx = p
+            .insts
+            .iter()
+            .position(|i| matches!(i, Inst::Fmla { .. }))
+            .unwrap();
+        if let Inst::Fmla { vd, vn, vm } = p.insts[idx] {
+            p.insts[idx] = Inst::Fmla {
+                vd: vn,
+                vn: vd,
+                vm,
+            };
+        }
+        let mut diags = Vec::new();
+        check(&c, &p, &mut diags);
+        assert!(diags.iter().any(|d| d.rule == RuleId::Semantics));
+    }
+
+    #[test]
+    fn clobbered_accumulator_detected() {
+        let c = Contract::Gemm {
+            mc: 2,
+            nc: 2,
+            k: 2,
+            alpha: 1.0,
+            ldc: 2,
+            dtype: DataType::F64,
+        };
+        let mut p = c.build_traced().program;
+        // overwrite an accumulator mid-kernel with junk dataflow
+        let save_start = p
+            .insts
+            .iter()
+            .position(|i| matches!(i, Inst::FmlaScalar { .. }))
+            .unwrap();
+        p.insts.insert(
+            save_start - 1,
+            Inst::Fmul {
+                vd: VReg(8),
+                vn: VReg(0),
+                vm: VReg(0),
+            },
+        );
+        let mut diags = Vec::new();
+        check(&c, &p, &mut diags);
+        assert!(diags.iter().any(|d| d.rule == RuleId::Semantics));
+    }
+}

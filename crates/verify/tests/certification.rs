@@ -1,0 +1,146 @@
+//! The acceptance gate: 100% of the enumerated kernel set certifies with
+//! zero diagnostics, and deliberately corrupted kernels are rejected with
+//! the right pinpointed rule.
+
+use iatf_codegen::{DataType, Inst, PipelineModel, VReg, XReg};
+use iatf_verify::{all_contracts, certify, certify_all, verify_traced, Contract, RuleId};
+
+#[test]
+fn every_enumerated_kernel_certifies() {
+    let report = certify_all();
+    assert_eq!(report.total(), all_contracts().len());
+    if let Some((k, d)) = report.diagnostics().next() {
+        panic!("{} failed certification: {}\n{}", k.label, d.headline(), d.context);
+    }
+    assert!(report.is_certified());
+    // every family is present in the sweep
+    let classes = report.class_census();
+    for class in ["gemm", "cgemm", "trsm_tri", "trsm_block", "trmm_block"] {
+        assert!(classes.contains_key(class), "missing family {class}");
+    }
+    // scheduling never regressed any kernel
+    for k in &report.kernels {
+        assert!(
+            k.cycles_after <= k.cycles_before,
+            "{}: {} → {}",
+            k.label,
+            k.cycles_before,
+            k.cycles_after
+        );
+    }
+}
+
+fn base_contract() -> Contract {
+    Contract::Gemm {
+        mc: 4,
+        nc: 4,
+        k: 4,
+        alpha: 1.5,
+        ldc: 5,
+        dtype: DataType::F64,
+    }
+}
+
+/// Corrupts the generated kernel with `f` and asserts the verifier rejects
+/// it, pinpointing `rule`.
+fn assert_rejected(rule: RuleId, f: impl FnOnce(&mut Vec<Inst>)) {
+    let c = base_contract();
+    let mut t = c.build_traced();
+    f(&mut t.program.insts);
+    let diags = verify_traced(&c, &t);
+    assert!(
+        diags.iter().any(|d| d.rule == rule),
+        "expected {:?}, got {:?}",
+        rule.id(),
+        diags.iter().map(|d| d.headline()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn swapped_fmla_operands_rejected() {
+    assert_rejected(RuleId::Semantics, |insts| {
+        let idx = insts
+            .iter()
+            .position(|i| matches!(i, Inst::Fmla { .. }))
+            .unwrap();
+        if let Inst::Fmla { vd, vn, vm } = insts[idx] {
+            insts[idx] = Inst::Fmla { vd: vn, vn: vd, vm };
+        }
+    });
+}
+
+#[test]
+fn clobbered_accumulator_rejected() {
+    assert_rejected(RuleId::Semantics, |insts| {
+        // zero out an accumulator right before the SAVE phase reads it:
+        // v16 = c(0,0); v16 ← v0·v0 destroys the accumulated dot product
+        let save = insts
+            .iter()
+            .position(|i| matches!(i, Inst::FmlaScalar { .. }))
+            .unwrap();
+        insts.insert(
+            save - 1,
+            Inst::Fmul {
+                vd: VReg(16),
+                vn: VReg(0),
+                vm: VReg(0),
+            },
+        );
+    });
+}
+
+#[test]
+fn out_of_bounds_access_rejected() {
+    assert_rejected(RuleId::MemBounds, |insts| {
+        insts.insert(
+            1,
+            Inst::Ldr {
+                dst: VReg(0),
+                base: XReg::Pa,
+                offset: 1 << 20,
+            },
+        );
+    });
+}
+
+#[test]
+fn register_file_overflow_rejected() {
+    assert_rejected(RuleId::RegFile, |insts| {
+        insts.push(Inst::Fmla {
+            vd: VReg(32),
+            vn: VReg(16),
+            vm: VReg(17),
+        });
+    });
+}
+
+#[test]
+fn corruption_is_pinpointed_to_the_instruction() {
+    let c = base_contract();
+    let mut t = c.build_traced();
+    let idx = t
+        .program
+        .insts
+        .iter()
+        .position(|i| matches!(i, Inst::Ldr { base: XReg::Pa, .. } | Inst::Ldp { base: XReg::Pa, .. }))
+        .unwrap();
+    // send the first A load out of bounds
+    if let Inst::Ldp { offset, .. } | Inst::Ldr { offset, .. } = &mut t.program.insts[idx] {
+        *offset += 1 << 16;
+    }
+    let diags = verify_traced(&c, &t);
+    let bounds: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == RuleId::MemBounds)
+        .collect();
+    assert!(!bounds.is_empty());
+    assert_eq!(bounds[0].index, Some(idx), "diagnostic must name the load");
+    assert!(bounds[0].context.contains("->"), "context must mark the line");
+}
+
+#[test]
+fn certified_kernel_roundtrips_through_schedule() {
+    let v = certify(&base_contract(), &PipelineModel::default());
+    assert!(v.certified());
+    assert!(v.cycles_after < v.cycles_before, "Fig. 5 speedup expected");
+}

@@ -1,0 +1,100 @@
+//! Property tests: randomly drawn kernel shapes must certify — every pass,
+//! pre- and post-schedule — and scheduling must preserve the instruction
+//! multiset (satellite of the verifier PR; complements the exhaustive
+//! enumeration in `certification.rs` with off-grid K and kk values).
+
+use iatf_codegen::{optimize, DataType, PipelineModel};
+use iatf_verify::{pipe, verify_program, verify_traced, Contract};
+use proptest::prelude::*;
+
+fn dtype_of(bit: bool) -> DataType {
+    if bit {
+        DataType::F64
+    } else {
+        DataType::F32
+    }
+}
+
+fn assert_certifies(c: Contract) -> Result<(), TestCaseError> {
+    let model = PipelineModel::default();
+    let traced = c.build_traced();
+    let pre = verify_traced(&c, &traced);
+    prop_assert!(
+        pre.is_empty(),
+        "{} pre-schedule: {}",
+        c.label(),
+        pre[0].headline()
+    );
+    let post_prog = optimize(&traced.program, &model);
+    let post = verify_program(&c, &post_prog);
+    prop_assert!(
+        post.is_empty(),
+        "{} post-schedule: {}",
+        c.label(),
+        post[0].headline()
+    );
+    let mut sched = Vec::new();
+    pipe::check_schedule(&c, &traced.program, &post_prog, &model, &mut sched);
+    prop_assert!(
+        sched.is_empty(),
+        "{} schedule: {}",
+        c.label(),
+        sched[0].headline()
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_gemm_kernels_certify(
+        mc in 1usize..=4,
+        nc in 1usize..=4,
+        k in 1usize..=24,
+        pad in 0usize..=3,
+        wide in any::<bool>(),
+    ) {
+        assert_certifies(Contract::Gemm {
+            mc,
+            nc,
+            k,
+            alpha: 1.5,
+            ldc: mc + pad,
+            dtype: dtype_of(wide),
+        })?;
+    }
+
+    #[test]
+    fn random_cgemm_kernels_certify(
+        mc in 1usize..=3,
+        nc in 1usize..=2,
+        k in 1usize..=16,
+        pad in 0usize..=2,
+        wide in any::<bool>(),
+    ) {
+        assert_certifies(Contract::CplxGemm {
+            mc,
+            nc,
+            k,
+            alpha: 1.5,
+            ldc: mc + pad,
+            dtype: dtype_of(wide),
+        })?;
+    }
+
+    #[test]
+    fn random_trsm_and_trmm_kernels_certify(
+        m in 1usize..=5,
+        n in 1usize..=6,
+        mb in 1usize..=4,
+        nr in 1usize..=4,
+        kk in 0usize..=9,
+        wide in any::<bool>(),
+    ) {
+        let dtype = dtype_of(wide);
+        assert_certifies(Contract::TrsmTri { m, n, dtype })?;
+        assert_certifies(Contract::TrsmBlock { mb, nr, kk, dtype })?;
+        assert_certifies(Contract::TrmmBlock { mb, nr, kk, alpha: 1.5, dtype })?;
+    }
+}

@@ -25,7 +25,50 @@ echo "==> bench harness builds in both feature states"
 cargo build --release -p iatf-bench
 cargo build --release -p iatf-bench --features obs
 
+echo "==> iatf-verify: unit + property + certification tests"
+cargo test -q -p iatf-verify
+
+echo "==> static kernel certification (reproduce verify) + machine report"
+cargo run -q --release -p iatf-bench --bin reproduce -- verify
+cargo run -q --release -p iatf-bench --bin reproduce -- verify --json > verify_report.json
+echo "    wrote verify_report.json"
+
+echo "==> unsafe code stays inside the audited allowlist"
+# The SIMD backends are the sanctioned home of unsafe (the iatf-simd
+# exemption); the remaining entries are the audited raw-pointer kernel and
+# layout internals documented in DESIGN.md ("Unsafe policy"). Every other
+# crate carries #![forbid(unsafe_code)], so a new `unsafe` anywhere else
+# must extend this list consciously or it fails the gate.
+unsafe_allowlist='
+crates/simd/src/
+crates/kernels/src/
+crates/kernels/tests/proptests.rs
+crates/layout/src/compact.rs
+crates/baselines/src/
+crates/core/src/elem.rs
+crates/core/src/plan/gemm.rs
+crates/core/src/plan/trsm.rs
+crates/core/src/plan/trmm.rs
+crates/codegen/tests/equivalence.rs
+crates/bench/src/runners.rs
+crates/bench/benches/
+'
+violations=""
+while IFS= read -r f; do
+  allowed=0
+  for p in $unsafe_allowlist; do
+    case "$f" in "$p"*) allowed=1 ;; esac
+  done
+  [ "$allowed" = 1 ] || violations="$violations$f"$'\n'
+done < <(grep -rlw --include='*.rs' 'unsafe' src crates | sort)
+if [ -n "$violations" ]; then
+  echo "error: unsafe outside the allowlist:"
+  printf '%s' "$violations"
+  exit 1
+fi
+
 echo "==> clippy (warnings are errors)"
 cargo clippy --workspace -- -D warnings
+cargo clippy -p iatf-verify --all-targets -- -D warnings
 
 echo "OK: all verification steps passed"
