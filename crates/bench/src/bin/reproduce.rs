@@ -6,8 +6,14 @@
 //! targets:
 //!   table1 table2 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12
 //!   ablation-pack ablation-batch ablation-kernel-size ablation-fmls
-//!   ablation-schedule obs verify all
+//!   ablation-schedule callamort obs verify all
 //! ```
+//!
+//! `callamort` measures call-amortization: per-call cost of a prebuilt
+//! plan's `execute` vs the cached and bypass (fresh-plan-per-call) one-shot
+//! paths at small sizes, where run-time-stage overhead is comparable to
+//! compute. `--json` emits one combined document with the per-size numbers
+//! and the plan-cache counters.
 //!
 //! `obs` exercises every routine/precision once and prints the telemetry
 //! document: plan explainers (always live) plus the runtime counters,
@@ -118,6 +124,7 @@ fn main() {
         "ablation-pingpong" => ablation_pingpong(&opts),
         "ext-trmm" => ext_trmm(&opts),
         "ablation-schedule" => ablation_schedule(),
+        "callamort" => callamort(&opts),
         "obs" => obs_telemetry(&opts),
         "verify" => verify_kernels(&opts),
         "all" => {
@@ -138,6 +145,7 @@ fn main() {
             ablation_pingpong(&opts);
             ablation_schedule();
             ext_trmm(&opts);
+            callamort(&opts);
             obs_telemetry(&opts);
             verify_kernels(&opts);
         }
@@ -792,10 +800,23 @@ fn obs_trmm_once<E: CompactElement>(n: usize, count: usize) -> iatf_obs::PlanExp
 /// GEMM 4×4, complex GEMM 3×2, real TRSM 4×4, complex TRSM 2×2).
 fn obs_telemetry(opts: &Opts) {
     iatf_obs::reset();
+    iatf_core::plan::cache::clear();
     // n=10 has edge tiles in every precision (Table 1 main kernels: real
     // GEMM 4x4, complex GEMM 3x2, real TRSM 4x4, complex TRSM 2x2)
     let n = 10;
     let count = opts.batch_base.clamp(1, 64);
+    // A few one-shot calls so the plan-cache counters show a miss-then-hit
+    // pattern alongside the prebuilt-plan explainers below.
+    {
+        use iatf_layout::CompactBatch;
+        let cfg = TuningConfig::default();
+        let a = CompactBatch::<f64>::zeroed(n, n, count);
+        let b = CompactBatch::<f64>::zeroed(n, n, count);
+        let mut c = CompactBatch::<f64>::zeroed(n, n, count);
+        for _ in 0..3 {
+            iatf_core::compact_gemm(GemmMode::NN, 1.0, &a, &b, 0.0, &mut c, &cfg).unwrap();
+        }
+    }
     let explainers: Vec<iatf_obs::Json> = vec![
         obs_gemm_once::<f32>(n, count).to_json(),
         obs_gemm_once::<f64>(n, count).to_json(),
@@ -814,6 +835,309 @@ fn obs_telemetry(opts: &Opts) {
         .set("explainers", explainers)
         .set("metrics", iatf_obs::snapshot().to_json());
     println!("{}", doc.to_pretty());
+}
+
+// ---------------------------------------------------------------------------
+// Call-amortization sweep (the plan cache's reason to exist)
+// ---------------------------------------------------------------------------
+
+/// Per-call dispatch cost at small sizes, four ways:
+///
+/// * `exec` — a prebuilt [`iatf_core::GemmPlan`], `execute` per call: the
+///   floor (no planning, no cache lookup).
+/// * `hit` — one-shot `compact_gemm` under the default `Shared` policy on
+///   a fixed shape: after warmup every call is a cache hit.
+/// * `miss` — one-shot under `Shared` where every call carries a config
+///   with a fresh fingerprint (an `l1_budget_fraction` perturbation too
+///   small to change any planning decision), so every lookup is a cold
+///   miss that runs the full run-time stage *and* the insert/evict path.
+/// * `bypass` — one-shot under `Bypass`: the run-time stage per call, no
+///   cache traffic at all (the reference for what the cache must beat).
+///
+/// The *overhead* columns subtract the `exec` floor, isolating what the
+/// caller pays for dispatch; `ratio` is miss-overhead over hit-overhead —
+/// how much cheaper a cached call is than an uncached one.
+///
+/// Because those overheads are tens of nanoseconds riding on microsecond
+/// call times, a second table measures dispatch *directly* — the
+/// plan-resolution step alone (warm lookup vs cold miss vs bare build),
+/// no subtraction — and that aggregate is the headline amortization
+/// figure. A final table records serial vs parallel executor GFLOPS as
+/// the perf-trajectory baseline for `BENCH_3.json`.
+fn callamort(opts: &Opts) {
+    use iatf_core::plan::cache;
+    use iatf_core::{compact_gemm, GemmPlan, PlanCachePolicy};
+    use iatf_layout::GemmDims;
+
+    let sizes: Vec<usize> = {
+        let small: Vec<usize> = opts.sizes.iter().copied().filter(|&n| n <= 8).collect();
+        if small.is_empty() {
+            vec![2, 4, 8]
+        } else {
+            small
+        }
+    };
+    // Small batches keep per-call dispatch visible next to compute: the
+    // overhead columns are floor-subtracted, and a multi-microsecond floor
+    // would bury a ~100 ns dispatch delta in timing jitter.
+    let count = opts.batch_base.clamp(1, 8);
+    let cfg = TuningConfig::default();
+    let bypass = TuningConfig {
+        plan_cache: PlanCachePolicy::Bypass,
+        ..TuningConfig::default()
+    };
+
+    let mut exec_ns = Vec::new();
+    let mut hit_ns = Vec::new();
+    let mut miss_ns = Vec::new();
+    let mut bypass_ns = Vec::new();
+    cache::clear();
+    // Monotone counter across all timing passes: every `miss` call gets a
+    // config whose fingerprint has never been seen, so it can never hit.
+    let mut fresh = 0u64;
+    // The overhead columns below are floor-subtracted differences of tens
+    // of nanoseconds, so a load spike landing on one series would swamp
+    // them. The four series are therefore measured *interleaved* over
+    // several short rounds, keeping the minimum per series — the minimum
+    // approximates the unloaded per-call time, and interleaving keeps
+    // drift (frequency, thermal, background load) from biasing one series.
+    let round = iatf_bench::timer::TimeOpts {
+        reps: 1,
+        min_rep_secs: 0.004,
+        warmup: 1,
+    };
+    const ROUNDS: usize = 5;
+    for &n in &sizes {
+        let w = gemm_workload::<f64>(n, GemmMode::NN, count, 42);
+        let plan = GemmPlan::<f64>::new(
+            GemmDims::square(n),
+            GemmMode::NN,
+            false,
+            false,
+            count,
+            &cfg,
+        )
+        .unwrap();
+        let (mut t_exec, mut t_hit, mut t_miss, mut t_bypass) =
+            (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        let mut c_exec = w.c_c.clone();
+        let mut c_hit = w.c_c.clone();
+        let mut c_miss = w.c_c.clone();
+        let mut c_bypass = w.c_c.clone();
+        for _ in 0..ROUNDS {
+            t_exec = t_exec.min(iatf_bench::timer::time_secs(&round, || {
+                plan.execute(1.0, &w.a_c, &w.b_c, 0.0, &mut c_exec).unwrap();
+            }));
+            t_hit = t_hit.min(iatf_bench::timer::time_secs(&round, || {
+                compact_gemm(GemmMode::NN, 1.0, &w.a_c, &w.b_c, 0.0, &mut c_hit, &cfg).unwrap();
+            }));
+            t_miss = t_miss.min(iatf_bench::timer::time_secs(&round, || {
+                fresh += 1;
+                let cold = TuningConfig {
+                    // Distinct fingerprint, identical planning decisions:
+                    // the budget moves by well under one element.
+                    l1_budget_fraction: cfg.l1_budget_fraction + fresh as f64 * 1e-9,
+                    ..cfg.clone()
+                };
+                compact_gemm(GemmMode::NN, 1.0, &w.a_c, &w.b_c, 0.0, &mut c_miss, &cold).unwrap();
+            }));
+            t_bypass = t_bypass.min(iatf_bench::timer::time_secs(&round, || {
+                compact_gemm(GemmMode::NN, 1.0, &w.a_c, &w.b_c, 0.0, &mut c_bypass, &bypass)
+                    .unwrap();
+            }));
+        }
+        exec_ns.push(t_exec * 1e9);
+        hit_ns.push(t_hit * 1e9);
+        miss_ns.push(t_miss * 1e9);
+        bypass_ns.push(t_bypass * 1e9);
+    }
+
+    // Dispatch cost measured *directly*: time the plan-resolution step
+    // alone (what a one-shot call does before `execute`), with no floor
+    // subtraction to amplify jitter. `hit` is a warm cache lookup, `miss`
+    // a never-seen fingerprint (lookup + build + insert + eviction at
+    // capacity), `bypass` a bare plan build.
+    let mut dispatch_hit_ns = Vec::new();
+    let mut dispatch_miss_ns = Vec::new();
+    let mut dispatch_bypass_ns = Vec::new();
+    for &n in &sizes {
+        let dims = GemmDims::square(n);
+        let (mut t_hit, mut t_miss, mut t_bypass) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for _ in 0..ROUNDS {
+            t_hit = t_hit.min(iatf_bench::timer::time_secs(&round, || {
+                let plan =
+                    cache::cached_gemm_plan::<f64>(dims, GemmMode::NN, false, false, count, &cfg)
+                        .unwrap();
+                std::hint::black_box(&plan);
+            }));
+            t_miss = t_miss.min(iatf_bench::timer::time_secs(&round, || {
+                fresh += 1;
+                let cold = TuningConfig {
+                    l1_budget_fraction: cfg.l1_budget_fraction + fresh as f64 * 1e-9,
+                    ..cfg.clone()
+                };
+                let plan =
+                    cache::cached_gemm_plan::<f64>(dims, GemmMode::NN, false, false, count, &cold)
+                        .unwrap();
+                std::hint::black_box(&plan);
+            }));
+            t_bypass = t_bypass.min(iatf_bench::timer::time_secs(&round, || {
+                let plan =
+                    GemmPlan::<f64>::new(dims, GemmMode::NN, false, false, count, &bypass).unwrap();
+                std::hint::black_box(&plan);
+            }));
+        }
+        dispatch_hit_ns.push(t_hit * 1e9);
+        dispatch_miss_ns.push(t_miss * 1e9);
+        dispatch_bypass_ns.push(t_bypass * 1e9);
+    }
+
+    let overhead = |per_call: &[f64]| -> Vec<f64> {
+        per_call
+            .iter()
+            .zip(&exec_ns)
+            .map(|(&t, &floor)| (t - floor).max(0.0))
+            .collect::<Vec<f64>>()
+    };
+    let oh_hit = overhead(&hit_ns);
+    let oh_miss = overhead(&miss_ns);
+    let oh_bypass = overhead(&bypass_ns);
+    // Denominator floored at 1 ns: a hit that measures at or below the
+    // prebuilt floor is timing jitter, not a free lookup.
+    let ratio: Vec<f64> = oh_miss
+        .iter()
+        .zip(&oh_hit)
+        .map(|(&m, &h)| m / h.max(1.0))
+        .collect();
+    // Headline number: total *directly measured* dispatch cost across the
+    // sweep, uncached (cold miss) over cached (warm hit). The end-to-end
+    // overhead columns tell the same story but ride on a floor subtraction
+    // of tens of nanoseconds against microsecond call times, so they
+    // jitter; the direct measurement does not.
+    let aggregate =
+        dispatch_miss_ns.iter().sum::<f64>() / dispatch_hit_ns.iter().sum::<f64>().max(1.0);
+    let stats = cache::stats();
+
+    // Executor-throughput trajectory for the BENCH artifact: serial vs
+    // parallel GFLOPS on a batch big enough to span many superblocks.
+    // (With the vendored sequential rayon the two coincide; on a real
+    // rayon the parallel series shows the superblock-partitioned scaling.)
+    let tp_sizes = [8usize, 16, 32];
+    let tp_count = opts.batch_base.clamp(256, 4096);
+    let mut serial_gflops = Vec::new();
+    #[cfg_attr(not(feature = "parallel"), allow(unused_mut))]
+    let mut parallel_gflops: Vec<f64> = Vec::new();
+    for &n in &tp_sizes {
+        let w = gemm_workload::<f64>(n, GemmMode::NN, tp_count, 7);
+        let plan = GemmPlan::<f64>::new(
+            GemmDims::square(n),
+            GemmMode::NN,
+            false,
+            false,
+            tp_count,
+            &cfg,
+        )
+        .unwrap();
+        let flops = 2.0 * (n * n * n * tp_count) as f64;
+        let mut c = w.c_c.clone();
+        let t = iatf_bench::timer::time_secs(&opts.time, || {
+            plan.execute(1.0, &w.a_c, &w.b_c, 0.0, &mut c).unwrap();
+        });
+        serial_gflops.push(flops / t / 1e9);
+        #[cfg(feature = "parallel")]
+        {
+            let mut c = w.c_c.clone();
+            let t = iatf_bench::timer::time_secs(&opts.time, || {
+                plan.execute_parallel(1.0, &w.a_c, &w.b_c, 0.0, &mut c).unwrap();
+            });
+            parallel_gflops.push(flops / t / 1e9);
+        }
+    }
+
+    if opts.json {
+        let ns_list = |v: &[f64]| v.iter().map(|&x| iatf_obs::Json::from(x)).collect::<Vec<_>>();
+        let doc = iatf_obs::Json::object()
+            .set("title", "callamort: per-call dispatch overhead, cached vs uncached")
+            .set("count", count)
+            .set("sizes", sizes.iter().map(|&n| iatf_obs::Json::from(n)).collect::<Vec<_>>())
+            .set("exec_ns", ns_list(&exec_ns))
+            .set("hit_ns", ns_list(&hit_ns))
+            .set("miss_ns", ns_list(&miss_ns))
+            .set("bypass_ns", ns_list(&bypass_ns))
+            .set("hit_overhead_ns", ns_list(&oh_hit))
+            .set("miss_overhead_ns", ns_list(&oh_miss))
+            .set("bypass_overhead_ns", ns_list(&oh_bypass))
+            .set("dispatch_hit_ns", ns_list(&dispatch_hit_ns))
+            .set("dispatch_miss_ns", ns_list(&dispatch_miss_ns))
+            .set("dispatch_bypass_ns", ns_list(&dispatch_bypass_ns))
+            .set("amortization_ratio", ns_list(&ratio))
+            .set("aggregate_amortization_ratio", aggregate)
+            .set(
+                "throughput",
+                iatf_obs::Json::object()
+                    .set("count", tp_count)
+                    .set(
+                        "sizes",
+                        tp_sizes.iter().map(|&n| iatf_obs::Json::from(n)).collect::<Vec<_>>(),
+                    )
+                    .set("serial_gflops", ns_list(&serial_gflops))
+                    .set("parallel_gflops", ns_list(&parallel_gflops))
+                    .set("parallel_feature", cfg!(feature = "parallel")),
+            )
+            .set(
+                "plan_cache",
+                iatf_obs::Json::object()
+                    .set("hits", stats.hits)
+                    .set("misses", stats.misses)
+                    .set("evictions", stats.evictions)
+                    .set("bypasses", stats.bypasses)
+                    .set("entries", stats.entries as u64),
+            );
+        println!("{}", doc.to_pretty());
+        return;
+    }
+
+    println!("## Call amortization: per-call dispatch overhead (f64 GEMM NN, batch {count})");
+    println!(
+        "{:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "n", "exec ns", "hit ns", "miss ns", "bypass ns", "hit oh", "miss oh", "ratio"
+    );
+    for (i, &n) in sizes.iter().enumerate() {
+        println!(
+            "{n:>4} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>7.1}x",
+            exec_ns[i], hit_ns[i], miss_ns[i], bypass_ns[i], oh_hit[i], oh_miss[i], ratio[i]
+        );
+    }
+    println!();
+    println!("## Dispatch cost, measured directly (plan resolution only)");
+    println!(
+        "{:>4} {:>12} {:>12} {:>12} {:>8}",
+        "n", "hit ns", "miss ns", "build ns", "ratio"
+    );
+    for (i, &n) in sizes.iter().enumerate() {
+        println!(
+            "{n:>4} {:>12.1} {:>12.1} {:>12.1} {:>7.1}x",
+            dispatch_hit_ns[i],
+            dispatch_miss_ns[i],
+            dispatch_bypass_ns[i],
+            dispatch_miss_ns[i] / dispatch_hit_ns[i].max(1.0)
+        );
+    }
+    println!("   aggregate: uncached dispatch costs {aggregate:.1}x the cached dispatch");
+    println!(
+        "   plan cache: {} hits, {} misses, {} evictions, {} bypasses, {} resident",
+        stats.hits, stats.misses, stats.evictions, stats.bypasses, stats.entries
+    );
+    println!();
+    println!("## Executor throughput (f64 GEMM NN, batch {tp_count})");
+    for (i, &n) in tp_sizes.iter().enumerate() {
+        let par = parallel_gflops
+            .get(i)
+            .map(|g| format!("{g:>10.2}"))
+            .unwrap_or_else(|| format!("{:>10}", "(off)"));
+        println!("{n:>4} serial {:>10.2} GFLOPS   parallel {par} GFLOPS", serial_gflops[i]);
+    }
+    println!();
 }
 
 // ---------------------------------------------------------------------------

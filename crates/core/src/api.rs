@@ -1,13 +1,17 @@
 //! Public entry points.
 //!
-//! The one-shot functions plan and execute in a single call; for repeated
-//! executions over identical shapes, build a [`GemmPlan`]/[`TrsmPlan`] once
-//! and call `execute` repeatedly (the run-time stage "only generates this
-//! execution plan at the beginning" — §5.3).
+//! The one-shot functions plan and execute in a single call. Under the
+//! default [`PlanCachePolicy::Shared`](crate::config::PlanCachePolicy)
+//! they consult the process-wide [plan cache](crate::plan::cache), so
+//! repeated same-shape calls reuse the plan built by the first one — the
+//! run-time stage "only generates this execution plan at the beginning"
+//! (§5.3), amortized across calls. Callers that manage plan lifetimes
+//! themselves build a [`GemmPlan`]/[`TrsmPlan`] directly and call
+//! `execute` repeatedly, or set `PlanCachePolicy::Bypass`.
 
-use crate::config::TuningConfig;
+use crate::config::{PlanCachePolicy, TuningConfig};
 use crate::elem::CompactElement;
-use crate::plan::{GemmPlan, TrmmPlan, TrsmPlan};
+use crate::plan::{cache, GemmPlan, TrmmPlan, TrsmPlan};
 use iatf_layout::{CompactBatch, GemmDims, GemmMode, LayoutError, StdBatch, Trans, TrsmDims, TrsmMode};
 
 /// Compact batched GEMM: `C = α·op(A)·op(B) + β·C` for every matrix in the
@@ -57,8 +61,17 @@ pub fn compact_gemm_ex<E: CompactElement>(
         Trans::Yes => a.rows(),
     };
     let dims = GemmDims::new(c.rows(), c.cols(), k);
-    let plan = GemmPlan::<E>::new(dims, mode, conj_a, conj_b, c.count(), cfg)?;
-    plan.execute(alpha, a, b, beta, c)
+    match cfg.plan_cache {
+        PlanCachePolicy::Shared => {
+            let plan = cache::cached_gemm_plan::<E>(dims, mode, conj_a, conj_b, c.count(), cfg)?;
+            plan.execute(alpha, a, b, beta, c)
+        }
+        PlanCachePolicy::Bypass => {
+            cache::note_bypass();
+            let plan = GemmPlan::<E>::new(dims, mode, conj_a, conj_b, c.count(), cfg)?;
+            plan.execute(alpha, a, b, beta, c)
+        }
+    }
 }
 
 /// Compact batched TRSM: solves `op(A)·X = α·B` (left) or `X·op(A) = α·B`
@@ -87,8 +100,17 @@ pub fn compact_trsm_ex<E: CompactElement>(
     cfg: &TuningConfig,
 ) -> Result<(), LayoutError> {
     let dims = TrsmDims::new(b.rows(), b.cols());
-    let plan = TrsmPlan::<E>::new(dims, mode, conj, b.count(), cfg)?;
-    plan.execute(alpha, a, b)
+    match cfg.plan_cache {
+        PlanCachePolicy::Shared => {
+            let plan = cache::cached_trsm_plan::<E>(dims, mode, conj, b.count(), cfg)?;
+            plan.execute(alpha, a, b)
+        }
+        PlanCachePolicy::Bypass => {
+            cache::note_bypass();
+            let plan = TrsmPlan::<E>::new(dims, mode, conj, b.count(), cfg)?;
+            plan.execute(alpha, a, b)
+        }
+    }
 }
 
 /// Compact batched TRMM (extension): `B = α·op(A)·B` (left) or
@@ -116,8 +138,17 @@ pub fn compact_trmm_ex<E: CompactElement>(
     cfg: &TuningConfig,
 ) -> Result<(), LayoutError> {
     let dims = TrsmDims::new(b.rows(), b.cols());
-    let plan = TrmmPlan::<E>::new(dims, mode, conj, b.count(), cfg)?;
-    plan.execute(alpha, a, b)
+    match cfg.plan_cache {
+        PlanCachePolicy::Shared => {
+            let plan = cache::cached_trmm_plan::<E>(dims, mode, conj, b.count(), cfg)?;
+            plan.execute(alpha, a, b)
+        }
+        PlanCachePolicy::Bypass => {
+            cache::note_bypass();
+            let plan = TrmmPlan::<E>::new(dims, mode, conj, b.count(), cfg)?;
+            plan.execute(alpha, a, b)
+        }
+    }
 }
 
 /// Convenience: GEMM on standard column-major batches, converting to the

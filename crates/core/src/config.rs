@@ -27,6 +27,19 @@ pub enum BatchPolicy {
     Fixed(usize),
 }
 
+/// Whether one-shot entry points may share plans through the global cache.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum PlanCachePolicy {
+    /// Consult the process-wide plan cache: same-shape traffic reuses the
+    /// plan built by the first call (the paper's "only generates this
+    /// execution plan at the beginning", extended across calls).
+    #[default]
+    Shared,
+    /// Build a fresh plan on every call — for callers that manage their own
+    /// plans, or measurements that must include planning cost.
+    Bypass,
+}
+
 /// Tuning configuration consumed by the run-time stage.
 #[derive(Clone, Debug)]
 pub struct TuningConfig {
@@ -40,6 +53,8 @@ pub struct TuningConfig {
     pub pack: PackPolicy,
     /// Super-block sizing policy.
     pub batch: BatchPolicy,
+    /// Plan-cache policy for the one-shot entry points.
+    pub plan_cache: PlanCachePolicy,
 }
 
 impl TuningConfig {
@@ -50,6 +65,7 @@ impl TuningConfig {
             l1_budget_fraction: 0.5,
             pack: PackPolicy::Auto,
             batch: BatchPolicy::Auto,
+            plan_cache: PlanCachePolicy::Shared,
         }
     }
 
@@ -62,6 +78,36 @@ impl TuningConfig {
     pub fn l1_budget_bytes(&self) -> usize {
         ((self.l1d_bytes as f64) * self.l1_budget_fraction) as usize
     }
+
+    /// Hash of every field that influences plan construction — part of the
+    /// plan-cache key, so configs that would plan differently never share a
+    /// cached plan. The cache policy itself is deliberately excluded (it
+    /// changes where a plan lives, not what it contains).
+    ///
+    /// Computed on every one-shot call, so it uses the cheap process-local
+    /// mixer ([`fx_mix`]) rather than `SipHash` — the value never leaves
+    /// the process, only distinctness of configs matters.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        h = fx_mix(h, self.l1d_bytes as u64);
+        h = fx_mix(h, self.l1_budget_fraction.to_bits());
+        let (batch_tag, batch_g) = match self.batch {
+            BatchPolicy::Auto => (0u64, 0u64),
+            BatchPolicy::Fixed(g) => (1u64, g as u64),
+        };
+        h = fx_mix(h, ((self.pack as u64) << 8) | batch_tag);
+        h = fx_mix(h, batch_g);
+        h
+    }
+}
+
+/// One round of the fx-style multiply-rotate mixer shared by
+/// [`TuningConfig::fingerprint`] and the plan-cache key hash. Far cheaper
+/// than `SipHash` (no per-hash init/finalization), which matters because it
+/// sits on the one-shot dispatch path.
+#[inline]
+pub(crate) fn fx_mix(h: u64, v: u64) -> u64 {
+    (h.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95)
 }
 
 impl Default for TuningConfig {

@@ -52,7 +52,7 @@ pub use api::{
     compact_gemm, compact_gemm_ex, compact_trmm, compact_trmm_ex, compact_trsm, compact_trsm_ex,
     std_gemm_via_compact, std_trsm_via_compact,
 };
-pub use config::{BatchPolicy, PackPolicy, TuningConfig};
+pub use config::{BatchPolicy, PackPolicy, PlanCachePolicy, TuningConfig};
 pub use elem::CompactElement;
 pub use machine::{host_profile, MachineProfile, KUNPENG_920, XEON_6240};
-pub use plan::{Command, GemmPlan, TrmmPlan, TrsmPlan};
+pub use plan::{Command, GemmPlan, PlanCacheStats, TrmmPlan, TrsmPlan};

@@ -1,0 +1,446 @@
+//! Process-wide execution-plan cache.
+//!
+//! The paper's run-time stage is amortized by design: it "only generates
+//! this execution plan at the beginning" and reuses it for the whole group
+//! (§5.3). The one-shot entry points in [`crate::api`] extend that
+//! amortization **across calls**: plans are keyed by every input property
+//! the planner consumes — routine, element type, dimensions, mode,
+//! conjugation flags, group count, and a fingerprint of the tuning config —
+//! so steady-state traffic over repeated shapes skips the Batch Counter,
+//! Pack Selecter, and tile decomposition entirely and pays only per-call
+//! validation.
+//!
+//! Plan construction here is tens of nanoseconds, so the lookup has to be
+//! almost free to be worth anything. Two layers keep it that way:
+//!
+//! 1. A **thread-local front cache** of the last few plans this thread
+//!    dispatched: no lock, no allocation, a linear scan of a handful of
+//!    keys. Steady-state same-shape traffic never leaves this layer.
+//! 2. A **sharded shared cache** behind it (a `Mutex`-guarded flat vector
+//!    per shard, shard picked by a cheap multiply-rotate hash — no
+//!    `SipHash` on the dispatch path). It is bounded: each shard holds at
+//!    most [`SHARD_CAP`] plans and evicts the least-recently-used entry
+//!    when full. Plans are `Arc`s, so eviction never invalidates a plan a
+//!    caller (or a front cache) still holds.
+//!
+//! [`clear`] bumps a global epoch that invalidates every thread's front
+//! cache on its next lookup.
+//!
+//! Callers that manage plan lifetimes themselves set
+//! [`PlanCachePolicy::Bypass`](crate::config::PlanCachePolicy) (or build
+//! plans directly) and never touch the cache.
+
+use crate::config::{fx_mix, TuningConfig};
+use crate::elem::CompactElement;
+use crate::plan::{GemmPlan, TrmmPlan, TrsmPlan};
+use iatf_layout::{GemmDims, GemmMode, LayoutError, TrsmDims, TrsmMode};
+use iatf_obs as obs;
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of independently locked shards (power of two).
+pub const SHARDS: usize = 8;
+
+/// Plans held per shard before LRU eviction kicks in.
+pub const SHARD_CAP: usize = 16;
+
+/// Plans remembered per thread in the lock-free front cache.
+const FRONT_SLOTS: usize = 8;
+
+/// Everything the planners key their decisions on, flattened to primitives.
+#[derive(Copy, Clone, PartialEq, Eq)]
+struct Key {
+    /// 0 = GEMM, 1 = TRSM, 2 = TRMM.
+    op: u8,
+    /// `DType` discriminant.
+    dtype: u8,
+    m: usize,
+    n: usize,
+    k: usize,
+    /// GEMM: transa/transb bits. TRSM/TRMM: side/trans/uplo/diag bits.
+    mode: u8,
+    /// GEMM: conj_a | conj_b << 1. TRSM/TRMM: conj.
+    conj: u8,
+    count: usize,
+    cfg: u64,
+}
+
+impl Key {
+    fn hash64(&self) -> u64 {
+        let tags = ((self.op as u64) << 48)
+            | ((self.dtype as u64) << 32)
+            | ((self.mode as u64) << 16)
+            | (self.conj as u64);
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        h = fx_mix(h, tags);
+        h = fx_mix(h, self.m as u64);
+        h = fx_mix(h, self.n as u64);
+        h = fx_mix(h, self.k as u64);
+        h = fx_mix(h, self.count as u64);
+        h = fx_mix(h, self.cfg);
+        h
+    }
+}
+
+type AnyPlan = Arc<dyn Any + Send + Sync>;
+
+struct Entry {
+    hash: u64,
+    key: Key,
+    plan: AnyPlan,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    /// Flat storage: at most [`SHARD_CAP`] entries, scanned linearly
+    /// (hash compared first). Cheaper than a `HashMap` at this size and
+    /// avoids a second hashing pass.
+    entries: Vec<Entry>,
+    tick: u64,
+}
+
+struct PlanCache {
+    shards: [Mutex<Shard>; SHARDS],
+    /// Bumped by [`clear`]; front caches self-invalidate on mismatch.
+    epoch: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    bypasses: AtomicU64,
+}
+
+fn cache() -> &'static PlanCache {
+    static CACHE: OnceLock<PlanCache> = OnceLock::new();
+    CACHE.get_or_init(|| PlanCache {
+        shards: std::array::from_fn(|_| Mutex::new(Shard::default())),
+        epoch: AtomicU64::new(0),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+        evictions: AtomicU64::new(0),
+        bypasses: AtomicU64::new(0),
+    })
+}
+
+struct FrontCache {
+    epoch: u64,
+    /// Round-robin replacement cursor.
+    next: usize,
+    entries: Vec<(Key, AnyPlan)>,
+}
+
+thread_local! {
+    static FRONT: RefCell<FrontCache> = RefCell::new(FrontCache {
+        epoch: 0,
+        next: 0,
+        entries: Vec::new(),
+    });
+}
+
+/// Looks `key` up in the front cache, then its shard; on a miss, builds
+/// the plan (outside the shard lock — concurrent same-shape misses may
+/// build twice, and the first insert wins) and caches it in both layers.
+fn get_or_build<P, F>(key: Key, build: F) -> Result<Arc<P>, LayoutError>
+where
+    P: Send + Sync + 'static,
+    F: FnOnce() -> Result<P, LayoutError>,
+{
+    let c = cache();
+    let epoch = c.epoch.load(Relaxed);
+
+    // Fast path: this thread dispatched the same shape recently.
+    let front_hit = FRONT.with(|front| {
+        let mut f = front.borrow_mut();
+        if f.epoch != epoch {
+            f.entries.clear();
+            f.next = 0;
+            f.epoch = epoch;
+            return None;
+        }
+        f.entries
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, plan)| Arc::clone(plan))
+    });
+    if let Some(plan) = front_hit {
+        c.hits.fetch_add(1, Relaxed);
+        obs::count_plan_cache(obs::CacheEvent::Hit);
+        return Ok(plan
+            .downcast::<P>()
+            .expect("plan cache keys encode the concrete plan type"));
+    }
+
+    let hash = key.hash64();
+    let shard = &c.shards[(hash % SHARDS as u64) as usize];
+    let shared: Option<AnyPlan> = {
+        let mut s = shard.lock().expect("plan cache shard poisoned");
+        s.tick += 1;
+        let tick = s.tick;
+        s.entries
+            .iter_mut()
+            .find(|e| e.hash == hash && e.key == key)
+            .map(|e| {
+                e.last_used = tick;
+                Arc::clone(&e.plan)
+            })
+    };
+    let (plan, hit) = match shared {
+        Some(plan) => (plan, true),
+        None => {
+            // build without holding the shard lock — planning allocates
+            let built: AnyPlan = Arc::new(build()?);
+            let mut s = shard.lock().expect("plan cache shard poisoned");
+            s.tick += 1;
+            let tick = s.tick;
+            let plan = match s.entries.iter_mut().find(|e| e.hash == hash && e.key == key) {
+                // another thread inserted while we built: keep its plan
+                Some(e) => {
+                    e.last_used = tick;
+                    Arc::clone(&e.plan)
+                }
+                None => {
+                    if s.entries.len() >= SHARD_CAP {
+                        let oldest = s
+                            .entries
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, e)| e.last_used)
+                            .map(|(i, _)| i)
+                            .expect("shard at capacity is non-empty");
+                        s.entries.swap_remove(oldest);
+                        c.evictions.fetch_add(1, Relaxed);
+                        obs::count_plan_cache(obs::CacheEvent::Eviction);
+                    }
+                    s.entries.push(Entry {
+                        hash,
+                        key,
+                        plan: Arc::clone(&built),
+                        last_used: tick,
+                    });
+                    built
+                }
+            };
+            (plan, false)
+        }
+    };
+    if hit {
+        c.hits.fetch_add(1, Relaxed);
+        obs::count_plan_cache(obs::CacheEvent::Hit);
+    } else {
+        c.misses.fetch_add(1, Relaxed);
+        obs::count_plan_cache(obs::CacheEvent::Miss);
+    }
+
+    // Remember in the front cache (round-robin over a few slots).
+    FRONT.with(|front| {
+        let mut f = front.borrow_mut();
+        if f.epoch == epoch {
+            let slot = f.next;
+            if f.entries.len() < FRONT_SLOTS {
+                f.entries.push((key, Arc::clone(&plan)));
+            } else {
+                f.entries[slot] = (key, Arc::clone(&plan));
+            }
+            f.next = (slot + 1) % FRONT_SLOTS;
+        }
+    });
+
+    Ok(plan
+        .downcast::<P>()
+        .expect("plan cache keys encode the concrete plan type"))
+}
+
+/// Records a deliberate cache skip (the `Bypass` policy) in the stats.
+pub(crate) fn note_bypass() {
+    cache().bypasses.fetch_add(1, Relaxed);
+    obs::count_plan_cache(obs::CacheEvent::Bypass);
+}
+
+fn gemm_mode_bits(mode: GemmMode) -> u8 {
+    (mode.transa.is_trans() as u8) | ((mode.transb.is_trans() as u8) << 1)
+}
+
+fn trsm_mode_bits(mode: TrsmMode) -> u8 {
+    ((mode.side == iatf_layout::Side::Right) as u8)
+        | ((mode.trans.is_trans() as u8) << 1)
+        | ((mode.uplo == iatf_layout::Uplo::Upper) as u8) << 2
+        | ((mode.diag == iatf_layout::Diag::Unit) as u8) << 3
+}
+
+/// Returns the shared GEMM plan for this shape, building it on first use.
+pub fn cached_gemm_plan<E: CompactElement>(
+    dims: GemmDims,
+    mode: GemmMode,
+    conj_a: bool,
+    conj_b: bool,
+    count: usize,
+    cfg: &TuningConfig,
+) -> Result<Arc<GemmPlan<E>>, LayoutError> {
+    let key = Key {
+        op: 0,
+        dtype: E::DTYPE as u8,
+        m: dims.m,
+        n: dims.n,
+        k: dims.k,
+        mode: gemm_mode_bits(mode),
+        conj: (conj_a as u8) | ((conj_b as u8) << 1),
+        count,
+        cfg: cfg.fingerprint(),
+    };
+    get_or_build(key, || {
+        GemmPlan::<E>::new(dims, mode, conj_a, conj_b, count, cfg)
+    })
+}
+
+/// Returns the shared TRSM plan for this shape, building it on first use.
+pub fn cached_trsm_plan<E: CompactElement>(
+    dims: TrsmDims,
+    mode: TrsmMode,
+    conj: bool,
+    count: usize,
+    cfg: &TuningConfig,
+) -> Result<Arc<TrsmPlan<E>>, LayoutError> {
+    let key = Key {
+        op: 1,
+        dtype: E::DTYPE as u8,
+        m: dims.m,
+        n: dims.n,
+        k: 0,
+        mode: trsm_mode_bits(mode),
+        conj: conj as u8,
+        count,
+        cfg: cfg.fingerprint(),
+    };
+    get_or_build(key, || TrsmPlan::<E>::new(dims, mode, conj, count, cfg))
+}
+
+/// Returns the shared TRMM plan for this shape, building it on first use.
+pub fn cached_trmm_plan<E: CompactElement>(
+    dims: TrsmDims,
+    mode: TrsmMode,
+    conj: bool,
+    count: usize,
+    cfg: &TuningConfig,
+) -> Result<Arc<TrmmPlan<E>>, LayoutError> {
+    let key = Key {
+        op: 2,
+        dtype: E::DTYPE as u8,
+        m: dims.m,
+        n: dims.n,
+        k: 0,
+        mode: trsm_mode_bits(mode),
+        conj: conj as u8,
+        count,
+        cfg: cfg.fingerprint(),
+    };
+    get_or_build(key, || TrmmPlan::<E>::new(dims, mode, conj, count, cfg))
+}
+
+/// Point-in-time plan-cache statistics. Always live (plain atomics,
+/// independent of the `obs` feature). Hits count both front-cache and
+/// shared-cache hits; every lookup is exactly one hit or one miss.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache (either layer).
+    pub hits: u64,
+    /// Lookups that built and inserted a plan.
+    pub misses: u64,
+    /// Entries discarded by the LRU bound.
+    pub evictions: u64,
+    /// Calls that skipped the cache via `PlanCachePolicy::Bypass`.
+    pub bypasses: u64,
+    /// Plans resident in the shared cache (front caches not counted).
+    pub entries: usize,
+}
+
+/// Snapshot of the cache counters and current occupancy.
+pub fn stats() -> PlanCacheStats {
+    let c = cache();
+    PlanCacheStats {
+        hits: c.hits.load(Relaxed),
+        misses: c.misses.load(Relaxed),
+        evictions: c.evictions.load(Relaxed),
+        bypasses: c.bypasses.load(Relaxed),
+        entries: c
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("plan cache shard poisoned").entries.len())
+            .sum(),
+    }
+}
+
+/// Drops every cached plan (outstanding `Arc`s stay valid), invalidates
+/// all front caches via the epoch, and zeroes the counters. Intended for
+/// tests and long-lived processes that change tuning configs wholesale.
+pub fn clear() {
+    let c = cache();
+    c.epoch.fetch_add(1, Relaxed);
+    for shard in &c.shards {
+        let mut s = shard.lock().expect("plan cache shard poisoned");
+        s.entries.clear();
+        s.tick = 0;
+    }
+    c.hits.store(0, Relaxed);
+    c.misses.store(0, Relaxed);
+    c.evictions.store(0, Relaxed);
+    c.bypasses.store(0, Relaxed);
+}
+
+/// Total capacity of the shared cache in plans.
+pub const fn capacity() -> usize {
+    SHARDS * SHARD_CAP
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Cache behaviour tests live in `tests/plan_cache.rs`, serialized
+    // against the global state; here only the pure key helpers.
+    #[test]
+    fn mode_bits_are_injective() {
+        let mut seen = std::collections::HashSet::new();
+        for mode in GemmMode::ALL {
+            assert!(seen.insert(gemm_mode_bits(mode)));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for mode in TrsmMode::all() {
+            assert!(seen.insert(trsm_mode_bits(mode)));
+        }
+    }
+
+    #[test]
+    fn key_hash_separates_nearby_keys() {
+        let base = Key {
+            op: 0,
+            dtype: 1,
+            m: 4,
+            n: 4,
+            k: 4,
+            mode: 0,
+            conj: 0,
+            count: 32,
+            cfg: 7,
+        };
+        let mut hashes = std::collections::HashSet::new();
+        hashes.insert(base.hash64());
+        for (i, variant) in [
+            Key { op: 1, ..base },
+            Key { dtype: 2, ..base },
+            Key { m: 5, ..base },
+            Key { n: 5, ..base },
+            Key { k: 5, ..base },
+            Key { mode: 1, ..base },
+            Key { conj: 1, ..base },
+            Key { count: 33, ..base },
+            Key { cfg: 8, ..base },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            assert!(hashes.insert(variant.hash64()), "collision at field {i}");
+        }
+    }
+}

@@ -6,7 +6,8 @@ use crate::plan::{explain as ex, group_packs, tiles, Command};
 use iatf_layout::{CompactBatch, GemmDims, GemmMode, LayoutError};
 use iatf_obs as obs;
 use iatf_pack::gemm as pk;
-use iatf_pack::PackBuffer;
+use iatf_pack::{arena, PackBuffer};
+use std::sync::OnceLock;
 
 /// How one GEMM operand is accessed (Pack Selecter output).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -37,6 +38,7 @@ pub struct GemmPlan<E: CompactElement> {
     n_tiles: Vec<(usize, usize)>,
     a_panel_len: usize,
     b_panel_len: usize,
+    commands: OnceLock<Vec<Command>>,
     _marker: core::marker::PhantomData<E>,
 }
 
@@ -90,6 +92,7 @@ impl<E: CompactElement> GemmPlan<E> {
             n_tiles,
             a_panel_len,
             b_panel_len,
+            commands: OnceLock::new(),
             _marker: core::marker::PhantomData,
         })
     }
@@ -126,6 +129,9 @@ impl<E: CompactElement> GemmPlan<E> {
     }
 
     /// Executes the plan: `C = α·op(A)·op(B) + β·C`.
+    ///
+    /// Scratch comes from the thread-local [`arena`], so repeated executes
+    /// are allocation-free after the first call on a thread.
     pub fn execute(
         &self,
         alpha: E,
@@ -136,13 +142,12 @@ impl<E: CompactElement> GemmPlan<E> {
     ) -> Result<(), LayoutError> {
         self.validate(a, b, c)?;
         obs::count_execute(obs::Op::Gemm);
-        let mut buf = PackBuffer::<E::Real>::new();
+        let mut lease = arena::lease::<E::Real>();
         let gp = self.group_packs;
-        let mut sb = 0usize;
-        while sb < self.packs {
-            let sb_packs = gp.min(self.packs - sb);
-            self.run_superblock(alpha, a, b, beta, c, sb, sb_packs, &mut buf);
-            sb += sb_packs;
+        let ps = c.pack_stride();
+        for (sb_idx, c_chunk) in c.as_scalars_mut().chunks_mut(ps * gp).enumerate() {
+            let sb_packs = c_chunk.len() / ps;
+            self.run_superblock(alpha, a, b, beta, c_chunk, ps, sb_idx * gp, sb_packs, lease.buffer());
         }
         Ok(())
     }
@@ -271,7 +276,10 @@ impl<E: CompactElement> GemmPlan<E> {
         }
     }
 
-    /// Packs then computes one super-block of packs.
+    /// Packs then computes one super-block of packs. `c_chunk` is the
+    /// contiguous scalar storage of packs `sb..sb + sb_packs` (pack stride
+    /// `ps`) — the same code path serves the serial loop and the parallel
+    /// executor's per-task chunks, so both produce bit-identical results.
     #[allow(clippy::too_many_arguments)]
     fn run_superblock(
         &self,
@@ -279,11 +287,13 @@ impl<E: CompactElement> GemmPlan<E> {
         a: &CompactBatch<E>,
         b: &CompactBatch<E>,
         beta: E,
-        c: &mut CompactBatch<E>,
+        c_chunk: &mut [E::Real],
+        ps: usize,
         sb: usize,
         sb_packs: usize,
         buf: &mut PackBuffer<E::Real>,
     ) {
+        obs::count_superblock(obs::Op::Gemm, sb_packs);
         let (a_len, b_len) = self.panel_lens();
         let (buf_a, buf_b) = buf.split_two(a_len * sb_packs, b_len * sb_packs);
 
@@ -301,7 +311,7 @@ impl<E: CompactElement> GemmPlan<E> {
         // Compute phase.
         for slot in 0..sb_packs {
             let pk_idx = sb + slot;
-            let cp = c.pack_ptr_mut(pk_idx);
+            let cp = c_chunk[slot * ps..(slot + 1) * ps].as_mut_ptr();
             self.compute_one(
                 alpha,
                 beta,
@@ -315,12 +325,15 @@ impl<E: CompactElement> GemmPlan<E> {
         }
     }
 
-    /// Multi-threaded execution: packs of `P` matrices are distributed
-    /// across the rayon pool (parallelism *between* packs, each thread
-    /// running the same plan with a thread-local packing buffer). This is
-    /// the paper's "extend our approach to multicore CPU" future-work item;
-    /// the Batch Counter degenerates to one pack per task since every
-    /// worker owns a private L1.
+    /// Multi-threaded execution: *super-blocks* are distributed across the
+    /// rayon pool (the paper's "extend our approach to multicore CPU"
+    /// future-work item). Partitioning at super-block granularity preserves
+    /// the Batch Counter's L1 sizing per worker — each task packs and
+    /// computes exactly the working set the serial schedule would keep live
+    /// — and each worker leases its own scratch from the thread-local
+    /// [`arena`]. Tasks run the same [`Self::run_superblock`] body over the
+    /// same disjoint C chunks as the serial loop, so the result is
+    /// bit-identical to [`Self::execute`].
     #[cfg(feature = "parallel")]
     pub fn execute_parallel(
         &self,
@@ -333,21 +346,36 @@ impl<E: CompactElement> GemmPlan<E> {
         use rayon::prelude::*;
         self.validate(a, b, c)?;
         obs::count_execute(obs::Op::Gemm);
-        let (a_len, b_len) = self.panel_lens();
+        let gp = self.group_packs;
         let ps = c.pack_stride();
         c.as_scalars_mut()
-            .par_chunks_mut(ps)
+            .par_chunks_mut(ps * gp)
             .enumerate()
-            .for_each_init(PackBuffer::<E::Real>::new, |buf, (pk_idx, c_pack)| {
-                let (buf_a, buf_b) = buf.split_two(a_len, b_len);
-                self.pack_one(a, b, pk_idx, buf_a, buf_b);
-                self.compute_one(alpha, beta, a, b, pk_idx, buf_a, buf_b, c_pack.as_mut_ptr());
+            .for_each_init(arena::lease::<E::Real>, |lease, (sb_idx, c_chunk)| {
+                let sb_packs = c_chunk.len() / ps;
+                self.run_superblock(
+                    alpha,
+                    a,
+                    b,
+                    beta,
+                    c_chunk,
+                    ps,
+                    sb_idx * gp,
+                    sb_packs,
+                    lease.buffer(),
+                );
             });
         Ok(())
     }
 
-    /// Renders the plan as the paper's command-queue view.
-    pub fn commands(&self) -> Vec<Command> {
+    /// The plan rendered as the paper's command-queue view. Rendered once
+    /// on first call and cached in the plan; subsequent calls return the
+    /// same slice.
+    pub fn commands(&self) -> &[Command] {
+        self.commands.get_or_init(|| self.render_commands())
+    }
+
+    fn render_commands(&self) -> Vec<Command> {
         let mut out = Vec::new();
         let mut sb = 0usize;
         while sb < self.packs {
@@ -561,7 +589,7 @@ mod tests {
         let cmds = plan.commands();
         let mut tiles_seen = std::collections::HashSet::new();
         let mut area_by_pack = vec![0usize; 3];
-        for c in &cmds {
+        for c in cmds {
             if let Command::Gemm {
                 pack,
                 i0,

@@ -13,11 +13,13 @@
 //! same shapes — the paper's point that "it only generates this execution
 //! plan at the beginning", amortizing run-time overhead over the group.
 
+pub mod cache;
 pub(crate) mod explain;
 pub mod gemm;
 pub mod trmm;
 pub mod trsm;
 
+pub use cache::PlanCacheStats;
 pub use gemm::GemmPlan;
 pub use trmm::TrmmPlan;
 pub use trsm::TrsmPlan;

@@ -14,7 +14,7 @@ use crate::plan::{explain as ex, group_packs, tiles};
 use iatf_layout::{CompactBatch, LayoutError, TrsmDims, TrsmMode};
 use iatf_obs as obs;
 use iatf_pack::trsm as pk;
-use iatf_pack::PackBuffer;
+use iatf_pack::{arena, PackBuffer};
 
 /// A reusable execution plan for compact batched TRMM.
 #[derive(Clone, Debug)]
@@ -124,8 +124,23 @@ impl<E: CompactElement> TrmmPlan<E> {
         Ok(())
     }
 
+    /// Panel scratch capacity (0 when streaming B in place).
+    fn panel_cap(&self) -> usize {
+        if !self.pack_b_structural {
+            return 0;
+        }
+        self.panels
+            .iter()
+            .map(|&(_, w)| pk::panel_b_len::<E>(self.map.t, w))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Executes the plan: B is overwritten with `α·op(A)·B` (left) or
     /// `α·B·op(A)` (right).
+    ///
+    /// Scratch comes from the thread-local [`arena`], so repeated executes
+    /// are allocation-free after the first call on a thread.
     pub fn execute(
         &self,
         alpha: E,
@@ -134,105 +149,177 @@ impl<E: CompactElement> TrmmPlan<E> {
     ) -> Result<(), LayoutError> {
         self.validate(a, b)?;
         obs::count_execute(obs::Op::Trmm);
-        let g = CompactBatch::<E>::GROUP;
-        let pack_b = self.pack_b_structural;
-        let panel_cap = if pack_b {
-            self.panels
-                .iter()
-                .map(|&(_, w)| pk::panel_b_len::<E>(self.map.t, w))
-                .max()
-                .unwrap_or(0)
-        } else {
-            0
-        };
-        let mut buf = PackBuffer::<E::Real>::new();
+        let panel_cap = self.panel_cap();
+        let mut lease = arena::lease::<E::Real>();
         let b_rows = b.rows();
-        let a_rows = a.rows();
         let bps = b.pack_stride();
         let gp = self.group_packs;
-        let mut sb = 0usize;
-        while sb < self.packs {
-            let sb_packs = gp.min(self.packs - sb);
-            let (buf_a, buf_panel) = buf.split_two(self.a_len * sb_packs, panel_cap);
-            for slot in 0..sb_packs {
-                let _span = obs::phase(obs::Phase::PackA);
-                let pack = sb + slot;
-                let live = E::P.min(self.count - pack * E::P);
-                // direct (non-reciprocal) diagonal for the multiply
-                pk::pack_a_tri::<E>(
-                    &mut buf_a[slot * self.a_len..(slot + 1) * self.a_len],
-                    a.pack_slice(pack),
-                    a_rows,
+        for (sb_idx, b_chunk) in b.as_scalars_mut().chunks_mut(bps * gp).enumerate() {
+            let sb_packs = b_chunk.len() / bps;
+            self.run_superblock(
+                alpha,
+                panel_cap,
+                a,
+                b_chunk,
+                bps,
+                b_rows,
+                sb_idx * gp,
+                sb_packs,
+                lease.buffer(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Packs then multiplies one super-block of packs. `b_chunk` is the
+    /// contiguous scalar storage of packs `sb..sb + sb_packs` (pack stride
+    /// `bps`) — shared by the serial loop and the parallel executor, so
+    /// both produce bit-identical results.
+    #[allow(clippy::too_many_arguments)]
+    fn run_superblock(
+        &self,
+        alpha: E,
+        panel_cap: usize,
+        a: &CompactBatch<E>,
+        b_chunk: &mut [E::Real],
+        bps: usize,
+        b_rows: usize,
+        sb: usize,
+        sb_packs: usize,
+        buf: &mut PackBuffer<E::Real>,
+    ) {
+        obs::count_superblock(obs::Op::Trmm, sb_packs);
+        let a_rows = a.rows();
+        let (buf_a, buf_panel) = buf.split_two(self.a_len * sb_packs, panel_cap);
+        for slot in 0..sb_packs {
+            let _span = obs::phase(obs::Phase::PackA);
+            let pack = sb + slot;
+            let live = E::P.min(self.count - pack * E::P);
+            // direct (non-reciprocal) diagonal for the multiply
+            pk::pack_a_tri::<E>(
+                &mut buf_a[slot * self.a_len..(slot + 1) * self.a_len],
+                a.pack_slice(pack),
+                a_rows,
+                &self.map,
+                &self.a_blocks,
+                live,
+                false,
+            );
+            obs::count_packed_bytes_a(self.a_len * core::mem::size_of::<E::Real>());
+        }
+        for slot in 0..sb_packs {
+            let ab = &buf_a[slot * self.a_len..(slot + 1) * self.a_len];
+            let b_pack = &mut b_chunk[slot * bps..(slot + 1) * bps];
+            self.multiply_pack(alpha, ab, buf_panel, b_pack, b_rows);
+        }
+    }
+
+    /// Multiplies one pack's B in place, given its packed A strips.
+    fn multiply_pack(
+        &self,
+        alpha: E,
+        ab: &[E::Real],
+        buf_panel: &mut [E::Real],
+        b_pack: &mut [E::Real],
+        b_rows: usize,
+    ) {
+        let g = CompactBatch::<E>::GROUP;
+        let pack_b = self.pack_b_structural;
+        for &(j0, w) in &self.panels {
+            let (panel_ptr, row_stride, col_stride) = if pack_b {
+                let _span = obs::phase(obs::Phase::Scale);
+                let len = pk::panel_b_len::<E>(self.map.t, w);
+                pk::pack_b_panel::<E>(
+                    &mut buf_panel[..len],
+                    b_pack,
+                    b_rows,
                     &self.map,
-                    &self.a_blocks,
-                    live,
-                    false,
+                    j0,
+                    w,
+                    E::one(),
                 );
-                obs::count_packed_bytes_a(self.a_len * core::mem::size_of::<E::Real>());
-            }
-            for slot in 0..sb_packs {
-                let pack = sb + slot;
-                let ab = &buf_a[slot * self.a_len..(slot + 1) * self.a_len];
-                let b_pack = &mut b.as_scalars_mut()[pack * bps..(pack + 1) * bps];
-                for &(j0, w) in &self.panels {
-                    let (panel_ptr, row_stride, col_stride) = if pack_b {
-                        let _span = obs::phase(obs::Phase::Scale);
-                        let len = pk::panel_b_len::<E>(self.map.t, w);
-                        pk::pack_b_panel::<E>(
-                            &mut buf_panel[..len],
-                            b_pack,
-                            b_rows,
-                            &self.map,
-                            j0,
+                obs::count_packed_bytes_b(len * core::mem::size_of::<E::Real>());
+                (buf_panel.as_mut_ptr(), w * g, g)
+            } else {
+                let ptr = unsafe { b_pack.as_mut_ptr().add(j0 * b_rows * g) };
+                (ptr, g, b_rows * g)
+            };
+            {
+                let _span = obs::phase(obs::Phase::Compute);
+                // bottom-up over diagonal blocks: rows above any
+                // block stay original until that block consumes them
+                for blk in self.a_blocks.iter().rev() {
+                    obs::count_dispatch(
+                        obs::Op::Trmm,
+                        blk.mb,
+                        w,
+                        blk.mb == E::TRSM_TB && w == E::TRSM_NR,
+                    );
+                    // Safety: identical operand coverage to the TRSM
+                    // path, validated above.
+                    unsafe {
+                        E::trmm_kernel(
+                            blk.mb,
                             w,
-                            E::one(),
+                            blk.r0,
+                            alpha,
+                            ab.as_ptr().add(blk.rect_off),
+                            g,
+                            blk.mb * g,
+                            ab.as_ptr().add(blk.tri_off),
+                            panel_ptr,
+                            blk.r0,
+                            row_stride,
+                            col_stride,
                         );
-                        obs::count_packed_bytes_b(len * core::mem::size_of::<E::Real>());
-                        (buf_panel.as_mut_ptr(), w * g, g)
-                    } else {
-                        let ptr = unsafe { b_pack.as_mut_ptr().add(j0 * b_rows * g) };
-                        (ptr, g, b_rows * g)
-                    };
-                    {
-                        let _span = obs::phase(obs::Phase::Compute);
-                        // bottom-up over diagonal blocks: rows above any
-                        // block stay original until that block consumes them
-                        for blk in self.a_blocks.iter().rev() {
-                            obs::count_dispatch(
-                                obs::Op::Trmm,
-                                blk.mb,
-                                w,
-                                blk.mb == E::TRSM_TB && w == E::TRSM_NR,
-                            );
-                            // Safety: identical operand coverage to the TRSM
-                            // path, validated above.
-                            unsafe {
-                                E::trmm_kernel(
-                                    blk.mb,
-                                    w,
-                                    blk.r0,
-                                    alpha,
-                                    ab.as_ptr().add(blk.rect_off),
-                                    g,
-                                    blk.mb * g,
-                                    ab.as_ptr().add(blk.tri_off),
-                                    panel_ptr,
-                                    blk.r0,
-                                    row_stride,
-                                    col_stride,
-                                );
-                            }
-                        }
-                    }
-                    if pack_b {
-                        let _span = obs::phase(obs::Phase::Unpack);
-                        let len = pk::panel_b_len::<E>(self.map.t, w);
-                        pk::unpack_b_panel::<E>(&buf_panel[..len], b_pack, b_rows, &self.map, j0, w);
                     }
                 }
             }
-            sb += sb_packs;
+            if pack_b {
+                let _span = obs::phase(obs::Phase::Unpack);
+                let len = pk::panel_b_len::<E>(self.map.t, w);
+                pk::unpack_b_panel::<E>(&buf_panel[..len], b_pack, b_rows, &self.map, j0, w);
+            }
         }
+    }
+
+    /// Multi-threaded execution: *super-blocks* are distributed across the
+    /// rayon pool, preserving the Batch Counter's L1 sizing per worker,
+    /// with per-worker scratch leased from the thread-local [`arena`].
+    /// Tasks run the same [`Self::run_superblock`] body over the same
+    /// disjoint B chunks as the serial loop, so the result is bit-identical
+    /// to [`Self::execute`].
+    #[cfg(feature = "parallel")]
+    pub fn execute_parallel(
+        &self,
+        alpha: E,
+        a: &CompactBatch<E>,
+        b: &mut CompactBatch<E>,
+    ) -> Result<(), LayoutError> {
+        use rayon::prelude::*;
+        self.validate(a, b)?;
+        obs::count_execute(obs::Op::Trmm);
+        let panel_cap = self.panel_cap();
+        let gp = self.group_packs;
+        let b_rows = b.rows();
+        let bps = b.pack_stride();
+        b.as_scalars_mut()
+            .par_chunks_mut(bps * gp)
+            .enumerate()
+            .for_each_init(arena::lease::<E::Real>, |lease, (sb_idx, b_chunk)| {
+                let sb_packs = b_chunk.len() / bps;
+                self.run_superblock(
+                    alpha,
+                    panel_cap,
+                    a,
+                    b_chunk,
+                    bps,
+                    b_rows,
+                    sb_idx * gp,
+                    sb_packs,
+                    lease.buffer(),
+                );
+            });
         Ok(())
     }
 

@@ -6,7 +6,8 @@ use crate::plan::{explain as ex, group_packs, tiles, Command};
 use iatf_layout::{CompactBatch, LayoutError, TrsmDims, TrsmMode};
 use iatf_obs as obs;
 use iatf_pack::trsm as pk;
-use iatf_pack::PackBuffer;
+use iatf_pack::{arena, PackBuffer};
+use std::sync::OnceLock;
 
 /// A reusable execution plan for compact batched TRSM:
 /// `op(A)·X = α·B` (left) or `X·op(A) = α·B` (right), X overwriting B.
@@ -26,6 +27,7 @@ pub struct TrsmPlan<E: CompactElement> {
     a_blocks: Vec<pk::ABlockLayout>,
     a_len: usize,
     panels: Vec<(usize, usize)>,
+    commands: OnceLock<Vec<Command>>,
     _marker: core::marker::PhantomData<E>,
 }
 
@@ -76,6 +78,7 @@ impl<E: CompactElement> TrsmPlan<E> {
             a_blocks,
             a_len,
             panels,
+            commands: OnceLock::new(),
             _marker: core::marker::PhantomData,
         })
     }
@@ -134,6 +137,9 @@ impl<E: CompactElement> TrsmPlan<E> {
     }
 
     /// Executes the plan; B is overwritten with the solution X.
+    ///
+    /// Scratch comes from the thread-local [`arena`], so repeated executes
+    /// are allocation-free after the first call on a thread.
     pub fn execute(
         &self,
         alpha: E,
@@ -145,41 +151,70 @@ impl<E: CompactElement> TrsmPlan<E> {
         // α ≠ 1 must be folded in during a copy, so it forces panel packing.
         let pack_b = self.pack_b_structural || alpha != E::one();
         let panel_cap = self.panel_cap(pack_b);
-        let mut buf = PackBuffer::<E::Real>::new();
+        let mut lease = arena::lease::<E::Real>();
         let gp = self.group_packs;
         let b_rows = b.rows();
-        let a_rows = a.rows();
         let bps = b.pack_stride();
-        let mut sb = 0usize;
-        while sb < self.packs {
-            let sb_packs = gp.min(self.packs - sb);
-            let (buf_a, buf_panel) = buf.split_two(self.a_len * sb_packs, panel_cap);
-            // Packing phase: coefficient triangles for the whole super-block.
-            for slot in 0..sb_packs {
-                let _span = obs::phase(obs::Phase::PackA);
-                let pack = sb + slot;
-                let live = E::P.min(self.count - pack * E::P);
-                pk::pack_a_trsm::<E>(
-                    &mut buf_a[slot * self.a_len..(slot + 1) * self.a_len],
-                    a.pack_slice(pack),
-                    a_rows,
-                    &self.map,
-                    &self.a_blocks,
-                    live,
-                );
-                obs::count_packed_bytes_a(self.a_len * core::mem::size_of::<E::Real>());
-            }
-            // Compute phase: per pack, per column panel, per diagonal block.
-            for slot in 0..sb_packs {
-                let pack = sb + slot;
-                let ab = &buf_a[slot * self.a_len..(slot + 1) * self.a_len];
-                let b_pack =
-                    &mut b.as_scalars_mut()[pack * bps..(pack + 1) * bps];
-                self.solve_pack(alpha, pack_b, ab, buf_panel, b_pack, b_rows);
-            }
-            sb += sb_packs;
+        for (sb_idx, b_chunk) in b.as_scalars_mut().chunks_mut(bps * gp).enumerate() {
+            let sb_packs = b_chunk.len() / bps;
+            self.run_superblock(
+                alpha,
+                pack_b,
+                panel_cap,
+                a,
+                b_chunk,
+                bps,
+                b_rows,
+                sb_idx * gp,
+                sb_packs,
+                lease.buffer(),
+            );
         }
         Ok(())
+    }
+
+    /// Packs then solves one super-block of packs. `b_chunk` is the
+    /// contiguous scalar storage of packs `sb..sb + sb_packs` (pack stride
+    /// `bps`) — shared by the serial loop and the parallel executor, so
+    /// both produce bit-identical results.
+    #[allow(clippy::too_many_arguments)]
+    fn run_superblock(
+        &self,
+        alpha: E,
+        pack_b: bool,
+        panel_cap: usize,
+        a: &CompactBatch<E>,
+        b_chunk: &mut [E::Real],
+        bps: usize,
+        b_rows: usize,
+        sb: usize,
+        sb_packs: usize,
+        buf: &mut PackBuffer<E::Real>,
+    ) {
+        obs::count_superblock(obs::Op::Trsm, sb_packs);
+        let a_rows = a.rows();
+        let (buf_a, buf_panel) = buf.split_two(self.a_len * sb_packs, panel_cap);
+        // Packing phase: coefficient triangles for the whole super-block.
+        for slot in 0..sb_packs {
+            let _span = obs::phase(obs::Phase::PackA);
+            let pack = sb + slot;
+            let live = E::P.min(self.count - pack * E::P);
+            pk::pack_a_trsm::<E>(
+                &mut buf_a[slot * self.a_len..(slot + 1) * self.a_len],
+                a.pack_slice(pack),
+                a_rows,
+                &self.map,
+                &self.a_blocks,
+                live,
+            );
+            obs::count_packed_bytes_a(self.a_len * core::mem::size_of::<E::Real>());
+        }
+        // Compute phase: per pack, per column panel, per diagonal block.
+        for slot in 0..sb_packs {
+            let ab = &buf_a[slot * self.a_len..(slot + 1) * self.a_len];
+            let b_pack = &mut b_chunk[slot * bps..(slot + 1) * bps];
+            self.solve_pack(alpha, pack_b, ab, buf_panel, b_pack, b_rows);
+        }
     }
 
     /// Panel scratch capacity (0 when streaming B in place).
@@ -262,9 +297,14 @@ impl<E: CompactElement> TrsmPlan<E> {
         }
     }
 
-    /// Multi-threaded execution: packs are distributed across the rayon
-    /// pool with thread-local scratch (the paper's multicore future-work
-    /// extension; parallelism is between packs, never within a solve).
+    /// Multi-threaded execution: *super-blocks* are distributed across the
+    /// rayon pool (the paper's multicore future-work extension; parallelism
+    /// is between packs, never within a solve). Partitioning at super-block
+    /// granularity preserves the Batch Counter's L1 sizing per worker, and
+    /// each worker leases its own scratch from the thread-local [`arena`].
+    /// Tasks run the same [`Self::run_superblock`] body over the same
+    /// disjoint B chunks as the serial loop, so the result is bit-identical
+    /// to [`Self::execute`].
     #[cfg(feature = "parallel")]
     pub fn execute_parallel(
         &self,
@@ -277,36 +317,38 @@ impl<E: CompactElement> TrsmPlan<E> {
         obs::count_execute(obs::Op::Trsm);
         let pack_b = self.pack_b_structural || alpha != E::one();
         let panel_cap = self.panel_cap(pack_b);
+        let gp = self.group_packs;
         let b_rows = b.rows();
-        let a_rows = a.rows();
         let bps = b.pack_stride();
-        let count = self.count;
         b.as_scalars_mut()
-            .par_chunks_mut(bps)
+            .par_chunks_mut(bps * gp)
             .enumerate()
-            .for_each_init(PackBuffer::<E::Real>::new, |buf, (pack, b_pack)| {
-                let (buf_a, buf_panel) = buf.split_two(self.a_len, panel_cap);
-                let live = E::P.min(count - pack * E::P);
-                {
-                    let _span = obs::phase(obs::Phase::PackA);
-                    pk::pack_a_trsm::<E>(
-                        buf_a,
-                        a.pack_slice(pack),
-                        a_rows,
-                        &self.map,
-                        &self.a_blocks,
-                        live,
-                    );
-                    obs::count_packed_bytes_a(self.a_len * core::mem::size_of::<E::Real>());
-                }
-                self.solve_pack(alpha, pack_b, buf_a, buf_panel, b_pack, b_rows);
+            .for_each_init(arena::lease::<E::Real>, |lease, (sb_idx, b_chunk)| {
+                let sb_packs = b_chunk.len() / bps;
+                self.run_superblock(
+                    alpha,
+                    pack_b,
+                    panel_cap,
+                    a,
+                    b_chunk,
+                    bps,
+                    b_rows,
+                    sb_idx * gp,
+                    sb_packs,
+                    lease.buffer(),
+                );
             });
         Ok(())
     }
 
-    /// Renders the plan as the paper's command-queue view (assuming packed
-    /// panels; the no-pack fast path elides Pack/Unpack commands).
-    pub fn commands(&self) -> Vec<Command> {
+    /// The plan rendered as the paper's command-queue view (assuming packed
+    /// panels; the no-pack fast path elides Pack/Unpack commands). Rendered
+    /// once on first call and cached in the plan.
+    pub fn commands(&self) -> &[Command] {
+        self.commands.get_or_init(|| self.render_commands())
+    }
+
+    fn render_commands(&self) -> Vec<Command> {
         let mut out = Vec::new();
         let mut sb = 0usize;
         while sb < self.packs {
@@ -456,7 +498,7 @@ mod tests {
         // within each panel the blocks must appear with increasing r0 and
         // kk == r0 (rows solved so far)
         let mut last: Option<(usize, usize, usize)> = None;
-        for c in &cmds {
+        for c in cmds {
             if let Command::TrsmBlock {
                 pack,
                 j0,

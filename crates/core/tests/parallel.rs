@@ -4,9 +4,9 @@
 
 #![cfg(feature = "parallel")]
 
-use iatf_core::{GemmPlan, TrsmPlan, TuningConfig};
-use iatf_layout::{CompactBatch, GemmDims, GemmMode, StdBatch, TrsmDims, TrsmMode};
-use iatf_simd::c64;
+use iatf_core::{BatchPolicy, CompactElement, GemmPlan, TrmmPlan, TrsmPlan, TuningConfig};
+use iatf_layout::{CompactBatch, GemmDims, GemmMode, Side, StdBatch, TrsmDims, TrsmMode};
+use iatf_simd::{c32, c64};
 
 #[test]
 fn parallel_gemm_matches_sequential_bitwise() {
@@ -65,4 +65,110 @@ fn parallel_complex_pipeline() {
     plan.execute_parallel(alpha, &a, &b, c64::zero(), &mut c_par)
         .unwrap();
     assert_eq!(c_seq.as_scalars(), c_par.as_scalars());
+}
+
+/// Serial vs parallel GEMM over every transpose mode for one element type.
+fn gemm_modes_bitwise<E: CompactElement>(cfg: &TuningConfig, seed: u64) {
+    for mode in GemmMode::ALL {
+        for (m, n, k, count) in [(4usize, 4usize, 4usize, 64usize), (9, 7, 5, 33)] {
+            let dims = GemmDims::new(m, n, k);
+            let (ar, ac) = dims.a_shape(mode);
+            let (br, bc) = dims.b_shape(mode);
+            let a = CompactBatch::from_std(&StdBatch::<E>::random(ar, ac, count, seed));
+            let b = CompactBatch::from_std(&StdBatch::<E>::random(br, bc, count, seed + 1));
+            let plan = GemmPlan::<E>::new(dims, mode, false, false, count, cfg).unwrap();
+            let mut c_seq = CompactBatch::<E>::zeroed(m, n, count);
+            plan.execute(E::one(), &a, &b, E::zero(), &mut c_seq).unwrap();
+            let mut c_par = CompactBatch::<E>::zeroed(m, n, count);
+            plan.execute_parallel(E::one(), &a, &b, E::zero(), &mut c_par)
+                .unwrap();
+            assert_eq!(
+                c_seq.as_scalars(),
+                c_par.as_scalars(),
+                "gemm {mode} {m}x{n}x{k} count={count}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_gemm_all_modes_all_dtypes_bitwise() {
+    let cfg = TuningConfig::default();
+    gemm_modes_bitwise::<f32>(&cfg, 100);
+    gemm_modes_bitwise::<f64>(&cfg, 200);
+    gemm_modes_bitwise::<c32>(&cfg, 300);
+    gemm_modes_bitwise::<c64>(&cfg, 400);
+}
+
+#[test]
+fn parallel_gemm_uneven_superblocks_bitwise() {
+    // Fixed(3) over 5 packs: super-blocks of 3 and 2 — the last parallel
+    // task must handle the short chunk exactly like the serial tail.
+    let cfg = TuningConfig {
+        batch: BatchPolicy::Fixed(3),
+        ..TuningConfig::default()
+    };
+    let count = 5 * <f64 as iatf_simd::Element>::P;
+    let a = CompactBatch::from_std(&StdBatch::<f64>::random(6, 4, count, 5));
+    let b = CompactBatch::from_std(&StdBatch::<f64>::random(4, 3, count, 6));
+    let plan =
+        GemmPlan::<f64>::new(GemmDims::new(6, 3, 4), GemmMode::NN, false, false, count, &cfg)
+            .unwrap();
+    let mut c_seq = CompactBatch::<f64>::zeroed(6, 3, count);
+    plan.execute(1.0, &a, &b, 0.0, &mut c_seq).unwrap();
+    let mut c_par = CompactBatch::<f64>::zeroed(6, 3, count);
+    plan.execute_parallel(1.0, &a, &b, 0.0, &mut c_par).unwrap();
+    assert_eq!(c_seq.as_scalars(), c_par.as_scalars());
+}
+
+/// Serial vs parallel TRSM over all 16 side/trans/uplo/diag modes.
+fn trsm_modes_bitwise<E: CompactElement>(cfg: &TuningConfig, seed: u64) {
+    for mode in TrsmMode::all() {
+        let (m, n, count) = (9usize, 6usize, 21usize);
+        let order = if mode.side == Side::Right { n } else { m };
+        let a_std = StdBatch::<E>::random_triangular(order, count, mode.uplo, mode.diag, seed);
+        let a = CompactBatch::from_std(&a_std);
+        let b0 = CompactBatch::from_std(&StdBatch::<E>::random(m, n, count, seed + 1));
+        let plan = TrsmPlan::<E>::new(TrsmDims::new(m, n), mode, false, count, cfg).unwrap();
+        let mut b_seq = b0.clone();
+        plan.execute(E::one(), &a, &mut b_seq).unwrap();
+        let mut b_par = b0.clone();
+        plan.execute_parallel(E::one(), &a, &mut b_par).unwrap();
+        assert_eq!(b_seq.as_scalars(), b_par.as_scalars(), "trsm {mode}");
+    }
+}
+
+#[test]
+fn parallel_trsm_all_modes_all_dtypes_bitwise() {
+    let cfg = TuningConfig::default();
+    trsm_modes_bitwise::<f32>(&cfg, 500);
+    trsm_modes_bitwise::<f64>(&cfg, 600);
+    trsm_modes_bitwise::<c32>(&cfg, 700);
+    trsm_modes_bitwise::<c64>(&cfg, 800);
+}
+
+/// Serial vs parallel TRMM over all 16 modes.
+fn trmm_modes_bitwise<E: CompactElement>(cfg: &TuningConfig, seed: u64) {
+    for mode in TrsmMode::all() {
+        let (m, n, count) = (9usize, 6usize, 21usize);
+        let order = if mode.side == Side::Right { n } else { m };
+        let a_std = StdBatch::<E>::random_triangular(order, count, mode.uplo, mode.diag, seed);
+        let a = CompactBatch::from_std(&a_std);
+        let b0 = CompactBatch::from_std(&StdBatch::<E>::random(m, n, count, seed + 1));
+        let plan = TrmmPlan::<E>::new(TrsmDims::new(m, n), mode, false, count, cfg).unwrap();
+        let mut b_seq = b0.clone();
+        plan.execute(E::one(), &a, &mut b_seq).unwrap();
+        let mut b_par = b0.clone();
+        plan.execute_parallel(E::one(), &a, &mut b_par).unwrap();
+        assert_eq!(b_seq.as_scalars(), b_par.as_scalars(), "trmm {mode}");
+    }
+}
+
+#[test]
+fn parallel_trmm_all_modes_all_dtypes_bitwise() {
+    let cfg = TuningConfig::default();
+    trmm_modes_bitwise::<f32>(&cfg, 900);
+    trmm_modes_bitwise::<f64>(&cfg, 1000);
+    trmm_modes_bitwise::<c32>(&cfg, 1100);
+    trmm_modes_bitwise::<c64>(&cfg, 1200);
 }

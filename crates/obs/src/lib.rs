@@ -29,9 +29,10 @@ pub mod timer;
 pub use explain::{KernelStats, PlanExplain, TileClass, VerifySummary};
 pub use json::Json;
 pub use metrics::{
-    count_dispatch, count_execute, count_fallback, count_packed_bytes_a, count_packed_bytes_b,
-    count_plan_build, count_plan_commands, dispatch_count, is_enabled, reset, snapshot,
-    DispatchCount, MetricsSnapshot, Op, PhaseSnapshot,
+    count_arena_bytes_grown, count_arena_lease, count_dispatch, count_execute, count_fallback,
+    count_packed_bytes_a, count_packed_bytes_b, count_plan_build, count_plan_cache,
+    count_plan_commands, count_superblock, dispatch_count, is_enabled, reset, snapshot,
+    CacheEvent, DispatchCount, MetricsSnapshot, Op, PhaseSnapshot,
 };
 pub use timer::{phase, Phase, PhaseGuard};
 
@@ -55,6 +56,16 @@ mod tests {
         count_fallback();
         count_packed_bytes_a(1024);
         count_packed_bytes_b(2048);
+        count_plan_cache(CacheEvent::Hit);
+        count_plan_cache(CacheEvent::Hit);
+        count_plan_cache(CacheEvent::Miss);
+        count_plan_cache(CacheEvent::Eviction);
+        count_plan_cache(CacheEvent::Bypass);
+        count_arena_lease(0);
+        count_arena_lease(4096);
+        count_arena_bytes_grown(512);
+        count_superblock(Op::Gemm, 6);
+        count_superblock(Op::Trsm, 1);
         {
             let _guard = phase(Phase::Unpack);
             std::hint::black_box(0u64);
@@ -77,6 +88,15 @@ mod tests {
             assert_eq!(s.batch_counts[4], 1);
             assert_eq!(s.batch_counts[2], 1);
             assert_eq!(s.batch_counts[3], 1);
+            assert_eq!(s.plan_cache, [2, 1, 1, 1]);
+            assert_eq!(s.arena_leases, 2);
+            assert_eq!(s.arena_reuses, 1);
+            assert_eq!(s.arena_bytes_reused, 4096);
+            assert_eq!(s.arena_bytes_grown, 512);
+            assert_eq!(s.superblock_tasks, [1, 1, 0]);
+            // superblock sizes 6 and 1 land in log2 buckets 3 and 1
+            assert_eq!(s.superblock_packs[3], 1);
+            assert_eq!(s.superblock_packs[1], 1);
             let unpack = &s.phases[Phase::Unpack as usize];
             assert_eq!(unpack.phase, Phase::Unpack);
             assert_eq!(unpack.calls, 1);
@@ -106,6 +126,9 @@ mod tests {
             "\"plan_builds\"",
             "\"kernel_dispatches\"",
             "\"packed_bytes\"",
+            "\"plan_cache\"",
+            "\"arena\"",
+            "\"superblocks\"",
             "\"phases\"",
         ] {
             assert!(s.contains(key), "missing {key}");

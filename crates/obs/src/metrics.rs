@@ -90,6 +90,13 @@ struct Registry {
     packed_bytes_a: AtomicU64,
     packed_bytes_b: AtomicU64,
     batch_counts: Histogram,
+    plan_cache: [AtomicU64; 4], // hits, misses, evictions, bypasses
+    arena_leases: AtomicU64,
+    arena_reuses: AtomicU64,
+    arena_bytes_reused: AtomicU64,
+    arena_bytes_grown: AtomicU64,
+    superblock_tasks: [AtomicU64; 3],
+    superblock_packs: Histogram,
     phase_ns: [AtomicU64; PHASES.len()],
     phase_calls: [AtomicU64; PHASES.len()],
     phase_hist: Vec<Histogram>,
@@ -111,6 +118,13 @@ impl Registry {
             packed_bytes_a: AtomicU64::new(0),
             packed_bytes_b: AtomicU64::new(0),
             batch_counts: Histogram::new(),
+            plan_cache: Default::default(),
+            arena_leases: AtomicU64::new(0),
+            arena_reuses: AtomicU64::new(0),
+            arena_bytes_reused: AtomicU64::new(0),
+            arena_bytes_grown: AtomicU64::new(0),
+            superblock_tasks: Default::default(),
+            superblock_packs: Histogram::new(),
             phase_ns: Default::default(),
             phase_calls: Default::default(),
             phase_hist: (0..PHASES.len()).map(|_| Histogram::new()).collect(),
@@ -206,6 +220,68 @@ pub fn count_packed_bytes_b(bytes: usize) {
     let _ = bytes;
 }
 
+/// Outcome of one plan-cache lookup (or deliberate skip).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CacheEvent {
+    /// A matching plan was found and returned.
+    Hit = 0,
+    /// No matching plan; one was built and inserted.
+    Miss = 1,
+    /// An entry was discarded to make room (accompanies some misses).
+    Eviction = 2,
+    /// The caller asked for a fresh plan, skipping the cache entirely.
+    Bypass = 3,
+}
+
+/// One plan-cache event occurred.
+#[inline(always)]
+pub fn count_plan_cache(event: CacheEvent) {
+    #[cfg(feature = "enabled")]
+    registry().plan_cache[event as usize].fetch_add(1, Relaxed);
+    #[cfg(not(feature = "enabled"))]
+    let _ = event;
+}
+
+/// One pack-arena lease was taken; `reused_bytes > 0` means a warm buffer of
+/// that many initialized bytes was recycled instead of allocating.
+#[inline(always)]
+pub fn count_arena_lease(reused_bytes: usize) {
+    #[cfg(feature = "enabled")]
+    {
+        let r = registry();
+        r.arena_leases.fetch_add(1, Relaxed);
+        if reused_bytes > 0 {
+            r.arena_reuses.fetch_add(1, Relaxed);
+            r.arena_bytes_reused.fetch_add(reused_bytes as u64, Relaxed);
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    let _ = reused_bytes;
+}
+
+/// A pack buffer grew (first-touch zero fill) by `bytes`.
+#[inline(always)]
+pub fn count_arena_bytes_grown(bytes: usize) {
+    #[cfg(feature = "enabled")]
+    registry().arena_bytes_grown.fetch_add(bytes as u64, Relaxed);
+    #[cfg(not(feature = "enabled"))]
+    let _ = bytes;
+}
+
+/// One super-block of `packs` packs was dispatched as a unit of work (the
+/// executor's pack-then-compute granularity, serial or parallel).
+#[inline(always)]
+pub fn count_superblock(op: Op, packs: usize) {
+    #[cfg(feature = "enabled")]
+    {
+        let r = registry();
+        r.superblock_tasks[op as usize].fetch_add(1, Relaxed);
+        r.superblock_packs.record(packs as u64);
+    }
+    #[cfg(not(feature = "enabled"))]
+    let _ = (op, packs);
+}
+
 /// One timed span of `phase` took `ns` nanoseconds (called by the guard in
 /// [`crate::timer`], not by instrumented code directly).
 #[inline(always)]
@@ -257,6 +333,17 @@ pub fn reset() {
         r.packed_bytes_a.store(0, Relaxed);
         r.packed_bytes_b.store(0, Relaxed);
         r.batch_counts.reset();
+        for c in &r.plan_cache {
+            c.store(0, Relaxed);
+        }
+        r.arena_leases.store(0, Relaxed);
+        r.arena_reuses.store(0, Relaxed);
+        r.arena_bytes_reused.store(0, Relaxed);
+        r.arena_bytes_grown.store(0, Relaxed);
+        for c in &r.superblock_tasks {
+            c.store(0, Relaxed);
+        }
+        r.superblock_packs.reset();
         for c in &r.phase_ns {
             c.store(0, Relaxed);
         }
@@ -299,6 +386,21 @@ pub struct MetricsSnapshot {
     pub packed_bytes_b: u64,
     /// log2 histogram of batch counts seen at plan build.
     pub batch_counts: Vec<u64>,
+    /// Plan-cache lookups, in `CacheEvent` order: hits, misses, evictions,
+    /// bypasses.
+    pub plan_cache: [u64; 4],
+    /// Pack-arena leases taken.
+    pub arena_leases: u64,
+    /// Leases that recycled a warm buffer (no allocation, no zero fill).
+    pub arena_reuses: u64,
+    /// Initialized bytes handed back to executes without re-zeroing.
+    pub arena_bytes_reused: u64,
+    /// Bytes first-touch zero-filled by buffer growth.
+    pub arena_bytes_grown: u64,
+    /// Super-block work units dispatched, per op.
+    pub superblock_tasks: [u64; 3],
+    /// log2 histogram of packs per super-block task.
+    pub superblock_packs: Vec<u64>,
     /// Per-phase timing totals.
     pub phases: Vec<PhaseSnapshot>,
 }
@@ -357,6 +459,13 @@ pub fn snapshot() -> MetricsSnapshot {
             packed_bytes_a: r.packed_bytes_a.load(Relaxed),
             packed_bytes_b: r.packed_bytes_b.load(Relaxed),
             batch_counts: r.batch_counts.snapshot(),
+            plan_cache: std::array::from_fn(|i| r.plan_cache[i].load(Relaxed)),
+            arena_leases: r.arena_leases.load(Relaxed),
+            arena_reuses: r.arena_reuses.load(Relaxed),
+            arena_bytes_reused: r.arena_bytes_reused.load(Relaxed),
+            arena_bytes_grown: r.arena_bytes_grown.load(Relaxed),
+            superblock_tasks: std::array::from_fn(|i| r.superblock_tasks[i].load(Relaxed)),
+            superblock_packs: r.superblock_packs.snapshot(),
             phases: PHASES
                 .iter()
                 .map(|&p| PhaseSnapshot {
@@ -436,6 +545,30 @@ impl MetricsSnapshot {
                     .set("b", self.packed_bytes_b),
             )
             .set("batch_counts_log2", hist_json(&self.batch_counts))
+            .set(
+                "plan_cache",
+                Json::object()
+                    .set("hits", self.plan_cache[0])
+                    .set("misses", self.plan_cache[1])
+                    .set("evictions", self.plan_cache[2])
+                    .set("bypasses", self.plan_cache[3]),
+            )
+            .set(
+                "arena",
+                Json::object()
+                    .set("leases", self.arena_leases)
+                    .set("reuses", self.arena_reuses)
+                    .set("bytes_reused", self.arena_bytes_reused)
+                    .set("bytes_grown", self.arena_bytes_grown),
+            )
+            .set(
+                "superblocks",
+                Json::object()
+                    .set("gemm", self.superblock_tasks[0])
+                    .set("trsm", self.superblock_tasks[1])
+                    .set("trmm", self.superblock_tasks[2])
+                    .set("packs_log2", hist_json(&self.superblock_packs)),
+            )
             .set("phases", phases)
     }
 }

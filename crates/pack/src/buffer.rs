@@ -7,6 +7,13 @@ use iatf_simd::Real;
 /// Execution plans reuse one buffer across all super-blocks so the packing
 /// traffic stays in the same L1-resident working set (the Batch Counter
 /// sizes the per-super-block footprint to the L1 capacity).
+///
+/// Growth semantics matter on the hot path: storage is zero-filled only on
+/// **first touch** ([`PackBuffer::reserve`] extends with zeros exactly once
+/// per new scalar), and already-owned storage is handed back as-is —
+/// packing overwrites what it uses, so re-zeroing a warm buffer on every
+/// `execute` would be pure waste. Combined with the [`crate::arena`] pool,
+/// steady-state executes neither allocate nor memset.
 #[derive(Debug, Default)]
 pub struct PackBuffer<R> {
     data: Vec<R>,
@@ -18,19 +25,39 @@ impl<R: Real> PackBuffer<R> {
         Self { data: Vec::new() }
     }
 
-    /// Creates a buffer with capacity for `len` scalars.
+    /// Creates a buffer with `len` scalars already initialized.
     pub fn with_len(len: usize) -> Self {
-        Self {
-            data: vec![R::ZERO; len],
+        let mut buf = Self::new();
+        buf.reserve(len);
+        buf
+    }
+
+    /// Wraps storage recycled from a previous buffer (see [`crate::arena`]);
+    /// its initialized prefix is reused without re-zero-filling.
+    pub fn from_vec(data: Vec<R>) -> Self {
+        Self { data }
+    }
+
+    /// Consumes the buffer, yielding its storage for later reuse.
+    pub fn into_vec(self) -> Vec<R> {
+        self.data
+    }
+
+    /// Ensures at least `len` scalars are initialized. Zero fill happens
+    /// only for the newly grown tail — never for storage the buffer already
+    /// owns (first-touch-only semantics).
+    pub fn reserve(&mut self, len: usize) {
+        if self.data.len() < len {
+            let grown = len - self.data.len();
+            self.data.resize(len, R::ZERO);
+            iatf_obs::count_arena_bytes_grown(grown * core::mem::size_of::<R>());
         }
     }
 
     /// Ensures at least `len` scalars are available and returns the slice.
     /// Contents are unspecified (packing overwrites what it uses).
     pub fn get_mut(&mut self, len: usize) -> &mut [R] {
-        if self.data.len() < len {
-            self.data.resize(len, R::ZERO);
-        }
+        self.reserve(len);
         &mut self.data[..len]
     }
 
@@ -39,7 +66,7 @@ impl<R: Real> PackBuffer<R> {
         &self.data[..len]
     }
 
-    /// Current capacity in scalars.
+    /// Current initialized length in scalars.
     pub fn len(&self) -> usize {
         self.data.len()
     }
@@ -53,10 +80,7 @@ impl<R: Real> PackBuffer<R> {
     /// scalars (grows as needed) — one allocation for the A and B panels of
     /// a super-block.
     pub fn split_two(&mut self, a_len: usize, b_len: usize) -> (&mut [R], &mut [R]) {
-        let total = a_len + b_len;
-        if self.data.len() < total {
-            self.data.resize(total, R::ZERO);
-        }
+        self.reserve(a_len + b_len);
         let (a, rest) = self.data.split_at_mut(a_len);
         (a, &mut rest[..b_len])
     }
@@ -93,5 +117,29 @@ mod tests {
         b[0] = 9.0;
         assert_eq!(buf.get(4)[2], 7.0);
         assert_eq!(buf.get(4)[3], 9.0);
+    }
+
+    #[test]
+    fn reserve_never_clears_initialized_storage() {
+        let mut buf = PackBuffer::<f32>::new();
+        buf.get_mut(8).fill(3.0);
+        // shrinking and re-growing within capacity must not zero anything
+        buf.reserve(4);
+        buf.reserve(8);
+        assert!(buf.get(8).iter().all(|&x| x == 3.0));
+        // growth zero-fills only the new tail
+        buf.reserve(12);
+        assert!(buf.get(12)[..8].iter().all(|&x| x == 3.0));
+        assert!(buf.get(12)[8..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn storage_round_trips_through_vec() {
+        let mut buf = PackBuffer::<f64>::new();
+        buf.get_mut(6)[5] = 4.5;
+        let v = buf.into_vec();
+        let buf2 = PackBuffer::from_vec(v);
+        assert_eq!(buf2.len(), 6);
+        assert_eq!(buf2.get(6)[5], 4.5);
     }
 }

@@ -28,8 +28,10 @@
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop, clippy::manual_is_multiple_of)]
 
+pub mod arena;
 pub mod buffer;
 pub mod gemm;
 pub mod trsm;
 
+pub use arena::ArenaLease;
 pub use buffer::PackBuffer;

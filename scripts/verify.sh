@@ -21,9 +21,14 @@ echo "==> obs counters/timers live + explainer predictions match counters"
 cargo test -q -p iatf-obs --features enabled
 cargo test -q -p iatf-core --features obs
 
+echo "==> parallel executors: bit-exact vs serial, plan cache under threads"
+cargo test -q -p iatf-core --features parallel
+cargo test -q -p iatf-core --features parallel,obs
+
 echo "==> bench harness builds in both feature states"
 cargo build --release -p iatf-bench
 cargo build --release -p iatf-bench --features obs
+cargo build --release -p iatf-bench --features parallel,obs
 
 echo "==> iatf-verify: unit + property + certification tests"
 cargo test -q -p iatf-verify
@@ -32,6 +37,26 @@ echo "==> static kernel certification (reproduce verify) + machine report"
 cargo run -q --release -p iatf-bench --bin reproduce -- verify
 cargo run -q --release -p iatf-bench --bin reproduce -- verify --json > verify_report.json
 echo "    wrote verify_report.json"
+
+echo "==> plan-cache amortization smoke (reproduce callamort)"
+cargo run -q --release -p iatf-bench --features parallel,obs --bin reproduce -- \
+  callamort --json > BENCH_3.json
+python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_3.json"))
+ratio = doc["aggregate_amortization_ratio"]
+cache = doc["plan_cache"]
+tp = doc["throughput"]
+assert cache["hits"] > 0 and cache["misses"] > 0, "cache never exercised"
+assert cache["bypasses"] > 0, "bypass policy never exercised"
+assert tp["parallel_feature"] and len(tp["parallel_gflops"]) == len(tp["sizes"])
+assert ratio >= 5.0, f"cached dispatch must be >=5x cheaper, measured {ratio:.1f}x"
+print(f"    aggregate amortization ratio: {ratio:.1f}x "
+      f"({cache['hits']} hits / {cache['misses']} misses)")
+print(f"    serial GFLOPS {tp['serial_gflops']}")
+print(f"    parallel GFLOPS {tp['parallel_gflops']}")
+EOF
+echo "    wrote BENCH_3.json"
 
 echo "==> unsafe code stays inside the audited allowlist"
 # The SIMD backends are the sanctioned home of unsafe (the iatf-simd

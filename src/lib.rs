@@ -26,7 +26,7 @@ pub use iatf_simd as simd;
 pub use iatf_core::{
     compact_gemm, compact_gemm_ex, compact_trmm, compact_trmm_ex, compact_trsm, compact_trsm_ex,
     std_gemm_via_compact, std_trsm_via_compact, BatchPolicy, CompactElement, GemmPlan, PackPolicy,
-    TrmmPlan, TrsmPlan, TuningConfig,
+    PlanCachePolicy, PlanCacheStats, TrmmPlan, TrsmPlan, TuningConfig,
 };
 pub use iatf_layout::{
     CompactBatch, Diag, GemmDims, GemmMode, LayoutError, Side, StdBatch, Trans, TrsmDims,
@@ -38,7 +38,7 @@ pub use iatf_simd::{c32, c64, Complex, DType, Element};
 pub mod prelude {
     pub use crate::{
         c32, c64, compact_gemm, compact_trmm, compact_trsm, CompactBatch, Complex, DType, Diag,
-        Element, GemmDims, GemmMode, GemmPlan, Side, StdBatch, Trans, TrmmPlan, TrsmDims,
-        TrsmMode, TrsmPlan, TuningConfig, Uplo,
+        Element, GemmDims, GemmMode, GemmPlan, PlanCachePolicy, Side, StdBatch, Trans, TrmmPlan,
+        TrsmDims, TrsmMode, TrsmPlan, TuningConfig, Uplo,
     };
 }
