@@ -9,10 +9,58 @@
 //! themselves build a [`GemmPlan`]/[`TrsmPlan`] directly and call
 //! `execute` repeatedly, or set `PlanCachePolicy::Bypass`.
 
-use crate::config::{PlanCachePolicy, TuningConfig};
+use crate::autotune;
+use crate::config::{PlanCachePolicy, TunePolicy, TuningConfig};
 use crate::elem::CompactElement;
 use crate::plan::{cache, GemmPlan, TrmmPlan, TrsmPlan};
 use iatf_layout::{CompactBatch, GemmDims, GemmMode, LayoutError, StdBatch, Trans, TrsmDims, TrsmMode};
+
+/// Runs a GEMM plan with the tuned serial/parallel crossover: plans whose
+/// tuned entry measured parallel execution faster dispatch to the rayon
+/// executor (when the `parallel` feature is on), everything else takes
+/// the serial path. Both paths produce bit-identical results.
+fn run_gemm<E: CompactElement>(
+    plan: &GemmPlan<E>,
+    alpha: E,
+    a: &CompactBatch<E>,
+    b: &CompactBatch<E>,
+    beta: E,
+    c: &mut CompactBatch<E>,
+) -> Result<(), LayoutError> {
+    #[cfg(feature = "parallel")]
+    if plan.use_parallel() {
+        return plan.execute_parallel(alpha, a, b, beta, c);
+    }
+    plan.execute(alpha, a, b, beta, c)
+}
+
+/// TRSM twin of [`run_gemm`].
+fn run_trsm<E: CompactElement>(
+    plan: &TrsmPlan<E>,
+    alpha: E,
+    a: &CompactBatch<E>,
+    b: &mut CompactBatch<E>,
+) -> Result<(), LayoutError> {
+    #[cfg(feature = "parallel")]
+    if plan.use_parallel() {
+        return plan.execute_parallel(alpha, a, b);
+    }
+    plan.execute(alpha, a, b)
+}
+
+/// TRMM twin of [`run_gemm`].
+fn run_trmm<E: CompactElement>(
+    plan: &TrmmPlan<E>,
+    alpha: E,
+    a: &CompactBatch<E>,
+    b: &mut CompactBatch<E>,
+) -> Result<(), LayoutError> {
+    #[cfg(feature = "parallel")]
+    if plan.use_parallel() {
+        return plan.execute_parallel(alpha, a, b);
+    }
+    plan.execute(alpha, a, b)
+}
 
 /// Compact batched GEMM: `C = α·op(A)·op(B) + β·C` for every matrix in the
 /// group.
@@ -61,15 +109,21 @@ pub fn compact_gemm_ex<E: CompactElement>(
         Trans::Yes => a.rows(),
     };
     let dims = GemmDims::new(c.rows(), c.cols(), k);
+    // First-touch tuning runs *before* the plan-cache key is computed, so
+    // the key already reflects the post-sweep db generation and the tuned
+    // plan is what gets cached.
+    if matches!(cfg.tune, TunePolicy::FirstTouch(_)) {
+        autotune::ensure_tuned_gemm::<E>(dims, mode, conj_a, conj_b, c.count(), cfg);
+    }
     match cfg.plan_cache {
         PlanCachePolicy::Shared => {
             let plan = cache::cached_gemm_plan::<E>(dims, mode, conj_a, conj_b, c.count(), cfg)?;
-            plan.execute(alpha, a, b, beta, c)
+            run_gemm(&plan, alpha, a, b, beta, c)
         }
         PlanCachePolicy::Bypass => {
             cache::note_bypass();
             let plan = GemmPlan::<E>::new(dims, mode, conj_a, conj_b, c.count(), cfg)?;
-            plan.execute(alpha, a, b, beta, c)
+            run_gemm(&plan, alpha, a, b, beta, c)
         }
     }
 }
@@ -100,15 +154,18 @@ pub fn compact_trsm_ex<E: CompactElement>(
     cfg: &TuningConfig,
 ) -> Result<(), LayoutError> {
     let dims = TrsmDims::new(b.rows(), b.cols());
+    if matches!(cfg.tune, TunePolicy::FirstTouch(_)) {
+        autotune::ensure_tuned_trsm::<E>(dims, mode, conj, b.count(), cfg);
+    }
     match cfg.plan_cache {
         PlanCachePolicy::Shared => {
             let plan = cache::cached_trsm_plan::<E>(dims, mode, conj, b.count(), cfg)?;
-            plan.execute(alpha, a, b)
+            run_trsm(&plan, alpha, a, b)
         }
         PlanCachePolicy::Bypass => {
             cache::note_bypass();
             let plan = TrsmPlan::<E>::new(dims, mode, conj, b.count(), cfg)?;
-            plan.execute(alpha, a, b)
+            run_trsm(&plan, alpha, a, b)
         }
     }
 }
@@ -138,15 +195,18 @@ pub fn compact_trmm_ex<E: CompactElement>(
     cfg: &TuningConfig,
 ) -> Result<(), LayoutError> {
     let dims = TrsmDims::new(b.rows(), b.cols());
+    if matches!(cfg.tune, TunePolicy::FirstTouch(_)) {
+        autotune::ensure_tuned_trmm::<E>(dims, mode, conj, b.count(), cfg);
+    }
     match cfg.plan_cache {
         PlanCachePolicy::Shared => {
             let plan = cache::cached_trmm_plan::<E>(dims, mode, conj, b.count(), cfg)?;
-            plan.execute(alpha, a, b)
+            run_trmm(&plan, alpha, a, b)
         }
         PlanCachePolicy::Bypass => {
             cache::note_bypass();
             let plan = TrmmPlan::<E>::new(dims, mode, conj, b.count(), cfg)?;
-            plan.execute(alpha, a, b)
+            run_trmm(&plan, alpha, a, b)
         }
     }
 }

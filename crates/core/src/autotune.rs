@@ -1,0 +1,626 @@
+//! BLAS-specific glue to the empirical autotuner (`iatf-tune`).
+//!
+//! The tuning crate itself is op-agnostic: it knows how to run calibrated
+//! interleaved sweeps ([`iatf_tune::sweep`]) and how to persist winners
+//! ([`iatf_tune::TuningDb`]). This module owns everything BLAS-shaped:
+//!
+//! * **Keys** — mapping an input fingerprint (op, dtype, dims, mode,
+//!   conjugation, group count) to a [`TuneKey`], reusing the exact mode
+//!   encodings the plan cache keys use.
+//! * **Candidates** — the space the sweep explores: the heuristic plan
+//!   (always candidate 0, so the winner can never be slower than the
+//!   baseline *in the sweep's own numbers*), pack-policy variants, L1
+//!   budget fractions around the model's prediction, and explicit
+//!   super-block sizes at half/double the heuristic. Candidates that
+//!   decode to the same plan decisions are deduplicated before timing.
+//! * **Workloads** — synthetic operands sized like the real input but
+//!   capped in group count so the sweep's working set stays modest.
+//!   Triangular sweeps run against identity matrices, making repeated
+//!   in-place solves a bitwise fixed point (no drift across timing reps).
+//! * **Decisions** — translating a recorded [`TunedEntry`] back into the
+//!   overrides the planners consume ([`TunedDecision`]).
+//!
+//! Consultation (`lookup_*`) is cheap — one mutex-guarded hash lookup —
+//! and only happens when [`TunePolicy`] is `Cached` or `FirstTouch`; the
+//! default `Heuristic` policy never touches the db. Sweeps build their
+//! candidate plans with a `Heuristic` config, so tuning never recurses
+//! into itself.
+
+use std::cell::RefCell;
+use std::time::Duration;
+
+use crate::config::{BatchPolicy, PackPolicy, PlanCachePolicy, TunePolicy, TuningConfig};
+use crate::elem::CompactElement;
+use crate::plan::{cache, GemmPlan, TrmmPlan, TrsmPlan};
+use iatf_layout::{CompactBatch, GemmDims, GemmMode, StdBatch, TrsmDims, TrsmMode};
+use iatf_obs as obs;
+use iatf_tune::{sweep, SweepReport, TuneKey, TuneOp, TunedEntry, TuningDb};
+
+/// Overrides a tuned entry imposes on one planner invocation.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct TunedDecision {
+    /// Pack Selecter override (`None` never occurs today — the entry
+    /// always records the winner's policy — but planners treat `None` as
+    /// "keep the config's policy" for forward compatibility).
+    pub pack: Option<PackPolicy>,
+    /// Batch Counter override; `None` keeps the heuristic L1-model size.
+    pub group_packs: Option<usize>,
+    /// Serial→parallel crossover: whether parallel execution measured
+    /// faster for this input.
+    pub parallel: bool,
+}
+
+fn decision_from(entry: TunedEntry) -> TunedDecision {
+    TunedDecision {
+        pack: Some(policy_from_code(entry.pack)),
+        group_packs: usize::try_from(entry.group_packs)
+            .ok()
+            .filter(|&gp| gp > 0),
+        parallel: entry.parallel,
+    }
+}
+
+fn pack_code(policy: PackPolicy) -> u8 {
+    match policy {
+        PackPolicy::Auto => 0,
+        PackPolicy::Always => 1,
+        PackPolicy::Never => 2,
+    }
+}
+
+fn policy_from_code(code: u8) -> PackPolicy {
+    match code {
+        1 => PackPolicy::Always,
+        2 => PackPolicy::Never,
+        _ => PackPolicy::Auto,
+    }
+}
+
+fn dim32(d: usize) -> u32 {
+    u32::try_from(d).unwrap_or(u32::MAX)
+}
+
+/// The db key the planners use for a GEMM input (exports and tests use
+/// this to address entries the same way the run-time stage does).
+pub fn gemm_tune_key<E: CompactElement>(
+    dims: GemmDims,
+    mode: GemmMode,
+    conj_a: bool,
+    conj_b: bool,
+    count: usize,
+) -> TuneKey {
+    TuneKey {
+        op: TuneOp::Gemm,
+        dtype: E::DTYPE as u8,
+        m: dim32(dims.m),
+        n: dim32(dims.n),
+        k: dim32(dims.k),
+        mode: cache::gemm_mode_bits(mode),
+        conj: (conj_a as u8) | ((conj_b as u8) << 1),
+        count: count as u64,
+    }
+}
+
+/// The db key for a TRSM input.
+pub fn trsm_tune_key<E: CompactElement>(
+    dims: TrsmDims,
+    mode: TrsmMode,
+    conj: bool,
+    count: usize,
+) -> TuneKey {
+    TuneKey {
+        op: TuneOp::Trsm,
+        dtype: E::DTYPE as u8,
+        m: dim32(dims.m),
+        n: dim32(dims.n),
+        k: 0,
+        mode: cache::trsm_mode_bits(mode),
+        conj: conj as u8,
+        count: count as u64,
+    }
+}
+
+/// The db key for a TRMM input.
+pub fn trmm_tune_key<E: CompactElement>(
+    dims: TrsmDims,
+    mode: TrsmMode,
+    conj: bool,
+    count: usize,
+) -> TuneKey {
+    TuneKey {
+        op: TuneOp::Trmm,
+        ..trsm_tune_key::<E>(dims, mode, conj, count)
+    }
+}
+
+fn consult(key: &TuneKey, cfg: &TuningConfig) -> Option<TunedDecision> {
+    if matches!(cfg.tune, TunePolicy::Heuristic) {
+        return None;
+    }
+    match TuningDb::global().lookup(key) {
+        Some(entry) => {
+            obs::count_tune(obs::TuneEvent::Apply);
+            Some(decision_from(entry))
+        }
+        None => {
+            obs::count_tune(obs::TuneEvent::Miss);
+            None
+        }
+    }
+}
+
+pub(crate) fn lookup_gemm<E: CompactElement>(
+    dims: GemmDims,
+    mode: GemmMode,
+    conj_a: bool,
+    conj_b: bool,
+    count: usize,
+    cfg: &TuningConfig,
+) -> Option<TunedDecision> {
+    if matches!(cfg.tune, TunePolicy::Heuristic) {
+        return None; // fast path: skip even key construction
+    }
+    consult(&gemm_tune_key::<E>(dims, mode, conj_a, conj_b, count), cfg)
+}
+
+pub(crate) fn lookup_trsm<E: CompactElement>(
+    dims: TrsmDims,
+    mode: TrsmMode,
+    conj: bool,
+    count: usize,
+    cfg: &TuningConfig,
+) -> Option<TunedDecision> {
+    if matches!(cfg.tune, TunePolicy::Heuristic) {
+        return None;
+    }
+    consult(&trsm_tune_key::<E>(dims, mode, conj, count), cfg)
+}
+
+pub(crate) fn lookup_trmm<E: CompactElement>(
+    dims: TrsmDims,
+    mode: TrsmMode,
+    conj: bool,
+    count: usize,
+    cfg: &TuningConfig,
+) -> Option<TunedDecision> {
+    if matches!(cfg.tune, TunePolicy::Heuristic) {
+        return None;
+    }
+    consult(&trmm_tune_key::<E>(dims, mode, conj, count), cfg)
+}
+
+/// One sweep candidate: a fully built plan plus the metadata that becomes
+/// the recorded entry if it wins.
+struct Candidate<P> {
+    plan: P,
+    pack_code: u8,
+    l1_fraction: f64,
+    group_packs: usize,
+    /// Whether winning should pin `group_packs` in the db. Candidates
+    /// that only vary the pack policy leave the Batch Counter heuristic
+    /// in charge (its output depends on the *real* group count, which the
+    /// capped measurement count cannot stand in for).
+    records_gp: bool,
+}
+
+/// Sweep working-set cap: synthetic operands are sized to the real input
+/// but the group count is clamped so all operands together stay around
+/// this many bytes — enough to exercise the L1/L2 behaviour the Batch
+/// Counter models, small enough that a sweep never allocates gigabytes.
+const MEASURE_CAP_BYTES: usize = 8 << 20;
+
+/// Group-count floor for measurement, so tiny inputs still produce
+/// super-block structure worth timing.
+const MEASURE_MIN_COUNT: usize = 64;
+
+fn measure_count(bytes_per_matrix: usize, count: usize) -> usize {
+    count
+        .min((MEASURE_CAP_BYTES / bytes_per_matrix.max(1)).max(MEASURE_MIN_COUNT))
+        .max(1)
+}
+
+/// What a sweep's plan builder returns: the candidate plan, a dedupe
+/// signature (the plan decisions that affect execution), and the plan's
+/// super-block size.
+type BuiltCandidate<P, S> = Option<(P, S, usize)>;
+
+/// Enumerates, builds, and deduplicates the candidate plans for one sweep.
+/// Candidate 0 is always the heuristic baseline.
+fn enumerate_candidates<P, S: PartialEq>(
+    cfg: &TuningConfig,
+    build: &dyn Fn(&TuningConfig) -> BuiltCandidate<P, S>,
+) -> Vec<Candidate<P>> {
+    let base = TuningConfig {
+        tune: TunePolicy::Heuristic,
+        plan_cache: PlanCachePolicy::Bypass,
+        ..cfg.clone()
+    };
+    let mut out: Vec<Candidate<P>> = Vec::new();
+    let mut sigs: Vec<S> = Vec::new();
+    let Some((plan, sig, gp0)) = build(&base) else {
+        return out;
+    };
+    out.push(Candidate {
+        plan,
+        pack_code: pack_code(base.pack),
+        l1_fraction: base.l1_budget_fraction,
+        group_packs: gp0,
+        records_gp: false,
+    });
+    sigs.push(sig);
+
+    let mut specs: Vec<(TuningConfig, bool)> = Vec::new();
+    for pack in [PackPolicy::Auto, PackPolicy::Always, PackPolicy::Never] {
+        if pack != base.pack {
+            specs.push((TuningConfig { pack, ..base.clone() }, false));
+        }
+    }
+    for frac in [0.25, 0.5, 1.0] {
+        if (frac - base.l1_budget_fraction).abs() > 1e-9 {
+            specs.push((
+                TuningConfig {
+                    l1_budget_fraction: frac,
+                    ..base.clone()
+                },
+                true,
+            ));
+        }
+    }
+    for gp in [gp0 / 2, gp0 * 2] {
+        if gp >= 1 && gp != gp0 {
+            specs.push((
+                TuningConfig {
+                    batch: BatchPolicy::Fixed(gp),
+                    ..base.clone()
+                },
+                true,
+            ));
+        }
+    }
+    for (ccfg, records_gp) in specs {
+        if let Some((plan, sig, gp)) = build(&ccfg) {
+            if !sigs.contains(&sig) {
+                sigs.push(sig);
+                out.push(Candidate {
+                    plan,
+                    pack_code: pack_code(ccfg.pack),
+                    l1_fraction: ccfg.l1_budget_fraction,
+                    group_packs: gp,
+                    records_gp,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn record_winner<P>(
+    db: &TuningDb,
+    key: TuneKey,
+    winner: &Candidate<P>,
+    report: &SweepReport,
+    flops: f64,
+    parallel: bool,
+) {
+    let entry = TunedEntry {
+        pack: winner.pack_code,
+        group_packs: if winner.records_gp {
+            winner.group_packs as u64
+        } else {
+            0
+        },
+        l1_fraction: winner.l1_fraction,
+        parallel,
+        tuned_gflops: flops / (report.secs[report.winner] * 1e9),
+        heuristic_gflops: flops / (report.secs[0] * 1e9),
+        noise: report.noise,
+    };
+    db.record(key, entry);
+}
+
+/// Runs the first-touch sweep for a GEMM input if `cfg.tune` asks for one
+/// and the db has no entry yet. Returns whether a tuned entry exists for
+/// the key afterwards. The one-shot API calls this before planning; the
+/// benchmark harness calls it directly to drive tuning.
+pub fn ensure_tuned_gemm<E: CompactElement>(
+    dims: GemmDims,
+    mode: GemmMode,
+    conj_a: bool,
+    conj_b: bool,
+    count: usize,
+    cfg: &TuningConfig,
+) -> bool {
+    let TunePolicy::FirstTouch(budget_ms) = cfg.tune else {
+        return false;
+    };
+    if dims.validate().is_err() || count == 0 {
+        return false;
+    }
+    let key = gemm_tune_key::<E>(dims, mode, conj_a, conj_b, count);
+    let db = TuningDb::global();
+    if db.lookup(&key).is_none() {
+        sweep_gemm::<E>(db, key, dims, mode, conj_a, conj_b, count, budget_ms, cfg);
+    }
+    db.lookup(&key).is_some()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sweep_gemm<E: CompactElement>(
+    db: &TuningDb,
+    key: TuneKey,
+    dims: GemmDims,
+    mode: GemmMode,
+    conj_a: bool,
+    conj_b: bool,
+    count: usize,
+    budget_ms: u64,
+    cfg: &TuningConfig,
+) {
+    obs::count_tune(obs::TuneEvent::Sweep);
+    let scalar = core::mem::size_of::<E>();
+    let per_matrix = (dims.m * dims.k + dims.k * dims.n + dims.m * dims.n) * scalar;
+    let mcount = measure_count(per_matrix, count);
+    let cands = enumerate_candidates(cfg, &|c: &TuningConfig| {
+        GemmPlan::<E>::new(dims, mode, conj_a, conj_b, mcount, c)
+            .ok()
+            .map(|p| {
+                let sig = (p.a_plan, p.b_plan, p.group_packs);
+                let gp = p.group_packs;
+                (p, sig, gp)
+            })
+    });
+    if cands.is_empty() {
+        return;
+    }
+    let (ar, ac) = dims.a_shape(mode);
+    let (br, bc) = dims.b_shape(mode);
+    let a = CompactBatch::<E>::from_std(&StdBatch::random(ar, ac, mcount, 0xA11CE));
+    let b = CompactBatch::<E>::from_std(&StdBatch::random(br, bc, mcount, 0xB0B));
+    let c = RefCell::new(CompactBatch::<E>::zeroed(dims.m, dims.n, mcount));
+    // β = 0 overwrites C every invocation, so repeated timing reps cannot
+    // accumulate (values stay bounded by the random [0,1) inputs).
+    let (alpha, beta) = (E::one(), E::zero());
+    let report = {
+        let mut runners: Vec<Box<dyn FnMut() + '_>> = cands
+            .iter()
+            .map(|cand| {
+                let (a, b, c) = (&a, &b, &c);
+                Box::new(move || {
+                    let _ = cand.plan.execute(alpha, a, b, beta, &mut c.borrow_mut());
+                }) as Box<dyn FnMut() + '_>
+            })
+            .collect();
+        sweep(Duration::from_millis(budget_ms.max(1)), &mut runners)
+    };
+    let winner = &cands[report.winner];
+    #[cfg(not(feature = "parallel"))]
+    let parallel = false;
+    #[cfg(feature = "parallel")]
+    let parallel = {
+        let mut runners: Vec<Box<dyn FnMut() + '_>> = vec![
+            Box::new(|| {
+                let _ = winner.plan.execute(alpha, &a, &b, beta, &mut c.borrow_mut());
+            }),
+            Box::new(|| {
+                let _ = winner
+                    .plan
+                    .execute_parallel(alpha, &a, &b, beta, &mut c.borrow_mut());
+            }),
+        ];
+        let rep = sweep(Duration::from_millis((budget_ms / 2).max(1)), &mut runners);
+        rep.winner == 1 && rep.strictly_faster(1, 0)
+    };
+    let flops = E::DTYPE.flops_per_mac() as f64 * dims.macs() as f64 * mcount as f64;
+    record_winner(db, key, winner, &report, flops, parallel);
+}
+
+macro_rules! triangular_tuner {
+    ($ensure:ident, $sweepfn:ident, $plan:ident, $keyfn:ident, $ensure_doc:literal) => {
+        #[doc = $ensure_doc]
+        /// and the db has no entry yet. Returns whether a tuned entry
+        /// exists for the key afterwards.
+        pub fn $ensure<E: CompactElement>(
+            dims: TrsmDims,
+            mode: TrsmMode,
+            conj: bool,
+            count: usize,
+            cfg: &TuningConfig,
+        ) -> bool {
+            let TunePolicy::FirstTouch(budget_ms) = cfg.tune else {
+                return false;
+            };
+            if dims.validate().is_err() || count == 0 {
+                return false;
+            }
+            let key = $keyfn::<E>(dims, mode, conj, count);
+            let db = TuningDb::global();
+            if db.lookup(&key).is_none() {
+                $sweepfn::<E>(db, key, dims, mode, conj, count, budget_ms, cfg);
+            }
+            db.lookup(&key).is_some()
+        }
+
+        #[allow(clippy::too_many_arguments)]
+        fn $sweepfn<E: CompactElement>(
+            db: &TuningDb,
+            key: TuneKey,
+            dims: TrsmDims,
+            mode: TrsmMode,
+            conj: bool,
+            count: usize,
+            budget_ms: u64,
+            cfg: &TuningConfig,
+        ) {
+            obs::count_tune(obs::TuneEvent::Sweep);
+            let q = dims.triangle_order(mode);
+            let scalar = core::mem::size_of::<E>();
+            let per_matrix = (q * q + dims.m * dims.n) * scalar;
+            let mcount = measure_count(per_matrix, count);
+            let cands = enumerate_candidates(cfg, &|c: &TuningConfig| {
+                $plan::<E>::new(dims, mode, conj, mcount, c).ok().map(|p| {
+                    let sig = (p.pack_b_structural, p.group_packs);
+                    let gp = p.group_packs;
+                    (p, sig, gp)
+                })
+            });
+            if cands.is_empty() {
+                return;
+            }
+            // Identity A makes the repeated in-place solve/multiply a
+            // bitwise fixed point: X = 1·B every rep, no drift, no
+            // overflow, regardless of how many timing iterations run.
+            let mut a = CompactBatch::<E>::from_std(&StdBatch::from_fn(q, q, mcount, |_, i, j| {
+                if i == j {
+                    E::one()
+                } else {
+                    E::zero()
+                }
+            }));
+            a.pad_triangle_identity();
+            let b = RefCell::new(CompactBatch::<E>::from_std(&StdBatch::random(
+                dims.m, dims.n, mcount, 0xF1D0,
+            )));
+            let alpha = E::one();
+            let report = {
+                let mut runners: Vec<Box<dyn FnMut() + '_>> = cands
+                    .iter()
+                    .map(|cand| {
+                        let (a, b) = (&a, &b);
+                        Box::new(move || {
+                            let _ = cand.plan.execute(alpha, a, &mut b.borrow_mut());
+                        }) as Box<dyn FnMut() + '_>
+                    })
+                    .collect();
+                sweep(Duration::from_millis(budget_ms.max(1)), &mut runners)
+            };
+            let winner = &cands[report.winner];
+            #[cfg(not(feature = "parallel"))]
+            let parallel = false;
+            #[cfg(feature = "parallel")]
+            let parallel = {
+                let mut runners: Vec<Box<dyn FnMut() + '_>> = vec![
+                    Box::new(|| {
+                        let _ = winner.plan.execute(alpha, &a, &mut b.borrow_mut());
+                    }),
+                    Box::new(|| {
+                        let _ = winner.plan.execute_parallel(alpha, &a, &mut b.borrow_mut());
+                    }),
+                ];
+                let rep = sweep(Duration::from_millis((budget_ms / 2).max(1)), &mut runners);
+                rep.winner == 1 && rep.strictly_faster(1, 0)
+            };
+            let flops = E::DTYPE.flops_per_mac() as f64 * dims.macs(mode) as f64 * mcount as f64;
+            record_winner(db, key, winner, &report, flops, parallel);
+        }
+    };
+}
+
+triangular_tuner!(
+    ensure_tuned_trsm,
+    sweep_trsm,
+    TrsmPlan,
+    trsm_tune_key,
+    "Runs the first-touch sweep for a TRSM input if `cfg.tune` asks for one"
+);
+
+triangular_tuner!(
+    ensure_tuned_trmm,
+    sweep_trmm,
+    TrmmPlan,
+    trmm_tune_key,
+    "Runs the first-touch sweep for a TRMM input if `cfg.tune` asks for one"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_distinguish_ops_and_inputs() {
+        let gd = GemmDims::new(8, 8, 8);
+        let td = TrsmDims::new(8, 8);
+        let tmode = TrsmMode::all()[0];
+        let gk = gemm_tune_key::<f32>(gd, GemmMode::NN, false, false, 100);
+        let sk = trsm_tune_key::<f32>(td, tmode, false, 100);
+        let mk = trmm_tune_key::<f32>(td, tmode, false, 100);
+        assert_ne!(gk, sk);
+        assert_ne!(sk, mk);
+        assert_ne!(
+            gk,
+            gemm_tune_key::<f64>(gd, GemmMode::NN, false, false, 100)
+        );
+        assert_ne!(
+            gk,
+            gemm_tune_key::<f32>(gd, GemmMode::NT, false, false, 100)
+        );
+        assert_ne!(gk, gemm_tune_key::<f32>(gd, GemmMode::NN, true, false, 100));
+        assert_ne!(
+            gk,
+            gemm_tune_key::<f32>(gd, GemmMode::NN, false, false, 101)
+        );
+        // Keys round-trip through the db's string encoding.
+        assert_eq!(TuneKey::decode(&gk.encode()), Some(gk));
+        assert_eq!(TuneKey::decode(&mk.encode()), Some(mk));
+    }
+
+    #[test]
+    fn heuristic_policy_never_consults_the_db() {
+        let cfg = TuningConfig::default(); // tune: Heuristic
+        assert!(lookup_gemm::<f32>(
+            GemmDims::new(4, 4, 4),
+            GemmMode::NN,
+            false,
+            false,
+            64,
+            &cfg
+        )
+        .is_none());
+        assert!(!ensure_tuned_gemm::<f32>(
+            GemmDims::new(4, 4, 4),
+            GemmMode::NN,
+            false,
+            false,
+            64,
+            &cfg
+        ));
+    }
+
+    #[test]
+    fn measure_count_caps_large_groups_and_floors_small_ones() {
+        // Large input: capped well below the requested count.
+        let c = measure_count(32 * 32 * 3 * 8, 1_000_000);
+        assert!(c >= MEASURE_MIN_COUNT && c < 1_000_000);
+        // Small input: floor kicks in but never exceeds the real count.
+        assert_eq!(measure_count(4 * 4 * 3 * 4, 16), 16);
+        assert_eq!(measure_count(usize::MAX, 1_000), MEASURE_MIN_COUNT);
+    }
+
+    #[test]
+    fn entry_decisions_round_trip() {
+        let d = decision_from(TunedEntry {
+            pack: 2,
+            group_packs: 16,
+            l1_fraction: 0.5,
+            parallel: true,
+            tuned_gflops: 1.0,
+            heuristic_gflops: 1.0,
+            noise: 0.0,
+        });
+        assert_eq!(d.pack, Some(PackPolicy::Never));
+        assert_eq!(d.group_packs, Some(16));
+        assert!(d.parallel);
+        // group_packs == 0 means "keep the heuristic".
+        let d = decision_from(TunedEntry {
+            pack: 0,
+            group_packs: 0,
+            l1_fraction: 0.5,
+            parallel: false,
+            tuned_gflops: 1.0,
+            heuristic_gflops: 1.0,
+            noise: 0.0,
+        });
+        assert_eq!(d.pack, Some(PackPolicy::Auto));
+        assert_eq!(d.group_packs, None);
+        assert!(!d.parallel);
+    }
+}

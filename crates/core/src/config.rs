@@ -40,6 +40,27 @@ pub enum PlanCachePolicy {
     Bypass,
 }
 
+/// How the run-time stage uses the empirical tuning database
+/// (`iatf-tune`): whether measured winners override the static heuristics
+/// and whether unseen inputs trigger a micro-benchmark sweep.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum TunePolicy {
+    /// Static heuristics only (paper behaviour). The tuning db is never
+    /// consulted; this is the default and the fallback when the db is
+    /// absent or corrupt.
+    #[default]
+    Heuristic,
+    /// Consult the db: a recorded winner overrides the Pack Selecter /
+    /// Batch Counter outputs and drives serial/parallel auto dispatch.
+    /// Unseen inputs fall back to the heuristics — nothing is measured.
+    Cached,
+    /// Like [`TunePolicy::Cached`], but the first call with an unseen
+    /// input fingerprint runs a calibrated micro-benchmark sweep within
+    /// roughly this many milliseconds of wall clock, records the winner,
+    /// and then dispatches with it.
+    FirstTouch(u64),
+}
+
 /// Tuning configuration consumed by the run-time stage.
 #[derive(Clone, Debug)]
 pub struct TuningConfig {
@@ -55,6 +76,8 @@ pub struct TuningConfig {
     pub batch: BatchPolicy,
     /// Plan-cache policy for the one-shot entry points.
     pub plan_cache: PlanCachePolicy,
+    /// Empirical-autotuner policy (see [`TunePolicy`]).
+    pub tune: TunePolicy,
 }
 
 impl TuningConfig {
@@ -66,6 +89,7 @@ impl TuningConfig {
             pack: PackPolicy::Auto,
             batch: BatchPolicy::Auto,
             plan_cache: PlanCachePolicy::Shared,
+            tune: TunePolicy::Heuristic,
         }
     }
 
@@ -97,6 +121,20 @@ impl TuningConfig {
         };
         h = fx_mix(h, ((self.pack as u64) << 8) | batch_tag);
         h = fx_mix(h, batch_g);
+        // The tuning db only influences plan construction when the policy
+        // consults it — and then the *db generation* is part of the
+        // fingerprint, so recording a new winner changes every subsequent
+        // cache key and stale cached plans age out by eviction.
+        let (tune_tag, tune_budget) = match self.tune {
+            TunePolicy::Heuristic => (0u64, 0u64),
+            TunePolicy::Cached => (1u64, 0u64),
+            TunePolicy::FirstTouch(ms) => (2u64, ms),
+        };
+        h = fx_mix(h, tune_tag);
+        if tune_tag != 0 {
+            h = fx_mix(h, tune_budget);
+            h = fx_mix(h, iatf_tune::TuningDb::global().generation());
+        }
         h
     }
 }
@@ -134,5 +172,25 @@ mod tests {
         assert!(cfg.l1_budget_bytes() > 0);
         assert_eq!(cfg.pack, PackPolicy::Auto);
         assert_eq!(cfg.batch, BatchPolicy::Auto);
+        assert_eq!(cfg.tune, TunePolicy::Heuristic);
+    }
+
+    #[test]
+    fn fingerprint_separates_tune_policies() {
+        let base = TuningConfig::for_machine(&KUNPENG_920);
+        let cached = TuningConfig {
+            tune: TunePolicy::Cached,
+            ..base.clone()
+        };
+        let ft = TuningConfig {
+            tune: TunePolicy::FirstTouch(50),
+            ..base.clone()
+        };
+        assert_ne!(base.fingerprint(), cached.fingerprint());
+        assert_ne!(base.fingerprint(), ft.fingerprint());
+        assert_ne!(cached.fingerprint(), ft.fingerprint());
+        // Heuristic fingerprints are independent of the tuning db, so
+        // repeated calls are stable even while the db mutates.
+        assert_eq!(base.fingerprint(), base.fingerprint());
     }
 }

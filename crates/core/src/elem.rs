@@ -5,10 +5,19 @@
 //! invocation shims the run-time stage needs. Real and complex elements
 //! route to different kernel families but expose the same interface, so the
 //! planners are written once.
+//!
+//! Dispatch is split in two so the per-tile hot loops never walk the
+//! install-time kernel table: `*_kernel_for(mr, nr)` resolves a kernel
+//! *handle* (a plain function pointer) once at plan-build time, and the
+//! `unsafe` invocation shims take that pre-resolved handle — one indirect
+//! call per tile, no table lookup.
 
 use iatf_kernels::table::{
     cplx_gemm_kernel, cplx_trmm_kernel, cplx_trsm_kernel, real_gemm_kernel, real_trmm_kernel,
     real_trsm_kernel,
+};
+use iatf_kernels::{
+    CplxGemmKernel, CplxTrmmKernel, CplxTrsmKernel, RealGemmKernel, RealTrmmKernel, RealTrsmKernel,
 };
 use iatf_simd::Element;
 
@@ -26,15 +35,31 @@ pub trait CompactElement: Element {
     /// TRSM B-panel width (4 real, 2 complex).
     const TRSM_NR: usize;
 
-    /// Invokes the `(mr, nr)` GEMM microkernel. See
+    /// Resolved GEMM microkernel handle (a bare function pointer). Plans
+    /// resolve one per register tile at build time and store it.
+    type GemmK: Copy + Send + Sync + core::fmt::Debug + 'static;
+    /// Resolved TRSM block-kernel handle.
+    type TrsmK: Copy + Send + Sync + core::fmt::Debug + 'static;
+    /// Resolved TRMM block-kernel handle.
+    type TrmmK: Copy + Send + Sync + core::fmt::Debug + 'static;
+
+    /// Looks up the `(mr, nr)` GEMM microkernel in the install-time table.
+    fn gemm_kernel_for(mr: usize, nr: usize) -> Self::GemmK;
+    /// Looks up the `(mr, nr)` fused TRSM block kernel.
+    fn trsm_kernel_for(mr: usize, nr: usize) -> Self::TrsmK;
+    /// Looks up the `(mr, nr)` fused TRMM block kernel.
+    fn trmm_kernel_for(mr: usize, nr: usize) -> Self::TrmmK;
+
+    /// Invokes a pre-resolved GEMM microkernel. See
     /// `iatf_kernels::RealGemmKernel` for the addressing contract.
     ///
     /// # Safety
-    /// Pointer/stride contract of the underlying kernel.
+    /// Pointer/stride contract of the underlying kernel; `kernel` must
+    /// have been resolved by [`CompactElement::gemm_kernel_for`] with the
+    /// tile shape the pointers describe.
     #[allow(clippy::too_many_arguments)]
     unsafe fn gemm_kernel(
-        mr: usize,
-        nr: usize,
+        kernel: Self::GemmK,
         k: usize,
         alpha: Self,
         beta: Self,
@@ -49,15 +74,15 @@ pub trait CompactElement: Element {
         c_j: usize,
     );
 
-    /// Invokes the fused `(mr, nr)` TRSM block kernel. See
+    /// Invokes a pre-resolved fused TRSM block kernel. See
     /// `iatf_kernels::RealTrsmKernel` for the addressing contract.
     ///
     /// # Safety
-    /// Pointer/stride contract of the underlying kernel.
+    /// Pointer/stride contract of the underlying kernel; `kernel` must
+    /// match the block shape.
     #[allow(clippy::too_many_arguments)]
     unsafe fn trsm_kernel(
-        mr: usize,
-        nr: usize,
+        kernel: Self::TrsmK,
         kk: usize,
         pa_rect: *const Self::Real,
         a_i: usize,
@@ -69,16 +94,16 @@ pub trait CompactElement: Element {
         col_stride: usize,
     );
 
-    /// Invokes the fused `(mr, nr)` TRMM block kernel (extension). Same
+    /// Invokes a pre-resolved fused TRMM block kernel (extension). Same
     /// addressing as [`CompactElement::trsm_kernel`] with a direct-diagonal
     /// triangle and an explicit `alpha`.
     ///
     /// # Safety
-    /// Pointer/stride contract of the underlying kernel.
+    /// Pointer/stride contract of the underlying kernel; `kernel` must
+    /// match the block shape.
     #[allow(clippy::too_many_arguments)]
     unsafe fn trmm_kernel(
-        mr: usize,
-        nr: usize,
+        kernel: Self::TrmmK,
         kk: usize,
         alpha: Self,
         pa_rect: *const Self::Real,
@@ -101,10 +126,28 @@ macro_rules! impl_real_compact {
             const TRSM_TMAX: usize = 5;
             const TRSM_NR: usize = 4;
 
+            type GemmK = RealGemmKernel<$t>;
+            type TrsmK = RealTrsmKernel<$t>;
+            type TrmmK = RealTrmmKernel<$t>;
+
+            #[inline]
+            fn gemm_kernel_for(mr: usize, nr: usize) -> Self::GemmK {
+                real_gemm_kernel::<$t>(mr, nr)
+            }
+
+            #[inline]
+            fn trsm_kernel_for(mr: usize, nr: usize) -> Self::TrsmK {
+                real_trsm_kernel::<$t>(mr, nr)
+            }
+
+            #[inline]
+            fn trmm_kernel_for(mr: usize, nr: usize) -> Self::TrmmK {
+                real_trmm_kernel::<$t>(mr, nr)
+            }
+
             #[inline]
             unsafe fn gemm_kernel(
-                mr: usize,
-                nr: usize,
+                kernel: Self::GemmK,
                 k: usize,
                 alpha: Self,
                 beta: Self,
@@ -118,15 +161,12 @@ macro_rules! impl_real_compact {
                 c_i: usize,
                 c_j: usize,
             ) {
-                real_gemm_kernel::<$t>(mr, nr)(
-                    k, alpha, beta, pa, a_i, a_k, pb, b_j, b_k, c, c_i, c_j,
-                )
+                kernel(k, alpha, beta, pa, a_i, a_k, pb, b_j, b_k, c, c_i, c_j)
             }
 
             #[inline]
             unsafe fn trsm_kernel(
-                mr: usize,
-                nr: usize,
+                kernel: Self::TrsmK,
                 kk: usize,
                 pa_rect: *const Self,
                 a_i: usize,
@@ -137,15 +177,12 @@ macro_rules! impl_real_compact {
                 row_stride: usize,
                 col_stride: usize,
             ) {
-                real_trsm_kernel::<$t>(mr, nr)(
-                    kk, pa_rect, a_i, a_k, pa_tri, panel, row0, row_stride, col_stride,
-                )
+                kernel(kk, pa_rect, a_i, a_k, pa_tri, panel, row0, row_stride, col_stride)
             }
 
             #[inline]
             unsafe fn trmm_kernel(
-                mr: usize,
-                nr: usize,
+                kernel: Self::TrmmK,
                 kk: usize,
                 alpha: Self,
                 pa_rect: *const Self,
@@ -157,9 +194,7 @@ macro_rules! impl_real_compact {
                 row_stride: usize,
                 col_stride: usize,
             ) {
-                real_trmm_kernel::<$t>(mr, nr)(
-                    kk, alpha, pa_rect, a_i, a_k, pa_tri, panel, row0, row_stride, col_stride,
-                )
+                kernel(kk, alpha, pa_rect, a_i, a_k, pa_tri, panel, row0, row_stride, col_stride)
             }
         }
     };
@@ -177,10 +212,28 @@ macro_rules! impl_cplx_compact {
             const TRSM_TMAX: usize = 2;
             const TRSM_NR: usize = 2;
 
+            type GemmK = CplxGemmKernel<$r>;
+            type TrsmK = CplxTrsmKernel<$r>;
+            type TrmmK = CplxTrmmKernel<$r>;
+
+            #[inline]
+            fn gemm_kernel_for(mr: usize, nr: usize) -> Self::GemmK {
+                cplx_gemm_kernel::<$r>(mr, nr)
+            }
+
+            #[inline]
+            fn trsm_kernel_for(mr: usize, nr: usize) -> Self::TrsmK {
+                cplx_trsm_kernel::<$r>(mr, nr)
+            }
+
+            #[inline]
+            fn trmm_kernel_for(mr: usize, nr: usize) -> Self::TrmmK {
+                cplx_trmm_kernel::<$r>(mr, nr)
+            }
+
             #[inline]
             unsafe fn gemm_kernel(
-                mr: usize,
-                nr: usize,
+                kernel: Self::GemmK,
                 k: usize,
                 alpha: Self,
                 beta: Self,
@@ -194,7 +247,7 @@ macro_rules! impl_cplx_compact {
                 c_i: usize,
                 c_j: usize,
             ) {
-                cplx_gemm_kernel::<$r>(mr, nr)(
+                kernel(
                     k,
                     [alpha.re, alpha.im],
                     [beta.re, beta.im],
@@ -212,8 +265,7 @@ macro_rules! impl_cplx_compact {
 
             #[inline]
             unsafe fn trsm_kernel(
-                mr: usize,
-                nr: usize,
+                kernel: Self::TrsmK,
                 kk: usize,
                 pa_rect: *const $r,
                 a_i: usize,
@@ -224,15 +276,12 @@ macro_rules! impl_cplx_compact {
                 row_stride: usize,
                 col_stride: usize,
             ) {
-                cplx_trsm_kernel::<$r>(mr, nr)(
-                    kk, pa_rect, a_i, a_k, pa_tri, panel, row0, row_stride, col_stride,
-                )
+                kernel(kk, pa_rect, a_i, a_k, pa_tri, panel, row0, row_stride, col_stride)
             }
 
             #[inline]
             unsafe fn trmm_kernel(
-                mr: usize,
-                nr: usize,
+                kernel: Self::TrmmK,
                 kk: usize,
                 alpha: Self,
                 pa_rect: *const $r,
@@ -244,7 +293,7 @@ macro_rules! impl_cplx_compact {
                 row_stride: usize,
                 col_stride: usize,
             ) {
-                cplx_trmm_kernel::<$r>(mr, nr)(
+                kernel(
                     kk,
                     [alpha.re, alpha.im],
                     pa_rect,
@@ -284,5 +333,27 @@ mod tests {
         assert_eq!(f32::TRSM_TMAX, analysis::trsm_register_capacity());
         assert_eq!(f64::TRSM_TMAX, analysis::trsm_register_capacity());
         assert_eq!(c64::TRSM_TMAX, 2);
+    }
+
+    #[test]
+    fn resolved_handles_match_the_install_time_table() {
+        // The plan-build-time resolver must agree with a direct table walk
+        // for every tile shape the planners can produce.
+        for mr in 1..=f64::MR {
+            for nr in 1..=f64::NR {
+                assert_eq!(
+                    f64::gemm_kernel_for(mr, nr) as usize,
+                    real_gemm_kernel::<f64>(mr, nr) as usize
+                );
+            }
+        }
+        for mr in 1..=c32::MR {
+            for nr in 1..=c32::NR {
+                assert_eq!(
+                    c32::gemm_kernel_for(mr, nr) as usize,
+                    cplx_gemm_kernel::<f32>(mr, nr) as usize
+                );
+            }
+        }
     }
 }

@@ -36,6 +36,7 @@
 
 pub mod analysis;
 pub mod api;
+pub mod autotune;
 pub mod config;
 pub mod elem;
 pub mod machine;
@@ -52,7 +53,8 @@ pub use api::{
     compact_gemm, compact_gemm_ex, compact_trmm, compact_trmm_ex, compact_trsm, compact_trsm_ex,
     std_gemm_via_compact, std_trsm_via_compact,
 };
-pub use config::{BatchPolicy, PackPolicy, PlanCachePolicy, TuningConfig};
+pub use autotune::{ensure_tuned_gemm, ensure_tuned_trmm, ensure_tuned_trsm};
+pub use config::{BatchPolicy, PackPolicy, PlanCachePolicy, TunePolicy, TuningConfig};
 pub use elem::CompactElement;
 pub use machine::{host_profile, MachineProfile, KUNPENG_920, XEON_6240};
 pub use plan::{Command, GemmPlan, PlanCacheStats, TrmmPlan, TrsmPlan};

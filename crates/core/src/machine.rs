@@ -51,12 +51,24 @@ pub const XEON_6240: MachineProfile = MachineProfile {
     peak_fp32_gflops: 166.4,
 };
 
-fn read_sysfs_cache_kb(index: usize) -> Option<usize> {
-    let path = format!("/sys/devices/system/cpu/cpu0/cache/index{index}/size");
-    let s = std::fs::read_to_string(path).ok()?;
+/// Parses a sysfs cache `size` string into bytes. The kernel usually
+/// writes a `K` suffix (`"64K"`), but large last-level caches report `M`
+/// (`"1M"`) and some hypervisor-synthesized topologies emit a bare byte
+/// count (`"32768"`); all three occur in the wild.
+fn parse_cache_size_bytes(s: &str) -> Option<usize> {
     let s = s.trim();
-    let kb = s.strip_suffix('K')?;
-    kb.parse::<usize>().ok()
+    let (digits, scale) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 1024usize),
+        b'M' | b'm' => (&s[..s.len() - 1], 1024 * 1024),
+        b'G' | b'g' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits.parse::<usize>().ok()?.checked_mul(scale)
+}
+
+fn read_sysfs_cache_bytes(index: usize) -> Option<usize> {
+    let path = format!("/sys/devices/system/cpu/cpu0/cache/index{index}/size");
+    parse_cache_size_bytes(&std::fs::read_to_string(path).ok()?)
 }
 
 fn read_sysfs_cache_level(index: usize) -> Option<(usize, String)> {
@@ -77,11 +89,11 @@ pub fn host_profile() -> MachineProfile {
     let mut l2 = 512 * 1024;
     for index in 0..6 {
         if let Some((level, ty)) = read_sysfs_cache_level(index) {
-            if let Some(kb) = read_sysfs_cache_kb(index) {
+            if let Some(bytes) = read_sysfs_cache_bytes(index) {
                 if level == 1 && ty == "Data" {
-                    l1d = kb * 1024;
+                    l1d = bytes;
                 } else if level == 2 {
-                    l2 = kb * 1024;
+                    l2 = bytes;
                 }
             }
         }
@@ -129,6 +141,26 @@ mod tests {
         // Xeon (512-bit with different port counts in the paper's counting).
         assert!((KUNPENG_920.peak_fp32_gflops / KUNPENG_920.peak_fp64_gflops - 4.0).abs() < 1e-9);
         assert!((XEON_6240.peak_fp32_gflops / XEON_6240.peak_fp64_gflops - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_size_parsing_handles_all_sysfs_forms() {
+        // Kibibyte suffix (the common case).
+        assert_eq!(parse_cache_size_bytes("64K"), Some(64 * 1024));
+        assert_eq!(parse_cache_size_bytes(" 512K\n"), Some(512 * 1024));
+        // Mebibyte suffix (large L2/L3).
+        assert_eq!(parse_cache_size_bytes("1M"), Some(1024 * 1024));
+        assert_eq!(parse_cache_size_bytes("24M"), Some(24 * 1024 * 1024));
+        // Bare byte count (some virtualized topologies).
+        assert_eq!(parse_cache_size_bytes("32768"), Some(32768));
+        // Gibibyte suffix and lowercase variants.
+        assert_eq!(parse_cache_size_bytes("1G"), Some(1024 * 1024 * 1024));
+        assert_eq!(parse_cache_size_bytes("48k"), Some(48 * 1024));
+        // Rejects junk rather than misparsing it.
+        assert_eq!(parse_cache_size_bytes(""), None);
+        assert_eq!(parse_cache_size_bytes("K"), None);
+        assert_eq!(parse_cache_size_bytes("fastK"), None);
+        assert_eq!(parse_cache_size_bytes("12KB"), None);
     }
 
     #[test]

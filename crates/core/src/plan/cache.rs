@@ -258,11 +258,11 @@ pub(crate) fn note_bypass() {
     obs::count_plan_cache(obs::CacheEvent::Bypass);
 }
 
-fn gemm_mode_bits(mode: GemmMode) -> u8 {
+pub(crate) fn gemm_mode_bits(mode: GemmMode) -> u8 {
     (mode.transa.is_trans() as u8) | ((mode.transb.is_trans() as u8) << 1)
 }
 
-fn trsm_mode_bits(mode: TrsmMode) -> u8 {
+pub(crate) fn trsm_mode_bits(mode: TrsmMode) -> u8 {
     ((mode.side == iatf_layout::Side::Right) as u8)
         | ((mode.trans.is_trans() as u8) << 1)
         | ((mode.uplo == iatf_layout::Uplo::Upper) as u8) << 2

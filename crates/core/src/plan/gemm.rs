@@ -1,5 +1,6 @@
 //! GEMM execution plans.
 
+use crate::autotune;
 use crate::config::{PackPolicy, TuningConfig};
 use crate::elem::CompactElement;
 use crate::plan::{explain as ex, group_packs, tiles, Command};
@@ -36,6 +37,11 @@ pub struct GemmPlan<E: CompactElement> {
     pub b_plan: OperandPlan,
     m_tiles: Vec<(usize, usize)>,
     n_tiles: Vec<(usize, usize)>,
+    /// Kernel handles resolved at build time, one per `(n_tile, m_tile)`
+    /// grid cell (row-major over `n_tiles × m_tiles`), so the hot loop
+    /// does one indirect call per tile with no table walk.
+    tile_kernels: Vec<E::GemmK>,
+    use_parallel: bool,
     a_panel_len: usize,
     b_panel_len: usize,
     commands: OnceLock<Vec<Command>>,
@@ -61,11 +67,16 @@ impl<E: CompactElement> GemmPlan<E> {
         let m_tiles = tiles(dims.m, E::MR);
         let n_tiles = tiles(dims.n, E::NR);
 
+        // A tuned entry (when the policy consults the db) overrides the
+        // static Pack Selecter / Batch Counter outputs below.
+        let tuned = autotune::lookup_gemm::<E>(dims, mode, conj_a, conj_b, count, cfg);
+
         // Pack Selecter (§5.2): pack only when the kernel cannot stream the
         // operand — more than one tile row/column — or when conjugation must
         // happen during a copy. Policy overrides support the ablations.
-        let a_plan = decide(cfg.pack, conj_a, dims.m > E::MR);
-        let b_plan = decide(cfg.pack, conj_b, dims.n > E::NR);
+        let pack_policy = tuned.and_then(|t| t.pack).unwrap_or(cfg.pack);
+        let a_plan = decide(pack_policy, conj_a, dims.m > E::MR);
+        let b_plan = decide(pack_policy, conj_b, dims.n > E::NR);
 
         let a_panel_len = pk::panel_a_len::<E>(dims.m, dims.k);
         let b_panel_len = pk::panel_b_len::<E>(dims.k, dims.n);
@@ -75,7 +86,15 @@ impl<E: CompactElement> GemmPlan<E> {
         let bytes_per_pack =
             (a_panel_len + b_panel_len + dims.m * dims.n * g) * scalar_bytes;
         let packs = count.div_ceil(E::P);
-        let gp = group_packs(cfg.batch, cfg.l1_budget_bytes(), bytes_per_pack, packs);
+        let gp = match tuned.and_then(|t| t.group_packs) {
+            Some(tuned_gp) => tuned_gp.clamp(1, packs.max(1)),
+            None => group_packs(cfg.batch, cfg.l1_budget_bytes(), bytes_per_pack, packs),
+        };
+
+        let tile_kernels = n_tiles
+            .iter()
+            .flat_map(|&(_, w)| m_tiles.iter().map(move |&(_, h)| E::gemm_kernel_for(h, w)))
+            .collect();
 
         obs::count_plan_build(obs::Op::Gemm, count);
         Ok(Self {
@@ -90,6 +109,8 @@ impl<E: CompactElement> GemmPlan<E> {
             b_plan,
             m_tiles,
             n_tiles,
+            tile_kernels,
+            use_parallel: tuned.is_some_and(|t| t.parallel),
             a_panel_len,
             b_panel_len,
             commands: OnceLock::new(),
@@ -110,6 +131,13 @@ impl<E: CompactElement> GemmPlan<E> {
     /// Group size the plan was built for.
     pub fn count(&self) -> usize {
         self.count
+    }
+
+    /// Whether the tuned serial→parallel crossover picked parallel
+    /// execution for this input (always `false` under pure heuristics).
+    /// The one-shot API dispatches on this; plan holders may too.
+    pub fn use_parallel(&self) -> bool {
+        self.use_parallel
     }
 
     /// Validates operand batches against the planned shapes.
@@ -228,7 +256,8 @@ impl<E: CompactElement> GemmPlan<E> {
         let c_rows = dims.m;
         let ap_direct = a.pack_ptr(pk_idx);
         let bp_direct = b.pack_ptr(pk_idx);
-        for &(j0, w) in &self.n_tiles {
+        let m_count = self.m_tiles.len();
+        for (jj, &(j0, w)) in self.n_tiles.iter().enumerate() {
             let (pb, b_j, b_k) = if !buf_b.is_empty() {
                 let base = unsafe { buf_b.as_ptr().add(pk::b_tile_offset::<E>(j0, dims.k)) };
                 (base, g, w * g)
@@ -239,7 +268,7 @@ impl<E: CompactElement> GemmPlan<E> {
                     db.step_k,
                 )
             };
-            for &(i0, h) in &self.m_tiles {
+            for (ii, &(i0, h)) in self.m_tiles.iter().enumerate() {
                 let (pa, a_i, a_k) = if !buf_a.is_empty() {
                     let base = unsafe { buf_a.as_ptr().add(pk::a_tile_offset::<E>(i0, dims.k)) };
                     (base, g, h * g)
@@ -253,11 +282,11 @@ impl<E: CompactElement> GemmPlan<E> {
                 let ct = unsafe { cp.add((j0 * c_rows + i0) * g) };
                 obs::count_dispatch(obs::Op::Gemm, h, w, h == E::MR && w == E::NR);
                 // Safety: pointers/strides cover exactly the tile regions
-                // validated against the batch shapes above.
+                // validated against the batch shapes above; the handle was
+                // resolved for this grid cell's (h, w) at build time.
                 unsafe {
                     E::gemm_kernel(
-                        h,
-                        w,
+                        self.tile_kernels[jj * m_count + ii],
                         dims.k,
                         alpha,
                         beta,

@@ -8,6 +8,7 @@
 //! consumes original rows at or **above** each row, so diagonal blocks are
 //! processed **bottom-up** (TRSM solves top-down).
 
+use crate::autotune;
 use crate::config::{PackPolicy, TuningConfig};
 use crate::elem::CompactElement;
 use crate::plan::{explain as ex, group_packs, tiles};
@@ -32,6 +33,11 @@ pub struct TrmmPlan<E: CompactElement> {
     a_blocks: Vec<pk::ABlockLayout>,
     a_len: usize,
     panels: Vec<(usize, usize)>,
+    /// Kernel handles resolved at build time, one per `(panel, block)`
+    /// grid cell (row-major over `panels × blocks`), so the multiply loop
+    /// does one indirect call per block with no table walk.
+    block_kernels: Vec<E::TrmmK>,
+    use_parallel: bool,
     _marker: core::marker::PhantomData<E>,
 }
 
@@ -56,8 +62,12 @@ impl<E: CompactElement> TrmmPlan<E> {
         let blocks = pk::block_decomposition(map.t, E::TRSM_TB, E::TRSM_TB);
         let (a_blocks, a_len) = pk::a_layout::<E>(&blocks);
         let panels = tiles(map.bn, E::TRSM_NR);
+        // A tuned entry (when the policy consults the db) overrides the
+        // static Pack Selecter / Batch Counter outputs below.
+        let tuned = autotune::lookup_trmm::<E>(dims, mode, conj, count, cfg);
         let identity_b = !map.reversed && !map.side_right;
-        let pack_b_structural = match cfg.pack {
+        let pack_policy = tuned.and_then(|t| t.pack).unwrap_or(cfg.pack);
+        let pack_b_structural = match pack_policy {
             PackPolicy::Always => true,
             PackPolicy::Never | PackPolicy::Auto => !identity_b,
         };
@@ -65,7 +75,14 @@ impl<E: CompactElement> TrmmPlan<E> {
         let scalar_bytes = core::mem::size_of::<E::Real>();
         let bytes_per_pack = (a_len + map.t * map.bn * g) * scalar_bytes;
         let packs = count.div_ceil(E::P);
-        let gp = group_packs(cfg.batch, cfg.l1_budget_bytes(), bytes_per_pack, packs);
+        let gp = match tuned.and_then(|t| t.group_packs) {
+            Some(tuned_gp) => tuned_gp.clamp(1, packs.max(1)),
+            None => group_packs(cfg.batch, cfg.l1_budget_bytes(), bytes_per_pack, packs),
+        };
+        let block_kernels = panels
+            .iter()
+            .flat_map(|&(_, w)| blocks.iter().map(move |&(_, mb)| E::trmm_kernel_for(mb, w)))
+            .collect();
         obs::count_plan_build(obs::Op::Trmm, count);
         Ok(Self {
             dims,
@@ -79,6 +96,8 @@ impl<E: CompactElement> TrmmPlan<E> {
             a_blocks,
             a_len,
             panels,
+            block_kernels,
+            use_parallel: tuned.is_some_and(|t| t.parallel),
             _marker: core::marker::PhantomData,
         })
     }
@@ -96,6 +115,12 @@ impl<E: CompactElement> TrmmPlan<E> {
     /// The diagonal-block decomposition (executed bottom-up).
     pub fn blocks(&self) -> &[(usize, usize)] {
         &self.blocks
+    }
+
+    /// Whether the tuned serial→parallel crossover picked parallel
+    /// execution for this input (always `false` under pure heuristics).
+    pub fn use_parallel(&self) -> bool {
+        self.use_parallel
     }
 
     fn validate(&self, a: &CompactBatch<E>, b: &CompactBatch<E>) -> Result<(), LayoutError> {
@@ -225,7 +250,8 @@ impl<E: CompactElement> TrmmPlan<E> {
     ) {
         let g = CompactBatch::<E>::GROUP;
         let pack_b = self.pack_b_structural;
-        for &(j0, w) in &self.panels {
+        let block_count = self.a_blocks.len();
+        for (pi, &(j0, w)) in self.panels.iter().enumerate() {
             let (panel_ptr, row_stride, col_stride) = if pack_b {
                 let _span = obs::phase(obs::Phase::Scale);
                 let len = pk::panel_b_len::<E>(self.map.t, w);
@@ -248,7 +274,7 @@ impl<E: CompactElement> TrmmPlan<E> {
                 let _span = obs::phase(obs::Phase::Compute);
                 // bottom-up over diagonal blocks: rows above any
                 // block stay original until that block consumes them
-                for blk in self.a_blocks.iter().rev() {
+                for (bi, blk) in self.a_blocks.iter().enumerate().rev() {
                     obs::count_dispatch(
                         obs::Op::Trmm,
                         blk.mb,
@@ -256,11 +282,11 @@ impl<E: CompactElement> TrmmPlan<E> {
                         blk.mb == E::TRSM_TB && w == E::TRSM_NR,
                     );
                     // Safety: identical operand coverage to the TRSM
-                    // path, validated above.
+                    // path, validated above; the handle was resolved for
+                    // this (block, panel) shape at build time.
                     unsafe {
                         E::trmm_kernel(
-                            blk.mb,
-                            w,
+                            self.block_kernels[pi * block_count + bi],
                             blk.r0,
                             alpha,
                             ab.as_ptr().add(blk.rect_off),

@@ -1,5 +1,6 @@
 //! TRSM execution plans.
 
+use crate::autotune;
 use crate::config::{PackPolicy, TuningConfig};
 use crate::elem::CompactElement;
 use crate::plan::{explain as ex, group_packs, tiles, Command};
@@ -27,6 +28,11 @@ pub struct TrsmPlan<E: CompactElement> {
     a_blocks: Vec<pk::ABlockLayout>,
     a_len: usize,
     panels: Vec<(usize, usize)>,
+    /// Kernel handles resolved at build time, one per `(panel, block)`
+    /// grid cell (row-major over `panels × blocks`), so the solve loop
+    /// does one indirect call per block with no table walk.
+    block_kernels: Vec<E::TrsmK>,
+    use_parallel: bool,
     commands: OnceLock<Vec<Command>>,
     _marker: core::marker::PhantomData<E>,
 }
@@ -50,10 +56,15 @@ impl<E: CompactElement> TrsmPlan<E> {
         let (a_blocks, a_len) = pk::a_layout::<E>(&blocks);
         let panels = tiles(map.bn, E::TRSM_NR);
 
+        // A tuned entry (when the policy consults the db) overrides the
+        // static Pack Selecter / Batch Counter outputs below.
+        let tuned = autotune::lookup_trsm::<E>(dims, mode, conj, count, cfg);
+
         // Pack Selecter: the panel can be streamed in place only when the
         // canonical mapping is the identity on B (left side, no reversal).
         let identity_b = !map.reversed && !map.side_right;
-        let pack_b_structural = match cfg.pack {
+        let pack_policy = tuned.and_then(|t| t.pack).unwrap_or(cfg.pack);
+        let pack_b_structural = match pack_policy {
             PackPolicy::Always => true,
             PackPolicy::Never | PackPolicy::Auto => !identity_b,
         };
@@ -63,7 +74,15 @@ impl<E: CompactElement> TrsmPlan<E> {
         // Batch Counter (§5.1): the packed triangle strip plus B cycle L1.
         let bytes_per_pack = (a_len + map.t * map.bn * g) * scalar_bytes;
         let packs = count.div_ceil(E::P);
-        let gp = group_packs(cfg.batch, cfg.l1_budget_bytes(), bytes_per_pack, packs);
+        let gp = match tuned.and_then(|t| t.group_packs) {
+            Some(tuned_gp) => tuned_gp.clamp(1, packs.max(1)),
+            None => group_packs(cfg.batch, cfg.l1_budget_bytes(), bytes_per_pack, packs),
+        };
+
+        let block_kernels = panels
+            .iter()
+            .flat_map(|&(_, w)| blocks.iter().map(move |&(_, mb)| E::trsm_kernel_for(mb, w)))
+            .collect();
 
         obs::count_plan_build(obs::Op::Trsm, count);
         Ok(Self {
@@ -78,6 +97,8 @@ impl<E: CompactElement> TrsmPlan<E> {
             a_blocks,
             a_len,
             panels,
+            block_kernels,
+            use_parallel: tuned.is_some_and(|t| t.parallel),
             commands: OnceLock::new(),
             _marker: core::marker::PhantomData,
         })
@@ -101,6 +122,12 @@ impl<E: CompactElement> TrsmPlan<E> {
     /// The diagonal-block decomposition.
     pub fn blocks(&self) -> &[(usize, usize)] {
         &self.blocks
+    }
+
+    /// Whether the tuned serial→parallel crossover picked parallel
+    /// execution for this input (always `false` under pure heuristics).
+    pub fn use_parallel(&self) -> bool {
+        self.use_parallel
     }
 
     fn validate(&self, a: &CompactBatch<E>, b: &CompactBatch<E>) -> Result<(), LayoutError> {
@@ -240,7 +267,8 @@ impl<E: CompactElement> TrsmPlan<E> {
         b_rows: usize,
     ) {
         let g = CompactBatch::<E>::GROUP;
-        for &(j0, w) in &self.panels {
+        let block_count = self.a_blocks.len();
+        for (pi, &(j0, w)) in self.panels.iter().enumerate() {
             let (panel_ptr, row_stride, col_stride) = if pack_b {
                 let _span = obs::phase(obs::Phase::Scale);
                 let len = pk::panel_b_len::<E>(self.map.t, w);
@@ -263,7 +291,7 @@ impl<E: CompactElement> TrsmPlan<E> {
             };
             {
                 let _span = obs::phase(obs::Phase::Compute);
-                for blk in &self.a_blocks {
+                for (bi, blk) in self.a_blocks.iter().enumerate() {
                     obs::count_dispatch(
                         obs::Op::Trsm,
                         blk.mb,
@@ -271,11 +299,11 @@ impl<E: CompactElement> TrsmPlan<E> {
                         blk.mb == E::TRSM_TB && w == E::TRSM_NR,
                     );
                     // Safety: panel covers rows 0..t × w columns; the packed
-                    // A strips cover blk's rect and triangle.
+                    // A strips cover blk's rect and triangle; the handle was
+                    // resolved for this (block, panel) shape at build time.
                     unsafe {
                         E::trsm_kernel(
-                            blk.mb,
-                            w,
+                            self.block_kernels[pi * block_count + bi],
                             blk.r0,
                             ab.as_ptr().add(blk.rect_off),
                             g,

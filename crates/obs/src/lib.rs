@@ -31,8 +31,9 @@ pub use json::Json;
 pub use metrics::{
     count_arena_bytes_grown, count_arena_lease, count_dispatch, count_execute, count_fallback,
     count_packed_bytes_a, count_packed_bytes_b, count_plan_build, count_plan_cache,
-    count_plan_commands, count_superblock, dispatch_count, is_enabled, reset, snapshot,
-    CacheEvent, DispatchCount, MetricsSnapshot, Op, PhaseSnapshot,
+    count_plan_commands, count_superblock, count_tune, dispatch_count, is_enabled, reset,
+    snapshot, tune_count, CacheEvent, DispatchCount, MetricsSnapshot, Op, PhaseSnapshot,
+    TuneEvent,
 };
 pub use timer::{phase, Phase, PhaseGuard};
 
@@ -66,6 +67,12 @@ mod tests {
         count_arena_bytes_grown(512);
         count_superblock(Op::Gemm, 6);
         count_superblock(Op::Trsm, 1);
+        count_tune(TuneEvent::Sweep);
+        count_tune(TuneEvent::Apply);
+        count_tune(TuneEvent::Apply);
+        count_tune(TuneEvent::Miss);
+        count_tune(TuneEvent::DbCorrupt);
+        count_tune(TuneEvent::Persist);
         {
             let _guard = phase(Phase::Unpack);
             std::hint::black_box(0u64);
@@ -97,6 +104,8 @@ mod tests {
             // superblock sizes 6 and 1 land in log2 buckets 3 and 1
             assert_eq!(s.superblock_packs[3], 1);
             assert_eq!(s.superblock_packs[1], 1);
+            assert_eq!(s.tune, [1, 2, 1, 1, 1]);
+            assert_eq!(tune_count(TuneEvent::Apply), 2);
             let unpack = &s.phases[Phase::Unpack as usize];
             assert_eq!(unpack.phase, Phase::Unpack);
             assert_eq!(unpack.calls, 1);
@@ -111,6 +120,8 @@ mod tests {
             assert_eq!(s.plan_builds, [0, 0, 0]);
             assert_eq!(s.plan_commands, 0);
             assert_eq!(dispatch_count(Op::Gemm, 4, 4), 0);
+            assert_eq!(s.tune, [0, 0, 0, 0, 0]);
+            assert_eq!(tune_count(TuneEvent::Sweep), 0);
             assert!(s.dispatch.is_empty());
             assert!(s.phases.is_empty());
             assert_eq!(s.edge_rate(), 0.0);
@@ -129,6 +140,7 @@ mod tests {
             "\"plan_cache\"",
             "\"arena\"",
             "\"superblocks\"",
+            "\"tune\"",
             "\"phases\"",
         ] {
             assert!(s.contains(key), "missing {key}");

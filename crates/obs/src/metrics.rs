@@ -97,6 +97,7 @@ struct Registry {
     arena_bytes_grown: AtomicU64,
     superblock_tasks: [AtomicU64; 3],
     superblock_packs: Histogram,
+    tune: [AtomicU64; 5], // sweeps, applies, misses, db_corrupt, persists
     phase_ns: [AtomicU64; PHASES.len()],
     phase_calls: [AtomicU64; PHASES.len()],
     phase_hist: Vec<Histogram>,
@@ -125,6 +126,7 @@ impl Registry {
             arena_bytes_grown: AtomicU64::new(0),
             superblock_tasks: Default::default(),
             superblock_packs: Histogram::new(),
+            tune: Default::default(),
             phase_ns: Default::default(),
             phase_calls: Default::default(),
             phase_hist: (0..PHASES.len()).map(|_| Histogram::new()).collect(),
@@ -282,6 +284,45 @@ pub fn count_superblock(op: Op, packs: usize) {
     let _ = (op, packs);
 }
 
+/// One autotuner event occurred (see `crates/tune`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TuneEvent {
+    /// A micro-benchmark sweep ran for one input fingerprint.
+    Sweep = 0,
+    /// A planner consulted the tuning db and applied a tuned entry.
+    Apply = 1,
+    /// A planner consulted the tuning db and found no entry.
+    Miss = 2,
+    /// A persisted db file was rejected (unreadable, bad schema, or
+    /// corrupt) and the process fell back to heuristics.
+    DbCorrupt = 3,
+    /// The db was persisted to disk (atomic temp-file + rename).
+    Persist = 4,
+}
+
+/// One autotuner event occurred.
+#[inline(always)]
+pub fn count_tune(event: TuneEvent) {
+    #[cfg(feature = "enabled")]
+    registry().tune[event as usize].fetch_add(1, Relaxed);
+    #[cfg(not(feature = "enabled"))]
+    let _ = event;
+}
+
+/// Current count for one autotuner event slot. Always 0 with the feature
+/// off.
+pub fn tune_count(event: TuneEvent) -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        registry().tune[event as usize].load(Relaxed)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = event;
+        0
+    }
+}
+
 /// One timed span of `phase` took `ns` nanoseconds (called by the guard in
 /// [`crate::timer`], not by instrumented code directly).
 #[inline(always)]
@@ -344,6 +385,9 @@ pub fn reset() {
             c.store(0, Relaxed);
         }
         r.superblock_packs.reset();
+        for c in &r.tune {
+            c.store(0, Relaxed);
+        }
         for c in &r.phase_ns {
             c.store(0, Relaxed);
         }
@@ -401,6 +445,9 @@ pub struct MetricsSnapshot {
     pub superblock_tasks: [u64; 3],
     /// log2 histogram of packs per super-block task.
     pub superblock_packs: Vec<u64>,
+    /// Autotuner events, in `TuneEvent` order: sweeps, applies, misses,
+    /// db-corruptions, persists.
+    pub tune: [u64; 5],
     /// Per-phase timing totals.
     pub phases: Vec<PhaseSnapshot>,
 }
@@ -466,6 +513,7 @@ pub fn snapshot() -> MetricsSnapshot {
             arena_bytes_grown: r.arena_bytes_grown.load(Relaxed),
             superblock_tasks: std::array::from_fn(|i| r.superblock_tasks[i].load(Relaxed)),
             superblock_packs: r.superblock_packs.snapshot(),
+            tune: std::array::from_fn(|i| r.tune[i].load(Relaxed)),
             phases: PHASES
                 .iter()
                 .map(|&p| PhaseSnapshot {
@@ -568,6 +616,15 @@ impl MetricsSnapshot {
                     .set("trsm", self.superblock_tasks[1])
                     .set("trmm", self.superblock_tasks[2])
                     .set("packs_log2", hist_json(&self.superblock_packs)),
+            )
+            .set(
+                "tune",
+                Json::object()
+                    .set("sweeps", self.tune[0])
+                    .set("applies", self.tune[1])
+                    .set("misses", self.tune[2])
+                    .set("db_corrupt", self.tune[3])
+                    .set("persists", self.tune[4]),
             )
             .set("phases", phases)
     }

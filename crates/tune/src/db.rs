@@ -1,0 +1,440 @@
+//! The persistent tuning database.
+//!
+//! A process-wide map from [`TuneKey`] to the measured winner
+//! ([`TunedEntry`]), plus a monotonically increasing *generation* counter.
+//! Planners fold the generation into their config fingerprints, so
+//! recording a new winner changes every subsequent plan-cache key and
+//! stale cached plans die by eviction — no explicit invalidation walk.
+//!
+//! Persistence rules:
+//!
+//! * Location: `$IATF_TUNE_DB` if set (set it to the empty string to
+//!   disable persistence entirely), else `$HOME/.cache/iatf/tune.json`,
+//!   else in-memory only.
+//! * Writes are atomic: serialize to a `.tmp.<pid>` sibling, then
+//!   `rename(2)` over the target. Readers never observe a half-written
+//!   file, and a crash mid-write leaves the previous db intact.
+//! * The format is versioned ([`SCHEMA_VERSION`]). A missing file starts
+//!   empty; an unreadable, unparseable, wrong-schema, or otherwise
+//!   corrupt file *also* starts empty — the heuristics keep working, an
+//!   obs counter ([`iatf_obs::TuneEvent::DbCorrupt`]) records the event,
+//!   and nothing panics. Individually malformed entries inside a valid
+//!   document are skipped, not fatal.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, OnceLock};
+
+use iatf_obs::{count_tune, Json, TuneEvent};
+
+use crate::jsonval::{self, JsonValue};
+use crate::key::TuneKey;
+
+/// On-disk format version; bump on any incompatible layout change. Files
+/// carrying a different version are treated as absent (heuristics apply).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The measured winner recorded for one input fingerprint.
+///
+/// Fields mirror the run-time stage's decision points; the measured
+/// GFLOPS of the winner and of the heuristic baseline ride along so
+/// exports (BENCH_4) and staleness audits can see *why* an entry exists.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct TunedEntry {
+    /// Pack Selecter override: 0 = Auto, 1 = Always, 2 = Never.
+    pub pack: u8,
+    /// Batch Counter override: packs per super-block; 0 keeps the
+    /// heuristic L1-model output.
+    pub group_packs: u64,
+    /// Effective L1 budget fraction the winner was measured with
+    /// (informational — `group_packs` already captures its effect).
+    pub l1_fraction: f64,
+    /// Whether parallel execution beat serial at this input (the
+    /// serial→parallel crossover decision for auto dispatch).
+    pub parallel: bool,
+    /// Winner's measured GFLOPS during the sweep.
+    pub tuned_gflops: f64,
+    /// Heuristic baseline's measured GFLOPS during the same sweep.
+    pub heuristic_gflops: f64,
+    /// Relative measurement noise observed across sweep rounds.
+    pub noise: f64,
+}
+
+impl TunedEntry {
+    fn valid(&self) -> bool {
+        self.pack <= 2
+            && self.l1_fraction.is_finite()
+            && self.l1_fraction > 0.0
+            && self.l1_fraction <= 4.0
+            && self.tuned_gflops.is_finite()
+            && self.tuned_gflops >= 0.0
+            && self.heuristic_gflops.is_finite()
+            && self.heuristic_gflops >= 0.0
+            && self.noise.is_finite()
+            && self.noise >= 0.0
+    }
+}
+
+/// Result of loading a db file.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LoadOutcome {
+    /// File read and accepted; this many entries survived validation.
+    Loaded(usize),
+    /// No file at the path; db starts empty.
+    Missing,
+    /// File present but unreadable/unparseable/wrong schema; db starts
+    /// empty and the `DbCorrupt` obs counter was incremented.
+    Corrupt,
+}
+
+struct Inner {
+    entries: HashMap<TuneKey, TunedEntry>,
+    path: Option<PathBuf>,
+}
+
+/// Process-wide tuning database.
+pub struct TuningDb {
+    inner: Mutex<Inner>,
+    generation: AtomicU64,
+}
+
+impl TuningDb {
+    /// Fresh empty db with persistence disabled (tests, embedders).
+    pub fn in_memory() -> Self {
+        TuningDb {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                path: None,
+            }),
+            generation: AtomicU64::new(1),
+        }
+    }
+
+    /// The process-wide instance. First use resolves the persistence path
+    /// (`$IATF_TUNE_DB`, else `$HOME/.cache/iatf/tune.json`) and loads
+    /// whatever is there; corruption degrades to an empty db.
+    pub fn global() -> &'static TuningDb {
+        static GLOBAL: OnceLock<TuningDb> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let db = TuningDb::in_memory();
+            if let Some(path) = default_path() {
+                db.load_from(&path);
+                db.set_path(Some(path));
+            }
+            db
+        })
+    }
+
+    /// Looks up the recorded winner for a fingerprint.
+    pub fn lookup(&self, key: &TuneKey) -> Option<TunedEntry> {
+        self.inner.lock().unwrap().entries.get(key).copied()
+    }
+
+    /// Records a winner, bumps the generation (invalidating cached plans
+    /// built against tuned state), and persists eagerly if a path is
+    /// configured. Persistence failures are deliberately silent — the
+    /// in-process db stays authoritative.
+    pub fn record(&self, key: TuneKey, entry: TunedEntry) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.entries.insert(key, entry);
+        self.generation.fetch_add(1, Relaxed);
+        if let Some(path) = inner.path.clone() {
+            let doc = render(&inner.entries, self.generation.load(Relaxed));
+            drop(inner);
+            if write_atomic(&path, &doc).is_ok() {
+                count_tune(TuneEvent::Persist);
+            }
+        }
+    }
+
+    /// Current generation. Monotonically increases on every mutation;
+    /// planners mix it into plan-cache fingerprints.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Relaxed)
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().entries.len()
+    }
+
+    /// Whether no entries are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (in-memory only; the on-disk file is untouched)
+    /// and bumps the generation. Benchmarks use this for hermetic runs.
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().entries.clear();
+        self.generation.fetch_add(1, Relaxed);
+    }
+
+    /// Points persistence somewhere else (or `None` to disable). Does not
+    /// reload; combine with [`load_from`](Self::load_from) if needed.
+    pub fn set_path(&self, path: Option<PathBuf>) {
+        self.inner.lock().unwrap().path = path;
+    }
+
+    /// Replaces the in-memory entries with the contents of `path`.
+    /// Corruption of any kind empties the db and counts one `DbCorrupt`
+    /// event; this function never panics on file contents.
+    pub fn load_from(&self, path: &Path) -> LoadOutcome {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.inner.lock().unwrap().entries.clear();
+                return LoadOutcome::Missing;
+            }
+            Err(_) => return self.reject(),
+        };
+        let Ok(doc) = jsonval::parse(&text) else {
+            return self.reject();
+        };
+        if doc.get("schema").and_then(JsonValue::as_u64) != Some(SCHEMA_VERSION) {
+            return self.reject();
+        }
+        let Some(raw) = doc.get("entries").and_then(JsonValue::as_array) else {
+            return self.reject();
+        };
+        let generation = doc
+            .get("generation")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(1)
+            .max(1);
+        let mut entries = HashMap::with_capacity(raw.len());
+        for item in raw {
+            if let Some((key, entry)) = decode_entry(item) {
+                entries.insert(key, entry);
+            }
+        }
+        let n = entries.len();
+        self.inner.lock().unwrap().entries = entries;
+        self.generation.store(generation, Relaxed);
+        LoadOutcome::Loaded(n)
+    }
+
+    /// All recorded entries, sorted by encoded key (export / reporting).
+    pub fn entries(&self) -> Vec<(TuneKey, TunedEntry)> {
+        let inner = self.inner.lock().unwrap();
+        let mut out: Vec<_> = inner.entries.iter().map(|(k, v)| (*k, *v)).collect();
+        out.sort_by_key(|(k, _)| k.encode());
+        out
+    }
+
+    fn reject(&self) -> LoadOutcome {
+        self.inner.lock().unwrap().entries.clear();
+        count_tune(TuneEvent::DbCorrupt);
+        LoadOutcome::Corrupt
+    }
+}
+
+fn default_path() -> Option<PathBuf> {
+    match std::env::var_os("IATF_TUNE_DB") {
+        Some(v) if v.is_empty() => None,
+        Some(v) => Some(PathBuf::from(v)),
+        None => std::env::var_os("HOME")
+            .map(|home| PathBuf::from(home).join(".cache").join("iatf").join("tune.json")),
+    }
+}
+
+fn decode_entry(item: &JsonValue) -> Option<(TuneKey, TunedEntry)> {
+    let key = TuneKey::decode(item.get("key")?.as_str()?)?;
+    let entry = TunedEntry {
+        pack: u8::try_from(item.get("pack")?.as_u64()?).ok()?,
+        group_packs: item.get("group_packs")?.as_u64()?,
+        l1_fraction: item.get("l1_fraction")?.as_f64()?,
+        parallel: item.get("parallel")?.as_bool()?,
+        tuned_gflops: item.get("tuned_gflops")?.as_f64()?,
+        heuristic_gflops: item.get("heuristic_gflops")?.as_f64()?,
+        noise: item.get("noise")?.as_f64()?,
+    };
+    entry.valid().then_some((key, entry))
+}
+
+fn render(entries: &HashMap<TuneKey, TunedEntry>, generation: u64) -> String {
+    let mut sorted: Vec<_> = entries.iter().collect();
+    sorted.sort_by_key(|(k, _)| k.encode());
+    let items: Vec<Json> = sorted
+        .into_iter()
+        .map(|(k, e)| {
+            Json::object()
+                .set("key", k.encode().as_str())
+                .set("pack", u64::from(e.pack))
+                .set("group_packs", e.group_packs)
+                .set("l1_fraction", e.l1_fraction)
+                .set("parallel", e.parallel)
+                .set("tuned_gflops", e.tuned_gflops)
+                .set("heuristic_gflops", e.heuristic_gflops)
+                .set("noise", e.noise)
+        })
+        .collect();
+    Json::object()
+        .set("schema", SCHEMA_VERSION)
+        .set("generation", generation)
+        .set("entries", items)
+        .to_pretty()
+}
+
+fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no file name"))?;
+    let tmp = path.with_file_name(format!(
+        ".{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    std::fs::write(&tmp, contents)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::TuneOp;
+    use std::sync::atomic::AtomicU32;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/tune-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!(
+            "iatf-tune-{tag}-{}-{}.json",
+            std::process::id(),
+            SEQ.fetch_add(1, Relaxed)
+        ))
+    }
+
+    fn sample_key(n: u32) -> TuneKey {
+        TuneKey {
+            op: TuneOp::Gemm,
+            dtype: 0,
+            m: n,
+            n,
+            k: n,
+            mode: 0,
+            conj: 0,
+            count: 1024,
+        }
+    }
+
+    fn sample_entry() -> TunedEntry {
+        TunedEntry {
+            pack: 2,
+            group_packs: 8,
+            l1_fraction: 0.75,
+            parallel: false,
+            tuned_gflops: 3.5,
+            heuristic_gflops: 3.1,
+            noise: 0.02,
+        }
+    }
+
+    #[test]
+    fn record_lookup_and_generation() {
+        let db = TuningDb::in_memory();
+        let g0 = db.generation();
+        assert!(db.lookup(&sample_key(8)).is_none());
+        db.record(sample_key(8), sample_entry());
+        assert_eq!(db.lookup(&sample_key(8)), Some(sample_entry()));
+        assert!(db.generation() > g0);
+        assert_eq!(db.len(), 1);
+        let g1 = db.generation();
+        db.clear();
+        assert!(db.is_empty());
+        assert!(db.generation() > g1);
+    }
+
+    #[test]
+    fn persists_and_reloads_atomically() {
+        let path = temp_path("roundtrip");
+        let db = TuningDb::in_memory();
+        db.set_path(Some(path.clone()));
+        db.record(sample_key(4), sample_entry());
+        db.record(sample_key(5), TunedEntry { pack: 0, ..sample_entry() });
+
+        // No temp-file droppings next to the target.
+        let dir = path.parent().unwrap();
+        let strays = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("iatf-tune-roundtrip"))
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .count();
+        assert_eq!(strays, 0);
+
+        let fresh = TuningDb::in_memory();
+        assert_eq!(fresh.load_from(&path), LoadOutcome::Loaded(2));
+        assert_eq!(fresh.lookup(&sample_key(4)), Some(sample_entry()));
+        assert_eq!(fresh.generation(), db.generation());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_starts_empty() {
+        let db = TuningDb::in_memory();
+        db.record(sample_key(9), sample_entry());
+        assert_eq!(db.load_from(&temp_path("missing")), LoadOutcome::Missing);
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn garbage_file_degrades_to_empty_with_counter() {
+        for garbage in [
+            "not json at all",
+            "{\"schema\": 1, \"generation\": ",        // truncated
+            "{\"schema\": 999, \"entries\": []}",      // wrong schema
+            "{\"generation\": 3, \"entries\": []}",    // schema missing
+            "{\"schema\": 1, \"entries\": 42}",        // entries not an array
+            "[1, 2, 3]",                               // wrong top-level shape
+        ] {
+            let path = temp_path("garbage");
+            std::fs::write(&path, garbage).unwrap();
+            let db = TuningDb::in_memory();
+            db.record(sample_key(7), sample_entry());
+            let before = iatf_obs::tune_count(iatf_obs::TuneEvent::DbCorrupt);
+            assert_eq!(db.load_from(&path), LoadOutcome::Corrupt, "accepted {garbage:?}");
+            assert!(db.is_empty(), "entries survived {garbage:?}");
+            if iatf_obs::is_enabled() {
+                assert!(iatf_obs::tune_count(iatf_obs::TuneEvent::DbCorrupt) > before);
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn malformed_entries_are_skipped_not_fatal() {
+        let path = temp_path("partial");
+        std::fs::write(
+            &path,
+            r#"{"schema": 1, "generation": 6, "entries": [
+                {"key": "0:0:4:4:4:0:0:1024", "pack": 2, "group_packs": 8,
+                 "l1_fraction": 0.75, "parallel": false,
+                 "tuned_gflops": 3.5, "heuristic_gflops": 3.1, "noise": 0.02},
+                {"key": "bogus", "pack": 0},
+                {"key": "0:0:5:5:5:0:0:1024", "pack": 77, "group_packs": 1,
+                 "l1_fraction": 0.5, "parallel": false,
+                 "tuned_gflops": 1.0, "heuristic_gflops": 1.0, "noise": 0.0}
+            ]}"#,
+        )
+        .unwrap();
+        let db = TuningDb::in_memory();
+        assert_eq!(db.load_from(&path), LoadOutcome::Loaded(1));
+        assert_eq!(db.generation(), 6);
+        assert_eq!(db.lookup(&sample_key(4)), Some(sample_entry()));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,125 @@
+//! Input fingerprints: what a tuned entry is keyed by.
+
+/// Routine discriminant inside a [`TuneKey`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TuneOp {
+    /// Batched compact GEMM.
+    Gemm = 0,
+    /// Batched compact TRSM.
+    Trsm = 1,
+    /// Batched compact TRMM.
+    Trmm = 2,
+}
+
+impl TuneOp {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(TuneOp::Gemm),
+            1 => Some(TuneOp::Trsm),
+            2 => Some(TuneOp::Trmm),
+            _ => None,
+        }
+    }
+}
+
+/// The input fingerprint a tuned entry is recorded under.
+///
+/// Everything that changes which execution configuration wins is part of
+/// the key: the routine, element type, problem dimensions, the packed
+/// mode/conjugation bits (same encodings the plan cache uses), and the
+/// batch count. Two calls with the same key face the same candidate
+/// space, so one measured winner serves both.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TuneKey {
+    /// Routine.
+    pub op: TuneOp,
+    /// Element type discriminant (`DType as u8` in core).
+    pub dtype: u8,
+    /// Rows of the output (GEMM M; TRSM/TRMM B rows).
+    pub m: u32,
+    /// Columns of the output.
+    pub n: u32,
+    /// Inner dimension (GEMM K; 0 for the triangular ops).
+    pub k: u32,
+    /// Packed transpose/side/uplo/diag bits (op-specific encoding).
+    pub mode: u8,
+    /// Packed conjugation bits.
+    pub conj: u8,
+    /// Batch count.
+    pub count: u64,
+}
+
+impl TuneKey {
+    /// Stable string encoding used as the on-disk identifier:
+    /// `op:dtype:m:n:k:mode:conj:count`, all numeric.
+    pub fn encode(&self) -> String {
+        format!(
+            "{}:{}:{}:{}:{}:{}:{}:{}",
+            self.op as u8, self.dtype, self.m, self.n, self.k, self.mode, self.conj, self.count
+        )
+    }
+
+    /// Inverse of [`encode`](Self::encode); `None` on any malformed field
+    /// (the db loader skips such entries rather than failing the file).
+    pub fn decode(s: &str) -> Option<Self> {
+        let mut it = s.split(':');
+        let mut next_u64 = || it.next()?.parse::<u64>().ok();
+        let op = TuneOp::from_u8(u8::try_from(next_u64()?).ok()?)?;
+        let dtype = u8::try_from(next_u64()?).ok()?;
+        let m = u32::try_from(next_u64()?).ok()?;
+        let n = u32::try_from(next_u64()?).ok()?;
+        let k = u32::try_from(next_u64()?).ok()?;
+        let mode = u8::try_from(next_u64()?).ok()?;
+        let conj = u8::try_from(next_u64()?).ok()?;
+        let count = next_u64()?;
+        if it.next().is_some() {
+            return None;
+        }
+        Some(TuneKey {
+            op,
+            dtype,
+            m,
+            n,
+            k,
+            mode,
+            conj,
+            count,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_roundtrips_through_encoding() {
+        let key = TuneKey {
+            op: TuneOp::Trsm,
+            dtype: 3,
+            m: 17,
+            n: 33,
+            k: 0,
+            mode: 0b1011,
+            conj: 1,
+            count: 16384,
+        };
+        assert_eq!(TuneKey::decode(&key.encode()), Some(key));
+    }
+
+    #[test]
+    fn decode_rejects_malformed_strings() {
+        for bad in [
+            "",
+            "0:1:2",                    // too few fields
+            "0:1:2:3:4:5:6:7:8",        // too many fields
+            "9:1:2:3:4:5:6:7",          // unknown op
+            "0:1:2:3:4:5:6:x",          // non-numeric
+            "0:300:2:3:4:5:6:7",        // dtype overflows u8
+            "0:1:2:3:4:5:6:-7",         // negative
+            "gemm:f32:2:3:4:5:6:7",     // symbolic form is not accepted
+        ] {
+            assert_eq!(TuneKey::decode(bad), None, "accepted {bad:?}");
+        }
+    }
+}

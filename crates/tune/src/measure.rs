@@ -1,0 +1,137 @@
+//! The calibrated micro-benchmark sweep.
+//!
+//! The caller hands over one closure per candidate configuration (the
+//! first is, by convention, the heuristic baseline) and a wall-clock
+//! budget. The harness calibrates an iteration count off the baseline,
+//! then times every candidate in *interleaved rounds* — candidate order
+//! repeats each round, so slow drift (frequency scaling, background
+//! load) hits all candidates roughly equally instead of biasing whoever
+//! ran last. Per candidate the best round wins (min-of-rounds discards
+//! one-sided noise: an interrupt can only make a run slower), and the
+//! spread across rounds yields a relative noise estimate the caller can
+//! use for "within noise" comparisons.
+
+use std::time::{Duration, Instant};
+
+/// Number of interleaved timing rounds per sweep.
+pub const ROUNDS: usize = 3;
+
+/// Outcome of one sweep over a candidate set.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// Index of the fastest candidate (min of per-candidate best times).
+    pub winner: usize,
+    /// Best (minimum over rounds) seconds per invocation, per candidate.
+    pub secs: Vec<f64>,
+    /// Relative measurement noise: mean over candidates of
+    /// `(worst − best) / worst` across rounds. 0 when only one round ran.
+    pub noise: f64,
+}
+
+impl SweepReport {
+    /// Whether candidate `i` was strictly faster than candidate `j`
+    /// beyond the observed noise floor.
+    pub fn strictly_faster(&self, i: usize, j: usize) -> bool {
+        self.secs[i] < self.secs[j] * (1.0 - self.noise)
+    }
+}
+
+/// Runs every candidate closure in interleaved rounds within roughly
+/// `budget` of wall clock and reports per-candidate best times.
+///
+/// Candidate 0 is used for calibration (time one warmup invocation, then
+/// size the per-slot iteration count so all `candidates × ROUNDS` slots
+/// fit the budget). Every candidate gets at least one invocation per
+/// round regardless of budget, so even a tiny budget yields a ranking —
+/// just a noisier one.
+///
+/// # Panics
+/// Panics if `runners` is empty.
+pub fn sweep(budget: Duration, runners: &mut [Box<dyn FnMut() + '_>]) -> SweepReport {
+    assert!(!runners.is_empty(), "sweep needs at least one candidate");
+    let n = runners.len();
+
+    // Warmup pass doubles as calibration: how long does one baseline
+    // invocation take, cold paths already exercised?
+    let mut single = f64::MAX;
+    for (i, r) in runners.iter_mut().enumerate() {
+        let t0 = Instant::now();
+        r();
+        let dt = t0.elapsed().as_secs_f64();
+        if i == 0 {
+            single = dt;
+        }
+    }
+    let slot = budget.as_secs_f64() / (n * ROUNDS) as f64;
+    let iters = (slot / single.max(1e-9)).floor().clamp(1.0, 1e6) as usize;
+
+    let mut best = vec![f64::MAX; n];
+    let mut worst = vec![0.0f64; n];
+    for _ in 0..ROUNDS {
+        for (i, r) in runners.iter_mut().enumerate() {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                r();
+            }
+            let per = t0.elapsed().as_secs_f64() / iters as f64;
+            best[i] = best[i].min(per);
+            worst[i] = worst[i].max(per);
+        }
+    }
+
+    let noise = best
+        .iter()
+        .zip(&worst)
+        .map(|(&b, &w)| if w > 0.0 { (w - b) / w } else { 0.0 })
+        .sum::<f64>()
+        / n as f64;
+    let winner = best
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    SweepReport {
+        winner,
+        secs: best,
+        noise,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hint::black_box;
+
+    fn spin(units: usize) {
+        let mut acc = 0u64;
+        for i in 0..units * 2_000 {
+            acc = acc.wrapping_add(black_box(i as u64).wrapping_mul(0x9e37_79b9));
+        }
+        black_box(acc);
+    }
+
+    #[test]
+    fn sweep_ranks_a_clearly_faster_candidate_first() {
+        let mut runners: Vec<Box<dyn FnMut()>> = vec![
+            Box::new(|| spin(40)), // "heuristic" baseline: 40x the work
+            Box::new(|| spin(40)),
+            Box::new(|| spin(1)), // the obvious winner
+        ];
+        let report = sweep(Duration::from_millis(30), &mut runners);
+        assert_eq!(report.winner, 2);
+        assert_eq!(report.secs.len(), 3);
+        assert!(report.secs.iter().all(|&s| s.is_finite() && s > 0.0));
+        assert!(report.noise >= 0.0 && report.noise < 1.0);
+        assert!(report.strictly_faster(2, 0));
+    }
+
+    #[test]
+    fn sweep_survives_a_tiny_budget() {
+        let mut runners: Vec<Box<dyn FnMut()>> =
+            vec![Box::new(|| spin(2)), Box::new(|| spin(2))];
+        let report = sweep(Duration::from_micros(1), &mut runners);
+        assert!(report.winner < 2);
+        assert!(report.secs.iter().all(|&s| s > 0.0));
+    }
+}

@@ -30,6 +30,10 @@ cargo build --release -p iatf-bench
 cargo build --release -p iatf-bench --features obs
 cargo build --release -p iatf-bench --features parallel,obs
 
+echo "==> iatf-tune: sweep harness + tuning-db robustness (both obs states)"
+cargo test -q -p iatf-tune
+cargo test -q -p iatf-tune --features obs
+
 echo "==> iatf-verify: unit + property + certification tests"
 cargo test -q -p iatf-verify
 
@@ -57,6 +61,37 @@ print(f"    serial GFLOPS {tp['serial_gflops']}")
 print(f"    parallel GFLOPS {tp['parallel_gflops']}")
 EOF
 echo "    wrote BENCH_3.json"
+
+echo "==> input-aware autotuner smoke (reproduce tune)"
+mkdir -p target/tune-tests
+rm -f target/tune-tests/ci-tune.json
+IATF_TUNE_DB=target/tune-tests/ci-tune.json \
+  timeout 600 cargo run -q --release -p iatf-bench --bin reproduce -- \
+  tune --quick --json > BENCH_4.json
+python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_4.json"))
+pts = doc["points"]
+assert doc["total_points"] == len(pts) and pts, "no tuning points measured"
+for p in pts:
+    # The sweep picks the time minimum over candidates *including* the
+    # heuristic, so a tuned loss beyond measurement noise means the
+    # autotuner recorded a stale or mismeasured winner.
+    tol = max(3.0 * p["noise"], 0.02)
+    assert p["tuned_gflops"] >= p["heuristic_gflops"] * (1.0 - tol), (
+        f"tuned config loses to heuristic beyond noise at {p['op']}/"
+        f"{p['dtype']} n={p['n']}: {p['tuned_gflops']:.3f} vs "
+        f"{p['heuristic_gflops']:.3f} (noise {p['noise']:.3f})")
+frac = doc["strictly_faster_points"] / doc["total_points"]
+assert frac >= 0.25, (
+    f"tuning must beat the heuristic beyond noise on >=25% of the grid, "
+    f"got {100*frac:.0f}%")
+print(f"    {doc['strictly_faster_points']}/{doc['total_points']} points "
+      f"strictly faster ({100*frac:.0f}%), db entries {doc['db_entries']}")
+EOF
+test -s target/tune-tests/ci-tune.json || {
+  echo "error: autotuner did not persist its db to IATF_TUNE_DB"; exit 1; }
+echo "    wrote BENCH_4.json"
 
 echo "==> unsafe code stays inside the audited allowlist"
 # The SIMD backends are the sanctioned home of unsafe (the iatf-simd
