@@ -1,0 +1,105 @@
+//! Inspect the flight recorder end to end: run one batched GEMM and one
+//! batched TRSM under the span recorder and a `perf_event` counter group,
+//! then dump what was captured — a per-phase span summary with wall-time
+//! totals, the PMU group's self-description, and a Chrome `trace_event`
+//! file you can open in Perfetto (<https://ui.perfetto.dev>).
+//!
+//! ```text
+//! cargo run --release -p iatf-bench --features trace --example trace_inspect
+//! ```
+//!
+//! Without `--features trace` the probes compile to no-ops and the example
+//! prints an empty (but still valid) trace, which is itself the point: the
+//! recorder costs nothing unless asked for.
+
+use iatf_core::trace::{self, SpanKind, SPAN_KINDS};
+use iatf_core::{GemmPlan, TrsmPlan, TuningConfig};
+use iatf_layout::{CompactBatch, GemmDims, GemmMode, StdBatch, TrsmDims, TrsmMode};
+
+fn main() {
+    trace::reset();
+    let cfg = TuningConfig::default();
+    let (n, count) = (16usize, 256usize);
+
+    // GEMM: n=16 exceeds every register tile, so A and B both pack and the
+    // super-block loop runs.
+    let plan = GemmPlan::<f64>::new(GemmDims::square(n), GemmMode::NN, false, false, count, &cfg)
+        .unwrap();
+    let a = CompactBatch::from_std(&StdBatch::<f64>::random(n, n, count, 1));
+    let b = CompactBatch::from_std(&StdBatch::<f64>::random(n, n, count, 2));
+    let mut c = CompactBatch::<f64>::zeroed(n, n, count);
+
+    let mut pmu = trace::PmuSource::open();
+    let ((), counters) = pmu.measure(|| {
+        plan.execute(1.0, &a, &b, 0.0, &mut c).unwrap();
+    });
+
+    // TRSM in LNUN mode: panel packing reverses rows, so the scale and
+    // unpack phases record too.
+    let tplan =
+        TrsmPlan::<f64>::new(TrsmDims::square(8), TrsmMode::LNUN, false, count, &cfg).unwrap();
+    let ta = {
+        let mut std = StdBatch::<f64>::random(8, 8, count, 3);
+        for m in 0..count {
+            for i in 0..8 {
+                let v = std.get(m, i, i);
+                std.set(m, i, i, v + 8.0); // dominant diagonal
+            }
+        }
+        CompactBatch::from_std(&std)
+    };
+    let mut tb = CompactBatch::from_std(&StdBatch::<f64>::random(8, 8, count, 4));
+    tplan.execute(1.0, &ta, &mut tb).unwrap();
+
+    let events = trace::drain();
+    println!(
+        "flight recorder: {} (captured {} spans, {} overwritten)",
+        if trace::is_enabled() { "enabled" } else { "disabled — build with --features trace" },
+        events.len(),
+        trace::dropped(),
+    );
+    println!("{:>12} {:>8} {:>12} {:>12}", "phase", "spans", "total us", "mean ns");
+    for kind in SPAN_KINDS {
+        let spans: Vec<_> = events.iter().filter(|e| e.kind == kind).collect();
+        if spans.is_empty() {
+            continue;
+        }
+        let total_ns: u64 = spans.iter().map(|e| e.dur_ns).sum();
+        println!(
+            "{:>12} {:>8} {:>12.1} {:>12.0}",
+            kind.name(),
+            spans.len(),
+            total_ns as f64 / 1e3,
+            total_ns as f64 / spans.len() as f64
+        );
+    }
+
+    // The Execute span bounds its phases: show the deepest nest found.
+    if let Some(exec) = events.iter().find(|e| e.kind == SpanKind::Execute) {
+        let nested = events
+            .iter()
+            .filter(|e| {
+                e.tid == exec.tid
+                    && e.kind != SpanKind::Execute
+                    && e.start_ns >= exec.start_ns
+                    && e.start_ns + e.dur_ns <= exec.start_ns + exec.dur_ns
+            })
+            .count();
+        println!("first execute span: {} ns, {nested} spans nested inside it", exec.dur_ns);
+    }
+
+    println!("pmu: {}", pmu.describe());
+    if let Some(c) = counters {
+        println!(
+            "  gemm execute: {} cycles, ipc {}, l1d refills {}",
+            c.cycles,
+            c.ipc().map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into()),
+            c.l1d_refill.map(|v| v.to_string()).unwrap_or_else(|| "-".into()),
+        );
+    }
+
+    let path = "target/trace_inspect.json";
+    std::fs::create_dir_all("target").ok();
+    std::fs::write(path, trace::chrome_trace_json("iatf trace_inspect", &events)).unwrap();
+    println!("wrote {path} — open it in https://ui.perfetto.dev or chrome://tracing");
+}

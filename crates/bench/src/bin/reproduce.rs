@@ -6,7 +6,7 @@
 //! targets:
 //!   table1 table2 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12
 //!   ablation-pack ablation-batch ablation-kernel-size ablation-fmls
-//!   ablation-schedule callamort obs tune verify all
+//!   ablation-schedule callamort obs tune trace sentinel verify all
 //! ```
 //!
 //! `callamort` measures call-amortization: per-call cost of a prebuilt
@@ -25,6 +25,22 @@
 //! in the same calibrated sweep. `--json` emits the `BENCH_4.json`
 //! document the CI gate checks (tuned must never lose to the heuristic
 //! beyond noise, and must be strictly faster on a fraction of the grid).
+//!
+//! `trace` runs a workload set that touches every runtime phase under the
+//! flight recorder and a `perf_event` counter group, writes the recorded
+//! spans as Chrome `trace_event` JSON (openable in Perfetto/`chrome://
+//! tracing`) to `target/trace_reproduce.json`, and prints the roofline
+//! attribution joining each plan's predicted flops/bytes with the measured
+//! cycles and cache traffic. Spans record only with `--features trace`;
+//! without a usable PMU the roofline degrades to predictions-only and says
+//! why. `--json` emits the `BENCH_5.json` document.
+//!
+//! `sentinel` is the noise-aware performance regression gate: it re-runs
+//! the throughput workloads behind the committed `BENCH_3.json` and the
+//! autotuner points behind `BENCH_4.json` and fails (exit 1) if any
+//! current number regresses beyond `max(3 × measured noise, 5%)` of its
+//! committed baseline. Missing baseline files warn and pass, so the gate
+//! is safe on fresh checkouts.
 //!
 //! `verify` statically certifies the exhaustive kernel enumeration with
 //! `iatf-verify` (register budgets, memory safety, pipeline structure,
@@ -134,6 +150,8 @@ fn main() {
         "callamort" => callamort(&opts),
         "obs" => obs_telemetry(&opts),
         "tune" => tune_bench(&opts),
+        "trace" => trace_bench(&opts),
+        "sentinel" => sentinel(&opts),
         "verify" => verify_kernels(&opts),
         "all" => {
             table1();
@@ -156,6 +174,7 @@ fn main() {
             callamort(&opts);
             obs_telemetry(&opts);
             tune_bench(&opts);
+            trace_bench(&opts);
             verify_kernels(&opts);
         }
         other => {
@@ -1288,6 +1307,554 @@ fn tune_bench(opts: &Opts) {
         db.generation()
     );
     println!();
+}
+
+// ---------------------------------------------------------------------------
+// Flight-recorder trace + PMU roofline (the `reproduce trace` target,
+// BENCH_5.json)
+// ---------------------------------------------------------------------------
+
+/// Accumulates flight-recorder drains across the trace run. The ring is
+/// lossy (overwrite-oldest), so a long measured loop would evict the
+/// one-off spans recorded before it — plan builds, TRSM scale/unpack of
+/// the early reps. Draining at workload boundaries keeps at least the
+/// newest complete execution of every phase in the exported trace.
+#[derive(Default)]
+struct TraceSink {
+    events: Vec<iatf_core::trace::SpanEvent>,
+    dropped: u64,
+}
+
+impl TraceSink {
+    fn drain(&mut self) {
+        // dropped() is relative to the drain watermark — read it first.
+        self.dropped += iatf_core::trace::dropped();
+        self.events.extend(iatf_core::trace::drain());
+    }
+}
+
+/// Builds and executes one square-GEMM point with the recorder live and
+/// `reps` executes under the PMU counter group, returning the roofline
+/// input that joins the explainer's predictions with the measurement.
+/// Predicted traffic is the compulsory operand traffic — read A, read B,
+/// read + write C — which is what the Batch Counter's L1-residency model
+/// promises the L1 refill stream converges to.
+fn trace_gemm_point<E: CompactElement>(
+    n: usize,
+    count: usize,
+    reps: u64,
+    pmu: &mut iatf_core::trace::PmuSource,
+    sink: &mut TraceSink,
+) -> iatf_core::trace::RooflineInput {
+    use iatf_layout::GemmDims;
+    let cfg = TuningConfig::default();
+    let plan =
+        iatf_core::GemmPlan::<E>::new(GemmDims::square(n), GemmMode::NN, false, false, count, &cfg)
+            .unwrap();
+    let ex = plan.explain();
+    sink.drain();
+    let w = gemm_workload::<E>(n, GemmMode::NN, count, 11);
+    let mut c = w.c_c.clone();
+    // one warm-up outside the counted region: page faults and first-touch
+    // cache fills are not steady-state traffic
+    plan.execute(E::one(), &w.a_c, &w.b_c, E::one(), &mut c).unwrap();
+    let (elapsed_ns, counters) = pmu.measure(|| {
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            plan.execute(E::one(), &w.a_c, &w.b_c, E::one(), &mut c).unwrap();
+        }
+        t0.elapsed().as_nanos() as u64
+    });
+    sink.drain();
+    let esize = std::mem::size_of::<E>() as u64;
+    iatf_core::trace::RooflineInput {
+        label: format!("gemm {} n={n}", ex.dtype),
+        op: "gemm".into(),
+        dtype: ex.dtype.clone(),
+        n,
+        count,
+        reps,
+        predicted_flops: ex.predicted_flops,
+        predicted_bytes: esize * (n * n * count) as u64 * 4,
+        elapsed_ns,
+        counters,
+    }
+}
+
+/// TRSM point for the roofline: LNUN so panel packing reverses rows and
+/// the Scale/Unpack phases run. The solve happens in place (A is
+/// diagonally dominant, so repeated solves decay toward zero without
+/// overflow) — restoring B between reps would pollute the counted cache
+/// traffic with the restore copy. Predicted traffic: read A, read+write B.
+fn trace_trsm_point(
+    n: usize,
+    count: usize,
+    reps: u64,
+    pmu: &mut iatf_core::trace::PmuSource,
+    sink: &mut TraceSink,
+) -> iatf_core::trace::RooflineInput {
+    use iatf_layout::TrsmDims;
+    let cfg = TuningConfig::default();
+    let plan =
+        iatf_core::TrsmPlan::<f64>::new(TrsmDims::square(n), TrsmMode::LNUN, false, count, &cfg)
+            .unwrap();
+    let ex = plan.explain();
+    sink.drain();
+    let w = trsm_workload::<f64>(n, TrsmMode::LNUN, count, 13);
+    let mut b = w.b_c.clone();
+    plan.execute(1.0, &w.a_c, &mut b).unwrap();
+    let (elapsed_ns, counters) = pmu.measure(|| {
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            plan.execute(1.0, &w.a_c, &mut b).unwrap();
+        }
+        t0.elapsed().as_nanos() as u64
+    });
+    sink.drain();
+    let esize = std::mem::size_of::<f64>() as u64;
+    iatf_core::trace::RooflineInput {
+        label: format!("trsm {} n={n}", ex.dtype),
+        op: "trsm".into(),
+        dtype: ex.dtype.clone(),
+        n,
+        count,
+        reps,
+        predicted_flops: ex.predicted_flops,
+        predicted_bytes: esize * (n * n * count) as u64 * 3,
+        elapsed_ns,
+        counters,
+    }
+}
+
+/// Runs the flight recorder + PMU roofline reproduction: a workload set
+/// chosen so every span kind records at least once (n=16 GEMM packs both
+/// operands and super-blocks; LNUN TRSM scales and unpacks; a first-touch
+/// tune sweeps), executed under a `perf_event` counter group when the
+/// host grants one. Always writes the Chrome `trace_event` document to
+/// `target/trace_reproduce.json`; `--json` prints the `BENCH_5.json`
+/// document, text mode prints the span summary and the roofline table.
+fn trace_bench(opts: &Opts) {
+    use iatf_core::trace;
+
+    trace::reset();
+    iatf_core::plan::cache::clear();
+
+    let mut pmu = trace::PmuSource::open();
+    // Surface the open outcome in the obs counters too, so a `--features
+    // obs,trace` telemetry document records whether measurements are real.
+    match pmu.availability() {
+        Ok(_) => iatf_obs::count_pmu(iatf_obs::PmuEvent::Opened),
+        Err((kind, _)) => iatf_obs::count_pmu(match kind {
+            trace::PmuUnavailable::Unsupported => iatf_obs::PmuEvent::Unsupported,
+            trace::PmuUnavailable::Permission => iatf_obs::PmuEvent::Permission,
+            trace::PmuUnavailable::NoPmu => iatf_obs::PmuEvent::NoPmu,
+            trace::PmuUnavailable::Other => iatf_obs::PmuEvent::OpenFailed,
+        }),
+    }
+    let pmu_available = pmu.availability().is_ok();
+    let pmu_desc = pmu.describe();
+
+    let reps: u64 = if opts.paper { 64 } else { 16 };
+    let count = opts.batch_base.clamp(64, 512);
+    let mut sink = TraceSink::default();
+    let inputs = vec![
+        trace_gemm_point::<f32>(16, count, reps, &mut pmu, &mut sink),
+        trace_gemm_point::<f64>(16, count, reps, &mut pmu, &mut sink),
+        trace_trsm_point(12, count, reps, &mut pmu, &mut sink),
+    ];
+
+    // One fresh first-touch tune so the recorder also carries a
+    // tune_sweep span (the db is cleared so the sweep cannot be skipped).
+    {
+        use iatf_core::TunePolicy;
+        use iatf_layout::GemmDims;
+        iatf_tune::TuningDb::global().clear();
+        let tcfg = TuningConfig {
+            tune: TunePolicy::FirstTouch(10),
+            ..TuningConfig::default()
+        };
+        iatf_core::ensure_tuned_gemm::<f32>(GemmDims::square(4), GemmMode::NN, false, false, 64, &tcfg);
+    }
+    sink.drain();
+
+    let TraceSink { mut events, dropped } = sink;
+    events.sort_by_key(|e| (e.start_ns, e.tid));
+    let chrome = trace::chrome_trace_json("iatf reproduce trace", &events);
+    std::fs::create_dir_all("target").ok();
+    let trace_path = "target/trace_reproduce.json";
+    if let Err(e) = std::fs::write(trace_path, &chrome) {
+        eprintln!("error: cannot write {trace_path}: {e}");
+        std::process::exit(1);
+    }
+
+    let kind_counts: Vec<(&'static str, usize)> = trace::SPAN_KINDS
+        .iter()
+        .map(|&k| (k.name(), events.iter().filter(|e| e.kind == k).count()))
+        .collect();
+    let report = trace::RooflineReport::new(pmu_available, pmu_desc.clone(), inputs);
+
+    if opts.json {
+        let mut by_kind = iatf_obs::Json::object();
+        for &(name, n) in &kind_counts {
+            by_kind = by_kind.set(name, n as u64);
+        }
+        let points: Vec<iatf_obs::Json> = report
+            .points
+            .iter()
+            .map(|p| {
+                let opt = |v: Option<f64>| v.map(iatf_obs::Json::from).unwrap_or(iatf_obs::Json::Null);
+                let mut o = iatf_obs::Json::object()
+                    .set("label", p.input.label.clone())
+                    .set("op", p.input.op.clone())
+                    .set("dtype", p.input.dtype.clone())
+                    .set("n", p.input.n)
+                    .set("count", p.input.count)
+                    .set("reps", p.input.reps)
+                    .set("predicted_flops", p.input.predicted_flops)
+                    .set("predicted_bytes", p.input.predicted_bytes)
+                    .set("elapsed_ns", p.input.elapsed_ns)
+                    .set("achieved_gflops", p.achieved_gflops)
+                    .set("predicted_cmar", p.predicted_cmar)
+                    .set("measured_bytes", opt(p.measured_bytes))
+                    .set("achieved_cmar", opt(p.achieved_cmar))
+                    .set("flops_per_cycle", opt(p.flops_per_cycle))
+                    .set("ipc", opt(p.ipc))
+                    .set("model_error_pct", opt(p.model_error_pct));
+                if let Some(c) = &p.input.counters {
+                    let cnt = |v: Option<u64>| {
+                        v.map(iatf_obs::Json::from).unwrap_or(iatf_obs::Json::Null)
+                    };
+                    o = o.set(
+                        "counters",
+                        iatf_obs::Json::object()
+                            .set("cycles", c.cycles)
+                            .set("instructions", cnt(c.instructions))
+                            .set("l1d_access", cnt(c.l1d_access))
+                            .set("l1d_refill", cnt(c.l1d_refill))
+                            .set("ll_access", cnt(c.ll_access))
+                            .set("ll_refill", cnt(c.ll_refill))
+                            .set("scaled", c.scaled),
+                    );
+                }
+                o
+            })
+            .collect();
+        let doc = iatf_obs::Json::object()
+            .set("title", "trace: flight-recorder spans + PMU roofline attribution")
+            .set("trace_enabled", trace::is_enabled())
+            .set("span_events", events.len() as u64)
+            .set("spans_dropped", dropped)
+            .set("spans_by_kind", by_kind)
+            .set("chrome_trace_path", trace_path)
+            .set(
+                "pmu",
+                iatf_obs::Json::object()
+                    .set("available", pmu_available)
+                    .set("source", pmu_desc.clone()),
+            )
+            .set(
+                "roofline",
+                iatf_obs::Json::object()
+                    .set("line_bytes", report.line_bytes)
+                    .set(
+                        "worst_model_error_pct",
+                        report
+                            .worst_model_error_pct()
+                            .map(iatf_obs::Json::from)
+                            .unwrap_or(iatf_obs::Json::Null),
+                    )
+                    .set("points", points),
+            );
+        println!("{}", doc.to_pretty());
+        return;
+    }
+
+    println!("## Flight recorder: spans per phase (trace feature {})",
+        if trace::is_enabled() { "on" } else { "off — counts are zero" });
+    for &(name, n) in &kind_counts {
+        println!("{name:>12}: {n}");
+    }
+    println!("   {} events total, {} dropped (ring overwrite)", events.len(), dropped);
+    println!("   wrote {trace_path} (open in https://ui.perfetto.dev or chrome://tracing)");
+    println!();
+    print!("{}", report.render_text());
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// Noise-aware performance regression gate (the `reproduce sentinel` target)
+// ---------------------------------------------------------------------------
+
+/// One baseline-vs-current comparison. `noise` is the relative spread of
+/// the current measurement's rounds; a regression must clear
+/// `max(3 × noise, 5%)` of the committed number to fail the gate, so a
+/// loaded CI host does not fail on jitter.
+struct SentinelCheck {
+    name: String,
+    baseline: f64,
+    current: f64,
+    noise: f64,
+}
+
+impl SentinelCheck {
+    fn tolerance(&self) -> f64 {
+        (3.0 * self.noise).max(0.05)
+    }
+
+    fn regressed(&self) -> bool {
+        self.current < self.baseline * (1.0 - self.tolerance())
+    }
+}
+
+fn load_baseline(path: &str) -> Option<iatf_tune::jsonval::JsonValue> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => {
+            println!("   warning: baseline {path} not found — skipping its checks");
+            return None;
+        }
+    };
+    match iatf_tune::jsonval::parse(&text) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("error: baseline {path} is not valid JSON at byte {}: {}", e.at, e.msg);
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Measures serial (and, when built, parallel) f64 GEMM NN GFLOPS the same
+/// way `callamort` records them into `BENCH_3.json`: interleaved
+/// min-of-rounds, noise = spread of the per-round times.
+fn sentinel_throughput(base: &iatf_tune::jsonval::JsonValue, checks: &mut Vec<SentinelCheck>) {
+    use iatf_core::GemmPlan;
+    use iatf_layout::GemmDims;
+
+    let Some(tp) = base.get("throughput") else {
+        println!("   warning: BENCH_3.json has no throughput section — skipping");
+        return;
+    };
+    let sizes: Vec<usize> = tp
+        .get("sizes")
+        .and_then(|v| v.as_array())
+        .map(|a| a.iter().filter_map(|x| x.as_u64()).map(|x| x as usize).collect())
+        .unwrap_or_default();
+    let count = tp.get("count").and_then(|v| v.as_u64()).unwrap_or(0) as usize;
+    let serial_base: Vec<f64> = tp
+        .get("serial_gflops")
+        .and_then(|v| v.as_array())
+        .map(|a| a.iter().filter_map(|x| x.as_f64()).collect())
+        .unwrap_or_default();
+    let parallel_base: Vec<f64> = tp
+        .get("parallel_gflops")
+        .and_then(|v| v.as_array())
+        .map(|a| a.iter().filter_map(|x| x.as_f64()).collect())
+        .unwrap_or_default();
+    if sizes.is_empty() || count == 0 || serial_base.len() != sizes.len() {
+        println!("   warning: BENCH_3.json throughput section is incomplete — skipping");
+        return;
+    }
+    let gate_parallel = parallel_base.len() == sizes.len() && cfg!(feature = "parallel");
+    if parallel_base.len() == sizes.len() && !gate_parallel {
+        println!("   note: baseline has parallel numbers but this build lacks --features parallel — serial gate only");
+    }
+
+    let round = TimeOpts {
+        reps: 1,
+        min_rep_secs: 0.004,
+        warmup: 1,
+    };
+    const ROUNDS: usize = 5;
+    let cfg = TuningConfig::default();
+    for (i, &n) in sizes.iter().enumerate() {
+        let w = gemm_workload::<f64>(n, GemmMode::NN, count, 7);
+        let plan = GemmPlan::<f64>::new(GemmDims::square(n), GemmMode::NN, false, false, count, &cfg)
+            .unwrap();
+        let flops = 2.0 * (n * n * count) as f64 * n as f64;
+        let mut c = w.c_c.clone();
+        let (mut t_min, mut t_max) = (f64::INFINITY, 0.0f64);
+        for _ in 0..ROUNDS {
+            let t = iatf_bench::timer::time_secs(&round, || {
+                plan.execute(1.0, &w.a_c, &w.b_c, 0.0, &mut c).unwrap();
+            });
+            t_min = t_min.min(t);
+            t_max = t_max.max(t);
+        }
+        checks.push(SentinelCheck {
+            name: format!("gemm f64 n={n} serial GFLOPS"),
+            baseline: serial_base[i],
+            current: flops / t_min / 1e9,
+            noise: 1.0 - t_min / t_max,
+        });
+        #[cfg(feature = "parallel")]
+        if gate_parallel {
+            let mut c = w.c_c.clone();
+            let (mut t_min, mut t_max) = (f64::INFINITY, 0.0f64);
+            for _ in 0..ROUNDS {
+                let t = iatf_bench::timer::time_secs(&round, || {
+                    plan.execute_parallel(1.0, &w.a_c, &w.b_c, 0.0, &mut c).unwrap();
+                });
+                t_min = t_min.min(t);
+                t_max = t_max.max(t);
+            }
+            checks.push(SentinelCheck {
+                name: format!("gemm f64 n={n} parallel GFLOPS"),
+                baseline: parallel_base[i],
+                current: flops / t_min / 1e9,
+                noise: 1.0 - t_min / t_max,
+            });
+        }
+    }
+}
+
+/// Re-tunes a deterministic subset of `BENCH_4.json`'s points — the
+/// smallest and largest n per (op, dtype) — and gates the recorded
+/// tuned-GFLOPS against the committed numbers. The subset keeps the gate
+/// fast; the full grid is re-measured whenever the baseline regenerates.
+fn sentinel_tune(base: &iatf_tune::jsonval::JsonValue, checks: &mut Vec<SentinelCheck>) {
+    use iatf_core::autotune::{gemm_tune_key, trsm_tune_key};
+    use iatf_core::TunePolicy;
+    use iatf_layout::{GemmDims, TrsmDims};
+
+    let Some(points) = base.get("points").and_then(|v| v.as_array()) else {
+        println!("   warning: BENCH_4.json has no points array — skipping");
+        return;
+    };
+    // (op, dtype, n, count, tuned_gflops, noise)
+    let mut parsed: Vec<(String, String, usize, usize, f64, f64)> = Vec::new();
+    for p in points {
+        let get_s = |k: &str| p.get(k).and_then(|v| v.as_str()).map(str::to_string);
+        let get_u = |k: &str| p.get(k).and_then(|v| v.as_u64()).map(|x| x as usize);
+        let get_f = |k: &str| p.get(k).and_then(|v| v.as_f64());
+        if let (Some(op), Some(dt), Some(n), Some(c), Some(g), Some(noise)) = (
+            get_s("op"),
+            get_s("dtype"),
+            get_u("n"),
+            get_u("count"),
+            get_f("tuned_gflops"),
+            get_f("noise"),
+        ) {
+            parsed.push((op, dt, n, c, g, noise));
+        }
+    }
+    // smallest and largest n per (op, dtype)
+    let mut selected: Vec<&(String, String, usize, usize, f64, f64)> = Vec::new();
+    for (kop, kdt) in [("gemm", "f32"), ("trsm", "f64")] {
+        let mut group: Vec<_> = parsed
+            .iter()
+            .filter(|(op, dt, ..)| op == kop && dt == kdt)
+            .collect();
+        group.sort_by_key(|p| p.2);
+        if let Some(first) = group.first() {
+            selected.push(first);
+        }
+        if group.len() > 1 {
+            selected.push(group[group.len() - 1]);
+        }
+    }
+    if selected.len() < parsed.len() {
+        println!(
+            "   note: re-tuning {}/{} baseline points (min/max n per routine); the full grid re-measures when the baseline regenerates",
+            selected.len(),
+            parsed.len()
+        );
+    }
+
+    let db = iatf_tune::TuningDb::global();
+    db.clear();
+    iatf_core::plan::cache::clear();
+    let cfg = TuningConfig {
+        tune: TunePolicy::FirstTouch(60),
+        ..TuningConfig::default()
+    };
+    for &&(ref op, ref dt, n, count, baseline, base_noise) in &selected {
+        let entry = match (op.as_str(), dt.as_str()) {
+            ("gemm", "f32") => {
+                let dims = GemmDims::square(n);
+                iatf_core::ensure_tuned_gemm::<f32>(dims, GemmMode::NN, false, false, count, &cfg);
+                db.lookup(&gemm_tune_key::<f32>(dims, GemmMode::NN, false, false, count))
+            }
+            ("trsm", "f64") => {
+                let dims = TrsmDims::square(n);
+                iatf_core::ensure_tuned_trsm::<f64>(dims, TrsmMode::LNLN, false, count, &cfg);
+                db.lookup(&trsm_tune_key::<f64>(dims, TrsmMode::LNLN, false, count))
+            }
+            _ => {
+                println!("   warning: unknown baseline point {op}/{dt} — skipping");
+                continue;
+            }
+        };
+        let Some(e) = entry else {
+            println!("   warning: tuner recorded nothing for {op}/{dt} n={n} — skipping");
+            continue;
+        };
+        checks.push(SentinelCheck {
+            name: format!("{op} {dt} n={n} tuned GFLOPS"),
+            baseline,
+            current: e.tuned_gflops,
+            noise: e.noise.max(base_noise),
+        });
+    }
+}
+
+/// Noise-aware regression gate: re-measures the workloads behind the
+/// committed `BENCH_3.json` (executor throughput) and `BENCH_4.json`
+/// (autotuned points) and exits 1 if anything regresses beyond
+/// `max(3 × noise, 5%)`. Missing baselines warn and pass.
+fn sentinel(opts: &Opts) {
+    let mut checks: Vec<SentinelCheck> = Vec::new();
+    if let Some(b3) = load_baseline("BENCH_3.json") {
+        sentinel_throughput(&b3, &mut checks);
+    }
+    if let Some(b4) = load_baseline("BENCH_4.json") {
+        sentinel_tune(&b4, &mut checks);
+    }
+
+    let regressions = checks.iter().filter(|c| c.regressed()).count();
+    if opts.json {
+        let doc = iatf_obs::Json::object()
+            .set("title", "sentinel: noise-aware perf regression gate vs committed baselines")
+            .set(
+                "checks",
+                checks
+                    .iter()
+                    .map(|c| {
+                        iatf_obs::Json::object()
+                            .set("name", c.name.clone())
+                            .set("baseline", c.baseline)
+                            .set("current", c.current)
+                            .set("noise", c.noise)
+                            .set("tolerance", c.tolerance())
+                            .set("regressed", c.regressed())
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .set("total_checks", checks.len() as u64)
+            .set("regressions", regressions as u64);
+        println!("{}", doc.to_pretty());
+    } else {
+        println!("## Sentinel: current vs committed baselines (tolerance = max(3*noise, 5%))");
+        println!(
+            "{:>34} {:>10} {:>10} {:>7} {:>7} {:>8}",
+            "check", "baseline", "current", "noise", "tol", "status"
+        );
+        for c in &checks {
+            println!(
+                "{:>34} {:>10.3} {:>10.3} {:>6.1}% {:>6.1}% {:>8}",
+                c.name,
+                c.baseline,
+                c.current,
+                100.0 * c.noise,
+                100.0 * c.tolerance(),
+                if c.regressed() { "REGRESS" } else { "ok" }
+            );
+        }
+        println!("   {} checks, {regressions} regressions", checks.len());
+        println!();
+    }
+    if regressions > 0 {
+        std::process::exit(1);
+    }
 }
 
 // ---------------------------------------------------------------------------

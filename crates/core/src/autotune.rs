@@ -34,6 +34,7 @@ use crate::elem::CompactElement;
 use crate::plan::{cache, GemmPlan, TrmmPlan, TrsmPlan};
 use iatf_layout::{CompactBatch, GemmDims, GemmMode, StdBatch, TrsmDims, TrsmMode};
 use iatf_obs as obs;
+use iatf_trace as trace;
 use iatf_tune::{sweep, SweepReport, TuneKey, TuneOp, TunedEntry, TuningDb};
 
 /// Overrides a tuned entry imposes on one planner invocation.
@@ -357,6 +358,7 @@ fn sweep_gemm<E: CompactElement>(
     cfg: &TuningConfig,
 ) {
     obs::count_tune(obs::TuneEvent::Sweep);
+    let _trace = trace::span_arg(trace::SpanKind::TuneSweep, count as u64);
     let scalar = core::mem::size_of::<E>();
     let per_matrix = (dims.m * dims.k + dims.k * dims.n + dims.m * dims.n) * scalar;
     let mcount = measure_count(per_matrix, count);
@@ -452,6 +454,7 @@ macro_rules! triangular_tuner {
             cfg: &TuningConfig,
         ) {
             obs::count_tune(obs::TuneEvent::Sweep);
+            let _trace = trace::span_arg(trace::SpanKind::TuneSweep, count as u64);
             let q = dims.triangle_order(mode);
             let scalar = core::mem::size_of::<E>();
             let per_matrix = (q * q + dims.m * dims.n) * scalar;

@@ -48,6 +48,12 @@ pub mod plan;
 /// probe is an empty `#[inline(always)]` body.
 pub use iatf_obs as obs;
 
+/// Re-export of the flight-recorder / PMU / roofline instrumentation layer,
+/// so downstream users can drain and export traces without naming the crate.
+/// The span probes wired through the planner/executor record only with the
+/// `trace` cargo feature — otherwise every guard is a zero-sized no-op.
+pub use iatf_trace as trace;
+
 pub use analysis::{cmar_complex, cmar_real, optimal_complex_kernel, optimal_real_kernel};
 pub use api::{
     compact_gemm, compact_gemm_ex, compact_trmm, compact_trmm_ex, compact_trsm, compact_trsm_ex,

@@ -7,6 +7,7 @@ use crate::plan::{explain as ex, group_packs, tiles, Command};
 use iatf_layout::{CompactBatch, GemmDims, GemmMode, LayoutError};
 use iatf_obs as obs;
 use iatf_pack::gemm as pk;
+use iatf_trace as trace;
 use iatf_pack::{arena, PackBuffer};
 use std::sync::OnceLock;
 
@@ -59,6 +60,7 @@ impl<E: CompactElement> GemmPlan<E> {
         cfg: &TuningConfig,
     ) -> Result<Self, LayoutError> {
         let _span = obs::phase(obs::Phase::PlanBuild);
+        let _trace = trace::span_arg(trace::SpanKind::PlanBuild, count as u64);
         dims.validate()?;
         if count == 0 {
             return Err(LayoutError::EmptyDimension("batch count"));
@@ -170,6 +172,7 @@ impl<E: CompactElement> GemmPlan<E> {
     ) -> Result<(), LayoutError> {
         self.validate(a, b, c)?;
         obs::count_execute(obs::Op::Gemm);
+        let _trace = trace::span_arg(trace::SpanKind::Execute, self.packs as u64);
         let mut lease = arena::lease::<E::Real>();
         let gp = self.group_packs;
         let ps = c.pack_stride();
@@ -207,6 +210,7 @@ impl<E: CompactElement> GemmPlan<E> {
     ) {
         if !buf_a.is_empty() {
             let _span = obs::phase(obs::Phase::PackA);
+            let _trace = trace::span_arg(trace::SpanKind::PackA, pk_idx as u64);
             pk::pack_a(
                 buf_a,
                 a,
@@ -221,6 +225,7 @@ impl<E: CompactElement> GemmPlan<E> {
         }
         if !buf_b.is_empty() {
             let _span = obs::phase(obs::Phase::PackB);
+            let _trace = trace::span_arg(trace::SpanKind::PackB, pk_idx as u64);
             pk::pack_b(
                 buf_b,
                 b,
@@ -249,6 +254,7 @@ impl<E: CompactElement> GemmPlan<E> {
         cp: *mut E::Real,
     ) {
         let _span = obs::phase(obs::Phase::Compute);
+        let _trace = trace::span_arg(trace::SpanKind::Compute, pk_idx as u64);
         let g = CompactBatch::<E>::GROUP;
         let dims = self.dims;
         let da = pk::direct_a::<E>(self.mode.transa, a.rows());
@@ -323,6 +329,7 @@ impl<E: CompactElement> GemmPlan<E> {
         buf: &mut PackBuffer<E::Real>,
     ) {
         obs::count_superblock(obs::Op::Gemm, sb_packs);
+        let _trace = trace::span_arg(trace::SpanKind::Superblock, sb_packs as u64);
         let (a_len, b_len) = self.panel_lens();
         let (buf_a, buf_b) = buf.split_two(a_len * sb_packs, b_len * sb_packs);
 
@@ -375,6 +382,7 @@ impl<E: CompactElement> GemmPlan<E> {
         use rayon::prelude::*;
         self.validate(a, b, c)?;
         obs::count_execute(obs::Op::Gemm);
+        let _trace = trace::span_arg(trace::SpanKind::Execute, self.packs as u64);
         let gp = self.group_packs;
         let ps = c.pack_stride();
         c.as_scalars_mut()

@@ -15,6 +15,7 @@ use crate::plan::{explain as ex, group_packs, tiles};
 use iatf_layout::{CompactBatch, LayoutError, TrsmDims, TrsmMode};
 use iatf_obs as obs;
 use iatf_pack::trsm as pk;
+use iatf_trace as trace;
 use iatf_pack::{arena, PackBuffer};
 
 /// A reusable execution plan for compact batched TRMM.
@@ -52,6 +53,7 @@ impl<E: CompactElement> TrmmPlan<E> {
         cfg: &TuningConfig,
     ) -> Result<Self, LayoutError> {
         let _span = obs::phase(obs::Phase::PlanBuild);
+        let _trace = trace::span_arg(trace::SpanKind::PlanBuild, count as u64);
         dims.validate()?;
         if count == 0 {
             return Err(LayoutError::EmptyDimension("batch count"));
@@ -174,6 +176,7 @@ impl<E: CompactElement> TrmmPlan<E> {
     ) -> Result<(), LayoutError> {
         self.validate(a, b)?;
         obs::count_execute(obs::Op::Trmm);
+        let _trace = trace::span_arg(trace::SpanKind::Execute, self.packs as u64);
         let panel_cap = self.panel_cap();
         let mut lease = arena::lease::<E::Real>();
         let b_rows = b.rows();
@@ -214,10 +217,12 @@ impl<E: CompactElement> TrmmPlan<E> {
         buf: &mut PackBuffer<E::Real>,
     ) {
         obs::count_superblock(obs::Op::Trmm, sb_packs);
+        let _trace = trace::span_arg(trace::SpanKind::Superblock, sb_packs as u64);
         let a_rows = a.rows();
         let (buf_a, buf_panel) = buf.split_two(self.a_len * sb_packs, panel_cap);
         for slot in 0..sb_packs {
             let _span = obs::phase(obs::Phase::PackA);
+            let _trace = trace::span_arg(trace::SpanKind::PackA, (sb + slot) as u64);
             let pack = sb + slot;
             let live = E::P.min(self.count - pack * E::P);
             // direct (non-reciprocal) diagonal for the multiply
@@ -254,6 +259,7 @@ impl<E: CompactElement> TrmmPlan<E> {
         for (pi, &(j0, w)) in self.panels.iter().enumerate() {
             let (panel_ptr, row_stride, col_stride) = if pack_b {
                 let _span = obs::phase(obs::Phase::Scale);
+                let _trace = trace::span_arg(trace::SpanKind::Scale, j0 as u64);
                 let len = pk::panel_b_len::<E>(self.map.t, w);
                 pk::pack_b_panel::<E>(
                     &mut buf_panel[..len],
@@ -272,6 +278,7 @@ impl<E: CompactElement> TrmmPlan<E> {
             };
             {
                 let _span = obs::phase(obs::Phase::Compute);
+                let _trace = trace::span_arg(trace::SpanKind::Compute, j0 as u64);
                 // bottom-up over diagonal blocks: rows above any
                 // block stay original until that block consumes them
                 for (bi, blk) in self.a_blocks.iter().enumerate().rev() {
@@ -303,6 +310,7 @@ impl<E: CompactElement> TrmmPlan<E> {
             }
             if pack_b {
                 let _span = obs::phase(obs::Phase::Unpack);
+                let _trace = trace::span_arg(trace::SpanKind::Unpack, j0 as u64);
                 let len = pk::panel_b_len::<E>(self.map.t, w);
                 pk::unpack_b_panel::<E>(&buf_panel[..len], b_pack, b_rows, &self.map, j0, w);
             }
@@ -325,6 +333,7 @@ impl<E: CompactElement> TrmmPlan<E> {
         use rayon::prelude::*;
         self.validate(a, b)?;
         obs::count_execute(obs::Op::Trmm);
+        let _trace = trace::span_arg(trace::SpanKind::Execute, self.packs as u64);
         let panel_cap = self.panel_cap();
         let gp = self.group_packs;
         let b_rows = b.rows();

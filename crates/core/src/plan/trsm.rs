@@ -7,6 +7,7 @@ use crate::plan::{explain as ex, group_packs, tiles, Command};
 use iatf_layout::{CompactBatch, LayoutError, TrsmDims, TrsmMode};
 use iatf_obs as obs;
 use iatf_pack::trsm as pk;
+use iatf_trace as trace;
 use iatf_pack::{arena, PackBuffer};
 use std::sync::OnceLock;
 
@@ -47,6 +48,7 @@ impl<E: CompactElement> TrsmPlan<E> {
         cfg: &TuningConfig,
     ) -> Result<Self, LayoutError> {
         let _span = obs::phase(obs::Phase::PlanBuild);
+        let _trace = trace::span_arg(trace::SpanKind::PlanBuild, count as u64);
         dims.validate()?;
         if count == 0 {
             return Err(LayoutError::EmptyDimension("batch count"));
@@ -175,6 +177,7 @@ impl<E: CompactElement> TrsmPlan<E> {
     ) -> Result<(), LayoutError> {
         self.validate(a, b)?;
         obs::count_execute(obs::Op::Trsm);
+        let _trace = trace::span_arg(trace::SpanKind::Execute, self.packs as u64);
         // α ≠ 1 must be folded in during a copy, so it forces panel packing.
         let pack_b = self.pack_b_structural || alpha != E::one();
         let panel_cap = self.panel_cap(pack_b);
@@ -219,11 +222,13 @@ impl<E: CompactElement> TrsmPlan<E> {
         buf: &mut PackBuffer<E::Real>,
     ) {
         obs::count_superblock(obs::Op::Trsm, sb_packs);
+        let _trace = trace::span_arg(trace::SpanKind::Superblock, sb_packs as u64);
         let a_rows = a.rows();
         let (buf_a, buf_panel) = buf.split_two(self.a_len * sb_packs, panel_cap);
         // Packing phase: coefficient triangles for the whole super-block.
         for slot in 0..sb_packs {
             let _span = obs::phase(obs::Phase::PackA);
+            let _trace = trace::span_arg(trace::SpanKind::PackA, (sb + slot) as u64);
             let pack = sb + slot;
             let live = E::P.min(self.count - pack * E::P);
             pk::pack_a_trsm::<E>(
@@ -271,6 +276,7 @@ impl<E: CompactElement> TrsmPlan<E> {
         for (pi, &(j0, w)) in self.panels.iter().enumerate() {
             let (panel_ptr, row_stride, col_stride) = if pack_b {
                 let _span = obs::phase(obs::Phase::Scale);
+                let _trace = trace::span_arg(trace::SpanKind::Scale, j0 as u64);
                 let len = pk::panel_b_len::<E>(self.map.t, w);
                 pk::pack_b_panel::<E>(
                     &mut buf_panel[..len],
@@ -291,6 +297,7 @@ impl<E: CompactElement> TrsmPlan<E> {
             };
             {
                 let _span = obs::phase(obs::Phase::Compute);
+                let _trace = trace::span_arg(trace::SpanKind::Compute, j0 as u64);
                 for (bi, blk) in self.a_blocks.iter().enumerate() {
                     obs::count_dispatch(
                         obs::Op::Trsm,
@@ -319,6 +326,7 @@ impl<E: CompactElement> TrsmPlan<E> {
             }
             if pack_b {
                 let _span = obs::phase(obs::Phase::Unpack);
+                let _trace = trace::span_arg(trace::SpanKind::Unpack, j0 as u64);
                 let len = pk::panel_b_len::<E>(self.map.t, w);
                 pk::unpack_b_panel::<E>(&buf_panel[..len], b_pack, b_rows, &self.map, j0, w);
             }
@@ -343,6 +351,7 @@ impl<E: CompactElement> TrsmPlan<E> {
         use rayon::prelude::*;
         self.validate(a, b)?;
         obs::count_execute(obs::Op::Trsm);
+        let _trace = trace::span_arg(trace::SpanKind::Execute, self.packs as u64);
         let pack_b = self.pack_b_structural || alpha != E::one();
         let panel_cap = self.panel_cap(pack_b);
         let gp = self.group_packs;

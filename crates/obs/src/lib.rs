@@ -31,9 +31,9 @@ pub use json::Json;
 pub use metrics::{
     count_arena_bytes_grown, count_arena_lease, count_dispatch, count_execute, count_fallback,
     count_packed_bytes_a, count_packed_bytes_b, count_plan_build, count_plan_cache,
-    count_plan_commands, count_superblock, count_tune, dispatch_count, is_enabled, reset,
-    snapshot, tune_count, CacheEvent, DispatchCount, MetricsSnapshot, Op, PhaseSnapshot,
-    TuneEvent,
+    count_plan_commands, count_pmu, count_superblock, count_tune, dispatch_count, is_enabled,
+    pmu_count, reset, snapshot, tune_count, CacheEvent, DispatchCount, MetricsSnapshot, Op,
+    PhaseSnapshot, PmuEvent, ThreadPhaseSnapshot, TuneEvent,
 };
 pub use timer::{phase, Phase, PhaseGuard};
 
@@ -73,6 +73,8 @@ mod tests {
         count_tune(TuneEvent::Miss);
         count_tune(TuneEvent::DbCorrupt);
         count_tune(TuneEvent::Persist);
+        count_pmu(PmuEvent::Opened);
+        count_pmu(PmuEvent::Permission);
         {
             let _guard = phase(Phase::Unpack);
             std::hint::black_box(0u64);
@@ -106,10 +108,27 @@ mod tests {
             assert_eq!(s.superblock_packs[1], 1);
             assert_eq!(s.tune, [1, 2, 1, 1, 1]);
             assert_eq!(tune_count(TuneEvent::Apply), 2);
+            assert_eq!(s.pmu, [1, 0, 1, 0, 0]);
+            assert_eq!(pmu_count(PmuEvent::Permission), 1);
             let unpack = &s.phases[Phase::Unpack as usize];
             assert_eq!(unpack.phase, Phase::Unpack);
             assert_eq!(unpack.calls, 1);
             assert_eq!(unpack.hist.iter().sum::<u64>(), 1);
+            // per-thread attribution: the span landed on exactly one thread,
+            // and the phase totals are the sum of the thread breakdowns.
+            assert!(!s.threads.is_empty());
+            let thread_calls: u64 = s
+                .threads
+                .iter()
+                .map(|t| t.calls[Phase::Unpack as usize])
+                .sum();
+            assert_eq!(thread_calls, unpack.calls);
+            let thread_ns: u64 = s
+                .threads
+                .iter()
+                .map(|t| t.total_ns[Phase::Unpack as usize])
+                .sum();
+            assert_eq!(thread_ns, unpack.total_ns);
             reset();
             let z = snapshot();
             assert_eq!(z.plan_builds, [0, 0, 0]);

@@ -14,7 +14,7 @@ use crate::timer::PHASES;
 #[cfg(feature = "enabled")]
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 #[cfg(feature = "enabled")]
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Which BLAS-3 routine a probe refers to.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -98,9 +98,40 @@ struct Registry {
     superblock_tasks: [AtomicU64; 3],
     superblock_packs: Histogram,
     tune: [AtomicU64; 5], // sweeps, applies, misses, db_corrupt, persists
+    pmu: [AtomicU64; 5],  // opened, unsupported, permission, no_pmu, open_failed
+    phase_hist: Vec<Histogram>,
+}
+
+/// Per-thread phase accumulators. Worker threads in the parallel executors
+/// each own one slot, so phase time is attributed to the thread that spent
+/// it — a single global accumulator would report per-phase sums that
+/// exceed wall time with no way to tell how the work was distributed.
+/// Totals across threads are exact either way.
+#[cfg(feature = "enabled")]
+struct ThreadPhaseSlot {
+    tid: u64,
     phase_ns: [AtomicU64; PHASES.len()],
     phase_calls: [AtomicU64; PHASES.len()],
-    phase_hist: Vec<Histogram>,
+}
+
+#[cfg(feature = "enabled")]
+fn phase_slots() -> &'static Mutex<Vec<Arc<ThreadPhaseSlot>>> {
+    static SLOTS: OnceLock<Mutex<Vec<Arc<ThreadPhaseSlot>>>> = OnceLock::new();
+    SLOTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+#[cfg(feature = "enabled")]
+thread_local! {
+    static PHASE_SLOT: Arc<ThreadPhaseSlot> = {
+        static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+        let slot = Arc::new(ThreadPhaseSlot {
+            tid: NEXT_TID.fetch_add(1, Relaxed),
+            phase_ns: Default::default(),
+            phase_calls: Default::default(),
+        });
+        phase_slots().lock().unwrap().push(Arc::clone(&slot));
+        slot
+    };
 }
 
 #[cfg(feature = "enabled")]
@@ -127,8 +158,7 @@ impl Registry {
             superblock_tasks: Default::default(),
             superblock_packs: Histogram::new(),
             tune: Default::default(),
-            phase_ns: Default::default(),
-            phase_calls: Default::default(),
+            pmu: Default::default(),
             phase_hist: (0..PHASES.len()).map(|_| Histogram::new()).collect(),
         }
     }
@@ -309,6 +339,46 @@ pub fn count_tune(event: TuneEvent) {
     let _ = event;
 }
 
+/// Outcome of opening the PMU sampling source (see `crates/trace`). The
+/// degraded categories record *why* hardware counters were unavailable, so
+/// a roofline report with empty measurement columns is diagnosable from
+/// telemetry alone.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PmuEvent {
+    /// A live counter group opened.
+    Opened = 0,
+    /// Not a Linux host (or no syscall number for the architecture).
+    Unsupported = 1,
+    /// The kernel refused (`perf_event_paranoid`, container policy).
+    Permission = 2,
+    /// No PMU driver / syscall filtered out.
+    NoPmu = 3,
+    /// Any other open failure.
+    OpenFailed = 4,
+}
+
+/// One PMU source open was attempted with this outcome.
+#[inline(always)]
+pub fn count_pmu(event: PmuEvent) {
+    #[cfg(feature = "enabled")]
+    registry().pmu[event as usize].fetch_add(1, Relaxed);
+    #[cfg(not(feature = "enabled"))]
+    let _ = event;
+}
+
+/// Current count for one PMU event slot. Always 0 with the feature off.
+pub fn pmu_count(event: PmuEvent) -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        registry().pmu[event as usize].load(Relaxed)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = event;
+        0
+    }
+}
+
 /// Current count for one autotuner event slot. Always 0 with the feature
 /// off.
 pub fn tune_count(event: TuneEvent) -> u64 {
@@ -324,15 +394,18 @@ pub fn tune_count(event: TuneEvent) -> u64 {
 }
 
 /// One timed span of `phase` took `ns` nanoseconds (called by the guard in
-/// [`crate::timer`], not by instrumented code directly).
+/// [`crate::timer`], not by instrumented code directly). Time and call
+/// counts land in the *calling thread's* slot; the duration histogram
+/// stays global.
 #[inline(always)]
 pub fn record_phase(phase: Phase, ns: u64) {
     #[cfg(feature = "enabled")]
     {
-        let r = registry();
-        r.phase_ns[phase as usize].fetch_add(ns, Relaxed);
-        r.phase_calls[phase as usize].fetch_add(1, Relaxed);
-        r.phase_hist[phase as usize].record(ns);
+        PHASE_SLOT.with(|s| {
+            s.phase_ns[phase as usize].fetch_add(ns, Relaxed);
+            s.phase_calls[phase as usize].fetch_add(1, Relaxed);
+        });
+        registry().phase_hist[phase as usize].record(ns);
     }
     #[cfg(not(feature = "enabled"))]
     let _ = (phase, ns);
@@ -388,14 +461,19 @@ pub fn reset() {
         for c in &r.tune {
             c.store(0, Relaxed);
         }
-        for c in &r.phase_ns {
-            c.store(0, Relaxed);
-        }
-        for c in &r.phase_calls {
+        for c in &r.pmu {
             c.store(0, Relaxed);
         }
         for h in &r.phase_hist {
             h.reset();
+        }
+        for slot in phase_slots().lock().unwrap().iter() {
+            for c in &slot.phase_ns {
+                c.store(0, Relaxed);
+            }
+            for c in &slot.phase_calls {
+                c.store(0, Relaxed);
+            }
         }
     }
 }
@@ -448,8 +526,25 @@ pub struct MetricsSnapshot {
     /// Autotuner events, in `TuneEvent` order: sweeps, applies, misses,
     /// db-corruptions, persists.
     pub tune: [u64; 5],
-    /// Per-phase timing totals.
+    /// PMU source opens, in `PmuEvent` order: opened, unsupported,
+    /// permission, no-pmu, open-failed.
+    pub pmu: [u64; 5],
+    /// Per-phase timing totals (summed across threads).
     pub phases: Vec<PhaseSnapshot>,
+    /// Per-thread phase breakdown (threads that recorded at least one
+    /// span). `phases` above is exactly the element-wise sum of these.
+    pub threads: Vec<ThreadPhaseSnapshot>,
+}
+
+/// Phase timing recorded by one thread.
+#[derive(Clone, Debug)]
+pub struct ThreadPhaseSnapshot {
+    /// Recorder-assigned thread id (registration order, from 1).
+    pub tid: u64,
+    /// Spans recorded by this thread, in `PHASES` order.
+    pub calls: [u64; 6],
+    /// Nanoseconds this thread spent, in `PHASES` order.
+    pub total_ns: [u64; 6],
 }
 
 /// One non-zero kernel-dispatch counter.
@@ -494,6 +589,18 @@ pub fn snapshot() -> MetricsSnapshot {
                 }
             }
         }
+        let mut threads: Vec<ThreadPhaseSnapshot> = phase_slots()
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|s| ThreadPhaseSnapshot {
+                tid: s.tid,
+                calls: std::array::from_fn(|i| s.phase_calls[i].load(Relaxed)),
+                total_ns: std::array::from_fn(|i| s.phase_ns[i].load(Relaxed)),
+            })
+            .filter(|t| t.calls.iter().any(|&c| c > 0))
+            .collect();
+        threads.sort_by_key(|t| t.tid);
         MetricsSnapshot {
             enabled: true,
             plan_builds: std::array::from_fn(|i| r.plan_builds[i].load(Relaxed)),
@@ -514,15 +621,23 @@ pub fn snapshot() -> MetricsSnapshot {
             superblock_tasks: std::array::from_fn(|i| r.superblock_tasks[i].load(Relaxed)),
             superblock_packs: r.superblock_packs.snapshot(),
             tune: std::array::from_fn(|i| r.tune[i].load(Relaxed)),
+            pmu: std::array::from_fn(|i| r.pmu[i].load(Relaxed)),
             phases: PHASES
                 .iter()
                 .map(|&p| PhaseSnapshot {
                     phase: p,
-                    calls: r.phase_calls[p as usize].load(Relaxed),
-                    total_ns: r.phase_ns[p as usize].load(Relaxed),
+                    calls: threads
+                        .iter()
+                        .map(|t| t.calls[p as usize])
+                        .sum(),
+                    total_ns: threads
+                        .iter()
+                        .map(|t| t.total_ns[p as usize])
+                        .sum(),
                     hist: r.phase_hist[p as usize].snapshot(),
                 })
                 .collect(),
+            threads,
         }
     }
     #[cfg(not(feature = "enabled"))]
@@ -562,6 +677,23 @@ impl MetricsSnapshot {
                     .set("calls", p.calls)
                     .set("total_ns", p.total_ns)
                     .set("hist_log2_ns", hist_json(&p.hist))
+            })
+            .collect::<Vec<_>>();
+        let threads = self
+            .threads
+            .iter()
+            .map(|t| {
+                let per_phase = crate::timer::PHASES
+                    .iter()
+                    .filter(|&&p| t.calls[p as usize] > 0)
+                    .map(|&p| {
+                        Json::object()
+                            .set("phase", p.name())
+                            .set("calls", t.calls[p as usize])
+                            .set("total_ns", t.total_ns[p as usize])
+                    })
+                    .collect::<Vec<_>>();
+                Json::object().set("tid", t.tid).set("phases", per_phase)
             })
             .collect::<Vec<_>>();
         Json::object()
@@ -626,7 +758,17 @@ impl MetricsSnapshot {
                     .set("db_corrupt", self.tune[3])
                     .set("persists", self.tune[4]),
             )
+            .set(
+                "pmu",
+                Json::object()
+                    .set("opened", self.pmu[0])
+                    .set("unsupported", self.pmu[1])
+                    .set("permission_denied", self.pmu[2])
+                    .set("no_pmu", self.pmu[3])
+                    .set("open_failed", self.pmu[4]),
+            )
             .set("phases", phases)
+            .set("threads", threads)
     }
 }
 

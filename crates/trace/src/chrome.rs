@@ -1,0 +1,109 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Renders drained [`SpanEvent`]s as the Trace Event Format's *complete*
+//! events (`"ph": "X"`), one JSON object per span, wrapped in the
+//! `{"traceEvents": […]}` envelope Perfetto and `chrome://tracing` load
+//! directly. Timestamps are microseconds (the format's unit) with
+//! sub-microsecond precision kept as fractions.
+
+use crate::ring::SpanEvent;
+
+/// Process id used for every event (the trace covers one process).
+const PID: u64 = 1;
+
+/// Renders `events` as a Chrome trace JSON document.
+///
+/// `process_name` labels the process track in the viewer (e.g.
+/// `"iatf reproduce trace"`).
+pub fn chrome_trace_json(process_name: &str, events: &[SpanEvent]) -> String {
+    // ~120 bytes per event plus envelope: preallocate once.
+    let mut out = String::with_capacity(events.len() * 128 + 256);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    out.push_str("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"");
+    escape_into(&mut out, process_name);
+    out.push_str("\"}}");
+    for e in events {
+        out.push(',');
+        render_event(&mut out, e);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn render_event(out: &mut String, e: &SpanEvent) {
+    use std::fmt::Write;
+    let ts_us = e.start_ns as f64 / 1e3;
+    let dur_us = e.dur_ns as f64 / 1e3;
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"cat\":\"iatf\",\"ph\":\"X\",\"ts\":{ts_us:.3},\"dur\":{dur_us:.3},\"pid\":{PID},\"tid\":{},\"args\":{{\"arg\":{}}}}}",
+        e.kind.name(),
+        e.tid,
+        e.arg,
+    );
+}
+
+/// Appends `s` to `out` with JSON string escaping.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::SpanKind;
+
+    #[test]
+    fn renders_complete_events_in_envelope() {
+        let events = vec![
+            SpanEvent {
+                tid: 1,
+                kind: SpanKind::PackA,
+                start_ns: 1500,
+                dur_ns: 2500,
+                arg: 0,
+            },
+            SpanEvent {
+                tid: 2,
+                kind: SpanKind::Execute,
+                start_ns: 4000,
+                dur_ns: 10_000,
+                arg: 8,
+            },
+        ];
+        let json = chrome_trace_json("unit \"test\"", &events);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"pack_a\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":2.500"));
+        assert!(json.contains("\"tid\":2"));
+        assert!(json.contains("\\\"test\\\""));
+        // crude balance check: equal braces and brackets
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_trace_is_still_a_valid_envelope() {
+        let json = chrome_trace_json("empty", &[]);
+        assert!(json.contains("traceEvents"));
+        assert!(json.ends_with("]}"));
+    }
+}

@@ -1,0 +1,444 @@
+//! PMU counter-group sampler.
+//!
+//! Opens one `perf_event_open` *group* — cycles (leader), instructions,
+//! L1D read accesses/refills, last-level read accesses/refills — and
+//! reads it around phase boundaries: [`PmuSource::measure`] resets,
+//! enables, runs the closure, disables, and reads the whole group in one
+//! syscall. On ARMv8 the kernel maps the generic cache events onto the
+//! architectural PMU events (`L1D_CACHE`, `L1D_CACHE_REFILL`,
+//! `L2D_CACHE`, `L2D_CACHE_REFILL`), which is exactly the traffic the
+//! paper's CMAR model predicts.
+//!
+//! Degradation is graceful and *diagnosed*: when the syscall is
+//! unavailable (non-Linux hosts, containers with a locked-down
+//! `perf_event_paranoid`, seccomp filters) the source becomes
+//! [`PmuSource::Unavailable`] with a reason string, measurements return
+//! `None`, and the roofline report renders with its prediction columns
+//! only. Individual *sibling* events that fail to open (a PMU without a
+//! last-level-cache event, say) are skipped without losing the rest of
+//! the group. Multiplexed groups (more events than hardware counters) are
+//! scaled by `time_enabled / time_running` and flagged.
+
+#[cfg(target_os = "linux")]
+mod sys;
+
+use std::fmt;
+
+/// One slot of the fixed event group, in open (and read) order after the
+/// leader.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Slot {
+    Instructions,
+    L1dAccess,
+    L1dRefill,
+    LlAccess,
+    LlRefill,
+}
+
+impl Slot {
+    fn name(self) -> &'static str {
+        match self {
+            Slot::Instructions => "instructions",
+            Slot::L1dAccess => "l1d_access",
+            Slot::L1dRefill => "l1d_refill",
+            Slot::LlAccess => "ll_access",
+            Slot::LlRefill => "ll_refill",
+        }
+    }
+}
+
+const SIBLINGS: [Slot; 5] = [
+    Slot::Instructions,
+    Slot::L1dAccess,
+    Slot::L1dRefill,
+    Slot::LlAccess,
+    Slot::LlRefill,
+];
+
+/// One group read, scaled for multiplexing. Siblings the PMU could not
+/// schedule (or that failed to open) are `None`.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct PmuCounters {
+    /// CPU cycles (the group leader; always present when a read succeeds).
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: Option<u64>,
+    /// L1 data-cache read accesses.
+    pub l1d_access: Option<u64>,
+    /// L1 data-cache read refills (misses filled from the next level).
+    pub l1d_refill: Option<u64>,
+    /// Last-level (L2 on the paper's Kunpeng 920 cores) read accesses.
+    pub ll_access: Option<u64>,
+    /// Last-level read refills/misses.
+    pub ll_refill: Option<u64>,
+    /// Wall time the group was enabled, ns.
+    pub time_enabled_ns: u64,
+    /// Time the group was actually scheduled on the PMU, ns.
+    pub time_running_ns: u64,
+    /// Whether multiplexing forced `time_enabled / time_running` scaling.
+    pub scaled: bool,
+}
+
+impl PmuCounters {
+    /// Instructions per cycle, when both counted.
+    pub fn ipc(&self) -> Option<f64> {
+        let i = self.instructions?;
+        if self.cycles == 0 {
+            return None;
+        }
+        Some(i as f64 / self.cycles as f64)
+    }
+
+    /// Merges another sample into this one (sums counters; used to
+    /// accumulate over repeated measured regions).
+    pub fn accumulate(&mut self, other: &PmuCounters) {
+        fn add(a: &mut Option<u64>, b: Option<u64>) {
+            *a = match (*a, b) {
+                (Some(x), Some(y)) => Some(x + y),
+                (v, None) | (None, v) => v,
+            };
+        }
+        self.cycles += other.cycles;
+        add(&mut self.instructions, other.instructions);
+        add(&mut self.l1d_access, other.l1d_access);
+        add(&mut self.l1d_refill, other.l1d_refill);
+        add(&mut self.ll_access, other.ll_access);
+        add(&mut self.ll_refill, other.ll_refill);
+        self.time_enabled_ns += other.time_enabled_ns;
+        self.time_running_ns += other.time_running_ns;
+        self.scaled |= other.scaled;
+    }
+}
+
+/// Why a source degraded to no-op, categorised for the obs counters.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PmuUnavailable {
+    /// Not a Linux host (or an architecture without a syscall number).
+    Unsupported,
+    /// The kernel refused (`EACCES`/`EPERM`, typically
+    /// `perf_event_paranoid` ≥ 2 inside containers).
+    Permission,
+    /// The syscall or the leader event does not exist
+    /// (`ENOSYS`/`ENOENT`/`ENODEV`, seccomp, no PMU driver).
+    NoPmu,
+    /// Anything else (reason string has the errno).
+    Other,
+}
+
+impl PmuUnavailable {
+    /// Stable category name for counters and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PmuUnavailable::Unsupported => "unsupported_platform",
+            PmuUnavailable::Permission => "permission_denied",
+            PmuUnavailable::NoPmu => "no_pmu",
+            PmuUnavailable::Other => "open_failed",
+        }
+    }
+}
+
+/// An open `perf_event` counter group (opaque; obtained via
+/// [`PmuSource::open`]).
+#[cfg(target_os = "linux")]
+pub struct Group {
+    leader: std::os::fd::OwnedFd,
+    /// Sibling fds in read order (kept open for the group's lifetime).
+    siblings: Vec<(Slot, std::os::fd::OwnedFd)>,
+    /// Events that failed to open, with the errno text.
+    missing: Vec<(Slot, String)>,
+}
+
+/// A PMU sampling source: an open counter group, or an explained no-op.
+pub enum PmuSource {
+    /// Live `perf_event_open` group.
+    #[cfg(target_os = "linux")]
+    Group(Group),
+    /// Counters unavailable; every measurement returns `None`.
+    Unavailable {
+        /// Category (for the obs counter).
+        kind: PmuUnavailable,
+        /// Human-readable diagnosis.
+        reason: String,
+    },
+}
+
+impl fmt::Debug for PmuSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            #[cfg(target_os = "linux")]
+            PmuSource::Group(g) => f
+                .debug_struct("PmuSource::Group")
+                .field("siblings", &g.siblings.len())
+                .field("missing", &g.missing.len())
+                .finish(),
+            PmuSource::Unavailable { kind, reason } => f
+                .debug_struct("PmuSource::Unavailable")
+                .field("kind", kind)
+                .field("reason", reason)
+                .finish(),
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn classify(err: &std::io::Error) -> PmuUnavailable {
+    use std::io::ErrorKind;
+    match err.kind() {
+        ErrorKind::PermissionDenied => PmuUnavailable::Permission,
+        ErrorKind::NotFound | ErrorKind::Unsupported => PmuUnavailable::NoPmu,
+        _ => match err.raw_os_error() {
+            Some(38) /* ENOSYS */ | Some(19) /* ENODEV */ | Some(95) /* EOPNOTSUPP */ => {
+                PmuUnavailable::NoPmu
+            }
+            _ => PmuUnavailable::Other,
+        },
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn attr_for(slot: Option<Slot>) -> sys::PerfEventAttr {
+    let (type_, config) = match slot {
+        None => (sys::TYPE_HARDWARE, sys::HW_CPU_CYCLES),
+        Some(Slot::Instructions) => (sys::TYPE_HARDWARE, sys::HW_INSTRUCTIONS),
+        Some(Slot::L1dAccess) => (
+            sys::TYPE_HW_CACHE,
+            sys::CACHE_L1D | (sys::CACHE_OP_READ << 8) | (sys::CACHE_RESULT_ACCESS << 16),
+        ),
+        Some(Slot::L1dRefill) => (
+            sys::TYPE_HW_CACHE,
+            sys::CACHE_L1D | (sys::CACHE_OP_READ << 8) | (sys::CACHE_RESULT_MISS << 16),
+        ),
+        Some(Slot::LlAccess) => (
+            sys::TYPE_HW_CACHE,
+            sys::CACHE_LL | (sys::CACHE_OP_READ << 8) | (sys::CACHE_RESULT_ACCESS << 16),
+        ),
+        Some(Slot::LlRefill) => (
+            sys::TYPE_HW_CACHE,
+            sys::CACHE_LL | (sys::CACHE_OP_READ << 8) | (sys::CACHE_RESULT_MISS << 16),
+        ),
+    };
+    sys::PerfEventAttr {
+        type_,
+        size: sys::ATTR_SIZE,
+        config,
+        read_format: sys::FORMAT_GROUP
+            | sys::FORMAT_TOTAL_TIME_ENABLED
+            | sys::FORMAT_TOTAL_TIME_RUNNING,
+        // Only the leader starts disabled; siblings follow the group.
+        flags: sys::FLAG_EXCLUDE_KERNEL
+            | sys::FLAG_EXCLUDE_HV
+            | if slot.is_none() { sys::FLAG_DISABLED } else { 0 },
+        ..Default::default()
+    }
+}
+
+impl PmuSource {
+    /// Opens the default event group for the calling process. Never
+    /// panics; inspect [`PmuSource::availability`] for the outcome.
+    pub fn open() -> PmuSource {
+        #[cfg(target_os = "linux")]
+        {
+            use std::os::fd::AsRawFd;
+            let leader = match sys::perf_event_open(&attr_for(None), -1) {
+                Ok(fd) => fd,
+                Err(err) => {
+                    return PmuSource::Unavailable {
+                        kind: classify(&err),
+                        reason: format!("perf_event_open(cycles) failed: {err}"),
+                    };
+                }
+            };
+            let mut siblings = Vec::new();
+            let mut missing = Vec::new();
+            for slot in SIBLINGS {
+                match sys::perf_event_open(&attr_for(Some(slot)), leader.as_raw_fd()) {
+                    Ok(fd) => siblings.push((slot, fd)),
+                    Err(err) => missing.push((slot, err.to_string())),
+                }
+            }
+            PmuSource::Group(Group {
+                leader,
+                siblings,
+                missing,
+            })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            PmuSource::Unavailable {
+                kind: PmuUnavailable::Unsupported,
+                reason: "perf_event_open is Linux-only".into(),
+            }
+        }
+    }
+
+    /// A source that is always unavailable (tests, forced degradation).
+    pub fn unavailable(reason: &str) -> PmuSource {
+        PmuSource::Unavailable {
+            kind: PmuUnavailable::Unsupported,
+            reason: reason.to_string(),
+        }
+    }
+
+    /// `Ok(events counted)` when live, `Err((category, reason))` when not.
+    pub fn availability(&self) -> Result<usize, (PmuUnavailable, &str)> {
+        match self {
+            #[cfg(target_os = "linux")]
+            PmuSource::Group(g) => Ok(1 + g.siblings.len()),
+            PmuSource::Unavailable { kind, reason } => Err((*kind, reason)),
+        }
+    }
+
+    /// Human-readable description of the source for reports.
+    pub fn describe(&self) -> String {
+        match self {
+            #[cfg(target_os = "linux")]
+            PmuSource::Group(g) => {
+                let mut names = vec!["cycles".to_string()];
+                names.extend(g.siblings.iter().map(|(s, _)| s.name().to_string()));
+                let mut s = format!("perf_event group: {}", names.join(", "));
+                if !g.missing.is_empty() {
+                    let miss: Vec<&str> = g.missing.iter().map(|(m, _)| m.name()).collect();
+                    s.push_str(&format!(" (unavailable: {})", miss.join(", ")));
+                }
+                s
+            }
+            PmuSource::Unavailable { reason, .. } => format!("unavailable: {reason}"),
+        }
+    }
+
+    /// Runs `f` with the group counting around it: reset, enable, `f()`,
+    /// disable, read. Returns `f`'s result and the counters (`None` when
+    /// the source is unavailable or the read failed).
+    pub fn measure<T>(&mut self, f: impl FnOnce() -> T) -> (T, Option<PmuCounters>) {
+        match self {
+            #[cfg(target_os = "linux")]
+            PmuSource::Group(g) => {
+                use std::os::fd::AsFd;
+                let lead = g.leader.as_fd();
+                let armed = sys::group_reset(lead).and_then(|()| sys::group_enable(lead)).is_ok();
+                let out = f();
+                let counters = if armed {
+                    let _ = sys::group_disable(lead);
+                    g.read_counters()
+                } else {
+                    None
+                };
+                (out, counters)
+            }
+            PmuSource::Unavailable { .. } => (f(), None),
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Group {
+    fn read_counters(&self) -> Option<PmuCounters> {
+        use std::os::fd::AsFd;
+        // layout: nr, time_enabled, time_running, value × nr
+        let mut buf = [0u64; 3 + 1 + SIBLINGS.len()];
+        let words = sys::read_group(self.leader.as_fd(), &mut buf).ok()?;
+        if words < 4 {
+            return None;
+        }
+        let nr = buf[0] as usize;
+        if nr < 1 || words < 3 + nr {
+            return None;
+        }
+        let (enabled, running) = (buf[1], buf[2]);
+        if running == 0 {
+            return None; // never scheduled: nothing trustworthy to report
+        }
+        let scale = if running < enabled {
+            enabled as f64 / running as f64
+        } else {
+            1.0
+        };
+        let scaled_val = |v: u64| -> u64 { (v as f64 * scale) as u64 };
+        let mut c = PmuCounters {
+            cycles: scaled_val(buf[3]),
+            time_enabled_ns: enabled,
+            time_running_ns: running,
+            scaled: running < enabled,
+            ..Default::default()
+        };
+        for (i, (slot, _)) in self.siblings.iter().enumerate() {
+            // group read order follows open order: leader then siblings
+            let Some(&raw) = buf.get(3 + 1 + i) else { break };
+            if 1 + i >= nr {
+                break;
+            }
+            let v = Some(scaled_val(raw));
+            match slot {
+                Slot::Instructions => c.instructions = v,
+                Slot::L1dAccess => c.l1d_access = v,
+                Slot::L1dRefill => c.l1d_refill = v,
+                Slot::LlAccess => c.ll_access = v,
+                Slot::LlRefill => c.ll_refill = v,
+            }
+        }
+        Some(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_never_panics_and_diagnoses_itself() {
+        let mut src = PmuSource::open();
+        let desc = src.describe();
+        match src.availability() {
+            Ok(n) => assert!(n >= 1, "a live group counts at least cycles"),
+            Err((kind, reason)) => {
+                assert!(!reason.is_empty());
+                assert!(!kind.name().is_empty());
+                assert!(desc.starts_with("unavailable:"));
+            }
+        }
+        // measure() must run the closure exactly once either way.
+        let (v, counters) = src.measure(|| 41 + 1);
+        assert_eq!(v, 42);
+        if let Some(c) = counters {
+            assert!(c.time_running_ns > 0);
+        }
+    }
+
+    #[test]
+    fn forced_unavailable_measures_to_none() {
+        let mut src = PmuSource::unavailable("forced by test");
+        assert!(src.availability().is_err());
+        let (v, counters) = src.measure(|| vec![1, 2, 3].len());
+        assert_eq!(v, 3);
+        assert!(counters.is_none());
+        assert_eq!(src.describe(), "unavailable: forced by test");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut a = PmuCounters {
+            cycles: 10,
+            instructions: Some(5),
+            l1d_refill: Some(2),
+            time_enabled_ns: 100,
+            time_running_ns: 100,
+            ..Default::default()
+        };
+        let b = PmuCounters {
+            cycles: 30,
+            instructions: Some(15),
+            ll_refill: Some(7),
+            time_enabled_ns: 50,
+            time_running_ns: 25,
+            scaled: true,
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.cycles, 40);
+        assert_eq!(a.instructions, Some(20));
+        assert_eq!(a.l1d_refill, Some(2));
+        assert_eq!(a.ll_refill, Some(7));
+        assert!(a.scaled);
+        assert_eq!(a.ipc(), Some(0.5));
+    }
+}

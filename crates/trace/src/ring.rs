@@ -1,0 +1,306 @@
+//! Lock-free single-producer single-consumer span rings.
+//!
+//! Each instrumented thread owns one [`SpanRing`]: a fixed-capacity ring of
+//! completed span events with *lossy overwrite-oldest* semantics — the
+//! producer never blocks and never allocates, it just keeps writing; when
+//! the ring is full the oldest events are silently replaced. The single
+//! consumer (the drain in [`crate::recorder`]) reads concurrently.
+//!
+//! Slot consistency uses a per-slot seqlock: every word of a slot is a
+//! relaxed atomic (so there is no data race in the language sense and the
+//! whole ring stays in safe Rust), and a slot sequence number — odd while the producer is
+//! mid-write, bumped to the next even value with `Release` ordering when
+//! the write completes — lets the consumer detect and discard torn reads.
+//! A torn slot is simply dropped: this is a flight recorder, losing one
+//! in-flight event under concurrent drain is by design.
+
+use std::sync::atomic::{AtomicU64, Ordering::Acquire, Ordering::Relaxed, Ordering::Release};
+
+/// What a recorded span covers. Mirrors the executor structure: the six
+/// `iatf_obs::timer::Phase` phases plus the coarser span groups (whole
+/// executes, super-block tasks, autotuner sweeps).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum SpanKind {
+    /// Run-time stage: building an execution plan.
+    PlanBuild = 0,
+    /// Packing operand A (GEMM pack-A, TRSM/TRMM triangular pack).
+    PackA = 1,
+    /// Packing operand B (GEMM pack-B).
+    PackB = 2,
+    /// A kernel-dispatch batch: all register-tile kernels of one pack
+    /// (GEMM) or one column panel (TRSM/TRMM).
+    Compute = 3,
+    /// α-scaling / B-panel staging in TRSM & TRMM.
+    Scale = 4,
+    /// Writing solved panels back from packed scratch.
+    Unpack = 5,
+    /// One super-block work unit (pack-then-compute over `arg` packs).
+    Superblock = 6,
+    /// One whole `execute()` / `execute_parallel()` call.
+    Execute = 7,
+    /// One autotuner micro-benchmark sweep.
+    TuneSweep = 8,
+}
+
+/// All span kinds, in slot order.
+pub const SPAN_KINDS: [SpanKind; 9] = [
+    SpanKind::PlanBuild,
+    SpanKind::PackA,
+    SpanKind::PackB,
+    SpanKind::Compute,
+    SpanKind::Scale,
+    SpanKind::Unpack,
+    SpanKind::Superblock,
+    SpanKind::Execute,
+    SpanKind::TuneSweep,
+];
+
+impl SpanKind {
+    /// Snake-case span name (matches the `timer::Phase` names where the
+    /// two overlap, so Perfetto tracks line up with the phase timers).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::PlanBuild => "plan_build",
+            SpanKind::PackA => "pack_a",
+            SpanKind::PackB => "pack_b",
+            SpanKind::Compute => "compute",
+            SpanKind::Scale => "scale",
+            SpanKind::Unpack => "unpack",
+            SpanKind::Superblock => "superblock",
+            SpanKind::Execute => "execute",
+            SpanKind::TuneSweep => "tune_sweep",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        SPAN_KINDS.get(v as usize).copied()
+    }
+}
+
+/// One completed, timestamped span drained out of a ring.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Recorder-assigned id of the thread that produced the span (dense,
+    /// starting at 1, in first-record order).
+    pub tid: u64,
+    /// What the span covers.
+    pub kind: SpanKind,
+    /// Start time in nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Kind-specific payload (packs in a super-block, batch count of a
+    /// plan build, tiles in a dispatch batch; 0 when unused).
+    pub arg: u64,
+}
+
+/// Words per slot: kind, start, dur, arg.
+const SLOT_WORDS: usize = 4;
+
+struct Slot {
+    /// Seqlock: odd while being written; even and monotonically increasing
+    /// otherwise.
+    seq: AtomicU64,
+    words: [AtomicU64; SLOT_WORDS],
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            words: Default::default(),
+        }
+    }
+}
+
+/// A fixed-capacity lossy SPSC ring of span events.
+pub struct SpanRing {
+    tid: u64,
+    /// Events ever pushed (head % capacity is the next write slot).
+    head: AtomicU64,
+    /// Consumer watermark: events below this index were already drained.
+    drained: AtomicU64,
+    slots: Vec<Slot>,
+}
+
+impl SpanRing {
+    /// Creates a ring for `tid` holding at most `capacity` events
+    /// (`capacity` is clamped to at least 2).
+    pub fn with_capacity(tid: u64, capacity: usize) -> Self {
+        let capacity = capacity.max(2);
+        Self {
+            tid,
+            head: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// Recorder-assigned thread id this ring belongs to.
+    pub fn tid(&self) -> u64 {
+        self.tid
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events pushed over the ring's lifetime (drained or not, including
+    /// overwritten ones).
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Relaxed)
+    }
+
+    /// Events lost to overwrite-oldest so far (relative to the drain
+    /// watermark).
+    pub fn dropped(&self) -> u64 {
+        let head = self.head.load(Relaxed);
+        let drained = self.drained.load(Relaxed);
+        let cap = self.slots.len() as u64;
+        head.saturating_sub(cap).saturating_sub(drained)
+    }
+
+    /// Producer side: records one completed span. Wait-free; overwrites
+    /// the oldest undelivered event when full. Must only be called from
+    /// the ring's owning thread.
+    pub fn push(&self, kind: SpanKind, start_ns: u64, dur_ns: u64, arg: u64) {
+        let head = self.head.load(Relaxed);
+        let slot = &self.slots[(head % self.slots.len() as u64) as usize];
+        let seq = slot.seq.load(Relaxed);
+        // Mark the slot in-flight (odd) before touching its words …
+        slot.seq.store(seq | 1, Release);
+        slot.words[0].store(kind as u64, Relaxed);
+        slot.words[1].store(start_ns, Relaxed);
+        slot.words[2].store(dur_ns, Relaxed);
+        slot.words[3].store(arg, Relaxed);
+        // … and publish with the next even sequence number.
+        slot.seq.store((seq | 1).wrapping_add(1), Release);
+        self.head.store(head + 1, Release);
+    }
+
+    /// Consumer side: copies out every undrained event, oldest first, and
+    /// advances the drain watermark. Events the producer overwrote (or is
+    /// overwriting right now) are skipped — the returned events are the
+    /// *newest* surviving ones, in push order.
+    pub fn drain(&self, out: &mut Vec<SpanEvent>) {
+        let head = self.head.load(Acquire);
+        let cap = self.slots.len() as u64;
+        let drained = self.drained.load(Relaxed);
+        let start = drained.max(head.saturating_sub(cap));
+        for idx in start..head {
+            let slot = &self.slots[(idx % cap) as usize];
+            let s1 = slot.seq.load(Acquire);
+            if s1 & 1 == 1 {
+                continue; // mid-write
+            }
+            let kind = slot.words[0].load(Relaxed);
+            let start_ns = slot.words[1].load(Relaxed);
+            let dur_ns = slot.words[2].load(Relaxed);
+            let arg = slot.words[3].load(Relaxed);
+            let s2 = slot.seq.load(Acquire);
+            if s1 != s2 {
+                continue; // torn: producer lapped us mid-read
+            }
+            // A slot can also be *silently* lapped a full capacity between
+            // the head read and here; its event would then belong to a
+            // newer index than `idx`. That event is re-delivered (not
+            // duplicated) on the next drain via the watermark, and the
+            // stale `idx` copy is identical to the newer one, so ordering
+            // by push index stays chronological per thread.
+            if let Some(kind) = SpanKind::from_u8(kind as u8) {
+                out.push(SpanEvent {
+                    tid: self.tid,
+                    kind,
+                    start_ns,
+                    dur_ns,
+                    arg,
+                });
+            }
+        }
+        self.drained.store(head, Release);
+    }
+
+    /// Consumer side: discards everything recorded so far.
+    pub fn clear(&self) {
+        self.drained.store(self.head.load(Acquire), Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ring: &SpanRing, i: u64) {
+        ring.push(SpanKind::Compute, 1_000 + i, 10, i);
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_in_chronological_order() {
+        let ring = SpanRing::with_capacity(7, 8);
+        for i in 0..20 {
+            ev(&ring, i);
+        }
+        let mut out = Vec::new();
+        ring.drain(&mut out);
+        // events > capacity: only the newest `capacity` survive …
+        assert_eq!(out.len(), 8);
+        // … and the drain order is chronological (oldest surviving first).
+        let args: Vec<u64> = out.iter().map(|e| e.arg).collect();
+        assert_eq!(args, (12..20).collect::<Vec<u64>>());
+        assert!(out.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+        assert_eq!(ring.pushed(), 20);
+        assert_eq!(out[0].tid, 7);
+    }
+
+    #[test]
+    fn drain_is_incremental_and_lossless_below_capacity() {
+        let ring = SpanRing::with_capacity(1, 16);
+        for i in 0..5 {
+            ev(&ring, i);
+        }
+        let mut out = Vec::new();
+        ring.drain(&mut out);
+        assert_eq!(out.len(), 5);
+        ring.drain(&mut out);
+        assert_eq!(out.len(), 5, "second drain re-delivers nothing");
+        for i in 5..9 {
+            ev(&ring, i);
+        }
+        out.clear();
+        ring.drain(&mut out);
+        assert_eq!(out.iter().map(|e| e.arg).collect::<Vec<_>>(), vec![5, 6, 7, 8]);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn dropped_counts_overwritten_events() {
+        let ring = SpanRing::with_capacity(1, 4);
+        for i in 0..10 {
+            ev(&ring, i);
+        }
+        assert_eq!(ring.dropped(), 6);
+        let mut out = Vec::new();
+        ring.drain(&mut out);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn clear_discards_pending_events() {
+        let ring = SpanRing::with_capacity(1, 8);
+        for i in 0..3 {
+            ev(&ring, i);
+        }
+        ring.clear();
+        let mut out = Vec::new();
+        ring.drain(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_clamped() {
+        let ring = SpanRing::with_capacity(1, 0);
+        assert!(ring.capacity() >= 2);
+    }
+}

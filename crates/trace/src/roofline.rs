@@ -1,0 +1,283 @@
+//! Roofline attribution: predicted vs measured compute-to-memory ratios.
+//!
+//! Joins each plan's *analytical* predictions (the explainer's flops and
+//! compulsory operand traffic — what the install-time stage's CMAR model
+//! believes) with *measured* PMU counters from the same execution, and
+//! reports per-plan:
+//!
+//! * achieved GFLOPS and flops/cycle,
+//! * predicted CMAR (paper Eq. 2's objective: flops per byte of memory
+//!   traffic) vs achieved CMAR (flops per byte measured entering L1),
+//! * arithmetic intensity against the measured traffic,
+//! * a **model-error percentage** — how far the measured bytes drifted
+//!   from the prediction, the feedback signal the autotuner can check the
+//!   analytical model against.
+//!
+//! Measured traffic is `l1d_refill × cache_line_bytes`: lines *pulled
+//! into* L1. The Batch Counter sizes super-blocks so packed panels stay
+//! L1-resident, so the model's predicted traffic is the compulsory
+//! operand traffic (read A, read B, read+write C) — if the working set
+//! actually cycles through L1 the way the model assumes, refills ≈
+//! prediction; thrashing shows up as a positive model error.
+//!
+//! When the PMU source is [unavailable](crate::pmu::PmuSource), the
+//! report still renders — prediction columns filled, measurement columns
+//! empty, and the header explicitly flagging the degraded source.
+
+use crate::pmu::PmuCounters;
+
+/// Cache-line size assumed for refill-to-bytes conversion. Every ARMv8
+/// server core the paper targets (and every x86 dev box) uses 64-byte
+/// lines.
+pub const DEFAULT_LINE_BYTES: u64 = 64;
+
+/// One measured workload point, before derivation.
+#[derive(Clone, Debug)]
+pub struct RooflineInput {
+    /// Display label (`"gemm f32 n=16"`).
+    pub label: String,
+    /// Routine name.
+    pub op: String,
+    /// Element type name.
+    pub dtype: String,
+    /// Problem order.
+    pub n: usize,
+    /// Group size.
+    pub count: usize,
+    /// Executions the counters cover (flops/bytes below are per execute).
+    pub reps: u64,
+    /// Plan-predicted flops per execute (explainer).
+    pub predicted_flops: u64,
+    /// Plan-predicted compulsory memory traffic per execute, bytes.
+    pub predicted_bytes: u64,
+    /// Measured wall time for all `reps`, ns.
+    pub elapsed_ns: u64,
+    /// PMU counters accumulated over all `reps` (`None`: source degraded).
+    pub counters: Option<PmuCounters>,
+}
+
+/// One derived roofline row.
+#[derive(Clone, Debug)]
+pub struct RooflinePoint {
+    /// The measurement this row derives from.
+    pub input: RooflineInput,
+    /// Achieved GFLOPS over the measured wall time.
+    pub achieved_gflops: f64,
+    /// Predicted CMAR: flops per predicted byte.
+    pub predicted_cmar: f64,
+    /// Measured bytes entering L1 per execute (`l1d_refill × line`).
+    pub measured_bytes: Option<f64>,
+    /// Achieved CMAR: flops per measured byte.
+    pub achieved_cmar: Option<f64>,
+    /// Flops per cycle.
+    pub flops_per_cycle: Option<f64>,
+    /// Instructions per cycle.
+    pub ipc: Option<f64>,
+    /// Signed model error: `(measured − predicted) / predicted × 100`.
+    pub model_error_pct: Option<f64>,
+}
+
+fn derive(input: RooflineInput, line_bytes: u64) -> RooflinePoint {
+    let reps = input.reps.max(1) as f64;
+    let total_flops = input.predicted_flops as f64 * reps;
+    let achieved_gflops = if input.elapsed_ns > 0 {
+        total_flops / input.elapsed_ns as f64 // flops/ns == GFLOPS
+    } else {
+        f64::NAN
+    };
+    let predicted_cmar = if input.predicted_bytes > 0 {
+        input.predicted_flops as f64 / input.predicted_bytes as f64
+    } else {
+        f64::NAN
+    };
+    let measured_bytes = input
+        .counters
+        .as_ref()
+        .and_then(|c| c.l1d_refill)
+        .map(|refills| refills as f64 * line_bytes as f64 / reps);
+    let achieved_cmar = measured_bytes
+        .filter(|&b| b > 0.0)
+        .map(|b| input.predicted_flops as f64 / b);
+    let flops_per_cycle = input
+        .counters
+        .as_ref()
+        .filter(|c| c.cycles > 0)
+        .map(|c| total_flops / c.cycles as f64);
+    let ipc = input.counters.as_ref().and_then(|c| c.ipc());
+    let model_error_pct = measured_bytes.and_then(|m| {
+        (input.predicted_bytes > 0)
+            .then(|| 100.0 * (m - input.predicted_bytes as f64) / input.predicted_bytes as f64)
+    });
+    RooflinePoint {
+        input,
+        achieved_gflops,
+        predicted_cmar,
+        measured_bytes,
+        achieved_cmar,
+        flops_per_cycle,
+        ipc,
+        model_error_pct,
+    }
+}
+
+/// A full attribution report: one row per workload point plus the PMU
+/// source's self-description.
+#[derive(Clone, Debug)]
+pub struct RooflineReport {
+    /// Whether measurement columns carry data.
+    pub pmu_available: bool,
+    /// The source's `describe()` string (reason when degraded).
+    pub pmu_source: String,
+    /// Line size used for refill→bytes conversion.
+    pub line_bytes: u64,
+    /// Derived rows.
+    pub points: Vec<RooflinePoint>,
+}
+
+impl RooflineReport {
+    /// Builds a report from measured inputs. `pmu_source` should be the
+    /// sampler's [`describe()`](crate::pmu::PmuSource::describe) string.
+    pub fn new(pmu_available: bool, pmu_source: String, inputs: Vec<RooflineInput>) -> Self {
+        Self {
+            pmu_available,
+            pmu_source,
+            line_bytes: DEFAULT_LINE_BYTES,
+            points: inputs
+                .into_iter()
+                .map(|i| derive(i, DEFAULT_LINE_BYTES))
+                .collect(),
+        }
+    }
+
+    /// Largest absolute model error across rows that measured one.
+    pub fn worst_model_error_pct(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .filter_map(|p| p.model_error_pct)
+            .map(f64::abs)
+            .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
+    }
+
+    /// Fixed-width table for terminal output.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "## Roofline attribution (predicted vs measured CMAR)");
+        let _ = writeln!(s, "   pmu source: {}", self.pmu_source);
+        if !self.pmu_available {
+            let _ = writeln!(
+                s,
+                "   NOTE: PMU unavailable — measurement columns are empty, predictions only"
+            );
+        }
+        let _ = writeln!(
+            s,
+            "{:>16} {:>10} {:>10} {:>10} {:>11} {:>11} {:>9} {:>7} {:>9}",
+            "point",
+            "GFLOPS",
+            "pred B",
+            "meas B",
+            "pred CMAR",
+            "real CMAR",
+            "flop/cyc",
+            "IPC",
+            "err%"
+        );
+        let opt = |v: Option<f64>, prec: usize| -> String {
+            v.map(|x| format!("{x:>.prec$}")).unwrap_or_else(|| "-".into())
+        };
+        for p in &self.points {
+            let _ = writeln!(
+                s,
+                "{:>16} {:>10.2} {:>10} {:>10} {:>11.3} {:>11} {:>9} {:>7} {:>9}",
+                p.input.label,
+                p.achieved_gflops,
+                p.input.predicted_bytes,
+                p.measured_bytes
+                    .map(|b| format!("{b:.0}"))
+                    .unwrap_or_else(|| "-".into()),
+                p.predicted_cmar,
+                opt(p.achieved_cmar, 3),
+                opt(p.flops_per_cycle, 2),
+                opt(p.ipc, 2),
+                opt(p.model_error_pct, 1),
+            );
+        }
+        if let Some(worst) = self.worst_model_error_pct() {
+            let _ = writeln!(s, "   worst |model error|: {worst:.1}%");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(counters: Option<PmuCounters>) -> RooflineInput {
+        RooflineInput {
+            label: "gemm f32 n=16".into(),
+            op: "gemm".into(),
+            dtype: "f32".into(),
+            n: 16,
+            count: 256,
+            reps: 10,
+            predicted_flops: 2_097_152,
+            predicted_bytes: 1_048_576,
+            elapsed_ns: 10_000_000,
+            counters,
+        }
+    }
+
+    #[test]
+    fn derives_measured_columns_from_counters() {
+        let counters = PmuCounters {
+            cycles: 1_000_000,
+            instructions: Some(2_000_000),
+            l1d_refill: Some(180_000), // ×64/10 reps = 1_152_000 B/exec
+            time_enabled_ns: 1,
+            time_running_ns: 1,
+            ..Default::default()
+        };
+        let r = RooflineReport::new(true, "perf_event group: …".into(), vec![input(Some(counters))]);
+        let p = &r.points[0];
+        assert!((p.achieved_gflops - 2.097152).abs() < 1e-6);
+        assert!((p.predicted_cmar - 2.0).abs() < 1e-12);
+        let mb = p.measured_bytes.unwrap();
+        assert!((mb - 1_152_000.0).abs() < 1.0);
+        // +9.86% over the 1 MiB prediction
+        let err = p.model_error_pct.unwrap();
+        assert!((err - 9.8632).abs() < 0.01, "err {err}");
+        assert_eq!(p.ipc, Some(2.0));
+        assert!(r.worst_model_error_pct().unwrap() > 9.0);
+        assert!(r.render_text().contains("gemm f32 n=16"));
+    }
+
+    #[test]
+    fn unavailable_source_yields_empty_but_valid_report() {
+        let r = RooflineReport::new(
+            false,
+            "unavailable: perf_event_open(cycles) failed".into(),
+            vec![input(None)],
+        );
+        let p = &r.points[0];
+        assert!(p.measured_bytes.is_none());
+        assert!(p.achieved_cmar.is_none());
+        assert!(p.model_error_pct.is_none());
+        assert!(p.ipc.is_none());
+        // predictions still derived
+        assert!(p.achieved_gflops > 0.0);
+        assert!((p.predicted_cmar - 2.0).abs() < 1e-12);
+        assert!(r.worst_model_error_pct().is_none());
+        let text = r.render_text();
+        assert!(text.contains("PMU unavailable"));
+        assert!(text.contains("unavailable: perf_event_open"));
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let r = RooflineReport::new(false, "unavailable: test".into(), Vec::new());
+        assert!(r.render_text().contains("Roofline"));
+        assert!(r.worst_model_error_pct().is_none());
+    }
+}

@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
-# Full pre-merge verification: tier-1 build+test, both observability
-# feature states, the obs integration test, and a clean clippy run.
+# Full pre-merge verification: tier-1 build+test, every feature-gate state
+# (obs, parallel, trace), the perf-regression sentinel against the
+# committed baselines, the trace/roofline smoke, and a clean clippy run.
+# Run artifacts (BENCH_*.json, verify_report.json, trace_*.json) land
+# under target/; the committed ./BENCH_3.json and ./BENCH_4.json are the
+# sentinel's baselines and only change when deliberately promoted.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,10 +29,19 @@ echo "==> parallel executors: bit-exact vs serial, plan cache under threads"
 cargo test -q -p iatf-core --features parallel
 cargo test -q -p iatf-core --features parallel,obs
 
-echo "==> bench harness builds in both feature states"
+echo "==> flight recorder: probes are exact no-ops when the feature is off"
+cargo test -q -p iatf-trace
+
+echo "==> flight recorder live: ring wraparound, PMU degradation, chrome export"
+cargo test -q -p iatf-trace --features enabled
+cargo test -q -p iatf-core --features trace
+
+echo "==> bench harness builds in every feature state"
 cargo build --release -p iatf-bench
 cargo build --release -p iatf-bench --features obs
 cargo build --release -p iatf-bench --features parallel,obs
+cargo build --release -p iatf-bench --features trace
+cargo build --release -p iatf-bench --features parallel,obs,trace
 
 echo "==> iatf-tune: sweep harness + tuning-db robustness (both obs states)"
 cargo test -q -p iatf-tune
@@ -39,15 +52,25 @@ cargo test -q -p iatf-verify
 
 echo "==> static kernel certification (reproduce verify) + machine report"
 cargo run -q --release -p iatf-bench --bin reproduce -- verify
-cargo run -q --release -p iatf-bench --bin reproduce -- verify --json > verify_report.json
-echo "    wrote verify_report.json"
+cargo run -q --release -p iatf-bench --bin reproduce -- verify --json > target/verify_report.json
+echo "    wrote target/verify_report.json"
+
+echo "==> sentinel: current perf vs committed BENCH_3/BENCH_4 baselines"
+# Same features as the baseline-generation runs below, so the comparison
+# is apples-to-apples; a scratch db keeps the re-tune from touching the
+# user's cache. Runs before regeneration: the gate must see the numbers
+# that are actually committed.
+mkdir -p target/tune-tests
+IATF_TUNE_DB=target/tune-tests/sentinel.json \
+  timeout 600 cargo run -q --release -p iatf-bench --features parallel,obs --bin reproduce -- \
+  sentinel
 
 echo "==> plan-cache amortization smoke (reproduce callamort)"
 cargo run -q --release -p iatf-bench --features parallel,obs --bin reproduce -- \
-  callamort --json > BENCH_3.json
+  callamort --json > target/BENCH_3.json
 python3 - <<'EOF'
 import json
-doc = json.load(open("BENCH_3.json"))
+doc = json.load(open("target/BENCH_3.json"))
 ratio = doc["aggregate_amortization_ratio"]
 cache = doc["plan_cache"]
 tp = doc["throughput"]
@@ -60,17 +83,17 @@ print(f"    aggregate amortization ratio: {ratio:.1f}x "
 print(f"    serial GFLOPS {tp['serial_gflops']}")
 print(f"    parallel GFLOPS {tp['parallel_gflops']}")
 EOF
-echo "    wrote BENCH_3.json"
+echo "    wrote target/BENCH_3.json (promote to ./BENCH_3.json to refresh the baseline)"
 
 echo "==> input-aware autotuner smoke (reproduce tune)"
 mkdir -p target/tune-tests
 rm -f target/tune-tests/ci-tune.json
 IATF_TUNE_DB=target/tune-tests/ci-tune.json \
-  timeout 600 cargo run -q --release -p iatf-bench --bin reproduce -- \
-  tune --quick --json > BENCH_4.json
+  timeout 600 cargo run -q --release -p iatf-bench --features parallel,obs --bin reproduce -- \
+  tune --quick --json > target/BENCH_4.json
 python3 - <<'EOF'
 import json
-doc = json.load(open("BENCH_4.json"))
+doc = json.load(open("target/BENCH_4.json"))
 pts = doc["points"]
 assert doc["total_points"] == len(pts) and pts, "no tuning points measured"
 for p in pts:
@@ -91,7 +114,38 @@ print(f"    {doc['strictly_faster_points']}/{doc['total_points']} points "
 EOF
 test -s target/tune-tests/ci-tune.json || {
   echo "error: autotuner did not persist its db to IATF_TUNE_DB"; exit 1; }
-echo "    wrote BENCH_4.json"
+echo "    wrote target/BENCH_4.json (promote to ./BENCH_4.json to refresh the baseline)"
+
+echo "==> flight recorder + PMU roofline smoke (reproduce trace)"
+cargo run -q --release -p iatf-bench --features trace --bin reproduce -- \
+  trace --json > target/BENCH_5.json
+python3 - <<'EOF'
+import json
+doc = json.load(open("target/BENCH_5.json"))
+assert doc["trace_enabled"], "trace feature did not compile in"
+trace = json.load(open("target/trace_reproduce.json"))
+events = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+assert events, "Perfetto document has no complete spans"
+phases = {"plan_build", "pack_a", "pack_b", "compute", "scale", "unpack",
+          "superblock", "execute", "tune_sweep"}
+seen = {e["name"] for e in events}
+missing = phases - seen
+assert not missing, f"phases with no complete span: {sorted(missing)}"
+for e in events:
+    assert e["ph"] == "X" and e["dur"] >= 0 and "ts" in e, f"malformed event {e}"
+roof = doc["roofline"]
+if doc["pmu"]["available"]:
+    worst = roof["worst_model_error_pct"]
+    assert worst is not None and worst <= 25.0, (
+        f"measured traffic drifted {worst:.1f}% from the CMAR model (limit 25%)")
+    print(f"    roofline model error within {worst:.1f}%")
+else:
+    assert "unavailable" in doc["pmu"]["source"], "degraded PMU must explain itself"
+    print(f"    PMU unavailable ({doc['pmu']['source']}) — roofline is predictions-only")
+print(f"    {len(events)} complete spans across {len(seen)} phases, "
+      f"{doc['spans_dropped']} lost to ring overwrite")
+EOF
+echo "    wrote target/BENCH_5.json and target/trace_reproduce.json"
 
 echo "==> unsafe code stays inside the audited allowlist"
 # The SIMD backends are the sanctioned home of unsafe (the iatf-simd
@@ -106,6 +160,7 @@ crates/kernels/tests/proptests.rs
 crates/layout/src/compact.rs
 crates/baselines/src/
 crates/core/src/elem.rs
+crates/trace/src/pmu/sys.rs
 crates/core/src/plan/gemm.rs
 crates/core/src/plan/trsm.rs
 crates/core/src/plan/trmm.rs
