@@ -6,7 +6,7 @@
 //! targets:
 //!   table1 table2 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12
 //!   ablation-pack ablation-batch ablation-kernel-size ablation-fmls
-//!   ablation-schedule callamort obs tune trace sentinel verify all
+//!   ablation-schedule callamort obs tune trace sentinel watch verify all
 //! ```
 //!
 //! `callamort` measures call-amortization: per-call cost of a prebuilt
@@ -36,11 +36,21 @@
 //! why. `--json` emits the `BENCH_5.json` document.
 //!
 //! `sentinel` is the noise-aware performance regression gate: it re-runs
-//! the throughput workloads behind the committed `BENCH_3.json` and the
-//! autotuner points behind `BENCH_4.json` and fails (exit 1) if any
-//! current number regresses beyond `max(3 × measured noise, 5%)` of its
-//! committed baseline. Missing baseline files warn and pass, so the gate
-//! is safe on fresh checkouts.
+//! the throughput workloads behind the committed `BENCH_3.json`, the
+//! autotuner points behind `BENCH_4.json`, and the roofline points behind
+//! `BENCH_5.json`, and fails (exit 1) if any current number regresses
+//! beyond `max(3 × measured noise, 5%)` of its committed baseline. A
+//! missing baseline file is recorded from the current build (announced,
+//! never silently passed) so the gate arms itself once the file is
+//! committed.
+//!
+//! `watch` drives the always-on monitoring loop end to end: mixed-shape
+//! warm traffic under `--features watch` establishes per-class envelopes,
+//! an injected telemetry-side slowdown on one shape class raises a
+//! DriftEvent, and the triggered retune (db generation bump, plan-cache
+//! invalidation, re-sweep) restores the class. `--json` emits the
+//! `BENCH_6.json` document; the Prometheus exposition is written to
+//! `target/watch_prometheus.txt`.
 //!
 //! `verify` statically certifies the exhaustive kernel enumeration with
 //! `iatf-verify` (register budgets, memory safety, pipeline structure,
@@ -152,6 +162,7 @@ fn main() {
         "tune" => tune_bench(&opts),
         "trace" => trace_bench(&opts),
         "sentinel" => sentinel(&opts),
+        "watch" => watch_bench(&opts),
         "verify" => verify_kernels(&opts),
         "all" => {
             table1();
@@ -175,6 +186,7 @@ fn main() {
             obs_telemetry(&opts);
             tune_bench(&opts);
             trace_bench(&opts);
+            watch_bench(&opts);
             verify_kernels(&opts);
         }
         other => {
@@ -1606,15 +1618,20 @@ impl SentinelCheck {
     }
 }
 
-fn load_baseline(path: &str) -> Option<iatf_tune::jsonval::JsonValue> {
+/// Loads a committed baseline. A missing file is not a silent pass: the
+/// sentinel records one from the current build (by re-running the target
+/// that produces it with `--json`) and tells the user to commit it — the
+/// gate is then armed from the next run onward.
+fn load_baseline(path: &str, target: &str) -> Option<iatf_obs::Json> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(_) => {
-            println!("   warning: baseline {path} not found — skipping its checks");
+            eprintln!("   no committed baseline at {path}: recording one from the current build");
+            record_baseline(path, target);
             return None;
         }
     };
-    match iatf_tune::jsonval::parse(&text) {
+    match iatf_obs::parse_json(&text) {
         Ok(v) => Some(v),
         Err(e) => {
             eprintln!("error: baseline {path} is not valid JSON at byte {}: {}", e.at, e.msg);
@@ -1623,15 +1640,46 @@ fn load_baseline(path: &str) -> Option<iatf_tune::jsonval::JsonValue> {
     }
 }
 
+/// Re-executes this binary as `reproduce <target> --json` and writes the
+/// document to `path`. Self-exec reuses the exact measurement protocol
+/// behind the committed artifact instead of approximating it here.
+fn record_baseline(path: &str, target: &str) {
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("   warning: cannot locate own binary to record {path}: {e}");
+            return;
+        }
+    };
+    let out = match std::process::Command::new(exe).args([target, "--json"]).output() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("   warning: recording {path} via `reproduce {target} --json` failed: {e}");
+            return;
+        }
+    };
+    if !out.status.success() {
+        println!(
+            "   warning: `reproduce {target} --json` exited with {} — {path} not recorded",
+            out.status
+        );
+        return;
+    }
+    match std::fs::write(path, &out.stdout) {
+        Ok(()) => eprintln!("   recorded {path} — commit it to arm this gate on the next run"),
+        Err(e) => eprintln!("   warning: cannot write {path}: {e}"),
+    }
+}
+
 /// Measures serial (and, when built, parallel) f64 GEMM NN GFLOPS the same
 /// way `callamort` records them into `BENCH_3.json`: interleaved
 /// min-of-rounds, noise = spread of the per-round times.
-fn sentinel_throughput(base: &iatf_tune::jsonval::JsonValue, checks: &mut Vec<SentinelCheck>) {
+fn sentinel_throughput(base: &iatf_obs::Json, checks: &mut Vec<SentinelCheck>) {
     use iatf_core::GemmPlan;
     use iatf_layout::GemmDims;
 
     let Some(tp) = base.get("throughput") else {
-        println!("   warning: BENCH_3.json has no throughput section — skipping");
+        eprintln!("   warning: BENCH_3.json has no throughput section — skipping");
         return;
     };
     let sizes: Vec<usize> = tp
@@ -1651,12 +1699,12 @@ fn sentinel_throughput(base: &iatf_tune::jsonval::JsonValue, checks: &mut Vec<Se
         .map(|a| a.iter().filter_map(|x| x.as_f64()).collect())
         .unwrap_or_default();
     if sizes.is_empty() || count == 0 || serial_base.len() != sizes.len() {
-        println!("   warning: BENCH_3.json throughput section is incomplete — skipping");
+        eprintln!("   warning: BENCH_3.json throughput section is incomplete — skipping");
         return;
     }
     let gate_parallel = parallel_base.len() == sizes.len() && cfg!(feature = "parallel");
     if parallel_base.len() == sizes.len() && !gate_parallel {
-        println!("   note: baseline has parallel numbers but this build lacks --features parallel — serial gate only");
+        eprintln!("   note: baseline has parallel numbers but this build lacks --features parallel — serial gate only");
     }
 
     let round = TimeOpts {
@@ -1711,13 +1759,13 @@ fn sentinel_throughput(base: &iatf_tune::jsonval::JsonValue, checks: &mut Vec<Se
 /// smallest and largest n per (op, dtype) — and gates the recorded
 /// tuned-GFLOPS against the committed numbers. The subset keeps the gate
 /// fast; the full grid is re-measured whenever the baseline regenerates.
-fn sentinel_tune(base: &iatf_tune::jsonval::JsonValue, checks: &mut Vec<SentinelCheck>) {
+fn sentinel_tune(base: &iatf_obs::Json, checks: &mut Vec<SentinelCheck>) {
     use iatf_core::autotune::{gemm_tune_key, trsm_tune_key};
     use iatf_core::TunePolicy;
     use iatf_layout::{GemmDims, TrsmDims};
 
     let Some(points) = base.get("points").and_then(|v| v.as_array()) else {
-        println!("   warning: BENCH_4.json has no points array — skipping");
+        eprintln!("   warning: BENCH_4.json has no points array — skipping");
         return;
     };
     // (op, dtype, n, count, tuned_gflops, noise)
@@ -1753,7 +1801,7 @@ fn sentinel_tune(base: &iatf_tune::jsonval::JsonValue, checks: &mut Vec<Sentinel
         }
     }
     if selected.len() < parsed.len() {
-        println!(
+        eprintln!(
             "   note: re-tuning {}/{} baseline points (min/max n per routine); the full grid re-measures when the baseline regenerates",
             selected.len(),
             parsed.len()
@@ -1780,12 +1828,12 @@ fn sentinel_tune(base: &iatf_tune::jsonval::JsonValue, checks: &mut Vec<Sentinel
                 db.lookup(&trsm_tune_key::<f64>(dims, TrsmMode::LNLN, false, count))
             }
             _ => {
-                println!("   warning: unknown baseline point {op}/{dt} — skipping");
+                eprintln!("   warning: unknown baseline point {op}/{dt} — skipping");
                 continue;
             }
         };
         let Some(e) = entry else {
-            println!("   warning: tuner recorded nothing for {op}/{dt} n={n} — skipping");
+            eprintln!("   warning: tuner recorded nothing for {op}/{dt} n={n} — skipping");
             continue;
         };
         checks.push(SentinelCheck {
@@ -1797,17 +1845,119 @@ fn sentinel_tune(base: &iatf_tune::jsonval::JsonValue, checks: &mut Vec<Sentinel
     }
 }
 
+/// Re-measures the roofline workloads behind `BENCH_5.json`'s points
+/// (plain wall-clock, no PMU — the gate tracks throughput, not counter
+/// availability) and gates achieved GFLOPS per point.
+fn sentinel_trace(base: &iatf_obs::Json, checks: &mut Vec<SentinelCheck>) {
+    use iatf_core::{GemmPlan, TrsmPlan};
+    use iatf_layout::{GemmDims, TrsmDims};
+
+    let Some(points) = base
+        .get("roofline")
+        .and_then(|r| r.get("points"))
+        .and_then(|v| v.as_array())
+    else {
+        eprintln!("   warning: BENCH_5.json has no roofline points — skipping");
+        return;
+    };
+    let round = TimeOpts {
+        reps: 1,
+        min_rep_secs: 0.004,
+        warmup: 1,
+    };
+    const ROUNDS: usize = 5;
+    let cfg = TuningConfig::default();
+    for p in points {
+        let op = p.get("op").and_then(|v| v.as_str()).unwrap_or("");
+        let dtype = p.get("dtype").and_then(|v| v.as_str()).unwrap_or("");
+        let n = p.get("n").and_then(|v| v.as_u64()).unwrap_or(0) as usize;
+        let count = p.get("count").and_then(|v| v.as_u64()).unwrap_or(0) as usize;
+        let flops = p.get("predicted_flops").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let baseline = p.get("achieved_gflops").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        if n == 0 || count == 0 || flops <= 0.0 || baseline <= 0.0 {
+            eprintln!("   warning: BENCH_5.json point {op}/{dtype} n={n} is incomplete — skipping");
+            continue;
+        }
+        // Same single-plan execute loop as `trace_gemm_point` /
+        // `trace_trsm_point`, minus the recorder and counter group.
+        let timed: Option<(f64, f64)> = match (op, dtype) {
+            ("gemm", "f32") | ("gemm", "f64") => {
+                let dims = GemmDims::square(n);
+                let (mut t_min, mut t_max) = (f64::INFINITY, 0.0f64);
+                if dtype == "f32" {
+                    let w = gemm_workload::<f32>(n, GemmMode::NN, count, 11);
+                    let plan =
+                        GemmPlan::<f32>::new(dims, GemmMode::NN, false, false, count, &cfg).unwrap();
+                    let mut c = w.c_c.clone();
+                    for _ in 0..ROUNDS {
+                        let t = iatf_bench::timer::time_secs(&round, || {
+                            plan.execute(1.0, &w.a_c, &w.b_c, 1.0, &mut c).unwrap();
+                        });
+                        t_min = t_min.min(t);
+                        t_max = t_max.max(t);
+                    }
+                } else {
+                    let w = gemm_workload::<f64>(n, GemmMode::NN, count, 11);
+                    let plan =
+                        GemmPlan::<f64>::new(dims, GemmMode::NN, false, false, count, &cfg).unwrap();
+                    let mut c = w.c_c.clone();
+                    for _ in 0..ROUNDS {
+                        let t = iatf_bench::timer::time_secs(&round, || {
+                            plan.execute(1.0, &w.a_c, &w.b_c, 1.0, &mut c).unwrap();
+                        });
+                        t_min = t_min.min(t);
+                        t_max = t_max.max(t);
+                    }
+                }
+                Some((t_min, t_max))
+            }
+            ("trsm", "f64") => {
+                let plan = TrsmPlan::<f64>::new(TrsmDims::square(n), TrsmMode::LNUN, false, count, &cfg)
+                    .unwrap();
+                let w = trsm_workload::<f64>(n, TrsmMode::LNUN, count, 13);
+                let mut b = w.b_c.clone();
+                let (mut t_min, mut t_max) = (f64::INFINITY, 0.0f64);
+                for _ in 0..ROUNDS {
+                    let t = iatf_bench::timer::time_secs(&round, || {
+                        plan.execute(1.0, &w.a_c, &mut b).unwrap();
+                    });
+                    t_min = t_min.min(t);
+                    t_max = t_max.max(t);
+                }
+                Some((t_min, t_max))
+            }
+            _ => {
+                eprintln!("   warning: unknown BENCH_5.json point {op}/{dtype} — skipping");
+                None
+            }
+        };
+        if let Some((t_min, t_max)) = timed {
+            checks.push(SentinelCheck {
+                name: format!("{op} {dtype} n={n} roofline GFLOPS"),
+                baseline,
+                current: flops / t_min / 1e9,
+                noise: 1.0 - t_min / t_max,
+            });
+        }
+    }
+}
+
 /// Noise-aware regression gate: re-measures the workloads behind the
-/// committed `BENCH_3.json` (executor throughput) and `BENCH_4.json`
-/// (autotuned points) and exits 1 if anything regresses beyond
-/// `max(3 × noise, 5%)`. Missing baselines warn and pass.
+/// committed `BENCH_3.json` (executor throughput), `BENCH_4.json`
+/// (autotuned points), and `BENCH_5.json` (roofline throughput) and exits
+/// 1 if anything regresses beyond `max(3 × noise, 5%)`. A missing
+/// baseline is recorded from the current build and announced, never
+/// silently passed.
 fn sentinel(opts: &Opts) {
     let mut checks: Vec<SentinelCheck> = Vec::new();
-    if let Some(b3) = load_baseline("BENCH_3.json") {
+    if let Some(b3) = load_baseline("BENCH_3.json", "callamort") {
         sentinel_throughput(&b3, &mut checks);
     }
-    if let Some(b4) = load_baseline("BENCH_4.json") {
+    if let Some(b4) = load_baseline("BENCH_4.json", "tune") {
         sentinel_tune(&b4, &mut checks);
+    }
+    if let Some(b5) = load_baseline("BENCH_5.json", "trace") {
+        sentinel_trace(&b5, &mut checks);
     }
 
     let regressions = checks.iter().filter(|c| c.regressed()).count();
@@ -1855,6 +2005,229 @@ fn sentinel(opts: &Opts) {
     if regressions > 0 {
         std::process::exit(1);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Always-on dispatch telemetry + online drift detection (the `reproduce
+// watch` target, BENCH_6.json)
+// ---------------------------------------------------------------------------
+
+/// Drives the full observe → detect → retune loop through the one-shot
+/// API: mixed-shape warm traffic establishes per-class envelopes, a
+/// steady phase proves the detector is quiet under real dispatch noise,
+/// a telemetry-side latency-skew injection on one shape class makes it
+/// fire, and the triggered retune (db eviction → generation bump → plan
+/// cache invalidation → re-sweep) restores the class to within noise of
+/// its fresh envelope. `--json` emits the `BENCH_6.json` document; the
+/// Prometheus exposition always lands in `target/watch_prometheus.txt`.
+fn watch_bench(opts: &Opts) {
+    use iatf_core::autotune::gemm_tune_key;
+    use iatf_core::{compact_gemm, watch, PlanCachePolicy, TunePolicy};
+    use iatf_layout::{CompactBatch, GemmDims, StdBatch};
+    use iatf_tune::TuningDb;
+
+    if !watch::is_enabled() {
+        let doc = iatf_obs::Json::object()
+            .set("title", "watch: dispatch telemetry, drift detection, retune remediation")
+            .set("watch_enabled", false);
+        if opts.json {
+            println!("{}", doc.to_pretty());
+        } else {
+            println!("## Watch: dispatch telemetry + drift detection");
+            println!("   built without --features watch — every probe is a compile-time no-op");
+            println!();
+        }
+        return;
+    }
+
+    // Hermetic run: fresh tuning db, plan cache, and watch state.
+    let db = TuningDb::global();
+    db.clear();
+    iatf_core::plan::cache::clear();
+    watch::reset();
+
+    let budget_ms: u64 = if opts.paper { 60 } else { 20 };
+    let cfg = TuningConfig {
+        tune: TunePolicy::FirstTouch(budget_ms),
+        plan_cache: PlanCachePolicy::Shared,
+        ..TuningConfig::default()
+    };
+    let count = opts.batch_base.clamp(64, 256);
+    let sizes = [4usize, 8, 12];
+
+    struct Shape {
+        a: CompactBatch<f32>,
+        b: CompactBatch<f32>,
+        c: CompactBatch<f32>,
+        key: iatf_tune::TuneKey,
+    }
+    let mut shapes: Vec<Shape> = sizes
+        .iter()
+        .map(|&n| Shape {
+            a: CompactBatch::from_std(&StdBatch::<f32>::random(n, n, count, 11)),
+            b: CompactBatch::from_std(&StdBatch::<f32>::random(n, n, count, 22)),
+            c: CompactBatch::<f32>::zeroed(n, n, count),
+            key: gemm_tune_key::<f32>(GemmDims::square(n), GemmMode::NN, false, false, count),
+        })
+        .collect();
+
+    // Phase 1 — tune + steady mixed traffic. The first dispatch per shape
+    // first-touch-tunes (seeding the envelope from the recorded winner);
+    // the rest are warm and must leave the detector quiet.
+    const STEADY: usize = 96;
+    for _ in 0..STEADY {
+        for s in &mut shapes {
+            compact_gemm(GemmMode::NN, 1.0, &s.a, &s.b, 0.0, &mut s.c, &cfg).unwrap();
+        }
+    }
+    let events_without_injection = watch::events_total();
+
+    // Phase 2 — inject a telemetry-side slowdown on one class only and
+    // count dispatches until the detector fires.
+    const SKEW: f64 = 2.5;
+    let victim = 1; // n=8
+    let victim_key = shapes[victim].key;
+    watch::inject_latency_skew(Some((victim_key, SKEW)));
+    let before = watch::events_total();
+    let mut detection_dispatches: Option<usize> = None;
+    for i in 0..400 {
+        let s = &mut shapes[victim];
+        compact_gemm(GemmMode::NN, 1.0, &s.a, &s.b, 0.0, &mut s.c, &cfg).unwrap();
+        if watch::events_total() > before {
+            detection_dispatches = Some(i + 1);
+            break;
+        }
+    }
+    watch::inject_latency_skew(None);
+    let event = watch::drain_events().into_iter().find(|e| e.key == victim_key);
+
+    // Phase 3 — remediation: the flagged class retunes on its next
+    // dispatch (db eviction bumps the generation, invalidating every
+    // cached plan fingerprinted against it).
+    let gen_before = db.generation();
+    let retune_flagged = watch::retune_pending(&victim_key);
+    {
+        let s = &mut shapes[victim];
+        compact_gemm(GemmMode::NN, 1.0, &s.a, &s.b, 0.0, &mut s.c, &cfg).unwrap();
+    }
+    let gen_after = db.generation();
+    let rerecorded = db.lookup(&victim_key).is_some();
+
+    // Phase 4 — recovery: healthy traffic against the fresh envelope.
+    let events_at_recovery_start = watch::events_total();
+    const RECOVERY: usize = 64;
+    for _ in 0..RECOVERY {
+        for s in &mut shapes {
+            compact_gemm(GemmMode::NN, 1.0, &s.a, &s.b, 0.0, &mut s.c, &cfg).unwrap();
+        }
+    }
+    let events_after_recovery = watch::events_total() - events_at_recovery_start;
+
+    let snap = watch::snapshot();
+    let metrics = iatf_obs::snapshot();
+    let class = snap.classes.iter().find(|c| c.key == victim_key);
+    let recovered_within_envelope = class
+        .map(|c| c.ewma_ratio <= 1.0 + c.slack && !c.drifting)
+        .unwrap_or(false);
+
+    std::fs::create_dir_all("target").ok();
+    let prom_path = "target/watch_prometheus.txt";
+    if let Err(e) = std::fs::write(prom_path, watch::render_prometheus(&snap, &metrics)) {
+        eprintln!("error: cannot write {prom_path}: {e}");
+        std::process::exit(1);
+    }
+
+    if opts.json {
+        let ev_json = event
+            .as_ref()
+            .map(|e| e.to_json())
+            .unwrap_or(iatf_obs::Json::Null);
+        let doc = iatf_obs::Json::object()
+            .set("title", "watch: dispatch telemetry, drift detection, retune remediation")
+            .set("watch_enabled", true)
+            .set("count", count)
+            .set(
+                "sizes",
+                sizes.iter().map(|&n| iatf_obs::Json::from(n)).collect::<Vec<_>>(),
+            )
+            .set("steady_dispatches_per_class", STEADY as u64)
+            .set("events_without_injection", events_without_injection)
+            .set(
+                "injection",
+                iatf_obs::Json::object()
+                    .set("class", victim_key.encode().as_str())
+                    .set("factor", SKEW)
+                    .set(
+                        "detection_dispatches",
+                        detection_dispatches
+                            .map(|d| iatf_obs::Json::from(d as u64))
+                            .unwrap_or(iatf_obs::Json::Null),
+                    )
+                    .set("event", ev_json),
+            )
+            .set(
+                "retune",
+                iatf_obs::Json::object()
+                    .set("flagged", retune_flagged)
+                    .set("generation_before", gen_before)
+                    .set("generation_after", gen_after)
+                    .set("winner_rerecorded", rerecorded)
+                    .set("retunes_done", snap.retunes_done),
+            )
+            .set(
+                "recovery",
+                iatf_obs::Json::object()
+                    .set("dispatches_per_class", RECOVERY as u64)
+                    .set("events_after_recovery", events_after_recovery)
+                    .set(
+                        "ewma_ratio",
+                        class.map(|c| iatf_obs::Json::from(c.ewma_ratio)).unwrap_or(iatf_obs::Json::Null),
+                    )
+                    .set("within_envelope", recovered_within_envelope),
+            )
+            .set("prometheus_path", prom_path)
+            .set("snapshot", watch::unified_json(&snap, &metrics));
+        println!("{}", doc.to_pretty());
+        return;
+    }
+
+    println!("## Watch: dispatch telemetry + drift detection (f32 GEMM NN, batch {count})");
+    println!(
+        "{:>28} {:>8} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "class", "count", "p50 ns", "p99 ns", "GFLOPS", "expect GF", "drift"
+    );
+    for c in &snap.classes {
+        println!(
+            "{:>28} {:>8} {:>10} {:>10} {:>10.3} {:>10.3} {:>8}",
+            c.key.encode(),
+            c.count,
+            c.quantile_ns(0.50),
+            c.quantile_ns(0.99),
+            c.gflops(),
+            c.expected_gflops,
+            if c.drifting { "DRIFT" } else { "ok" }
+        );
+    }
+    println!("   steady phase: {events_without_injection} drift events in {STEADY} warm dispatches/class (want 0)");
+    match (detection_dispatches, &event) {
+        (Some(d), Some(e)) => println!(
+            "   injected {SKEW}x on {}: detected after {d} dispatches (ratio {:.2}, confidence {:.2}, cause {})",
+            victim_key.encode(),
+            e.ratio,
+            e.confidence,
+            e.cause.name()
+        ),
+        _ => println!("   injected {SKEW}x on {}: NOT detected within 400 dispatches", victim_key.encode()),
+    }
+    println!(
+        "   retune: flagged {retune_flagged}, db generation {gen_before} -> {gen_after}, winner re-recorded {rerecorded}, {} done",
+        snap.retunes_done
+    );
+    println!(
+        "   recovery: {events_after_recovery} events in {RECOVERY} post-retune dispatches/class, within envelope: {recovered_within_envelope}"
+    );
+    println!("   wrote {prom_path}");
+    println!();
 }
 
 // ---------------------------------------------------------------------------

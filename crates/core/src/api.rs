@@ -111,10 +111,19 @@ pub fn compact_gemm_ex<E: CompactElement>(
     let dims = GemmDims::new(c.rows(), c.cols(), k);
     // First-touch tuning runs *before* the plan-cache key is computed, so
     // the key already reflects the post-sweep db generation and the tuned
-    // plan is what gets cached.
+    // plan is what gets cached. Drift remediation sits in the same spot
+    // for the same reason — and both run *before* the watch span opens,
+    // so sweep time is never recorded as warm-dispatch latency.
     if matches!(cfg.tune, TunePolicy::FirstTouch(_)) {
         autotune::ensure_tuned_gemm::<E>(dims, mode, conj_a, conj_b, c.count(), cfg);
     }
+    autotune::maybe_retune_gemm::<E>(dims, mode, conj_a, conj_b, c.count(), cfg);
+    let _watch = iatf_watch::dispatch_span(|| {
+        (
+            autotune::gemm_tune_key::<E>(dims, mode, conj_a, conj_b, c.count()),
+            E::DTYPE.flops_per_mac() as f64 * dims.macs() as f64 * c.count() as f64,
+        )
+    });
     match cfg.plan_cache {
         PlanCachePolicy::Shared => {
             let plan = cache::cached_gemm_plan::<E>(dims, mode, conj_a, conj_b, c.count(), cfg)?;
@@ -157,6 +166,13 @@ pub fn compact_trsm_ex<E: CompactElement>(
     if matches!(cfg.tune, TunePolicy::FirstTouch(_)) {
         autotune::ensure_tuned_trsm::<E>(dims, mode, conj, b.count(), cfg);
     }
+    autotune::maybe_retune_trsm::<E>(dims, mode, conj, b.count(), cfg);
+    let _watch = iatf_watch::dispatch_span(|| {
+        (
+            autotune::trsm_tune_key::<E>(dims, mode, conj, b.count()),
+            E::DTYPE.flops_per_mac() as f64 * dims.macs(mode) as f64 * b.count() as f64,
+        )
+    });
     match cfg.plan_cache {
         PlanCachePolicy::Shared => {
             let plan = cache::cached_trsm_plan::<E>(dims, mode, conj, b.count(), cfg)?;
@@ -198,6 +214,13 @@ pub fn compact_trmm_ex<E: CompactElement>(
     if matches!(cfg.tune, TunePolicy::FirstTouch(_)) {
         autotune::ensure_tuned_trmm::<E>(dims, mode, conj, b.count(), cfg);
     }
+    autotune::maybe_retune_trmm::<E>(dims, mode, conj, b.count(), cfg);
+    let _watch = iatf_watch::dispatch_span(|| {
+        (
+            autotune::trmm_tune_key::<E>(dims, mode, conj, b.count()),
+            E::DTYPE.flops_per_mac() as f64 * dims.macs(mode) as f64 * b.count() as f64,
+        )
+    });
     match cfg.plan_cache {
         PlanCachePolicy::Shared => {
             let plan = cache::cached_trmm_plan::<E>(dims, mode, conj, b.count(), cfg)?;

@@ -319,6 +319,42 @@ fn record_winner<P>(
     db.record(key, entry);
 }
 
+/// Drift remediation for a GEMM input: if the watch layer flagged this
+/// key, evict its stale tuning-db entry — bumping the db generation,
+/// which invalidates every cached plan keyed on it — re-sweep within the
+/// watch retune budget (`IATF_WATCH_RETUNE_MS`), and hand the fresh
+/// measurement back so the drift chart re-arms. Compiles to nothing
+/// unless the `watch` feature is on; never runs under the `Heuristic`
+/// policy (there is no db entry to refresh).
+pub fn maybe_retune_gemm<E: CompactElement>(
+    dims: GemmDims,
+    mode: GemmMode,
+    conj_a: bool,
+    conj_b: bool,
+    count: usize,
+    cfg: &TuningConfig,
+) {
+    if !iatf_watch::is_enabled() || matches!(cfg.tune, TunePolicy::Heuristic) {
+        return;
+    }
+    if dims.validate().is_err() || count == 0 {
+        return;
+    }
+    let key = gemm_tune_key::<E>(dims, mode, conj_a, conj_b, count);
+    if !iatf_watch::take_retune(&key) {
+        return;
+    }
+    obs::count_tune(obs::TuneEvent::Retune);
+    let db = TuningDb::global();
+    db.remove(&key);
+    let budget = iatf_watch::retune_budget_ms();
+    sweep_gemm::<E>(db, key, dims, mode, conj_a, conj_b, count, budget, cfg);
+    match db.lookup(&key) {
+        Some(entry) => iatf_watch::note_retuned(&key, entry.tuned_gflops, entry.noise),
+        None => iatf_watch::note_retuned(&key, 0.0, 0.0),
+    }
+}
+
 /// Runs the first-touch sweep for a GEMM input if `cfg.tune` asks for one
 /// and the db has no entry yet. Returns whether a tuned entry exists for
 /// the key afterwards. The one-shot API calls this before planning; the
@@ -417,7 +453,38 @@ fn sweep_gemm<E: CompactElement>(
 }
 
 macro_rules! triangular_tuner {
-    ($ensure:ident, $sweepfn:ident, $plan:ident, $keyfn:ident, $ensure_doc:literal) => {
+    ($ensure:ident, $retune:ident, $sweepfn:ident, $plan:ident, $keyfn:ident, $ensure_doc:literal) => {
+        /// Drift remediation twin of [`maybe_retune_gemm`] for this
+        /// triangular op: evict-and-resweep when the watch layer flagged
+        /// the key.
+        pub fn $retune<E: CompactElement>(
+            dims: TrsmDims,
+            mode: TrsmMode,
+            conj: bool,
+            count: usize,
+            cfg: &TuningConfig,
+        ) {
+            if !iatf_watch::is_enabled() || matches!(cfg.tune, TunePolicy::Heuristic) {
+                return;
+            }
+            if dims.validate().is_err() || count == 0 {
+                return;
+            }
+            let key = $keyfn::<E>(dims, mode, conj, count);
+            if !iatf_watch::take_retune(&key) {
+                return;
+            }
+            obs::count_tune(obs::TuneEvent::Retune);
+            let db = TuningDb::global();
+            db.remove(&key);
+            let budget = iatf_watch::retune_budget_ms();
+            $sweepfn::<E>(db, key, dims, mode, conj, count, budget, cfg);
+            match db.lookup(&key) {
+                Some(entry) => iatf_watch::note_retuned(&key, entry.tuned_gflops, entry.noise),
+                None => iatf_watch::note_retuned(&key, 0.0, 0.0),
+            }
+        }
+
         #[doc = $ensure_doc]
         /// and the db has no entry yet. Returns whether a tuned entry
         /// exists for the key afterwards.
@@ -520,6 +587,7 @@ macro_rules! triangular_tuner {
 
 triangular_tuner!(
     ensure_tuned_trsm,
+    maybe_retune_trsm,
     sweep_trsm,
     TrsmPlan,
     trsm_tune_key,
@@ -528,6 +596,7 @@ triangular_tuner!(
 
 triangular_tuner!(
     ensure_tuned_trmm,
+    maybe_retune_trmm,
     sweep_trmm,
     TrmmPlan,
     trmm_tune_key,

@@ -54,12 +54,23 @@ pub use iatf_obs as obs;
 /// `trace` cargo feature — otherwise every guard is a zero-sized no-op.
 pub use iatf_trace as trace;
 
+/// Re-export of the always-on monitoring layer, `iatf-watch`: per
+/// shape-class dispatch telemetry, performance envelopes, drift
+/// detection, and retune remediation. The dispatch probes wired through
+/// the one-shot API record only with the `watch` cargo feature —
+/// otherwise the guard is a zero-sized no-op and the retune poll is a
+/// constant `false`.
+pub use iatf_watch as watch;
+
 pub use analysis::{cmar_complex, cmar_real, optimal_complex_kernel, optimal_real_kernel};
 pub use api::{
     compact_gemm, compact_gemm_ex, compact_trmm, compact_trmm_ex, compact_trsm, compact_trsm_ex,
     std_gemm_via_compact, std_trsm_via_compact,
 };
-pub use autotune::{ensure_tuned_gemm, ensure_tuned_trmm, ensure_tuned_trsm};
+pub use autotune::{
+    ensure_tuned_gemm, ensure_tuned_trmm, ensure_tuned_trsm, gemm_tune_key, maybe_retune_gemm,
+    maybe_retune_trmm, maybe_retune_trsm, trmm_tune_key, trsm_tune_key,
+};
 pub use config::{BatchPolicy, PackPolicy, PlanCachePolicy, TunePolicy, TuningConfig};
 pub use elem::CompactElement;
 pub use machine::{host_profile, MachineProfile, KUNPENG_920, XEON_6240};

@@ -1,0 +1,115 @@
+//! Hardened environment-variable parsing for tuning knobs.
+//!
+//! Every `IATF_*` knob in the workspace goes through these helpers so the
+//! failure policy is uniform: an *unset* variable silently yields the
+//! default, while a set-but-invalid one (garbage, out of range, non-finite)
+//! logs a single-line warning to stderr and falls back to the default.
+//! Nothing panics and nothing silently misconfigures — a typo'd
+//! `IATF_TRACE_CAPACITY=10k` is visible in the process output instead of
+//! quietly shrinking the ring to its default.
+
+fn warn(name: &str, raw: &str, default: &dyn std::fmt::Display, reason: &str) {
+    eprintln!("iatf: ignoring {name}={raw:?} ({reason}); using default {default}");
+}
+
+/// Reads `name` as a `usize` in `[min, usize::MAX]`.
+///
+/// Unset ⇒ `default` (silent). Set but non-numeric or below `min` ⇒
+/// `default` with a logged warning.
+pub fn env_usize(name: &str, default: usize, min: usize) -> usize {
+    let Ok(raw) = std::env::var(name) else {
+        return default;
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(v) if v >= min => v,
+        Ok(_) => {
+            warn(name, &raw, &default, &format!("must be >= {min}"));
+            default
+        }
+        Err(_) => {
+            warn(name, &raw, &default, "not an unsigned integer");
+            default
+        }
+    }
+}
+
+/// Reads `name` as an `f64` in `[min, max]` (finite).
+///
+/// Unset ⇒ `default` (silent). Set but non-numeric, non-finite, or out of
+/// range ⇒ `default` with a logged warning.
+pub fn env_f64(name: &str, default: f64, min: f64, max: f64) -> f64 {
+    let Ok(raw) = std::env::var(name) else {
+        return default;
+    };
+    match raw.trim().parse::<f64>() {
+        Ok(v) if v.is_finite() && v >= min && v <= max => v,
+        Ok(_) => {
+            warn(name, &raw, &default, &format!("must be in [{min}, {max}]"));
+            default
+        }
+        Err(_) => {
+            warn(name, &raw, &default, "not a number");
+            default
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each test owns a unique variable name: tests run concurrently and
+    // the process environment is shared.
+
+    #[test]
+    fn unset_yields_default_silently() {
+        assert_eq!(env_usize("IATF_TEST_ENV_UNSET_USIZE", 42, 1), 42);
+        assert_eq!(env_f64("IATF_TEST_ENV_UNSET_F64", 0.5, 0.0, 1.0), 0.5);
+    }
+
+    #[test]
+    fn valid_values_are_accepted() {
+        std::env::set_var("IATF_TEST_ENV_OK_USIZE", "128");
+        assert_eq!(env_usize("IATF_TEST_ENV_OK_USIZE", 42, 2), 128);
+        std::env::set_var("IATF_TEST_ENV_OK_F64", "0.25");
+        assert_eq!(env_f64("IATF_TEST_ENV_OK_F64", 0.5, 0.0, 1.0), 0.25);
+        std::env::set_var("IATF_TEST_ENV_OK_WS", " 7 ");
+        assert_eq!(env_usize("IATF_TEST_ENV_OK_WS", 42, 1), 7);
+    }
+
+    #[test]
+    fn zero_below_minimum_falls_back() {
+        std::env::set_var("IATF_TEST_ENV_ZERO", "0");
+        assert_eq!(env_usize("IATF_TEST_ENV_ZERO", 42, 2), 42);
+        std::env::set_var("IATF_TEST_ENV_ONE", "1");
+        assert_eq!(env_usize("IATF_TEST_ENV_ONE", 42, 2), 42);
+    }
+
+    #[test]
+    fn garbage_falls_back() {
+        for (var, bad) in [
+            ("IATF_TEST_ENV_GARBAGE_A", "banana"),
+            ("IATF_TEST_ENV_GARBAGE_B", "10k"),
+            ("IATF_TEST_ENV_GARBAGE_C", "-5"),
+            ("IATF_TEST_ENV_GARBAGE_D", ""),
+            ("IATF_TEST_ENV_GARBAGE_E", "1e3"), // usize parse has no exponents
+        ] {
+            std::env::set_var(var, bad);
+            assert_eq!(env_usize(var, 42, 2), 42, "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn f64_rejects_non_finite_and_out_of_range() {
+        for (var, bad) in [
+            ("IATF_TEST_ENV_F64_NAN", "NaN"),
+            ("IATF_TEST_ENV_F64_INF", "inf"),
+            ("IATF_TEST_ENV_F64_NEG", "-0.5"),
+            ("IATF_TEST_ENV_F64_BIG", "2.5"),
+            ("IATF_TEST_ENV_F64_TXT", "half"),
+        ] {
+            std::env::set_var(var, bad);
+            assert_eq!(env_f64(var, 0.5, 0.0, 1.0), 0.5, "accepted {bad:?}");
+        }
+    }
+}

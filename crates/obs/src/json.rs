@@ -1,9 +1,15 @@
-//! Hand-rolled JSON document model and serializer.
+//! Hand-rolled JSON document model, serializer, and parser.
 //!
 //! No external serialization crates are available in this build
 //! environment, so telemetry export is built on this small value tree.
 //! Numbers keep their integer/float distinction (`u64` counters must not
 //! round-trip through `f64`, which loses precision past 2^53).
+//!
+//! This is the workspace's *single* JSON implementation: `iatf-tune`
+//! parses its db files with [`parse`], `iatf-trace` escapes Chrome-trace
+//! strings with [`escape_into`], and `iatf-watch` renders snapshots with
+//! the [`Json`] builder — one set of escaping and number-formatting rules
+//! that cannot drift between crates.
 
 use std::fmt::Write as _;
 
@@ -50,6 +56,61 @@ impl Json {
             other => panic!("Json::set on non-object {other:?}"),
         }
         self
+    }
+
+    /// Member lookup on objects (first match); `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64`, if this is any number variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(v) => Some(*v as f64),
+            Json::Int(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integral numeric value. Floats must be exact integers
+    /// no larger than 2^53 (the f64-exact range) to qualify.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => Some(*v),
+            Json::Int(v) => u64::try_from(*v).ok(),
+            Json::Float(v) if *v >= 0.0 && *v <= (1u64 << 53) as f64 && v.fract() == 0.0 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// String slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Element slice, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
     }
 
     /// Serializes compactly (no whitespace).
@@ -142,6 +203,15 @@ fn write_seq(
 
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
+    escape_into(out, s);
+    out.push('"');
+}
+
+/// Appends `s` to `out` with JSON string escaping (no surrounding
+/// quotes). The one escaping routine every emitter in the workspace
+/// shares — the Chrome-trace exporter writes its envelope by hand but
+/// routes string payloads through here.
+pub fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -155,7 +225,254 @@ fn write_escaped(out: &mut String, s: &str) {
             c => out.push(c),
         }
     }
-    out.push('"');
+}
+
+/// Why a document failed to parse (detail is diagnostic only; callers
+/// treat every variant as "corrupt").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// Short description.
+    pub msg: &'static str,
+}
+
+/// Parses one complete JSON document; trailing non-whitespace is an error.
+///
+/// Numbers come back as [`Json::UInt`]/[`Json::Int`] when they are exact
+/// integers within the f64-exact range (so counters survive a round trip
+/// through [`Json::as_u64`]) and [`Json::Float`] otherwise.
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data"));
+    }
+    Ok(v)
+}
+
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &'static str) -> ParseError {
+        ParseError { at: self.pos, msg }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err("unexpected byte"))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("bad literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected value")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value(depth + 1)?;
+            entries.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(entries));
+                }
+                _ => return Err(self.err("expected , or }")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected , or ]")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Combine surrogate pairs; lone surrogates map
+                            // to U+FFFD rather than failing the document.
+                            let ch = if (0xd800..0xdc00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if (0xdc00..0xe000).contains(&lo) {
+                                        let c = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                                        char::from_u32(c).unwrap_or('\u{fffd}')
+                                    } else {
+                                        '\u{fffd}'
+                                    }
+                                } else {
+                                    '\u{fffd}'
+                                }
+                            } else {
+                                char::from_u32(cp).unwrap_or('\u{fffd}')
+                            };
+                            out.push(ch);
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                // Raw control characters are invalid JSON; everything else
+                // passes through (input is already valid UTF-8).
+                0x00..=0x1f => return Err(self.err("control char in string")),
+                _ => {
+                    // Re-borrow the full UTF-8 character starting here.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let end = start + width;
+                    if end > self.bytes.len() {
+                        return Err(self.err("truncated utf-8"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("bad utf-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("bad \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.err("bad number"))?;
+        let v: f64 = s.parse().map_err(|_| self.err("bad number"))?;
+        if !v.is_finite() {
+            return Err(self.err("non-finite number"));
+        }
+        // Preserve the integer/float distinction on the way in, matching
+        // the writer's variants: exact integers in the f64-exact range
+        // stay integers.
+        const EXACT: f64 = (1u64 << 53) as f64;
+        if v.fract() == 0.0 && (0.0..=EXACT).contains(&v) {
+            Ok(Json::UInt(v as u64))
+        } else if v.fract() == 0.0 && (-EXACT..0.0).contains(&v) {
+            Ok(Json::Int(v as i64))
+        } else {
+            Ok(Json::Float(v))
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
 }
 
 impl From<bool> for Json {
@@ -250,5 +567,90 @@ mod tests {
     fn empty_containers() {
         assert_eq!(Json::object().to_pretty(), "{}");
         assert_eq!(Json::Array(vec![]).to_compact(), "[]");
+    }
+
+    #[test]
+    fn parses_a_representative_db_document() {
+        let doc = parse(
+            r#"{
+              "schema": 1,
+              "generation": 42,
+              "entries": [
+                {"key": "0:0:8:8:8:0:0:2048", "pack": 0, "group_packs": 16,
+                 "l1_fraction": 0.5, "parallel": false,
+                 "tuned_gflops": 3.25, "heuristic_gflops": 3.0, "noise": 0.02}
+              ]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("generation").and_then(Json::as_u64), Some(42));
+        let entries = doc.get("entries").and_then(Json::as_array).unwrap();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.get("key").and_then(Json::as_str), Some("0:0:8:8:8:0:0:2048"));
+        assert_eq!(e.get("parallel").and_then(Json::as_bool), Some(false));
+        assert_eq!(e.get("l1_fraction").and_then(Json::as_f64), Some(0.5));
+    }
+
+    #[test]
+    fn parses_escapes_and_nesting() {
+        let doc = parse(r#"{"s": "a\"b\\c\nA😀", "a": [1, -2.5, 1e3, true, null]}"#).unwrap();
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("a\"b\\c\nA😀"));
+        let a = doc.get("a").and_then(Json::as_array).unwrap();
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert_eq!(a[1].as_f64(), Some(-2.5));
+        assert_eq!(a[2].as_f64(), Some(1000.0));
+        assert_eq!(a[3].as_bool(), Some(true));
+        assert_eq!(a[4], Json::Null);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\": }",
+            "{\"a\": 1} extra",
+            "nul",
+            "\"unterminated",
+            "{\"a\": 1e999}", // overflows to inf
+            "1.2.3",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn as_u64_is_strict_about_integrality() {
+        assert_eq!(parse("3.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("12").unwrap().as_u64(), Some(12));
+        assert_eq!(parse("true").unwrap().as_u64(), None);
+        // Builder-side values keep full u64 range regardless of f64 limits.
+        assert_eq!(Json::UInt(u64::MAX).as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn writer_output_reparses_to_equal_values() {
+        let doc = Json::object()
+            .set("s", "tab\there \"quoted\" \\slash")
+            .set("n", 12u64)
+            .set("f", -2.5f64)
+            .set("b", true)
+            .set("nested", Json::Array(vec![Json::Null, Json::UInt(7)]));
+        for text in [doc.to_compact(), doc.to_pretty()] {
+            let back = parse(&text).unwrap();
+            assert_eq!(back, doc, "round trip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn escape_into_matches_string_serialization() {
+        let s = "a\"b\\c\nd\u{1}";
+        let mut bare = String::new();
+        escape_into(&mut bare, s);
+        assert_eq!(format!("\"{bare}\""), Json::Str(s.to_string()).to_compact());
     }
 }

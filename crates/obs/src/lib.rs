@@ -16,18 +16,20 @@
 //! cargo feature is on (`--features obs` at the workspace level): probe
 //! functions are empty `#[inline(always)]` bodies and the timing guard is
 //! a zero-sized type without a `Drop` impl. The explainers and the
-//! [`json`] serializer are *not* gated — explaining a plan is a cold-path
-//! operation and always available.
+//! [`json`] serializer/parser are *not* gated — explaining a plan is a
+//! cold-path operation and always available. The [`env`] helpers give
+//! every `IATF_*` knob the same reject-garbage-loudly fallback policy.
 
 #![forbid(unsafe_code)]
 
+pub mod env;
 pub mod explain;
 pub mod json;
 pub mod metrics;
 pub mod timer;
 
 pub use explain::{KernelStats, PlanExplain, TileClass, VerifySummary};
-pub use json::Json;
+pub use json::{parse as parse_json, Json, ParseError};
 pub use metrics::{
     count_arena_bytes_grown, count_arena_lease, count_dispatch, count_execute, count_fallback,
     count_packed_bytes_a, count_packed_bytes_b, count_plan_build, count_plan_cache,
@@ -73,6 +75,7 @@ mod tests {
         count_tune(TuneEvent::Miss);
         count_tune(TuneEvent::DbCorrupt);
         count_tune(TuneEvent::Persist);
+        count_tune(TuneEvent::Retune);
         count_pmu(PmuEvent::Opened);
         count_pmu(PmuEvent::Permission);
         {
@@ -106,7 +109,7 @@ mod tests {
             // superblock sizes 6 and 1 land in log2 buckets 3 and 1
             assert_eq!(s.superblock_packs[3], 1);
             assert_eq!(s.superblock_packs[1], 1);
-            assert_eq!(s.tune, [1, 2, 1, 1, 1]);
+            assert_eq!(s.tune, [1, 2, 1, 1, 1, 1]);
             assert_eq!(tune_count(TuneEvent::Apply), 2);
             assert_eq!(s.pmu, [1, 0, 1, 0, 0]);
             assert_eq!(pmu_count(PmuEvent::Permission), 1);
@@ -139,7 +142,7 @@ mod tests {
             assert_eq!(s.plan_builds, [0, 0, 0]);
             assert_eq!(s.plan_commands, 0);
             assert_eq!(dispatch_count(Op::Gemm, 4, 4), 0);
-            assert_eq!(s.tune, [0, 0, 0, 0, 0]);
+            assert_eq!(s.tune, [0, 0, 0, 0, 0, 0]);
             assert_eq!(tune_count(TuneEvent::Sweep), 0);
             assert!(s.dispatch.is_empty());
             assert!(s.phases.is_empty());

@@ -97,7 +97,7 @@ struct Registry {
     arena_bytes_grown: AtomicU64,
     superblock_tasks: [AtomicU64; 3],
     superblock_packs: Histogram,
-    tune: [AtomicU64; 5], // sweeps, applies, misses, db_corrupt, persists
+    tune: [AtomicU64; 6], // sweeps, applies, misses, db_corrupt, persists, retunes
     pmu: [AtomicU64; 5],  // opened, unsupported, permission, no_pmu, open_failed
     phase_hist: Vec<Histogram>,
 }
@@ -328,6 +328,8 @@ pub enum TuneEvent {
     DbCorrupt = 3,
     /// The db was persisted to disk (atomic temp-file + rename).
     Persist = 4,
+    /// A drift-flagged entry was evicted and re-swept (watch remediation).
+    Retune = 5,
 }
 
 /// One autotuner event occurred.
@@ -524,8 +526,8 @@ pub struct MetricsSnapshot {
     /// log2 histogram of packs per super-block task.
     pub superblock_packs: Vec<u64>,
     /// Autotuner events, in `TuneEvent` order: sweeps, applies, misses,
-    /// db-corruptions, persists.
-    pub tune: [u64; 5],
+    /// db-corruptions, persists, retunes.
+    pub tune: [u64; 6],
     /// PMU source opens, in `PmuEvent` order: opened, unsupported,
     /// permission, no-pmu, open-failed.
     pub pmu: [u64; 5],
@@ -756,7 +758,8 @@ impl MetricsSnapshot {
                     .set("applies", self.tune[1])
                     .set("misses", self.tune[2])
                     .set("db_corrupt", self.tune[3])
-                    .set("persists", self.tune[4]),
+                    .set("persists", self.tune[4])
+                    .set("retunes", self.tune[5]),
             )
             .set(
                 "pmu",

@@ -7,6 +7,7 @@
 //! sub-microsecond precision kept as fractions.
 
 use crate::ring::SpanEvent;
+use iatf_obs::json::escape_into;
 
 /// Process id used for every event (the trace covers one process).
 const PID: u64 = 1;
@@ -41,24 +42,6 @@ fn render_event(out: &mut String, e: &SpanEvent) {
         e.tid,
         e.arg,
     );
-}
-
-/// Appends `s` to `out` with JSON string escaping.
-fn escape_into(out: &mut String, s: &str) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                use std::fmt::Write;
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
 }
 
 #[cfg(test)]

@@ -56,13 +56,7 @@ fn registry() -> &'static Mutex<Vec<Arc<SpanRing>>> {
 #[cfg(feature = "enabled")]
 fn ring_capacity() -> usize {
     static CAP: OnceLock<usize> = OnceLock::new();
-    *CAP.get_or_init(|| {
-        std::env::var("IATF_TRACE_CAPACITY")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&c| c >= 2)
-            .unwrap_or(DEFAULT_CAPACITY)
-    })
+    *CAP.get_or_init(|| iatf_obs::env::env_usize("IATF_TRACE_CAPACITY", DEFAULT_CAPACITY, 2))
 }
 
 #[cfg(feature = "enabled")]

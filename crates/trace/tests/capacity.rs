@@ -1,0 +1,23 @@
+//! `IATF_TRACE_CAPACITY` hardening: a garbage value must fall back to the
+//! default ring capacity with a logged warning — never panic, never
+//! produce a broken recorder. Lives in its own integration-test binary so
+//! the env var is set before the process's one-shot capacity read.
+
+use iatf_trace::{drain, is_enabled, span, SpanKind};
+
+#[test]
+fn garbage_capacity_falls_back_and_recorder_still_works() {
+    // Set before the first span on any thread: ring_capacity() is read
+    // once per process.
+    std::env::set_var("IATF_TRACE_CAPACITY", "not-a-number");
+    {
+        let _a = span(SpanKind::PlanBuild);
+        let _b = span(SpanKind::Execute);
+    }
+    let events = drain();
+    if is_enabled() {
+        assert_eq!(events.len(), 2, "recorder broken under invalid capacity");
+    } else {
+        assert!(events.is_empty());
+    }
+}

@@ -26,9 +26,8 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Mutex, OnceLock};
 
-use iatf_obs::{count_tune, Json, TuneEvent};
+use iatf_obs::{count_tune, parse_json, Json, TuneEvent};
 
-use crate::jsonval::{self, JsonValue};
 use crate::key::TuneKey;
 
 /// On-disk format version; bump on any incompatible layout change. Files
@@ -148,6 +147,28 @@ impl TuningDb {
         }
     }
 
+    /// Evicts the entry for `key` (drift remediation: the next
+    /// first-touch dispatch re-sweeps and re-records). Bumps the
+    /// generation and persists when an entry was actually removed, so
+    /// plans cached against the stale winner are invalidated exactly like
+    /// they are when a new winner is recorded. Returns whether an entry
+    /// existed.
+    pub fn remove(&self, key: &TuneKey) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.entries.remove(key).is_none() {
+            return false;
+        }
+        self.generation.fetch_add(1, Relaxed);
+        if let Some(path) = inner.path.clone() {
+            let doc = render(&inner.entries, self.generation.load(Relaxed));
+            drop(inner);
+            if write_atomic(&path, &doc).is_ok() {
+                count_tune(TuneEvent::Persist);
+            }
+        }
+        true
+    }
+
     /// Current generation. Monotonically increases on every mutation;
     /// planners mix it into plan-cache fingerprints.
     pub fn generation(&self) -> u64 {
@@ -189,18 +210,18 @@ impl TuningDb {
             }
             Err(_) => return self.reject(),
         };
-        let Ok(doc) = jsonval::parse(&text) else {
+        let Ok(doc) = parse_json(&text) else {
             return self.reject();
         };
-        if doc.get("schema").and_then(JsonValue::as_u64) != Some(SCHEMA_VERSION) {
+        if doc.get("schema").and_then(Json::as_u64) != Some(SCHEMA_VERSION) {
             return self.reject();
         }
-        let Some(raw) = doc.get("entries").and_then(JsonValue::as_array) else {
+        let Some(raw) = doc.get("entries").and_then(Json::as_array) else {
             return self.reject();
         };
         let generation = doc
             .get("generation")
-            .and_then(JsonValue::as_u64)
+            .and_then(Json::as_u64)
             .unwrap_or(1)
             .max(1);
         let mut entries = HashMap::with_capacity(raw.len());
@@ -239,7 +260,7 @@ fn default_path() -> Option<PathBuf> {
     }
 }
 
-fn decode_entry(item: &JsonValue) -> Option<(TuneKey, TunedEntry)> {
+fn decode_entry(item: &Json) -> Option<(TuneKey, TunedEntry)> {
     let key = TuneKey::decode(item.get("key")?.as_str()?)?;
     let entry = TunedEntry {
         pack: u8::try_from(item.get("pack")?.as_u64()?).ok()?,
@@ -277,7 +298,7 @@ fn render(entries: &HashMap<TuneKey, TunedEntry>, generation: u64) -> String {
         .to_pretty()
 }
 
-fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+pub(crate) fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)?;
@@ -356,6 +377,29 @@ mod tests {
         db.clear();
         assert!(db.is_empty());
         assert!(db.generation() > g1);
+    }
+
+    #[test]
+    fn remove_evicts_bumps_generation_and_persists() {
+        let path = temp_path("remove");
+        let db = TuningDb::in_memory();
+        db.set_path(Some(path.clone()));
+        db.record(sample_key(4), sample_entry());
+        db.record(sample_key(5), sample_entry());
+        let g1 = db.generation();
+        assert!(db.remove(&sample_key(4)));
+        assert!(db.generation() > g1, "remove must invalidate cached plans");
+        assert!(db.lookup(&sample_key(4)).is_none());
+        // Removing a missing key is a no-op: no generation churn.
+        let g2 = db.generation();
+        assert!(!db.remove(&sample_key(4)));
+        assert_eq!(db.generation(), g2);
+        // The eviction reached disk.
+        let fresh = TuningDb::in_memory();
+        assert_eq!(fresh.load_from(&path), LoadOutcome::Loaded(1));
+        assert!(fresh.lookup(&sample_key(4)).is_none());
+        assert!(fresh.lookup(&sample_key(5)).is_some());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!   plans. Persistence is versioned, atomic (temp file + rename), and
 //!   corruption-tolerant: a truncated or garbage file degrades to an
 //!   empty db — heuristics keep working, nothing panics.
+//! * [`envelope`] — [`EnvelopeDb`]: persisted performance envelopes
+//!   (expected warm-dispatch latency and throughput per fingerprint) that
+//!   the watch layer compares live traffic against; same persistence
+//!   rules as the tuning db, stored alongside it.
 //!
 //! The BLAS-specific candidate construction (which plans to build, what
 //! synthetic operands to run them on) lives in `iatf-core`'s `autotune`
@@ -32,10 +36,13 @@
 #![warn(missing_docs)]
 
 pub mod db;
-pub mod jsonval;
+pub mod envelope;
 pub mod key;
 pub mod measure;
 
 pub use db::{LoadOutcome, TunedEntry, TuningDb, SCHEMA_VERSION};
+pub use envelope::{
+    EnvelopeDb, EnvelopeLoad, EnvelopeSource, PerfEnvelope, ENVELOPE_SCHEMA_VERSION,
+};
 pub use key::{TuneKey, TuneOp};
 pub use measure::{sweep, SweepReport};

@@ -1,0 +1,339 @@
+//! EWMA/CUSUM control chart — the drift detector's math, dependency-free.
+//!
+//! One [`ControlChart`] watches one shape class against one expectation
+//! (the performance envelope's `expected_ns`). Each warm dispatch feeds
+//! its latency in; the chart maintains
+//!
+//! * an EWMA of the latency ratio `observed / expected` — smoothed state
+//!   used for reporting, confidence, and recovery checks, and
+//! * a one-sided clipped CUSUM of the ratio's excess over the tolerated
+//!   band — the trip statistic.
+//!
+//! Per sample the CUSUM adds `min(ratio, clip) − (1 + slack)` and floors
+//! at zero; it trips when the sum reaches `threshold` after a warm-up of
+//! `min_samples`. The slack is noise-aware: `max(3·noise, slack_floor)`,
+//! so a class whose envelope was measured under 4% noise tolerates at
+//! least 12% excursions before the sum even starts accumulating.
+//!
+//! Two properties follow directly and are locked in by the tests below:
+//!
+//! 1. **No false positives under bounded noise.** If every sample stays
+//!    within `expected · (1 ± η)` and `slack ≥ η`, each increment is
+//!    `≤ η − slack ≤ 0`, the CUSUM never leaves zero, and the chart never
+//!    trips — deterministically, not just in expectation.
+//! 2. **Guaranteed detection of a sustained slowdown.** A sustained 2×
+//!    regression with noise `η` contributes at least `1 − 2η − slack`
+//!    per sample, so the chart trips within
+//!    `⌈threshold / (1 − 2η − slack)⌉` samples of the onset (once past
+//!    warm-up) — e.g. ≤ 27 samples at the default threshold 8, slack 0.5,
+//!    η = 0.1.
+//!
+//! The clip bounds the influence of any single outlier: one
+//! pathologically slow dispatch (page fault, scheduler hiccup) can move
+//! the sum by at most `clip − 1 − slack`, so no single sample trips a
+//! default chart on its own.
+
+use iatf_obs::env::{env_f64, env_usize};
+
+/// Tunable detector parameters, shared by every shape class.
+///
+/// Loaded once per process from `IATF_WATCH_*` environment knobs (see
+/// [`WatchConfig::from_env`]); invalid values fall back to these defaults
+/// with a logged warning, per the workspace env policy.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct WatchConfig {
+    /// EWMA smoothing factor for the reported latency ratio.
+    pub alpha: f64,
+    /// Floor on the tolerated relative excess (the per-class slack is
+    /// `max(3 · envelope.noise, slack_floor)`).
+    pub slack_floor: f64,
+    /// Per-sample ratio clip bounding a single outlier's CUSUM influence.
+    pub clip: f64,
+    /// CUSUM level at which the chart trips.
+    pub threshold: f64,
+    /// Samples before a chart may trip; doubles as the self-calibration
+    /// window for classes with no seeded envelope.
+    pub min_samples: u64,
+    /// Sweep budget for a drift-triggered retune, milliseconds.
+    pub retune_budget_ms: u64,
+    /// Maximum retained [`DriftEvent`](crate::DriftEvent)s.
+    pub events_cap: usize,
+}
+
+impl Default for WatchConfig {
+    fn default() -> Self {
+        WatchConfig {
+            alpha: 0.08,
+            slack_floor: 0.5,
+            clip: 4.0,
+            threshold: 8.0,
+            min_samples: 16,
+            retune_budget_ms: 50,
+            events_cap: 256,
+        }
+    }
+}
+
+impl WatchConfig {
+    /// Reads the `IATF_WATCH_*` knobs, falling back (loudly) to defaults
+    /// on garbage per [`iatf_obs::env`].
+    pub fn from_env() -> Self {
+        let d = WatchConfig::default();
+        WatchConfig {
+            alpha: env_f64("IATF_WATCH_ALPHA", d.alpha, 1e-3, 1.0),
+            slack_floor: env_f64("IATF_WATCH_SLACK", d.slack_floor, 0.05, 10.0),
+            clip: env_f64("IATF_WATCH_CLIP", d.clip, 1.5, 100.0),
+            threshold: env_f64("IATF_WATCH_THRESHOLD", d.threshold, 0.5, 1e6),
+            min_samples: env_usize("IATF_WATCH_MIN_SAMPLES", d.min_samples as usize, 2) as u64,
+            retune_budget_ms: env_usize("IATF_WATCH_RETUNE_MS", d.retune_budget_ms as usize, 1)
+                as u64,
+            events_cap: env_usize("IATF_WATCH_EVENTS_CAP", d.events_cap, 1),
+        }
+    }
+
+    /// The noise-aware slack for an envelope measured under `noise`
+    /// relative jitter.
+    pub fn slack_for(&self, noise: f64) -> f64 {
+        (3.0 * noise.max(0.0)).max(self.slack_floor)
+    }
+}
+
+/// Sequential drift detector for one shape class (see module docs).
+#[derive(Clone, Debug)]
+pub struct ControlChart {
+    expected_ns: f64,
+    slack: f64,
+    alpha: f64,
+    clip: f64,
+    threshold: f64,
+    min_samples: u64,
+    samples: u64,
+    ewma_ratio: f64,
+    cusum: f64,
+}
+
+impl ControlChart {
+    /// Chart against `expected_ns` with noise-aware slack from `cfg`.
+    pub fn new(expected_ns: f64, noise: f64, cfg: &WatchConfig) -> Self {
+        ControlChart {
+            expected_ns: expected_ns.max(1.0),
+            slack: cfg.slack_for(noise),
+            alpha: cfg.alpha,
+            clip: cfg.clip,
+            threshold: cfg.threshold,
+            min_samples: cfg.min_samples,
+            samples: 0,
+            ewma_ratio: 1.0,
+            cusum: 0.0,
+        }
+    }
+
+    /// Feeds one dispatch latency; returns `true` when the chart is in
+    /// the tripped region (caller latches the first trip into an event).
+    pub fn observe(&mut self, ns: f64) -> bool {
+        let ratio = ns / self.expected_ns;
+        self.ewma_ratio = if self.samples == 0 {
+            ratio
+        } else {
+            self.alpha * ratio + (1.0 - self.alpha) * self.ewma_ratio
+        };
+        self.samples += 1;
+        let d = ratio.min(self.clip) - (1.0 + self.slack);
+        self.cusum = (self.cusum + d).max(0.0);
+        self.samples >= self.min_samples && self.cusum >= self.threshold
+    }
+
+    /// Re-arms the chart against a fresh expectation (post-retune),
+    /// zeroing all sequential state.
+    pub fn rearm(&mut self, expected_ns: f64, noise: f64, cfg: &WatchConfig) {
+        *self = ControlChart::new(expected_ns, noise, cfg);
+    }
+
+    /// The expectation this chart compares against, nanoseconds.
+    pub fn expected_ns(&self) -> f64 {
+        self.expected_ns
+    }
+
+    /// Tolerated relative excess before the CUSUM accumulates.
+    pub fn slack(&self) -> f64 {
+        self.slack
+    }
+
+    /// Samples observed since (re)arming.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Smoothed latency ratio (observed / expected).
+    pub fn ewma_ratio(&self) -> f64 {
+        self.ewma_ratio
+    }
+
+    /// Smoothed observed latency, nanoseconds.
+    pub fn ewma_ns(&self) -> f64 {
+        self.ewma_ratio * self.expected_ns
+    }
+
+    /// Current CUSUM level.
+    pub fn cusum(&self) -> f64 {
+        self.cusum
+    }
+
+    /// Whether the smoothed ratio currently exceeds the tolerated band
+    /// (used for whole-process throttle classification).
+    pub fn elevated(&self) -> bool {
+        self.ewma_ratio > 1.0 + self.slack
+    }
+
+    /// How far past the tolerated band the smoothed ratio sits, as a
+    /// clamped confidence in `[0.05, 0.99]`: ~0.05 right at the band edge
+    /// (barely past the threshold), saturating toward 0.99 as the
+    /// smoothed excess approaches another full tolerated band.
+    pub fn confidence(&self) -> f64 {
+        let band = 1.0 + self.slack;
+        ((self.ewma_ratio - band) / band).clamp(0.05, 0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift so property-style tests are reproducible.
+    struct Rng(u64);
+    impl Rng {
+        fn next_unit(&mut self) -> f64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            (self.0 >> 11) as f64 / (1u64 << 53) as f64
+        }
+        /// Uniform in [-1, 1].
+        fn next_signed(&mut self) -> f64 {
+            2.0 * self.next_unit() - 1.0
+        }
+    }
+
+    const EXPECTED: f64 = 10_000.0;
+
+    #[test]
+    fn no_false_positive_under_bounded_noise() {
+        // Property 1 from the module docs: noise bounded by ±η with
+        // slack ≥ η can never trip — for any seed, any length.
+        let cfg = WatchConfig::default();
+        let eta = 0.15; // slack_for(0.04) = max(0.12, 0.5) = 0.5 ≥ 3η is not
+                        // needed; η < slack suffices (see docs)
+        for seed in [1u64, 7, 42, 0xDEADBEEF, 2026] {
+            let mut chart = ControlChart::new(EXPECTED, 0.04, &cfg);
+            let mut rng = Rng(seed);
+            for i in 0..10_000 {
+                let ns = EXPECTED * (1.0 + eta * rng.next_signed());
+                assert!(!chart.observe(ns), "false positive at sample {i} (seed {seed})");
+            }
+            assert_eq!(chart.cusum(), 0.0, "CUSUM accumulated under pure noise");
+        }
+    }
+
+    #[test]
+    fn sustained_2x_slowdown_always_trips_within_bound() {
+        // Property 2: sustained 2x with noise η trips within
+        // ceil(threshold / (1 - 2η - slack)) samples of onset.
+        let cfg = WatchConfig::default();
+        let eta = 0.1;
+        let noise = 0.04;
+        let slack = cfg.slack_for(noise);
+        let per_sample = 2.0 * (1.0 - eta) - 1.0 - slack; // worst-case increment
+        assert!(per_sample > 0.0);
+        let bound = (cfg.threshold / per_sample).ceil() as u64;
+        for seed in [3u64, 11, 99, 0xFEED, 31337] {
+            let mut chart = ControlChart::new(EXPECTED, noise, &cfg);
+            let mut rng = Rng(seed);
+            // Healthy warm-up well past min_samples.
+            for _ in 0..64 {
+                assert!(!chart.observe(EXPECTED * (1.0 + eta * rng.next_signed())));
+            }
+            // Onset of a sustained 2x slowdown.
+            let mut tripped_at = None;
+            for i in 1..=bound {
+                let ns = 2.0 * EXPECTED * (1.0 + eta * rng.next_signed());
+                if chart.observe(ns) {
+                    tripped_at = Some(i);
+                    break;
+                }
+            }
+            let at = tripped_at.unwrap_or_else(|| {
+                panic!("no trip within {bound} samples of 2x onset (seed {seed})")
+            });
+            assert!(at <= bound);
+            assert!(chart.ewma_ratio() > 1.0, "EWMA did not move toward 2x");
+        }
+    }
+
+    #[test]
+    fn single_outlier_cannot_trip_a_default_chart() {
+        let cfg = WatchConfig::default();
+        let mut chart = ControlChart::new(EXPECTED, 0.0, &cfg);
+        for _ in 0..100 {
+            assert!(!chart.observe(EXPECTED));
+        }
+        // One catastrophic outlier: influence is clipped to clip-1-slack.
+        assert!(!chart.observe(1e12));
+        assert!(chart.cusum() <= cfg.clip - 1.0 - cfg.slack_floor + 1e-9);
+        // And it decays back on the next healthy samples.
+        for _ in 0..10 {
+            chart.observe(EXPECTED);
+        }
+        assert_eq!(chart.cusum(), 0.0);
+    }
+
+    #[test]
+    fn warmup_suppresses_early_trips() {
+        let cfg = WatchConfig::default();
+        let mut chart = ControlChart::new(EXPECTED, 0.0, &cfg);
+        // Massive regression from sample one: may not trip before
+        // min_samples, must trip at min_samples.
+        for i in 1..cfg.min_samples {
+            assert!(
+                !chart.observe(4.0 * EXPECTED) || i >= cfg.min_samples,
+                "tripped during warmup at sample {i}"
+            );
+        }
+        assert!(chart.observe(4.0 * EXPECTED));
+    }
+
+    #[test]
+    fn rearm_and_confidence_behave() {
+        let cfg = WatchConfig::default();
+        let mut chart = ControlChart::new(EXPECTED, 0.0, &cfg);
+        for _ in 0..200 {
+            chart.observe(3.0 * EXPECTED);
+        }
+        assert!(chart.elevated());
+        assert!(chart.confidence() > 0.5);
+        chart.rearm(3.0 * EXPECTED, 0.05, &cfg);
+        assert_eq!(chart.samples(), 0);
+        assert_eq!(chart.cusum(), 0.0);
+        for _ in 0..100 {
+            assert!(!chart.observe(3.0 * EXPECTED), "tripped at the new expectation");
+        }
+        assert!((chart.ewma_ratio() - 1.0).abs() < 1e-6);
+        assert!(chart.confidence() <= 0.05 + 1e-9);
+    }
+
+    #[test]
+    fn config_from_env_rejects_garbage_knobs() {
+        // Unique vars per workspace env policy; loader is exercised
+        // directly (the process-wide cached config is read elsewhere).
+        std::env::set_var("IATF_WATCH_THRESHOLD", "lots");
+        std::env::set_var("IATF_WATCH_MIN_SAMPLES", "0");
+        std::env::set_var("IATF_WATCH_ALPHA", "0.25");
+        let cfg = WatchConfig::from_env();
+        let d = WatchConfig::default();
+        assert_eq!(cfg.threshold, d.threshold, "garbage threshold accepted");
+        assert_eq!(cfg.min_samples, d.min_samples, "zero min_samples accepted");
+        assert_eq!(cfg.alpha, 0.25, "valid alpha rejected");
+        std::env::remove_var("IATF_WATCH_THRESHOLD");
+        std::env::remove_var("IATF_WATCH_MIN_SAMPLES");
+        std::env::remove_var("IATF_WATCH_ALPHA");
+    }
+}

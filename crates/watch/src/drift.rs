@@ -1,0 +1,426 @@
+//! Online drift detection and retune remediation (enabled builds only).
+//!
+//! One [`ClassWatch`] per shape class pairs a performance envelope with a
+//! [`ControlChart`]. Envelopes are seeded in precedence order:
+//!
+//! 1. a persisted entry in the global [`EnvelopeDb`],
+//! 2. the tuning db's measured winner (`expected_ns = flops /
+//!    tuned_gflops`), persisted back as a `tuned` envelope,
+//! 3. self-calibration — the first `min_samples` dispatches establish
+//!    the expectation, persisted as an `observed` envelope.
+//!
+//! When a chart first trips, the class is latched as drifting, a
+//! [`DriftEvent`] is queued (bounded), and the class is flagged for
+//! retune. `iatf-core`'s dispatch path polls the flag via
+//! [`take_retune`](crate::take_retune), evicts the stale tuning-db entry
+//! (bumping the db generation, which invalidates cached plans), re-runs
+//! the sweep, and reports back through [`note_retuned`](crate::note_retuned),
+//! which re-arms the chart against the fresh expectation.
+//!
+//! The latency *injection shim* is a test hook: it multiplies recorded
+//! latencies for one class so reproduction harnesses can fake a
+//! regression without slowing anything down — the dispatch itself is
+//! untouched, only the telemetry sees the skew.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use iatf_tune::{EnvelopeDb, EnvelopeSource, PerfEnvelope, TuneKey, TuningDb};
+
+use crate::chart::{ControlChart, WatchConfig};
+use crate::snapshot::{ClassSnapshot, DriftCause, DriftEvent, WatchSnapshot};
+
+pub(crate) fn config() -> &'static WatchConfig {
+    static CONFIG: OnceLock<WatchConfig> = OnceLock::new();
+    CONFIG.get_or_init(WatchConfig::from_env)
+}
+
+/// Detector state for one shape class.
+pub(crate) struct ClassWatch {
+    pub(crate) key: TuneKey,
+    pub(crate) flops_per_call: f64,
+    state: Mutex<ClassState>,
+}
+
+struct ClassState {
+    /// Armed chart plus the envelope it guards; `None` while
+    /// self-calibrating.
+    armed: Option<(ControlChart, PerfEnvelope)>,
+    /// Self-calibration accumulators (used only while `armed` is None).
+    calib_sum: f64,
+    calib_sum_sq: f64,
+    calib_n: u64,
+    /// Latched on the first trip, cleared by `note_retuned`.
+    tripped: bool,
+}
+
+impl ClassWatch {
+    fn new(key: TuneKey, flops_per_call: f64) -> Self {
+        let armed = seed_envelope(&key, flops_per_call)
+            .map(|env| (ControlChart::new(env.expected_ns, env.noise, config()), env));
+        ClassWatch {
+            key,
+            flops_per_call,
+            state: Mutex::new(ClassState {
+                armed,
+                calib_sum: 0.0,
+                calib_sum_sq: 0.0,
+                calib_n: 0,
+                tripped: false,
+            }),
+        }
+    }
+
+    /// Feeds one (possibly skewed) dispatch latency into the detector.
+    pub(crate) fn observe(&self, ns: u64) {
+        let mut state = self.state.lock().unwrap();
+        let already_tripped = state.tripped;
+        match &mut state.armed {
+            Some((chart, env)) => {
+                let tripping = chart.observe(ns as f64);
+                if tripping && !already_tripped {
+                    let event = DriftEvent {
+                        key: self.key,
+                        expected_ns: env.expected_ns,
+                        observed_ns: chart.ewma_ns(),
+                        ratio: chart.ewma_ratio(),
+                        confidence: chart.confidence(),
+                        cause: DriftCause::ShapeLocal, // refined below
+                        sample: chart.samples(),
+                        source: env.source,
+                    };
+                    state.tripped = true;
+                    drop(state);
+                    raise(DriftEvent {
+                        cause: classify(&self.key),
+                        ..event
+                    });
+                }
+            }
+            None => {
+                let x = ns as f64;
+                state.calib_sum += x;
+                state.calib_sum_sq += x * x;
+                state.calib_n += 1;
+                if state.calib_n >= config().min_samples {
+                    let n = state.calib_n as f64;
+                    let mean = state.calib_sum / n;
+                    let var = (state.calib_sum_sq / n - mean * mean).max(0.0);
+                    let noise = if mean > 0.0 {
+                        (var.sqrt() / mean).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    };
+                    let env = PerfEnvelope {
+                        expected_ns: mean.max(1.0),
+                        expected_gflops: self.flops_per_call / mean.max(1.0),
+                        noise,
+                        source: EnvelopeSource::Observed,
+                    };
+                    EnvelopeDb::global().record(self.key, env);
+                    state.armed = Some((ControlChart::new(env.expected_ns, env.noise, config()), env));
+                }
+            }
+        }
+    }
+
+    /// Re-arms against a fresh expectation after a retune.
+    fn rearm(&self, env: PerfEnvelope) {
+        let mut state = self.state.lock().unwrap();
+        state.tripped = false;
+        state.calib_sum = 0.0;
+        state.calib_sum_sq = 0.0;
+        state.calib_n = 0;
+        state.armed = Some((ControlChart::new(env.expected_ns, env.noise, config()), env));
+    }
+
+    /// Resets sequential detector state, keeping the envelope.
+    fn reset(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.tripped = false;
+        state.calib_sum = 0.0;
+        state.calib_sum_sq = 0.0;
+        state.calib_n = 0;
+        if let Some((chart, env)) = &mut state.armed {
+            chart.rearm(env.expected_ns, env.noise, config());
+        }
+    }
+
+    fn elevated(&self) -> Option<bool> {
+        let state = self.state.lock().unwrap();
+        state
+            .armed
+            .as_ref()
+            .filter(|(chart, _)| chart.samples() >= config().min_samples)
+            .map(|(chart, _)| chart.elevated() || state.tripped)
+    }
+}
+
+/// Envelope seeding precedence 1–2 (see module docs); `None` means
+/// self-calibrate.
+fn seed_envelope(key: &TuneKey, flops_per_call: f64) -> Option<PerfEnvelope> {
+    if let Some(env) = EnvelopeDb::global().lookup(key) {
+        return Some(env);
+    }
+    let entry = TuningDb::global().lookup(key)?;
+    // NaN-safe: only a strictly positive measured GFLOPS seeds an envelope.
+    if entry.tuned_gflops.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+        || flops_per_call <= 0.0
+    {
+        return None;
+    }
+    let env = PerfEnvelope {
+        expected_ns: flops_per_call / entry.tuned_gflops,
+        expected_gflops: entry.tuned_gflops,
+        noise: entry.noise.clamp(0.0, 1.0),
+        source: EnvelopeSource::Tuned,
+    };
+    EnvelopeDb::global().record(*key, env);
+    Some(env)
+}
+
+fn classes() -> &'static Mutex<HashMap<TuneKey, Arc<ClassWatch>>> {
+    static CLASSES: OnceLock<Mutex<HashMap<TuneKey, Arc<ClassWatch>>>> = OnceLock::new();
+    CLASSES.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+pub(crate) fn class_for(key: TuneKey, flops_per_call: f64) -> Arc<ClassWatch> {
+    let mut classes = classes().lock().unwrap();
+    Arc::clone(
+        classes
+            .entry(key)
+            .or_insert_with(|| Arc::new(ClassWatch::new(key, flops_per_call))),
+    )
+}
+
+/// Whole-process correlation: if at least half of the active classes
+/// (and at least two) are elevated alongside this one, the regression is
+/// machine-wide (throttling, contention) rather than shape-local.
+fn classify(key: &TuneKey) -> DriftCause {
+    let classes = classes().lock().unwrap();
+    let mut active = 0u64;
+    let mut elevated = 0u64;
+    for (k, watch) in classes.iter() {
+        if k == key {
+            continue;
+        }
+        if let Some(e) = watch.elevated() {
+            active += 1;
+            if e {
+                elevated += 1;
+            }
+        }
+    }
+    drop(classes);
+    // The drifting class itself counts on both sides.
+    active += 1;
+    elevated += 1;
+    if elevated >= 2 && 2 * elevated >= active {
+        DriftCause::ThrottleWide
+    } else {
+        DriftCause::ShapeLocal
+    }
+}
+
+struct EventQueue {
+    events: Mutex<VecDeque<DriftEvent>>,
+    total: AtomicU64,
+}
+
+fn queue() -> &'static EventQueue {
+    static QUEUE: OnceLock<EventQueue> = OnceLock::new();
+    QUEUE.get_or_init(|| EventQueue {
+        events: Mutex::new(VecDeque::new()),
+        total: AtomicU64::new(0),
+    })
+}
+
+fn retune_flags() -> &'static Mutex<HashSet<TuneKey>> {
+    static FLAGS: OnceLock<Mutex<HashSet<TuneKey>>> = OnceLock::new();
+    FLAGS.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+static RETUNES_DONE: AtomicU64 = AtomicU64::new(0);
+
+fn raise(event: DriftEvent) {
+    let key = event.key;
+    {
+        let mut events = queue().events.lock().unwrap();
+        if events.len() >= config().events_cap {
+            events.pop_front();
+        }
+        events.push_back(event);
+    }
+    queue().total.fetch_add(1, Relaxed);
+    retune_flags().lock().unwrap().insert(key);
+}
+
+pub(crate) fn events_total() -> u64 {
+    queue().total.load(Relaxed)
+}
+
+pub(crate) fn drain_events() -> Vec<DriftEvent> {
+    queue().events.lock().unwrap().drain(..).collect()
+}
+
+pub(crate) fn take_retune(key: &TuneKey) -> bool {
+    retune_flags().lock().unwrap().remove(key)
+}
+
+pub(crate) fn retune_pending(key: &TuneKey) -> bool {
+    retune_flags().lock().unwrap().contains(key)
+}
+
+pub(crate) fn note_retuned(key: &TuneKey, tuned_gflops: f64, noise: f64) {
+    let Some(watch) = classes().lock().unwrap().get(key).map(Arc::clone) else {
+        return;
+    };
+    let env = if tuned_gflops > 0.0 && watch.flops_per_call > 0.0 {
+        PerfEnvelope {
+            expected_ns: watch.flops_per_call / tuned_gflops,
+            expected_gflops: tuned_gflops,
+            noise: noise.clamp(0.0, 1.0),
+            source: EnvelopeSource::Tuned,
+        }
+    } else {
+        // Sweep produced nothing usable: fall back to re-calibrating.
+        let mut state = watch.state.lock().unwrap();
+        state.tripped = false;
+        state.calib_sum = 0.0;
+        state.calib_sum_sq = 0.0;
+        state.calib_n = 0;
+        state.armed = None;
+        RETUNES_DONE.fetch_add(1, Relaxed);
+        return;
+    };
+    EnvelopeDb::global().record(*key, env);
+    watch.rearm(env);
+    RETUNES_DONE.fetch_add(1, Relaxed);
+}
+
+// --- latency injection shim (test hook) ---------------------------------
+
+static INJECT_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn injection() -> &'static Mutex<Option<(TuneKey, f64)>> {
+    static INJECTION: OnceLock<Mutex<Option<(TuneKey, f64)>>> = OnceLock::new();
+    INJECTION.get_or_init(|| Mutex::new(None))
+}
+
+pub(crate) fn set_injection(skew: Option<(TuneKey, f64)>) {
+    INJECT_ACTIVE.store(skew.is_some(), Relaxed);
+    *injection().lock().unwrap() = skew;
+}
+
+/// Applies the injection multiplier to a recorded latency if the shim is
+/// armed for this class; one relaxed load on the common (unarmed) path.
+#[inline]
+pub(crate) fn skewed(key: TuneKey, ns: u64) -> u64 {
+    if !INJECT_ACTIVE.load(Relaxed) {
+        return ns;
+    }
+    match *injection().lock().unwrap() {
+        Some((k, f)) if k == key => (ns as f64 * f) as u64,
+        _ => ns,
+    }
+}
+
+// --- snapshot assembly ---------------------------------------------------
+
+pub(crate) fn snapshot() -> WatchSnapshot {
+    let threads: Vec<_> = crate::stats::registry()
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|shard| (shard.read(), shard.min_ns(), shard.max_ns(), shard.flops_per_call))
+        .collect();
+
+    // Merge shards by class.
+    let mut merged: HashMap<TuneKey, ClassSnapshot> = HashMap::new();
+    for (t, min_ns, max_ns, flops) in &threads {
+        let c = merged.entry(t.key).or_insert_with(|| ClassSnapshot {
+            key: t.key,
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            hist: [0; iatf_obs::metrics::HIST_BUCKETS],
+            flops_per_call: *flops,
+            ewma_ns: 0.0,
+            ewma_ratio: 1.0,
+            cusum: 0.0,
+            expected_ns: 0.0,
+            expected_gflops: 0.0,
+            slack: config().slack_floor,
+            source: None,
+            drifting: false,
+            retune_pending: false,
+        });
+        c.count += t.count;
+        c.total_ns += t.total_ns;
+        if t.count > 0 {
+            c.min_ns = c.min_ns.min(*min_ns);
+            c.max_ns = c.max_ns.max(*max_ns);
+        }
+        for (dst, src) in c.hist.iter_mut().zip(t.hist.iter()) {
+            *dst += src;
+        }
+    }
+
+    // Overlay detector state.
+    {
+        let classes = classes().lock().unwrap();
+        for c in merged.values_mut() {
+            if c.min_ns == u64::MAX {
+                c.min_ns = 0;
+            }
+            let Some(watch) = classes.get(&c.key) else {
+                continue;
+            };
+            let state = watch.state.lock().unwrap();
+            if let Some((chart, env)) = &state.armed {
+                c.ewma_ns = chart.ewma_ns();
+                c.ewma_ratio = chart.ewma_ratio();
+                c.cusum = chart.cusum();
+                c.expected_ns = env.expected_ns;
+                c.expected_gflops = env.expected_gflops;
+                c.slack = chart.slack();
+                c.source = Some(env.source);
+            }
+            c.drifting = state.tripped;
+            drop(state);
+            c.retune_pending = retune_pending(&c.key);
+        }
+    }
+
+    let mut classes: Vec<_> = merged.into_values().collect();
+    classes.sort_by_key(|c| c.key.encode());
+    let mut thread_shards: Vec<_> = threads.into_iter().map(|(t, ..)| t).collect();
+    thread_shards.sort_by_key(|t| (t.tid, t.key.encode()));
+
+    WatchSnapshot {
+        enabled: true,
+        classes,
+        threads: thread_shards,
+        events: queue().events.lock().unwrap().iter().copied().collect(),
+        events_total: events_total(),
+        retunes_pending: retune_flags().lock().unwrap().len() as u64,
+        retunes_done: RETUNES_DONE.load(Relaxed),
+    }
+}
+
+/// Zeroes telemetry and sequential detector state in place. Class
+/// registrations, envelopes, and thread-local caches stay valid; the
+/// event queue, counters, flags, and injection shim are cleared.
+pub(crate) fn reset() {
+    crate::stats::zero_all();
+    for watch in classes().lock().unwrap().values() {
+        watch.reset();
+    }
+    queue().events.lock().unwrap().clear();
+    queue().total.store(0, Relaxed);
+    retune_flags().lock().unwrap().clear();
+    RETUNES_DONE.store(0, Relaxed);
+    set_injection(None);
+}

@@ -1,0 +1,330 @@
+//! Point-in-time view of the watch state: merged per-class telemetry,
+//! per-thread shards, drift events, and remediation counters.
+//!
+//! These types are always compiled (a disabled build snapshots to the
+//! empty [`WatchSnapshot`]) so exposition code downstream does not need
+//! feature gates.
+
+use iatf_obs::metrics::HIST_BUCKETS;
+use iatf_obs::Json;
+use iatf_tune::{EnvelopeSource, TuneKey};
+
+/// Why a drift event believes performance regressed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DriftCause {
+    /// Most active shape classes are elevated at once — consistent with
+    /// frequency throttling, CPU contention, or another machine-wide
+    /// slowdown. Retuning one shape will not fix this.
+    ThrottleWide,
+    /// Only this shape class (or a small minority) is elevated — the
+    /// recorded tuning decision has likely gone stale for this input.
+    ShapeLocal,
+}
+
+impl DriftCause {
+    /// Stable exposition name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DriftCause::ThrottleWide => "throttle_wide",
+            DriftCause::ShapeLocal => "shape_local",
+        }
+    }
+}
+
+/// A detected sustained regression on one shape class.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct DriftEvent {
+    /// The drifting shape class.
+    pub key: TuneKey,
+    /// The envelope's expected warm-dispatch latency, nanoseconds.
+    pub expected_ns: f64,
+    /// Smoothed observed latency at trip time, nanoseconds.
+    pub observed_ns: f64,
+    /// Smoothed latency ratio (observed / expected) at trip time.
+    pub ratio: f64,
+    /// Detector confidence in `[0.05, 0.99]` (how far past the tolerated
+    /// band the smoothed ratio sits).
+    pub confidence: f64,
+    /// Suspected cause from cross-class correlation.
+    pub cause: DriftCause,
+    /// Class sample count at trip time.
+    pub sample: u64,
+    /// Provenance of the envelope that was violated.
+    pub source: EnvelopeSource,
+}
+
+impl DriftEvent {
+    /// JSON form used by snapshots and BENCH artifacts.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .set("key", self.key.encode().as_str())
+            .set("expected_ns", self.expected_ns)
+            .set("observed_ns", self.observed_ns)
+            .set("ratio", self.ratio)
+            .set("confidence", self.confidence)
+            .set("cause", self.cause.name())
+            .set("sample", self.sample)
+            .set("source", self.source.name())
+    }
+}
+
+/// Merged telemetry and detector state for one shape class.
+#[derive(Clone, Debug)]
+pub struct ClassSnapshot {
+    /// The shape class.
+    pub key: TuneKey,
+    /// Warm dispatches observed.
+    pub count: u64,
+    /// Sum of dispatch latencies, nanoseconds.
+    pub total_ns: u64,
+    /// Fastest observed dispatch (0 when `count == 0`).
+    pub min_ns: u64,
+    /// Slowest observed dispatch.
+    pub max_ns: u64,
+    /// log2 latency histogram: bucket 0 holds zeros, bucket `i` holds
+    /// `[2^(i-1), 2^i)` nanoseconds.
+    pub hist: [u64; HIST_BUCKETS],
+    /// Flops one dispatch of this class performs.
+    pub flops_per_call: f64,
+    /// Smoothed observed latency, nanoseconds (0 until first sample).
+    pub ewma_ns: f64,
+    /// Smoothed latency ratio against the envelope (1.0 until armed).
+    pub ewma_ratio: f64,
+    /// Current CUSUM level of the drift chart.
+    pub cusum: f64,
+    /// The envelope's expected latency (0 while self-calibrating).
+    pub expected_ns: f64,
+    /// The envelope's expected throughput, GFLOPS.
+    pub expected_gflops: f64,
+    /// Tolerated relative excess before drift accumulates.
+    pub slack: f64,
+    /// Envelope provenance; `None` while still self-calibrating.
+    pub source: Option<EnvelopeSource>,
+    /// Whether the chart has tripped and not yet been remediated.
+    pub drifting: bool,
+    /// Whether a retune is flagged but not yet executed.
+    pub retune_pending: bool,
+}
+
+impl ClassSnapshot {
+    /// Mean observed latency, nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Achieved throughput over the whole window, GFLOPS.
+    pub fn gflops(&self) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            self.flops_per_call * self.count as f64 / self.total_ns as f64
+        }
+    }
+
+    /// Latency quantile from the log2 histogram, reported as the upper
+    /// bound of the bucket containing the `q`-quantile sample (a ≤ 2×
+    /// overestimate by construction — bias toward alarming late, never
+    /// under-reporting).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.hist.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_hi(b);
+            }
+        }
+        bucket_hi(HIST_BUCKETS - 1)
+    }
+
+    fn to_json(&self) -> Json {
+        let hist: Vec<Json> = self
+            .hist
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| {
+                Json::object()
+                    .set("bucket", b as u64)
+                    .set("hi_ns", bucket_hi(b))
+                    .set("count", n)
+            })
+            .collect();
+        Json::object()
+            .set("key", self.key.encode().as_str())
+            .set("count", self.count)
+            .set("total_ns", self.total_ns)
+            .set("mean_ns", self.mean_ns())
+            .set("min_ns", self.min_ns)
+            .set("max_ns", self.max_ns)
+            .set("p50_ns", self.quantile_ns(0.50))
+            .set("p95_ns", self.quantile_ns(0.95))
+            .set("p99_ns", self.quantile_ns(0.99))
+            .set("gflops", self.gflops())
+            .set("ewma_ns", self.ewma_ns)
+            .set("ewma_ratio", self.ewma_ratio)
+            .set("cusum", self.cusum)
+            .set("expected_ns", self.expected_ns)
+            .set("expected_gflops", self.expected_gflops)
+            .set("slack", self.slack)
+            .set(
+                "source",
+                match self.source {
+                    Some(s) => Json::from(s.name()),
+                    None => Json::Null,
+                },
+            )
+            .set("drifting", self.drifting)
+            .set("retune_pending", self.retune_pending)
+            .set("hist", hist)
+    }
+}
+
+/// One thread's unmerged shard of one class (diagnostic view; the merged
+/// [`ClassSnapshot`] totals are exactly the sums of these).
+#[derive(Clone, Debug)]
+pub struct ThreadClassSnapshot {
+    /// Recording thread (small dense id, assigned at first dispatch).
+    pub tid: u64,
+    /// The shape class.
+    pub key: TuneKey,
+    /// Dispatches recorded by this thread.
+    pub count: u64,
+    /// Latency sum recorded by this thread, nanoseconds.
+    pub total_ns: u64,
+    /// This thread's log2 latency histogram.
+    pub hist: [u64; HIST_BUCKETS],
+}
+
+/// Everything the watch layer knows, at one instant.
+#[derive(Clone, Debug, Default)]
+pub struct WatchSnapshot {
+    /// Whether the `enabled` feature (workspace `watch`) is on.
+    pub enabled: bool,
+    /// Merged per-class telemetry, sorted by encoded key.
+    pub classes: Vec<ClassSnapshot>,
+    /// Per-thread shards (diagnostics / merge verification).
+    pub threads: Vec<ThreadClassSnapshot>,
+    /// Retained drift events, oldest first (bounded queue; see
+    /// [`WatchConfig::events_cap`](crate::WatchConfig)).
+    pub events: Vec<DriftEvent>,
+    /// Drift events ever raised (monotonic, not bounded by the queue).
+    pub events_total: u64,
+    /// Shape classes currently flagged for retune.
+    pub retunes_pending: u64,
+    /// Drift-triggered retunes completed.
+    pub retunes_done: u64,
+}
+
+impl WatchSnapshot {
+    /// JSON form (the `"watch"` half of the unified snapshot document).
+    pub fn to_json(&self) -> Json {
+        let classes: Vec<Json> = self.classes.iter().map(ClassSnapshot::to_json).collect();
+        let events: Vec<Json> = self.events.iter().map(DriftEvent::to_json).collect();
+        Json::object()
+            .set("enabled", self.enabled)
+            .set("classes", classes)
+            .set("events", events)
+            .set("events_total", self.events_total)
+            .set("retunes_pending", self.retunes_pending)
+            .set("retunes_done", self.retunes_done)
+    }
+}
+
+/// Upper bound (inclusive) of log2 histogram bucket `b`, matching the
+/// recording convention `bucket = 64 - leading_zeros(ns)`.
+pub fn bucket_hi(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iatf_tune::TuneOp;
+
+    fn key() -> TuneKey {
+        TuneKey {
+            op: TuneOp::Gemm,
+            dtype: 1,
+            m: 8,
+            n: 8,
+            k: 8,
+            mode: 0,
+            conj: 0,
+            count: 512,
+        }
+    }
+
+    #[test]
+    fn quantiles_come_from_bucket_upper_bounds() {
+        let mut hist = [0u64; HIST_BUCKETS];
+        // 90 samples in bucket 10 ([512, 1023]), 10 in bucket 14.
+        hist[10] = 90;
+        hist[14] = 10;
+        let c = ClassSnapshot {
+            key: key(),
+            count: 100,
+            total_ns: 100_000,
+            min_ns: 512,
+            max_ns: 16_000,
+            hist,
+            flops_per_call: 1.0e6,
+            ewma_ns: 0.0,
+            ewma_ratio: 1.0,
+            cusum: 0.0,
+            expected_ns: 0.0,
+            expected_gflops: 0.0,
+            slack: 0.5,
+            source: None,
+            drifting: false,
+            retune_pending: false,
+        };
+        assert_eq!(c.quantile_ns(0.50), 1023);
+        assert_eq!(c.quantile_ns(0.90), 1023);
+        assert_eq!(c.quantile_ns(0.95), (1u64 << 14) - 1);
+        assert_eq!(c.quantile_ns(0.99), (1u64 << 14) - 1);
+        assert!((c.gflops() - 1000.0).abs() < 1e-9);
+        assert!((c.mean_ns() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_json_is_parseable_and_shaped() {
+        let snap = WatchSnapshot {
+            enabled: true,
+            classes: vec![],
+            threads: vec![],
+            events: vec![DriftEvent {
+                key: key(),
+                expected_ns: 1000.0,
+                observed_ns: 2500.0,
+                ratio: 2.5,
+                confidence: 0.66,
+                cause: DriftCause::ShapeLocal,
+                sample: 42,
+                source: EnvelopeSource::Tuned,
+            }],
+            events_total: 1,
+            retunes_pending: 1,
+            retunes_done: 0,
+        };
+        let doc = iatf_obs::parse_json(&snap.to_json().to_pretty()).unwrap();
+        assert_eq!(doc.get("enabled").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("events_total").and_then(Json::as_u64), Some(1));
+        let ev = &doc.get("events").and_then(Json::as_array).unwrap()[0];
+        assert_eq!(ev.get("cause").and_then(Json::as_str), Some("shape_local"));
+        assert_eq!(ev.get("ratio").and_then(Json::as_f64), Some(2.5));
+    }
+}

@@ -1,0 +1,143 @@
+//! Streaming per-class telemetry: the hot path of the watch layer.
+//!
+//! Each `(thread, shape-class)` pair owns a [`ClassShard`] of relaxed
+//! atomics — a dispatch count, latency sum, min/max, and a log2 latency
+//! histogram (same bucketing as `iatf-obs`). Shards are created on a
+//! thread's first dispatch of a class, cached in a thread-local map, and
+//! registered in a global list that snapshots merge; after that first
+//! touch the record path is a handful of relaxed atomic adds with no
+//! locks, no allocation, and no syscalls. Single-writer/multi-reader
+//! atomics make the merged totals *exactly* the per-thread sums — the
+//! merge test in `lib.rs` asserts equality, not approximation.
+//!
+//! This module only exists when the `enabled` feature is on; the
+//! disabled crate exposes no-op fronts instead.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use iatf_obs::metrics::HIST_BUCKETS;
+use iatf_tune::TuneKey;
+
+use crate::drift::{self, ClassWatch};
+use crate::snapshot::ThreadClassSnapshot;
+
+/// One thread's telemetry for one shape class.
+pub(crate) struct ClassShard {
+    pub(crate) tid: u64,
+    pub(crate) key: TuneKey,
+    pub(crate) flops_per_call: f64,
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+    hist: [AtomicU64; HIST_BUCKETS],
+}
+
+impl ClassShard {
+    fn new(tid: u64, key: TuneKey, flops_per_call: f64) -> Self {
+        ClassShard {
+            tid,
+            key,
+            flops_per_call,
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+            hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    #[inline]
+    fn record(&self, ns: u64) {
+        self.count.fetch_add(1, Relaxed);
+        self.total_ns.fetch_add(ns, Relaxed);
+        self.min_ns.fetch_min(ns, Relaxed);
+        self.max_ns.fetch_max(ns, Relaxed);
+        let bucket = (64 - ns.leading_zeros()) as usize;
+        self.hist[bucket].fetch_add(1, Relaxed);
+    }
+
+    fn zero(&self) {
+        self.count.store(0, Relaxed);
+        self.total_ns.store(0, Relaxed);
+        self.min_ns.store(u64::MAX, Relaxed);
+        self.max_ns.store(0, Relaxed);
+        for b in &self.hist {
+            b.store(0, Relaxed);
+        }
+    }
+
+    pub(crate) fn read(&self) -> ThreadClassSnapshot {
+        let mut hist = [0u64; HIST_BUCKETS];
+        for (dst, src) in hist.iter_mut().zip(self.hist.iter()) {
+            *dst = src.load(Relaxed);
+        }
+        ThreadClassSnapshot {
+            tid: self.tid,
+            key: self.key,
+            count: self.count.load(Relaxed),
+            total_ns: self.total_ns.load(Relaxed),
+            hist,
+        }
+    }
+
+    pub(crate) fn min_ns(&self) -> u64 {
+        self.min_ns.load(Relaxed)
+    }
+
+    pub(crate) fn max_ns(&self) -> u64 {
+        self.max_ns.load(Relaxed)
+    }
+}
+
+pub(crate) fn registry() -> &'static Mutex<Vec<Arc<ClassShard>>> {
+    static SHARDS: OnceLock<Mutex<Vec<Arc<ClassShard>>>> = OnceLock::new();
+    SHARDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// One class's record-path handles: this thread's shard plus the shared
+/// per-class detector.
+type ClassHandles = (Arc<ClassShard>, Arc<ClassWatch>);
+
+thread_local! {
+    /// This thread's shard + detector handle per class, so the steady
+    /// state touches no global locks.
+    static CACHE: RefCell<HashMap<TuneKey, ClassHandles>> = RefCell::new(HashMap::new());
+}
+
+fn thread_id() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT_TID.fetch_add(1, Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Records one warm dispatch: `ns` wall latency for one call of `key`
+/// performing `flops_per_call` flops. First touch of a class on a thread
+/// registers a shard; afterwards this is lock-free except the per-class
+/// detector update.
+pub(crate) fn record(key: TuneKey, ns: u64, flops_per_call: f64) {
+    let ns = drift::skewed(key, ns);
+    CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        let (shard, watch) = cache.entry(key).or_insert_with(|| {
+            let shard = Arc::new(ClassShard::new(thread_id(), key, flops_per_call));
+            registry().lock().unwrap().push(Arc::clone(&shard));
+            (shard, drift::class_for(key, flops_per_call))
+        });
+        shard.record(ns);
+        watch.observe(ns);
+    });
+}
+
+/// Zeroes every shard in place (registrations and thread caches stay
+/// valid; see `reset()` in the crate root for the full story).
+pub(crate) fn zero_all() {
+    for shard in registry().lock().unwrap().iter() {
+        shard.zero();
+    }
+}

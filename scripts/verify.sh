@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Full pre-merge verification: tier-1 build+test, every feature-gate state
-# (obs, parallel, trace), the perf-regression sentinel against the
-# committed baselines, the trace/roofline smoke, and a clean clippy run.
-# Run artifacts (BENCH_*.json, verify_report.json, trace_*.json) land
-# under target/; the committed ./BENCH_3.json and ./BENCH_4.json are the
-# sentinel's baselines and only change when deliberately promoted.
+# (obs, parallel, trace, watch), the perf-regression sentinel against the
+# committed baselines, the trace/roofline smoke, the watch drift-detection
+# smoke, and a clean clippy run. Run artifacts (BENCH_*.json,
+# verify_report.json, trace_*.json, watch_prometheus.txt) land under
+# target/; the committed ./BENCH_{3,4,5}.json are the sentinel's baselines
+# and only change when deliberately promoted.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,12 +37,21 @@ echo "==> flight recorder live: ring wraparound, PMU degradation, chrome export"
 cargo test -q -p iatf-trace --features enabled
 cargo test -q -p iatf-core --features trace
 
+echo "==> watch: probes are exact no-ops when the feature is off"
+cargo test -q -p iatf-watch
+
+echo "==> watch live: histograms, control charts, envelopes, retune loop"
+cargo test -q -p iatf-watch --features enabled
+cargo test -q -p iatf-core --features watch
+cargo test -q -p iatf-core --features watch,parallel,obs,trace
+
 echo "==> bench harness builds in every feature state"
 cargo build --release -p iatf-bench
 cargo build --release -p iatf-bench --features obs
 cargo build --release -p iatf-bench --features parallel,obs
 cargo build --release -p iatf-bench --features trace
-cargo build --release -p iatf-bench --features parallel,obs,trace
+cargo build --release -p iatf-bench --features watch
+cargo build --release -p iatf-bench --features parallel,obs,trace,watch
 
 echo "==> iatf-tune: sweep harness + tuning-db robustness (both obs states)"
 cargo test -q -p iatf-tune
@@ -55,7 +65,7 @@ cargo run -q --release -p iatf-bench --bin reproduce -- verify
 cargo run -q --release -p iatf-bench --bin reproduce -- verify --json > target/verify_report.json
 echo "    wrote target/verify_report.json"
 
-echo "==> sentinel: current perf vs committed BENCH_3/BENCH_4 baselines"
+echo "==> sentinel: current perf vs committed BENCH_3/BENCH_4/BENCH_5 baselines"
 # Same features as the baseline-generation runs below, so the comparison
 # is apples-to-apples; a scratch db keeps the re-tune from touching the
 # user's cache. Runs before regeneration: the gate must see the numbers
@@ -146,6 +156,66 @@ print(f"    {len(events)} complete spans across {len(seen)} phases, "
       f"{doc['spans_dropped']} lost to ring overwrite")
 EOF
 echo "    wrote target/BENCH_5.json and target/trace_reproduce.json"
+
+echo "==> watch drift-detection smoke (reproduce watch)"
+# Scratch db + envelope store: the injected slowdown and triggered retune
+# must not contaminate the user's real caches. The same run doubles as
+# the negative control — events_without_injection gates at exactly zero.
+mkdir -p target/tune-tests
+rm -f target/tune-tests/watch.json target/tune-tests/watch-envelopes.json
+IATF_TUNE_DB=target/tune-tests/watch.json \
+IATF_WATCH_ENVELOPES=target/tune-tests/watch-envelopes.json \
+  timeout 600 cargo run -q --release -p iatf-bench --features watch --bin reproduce -- \
+  watch --json > target/BENCH_6.json
+python3 - <<'EOF'
+import json, re
+doc = json.load(open("target/BENCH_6.json"))
+assert doc["watch_enabled"], "watch feature did not compile in"
+assert doc["events_without_injection"] == 0, (
+    f"detector fired {doc['events_without_injection']} times on healthy traffic")
+inj = doc["injection"]
+assert inj["detection_dispatches"] is not None, (
+    f"injected {inj['factor']}x slowdown never detected")
+ev = inj["event"]
+assert ev is not None and ev["ratio"] > 1.5, f"drift event missing or weak: {ev}"
+assert ev["cause"] in ("shape_local", "throttle_wide"), ev["cause"]
+rt = doc["retune"]
+assert rt["flagged"] and rt["winner_rerecorded"] and rt["retunes_done"] >= 1, rt
+assert rt["generation_after"] > rt["generation_before"], (
+    "retune did not bump the db generation (plan cache not invalidated)")
+rec = doc["recovery"]
+assert rec["events_after_recovery"] == 0, (
+    f"detector re-tripped {rec['events_after_recovery']} times after retune")
+assert rec["within_envelope"], f"post-retune traffic outside envelope: {rec}"
+# Prometheus text-format exposition must parse: every series line is
+# name{labels} value with a declared TYPE, and histogram buckets are
+# cumulative and capped by +Inf.
+typed, series = {}, []
+for ln in open("target/watch_prometheus.txt"):
+    ln = ln.rstrip("\n")
+    if not ln:
+        continue
+    if ln.startswith("# TYPE "):
+        _, _, name, kind = ln.split(" ", 3)
+        typed[name] = kind
+        continue
+    if ln.startswith("#"):
+        continue
+    m = re.match(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$', ln)
+    assert m, f"unparseable series line: {ln!r}"
+    name = m.group(1)
+    base = re.sub(r'_(bucket|sum|count)$', '', name)
+    assert name in typed or base in typed, f"series {name} has no # TYPE"
+    float(m.group(3).replace("+Inf", "inf"))
+    series.append(name)
+assert any(s.endswith("_bucket") for s in series), "no histogram series rendered"
+assert "iatf_drift_events_total" in series, "drift event counter not exposed"
+print(f"    detected {inj['factor']}x in {inj['detection_dispatches']} dispatches "
+      f"(cause {ev['cause']}), retune gen {rt['generation_before']}->"
+      f"{rt['generation_after']}, recovery clean; "
+      f"{len(series)} Prometheus series parsed")
+EOF
+echo "    wrote target/BENCH_6.json and target/watch_prometheus.txt"
 
 echo "==> unsafe code stays inside the audited allowlist"
 # The SIMD backends are the sanctioned home of unsafe (the iatf-simd

@@ -21,6 +21,7 @@
 pub use iatf_core as core;
 pub use iatf_core::obs;
 pub use iatf_core::trace;
+pub use iatf_core::watch;
 pub use iatf_layout as layout;
 pub use iatf_simd as simd;
 
