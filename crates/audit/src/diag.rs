@@ -1,0 +1,182 @@
+//! Structured audit diagnostics.
+//!
+//! Mirrors the `iatf-verify` reporting style: every finding names the
+//! rule that fired, pinpoints `file:line`, states what was observed, and
+//! carries a fix hint plus the workspace invariant the rule certifies —
+//! a diagnostic should be actionable without opening the audit source.
+
+use std::fmt;
+
+use iatf_obs::json::Json;
+
+/// Identity of an audit rule. Stable ids appear in reports and gate
+/// scripts; renaming one is a breaking change for `scripts/verify.sh`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// `unsafe` outside the audited path allowlist.
+    UnsafePath,
+    /// `unsafe` without an adjacent `SAFETY:` justification comment.
+    UnsafeJustify,
+    /// Atomic `Ordering` use outside a registered concurrency module.
+    AtomicModule,
+    /// Atomic ordering site without an adjacent `// ordering:` comment.
+    AtomicJustify,
+    /// `Relaxed` in a protocol-class module whose justification does not
+    /// acknowledge the relaxation.
+    AtomicRelaxed,
+    /// Feature-gated `pub fn` with no matching `#[cfg(not(feature))]`
+    /// fallback in the same crate.
+    FeatureFallback,
+    /// Hand-rolled string-escaping table outside `iatf_obs::json`.
+    JsonEscape,
+    /// `IATF_*` environment read outside `iatf_obs::env`.
+    EnvRead,
+    /// `panic!` / `process::exit` in library (non-test, non-bin) code.
+    LibPanic,
+}
+
+impl RuleId {
+    /// All rules, in report order.
+    pub const ALL: [RuleId; 9] = [
+        RuleId::UnsafePath,
+        RuleId::UnsafeJustify,
+        RuleId::AtomicModule,
+        RuleId::AtomicJustify,
+        RuleId::AtomicRelaxed,
+        RuleId::FeatureFallback,
+        RuleId::JsonEscape,
+        RuleId::EnvRead,
+        RuleId::LibPanic,
+    ];
+
+    /// Stable uppercase identifier used in reports and gates.
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::UnsafePath => "UNSAFE_PATH",
+            RuleId::UnsafeJustify => "UNSAFE_JUSTIFY",
+            RuleId::AtomicModule => "ATOMIC_MODULE",
+            RuleId::AtomicJustify => "ATOMIC_JUSTIFY",
+            RuleId::AtomicRelaxed => "ATOMIC_RELAXED",
+            RuleId::FeatureFallback => "FEATURE_FALLBACK",
+            RuleId::JsonEscape => "JSON_ESCAPE",
+            RuleId::EnvRead => "ENV_READ",
+            RuleId::LibPanic => "LIB_PANIC",
+        }
+    }
+
+    /// The workspace invariant this rule certifies.
+    pub fn invariant(self) -> &'static str {
+        match self {
+            RuleId::UnsafePath => {
+                "all unsafe code lives inside the audited allowlist documented in DESIGN.md"
+            }
+            RuleId::UnsafeJustify => {
+                "every unsafe site carries an adjacent SAFETY justification"
+            }
+            RuleId::AtomicModule => {
+                "lock-free code is confined to registered concurrency modules with loom or stress coverage"
+            }
+            RuleId::AtomicJustify => {
+                "every atomic memory-ordering choice is justified where it is made"
+            }
+            RuleId::AtomicRelaxed => {
+                "Relaxed in a synchronization protocol is a conscious, documented decision"
+            }
+            RuleId::FeatureFallback => {
+                "feature-gated public API always has a no-op fallback, so downstream crates compile in every feature state"
+            }
+            RuleId::JsonEscape => {
+                "iatf_obs::json is the single JSON escaping implementation; emitters cannot drift"
+            }
+            RuleId::EnvRead => {
+                "IATF_* knobs are parsed only by iatf_obs::env, so the failure policy is uniform"
+            }
+            RuleId::LibPanic => {
+                "library crates report errors as values; they never abort the host process"
+            }
+        }
+    }
+
+    /// How to fix a finding.
+    pub fn hint(self) -> &'static str {
+        match self {
+            RuleId::UnsafePath => {
+                "move the code into an allowlisted module, or extend the registry in crates/audit/src/registry.rs and DESIGN.md deliberately"
+            }
+            RuleId::UnsafeJustify => {
+                "add a `// SAFETY: …` comment on or directly above the unsafe site stating why the preconditions hold"
+            }
+            RuleId::AtomicModule => {
+                "move the atomics into a registered concurrency module, or register this file (with a Counter/Protocol class) in crates/audit/src/registry.rs"
+            }
+            RuleId::AtomicJustify => {
+                "add a `// ordering: …` comment on or directly above the site explaining the choice of memory ordering"
+            }
+            RuleId::AtomicRelaxed => {
+                "make the justification name Relaxed explicitly and say why no synchronization edge is needed here"
+            }
+            RuleId::FeatureFallback => {
+                "add a `#[cfg(not(feature = …))]` no-op twin, or drop the item gate and branch on the feature inside the body"
+            }
+            RuleId::JsonEscape => {
+                "route the string through iatf_obs::json::escape_into (or the Json builder) instead of escaping by hand"
+            }
+            RuleId::EnvRead => {
+                "read the variable through the iatf_obs::env helpers (env_usize / env_f64 / env_path)"
+            }
+            RuleId::LibPanic => {
+                "return a Result or use unreachable!/debug_assert! for programming errors; only binaries may exit"
+            }
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One audit finding, pinpointed to a source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule that fired.
+    pub rule: RuleId,
+    /// What was observed at the site.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders the two-line human report form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}\n    fix: {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.message,
+            self.rule.hint()
+        )
+    }
+
+    /// JSON object form for `reproduce audit --json`.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .set("file", self.file.as_str())
+            .set("line", self.line as u64)
+            .set("rule", self.rule.id())
+            .set("message", self.message.as_str())
+            .set("invariant", self.rule.invariant())
+            .set("fix", self.rule.hint())
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}

@@ -1,0 +1,350 @@
+//! Minimal line-oriented Rust lexer for the audit rules.
+//!
+//! No parser crates exist in this build environment, so the audit works
+//! from a purpose-built lexer that is *sound for its rules* rather than
+//! a full grammar: it separates each line into code text and comment
+//! text, blanks out string literals (so `"unsafe"` in a message never
+//! trips the unsafe rules), preserves character literals (so an escaping
+//! table's `'"' =>` arm stays visible), and tracks `#[cfg(test)]` module
+//! spans by brace depth so hygiene rules can skip test code.
+//!
+//! Known, accepted approximations — each errs toward *over*-reporting,
+//! which the audit treats as the safe direction:
+//! - A lifetime tick is distinguished from a char literal by lookahead;
+//!   exotic forms (`'r#ident`) are not handled (unused in this tree).
+//! - `#[cfg(test)]` is only recognized on its own attribute line, which
+//!   is how every test module in the workspace is written.
+
+/// One source line, split into its code and comment parts.
+#[derive(Clone, Debug, Default)]
+pub struct Line {
+    /// Code text with strings blanked to `""` and comments removed.
+    pub code: String,
+    /// Comment text (line, block, and doc comments), concatenated.
+    pub comment: String,
+    /// The raw line, verbatim (for rules that must see string content).
+    pub raw: String,
+}
+
+/// A lexed source file.
+#[derive(Clone, Debug)]
+pub struct Lexed {
+    /// Per-line code/comment split, 0-indexed (line 1 is `lines[0]`).
+    pub lines: Vec<Line>,
+    /// `true` for lines inside a `#[cfg(test)]` module span.
+    pub in_test: Vec<bool>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str { raw_hashes: Option<u32> },
+}
+
+/// Lexes `source` into per-line code/comment streams.
+pub fn lex(source: &str) -> Lexed {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut cur = Line::default();
+    let mut state = State::Code;
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let n = chars.len();
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        cur.raw.push(c);
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    cur.raw.push('/');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    cur.raw.push('*');
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push_str("\"\"");
+                    state = State::Str { raw_hashes: None };
+                    i += 1;
+                } else if c == 'r' && matches!(next, Some('"' | '#')) && raw_str_hashes(&chars, i + 1).is_some() {
+                    let hashes = raw_str_hashes(&chars, i + 1).unwrap();
+                    cur.code.push_str("\"\"");
+                    // Re-emit the prefix into raw text as we skip it.
+                    for k in 1..=(hashes as usize + 1) {
+                        cur.raw.push(chars[i + k]);
+                    }
+                    state = State::Str { raw_hashes: Some(hashes) };
+                    i += hashes as usize + 2;
+                } else if c == 'b' && next == Some('"') {
+                    cur.code.push('b');
+                    i += 1; // the quote is handled on the next iteration
+                } else if c == 'b' && next == Some('r') && raw_str_hashes(&chars, i + 2).is_some() {
+                    let hashes = raw_str_hashes(&chars, i + 2).unwrap();
+                    cur.code.push_str("b\"\"");
+                    for k in 1..=(hashes as usize + 2) {
+                        cur.raw.push(chars[i + k]);
+                    }
+                    state = State::Str { raw_hashes: Some(hashes) };
+                    i += hashes as usize + 3;
+                } else if c == '\'' {
+                    // Char literal vs lifetime: a literal closes with a
+                    // tick after one (possibly escaped) character.
+                    if let Some(len) = char_literal_len(&chars, i) {
+                        for k in 0..len {
+                            let ch = chars[i + k];
+                            cur.code.push(ch);
+                            if k > 0 {
+                                cur.raw.push(ch);
+                            }
+                        }
+                        i += len;
+                    } else {
+                        cur.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    cur.raw.push('/');
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    cur.comment.push_str("/*");
+                    cur.raw.push('*');
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str { raw_hashes } => {
+                match raw_hashes {
+                    None => {
+                        if c == '\\' {
+                            match chars.get(i + 1) {
+                                // Backslash-newline continuation: the line
+                                // still ends here for numbering purposes.
+                                Some('\n') => {
+                                    lines.push(std::mem::take(&mut cur));
+                                    i += 2;
+                                }
+                                Some(esc) => {
+                                    cur.raw.push(*esc);
+                                    i += 2;
+                                }
+                                None => i += 1,
+                            }
+                        } else if c == '"' {
+                            state = State::Code;
+                            i += 1;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    Some(hashes) => {
+                        if c == '"' && closes_raw_str(&chars, i, hashes) {
+                            for k in 1..=hashes as usize {
+                                cur.raw.push(chars[i + k]);
+                            }
+                            state = State::Code;
+                            i += hashes as usize + 1;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if !cur.raw.is_empty() || !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+
+    let in_test = mark_test_spans(&lines);
+    Lexed { lines, in_test }
+}
+
+/// If `chars[at..]` is the `#…"` part of a raw-string opener, returns
+/// the hash count (0 for `r"`).
+fn raw_str_hashes(chars: &[char], at: usize) -> Option<u32> {
+    let mut hashes = 0u32;
+    let mut j = at;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+fn closes_raw_str(chars: &[char], at: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(at + k) == Some(&'#'))
+}
+
+/// Length (in chars, including both ticks) of a char literal starting at
+/// `chars[at] == '\''`, or `None` if this tick starts a lifetime.
+fn char_literal_len(chars: &[char], at: usize) -> Option<usize> {
+    match chars.get(at + 1)? {
+        '\\' => {
+            // Escaped char: scan to the closing tick (handles \u{…});
+            // starts past the escaped character so `'\''` parses whole.
+            let mut j = at + 3;
+            while j < chars.len() && j < at + 12 {
+                if chars[j] == '\'' {
+                    return Some(j - at + 1);
+                }
+                j += 1;
+            }
+            None
+        }
+        '\'' => None, // `''` is not a literal
+        _ => (chars.get(at + 2) == Some(&'\'')).then_some(3),
+    }
+}
+
+/// True for an attribute line gating on the `test` cfg predicate —
+/// `#[cfg(test)]` or any `#[cfg(all(…, test, …))]` combination such as
+/// the loom model modules' `#[cfg(all(loom, test))]`.
+fn is_test_cfg(code: &str) -> bool {
+    let Some(at) = code.find("#[cfg(") else {
+        return false;
+    };
+    let clause = &code[at..];
+    let mut from = 0;
+    while let Some(pos) = clause[from..].find("test") {
+        let start = from + pos;
+        let end = start + "test".len();
+        let bytes = clause.as_bytes();
+        let pre = start == 0 || !(bytes[start - 1] == b'_' || bytes[start - 1].is_ascii_alphanumeric());
+        let post = end == bytes.len() || !(bytes[end] == b'_' || bytes[end].is_ascii_alphanumeric());
+        if pre && post {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Marks lines belonging to `#[cfg(test)] mod … { … }` spans.
+fn mark_test_spans(lines: &[Line]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let mut i = 0usize;
+    while i < lines.len() {
+        if is_test_cfg(&lines[i].code) {
+            // Find the gated `mod` within the next few lines (skipping
+            // further attributes), then span its braces.
+            let mut j = i + 1;
+            while j < lines.len() && j <= i + 4 {
+                let code = lines[j].code.trim();
+                if code.contains("mod ") {
+                    let mut depth: i64 = 0;
+                    let mut opened = false;
+                    let mut k = j;
+                    while k < lines.len() {
+                        for c in lines[k].code.chars() {
+                            match c {
+                                '{' => {
+                                    depth += 1;
+                                    opened = true;
+                                }
+                                '}' => depth -= 1,
+                                _ => {}
+                            }
+                        }
+                        in_test[k] = true;
+                        if opened && depth <= 0 {
+                            break;
+                        }
+                        k += 1;
+                    }
+                    in_test[i] = true;
+                    i = k;
+                    break;
+                }
+                if code.starts_with("#[") || code.is_empty() {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        i += 1;
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_blanked_and_comments_split() {
+        let lexed = lex("let x = \"unsafe {}\"; // ordering: nope\nunsafe { y() }\n");
+        assert!(!lexed.lines[0].code.contains("unsafe"));
+        assert!(lexed.lines[0].comment.contains("ordering: nope"));
+        assert!(lexed.lines[1].code.contains("unsafe"));
+    }
+
+    #[test]
+    fn char_literals_survive_but_lifetimes_do_not_confuse() {
+        let lexed = lex("match c { '\"' => esc(), _ => {} }\nfn f<'a>(x: &'a str) {}\n");
+        assert!(lexed.lines[0].code.contains("'\"' =>"));
+        assert!(lexed.lines[1].code.contains("&'a str"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let lexed = lex("let s = r#\"has \"quotes\" and unsafe\"#;\nlet t = \"esc \\\" quote\"; let u = 1;\n");
+        assert!(!lexed.lines[0].code.contains("unsafe"));
+        assert!(lexed.lines[1].code.contains("let u = 1"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let lexed = lex("a(); /* one /* two */ still */ b();\n/* open\nunsafe\n*/ c();\n");
+        assert!(lexed.lines[0].code.contains("a()") && lexed.lines[0].code.contains("b()"));
+        assert!(!lexed.lines[2].code.contains("unsafe"));
+        assert!(lexed.lines[2].comment.contains("unsafe"));
+        assert!(lexed.lines[3].code.contains("c()"));
+    }
+
+    #[test]
+    fn test_module_spans_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x(); }\n}\nfn after() {}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.in_test, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn byte_strings_are_blanked() {
+        let lexed = lex("let b = b\"unsafe\"; let r = br#\"panic!(\"#; done();\n");
+        assert!(!lexed.lines[0].code.contains("unsafe"));
+        assert!(!lexed.lines[0].code.contains("panic!"));
+        assert!(lexed.lines[0].code.contains("done()"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Workspace source certifier.
+//!
+//! `iatf-audit` statically certifies the workspace's source-level safety
+//! and hygiene invariants the same way `iatf-verify` certifies kernel
+//! numerics: a pass over every `.rs` file that either comes back clean
+//! or emits pinpointed `file:line` diagnostics with a rule id and a fix
+//! hint. It is wired in as `reproduce audit` and gated by
+//! `scripts/verify.sh`; DESIGN.md §13 documents each rule's invariant.
+//!
+//! The rules:
+//! - `UNSAFE_PATH` / `UNSAFE_JUSTIFY` — unsafe code is confined to the
+//!   audited allowlist and every site carries a `SAFETY:` comment.
+//! - `ATOMIC_MODULE` / `ATOMIC_JUSTIFY` / `ATOMIC_RELAXED` — atomics are
+//!   confined to registered concurrency modules, every ordering choice
+//!   is justified in place, and `Relaxed` inside a synchronization
+//!   protocol must acknowledge the relaxation.
+//! - `FEATURE_FALLBACK` / `JSON_ESCAPE` / `ENV_READ` / `LIB_PANIC` —
+//!   cross-crate hygiene: gated public API has no-op fallbacks, JSON
+//!   escaping and `IATF_*` parsing have single homes, libraries do not
+//!   abort the process.
+//!
+//! The audit must also pass over itself: this crate uses no `unsafe`,
+//! no atomics, and never panics on malformed input.
+
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod registry;
+pub mod rules;
+
+mod selftest;
+
+pub use diag::{Diagnostic, RuleId};
+pub use registry::{ModuleClass, Registry};
+pub use rules::SourceFile;
+pub use selftest::self_test;
+
+use std::path::Path;
+
+/// Collects the workspace-relative paths and contents of every tracked
+/// `.rs` source under `root` (the `src/` and `crates/` trees; `vendor/`
+/// and `target/` are out of audit scope).
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    for top in ["src", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, root, &mut out)?;
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" {
+                continue;
+            }
+            walk(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let content = std::fs::read_to_string(&path)?;
+            out.push((rel, content));
+        }
+    }
+    Ok(())
+}
+
+/// Audits in-memory sources (workspace-relative path, content) against a
+/// registry. This is the engine entry the self-test drives with seeded
+/// violations.
+pub fn audit_sources(sources: &[(String, String)], reg: &Registry) -> Vec<Diagnostic> {
+    let files: Vec<SourceFile> = sources
+        .iter()
+        .map(|(rel, content)| SourceFile::new(rel, content))
+        .collect();
+    rules::run(&files, reg)
+}
+
+/// Audits the workspace rooted at `root` against the workspace registry.
+pub fn audit_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let sources = collect_sources(root)?;
+    Ok(audit_sources(&sources, Registry::workspace()))
+}
+
+/// Renders findings as the JSON report for `reproduce audit --json`.
+pub fn report_json(findings: &[Diagnostic]) -> iatf_obs::json::Json {
+    use iatf_obs::json::Json;
+    Json::object()
+        .set("clean", findings.is_empty())
+        .set("findings", findings.len())
+        .set(
+            "diagnostics",
+            Json::Array(findings.iter().map(Diagnostic::to_json).collect()),
+        )
+        .set(
+            "rules",
+            Json::Array(
+                RuleId::ALL
+                    .iter()
+                    .map(|r| {
+                        Json::object()
+                            .set("id", r.id())
+                            .set("invariant", r.invariant())
+                    })
+                    .collect(),
+            ),
+        )
+}

@@ -1,0 +1,430 @@
+//! The audit rules.
+//!
+//! Each rule walks the lexed line streams of one file (plus, for the
+//! fallback rule, crate-wide state) and emits [`Diagnostic`]s. Rules see
+//! only code text with strings blanked — a rule keyword inside a string
+//! or comment can never fire one — and skip `#[cfg(test)]` module spans
+//! where the certified invariant is about production code.
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::lexer::Lexed;
+use crate::registry::{classify, matches_prefix, FileKind, ModuleClass, Registry};
+
+/// One file ready for auditing.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// Path-derived role.
+    pub kind: FileKind,
+    /// Lexed line streams.
+    pub lexed: Lexed,
+}
+
+impl SourceFile {
+    /// Lexes `content` under the workspace-relative path `rel`.
+    pub fn new(rel: &str, content: &str) -> Self {
+        SourceFile {
+            rel: rel.to_string(),
+            kind: classify(rel),
+            lexed: crate::lexer::lex(content),
+        }
+    }
+}
+
+/// Runs every rule over `files` and returns findings sorted by
+/// (file, line, rule).
+pub fn run(files: &[SourceFile], reg: &Registry) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in files {
+        unsafe_rules(f, reg, &mut out);
+        atomic_rules(f, reg, &mut out);
+        json_escape_rule(f, reg, &mut out);
+        env_read_rule(f, reg, &mut out);
+        lib_panic_rule(f, &mut out);
+    }
+    fallback_rule(files, reg, &mut out);
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
+    out
+}
+
+/// True when `word` occurs in `code` delimited by non-identifier chars.
+fn has_word(code: &str, word: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let pre_ok = start == 0 || !is_ident(bytes[start - 1]);
+        let post_ok = end == bytes.len() || !is_ident(bytes[end]);
+        if pre_ok && post_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+fn is_ident(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// The comment text "adjacent" to a site: the site line's own trailing
+/// comment plus the contiguous block of pure-comment (and attribute)
+/// lines directly above it. A blank line or a line of real code ends
+/// the block. Lowercased for case-insensitive matching.
+fn adjacent_comment(lexed: &Lexed, site: usize) -> String {
+    let mut text = lexed.lines[site].comment.clone();
+    let mut l = site;
+    while l > 0 {
+        l -= 1;
+        let line = &lexed.lines[l];
+        let code = line.code.trim();
+        if code.is_empty() && line.comment.is_empty() {
+            break;
+        }
+        if !code.is_empty() && !code.starts_with("#[") {
+            break;
+        }
+        text.push(' ');
+        text.push_str(&line.comment);
+    }
+    text.to_ascii_lowercase()
+}
+
+/// Whether a site is covered by a justification carrying `needle`
+/// (lowercase): either its adjacent comment block, or any comment within
+/// `window` lines above — the latter tolerates a statement head (an
+/// `if`, a struct literal) between a block comment and the sites it
+/// covers. Returns the covering text for follow-on checks.
+fn covering_comment(lexed: &Lexed, site: usize, needle: &str, window: usize) -> Option<String> {
+    let adjacent = adjacent_comment(lexed, site);
+    if adjacent.contains(needle) {
+        return Some(adjacent);
+    }
+    for l in (site.saturating_sub(window)..site).rev() {
+        if lexed.lines[l].comment.is_empty() {
+            continue;
+        }
+        // Expand to the full comment block: the needle may sit on an
+        // earlier line of a block whose tail is inside the window.
+        let block = adjacent_comment(lexed, l);
+        if block.contains(needle) {
+            return Some(block);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// unsafe rules
+// ---------------------------------------------------------------------------
+
+/// Lines above a site searched for a SAFETY comment when the adjacent
+/// block has none (tolerates a statement head in between).
+const SAFETY_WINDOW: usize = 6;
+/// Max gap for chaining a site to the previous justified one: one SAFETY
+/// comment covers a tight run of sites (e.g. consecutive vector stores).
+const SAFETY_CHAIN: usize = 5;
+
+fn unsafe_rules(f: &SourceFile, reg: &Registry, out: &mut Vec<Diagnostic>) {
+    let allowlisted = matches_prefix(&f.rel, reg.unsafe_paths);
+    let mut last_justified: Option<usize> = None;
+    for (i, line) in f.lexed.lines.iter().enumerate() {
+        if !has_word(&line.code, "unsafe") {
+            continue;
+        }
+        if !allowlisted {
+            out.push(Diagnostic {
+                file: f.rel.clone(),
+                line: i + 1,
+                rule: RuleId::UnsafePath,
+                message: "`unsafe` outside the audited path allowlist".to_string(),
+            });
+        }
+        let direct = covering_comment(&f.lexed, i, "safety", SAFETY_WINDOW).is_some();
+        let chained = last_justified.is_some_and(|p| i - p <= SAFETY_CHAIN);
+        if direct || chained {
+            last_justified = Some(i);
+        } else {
+            out.push(Diagnostic {
+                file: f.rel.clone(),
+                line: i + 1,
+                rule: RuleId::UnsafeJustify,
+                message: "`unsafe` without an adjacent SAFETY justification comment".to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// atomic rules
+// ---------------------------------------------------------------------------
+
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+/// Lines above a site searched for an ordering comment when the adjacent
+/// block has none.
+const ORDERING_WINDOW: usize = 4;
+/// Max gap for chaining a site to the previous justified one: one
+/// ordering comment covers the tight statement group below it.
+const ORDERING_CHAIN: usize = 5;
+
+/// An atomic-ordering use site: (line index, uses Relaxed).
+fn atomic_sites(f: &SourceFile) -> Vec<(usize, bool)> {
+    let mut sites = Vec::new();
+    let mut in_use = false;
+    for (i, line) in f.lexed.lines.iter().enumerate() {
+        if f.lexed.in_test[i] {
+            continue;
+        }
+        let trimmed = line.code.trim();
+        // Imports re-export ordering names without *choosing* one; `use`
+        // statements may span lines, so track them to the semicolon.
+        let use_line = in_use
+            || trimmed.starts_with("use ")
+            || trimmed.starts_with("pub use ")
+            || trimmed.starts_with("pub(crate) use ");
+        if use_line {
+            in_use = !trimmed.ends_with(';');
+            continue;
+        }
+        let hit = ORDERINGS.iter().any(|o| has_word(&line.code, o));
+        if hit {
+            sites.push((i, has_word(&line.code, "Relaxed")));
+        }
+    }
+    sites
+}
+
+fn atomic_rules(f: &SourceFile, reg: &Registry, out: &mut Vec<Diagnostic>) {
+    if f.kind != FileKind::Lib {
+        return;
+    }
+    let sites = atomic_sites(f);
+    if sites.is_empty() {
+        return;
+    }
+    let class = reg
+        .concurrency_modules
+        .iter()
+        .find(|(p, _)| f.rel == *p)
+        .map(|(_, c)| *c);
+    let Some(class) = class else {
+        out.push(Diagnostic {
+            file: f.rel.clone(),
+            line: sites[0].0 + 1,
+            rule: RuleId::AtomicModule,
+            message: format!(
+                "atomic Ordering used in a module not registered for concurrency ({} site{})",
+                sites.len(),
+                if sites.len() == 1 { "" } else { "s" }
+            ),
+        });
+        return;
+    };
+    // (line, justification text) of the last justified site, for chaining.
+    let mut last: Option<(usize, String)> = None;
+    for (i, relaxed) in sites {
+        let text = match covering_comment(&f.lexed, i, "ordering:", ORDERING_WINDOW) {
+            Some(text) => Some(text),
+            None => match &last {
+                Some((p, t)) if i - p <= ORDERING_CHAIN => Some(t.clone()),
+                _ => None,
+            },
+        };
+        let Some(text) = text else {
+            out.push(Diagnostic {
+                file: f.rel.clone(),
+                line: i + 1,
+                rule: RuleId::AtomicJustify,
+                message: "atomic ordering chosen without an adjacent `// ordering:` justification"
+                    .to_string(),
+            });
+            continue;
+        };
+        if relaxed && class == ModuleClass::Protocol && !text.contains("relaxed") {
+            out.push(Diagnostic {
+                file: f.rel.clone(),
+                line: i + 1,
+                rule: RuleId::AtomicRelaxed,
+                message:
+                    "Relaxed in a protocol-class module; its justification must name the relaxation"
+                        .to_string(),
+            });
+        }
+        last = Some((i, text));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// hygiene rules
+// ---------------------------------------------------------------------------
+
+fn json_escape_rule(f: &SourceFile, reg: &Registry, out: &mut Vec<Diagnostic>) {
+    if f.kind != FileKind::Lib || reg.escape_exempt.iter().any(|(p, _)| f.rel == *p) {
+        return;
+    }
+    for (i, line) in f.lexed.lines.iter().enumerate() {
+        if f.lexed.in_test[i] {
+            continue;
+        }
+        // A match arm on the double-quote character is the signature of a
+        // hand-rolled escaping table.
+        let code = &line.code;
+        let arm = code.contains("'\"'") && code.contains("=>");
+        if arm {
+            out.push(Diagnostic {
+                file: f.rel.clone(),
+                line: i + 1,
+                rule: RuleId::JsonEscape,
+                message: "hand-rolled string-escaping table outside iatf_obs::json".to_string(),
+            });
+        }
+    }
+}
+
+fn env_read_rule(f: &SourceFile, reg: &Registry, out: &mut Vec<Diagnostic>) {
+    if f.kind != FileKind::Lib || reg.env_exempt.iter().any(|p| f.rel == *p) {
+        return;
+    }
+    for (i, line) in f.lexed.lines.iter().enumerate() {
+        if f.lexed.in_test[i] {
+            continue;
+        }
+        if line.code.contains("env::var") && line.raw.contains("IATF_") {
+            out.push(Diagnostic {
+                file: f.rel.clone(),
+                line: i + 1,
+                rule: RuleId::EnvRead,
+                message: "IATF_* environment variable read outside iatf_obs::env".to_string(),
+            });
+        }
+    }
+}
+
+fn lib_panic_rule(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if f.kind != FileKind::Lib {
+        return;
+    }
+    for (i, line) in f.lexed.lines.iter().enumerate() {
+        if f.lexed.in_test[i] {
+            continue;
+        }
+        let code = &line.code;
+        let what = if code.contains("panic!(") {
+            "`panic!`"
+        } else if code.contains("process::exit") {
+            "`process::exit`"
+        } else {
+            continue;
+        };
+        out.push(Diagnostic {
+            file: f.rel.clone(),
+            line: i + 1,
+            rule: RuleId::LibPanic,
+            message: format!("{what} in library code"),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// feature-fallback rule
+// ---------------------------------------------------------------------------
+
+/// A feature-gated public function: (crate prefix, feature, fn name).
+#[derive(PartialEq, Eq, Hash, Clone)]
+struct GatedFn {
+    krate: &'static str,
+    feature: String,
+    name: String,
+}
+
+fn fallback_rule(files: &[SourceFile], reg: &Registry, out: &mut Vec<Diagnostic>) {
+    use std::collections::HashSet;
+    // (gated fn, positive polarity) -> first site for reporting.
+    let mut positive: Vec<(GatedFn, &SourceFile, usize)> = Vec::new();
+    let mut negative: HashSet<GatedFn> = HashSet::new();
+
+    for f in files {
+        let Some(krate) = reg.fallback_crates.iter().find(|p| f.rel.starts_with(**p)) else {
+            continue;
+        };
+        if f.kind != FileKind::Lib {
+            continue;
+        }
+        for (i, line) in f.lexed.lines.iter().enumerate() {
+            if f.lexed.in_test[i] {
+                continue;
+            }
+            // In blanked code text the feature string is `""`; the actual
+            // name is recovered from the raw line.
+            let trimmed = line.code.trim();
+            let negated = if trimmed.starts_with("#[cfg(feature = \"\")]") {
+                false
+            } else if trimmed.starts_with("#[cfg(not(feature = \"\")))]")
+                || trimmed.starts_with("#[cfg(not(feature = \"\"))]")
+            {
+                true
+            } else {
+                continue;
+            };
+            let Some(feature) = raw_feature_name(&line.raw) else {
+                continue;
+            };
+            // Look past further attributes / doc lines for a `pub fn`.
+            let Some((j, name)) = gated_pub_fn(f, i) else {
+                continue;
+            };
+            let key = GatedFn {
+                krate,
+                feature,
+                name,
+            };
+            if negated {
+                negative.insert(key);
+            } else {
+                positive.push((key, f, j));
+            }
+        }
+    }
+    for (key, f, line) in positive {
+        if !negative.contains(&key) {
+            out.push(Diagnostic {
+                file: f.rel.clone(),
+                line: line + 1,
+                rule: RuleId::FeatureFallback,
+                message: format!(
+                    "pub fn `{}` gated on feature \"{}\" has no #[cfg(not(feature))] fallback in this crate",
+                    key.name, key.feature
+                ),
+            });
+        }
+    }
+}
+
+/// Extracts the feature name from the raw text of a cfg attribute line.
+fn raw_feature_name(raw: &str) -> Option<String> {
+    let at = raw.find("feature = \"")? + "feature = \"".len();
+    let rest = &raw[at..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Finds a `pub fn` within a few non-attribute lines after `i`, returning
+/// (line index, fn name).
+fn gated_pub_fn(f: &SourceFile, i: usize) -> Option<(usize, String)> {
+    for j in (i + 1)..f.lexed.lines.len().min(i + 4) {
+        let code = f.lexed.lines[j].code.trim();
+        if code.starts_with("#[") || code.is_empty() {
+            continue;
+        }
+        let rest = code.strip_prefix("pub fn ")?;
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        return (!name.is_empty()).then_some((j, name));
+    }
+    None
+}

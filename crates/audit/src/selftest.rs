@@ -1,0 +1,166 @@
+//! Audit self-test: proves the gate has teeth.
+//!
+//! Seeds one violation of every rule class into a scratch source tree,
+//! runs the real collector + engine over it, and checks that each seeded
+//! file produces exactly the expected rule ids — plus a fully clean file
+//! that must produce none. `scripts/verify.sh` runs this before trusting
+//! a clean workspace audit: a pass that cannot fail certifies nothing.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::diag::RuleId;
+use crate::{audit_sources, Registry};
+
+/// One seeded scenario: a file, its contents, and the rules it must trip.
+struct Seed {
+    rel: &'static str,
+    content: &'static str,
+    expect: &'static [RuleId],
+}
+
+fn seeds() -> Vec<Seed> {
+    vec![
+        Seed {
+            // Outside the allowlist and unjustified: both unsafe rules.
+            rel: "crates/badcrate/src/unsafe_bad.rs",
+            content: "pub fn f() {\n    unsafe { core::ptr::read_volatile(core::ptr::null::<u8>()); }\n}\n",
+            expect: &[RuleId::UnsafePath, RuleId::UnsafeJustify],
+        },
+        Seed {
+            // Allowlisted path, but no SAFETY comment.
+            rel: "crates/simd/src/unsafe_unjustified.rs",
+            content: "pub fn f() {\n    unsafe { core::ptr::read_volatile(core::ptr::null::<u8>()); }\n}\n",
+            expect: &[RuleId::UnsafeJustify],
+        },
+        Seed {
+            // Atomics outside any registered concurrency module.
+            rel: "crates/badcrate/src/atomics_stray.rs",
+            content: "use std::sync::atomic::{AtomicU64, Ordering};\npub fn f(x: &AtomicU64) -> u64 {\n    // ordering: counter read\n    x.load(Ordering::Relaxed)\n}\n",
+            expect: &[RuleId::AtomicModule],
+        },
+        Seed {
+            // Registered counter module, but the site is unjustified.
+            rel: "crates/tune/src/db.rs",
+            content: "use std::sync::atomic::{AtomicU64, Ordering};\npub fn f(x: &AtomicU64) {\n    x.fetch_add(1, Ordering::Relaxed);\n}\n",
+            expect: &[RuleId::AtomicJustify],
+        },
+        Seed {
+            // Registered protocol module; justification ignores Relaxed.
+            rel: "crates/trace/src/ring.rs",
+            content: "use std::sync::atomic::{AtomicU64, Ordering};\npub fn f(x: &AtomicU64) -> u64 {\n    // ordering: cheap and fine\n    x.load(Ordering::Relaxed)\n}\n",
+            expect: &[RuleId::AtomicRelaxed],
+        },
+        Seed {
+            // Feature-gated pub fn with no not(feature) twin.
+            rel: "crates/watch/src/gated.rs",
+            content: "#[cfg(feature = \"enabled\")]\npub fn lonely() {}\n",
+            expect: &[RuleId::FeatureFallback],
+        },
+        Seed {
+            // Hand-rolled quote-escaping table.
+            rel: "crates/badcrate/src/escaper.rs",
+            content: "pub fn esc(c: char, out: &mut String) {\n    match c {\n        '\"' => out.push_str(\"\\\\\\\"\"),\n        c => out.push(c),\n    }\n}\n",
+            expect: &[RuleId::JsonEscape],
+        },
+        Seed {
+            // Direct IATF_* environment read.
+            rel: "crates/badcrate/src/knobs.rs",
+            content: "pub fn db_path() -> Option<String> {\n    std::env::var(\"IATF_SEEDED_KNOB\").ok()\n}\n",
+            expect: &[RuleId::EnvRead],
+        },
+        Seed {
+            // Library code that aborts the process.
+            rel: "crates/badcrate/src/aborts.rs",
+            content: "pub fn f(x: u32) {\n    if x == 0 {\n        panic!(\"zero\");\n    }\n    std::process::exit(1);\n}\n",
+            expect: &[RuleId::LibPanic, RuleId::LibPanic],
+        },
+        Seed {
+            // Fully clean: justified unsafe in an allowlisted path, an
+            // atomic type without ordering choices, panics confined to a
+            // test module.
+            rel: "crates/simd/src/clean.rs",
+            content: "use std::sync::atomic::{AtomicU64, Ordering};\npub fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid for reads (seeded probe).\n    unsafe { core::ptr::read_volatile(p) }\n}\npub fn g(x: &AtomicU64) -> u64 {\n    let _ = x;\n    0\n}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        if false {\n            panic!(\"test-only panic is fine\");\n        }\n    }\n}\n",
+            expect: &[],
+        },
+    ]
+}
+
+/// Runs the negative self-test in-memory plus through a scratch
+/// directory on disk (exercising the collector), returning one summary
+/// line per scenario, or a description of the first discrepancy.
+pub fn self_test() -> Result<Vec<String>, String> {
+    let seeds = seeds();
+
+    // In-memory pass: every scenario audited together, findings grouped
+    // back per file.
+    let sources: Vec<(String, String)> = seeds
+        .iter()
+        .map(|s| (s.rel.to_string(), s.content.to_string()))
+        .collect();
+    let findings = audit_sources(&sources, Registry::workspace());
+
+    let mut lines = Vec::new();
+    for seed in &seeds {
+        let got: Vec<RuleId> = findings
+            .iter()
+            .filter(|d| d.file == seed.rel)
+            .map(|d| d.rule)
+            .collect();
+        let want: Vec<RuleId> = seed.expect.to_vec();
+        let got_set: BTreeSet<&str> = got.iter().map(|r| r.id()).collect();
+        let want_set: BTreeSet<&str> = want.iter().map(|r| r.id()).collect();
+        if got.len() != want.len() || got_set != want_set {
+            return Err(format!(
+                "self-test: seeded {} expected {:?}, audit reported {:?}",
+                seed.rel,
+                want.iter().map(|r| r.id()).collect::<Vec<_>>(),
+                got.iter().map(|r| r.id()).collect::<Vec<_>>(),
+            ));
+        }
+        lines.push(if want.is_empty() {
+            format!("{}: clean file audits clean", seed.rel)
+        } else {
+            format!(
+                "{}: fires {}",
+                seed.rel,
+                want.iter().map(|r| r.id()).collect::<Vec<_>>().join(", ")
+            )
+        });
+    }
+
+    // Disk pass: one representative violation written to a real scratch
+    // tree and found by the same collector `reproduce audit` uses.
+    let scratch = std::env::temp_dir().join(format!("iatf-audit-selftest-{}", std::process::id()));
+    let result = disk_probe(&scratch, &seeds[0]);
+    let _ = std::fs::remove_dir_all(&scratch);
+    let found = result.map_err(|e| format!("self-test scratch tree: {e}"))?;
+    if !found {
+        return Err(format!(
+            "self-test: collector missed the seeded violation in {}",
+            seeds[0].rel
+        ));
+    }
+    lines.push("scratch-tree collector pass: seeded violation detected".to_string());
+    Ok(lines)
+}
+
+fn disk_probe(scratch: &Path, seed: &Seed) -> std::io::Result<bool> {
+    let file = scratch.join(seed.rel);
+    std::fs::create_dir_all(file.parent().expect("seed path has a parent"))?;
+    std::fs::write(&file, seed.content)?;
+    let findings = crate::audit_workspace(scratch)?;
+    Ok(seed
+        .expect
+        .iter()
+        .all(|want| findings.iter().any(|d| d.file == seed.rel && d.rule == *want)))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn self_test_passes() {
+        let lines = super::self_test().expect("self-test must pass");
+        assert!(lines.len() >= 10, "unexpectedly few scenarios: {lines:?}");
+    }
+}

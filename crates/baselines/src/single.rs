@@ -67,6 +67,7 @@ pub fn gemm_real<R: Real + HasSimd>(
         while i0 + mr <= m {
             let mut acc = [[V::<R>::zero(); 4]; 2];
             for kk in 0..k {
+                // SAFETY: `i0 + mr <= m` (loop guard), so both lane loads stay inside column `kk` of the m×k matrix `ap`.
                 let a0 = unsafe { V::<R>::load(ap.as_ptr().add(kk * m + i0)) };
                 let a1 = unsafe { V::<R>::load(ap.as_ptr().add(kk * m + i0 + lanes)) };
                 for j in 0..w {
@@ -79,13 +80,16 @@ pub fn gemm_real<R: Real + HasSimd>(
             for j in 0..w {
                 let base = (j0 + j) * ldc + i0;
                 for v in 0..2 {
+                    // SAFETY: `base + v*lanes + LANES <= (j0+w)*ldc` because `i0 + mr <= m <= ldc`; the pointer stays inside C.
                     let ptr = unsafe { c.as_mut_ptr().add(base + v * lanes) };
                     let res = if beta == R::ZERO {
                         acc[v][j].mul(va)
                     } else {
+                        // SAFETY: same bound as `ptr` above — the load reads the C tile about to be overwritten.
                         let orig = unsafe { V::<R>::load(ptr) };
                         orig.mul(V::<R>::splat(beta)).fma(acc[v][j], va)
                     };
+                    // SAFETY: same bound as `ptr` above — the store writes the C tile just read.
                     unsafe { res.store(ptr) };
                 }
             }

@@ -84,6 +84,7 @@ impl SpecializedGemm {
                 while i0 + lanes <= m {
                     let mut acc = [V::<R>::zero(); 4];
                     for kk in 0..k {
+                        // SAFETY: `i0 + lanes <= m <= lda` (loop guard), so the lane load stays inside column `kk` of A.
                         let av = unsafe { V::<R>::load(am.as_ptr().add(kk * lda + i0)) };
                         for j in 0..w {
                             let bs = V::<R>::splat(self.b_elem(bm, ldb, kk, j0 + j));
@@ -92,13 +93,16 @@ impl SpecializedGemm {
                     }
                     for j in 0..w {
                         let idx = (j0 + j) * m + i0;
+                        // SAFETY: `idx + lanes <= (j0+w)*m` because `i0 + lanes <= m`; the pointer stays inside the m×n C.
                         let ptr = unsafe { cm.as_mut_ptr().add(idx) };
                         let res = if beta == R::ZERO {
                             acc[j].mul(V::<R>::splat(alpha))
                         } else {
+                            // SAFETY: same bound as `ptr` above — the load reads the C tile about to be overwritten.
                             let orig = unsafe { V::<R>::load(ptr) };
                             orig.mul(V::<R>::splat(beta)).fma(acc[j], V::<R>::splat(alpha))
                         };
+                        // SAFETY: same bound as `ptr` above — the store writes the C tile just read.
                         unsafe { res.store(ptr) };
                     }
                     i0 += lanes;
@@ -142,7 +146,7 @@ pub fn gemm<R: Real + HasSimd + Element>(
         Trans::No => a.cols(),
         Trans::Yes => a.rows(),
     };
-    SpecializedGemm::new(m, n, k, mode).execute(alpha, a, b, beta, c)
+    SpecializedGemm::new(m, n, k, mode).execute(alpha, a, b, beta, c);
 }
 
 #[cfg(test)]

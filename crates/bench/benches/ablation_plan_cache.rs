@@ -35,12 +35,12 @@ fn plan_cache(c: &mut Criterion) {
         cache::clear();
         group.bench_with_input(BenchmarkId::new("oneshot_cached", n), &n, |b, _| {
             b.iter(|| {
-                compact_gemm(GemmMode::NN, 1.0, &w.a_c, &w.b_c, 0.0, &mut w.c_c, &shared).unwrap()
+                compact_gemm(GemmMode::NN, 1.0, &w.a_c, &w.b_c, 0.0, &mut w.c_c, &shared).unwrap();
             });
         });
         group.bench_with_input(BenchmarkId::new("oneshot_bypass", n), &n, |b, _| {
             b.iter(|| {
-                compact_gemm(GemmMode::NN, 1.0, &w.a_c, &w.b_c, 0.0, &mut w.c_c, &bypass).unwrap()
+                compact_gemm(GemmMode::NN, 1.0, &w.a_c, &w.b_c, 0.0, &mut w.c_c, &bypass).unwrap();
             });
         });
     }

@@ -86,6 +86,7 @@ fn fmls_vs_gemm(c: &mut Criterion) {
         let mut panel = vec![0.5f64; (kk + MR) * NR * p];
         let rect = real_trsm_rect_kernel::<f64>(MR, NR);
         group.bench_with_input(BenchmarkId::new("fmls_rect", kk), &kk, |b, _| {
+            // SAFETY: the buffers above are sized exactly to the kernel's packed extents for these dimensions, and the strides passed match that sizing.
             b.iter(|| unsafe {
                 rect(
                     kk,
@@ -105,6 +106,7 @@ fn fmls_vs_gemm(c: &mut Criterion) {
         let pb = vec![0.5f64; kk * NR * p];
         let mut cbuf = vec![0.5f64; MR * NR * p];
         group.bench_with_input(BenchmarkId::new("gemm_update", kk), &kk, |b, _| {
+            // SAFETY: the buffers above are sized exactly to the kernel's packed extents for these dimensions, and the strides passed match that sizing.
             b.iter(|| unsafe {
                 kern(
                     kk,

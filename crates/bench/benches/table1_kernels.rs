@@ -33,6 +33,7 @@ fn bench_real<R: iatf_kernels::KernelScalar, V: SimdReal<Scalar = R>>(
                 |b, _| {
                     b.iter(|| {
                         for _ in 0..TILES {
+                            // SAFETY: the buffers above are sized exactly to the kernel's packed extents for these dimensions, and the strides passed match that sizing.
                             unsafe {
                                 kern(
                                     K,
@@ -47,7 +48,7 @@ fn bench_real<R: iatf_kernels::KernelScalar, V: SimdReal<Scalar = R>>(
                                     cbuf.as_mut_ptr(),
                                     p,
                                     mr * p,
-                                )
+                                );
                             }
                         }
                         std::hint::black_box(&cbuf);
@@ -81,6 +82,7 @@ fn bench_cplx<R: iatf_kernels::KernelScalar, V: SimdReal<Scalar = R>>(
                 |b, _| {
                     b.iter(|| {
                         for _ in 0..TILES {
+                            // SAFETY: the buffers above are sized exactly to the kernel's packed extents for these dimensions, and the strides passed match that sizing.
                             unsafe {
                                 kern(
                                     K,
@@ -95,7 +97,7 @@ fn bench_cplx<R: iatf_kernels::KernelScalar, V: SimdReal<Scalar = R>>(
                                     cbuf.as_mut_ptr(),
                                     g,
                                     mr * g,
-                                )
+                                );
                             }
                         }
                         std::hint::black_box(&cbuf);

@@ -93,8 +93,8 @@ fn main() {
         println!(
             "  gemm execute: {} cycles, ipc {}, l1d refills {}",
             c.cycles,
-            c.ipc().map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into()),
-            c.l1d_refill.map(|v| v.to_string()).unwrap_or_else(|| "-".into()),
+            c.ipc().map_or_else(|| "-".into(), |v| format!("{v:.2}")),
+            c.l1d_refill.map_or_else(|| "-".into(), |v| v.to_string()),
         );
     }
 

@@ -93,9 +93,11 @@ fn main() {
         json: false,
         paper: false,
     };
+    let mut audit_self_test = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--self-test" => audit_self_test = true,
             "--paper" => {
                 opts.sizes = paper_sizes();
                 opts.batch_base = PAPER_BATCH;
@@ -164,6 +166,7 @@ fn main() {
         "sentinel" => sentinel(&opts),
         "watch" => watch_bench(&opts),
         "verify" => verify_kernels(&opts),
+        "audit" => audit_workspace_sources(&opts, audit_self_test),
         "all" => {
             table1();
             table2();
@@ -592,7 +595,7 @@ fn ablation_pack(opts: &Opts) {
     ];
     for &n in &opts.sizes {
         let batch = scaled_batch(opts.batch_base, n);
-        for (policy, _, vals) in series_map.iter_mut() {
+        for (policy, _, vals) in &mut series_map {
             let cfg = TuningConfig {
                 pack: *policy,
                 ..TuningConfig::default()
@@ -1172,9 +1175,7 @@ fn callamort(opts: &Opts) {
     println!("## Executor throughput (f64 GEMM NN, batch {tp_count})");
     for (i, &n) in tp_sizes.iter().enumerate() {
         let par = parallel_gflops
-            .get(i)
-            .map(|g| format!("{g:>10.2}"))
-            .unwrap_or_else(|| format!("{:>10}", "(off)"));
+            .get(i).map_or_else(|| format!("{:>10}", "(off)"), |g| format!("{g:>10.2}"));
         println!("{n:>4} serial {:>10.2} GFLOPS   parallel {par} GFLOPS", serial_gflops[i]);
     }
     println!();
@@ -1514,7 +1515,7 @@ fn trace_bench(opts: &Opts) {
             .points
             .iter()
             .map(|p| {
-                let opt = |v: Option<f64>| v.map(iatf_obs::Json::from).unwrap_or(iatf_obs::Json::Null);
+                let opt = |v: Option<f64>| v.map_or(iatf_obs::Json::Null, iatf_obs::Json::from);
                 let mut o = iatf_obs::Json::object()
                     .set("label", p.input.label.clone())
                     .set("op", p.input.op.clone())
@@ -1534,7 +1535,7 @@ fn trace_bench(opts: &Opts) {
                     .set("model_error_pct", opt(p.model_error_pct));
                 if let Some(c) = &p.input.counters {
                     let cnt = |v: Option<u64>| {
-                        v.map(iatf_obs::Json::from).unwrap_or(iatf_obs::Json::Null)
+                        v.map_or(iatf_obs::Json::Null, iatf_obs::Json::from)
                     };
                     o = o.set(
                         "counters",
@@ -1572,8 +1573,7 @@ fn trace_bench(opts: &Opts) {
                         "worst_model_error_pct",
                         report
                             .worst_model_error_pct()
-                            .map(iatf_obs::Json::from)
-                            .unwrap_or(iatf_obs::Json::Null),
+                            .map_or(iatf_obs::Json::Null, iatf_obs::Json::from),
                     )
                     .set("points", points),
             );
@@ -1623,13 +1623,10 @@ impl SentinelCheck {
 /// that produces it with `--json`) and tells the user to commit it — the
 /// gate is then armed from the next run onward.
 fn load_baseline(path: &str, target: &str) -> Option<iatf_obs::Json> {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(_) => {
-            eprintln!("   no committed baseline at {path}: recording one from the current build");
-            record_baseline(path, target);
-            return None;
-        }
+    let Ok(text) = std::fs::read_to_string(path) else {
+        eprintln!("   no committed baseline at {path}: recording one from the current build");
+        record_baseline(path, target);
+        return None;
     };
     match iatf_obs::parse_json(&text) {
         Ok(v) => Some(v),
@@ -2127,8 +2124,7 @@ fn watch_bench(opts: &Opts) {
     let metrics = iatf_obs::snapshot();
     let class = snap.classes.iter().find(|c| c.key == victim_key);
     let recovered_within_envelope = class
-        .map(|c| c.ewma_ratio <= 1.0 + c.slack && !c.drifting)
-        .unwrap_or(false);
+        .is_some_and(|c| c.ewma_ratio <= 1.0 + c.slack && !c.drifting);
 
     std::fs::create_dir_all("target").ok();
     let prom_path = "target/watch_prometheus.txt";
@@ -2140,8 +2136,7 @@ fn watch_bench(opts: &Opts) {
     if opts.json {
         let ev_json = event
             .as_ref()
-            .map(|e| e.to_json())
-            .unwrap_or(iatf_obs::Json::Null);
+            .map_or(iatf_obs::Json::Null, |e| e.to_json());
         let doc = iatf_obs::Json::object()
             .set("title", "watch: dispatch telemetry, drift detection, retune remediation")
             .set("watch_enabled", true)
@@ -2160,8 +2155,7 @@ fn watch_bench(opts: &Opts) {
                     .set(
                         "detection_dispatches",
                         detection_dispatches
-                            .map(|d| iatf_obs::Json::from(d as u64))
-                            .unwrap_or(iatf_obs::Json::Null),
+                            .map_or(iatf_obs::Json::Null, |d| iatf_obs::Json::from(d as u64)),
                     )
                     .set("event", ev_json),
             )
@@ -2181,7 +2175,7 @@ fn watch_bench(opts: &Opts) {
                     .set("events_after_recovery", events_after_recovery)
                     .set(
                         "ewma_ratio",
-                        class.map(|c| iatf_obs::Json::from(c.ewma_ratio)).unwrap_or(iatf_obs::Json::Null),
+                        class.map_or(iatf_obs::Json::Null, |c| iatf_obs::Json::from(c.ewma_ratio)),
                     )
                     .set("within_envelope", recovered_within_envelope),
             )
@@ -2247,6 +2241,49 @@ fn verify_kernels(opts: &Opts) {
     }
     if !report.is_certified() {
         std::process::exit(1);
+    }
+}
+
+/// `reproduce audit`: static source certification of the workspace
+/// (unsafe allowlist, atomic-ordering justifications, cross-crate
+/// hygiene). `--self-test` first proves the gate can fail by seeding
+/// violations of every rule class; `--json` emits the machine report.
+fn audit_workspace_sources(opts: &Opts, self_test: bool) {
+    // The binary lives at crates/bench; the workspace root is two up.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if self_test {
+        match iatf_audit::self_test() {
+            Ok(lines) => {
+                println!("## Audit self-test: every rule class fires on a seeded violation");
+                for line in &lines {
+                    println!("    {line}");
+                }
+            }
+            Err(msg) => {
+                eprintln!("error: audit self-test failed: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let findings = match iatf_audit::audit_workspace(&root) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("error: audit could not read the workspace: {e}");
+            std::process::exit(2);
+        }
+    };
+    if opts.json {
+        println!("{}", iatf_audit::report_json(&findings).to_pretty());
+    } else if findings.is_empty() {
+        println!("## Source audit: workspace clean ({} rules)", iatf_audit::RuleId::ALL.len());
+    } else {
+        println!("## Source audit: {} finding(s)", findings.len());
+        for d in &findings {
+            println!("{d}");
+        }
+    }
+    if !findings.is_empty() {
+        std::process::exit(2);
     }
 }
 

@@ -28,7 +28,7 @@ fn fma_loop<V: SimdReal>(iters: usize) -> f64 {
     let x = V::splat(std::hint::black_box(V::Scalar::from_f64(0.999_999)));
     let y = V::splat(std::hint::black_box(V::Scalar::from_f64(1e-9)));
     for _ in 0..iters {
-        for a in acc.iter_mut() {
+        for a in &mut acc {
             *a = a.fma(x, y);
         }
     }

@@ -155,6 +155,7 @@ pub fn microkernel_gemm_gflops(mr: usize, nr: usize, k: usize, opts: &TimeOpts) 
     let kern = real_gemm_kernel::<f64>(mr, nr);
     let secs = time_secs(opts, || {
         for _ in 0..tiles {
+            // SAFETY: the buffers above are sized exactly to the kernel's packed extents for these dimensions, and the strides passed match that sizing.
             unsafe {
                 kern(
                     k,
@@ -196,6 +197,7 @@ pub fn fmls_vs_gemm_update(kk: usize, opts: &TimeOpts) -> (f64, f64) {
     let rect = real_trsm_rect_kernel::<f64>(MR, NR);
     let secs_fmls = time_secs(opts, || {
         for _ in 0..reps {
+            // SAFETY: the buffers above are sized exactly to the kernel's packed extents for these dimensions, and the strides passed match that sizing.
             unsafe {
                 rect(
                     kk,
@@ -221,6 +223,7 @@ pub fn fmls_vs_gemm_update(kk: usize, opts: &TimeOpts) -> (f64, f64) {
     let mut c = vec![0.5f64; MR * NR * p];
     let secs_gemm = time_secs(opts, || {
         for _ in 0..reps {
+            // SAFETY: the buffers above are sized exactly to the kernel's packed extents for these dimensions, and the strides passed match that sizing.
             unsafe {
                 kern(
                     kk.max(1),
@@ -301,6 +304,7 @@ pub fn pingpong_vs_plain(k: usize, opts: &TimeOpts) -> (f64, f64) {
     let mut run = |f: iatf_kernels::RealGemmKernel<f64>| {
         time_secs(opts, || {
             for _ in 0..tiles {
+                // SAFETY: the buffers above are sized exactly to the kernel's packed extents for these dimensions, and the strides passed match that sizing.
                 unsafe {
                     f(
                         k,
@@ -315,7 +319,7 @@ pub fn pingpong_vs_plain(k: usize, opts: &TimeOpts) -> (f64, f64) {
                         c.as_mut_ptr(),
                         p,
                         4 * p,
-                    )
+                    );
                 }
             }
             std::hint::black_box(&c);

@@ -137,7 +137,7 @@ pub fn generate_gemm_kernel_traced(spec: &GemmKernelSpec) -> TracedProgram {
     let mut p = Program::new(spec.dtype);
     let mut spans = Vec::new();
     span(&mut p, &mut spans, TemplateId::PrefetchC, |p| {
-        prefetch_c(p, &r, spec.ldc)
+        prefetch_c(p, &r, spec.ldc);
     });
 
     if spec.k == 1 {
@@ -167,7 +167,7 @@ pub fn generate_gemm_kernel_traced(spec: &GemmKernelSpec) -> TracedProgram {
     }
 
     span(&mut p, &mut spans, TemplateId::Save, |p| {
-        template_save(p, &r, spec.alpha, spec.ldc)
+        template_save(p, &r, spec.alpha, spec.ldc);
     });
     TracedProgram { program: p, spans }
 }
@@ -200,7 +200,7 @@ pub fn generate_cgemm_kernel_traced(spec: &GemmKernelSpec) -> TracedProgram {
 
     if spec.k == 1 {
         span(&mut p, &mut spans, TemplateId::Sub, |p| {
-            ctemplate_sub(p, &r, true)
+            ctemplate_sub(p, &r, true);
         });
     } else {
         span(&mut p, &mut spans, TemplateId::I, |p| ctemplate_i(p, &r));
@@ -222,7 +222,7 @@ pub fn generate_cgemm_kernel_traced(spec: &GemmKernelSpec) -> TracedProgram {
         }
     }
     span(&mut p, &mut spans, TemplateId::Save, |p| {
-        ctemplate_save(p, &r, spec.alpha, spec.ldc)
+        ctemplate_save(p, &r, spec.alpha, spec.ldc);
     });
     TracedProgram { program: p, spans }
 }
@@ -259,21 +259,21 @@ pub fn generate_trsm_tri_kernel_traced(m: usize, n: usize, dtype: DataType) -> T
     let mut p = Program::new(dtype);
     let mut spans = Vec::new();
     span(&mut p, &mut spans, TemplateId::TrsmLoadTriangle, |p| {
-        trsm_load_triangle(p, &r)
+        trsm_load_triangle(p, &r);
     });
     // ping-pong: load column l+1 into the idle set before solving column l
     let set_of = |l: usize| if l % 2 == 0 { Set::Zero } else { Set::One };
     span(&mut p, &mut spans, TemplateId::TrsmLoadColumn(0), |p| {
-        trsm_load_column(p, &r, set_of(0), 0)
+        trsm_load_column(p, &r, set_of(0), 0);
     });
     for l in 0..n {
         if l + 1 < n {
             span(&mut p, &mut spans, TemplateId::TrsmLoadColumn(l + 1), |p| {
-                trsm_load_column(p, &r, set_of(l + 1), l + 1)
+                trsm_load_column(p, &r, set_of(l + 1), l + 1);
             });
         }
         span(&mut p, &mut spans, TemplateId::TrsmSolveColumn(l), |p| {
-            trsm_solve_column(p, &r, set_of(l), l)
+            trsm_solve_column(p, &r, set_of(l), l);
         });
     }
     TracedProgram { program: p, spans }
@@ -362,11 +362,11 @@ pub fn generate_trsm_block_kernel_traced(
     };
     if kk > 0 {
         span(&mut p, &mut spans, TemplateId::BlockRectLoad(0), |p| {
-            load_sliver(p, 0, 0)
+            load_sliver(p, 0, 0);
         });
         if kk > 1 {
             span(&mut p, &mut spans, TemplateId::BlockRectLoad(1), |p| {
-                load_sliver(p, 1, 1)
+                load_sliver(p, 1, 1);
             });
         }
         for k in 0..kk {
@@ -374,11 +374,11 @@ pub fn generate_trsm_block_kernel_traced(
             // with the sliver after next
             let set = k % 2;
             span(&mut p, &mut spans, TemplateId::BlockRectCompute(k), |p| {
-                compute(p, set)
+                compute(p, set);
             });
             if k + 2 < kk {
                 span(&mut p, &mut spans, TemplateId::BlockRectLoad(k + 2), |p| {
-                    load_sliver(p, set, k + 2)
+                    load_sliver(p, set, k + 2);
                 });
             }
         }
@@ -521,16 +521,16 @@ pub fn generate_trmm_block_kernel_traced(
         }
     };
     span(&mut p, &mut spans, TemplateId::TrmmTriLoad(0), |p| {
-        tri_load(p, 0)
+        tri_load(p, 0);
     });
     for j in 0..mb {
         if j + 1 < mb {
             span(&mut p, &mut spans, TemplateId::TrmmTriLoad(j + 1), |p| {
-                tri_load(p, j + 1)
+                tri_load(p, j + 1);
             });
         }
         span(&mut p, &mut spans, TemplateId::TrmmTriCompute(j), |p| {
-            tri_compute(p, j)
+            tri_compute(p, j);
         });
     }
 
@@ -566,21 +566,21 @@ pub fn generate_trmm_block_kernel_traced(
     };
     if kk > 0 {
         span(&mut p, &mut spans, TemplateId::BlockRectLoad(0), |p| {
-            load_sliver(p, 0, 0)
+            load_sliver(p, 0, 0);
         });
         if kk > 1 {
             span(&mut p, &mut spans, TemplateId::BlockRectLoad(1), |p| {
-                load_sliver(p, 1, 1)
+                load_sliver(p, 1, 1);
             });
         }
         for k in 0..kk {
             let set = k % 2;
             span(&mut p, &mut spans, TemplateId::BlockRectCompute(k), |p| {
-                compute(p, set)
+                compute(p, set);
             });
             if k + 2 < kk {
                 span(&mut p, &mut spans, TemplateId::BlockRectLoad(k + 2), |p| {
-                    load_sliver(p, set, k + 2)
+                    load_sliver(p, set, k + 2);
                 });
             }
         }

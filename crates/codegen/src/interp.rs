@@ -31,7 +31,7 @@ impl Memory {
 
     /// Reads a buffer back.
     pub fn buffer(&self, reg: XReg) -> &[f64] {
-        self.bufs.get(&reg).map(|v| v.as_slice()).unwrap_or(&[])
+        self.bufs.get(&reg).map_or(&[], |v| v.as_slice())
     }
 
     fn scalar_index(&self, base: XReg, offset: i32, scalar_bytes: usize) -> usize {

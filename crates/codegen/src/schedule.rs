@@ -195,7 +195,7 @@ pub fn optimize(p: &Program, model: &PipelineModel) -> Program {
                 if !port_ok {
                     continue;
                 }
-                if best.map(|b| height[i] > height[b]).unwrap_or(true) {
+                if best.is_none_or(|b| height[i] > height[b]) {
                     best = Some(i);
                 }
             }

@@ -38,6 +38,7 @@ fn check_gemm_equiv(mc: usize, nc: usize, k: usize, alpha: f64, optimized: bool)
     let mut run_rust = |mc: usize, nc: usize| {
         macro_rules! call {
             ($m:literal, $n:literal) => {
+                // SAFETY: the buffers above are sized exactly to the kernel's packed extents for these dimensions, and the strides passed match that sizing (same layout the generated-assembly side uses).
                 unsafe {
                     gemm_ukr::<F64x2, $m, $n>(
                         k,
@@ -158,6 +159,7 @@ fn generated_trsm_matches_rust_kernel() {
             let mut panel_rust = panel0.clone();
             macro_rules! call {
                 ($m:literal, $col:expr) => {
+                    // SAFETY: the buffers above are sized exactly to the kernel's packed extents for these dimensions, and the strides passed match that sizing (same layout the generated-assembly side uses).
                     unsafe {
                         trsm_ukr::<F64x2, $m, 1>(
                             0,
@@ -244,6 +246,7 @@ fn generated_zgemm_matches_rust_kernel() {
             let mut c_rust = c0.clone();
             macro_rules! call {
                 ($m:literal, $n:literal) => {
+                    // SAFETY: the buffers above are sized exactly to the kernel's packed extents for these dimensions, and the strides passed match that sizing (same layout the generated-assembly side uses).
                     unsafe {
                         cgemm_ukr::<F64x2, $m, $n>(
                             k,
@@ -348,6 +351,7 @@ fn generated_blocked_trsm_matches_rust_kernel() {
             let mut panel_rust = panel0.clone();
             macro_rules! call {
                 ($m:literal, $n:literal) => {
+                    // SAFETY: the buffers above are sized exactly to the kernel's packed extents for these dimensions, and the strides passed match that sizing (same layout the generated-assembly side uses).
                     unsafe {
                         trsm_ukr::<F64x2, $m, $n>(
                             kk,

@@ -146,6 +146,7 @@ macro_rules! impl_real_compact {
             }
 
             #[inline]
+            // SAFETY: unsafe fn — thin monomorphization shim; the pointer/stride contract is exactly the wrapped kernel type's (see iatf-kernels), forwarded unchanged.
             unsafe fn gemm_kernel(
                 kernel: Self::GemmK,
                 k: usize,
@@ -165,6 +166,7 @@ macro_rules! impl_real_compact {
             }
 
             #[inline]
+            // SAFETY: unsafe fn — thin monomorphization shim; the pointer/stride contract is exactly the wrapped kernel type's (see iatf-kernels), forwarded unchanged.
             unsafe fn trsm_kernel(
                 kernel: Self::TrsmK,
                 kk: usize,
@@ -181,6 +183,7 @@ macro_rules! impl_real_compact {
             }
 
             #[inline]
+            // SAFETY: unsafe fn — thin monomorphization shim; the pointer/stride contract is exactly the wrapped kernel type's (see iatf-kernels), forwarded unchanged.
             unsafe fn trmm_kernel(
                 kernel: Self::TrmmK,
                 kk: usize,
@@ -232,6 +235,7 @@ macro_rules! impl_cplx_compact {
             }
 
             #[inline]
+            // SAFETY: unsafe fn — thin monomorphization shim; the pointer/stride contract is exactly the wrapped kernel type's (see iatf-kernels), forwarded unchanged.
             unsafe fn gemm_kernel(
                 kernel: Self::GemmK,
                 k: usize,
@@ -264,6 +268,7 @@ macro_rules! impl_cplx_compact {
             }
 
             #[inline]
+            // SAFETY: unsafe fn — thin monomorphization shim; the pointer/stride contract is exactly the wrapped kernel type's (see iatf-kernels), forwarded unchanged.
             unsafe fn trsm_kernel(
                 kernel: Self::TrsmK,
                 kk: usize,
@@ -280,6 +285,7 @@ macro_rules! impl_cplx_compact {
             }
 
             #[inline]
+            // SAFETY: unsafe fn — thin monomorphization shim; the pointer/stride contract is exactly the wrapped kernel type's (see iatf-kernels), forwarded unchanged.
             unsafe fn trmm_kernel(
                 kernel: Self::TrmmK,
                 kk: usize,

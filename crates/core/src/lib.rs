@@ -41,6 +41,7 @@ pub mod config;
 pub mod elem;
 pub mod machine;
 pub mod plan;
+pub(crate) mod sync;
 
 /// Observability layer: plan explainers are always live; the counters and
 /// phase timers wired through the planner/executor become real (atomic,

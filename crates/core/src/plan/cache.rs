@@ -33,11 +33,11 @@
 use crate::config::{fx_mix, TuningConfig};
 use crate::elem::CompactElement;
 use crate::plan::{GemmPlan, TrmmPlan, TrsmPlan};
+use crate::sync::{AtomicU64, Ordering::Relaxed};
 use iatf_layout::{GemmDims, GemmMode, LayoutError, TrsmDims, TrsmMode};
 use iatf_obs as obs;
 use std::any::Any;
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Number of independently locked shards (power of two).
@@ -124,6 +124,22 @@ fn cache() -> &'static PlanCache {
     })
 }
 
+/// The per-thread front of the plan cache. It holds no lock and no
+/// atomics of its own; its correctness contract is the *epoch protocol*
+/// against [`PlanCache::epoch`]:
+///
+/// 1. a dispatch loads the global epoch exactly once, at entry;
+/// 2. [`revalidate`](FrontCache::revalidate) runs against that observed
+///    epoch before any lookup, dropping everything remembered under an
+///    older epoch;
+/// 3. [`remember`](FrontCache::remember) re-checks the same observed
+///    epoch, so a plan is never stored into a front that has since moved
+///    on.
+///
+/// Together these guarantee that a dispatch observing epoch `E` never
+/// serves (or stores) a plan remembered under an epoch `< E` — the
+/// invariant the `loom_models` module at the bottom of this file drives
+/// through every bounded interleaving with a concurrent [`clear`].
 struct FrontCache {
     epoch: u64,
     /// Round-robin replacement cursor.
@@ -131,12 +147,55 @@ struct FrontCache {
     entries: Vec<(Key, AnyPlan)>,
 }
 
+impl FrontCache {
+    const fn new() -> Self {
+        FrontCache {
+            epoch: 0,
+            next: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Step 2 of the epoch protocol: drops every remembered plan unless
+    /// it was remembered under `epoch` (the value this dispatch observed
+    /// in [`PlanCache::epoch`]).
+    fn revalidate(&mut self, epoch: u64) {
+        if self.epoch != epoch {
+            self.entries.clear();
+            self.next = 0;
+            self.epoch = epoch;
+        }
+    }
+
+    /// Linear scan over the (few) remembered plans. Only meaningful after
+    /// [`revalidate`](Self::revalidate) in the same dispatch.
+    fn lookup(&self, key: &Key) -> Option<AnyPlan> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, plan)| Arc::clone(plan))
+    }
+
+    /// Step 3 of the epoch protocol: stores `plan` round-robin, unless a
+    /// newer epoch was installed since this dispatch observed `epoch` (a
+    /// concurrent [`clear`] raced us — the plan is then dropped rather
+    /// than remembered under an epoch it does not belong to).
+    fn remember(&mut self, epoch: u64, key: Key, plan: &AnyPlan) {
+        if self.epoch != epoch {
+            return;
+        }
+        let slot = self.next;
+        if self.entries.len() < FRONT_SLOTS {
+            self.entries.push((key, Arc::clone(plan)));
+        } else {
+            self.entries[slot] = (key, Arc::clone(plan));
+        }
+        self.next = (slot + 1) % FRONT_SLOTS;
+    }
+}
+
 thread_local! {
-    static FRONT: RefCell<FrontCache> = RefCell::new(FrontCache {
-        epoch: 0,
-        next: 0,
-        entries: Vec::new(),
-    });
+    static FRONT: RefCell<FrontCache> = const { RefCell::new(FrontCache::new()) };
 }
 
 /// Looks `key` up in the front cache, then its shard; on a miss, builds
@@ -148,23 +207,23 @@ where
     F: FnOnce() -> Result<P, LayoutError>,
 {
     let c = cache();
+    // ordering: Relaxed — the epoch is the only shared word of the front
+    // protocol and carries no payload of its own: observing a stale value
+    // only delays invalidation by one dispatch (the stale front still
+    // serves plans remembered under the epoch it observed, which is the
+    // invariant; see FrontCache). Plans themselves are published by the
+    // shard Mutex, never through this load.
     let epoch = c.epoch.load(Relaxed);
 
     // Fast path: this thread dispatched the same shape recently.
     let front_hit = FRONT.with(|front| {
         let mut f = front.borrow_mut();
-        if f.epoch != epoch {
-            f.entries.clear();
-            f.next = 0;
-            f.epoch = epoch;
-            return None;
-        }
-        f.entries
-            .iter()
-            .find(|(k, _)| *k == key)
-            .map(|(_, plan)| Arc::clone(plan))
+        f.revalidate(epoch);
+        f.lookup(&key)
     });
     if let Some(plan) = front_hit {
+        // ordering: Relaxed — monotonic statistics counter; no reader
+        // infers anything from it about other memory.
         c.hits.fetch_add(1, Relaxed);
         obs::count_plan_cache(obs::CacheEvent::Hit);
         return Ok(plan
@@ -210,6 +269,8 @@ where
                             .map(|(i, _)| i)
                             .expect("shard at capacity is non-empty");
                         s.entries.swap_remove(oldest);
+                        // ordering: Relaxed — monotonic statistics
+                        // counter (shard state is guarded by its Mutex).
                         c.evictions.fetch_add(1, Relaxed);
                         obs::count_plan_cache(obs::CacheEvent::Eviction);
                     }
@@ -225,6 +286,8 @@ where
             (plan, false)
         }
     };
+    // ordering: Relaxed — monotonic statistics counters; no reader infers
+    // anything from them about other memory.
     if hit {
         c.hits.fetch_add(1, Relaxed);
         obs::count_plan_cache(obs::CacheEvent::Hit);
@@ -234,18 +297,7 @@ where
     }
 
     // Remember in the front cache (round-robin over a few slots).
-    FRONT.with(|front| {
-        let mut f = front.borrow_mut();
-        if f.epoch == epoch {
-            let slot = f.next;
-            if f.entries.len() < FRONT_SLOTS {
-                f.entries.push((key, Arc::clone(&plan)));
-            } else {
-                f.entries[slot] = (key, Arc::clone(&plan));
-            }
-            f.next = (slot + 1) % FRONT_SLOTS;
-        }
-    });
+    FRONT.with(|front| front.borrow_mut().remember(epoch, key, &plan));
 
     Ok(plan
         .downcast::<P>()
@@ -254,6 +306,7 @@ where
 
 /// Records a deliberate cache skip (the `Bypass` policy) in the stats.
 pub(crate) fn note_bypass() {
+    // ordering: Relaxed — monotonic statistics counter.
     cache().bypasses.fetch_add(1, Relaxed);
     obs::count_plan_cache(obs::CacheEvent::Bypass);
 }
@@ -358,6 +411,8 @@ pub struct PlanCacheStats {
 /// Snapshot of the cache counters and current occupancy.
 pub fn stats() -> PlanCacheStats {
     let c = cache();
+    // ordering: Relaxed — point-in-time reads of independent monotonic
+    // counters; the snapshot is advisory, not a consistent cut.
     PlanCacheStats {
         hits: c.hits.load(Relaxed),
         misses: c.misses.load(Relaxed),
@@ -376,12 +431,23 @@ pub fn stats() -> PlanCacheStats {
 /// tests and long-lived processes that change tuning configs wholesale.
 pub fn clear() {
     let c = cache();
+    // ordering: Relaxed — the bump needs no release fence because it
+    // publishes nothing: fronts that observe the new value drop their
+    // entries and rebuild through the shard Mutex (which is the real
+    // synchronization point), and fronts that observe the old value keep
+    // serving plans remembered under it, which is the documented
+    // transient-staleness window of `clear`. The bump-before-clear order
+    // below is still load-bearing for the *shared* cache: a thread that
+    // finds a shard empty after this line can only remember the rebuilt
+    // plan under the epoch it observed at entry.
     c.epoch.fetch_add(1, Relaxed);
     for shard in &c.shards {
         let mut s = shard.lock().expect("plan cache shard poisoned");
         s.entries.clear();
         s.tick = 0;
     }
+    // ordering: Relaxed — statistics counters reset; racing dispatches
+    // may re-add a count, which the stats snapshot tolerates.
     c.hits.store(0, Relaxed);
     c.misses.store(0, Relaxed);
     c.evictions.store(0, Relaxed);
@@ -393,12 +459,150 @@ pub const fn capacity() -> usize {
     SHARDS * SHARD_CAP
 }
 
+/// Bounded model checking of the front-cache epoch protocol (run with
+/// `RUSTFLAGS="--cfg loom" cargo test -p iatf-core --lib loom`): every
+/// interleaving of a dispatching thread against a concurrent `clear()`
+/// epoch bump, within the model checker's preemption bound.
+#[cfg(all(loom, test))]
+mod loom_models {
+    use super::*;
+    use crate::sync::AtomicU64;
+    use loom::thread;
+
+    fn model_key() -> Key {
+        Key {
+            op: 0,
+            dtype: 1,
+            m: 4,
+            n: 4,
+            k: 4,
+            mode: 0,
+            conj: 0,
+            count: 32,
+            cfg: 7,
+        }
+    }
+
+    /// Plans in the model are `Arc<u64>` tagged with the epoch they were
+    /// remembered under, so a served plan can testify which generation it
+    /// belongs to.
+    fn tagged(epoch: u64) -> AnyPlan {
+        Arc::new(epoch) as AnyPlan
+    }
+
+    fn tag_of(plan: &AnyPlan) -> u64 {
+        *plan.downcast_ref::<u64>().expect("model plans are epoch tags")
+    }
+
+    /// Invariant: a dispatch that observes epoch `E` never serves a plan
+    /// remembered under an epoch `< E`, no matter how a concurrent
+    /// `clear()` bump interleaves with it.
+    #[test]
+    fn front_never_serves_plan_from_dead_epoch() {
+        loom::model(|| {
+            let epoch = Arc::new(AtomicU64::new(0));
+            let key = model_key();
+            let mut front = FrontCache::new();
+
+            // Dispatch 1 (pre-race): remember a plan under the epoch it
+            // observed.
+            let e1 = epoch.load(Relaxed);
+            front.revalidate(e1);
+            front.remember(e1, key, &tagged(e1));
+
+            // Concurrent clear(): the epoch bump, as clear() issues it.
+            let writer = {
+                let epoch = Arc::clone(&epoch);
+                thread::spawn(move || {
+                    epoch.fetch_add(1, Relaxed);
+                })
+            };
+
+            // Dispatch 2 races the bump: whatever epoch it observes, any
+            // plan it serves must carry exactly that epoch.
+            let e2 = epoch.load(Relaxed);
+            front.revalidate(e2);
+            if let Some(plan) = front.lookup(&key) {
+                assert_eq!(
+                    tag_of(&plan),
+                    e2,
+                    "front served a plan remembered under a dead epoch"
+                );
+            }
+
+            writer.join().unwrap();
+
+            // Dispatch 3 (post-race): the bump is now visible; the plan
+            // remembered under epoch 0 must be gone.
+            let e3 = epoch.load(Relaxed);
+            assert_eq!(e3, 1);
+            front.revalidate(e3);
+            assert!(
+                front.lookup(&key).is_none(),
+                "plan from generation 0 survived the generation bump"
+            );
+        });
+    }
+
+    /// Invariant: `remember` never stores a plan into a front that has
+    /// already revalidated against a newer epoch — a build that straddles
+    /// a `clear()` is dropped, not cached under the wrong generation.
+    #[test]
+    fn front_remember_refuses_stale_epoch() {
+        loom::model(|| {
+            let epoch = Arc::new(AtomicU64::new(0));
+            let key = model_key();
+            let mut front = FrontCache::new();
+
+            // A dispatch observes epoch 0 and starts building.
+            let e1 = epoch.load(Relaxed);
+            front.revalidate(e1);
+
+            let writer = {
+                let epoch = Arc::clone(&epoch);
+                thread::spawn(move || {
+                    epoch.fetch_add(1, Relaxed);
+                })
+            };
+
+            // Another dispatch on the same thread may interleave and
+            // observe the bumped epoch before the first one's remember
+            // runs (thread-local fronts serialize dispatches, but the
+            // remember of a long build can follow a fresher revalidate).
+            let e2 = epoch.load(Relaxed);
+            front.revalidate(e2);
+            front.remember(e1, key, &tagged(e1));
+
+            // If the front moved on to epoch 1, the stale remember must
+            // have been dropped; if it is still on epoch 0, the entry is
+            // legitimately epoch-0 and dispatch 3 below clears it.
+            if e2 > e1 {
+                assert!(
+                    front.lookup(&key).is_none(),
+                    "remember stored a plan under a dead epoch"
+                );
+            }
+
+            writer.join().unwrap();
+
+            let e3 = epoch.load(Relaxed);
+            front.revalidate(e3);
+            if let Some(plan) = front.lookup(&key) {
+                assert_eq!(tag_of(&plan), e3);
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     // Cache behaviour tests live in `tests/plan_cache.rs`, serialized
-    // against the global state; here only the pure key helpers.
+    // against the global state; here the pure key helpers plus a real-
+    // thread stress probe of the front-cache epoch protocol (the loom
+    // models above prove the same invariant exhaustively but only within
+    // the checker's preemption bound).
     #[test]
     fn mode_bits_are_injective() {
         let mut seen = std::collections::HashSet::new();
@@ -442,5 +646,78 @@ mod tests {
         {
             assert!(hashes.insert(variant.hash64()), "collision at field {i}");
         }
+    }
+
+    /// Real-thread stress test of the invariant the loom model proves in
+    /// the bounded case: a dispatch that observed epoch `E` never serves
+    /// a plan remembered under an epoch `< E` (a "dead generation").
+    /// Plans are tagged with the epoch they were remembered under, a
+    /// bumper thread races `clear()`-style epoch advances against worker
+    /// dispatch loops, and every front hit must carry the tag of the
+    /// epoch the serving dispatch observed.
+    #[test]
+    #[cfg(not(loom))]
+    fn stress_front_never_serves_dead_generation() {
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+        use std::sync::Arc;
+
+        const WORKERS: usize = 4;
+        const DISPATCHES: usize = 100_000;
+
+        let epoch = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let bumper = {
+            let (epoch, stop) = (Arc::clone(&epoch), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                while !stop.load(Relaxed) {
+                    epoch.fetch_add(1, Relaxed);
+                    std::thread::yield_now();
+                }
+            })
+        };
+
+        let key = Key {
+            op: 0,
+            dtype: 1,
+            m: 8,
+            n: 8,
+            k: 8,
+            mode: 0,
+            conj: 0,
+            count: 1,
+            cfg: 42,
+        };
+        let workers: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                let epoch = Arc::clone(&epoch);
+                std::thread::spawn(move || {
+                    let mut front = FrontCache::new();
+                    for _ in 0..DISPATCHES {
+                        // The epoch protocol: observe once, revalidate,
+                        // lookup, remember under the observed value.
+                        let e = epoch.load(Relaxed);
+                        front.revalidate(e);
+                        if let Some(plan) = front.lookup(&key) {
+                            let tag = *plan
+                                .downcast::<u64>()
+                                .expect("stress plans are epoch tags");
+                            assert_eq!(
+                                tag, e,
+                                "front served a plan remembered under a dead generation"
+                            );
+                        }
+                        let plan: AnyPlan = Arc::new(e);
+                        front.remember(e, key, &plan);
+                    }
+                })
+            })
+            .collect();
+
+        for w in workers {
+            w.join().expect("stress worker panicked");
+        }
+        stop.store(true, Relaxed);
+        bumper.join().expect("epoch bumper panicked");
     }
 }

@@ -265,10 +265,12 @@ impl<E: CompactElement> GemmPlan<E> {
         let m_count = self.m_tiles.len();
         for (jj, &(j0, w)) in self.n_tiles.iter().enumerate() {
             let (pb, b_j, b_k) = if !buf_b.is_empty() {
+                // SAFETY: `b_tile_offset` indexes inside `buf_b`, which was sized for the full packed B at plan build (tiles validated against the batch shape).
                 let base = unsafe { buf_b.as_ptr().add(pk::b_tile_offset::<E>(j0, dims.k)) };
                 (base, g, w * g)
             } else {
                 (
+                    // SAFETY: `j0` is a validated n-tile origin, so the direct-B offset stays inside the compact matrix.
                     unsafe { bp_direct.add(j0 * db.tile_scale) },
                     db.minor,
                     db.step_k,
@@ -276,15 +278,18 @@ impl<E: CompactElement> GemmPlan<E> {
             };
             for (ii, &(i0, h)) in self.m_tiles.iter().enumerate() {
                 let (pa, a_i, a_k) = if !buf_a.is_empty() {
+                    // SAFETY: `a_tile_offset` indexes inside `buf_a`, which was sized for the full packed A at plan build.
                     let base = unsafe { buf_a.as_ptr().add(pk::a_tile_offset::<E>(i0, dims.k)) };
                     (base, g, h * g)
                 } else {
                     (
+                        // SAFETY: `i0` is a validated m-tile origin, so the direct-A offset stays inside the compact matrix.
                         unsafe { ap_direct.add(i0 * da.tile_scale) },
                         da.minor,
                         da.step_k,
                     )
                 };
+                // SAFETY: `(j0, i0)` is a validated tile origin of the m×n grid, so the C offset stays inside the compact output.
                 let ct = unsafe { cp.add((j0 * c_rows + i0) * g) };
                 obs::count_dispatch(obs::Op::Gemm, h, w, h == E::MR && w == E::NR);
                 // Safety: pointers/strides cover exactly the tile regions

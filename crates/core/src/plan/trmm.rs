@@ -273,6 +273,7 @@ impl<E: CompactElement> TrmmPlan<E> {
                 obs::count_packed_bytes_b(len * core::mem::size_of::<E::Real>());
                 (buf_panel.as_mut_ptr(), w * g, g)
             } else {
+                // SAFETY: `j0` is a validated column-tile origin, so the offset stays inside the `b_rows`-column panel.
                 let ptr = unsafe { b_pack.as_mut_ptr().add(j0 * b_rows * g) };
                 (ptr, g, b_rows * g)
             };

@@ -292,6 +292,7 @@ impl<E: CompactElement> TrsmPlan<E> {
             } else {
                 // Stream the compact B columns in place: row stride is one
                 // element group, column stride one column.
+                // SAFETY: `j0` is a validated column-tile origin, so the offset stays inside the `b_rows`-column panel.
                 let ptr = unsafe { b_pack.as_mut_ptr().add(j0 * b_rows * g) };
                 (ptr, g, b_rows * g)
             };

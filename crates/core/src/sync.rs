@@ -1,0 +1,15 @@
+//! Atomic-type shim: real `std` atomics by default, `loom` model-checked
+//! atomics under `--cfg loom`.
+//!
+//! The lock-free plan-cache front ([`crate::plan::cache`]) routes every
+//! atomic through this module so its invalidation protocol can be driven
+//! by the bounded model checker (`RUSTFLAGS="--cfg loom" cargo test -p
+//! iatf-core --lib loom`) without the production build paying anything:
+//! with the cfg off these are plain re-exports that compile to the exact
+//! same code as naming `std::sync::atomic` directly.
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{AtomicU64, Ordering};

@@ -63,8 +63,7 @@ fn explainer_predictions_match_observed_counters() {
         snap.phases
             .iter()
             .find(|s| s.phase == p)
-            .map(|s| s.calls)
-            .unwrap_or(0)
+            .map_or(0, |s| s.calls)
     };
     assert_eq!(phase_calls(obs::Phase::PlanBuild), 1);
     assert_eq!(phase_calls(obs::Phase::PackA), ex.packs as u64);
@@ -137,6 +136,5 @@ fn phase_calls_of(snap: &obs::MetricsSnapshot, p: obs::Phase) -> u64 {
     snap.phases
         .iter()
         .find(|s| s.phase == p)
-        .map(|s| s.calls)
-        .unwrap_or(0)
+        .map_or(0, |s| s.calls)
 }

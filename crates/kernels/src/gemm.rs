@@ -21,6 +21,7 @@ use iatf_simd::{prefetch_read, CVec, Real, SimdReal};
 /// `pb + k·b_k + j·b_j`. C: element group `(i, j)` at `c + i·c_i + j·c_j`.
 /// Packed panels use `a_i = P, a_k = m_r·P` / `b_j = P, b_k = n_r·P`; the
 /// no-pack path passes the compact layout's native strides instead.
+// SAFETY: unsafe fn type — callers must pass pointers valid for the full sliver-addressed extent implied by (k, strides) as documented above.
 pub type RealGemmKernel<R> = unsafe fn(
     k: usize,
     alpha: R,
@@ -40,6 +41,7 @@ pub type RealGemmKernel<R> = unsafe fn(
 ///
 /// Identical addressing, but every "element group" is `2·P` scalars (split
 /// re/im) and `alpha`/`beta` are `[re, im]` pairs.
+// SAFETY: unsafe fn type — callers must pass pointers valid for the full sliver-addressed extent implied by (k, strides) as documented above.
 pub type CplxGemmKernel<R> = unsafe fn(
     k: usize,
     alpha: [R; 2],
@@ -56,6 +58,7 @@ pub type CplxGemmKernel<R> = unsafe fn(
 );
 
 #[inline(always)]
+// SAFETY: unsafe fn — `p` must be valid for the whole strided extent (`(N-1)*stride + LANES` scalars); each lane load stays inside it.
 unsafe fn load_set<V: SimdReal, const N: usize>(p: *const V::Scalar, stride: usize) -> [V; N] {
     let mut out = [V::zero(); N];
     for (i, o) in out.iter_mut().enumerate() {
@@ -243,6 +246,7 @@ pub unsafe fn gemm_ukr_nopipeline<V: SimdReal, const MR: usize, const NR: usize>
 }
 
 #[inline(always)]
+// SAFETY: unsafe fn — `p` must be valid for the whole strided extent (`(N-1)*stride + LANES` scalars); each lane load stays inside it.
 unsafe fn load_cset<V: SimdReal, const N: usize>(p: *const V::Scalar, stride: usize) -> [CVec<V>; N] {
     let mut out = [CVec::<V>::zero(); N];
     for (i, o) in out.iter_mut().enumerate() {
@@ -365,6 +369,7 @@ mod tests {
             .collect();
         let mut c = c0.clone();
         let (al, be) = (V::Scalar::from_f64(alpha), V::Scalar::from_f64(beta));
+        // SAFETY: the buffers above are sized exactly to the kernel's packed-panel extents for these (k, MR, NR, P), and the strides passed match that sizing.
         unsafe {
             gemm_ukr::<V, MR, NR>(
                 k,
@@ -433,6 +438,7 @@ mod tests {
         let pa = vec![1.0f64; k * 2 * p];
         let pb = vec![1.0f64; k * 2 * p];
         let mut c = vec![f64::NAN; 2 * 2 * p];
+        // SAFETY: the buffers above are sized exactly to the kernel's packed-panel extents for these (k, MR, NR, P), and the strides passed match that sizing.
         unsafe {
             gemm_ukr::<F64x2, 2, 2>(
                 k,
@@ -477,6 +483,7 @@ mod tests {
             V::Scalar::from_f64(alpha[1]),
         ];
         let be = [V::Scalar::from_f64(beta[0]), V::Scalar::from_f64(beta[1])];
+        // SAFETY: the buffers above are sized exactly to the kernel's packed-panel extents for these (k, MR, NR, P), and the strides passed match that sizing.
         unsafe {
             cgemm_ukr::<V, MR, NR>(
                 k,
@@ -535,6 +542,7 @@ mod tests {
             let c0: Vec<f64> = (0..16 * p).map(|_| rng.next()).collect();
             let mut c1 = c0.clone();
             let mut c2 = c0.clone();
+            // SAFETY: the buffers above are sized exactly to the kernel's packed-panel extents for these (k, MR, NR, P), and the strides passed match that sizing.
             unsafe {
                 gemm_ukr::<F64x2, 4, 4>(
                     k,
@@ -584,6 +592,7 @@ mod tests {
         // B: compact column-major k×nr
         let b: Vec<f64> = (0..k * nr * p).map(|_| rng.next()).collect();
         let mut c = vec![0.0f64; rows * nr * p];
+        // SAFETY: the buffers above are sized exactly to the kernel's packed-panel extents for these (k, MR, NR, P), and the strides passed match that sizing.
         unsafe {
             gemm_ukr::<F64x2, MR, 2>(
                 k,

@@ -24,6 +24,7 @@
 use iatf_simd::{prefetch_read, CVec, SimdReal};
 
 /// Function-pointer type of a monomorphized real TRMM block kernel.
+// SAFETY: unsafe fn type — callers must pass panel/packed pointers valid for the extents implied by (kk, MR, NR, strides); see the packing contract above.
 pub type RealTrmmKernel<R> = unsafe fn(
     kk: usize,
     alpha: R,
@@ -38,6 +39,7 @@ pub type RealTrmmKernel<R> = unsafe fn(
 );
 
 /// Complex counterpart of [`RealTrmmKernel`] (`alpha` as `[re, im]`).
+// SAFETY: unsafe fn type — callers must pass panel/packed pointers valid for the extents implied by (kk, MR, NR, strides); see the packing contract above.
 pub type CplxTrmmKernel<R> = unsafe fn(
     kk: usize,
     alpha: [R; 2],
@@ -52,6 +54,7 @@ pub type CplxTrmmKernel<R> = unsafe fn(
 );
 
 #[inline(always)]
+// SAFETY: unsafe fn — `p` must be valid for the whole strided extent (`(N-1)*stride + LANES` scalars); each lane load stays inside it.
 unsafe fn load_set<V: SimdReal, const N: usize>(p: *const V::Scalar, stride: usize) -> [V; N] {
     let mut out = [V::zero(); N];
     for (i, o) in out.iter_mut().enumerate() {
@@ -259,6 +262,7 @@ mod tests {
             .map(|_| V::Scalar::from_f64(rng.next()))
             .collect();
         let mut panel = panel0.clone();
+        // SAFETY: the buffers above are sized exactly to the kernel's packed extents for these (kk, MR, NR, P), and the strides passed match that sizing.
         unsafe {
             trmm_ukr::<V, MR, NR>(
                 kk,
@@ -304,6 +308,7 @@ mod tests {
         let tri = [2.0, 3.0, 0.5, -0.5]; // re lanes | im lanes
         let panel0 = [1.0, 1.0, 1.0, 0.0]; // x = (1+i, 1)
         let mut panel = panel0;
+        // SAFETY: the buffers above are sized exactly to the kernel's packed extents for these (kk, MR, NR, P), and the strides passed match that sizing.
         unsafe {
             ctrmm_ukr::<F64x2, 1, 1>(
                 0,

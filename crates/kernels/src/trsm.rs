@@ -32,6 +32,7 @@ use iatf_simd::{prefetch_read, CVec, SimdReal};
 /// sliver (`a_i` between rows, `a_k` between k-steps); `pa_tri` is the
 /// packed triangle (row `r` holds `r+1` vector groups, reciprocal diagonal
 /// last); the panel is addressed as `panel + row·row_stride + col·col_stride`.
+// SAFETY: unsafe fn type — callers must pass packed-triangle/rect/panel pointers valid for the extents implied by (kk, MR, NR, strides) per the addressing contract above.
 pub type RealTrsmKernel<R> = unsafe fn(
     kk: usize,
     pa_rect: *const R,
@@ -54,6 +55,7 @@ pub type RealTrsmRectKernel<R> = RealTrsmKernel<R>;
 pub type CplxTrsmRectKernel<R> = RealTrsmKernel<R>;
 
 #[inline(always)]
+// SAFETY: unsafe fn — `p` must be valid for the whole strided extent (`(N-1)*stride + LANES` scalars); each lane load stays inside it.
 unsafe fn load_set<V: SimdReal, const N: usize>(p: *const V::Scalar, stride: usize) -> [V; N] {
     let mut out = [V::zero(); N];
     for (i, o) in out.iter_mut().enumerate() {
@@ -76,6 +78,7 @@ fn fms_tile<V: SimdReal, const MR: usize, const NR: usize>(
 }
 
 #[inline(always)]
+// SAFETY: unsafe fn — `panel` must cover rows `row0..row0+MR` and `NR` columns at the given strides; every lane access stays inside that block.
 unsafe fn load_block<V: SimdReal, const MR: usize, const NR: usize>(
     panel: *const V::Scalar,
     row0: usize,
@@ -92,6 +95,7 @@ unsafe fn load_block<V: SimdReal, const MR: usize, const NR: usize>(
 }
 
 #[inline(always)]
+// SAFETY: unsafe fn — `panel` must cover rows `row0..row0+MR` and `NR` columns at the given strides; every lane access stays inside that block.
 unsafe fn store_block<V: SimdReal, const MR: usize, const NR: usize>(
     acc: &[[V; NR]; MR],
     panel: *mut V::Scalar,
@@ -108,6 +112,7 @@ unsafe fn store_block<V: SimdReal, const MR: usize, const NR: usize>(
 
 /// Rectangular elimination `acc -= Rect · X[0..kk]`, ping-pong pipelined.
 #[inline(always)]
+// SAFETY: unsafe fn — `pa`/`panel` must cover `kk` k-steps at the given strides; the ping-pong loads below never exceed step `kk-1`.
 unsafe fn rect_eliminate<V: SimdReal, const MR: usize, const NR: usize>(
     acc: &mut [[V; NR]; MR],
     kk: usize,
@@ -161,6 +166,7 @@ unsafe fn rect_eliminate<V: SimdReal, const MR: usize, const NR: usize>(
 
 /// Triangular register solve (Algorithm 4 body) on the loaded block.
 #[inline(always)]
+// SAFETY: unsafe fn — `pa_tri` must hold the packed triangle for MR rows (`MR·(MR+1)/2` vector groups); the walk below never leaves it.
 unsafe fn tri_solve<V: SimdReal, const MR: usize, const NR: usize>(
     acc: &mut [[V; NR]; MR],
     pa_tri: *const V::Scalar,
@@ -236,6 +242,7 @@ pub unsafe fn trsm_rect_ukr<V: SimdReal, const MR: usize, const NR: usize>(
 // ---------------------------------------------------------------------------
 
 #[inline(always)]
+// SAFETY: unsafe fn — `p` must be valid for the whole strided extent (`(N-1)*stride + LANES` scalars); each lane load stays inside it.
 unsafe fn load_cset<V: SimdReal, const N: usize>(
     p: *const V::Scalar,
     stride: usize,
@@ -420,6 +427,7 @@ mod tests {
             .map(|_| V::Scalar::from_f64(rng.next()))
             .collect();
         let mut panel = panel0.clone();
+        // SAFETY: the buffers above are sized exactly to the kernel's packed extents for these (kk, MR, NR, P), and the strides passed match that sizing.
         unsafe {
             trsm_ukr::<V, MR, NR>(
                 kk,
@@ -478,6 +486,7 @@ mod tests {
         let row_stride = NR * p;
         let panel0: Vec<f64> = (0..(kk + MR) * NR * p).map(|_| rng.next()).collect();
         let mut panel = panel0.clone();
+        // SAFETY: the buffers above are sized exactly to the kernel's packed extents for these (kk, MR, NR, P), and the strides passed match that sizing.
         unsafe {
             trsm_rect_ukr::<F64x2, MR, NR>(
                 kk,
@@ -538,6 +547,7 @@ mod tests {
             .map(|_| V::Scalar::from_f64(rng.next()))
             .collect();
         let mut panel = panel0.clone();
+        // SAFETY: the buffers above are sized exactly to the kernel's packed extents for these (kk, MR, NR, P), and the strides passed match that sizing.
         unsafe {
             ctrsm_ukr::<V, MR, NR>(
                 kk,
@@ -613,6 +623,7 @@ mod tests {
         let row_stride = NRP * p;
         let b0: Vec<f64> = (0..M * NRP * p).map(|_| rng.next()).collect();
         let mut panel = b0.clone();
+        // SAFETY: the buffers above are sized exactly to the kernel's packed extents for these (kk, MR, NR, P), and the strides passed match that sizing.
         unsafe {
             trsm_ukr::<F64x2, M, NRP>(
                 0,

@@ -31,6 +31,7 @@ proptest! {
         let c0: Vec<f64> = vecs(mr * nr * p, seed as u64 + 2, 1.0);
         let mut c = c0.clone();
         let kern = real_gemm_kernel::<f64>(mr, nr);
+        // SAFETY: the buffers above are sized exactly to the kernel's packed extents for the proptest-chosen (k, mr, nr, P), and the strides passed match that sizing.
         unsafe {
             kern(k, alpha, beta, pa.as_ptr(), p, mr * p, pb.as_ptr(), p, nr * p,
                  c.as_mut_ptr(), p, mr * p);
@@ -54,6 +55,7 @@ proptest! {
         let c0f: Vec<f32> = vecs(mr * nr * p, seed as u64 + 2, 1.0).iter().map(|&x| x as f32).collect();
         let mut c = c0f.clone();
         let kern = real_gemm_kernel::<f32>(mr, nr);
+        // SAFETY: the buffers above are sized exactly to the kernel's packed extents for the proptest-chosen (k, mr, nr, P), and the strides passed match that sizing.
         unsafe {
             kern(k, 1.5, 0.5, paf.as_ptr(), p, mr * p, pbf.as_ptr(), p, nr * p,
                  c.as_mut_ptr(), p, mr * p);
@@ -80,6 +82,7 @@ proptest! {
         let c0: Vec<f64> = vecs(mr * nr * g, seed as u64 + 2, 1.0);
         let mut c = c0.clone();
         let kern = cplx_gemm_kernel::<f64>(mr, nr);
+        // SAFETY: the buffers above are sized exactly to the kernel's packed extents for the proptest-chosen (k, mr, nr, P), and the strides passed match that sizing.
         unsafe {
             kern(k, [ar, ai], [0.5, -0.25], pa.as_ptr(), g, mr * g, pb.as_ptr(), g, nr * g,
                  c.as_mut_ptr(), g, mr * g);
@@ -120,6 +123,7 @@ proptest! {
         let panel0: Vec<f64> = vecs(rows * nr * p, seed as u64 + 3, 1.0);
         let mut panel = panel0.clone();
         let kern = real_trsm_kernel::<f64>(mr, nr);
+        // SAFETY: the buffers above are sized exactly to the kernel's packed extents for the proptest-chosen (k, mr, nr, P), and the strides passed match that sizing.
         unsafe {
             kern(kk, pa_rect.as_ptr(), p, mr * p, tri.as_ptr(),
                  panel.as_mut_ptr(), kk, row_stride, p);
@@ -167,6 +171,7 @@ proptest! {
         let panel0: Vec<f32> = panel064.iter().map(|&x| x as f32).collect();
         let mut panel = panel0.clone();
         let kern = cplx_trsm_kernel::<f32>(mr, nr);
+        // SAFETY: the buffers above are sized exactly to the kernel's packed extents for the proptest-chosen (k, mr, nr, P), and the strides passed match that sizing.
         unsafe {
             kern(kk, pa_rect.as_ptr(), g, mr * g, tri.as_ptr(),
                  panel.as_mut_ptr(), kk, row_stride, g);

@@ -166,6 +166,7 @@ impl<E: Element> CompactBatch<E> {
     /// Mutable raw pointer to the first scalar of a pack.
     pub fn pack_ptr_mut(&mut self, pack: usize) -> *mut E::Real {
         debug_assert!(pack < self.packs());
+        // SAFETY: `pack < packs()` (debug-asserted and upheld by callers), so the offset itself is in bounds.
         unsafe { self.data.as_mut_ptr().add(pack * self.pack_stride()) }
     }
 

@@ -8,6 +8,8 @@
 //! `IATF_TRACE_CAPACITY=10k` is visible in the process output instead of
 //! quietly shrinking the ring to its default.
 
+use std::path::PathBuf;
+
 fn warn(name: &str, raw: &str, default: &dyn std::fmt::Display, reason: &str) {
     eprintln!("iatf: ignoring {name}={raw:?} ({reason}); using default {default}");
 }
@@ -54,6 +56,24 @@ pub fn env_f64(name: &str, default: f64, min: f64, max: f64) -> f64 {
     }
 }
 
+/// Reads `name` as a persistence path with the workspace's uniform
+/// tri-state policy: set-but-empty disables persistence (`None`), any
+/// other set value is used verbatim, and an unset variable falls back to
+/// `$HOME/` joined with `home_fallback` (or `None` when `HOME` is also
+/// unset). The tuning database and watch envelopes both resolve their
+/// on-disk location through this helper.
+pub fn env_path(name: &str, home_fallback: &[&str]) -> Option<PathBuf> {
+    match std::env::var_os(name) {
+        Some(v) if v.is_empty() => None,
+        Some(v) => Some(PathBuf::from(v)),
+        None => std::env::var_os("HOME").map(|home| {
+            home_fallback
+                .iter()
+                .fold(PathBuf::from(home), |p, seg| p.join(seg))
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +116,21 @@ mod tests {
         ] {
             std::env::set_var(var, bad);
             assert_eq!(env_usize(var, 42, 2), 42, "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn path_tristate() {
+        std::env::set_var("IATF_TEST_ENV_PATH_EMPTY", "");
+        assert_eq!(env_path("IATF_TEST_ENV_PATH_EMPTY", &["x"]), None);
+        std::env::set_var("IATF_TEST_ENV_PATH_SET", "/tmp/db.json");
+        assert_eq!(
+            env_path("IATF_TEST_ENV_PATH_SET", &["x"]),
+            Some(PathBuf::from("/tmp/db.json"))
+        );
+        if let Some(home) = std::env::var_os("HOME") {
+            let got = env_path("IATF_TEST_ENV_PATH_UNSET", &["a", "b.json"]);
+            assert_eq!(got, Some(PathBuf::from(home).join("a").join("b.json")));
         }
     }
 

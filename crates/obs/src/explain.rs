@@ -201,8 +201,7 @@ impl PlanExplain {
                 "verify",
                 self.verify
                     .as_ref()
-                    .map(VerifySummary::to_json)
-                    .unwrap_or(Json::Null),
+                    .map_or(Json::Null, VerifySummary::to_json),
             )
     }
 

@@ -53,7 +53,9 @@ impl Json {
                     entries.push((key.to_string(), value));
                 }
             }
-            other => panic!("Json::set on non-object {other:?}"),
+            // `set` is only reachable through the object-builder API, so a
+            // non-object receiver is a construction bug in this crate.
+            other => unreachable!("Json::set on non-object {other:?}"),
         }
         self
     }

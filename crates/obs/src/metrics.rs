@@ -64,15 +64,18 @@ impl Histogram {
 
     fn record(&self, value: u64) {
         let bucket = (64 - value.leading_zeros()) as usize;
+        // ordering: Relaxed — monotonic telemetry counter.
         self.buckets[bucket].fetch_add(1, Relaxed);
     }
 
     fn snapshot(&self) -> Vec<u64> {
+        // ordering: Relaxed — advisory snapshot read.
         self.buckets.iter().map(|b| b.load(Relaxed)).collect()
     }
 
     fn reset(&self) {
         for b in &self.buckets {
+            // ordering: Relaxed — test-isolation reset; callers quiesce first.
             b.store(0, Relaxed);
         }
     }
@@ -125,6 +128,7 @@ thread_local! {
     static PHASE_SLOT: Arc<ThreadPhaseSlot> = {
         static NEXT_TID: AtomicU64 = AtomicU64::new(1);
         let slot = Arc::new(ThreadPhaseSlot {
+            // ordering: Relaxed — thread-id allocator; uniqueness needs only atomicity.
             tid: NEXT_TID.fetch_add(1, Relaxed),
             phase_ns: Default::default(),
             phase_calls: Default::default(),
@@ -182,6 +186,7 @@ pub fn count_plan_build(op: Op, count: usize) {
     #[cfg(feature = "enabled")]
     {
         let r = registry();
+        // ordering: Relaxed — monotonic telemetry counters; no payload is published through them (readers treat every snapshot as advisory).
         r.plan_builds[op as usize].fetch_add(1, Relaxed);
         r.batch_counts.record(count as u64);
     }
@@ -193,6 +198,7 @@ pub fn count_plan_build(op: Op, count: usize) {
 #[inline(always)]
 pub fn count_plan_commands(n: usize) {
     #[cfg(feature = "enabled")]
+    // ordering: Relaxed — monotonic telemetry counter.
     registry().plan_commands.fetch_add(n as u64, Relaxed);
     #[cfg(not(feature = "enabled"))]
     let _ = n;
@@ -202,6 +208,7 @@ pub fn count_plan_commands(n: usize) {
 #[inline(always)]
 pub fn count_execute(op: Op) {
     #[cfg(feature = "enabled")]
+    // ordering: Relaxed — monotonic telemetry counter.
     registry().executes[op as usize].fetch_add(1, Relaxed);
     #[cfg(not(feature = "enabled"))]
     let _ = op;
@@ -214,6 +221,7 @@ pub fn count_dispatch(op: Op, mr: usize, nr: usize, main: bool) {
     #[cfg(feature = "enabled")]
     {
         let r = registry();
+        // ordering: Relaxed — monotonic telemetry counters.
         r.dispatch_slot(op, mr, nr).fetch_add(1, Relaxed);
         if main {
             r.main_tile_hits.fetch_add(1, Relaxed);
@@ -231,6 +239,7 @@ pub fn count_dispatch(op: Op, mr: usize, nr: usize, main: bool) {
 #[inline(always)]
 pub fn count_fallback() {
     #[cfg(feature = "enabled")]
+    // ordering: Relaxed — monotonic telemetry counter.
     registry().fallback_hits.fetch_add(1, Relaxed);
 }
 
@@ -238,6 +247,7 @@ pub fn count_fallback() {
 #[inline(always)]
 pub fn count_packed_bytes_a(bytes: usize) {
     #[cfg(feature = "enabled")]
+    // ordering: Relaxed — monotonic telemetry counter.
     registry().packed_bytes_a.fetch_add(bytes as u64, Relaxed);
     #[cfg(not(feature = "enabled"))]
     let _ = bytes;
@@ -247,6 +257,7 @@ pub fn count_packed_bytes_a(bytes: usize) {
 #[inline(always)]
 pub fn count_packed_bytes_b(bytes: usize) {
     #[cfg(feature = "enabled")]
+    // ordering: Relaxed — monotonic telemetry counter.
     registry().packed_bytes_b.fetch_add(bytes as u64, Relaxed);
     #[cfg(not(feature = "enabled"))]
     let _ = bytes;
@@ -269,6 +280,7 @@ pub enum CacheEvent {
 #[inline(always)]
 pub fn count_plan_cache(event: CacheEvent) {
     #[cfg(feature = "enabled")]
+    // ordering: Relaxed — monotonic telemetry counter.
     registry().plan_cache[event as usize].fetch_add(1, Relaxed);
     #[cfg(not(feature = "enabled"))]
     let _ = event;
@@ -281,6 +293,7 @@ pub fn count_arena_lease(reused_bytes: usize) {
     #[cfg(feature = "enabled")]
     {
         let r = registry();
+        // ordering: Relaxed — monotonic telemetry counters.
         r.arena_leases.fetch_add(1, Relaxed);
         if reused_bytes > 0 {
             r.arena_reuses.fetch_add(1, Relaxed);
@@ -295,6 +308,7 @@ pub fn count_arena_lease(reused_bytes: usize) {
 #[inline(always)]
 pub fn count_arena_bytes_grown(bytes: usize) {
     #[cfg(feature = "enabled")]
+    // ordering: Relaxed — monotonic telemetry counter.
     registry().arena_bytes_grown.fetch_add(bytes as u64, Relaxed);
     #[cfg(not(feature = "enabled"))]
     let _ = bytes;
@@ -307,6 +321,7 @@ pub fn count_superblock(op: Op, packs: usize) {
     #[cfg(feature = "enabled")]
     {
         let r = registry();
+        // ordering: Relaxed — monotonic telemetry counters.
         r.superblock_tasks[op as usize].fetch_add(1, Relaxed);
         r.superblock_packs.record(packs as u64);
     }
@@ -336,6 +351,7 @@ pub enum TuneEvent {
 #[inline(always)]
 pub fn count_tune(event: TuneEvent) {
     #[cfg(feature = "enabled")]
+    // ordering: Relaxed — monotonic telemetry counter.
     registry().tune[event as usize].fetch_add(1, Relaxed);
     #[cfg(not(feature = "enabled"))]
     let _ = event;
@@ -363,6 +379,7 @@ pub enum PmuEvent {
 #[inline(always)]
 pub fn count_pmu(event: PmuEvent) {
     #[cfg(feature = "enabled")]
+    // ordering: Relaxed — monotonic telemetry counter.
     registry().pmu[event as usize].fetch_add(1, Relaxed);
     #[cfg(not(feature = "enabled"))]
     let _ = event;
@@ -372,6 +389,7 @@ pub fn count_pmu(event: PmuEvent) {
 pub fn pmu_count(event: PmuEvent) -> u64 {
     #[cfg(feature = "enabled")]
     {
+        // ordering: Relaxed — advisory read of a monotonic counter.
         registry().pmu[event as usize].load(Relaxed)
     }
     #[cfg(not(feature = "enabled"))]
@@ -386,6 +404,7 @@ pub fn pmu_count(event: PmuEvent) -> u64 {
 pub fn tune_count(event: TuneEvent) -> u64 {
     #[cfg(feature = "enabled")]
     {
+        // ordering: Relaxed — advisory read of a monotonic counter.
         registry().tune[event as usize].load(Relaxed)
     }
     #[cfg(not(feature = "enabled"))]
@@ -404,6 +423,7 @@ pub fn record_phase(phase: Phase, ns: u64) {
     #[cfg(feature = "enabled")]
     {
         PHASE_SLOT.with(|s| {
+            // ordering: Relaxed — per-thread monotonic accumulators; totals are read at quiescence.
             s.phase_ns[phase as usize].fetch_add(ns, Relaxed);
             s.phase_calls[phase as usize].fetch_add(1, Relaxed);
         });
@@ -418,6 +438,7 @@ pub fn record_phase(phase: Phase, ns: u64) {
 pub fn dispatch_count(op: Op, mr: usize, nr: usize) -> u64 {
     #[cfg(feature = "enabled")]
     {
+        // ordering: Relaxed — advisory read of a monotonic counter.
         registry().dispatch_slot(op, mr, nr).load(Relaxed)
     }
     #[cfg(not(feature = "enabled"))]
@@ -433,6 +454,7 @@ pub fn reset() {
     #[cfg(feature = "enabled")]
     {
         let r = registry();
+        // ordering: Relaxed — test-isolation reset; callers quiesce first.
         for c in &r.plan_builds {
             c.store(0, Relaxed);
         }
@@ -469,6 +491,7 @@ pub fn reset() {
         for h in &r.phase_hist {
             h.reset();
         }
+        // ordering: Relaxed — continuing the quiesced-reset stores above.
         for slot in phase_slots().lock().unwrap().iter() {
             for c in &slot.phase_ns {
                 c.store(0, Relaxed);
@@ -584,6 +607,7 @@ pub fn snapshot() -> MetricsSnapshot {
         for op in OPS {
             for mr in 0..MAX_TILE_SIDE {
                 for nr in 0..MAX_TILE_SIDE {
+                    // ordering: Relaxed — advisory snapshot read of an independent counter.
                     let count = r.dispatch_slot(op, mr, nr).load(Relaxed);
                     if count > 0 {
                         dispatch.push(DispatchCount { op, mr, nr, count });
@@ -597,6 +621,7 @@ pub fn snapshot() -> MetricsSnapshot {
             .iter()
             .map(|s| ThreadPhaseSnapshot {
                 tid: s.tid,
+                // ordering: Relaxed — advisory snapshot of per-thread accumulators.
                 calls: std::array::from_fn(|i| s.phase_calls[i].load(Relaxed)),
                 total_ns: std::array::from_fn(|i| s.phase_ns[i].load(Relaxed)),
             })
@@ -605,6 +630,7 @@ pub fn snapshot() -> MetricsSnapshot {
         threads.sort_by_key(|t| t.tid);
         MetricsSnapshot {
             enabled: true,
+            // ordering: Relaxed — advisory snapshot; counters are read independently, not as a consistent cut.
             plan_builds: std::array::from_fn(|i| r.plan_builds[i].load(Relaxed)),
             plan_commands: r.plan_commands.load(Relaxed),
             executes: std::array::from_fn(|i| r.executes[i].load(Relaxed)),

@@ -72,8 +72,7 @@ pub fn lease<R: Real>() -> ArenaLease<R> {
         let best = (0..pool.len()).max_by_key(|&i| {
             pool[i]
                 .downcast_ref::<Vec<R>>()
-                .map(|v| v.len())
-                .unwrap_or(0)
+                .map_or(0, |v| v.len())
         });
         best.map(|i| {
             *pool
@@ -150,8 +149,7 @@ mod tests {
         let pooled = POOLS.with(|p| {
             p.borrow()
                 .get(&TypeId::of::<f64>())
-                .map(|v| v.len())
-                .unwrap_or(0)
+                .map_or(0, |v| v.len())
         });
         assert_eq!(pooled, POOL_CAP);
     }

@@ -234,7 +234,7 @@ pub fn pack_a_trsm<E: Element>(
     layout: &[ABlockLayout],
     live: usize,
 ) {
-    pack_a_tri::<E>(dst, sp, rows, map, layout, live, true)
+    pack_a_tri::<E>(dst, sp, rows, map, layout, live, true);
 }
 
 /// Packs the coefficient triangle with either reciprocal (TRSM) or direct

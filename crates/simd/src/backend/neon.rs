@@ -40,64 +40,76 @@ impl SimdReal for F32x4 {
 
     #[inline(always)]
     fn zero() -> Self {
+        // SAFETY: value-only NEON intrinsic on register operands; no memory is touched, and NEON is baseline on aarch64 (this module only compiles there).
         Self(unsafe { vdupq_n_f32(0.0) })
     }
 
     #[inline(always)]
     fn splat(x: f32) -> Self {
+        // SAFETY: value-only NEON intrinsic on register operands; no memory is touched, and NEON is baseline on aarch64 (this module only compiles there).
         Self(unsafe { vdupq_n_f32(x) })
     }
 
     #[inline(always)]
+    // SAFETY: unsafe fn — the pointer-validity contract is inherited from `SimdReal` (`ptr` valid for `LANES` contiguous elements); the intrinsic adds no further requirements.
     unsafe fn load(ptr: *const f32) -> Self {
         Self(vld1q_f32(ptr))
     }
 
     #[inline(always)]
+    // SAFETY: unsafe fn — the pointer-validity contract is inherited from `SimdReal` (`ptr` valid for `LANES` contiguous elements); the intrinsic adds no further requirements.
     unsafe fn store(self, ptr: *mut f32) {
         vst1q_f32(ptr, self.0)
     }
 
     #[inline(always)]
     fn add(self, rhs: Self) -> Self {
+        // SAFETY: value-only NEON intrinsic on register operands; no memory is touched, and NEON is baseline on aarch64 (this module only compiles there).
         Self(unsafe { vaddq_f32(self.0, rhs.0) })
     }
 
     #[inline(always)]
     fn sub(self, rhs: Self) -> Self {
+        // SAFETY: value-only NEON intrinsic on register operands; no memory is touched, and NEON is baseline on aarch64 (this module only compiles there).
         Self(unsafe { vsubq_f32(self.0, rhs.0) })
     }
 
     #[inline(always)]
     fn mul(self, rhs: Self) -> Self {
+        // SAFETY: value-only NEON intrinsic on register operands; no memory is touched, and NEON is baseline on aarch64 (this module only compiles there).
         Self(unsafe { vmulq_f32(self.0, rhs.0) })
     }
 
     #[inline(always)]
     fn div(self, rhs: Self) -> Self {
+        // SAFETY: value-only NEON intrinsic on register operands; no memory is touched, and NEON is baseline on aarch64 (this module only compiles there).
         Self(unsafe { vdivq_f32(self.0, rhs.0) })
     }
 
     #[inline(always)]
     fn neg(self) -> Self {
+        // SAFETY: value-only NEON intrinsic on register operands; no memory is touched, and NEON is baseline on aarch64 (this module only compiles there).
         Self(unsafe { vnegq_f32(self.0) })
     }
 
     #[inline(always)]
     fn fma(self, a: Self, b: Self) -> Self {
         // FMLA Vd, Vn, Vm : Vd += Vn * Vm
+        // SAFETY: value-only NEON intrinsic on register operands; no memory is touched, and NEON is baseline on aarch64 (this module only compiles there).
         Self(unsafe { vfmaq_f32(self.0, a.0, b.0) })
     }
 
     #[inline(always)]
     fn fms(self, a: Self, b: Self) -> Self {
         // FMLS Vd, Vn, Vm : Vd -= Vn * Vm
+        // SAFETY: value-only NEON intrinsic on register operands; no memory is touched, and NEON is baseline on aarch64 (this module only compiles there).
         Self(unsafe { vfmsq_f32(self.0, a.0, b.0) })
     }
 
     #[inline(always)]
     fn to_array(self) -> [f32; 4] {
         let mut out = [0.0f32; 4];
+        // SAFETY: `out` is a local array with at least `LANES` elements, so the store stays in bounds.
         unsafe { vst1q_f32(out.as_mut_ptr(), self.0) };
         out
     }
@@ -109,62 +121,74 @@ impl SimdReal for F64x2 {
 
     #[inline(always)]
     fn zero() -> Self {
+        // SAFETY: value-only NEON intrinsic on register operands; no memory is touched, and NEON is baseline on aarch64 (this module only compiles there).
         Self(unsafe { vdupq_n_f64(0.0) })
     }
 
     #[inline(always)]
     fn splat(x: f64) -> Self {
+        // SAFETY: value-only NEON intrinsic on register operands; no memory is touched, and NEON is baseline on aarch64 (this module only compiles there).
         Self(unsafe { vdupq_n_f64(x) })
     }
 
     #[inline(always)]
+    // SAFETY: unsafe fn — the pointer-validity contract is inherited from `SimdReal` (`ptr` valid for `LANES` contiguous elements); the intrinsic adds no further requirements.
     unsafe fn load(ptr: *const f64) -> Self {
         Self(vld1q_f64(ptr))
     }
 
     #[inline(always)]
+    // SAFETY: unsafe fn — the pointer-validity contract is inherited from `SimdReal` (`ptr` valid for `LANES` contiguous elements); the intrinsic adds no further requirements.
     unsafe fn store(self, ptr: *mut f64) {
         vst1q_f64(ptr, self.0)
     }
 
     #[inline(always)]
     fn add(self, rhs: Self) -> Self {
+        // SAFETY: value-only NEON intrinsic on register operands; no memory is touched, and NEON is baseline on aarch64 (this module only compiles there).
         Self(unsafe { vaddq_f64(self.0, rhs.0) })
     }
 
     #[inline(always)]
     fn sub(self, rhs: Self) -> Self {
+        // SAFETY: value-only NEON intrinsic on register operands; no memory is touched, and NEON is baseline on aarch64 (this module only compiles there).
         Self(unsafe { vsubq_f64(self.0, rhs.0) })
     }
 
     #[inline(always)]
     fn mul(self, rhs: Self) -> Self {
+        // SAFETY: value-only NEON intrinsic on register operands; no memory is touched, and NEON is baseline on aarch64 (this module only compiles there).
         Self(unsafe { vmulq_f64(self.0, rhs.0) })
     }
 
     #[inline(always)]
     fn div(self, rhs: Self) -> Self {
+        // SAFETY: value-only NEON intrinsic on register operands; no memory is touched, and NEON is baseline on aarch64 (this module only compiles there).
         Self(unsafe { vdivq_f64(self.0, rhs.0) })
     }
 
     #[inline(always)]
     fn neg(self) -> Self {
+        // SAFETY: value-only NEON intrinsic on register operands; no memory is touched, and NEON is baseline on aarch64 (this module only compiles there).
         Self(unsafe { vnegq_f64(self.0) })
     }
 
     #[inline(always)]
     fn fma(self, a: Self, b: Self) -> Self {
+        // SAFETY: value-only NEON intrinsic on register operands; no memory is touched, and NEON is baseline on aarch64 (this module only compiles there).
         Self(unsafe { vfmaq_f64(self.0, a.0, b.0) })
     }
 
     #[inline(always)]
     fn fms(self, a: Self, b: Self) -> Self {
+        // SAFETY: value-only NEON intrinsic on register operands; no memory is touched, and NEON is baseline on aarch64 (this module only compiles there).
         Self(unsafe { vfmsq_f64(self.0, a.0, b.0) })
     }
 
     #[inline(always)]
     fn to_array(self) -> [f64; 4] {
         let mut out = [0.0f64; 4];
+        // SAFETY: `out` is a local array with at least `LANES` elements, so the store stays in bounds.
         unsafe { vst1q_f64(out.as_mut_ptr(), self.0) };
         out
     }

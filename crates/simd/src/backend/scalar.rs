@@ -32,6 +32,7 @@ macro_rules! impl_scalar_vec {
             }
 
             #[inline(always)]
+            // SAFETY: unsafe fn — the pointer-validity contract is inherited from `SimdReal` (`ptr` valid for `LANES` contiguous elements); the copy stays within that span.
             unsafe fn load(ptr: *const $t) -> Self {
                 let mut out = [0.0; $lanes];
                 core::ptr::copy_nonoverlapping(ptr, out.as_mut_ptr(), $lanes);
@@ -39,6 +40,7 @@ macro_rules! impl_scalar_vec {
             }
 
             #[inline(always)]
+            // SAFETY: unsafe fn — the pointer-validity contract is inherited from `SimdReal` (`ptr` valid for `LANES` contiguous elements); the copy stays within that span.
             unsafe fn store(self, ptr: *mut $t) {
                 core::ptr::copy_nonoverlapping(self.0.as_ptr(), ptr, $lanes);
             }

@@ -45,41 +45,49 @@ impl SimdReal for F32x4 {
 
     #[inline(always)]
     fn zero() -> Self {
+        // SAFETY: value-only SSE2 intrinsic on register operands; no memory is touched, and SSE2 is baseline on x86_64 (this module only compiles there).
         Self(unsafe { _mm_setzero_ps() })
     }
 
     #[inline(always)]
     fn splat(x: f32) -> Self {
+        // SAFETY: value-only SSE2 intrinsic on register operands; no memory is touched, and SSE2 is baseline on x86_64 (this module only compiles there).
         Self(unsafe { _mm_set1_ps(x) })
     }
 
     #[inline(always)]
+    // SAFETY: unsafe fn — the pointer-validity contract is inherited from `SimdReal` (`ptr` valid for `LANES` contiguous elements); the unaligned intrinsic adds no further requirements.
     unsafe fn load(ptr: *const f32) -> Self {
         Self(_mm_loadu_ps(ptr))
     }
 
     #[inline(always)]
+    // SAFETY: unsafe fn — the pointer-validity contract is inherited from `SimdReal` (`ptr` valid for `LANES` contiguous elements); the unaligned intrinsic adds no further requirements.
     unsafe fn store(self, ptr: *mut f32) {
-        _mm_storeu_ps(ptr, self.0)
+        _mm_storeu_ps(ptr, self.0);
     }
 
     #[inline(always)]
     fn add(self, rhs: Self) -> Self {
+        // SAFETY: value-only SSE2 intrinsic on register operands; no memory is touched, and SSE2 is baseline on x86_64 (this module only compiles there).
         Self(unsafe { _mm_add_ps(self.0, rhs.0) })
     }
 
     #[inline(always)]
     fn sub(self, rhs: Self) -> Self {
+        // SAFETY: value-only SSE2 intrinsic on register operands; no memory is touched, and SSE2 is baseline on x86_64 (this module only compiles there).
         Self(unsafe { _mm_sub_ps(self.0, rhs.0) })
     }
 
     #[inline(always)]
     fn mul(self, rhs: Self) -> Self {
+        // SAFETY: value-only SSE2 intrinsic on register operands; no memory is touched, and SSE2 is baseline on x86_64 (this module only compiles there).
         Self(unsafe { _mm_mul_ps(self.0, rhs.0) })
     }
 
     #[inline(always)]
     fn div(self, rhs: Self) -> Self {
+        // SAFETY: value-only SSE2 intrinsic on register operands; no memory is touched, and SSE2 is baseline on x86_64 (this module only compiles there).
         Self(unsafe { _mm_div_ps(self.0, rhs.0) })
     }
 
@@ -87,6 +95,7 @@ impl SimdReal for F32x4 {
     fn neg(self) -> Self {
         // sign-bit flip, matching NEON FNEG semantics (0 − x would lose the
         // sign of zero)
+        // SAFETY: value-only SSE2 intrinsic on register operands; no memory is touched, and SSE2 is baseline on x86_64 (this module only compiles there).
         Self(unsafe { _mm_xor_ps(self.0, _mm_set1_ps(-0.0)) })
     }
 
@@ -94,6 +103,7 @@ impl SimdReal for F32x4 {
     fn fma(self, a: Self, b: Self) -> Self {
         #[cfg(target_feature = "fma")]
         {
+            // SAFETY: value-only FMA intrinsic on register operands; this branch only compiles when the `fma` target feature is statically enabled.
             Self(unsafe { _mm_fmadd_ps(a.0, b.0, self.0) })
         }
         #[cfg(not(target_feature = "fma"))]
@@ -106,6 +116,7 @@ impl SimdReal for F32x4 {
     fn fms(self, a: Self, b: Self) -> Self {
         #[cfg(target_feature = "fma")]
         {
+            // SAFETY: value-only FMA intrinsic on register operands; this branch only compiles when the `fma` target feature is statically enabled.
             Self(unsafe { _mm_fnmadd_ps(a.0, b.0, self.0) })
         }
         #[cfg(not(target_feature = "fma"))]
@@ -117,6 +128,7 @@ impl SimdReal for F32x4 {
     #[inline(always)]
     fn to_array(self) -> [f32; 4] {
         let mut out = [0.0f32; 4];
+        // SAFETY: `out` is a local array with at least `LANES` elements, so the unaligned store stays in bounds.
         unsafe { _mm_storeu_ps(out.as_mut_ptr(), self.0) };
         out
     }
@@ -128,47 +140,56 @@ impl SimdReal for F64x2 {
 
     #[inline(always)]
     fn zero() -> Self {
+        // SAFETY: value-only SSE2 intrinsic on register operands; no memory is touched, and SSE2 is baseline on x86_64 (this module only compiles there).
         Self(unsafe { _mm_setzero_pd() })
     }
 
     #[inline(always)]
     fn splat(x: f64) -> Self {
+        // SAFETY: value-only SSE2 intrinsic on register operands; no memory is touched, and SSE2 is baseline on x86_64 (this module only compiles there).
         Self(unsafe { _mm_set1_pd(x) })
     }
 
     #[inline(always)]
+    // SAFETY: unsafe fn — the pointer-validity contract is inherited from `SimdReal` (`ptr` valid for `LANES` contiguous elements); the unaligned intrinsic adds no further requirements.
     unsafe fn load(ptr: *const f64) -> Self {
         Self(_mm_loadu_pd(ptr))
     }
 
     #[inline(always)]
+    // SAFETY: unsafe fn — the pointer-validity contract is inherited from `SimdReal` (`ptr` valid for `LANES` contiguous elements); the unaligned intrinsic adds no further requirements.
     unsafe fn store(self, ptr: *mut f64) {
-        _mm_storeu_pd(ptr, self.0)
+        _mm_storeu_pd(ptr, self.0);
     }
 
     #[inline(always)]
     fn add(self, rhs: Self) -> Self {
+        // SAFETY: value-only SSE2 intrinsic on register operands; no memory is touched, and SSE2 is baseline on x86_64 (this module only compiles there).
         Self(unsafe { _mm_add_pd(self.0, rhs.0) })
     }
 
     #[inline(always)]
     fn sub(self, rhs: Self) -> Self {
+        // SAFETY: value-only SSE2 intrinsic on register operands; no memory is touched, and SSE2 is baseline on x86_64 (this module only compiles there).
         Self(unsafe { _mm_sub_pd(self.0, rhs.0) })
     }
 
     #[inline(always)]
     fn mul(self, rhs: Self) -> Self {
+        // SAFETY: value-only SSE2 intrinsic on register operands; no memory is touched, and SSE2 is baseline on x86_64 (this module only compiles there).
         Self(unsafe { _mm_mul_pd(self.0, rhs.0) })
     }
 
     #[inline(always)]
     fn div(self, rhs: Self) -> Self {
+        // SAFETY: value-only SSE2 intrinsic on register operands; no memory is touched, and SSE2 is baseline on x86_64 (this module only compiles there).
         Self(unsafe { _mm_div_pd(self.0, rhs.0) })
     }
 
     #[inline(always)]
     fn neg(self) -> Self {
         // sign-bit flip, matching NEON FNEG semantics
+        // SAFETY: value-only SSE2 intrinsic on register operands; no memory is touched, and SSE2 is baseline on x86_64 (this module only compiles there).
         Self(unsafe { _mm_xor_pd(self.0, _mm_set1_pd(-0.0)) })
     }
 
@@ -176,6 +197,7 @@ impl SimdReal for F64x2 {
     fn fma(self, a: Self, b: Self) -> Self {
         #[cfg(target_feature = "fma")]
         {
+            // SAFETY: value-only FMA intrinsic on register operands; this branch only compiles when the `fma` target feature is statically enabled.
             Self(unsafe { _mm_fmadd_pd(a.0, b.0, self.0) })
         }
         #[cfg(not(target_feature = "fma"))]
@@ -188,6 +210,7 @@ impl SimdReal for F64x2 {
     fn fms(self, a: Self, b: Self) -> Self {
         #[cfg(target_feature = "fma")]
         {
+            // SAFETY: value-only FMA intrinsic on register operands; this branch only compiles when the `fma` target feature is statically enabled.
             Self(unsafe { _mm_fnmadd_pd(a.0, b.0, self.0) })
         }
         #[cfg(not(target_feature = "fma"))]
@@ -199,6 +222,7 @@ impl SimdReal for F64x2 {
     #[inline(always)]
     fn to_array(self) -> [f64; 4] {
         let mut out = [0.0f64; 4];
+        // SAFETY: `out` is a local array with at least `LANES` elements, so the unaligned store stays in bounds.
         unsafe { _mm_storeu_pd(out.as_mut_ptr(), self.0) };
         out
     }

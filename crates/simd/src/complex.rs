@@ -223,6 +223,7 @@ mod tests {
         assert_eq!(core::mem::size_of::<c32>(), 8);
         assert_eq!(core::mem::size_of::<c64>(), 16);
         let z = c64::new(1.0, 2.0);
+        // SAFETY: `c64` is `#[repr(C)]` with exactly two `f64` fields, so it transmutes to `[f64; 2]` losslessly.
         let raw: [f64; 2] = unsafe { core::mem::transmute(z) };
         assert_eq!(raw, [1.0, 2.0]);
     }

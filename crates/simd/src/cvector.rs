@@ -142,12 +142,14 @@ mod tests {
         let (sa, ca) = mk(1.5);
         let (sb, cb) = mk(-2.25);
         let (sc, cc) = mk(0.75);
+        // SAFETY: each split buffer from `mk` has `2 * LANES` elements — exactly one split-layout vector (covers the three loads below).
         let va = unsafe { CVec::<V>::load(sa.as_ptr()) };
         let vb = unsafe { CVec::<V>::load(sb.as_ptr()) };
         let vc = unsafe { CVec::<V>::load(sc.as_ptr()) };
 
         let check = |got: CVec<V>, want: &dyn Fn(usize) -> Complex<V::Scalar>, tol: f64| {
             let mut out = vec![V::Scalar::ZERO; 2 * p];
+            // SAFETY: `out` has `2 * LANES` elements — exactly one split-layout vector.
             unsafe { got.store(out.as_mut_ptr()) };
             for l in 0..p {
                 let w = want(l);
@@ -190,10 +192,12 @@ mod tests {
     #[test]
     fn split_layout_round_trip() {
         let src: [f64; 4] = [1.0, 2.0, 10.0, 20.0]; // re0 re1 | im0 im1
+        // SAFETY: `src` has `2 * LANES` elements — exactly one split-layout vector.
         let v = unsafe { CVec::<F64x2>::load(src.as_ptr()) };
         assert_eq!(&v.re.to_array()[..2], &[1.0, 2.0]);
         assert_eq!(&v.im.to_array()[..2], &[10.0, 20.0]);
         let mut out = [0.0f64; 4];
+        // SAFETY: `out` has `2 * LANES` elements — exactly one split-layout vector.
         unsafe { v.store(out.as_mut_ptr()) };
         assert_eq!(out, src);
     }

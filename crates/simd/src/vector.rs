@@ -97,10 +97,12 @@ pub type simd_for<T> = <T as HasSimd>::Vector;
 #[inline(always)]
 pub fn prefetch_read<T>(ptr: *const T) {
     #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a pure hint — `_mm_prefetch` never faults, regardless of the address.
     unsafe {
         core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(ptr as *const i8);
     }
     #[cfg(target_arch = "aarch64")]
+    // SAFETY: PRFM is a pure prefetch hint — it never faults, regardless of the address; the asm clobbers nothing (nostack, readonly, flags preserved).
     unsafe {
         core::arch::asm!("prfm pldl1keep, [{0}]", in(reg) ptr, options(nostack, readonly, preserves_flags));
     }
@@ -178,9 +180,11 @@ mod tests {
         // The compact layout only guarantees scalar alignment; loads/stores
         // must accept any scalar-aligned pointer.
         let data: [f32; 9] = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        // SAFETY: `data` has 9 elements, so `data + 1` is valid for a 4-lane read.
         let v = unsafe { F32x4::load(data.as_ptr().add(1)) };
         assert_eq!(&v.to_array()[..], &[1.0, 2.0, 3.0, 4.0]);
         let mut out = [0.0f32; 6];
+        // SAFETY: `out` has 6 elements, so `out + 1` is valid for the 4-lane store.
         unsafe { v.store(out.as_mut_ptr().add(1)) };
         assert_eq!(out, [0.0, 1.0, 2.0, 3.0, 4.0, 0.0]);
     }

@@ -33,6 +33,7 @@ pub mod pmu;
 pub mod recorder;
 pub mod ring;
 pub mod roofline;
+pub(crate) mod sync;
 
 pub use chrome::chrome_trace_json;
 pub use pmu::{PmuCounters, PmuSource, PmuUnavailable};

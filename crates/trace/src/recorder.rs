@@ -21,7 +21,7 @@ pub use crate::ring::SpanEvent;
 #[cfg(feature = "enabled")]
 use crate::ring::SpanRing;
 #[cfg(feature = "enabled")]
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use crate::sync::{AtomicU64, Ordering::Relaxed};
 #[cfg(feature = "enabled")]
 use std::sync::{Arc, Mutex, OnceLock};
 #[cfg(feature = "enabled")]
@@ -63,6 +63,8 @@ fn ring_capacity() -> usize {
 thread_local! {
     static THREAD_RING: Arc<SpanRing> = {
         static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+        // ordering: Relaxed — id allocator: fetch_add's atomicity alone
+        // guarantees unique tids; nothing else rides on this word.
         let ring = Arc::new(SpanRing::with_capacity(
             NEXT_TID.fetch_add(1, Relaxed),
             ring_capacity(),

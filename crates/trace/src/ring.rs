@@ -14,7 +14,10 @@
 //! A torn slot is simply dropped: this is a flight recorder, losing one
 //! in-flight event under concurrent drain is by design.
 
-use std::sync::atomic::{AtomicU64, Ordering::Acquire, Ordering::Relaxed, Ordering::Release};
+use crate::sync::{
+    AtomicU64,
+    Ordering::{Acquire, Relaxed, Release},
+};
 
 /// What a recorded span covers. Mirrors the executor structure: the six
 /// `iatf_obs::timer::Phase` phases plus the coarser span groups (whole
@@ -150,12 +153,17 @@ impl SpanRing {
     /// Events pushed over the ring's lifetime (drained or not, including
     /// overwritten ones).
     pub fn pushed(&self) -> u64 {
+        // ordering: Relaxed — advisory counter read; callers wanting
+        // slot contents go through `drain`, which re-loads with Acquire.
         self.head.load(Relaxed)
     }
 
     /// Events lost to overwrite-oldest so far (relative to the drain
     /// watermark).
     pub fn dropped(&self) -> u64 {
+        // ordering: Relaxed — advisory statistic over two monotonic
+        // counters; a skewed pair only mis-reports the loss count by the
+        // events in flight, never touches slot contents.
         let head = self.head.load(Relaxed);
         let drained = self.drained.load(Relaxed);
         let cap = self.slots.len() as u64;
@@ -166,17 +174,30 @@ impl SpanRing {
     /// the oldest undelivered event when full. Must only be called from
     /// the ring's owning thread.
     pub fn push(&self, kind: SpanKind, start_ns: u64, dur_ns: u64, arg: u64) {
+        // ordering: Relaxed — single-producer: only this thread ever
+        // stores `head` or `seq`, so it reads its own last values back.
         let head = self.head.load(Relaxed);
         let slot = &self.slots[(head % self.slots.len() as u64) as usize];
         let seq = slot.seq.load(Relaxed);
-        // Mark the slot in-flight (odd) before touching its words …
+        // ordering: Release — mark the slot in-flight (odd) *before*
+        // touching its words: a consumer that Acquire-loads an even seq
+        // afterwards is guaranteed the word stores below are not sunk
+        // above this mark.
         slot.seq.store(seq | 1, Release);
+        // ordering: Relaxed — the words need no ordering of their own;
+        // they are fenced by the odd/even seq stores around them and
+        // re-validated by the consumer's s1 == s2 check.
         slot.words[0].store(kind as u64, Relaxed);
         slot.words[1].store(start_ns, Relaxed);
         slot.words[2].store(dur_ns, Relaxed);
         slot.words[3].store(arg, Relaxed);
-        // … and publish with the next even sequence number.
+        // ordering: Release — publish with the next even sequence number:
+        // pairs with the consumer's s1 Acquire load so the word stores
+        // above happen-before any read that observes this even value.
         slot.seq.store((seq | 1).wrapping_add(1), Release);
+        // ordering: Release — publish the new head after the slot is
+        // complete; pairs with drain's Acquire so a consumer that sees
+        // index `head` also sees the finished slot behind it.
         self.head.store(head + 1, Release);
     }
 
@@ -185,20 +206,35 @@ impl SpanRing {
     /// overwriting right now) are skipped — the returned events are the
     /// *newest* surviving ones, in push order.
     pub fn drain(&self, out: &mut Vec<SpanEvent>) {
+        // ordering: Acquire — pairs with push's Release head store: every
+        // slot at an index below the observed head was fully published.
         let head = self.head.load(Acquire);
         let cap = self.slots.len() as u64;
+        // ordering: Relaxed — single-consumer watermark: only this
+        // (sole) consumer ever stores `drained`, so it reads its own
+        // last value back.
         let drained = self.drained.load(Relaxed);
         let start = drained.max(head.saturating_sub(cap));
         for idx in start..head {
             let slot = &self.slots[(idx % cap) as usize];
+            // ordering: Acquire — seqlock read prologue: pairs with the
+            // producer's even Release store so the word loads below see
+            // at least that write's words.
             let s1 = slot.seq.load(Acquire);
             if s1 & 1 == 1 {
                 continue; // mid-write
             }
+            // ordering: Relaxed — word loads are sandwiched between the
+            // s1/s2 seq loads; any concurrent overwrite flips seq and the
+            // s1 != s2 check below discards the torn tuple.
             let kind = slot.words[0].load(Relaxed);
             let start_ns = slot.words[1].load(Relaxed);
             let dur_ns = slot.words[2].load(Relaxed);
             let arg = slot.words[3].load(Relaxed);
+            // ordering: Acquire — seqlock read epilogue: orders the word
+            // loads above before this re-check, so an unchanged seq
+            // means the tuple is the one published by that sequence
+            // number.
             let s2 = slot.seq.load(Acquire);
             if s1 != s2 {
                 continue; // torn: producer lapped us mid-read
@@ -219,12 +255,112 @@ impl SpanRing {
                 });
             }
         }
+        // ordering: Release — publish the advanced watermark; `dropped`
+        // reads it relaxed (advisory) and the sole consumer reads its own
+        // store back, so Release is only needed to keep the watermark
+        // from appearing ahead of the event copies above.
         self.drained.store(head, Release);
     }
 
     /// Consumer side: discards everything recorded so far.
     pub fn clear(&self) {
+        // ordering: Acquire/Release — same pairing as `drain`: observe
+        // the producer's published head, then publish the watermark.
         self.drained.store(self.head.load(Acquire), Release);
+    }
+}
+
+/// Bounded model checking of the seqlock protocol (run with
+/// `RUSTFLAGS="--cfg loom" cargo test -p iatf-trace --features enabled
+/// --lib loom`): a producer wrapping the ring against a concurrent
+/// consumer, through every interleaving within the model checker's
+/// preemption bound.
+#[cfg(all(loom, test))]
+mod loom_models {
+    use super::*;
+    use loom::thread;
+    use std::sync::Arc;
+
+    /// Every pushed event satisfies `dur == start * 3` and
+    /// `arg == start + 7`; a torn read (words mixed across two pushes)
+    /// breaks at least one of the relations.
+    fn coherent(e: &SpanEvent) -> bool {
+        e.dur_ns == e.start_ns * 3 && e.arg == e.start_ns + 7
+    }
+
+    /// Invariant: no drained event is ever torn, even while the producer
+    /// wraps the (minimum-size) ring underneath the consumer — a slot
+    /// caught mid-overwrite is discarded, never delivered half-old. The
+    /// ring is deliberately lossy (skipped slots are dropped, a lapped
+    /// slot may deliver its newer payload, and the final `drain` in
+    /// `recorder` sorts), so *tear-freedom and payload authenticity* are
+    /// exactly the properties the seqlock owes — order and completeness
+    /// are not.
+    #[test]
+    fn seqlock_drain_never_yields_torn_events_under_wraparound() {
+        loom::model(|| {
+            let ring = Arc::new(SpanRing::with_capacity(1, 2));
+            let producer = {
+                let ring = Arc::clone(&ring);
+                thread::spawn(move || {
+                    // Capacity 2, three pushes: the third overwrites the
+                    // first while the consumer may be mid-read.
+                    for i in 0..3u64 {
+                        ring.push(SpanKind::Compute, i, i * 3, i + 7);
+                    }
+                })
+            };
+
+            // Concurrent drain: may catch any slot mid-write or
+            // mid-overwrite.
+            let mut out = Vec::new();
+            ring.drain(&mut out);
+
+            producer.join().unwrap();
+
+            // Post-join drain picks up whatever the watermark left.
+            ring.drain(&mut out);
+
+            for e in &out {
+                assert!(
+                    coherent(e),
+                    "torn event drained under wraparound: {e:?}"
+                );
+                assert!(
+                    e.start_ns < 3 && e.kind == SpanKind::Compute,
+                    "drained an event the producer never pushed: {e:?}"
+                );
+            }
+            assert_eq!(ring.pushed(), 3);
+        });
+    }
+
+    /// Without a racing consumer, wraparound loses only the overwritten
+    /// prefix: a quiescent drain delivers exactly the newest `capacity`
+    /// events, untorn and in push order.
+    #[test]
+    fn quiescent_drain_after_wraparound_is_exact() {
+        loom::model(|| {
+            let ring = Arc::new(SpanRing::with_capacity(1, 2));
+            let producer = {
+                let ring = Arc::clone(&ring);
+                thread::spawn(move || {
+                    for i in 0..3u64 {
+                        ring.push(SpanKind::Compute, i, i * 3, i + 7);
+                    }
+                })
+            };
+            producer.join().unwrap();
+
+            let mut out = Vec::new();
+            ring.drain(&mut out);
+            assert_eq!(out.len(), 2);
+            assert!(out.iter().all(coherent));
+            assert_eq!(
+                out.iter().map(|e| e.start_ns).collect::<Vec<_>>(),
+                vec![1, 2]
+            );
+        });
     }
 }
 

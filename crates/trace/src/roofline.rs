@@ -184,7 +184,7 @@ impl RooflineReport {
             "err%"
         );
         let opt = |v: Option<f64>, prec: usize| -> String {
-            v.map(|x| format!("{x:>.prec$}")).unwrap_or_else(|| "-".into())
+            v.map_or_else(|| "-".into(), |x| format!("{x:>.prec$}"))
         };
         for p in &self.points {
             let _ = writeln!(
@@ -193,9 +193,7 @@ impl RooflineReport {
                 p.input.label,
                 p.achieved_gflops,
                 p.input.predicted_bytes,
-                p.measured_bytes
-                    .map(|b| format!("{b:.0}"))
-                    .unwrap_or_else(|| "-".into()),
+                p.measured_bytes.map_or_else(|| "-".into(), |b| format!("{b:.0}")),
                 p.predicted_cmar,
                 opt(p.achieved_cmar, 3),
                 opt(p.flops_per_cycle, 2),

@@ -1,0 +1,15 @@
+//! Atomic-type shim: real `std` atomics by default, `loom` model-checked
+//! atomics under `--cfg loom`.
+//!
+//! The seqlock span rings ([`crate::ring`]) and the recorder registry
+//! ([`crate::recorder`]) route every atomic through this module so the
+//! seqlock torn-read protocol can be driven by the bounded model checker
+//! (`RUSTFLAGS="--cfg loom" cargo test -p iatf-trace --features enabled
+//! --lib loom`). With the cfg off these are plain re-exports — identical
+//! codegen to naming `std::sync::atomic`.
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{AtomicU64, Ordering};

@@ -137,6 +137,7 @@ impl TuningDb {
     pub fn record(&self, key: TuneKey, entry: TunedEntry) {
         let mut inner = self.inner.lock().unwrap();
         inner.entries.insert(key, entry);
+        // ordering: Relaxed — generation is a pure invalidation counter mixed into plan fingerprints; the entries it guards are published by the mutex, not by this atomic.
         self.generation.fetch_add(1, Relaxed);
         if let Some(path) = inner.path.clone() {
             let doc = render(&inner.entries, self.generation.load(Relaxed));
@@ -158,6 +159,7 @@ impl TuningDb {
         if inner.entries.remove(key).is_none() {
             return false;
         }
+        // ordering: Relaxed — invalidation counter bump; entry state is mutex-guarded.
         self.generation.fetch_add(1, Relaxed);
         if let Some(path) = inner.path.clone() {
             let doc = render(&inner.entries, self.generation.load(Relaxed));
@@ -172,6 +174,7 @@ impl TuningDb {
     /// Current generation. Monotonically increases on every mutation;
     /// planners mix it into plan-cache fingerprints.
     pub fn generation(&self) -> u64 {
+        // ordering: Relaxed — advisory version read; any pairing with entries goes through the mutex.
         self.generation.load(Relaxed)
     }
 
@@ -189,6 +192,7 @@ impl TuningDb {
     /// and bumps the generation. Benchmarks use this for hermetic runs.
     pub fn clear(&self) {
         self.inner.lock().unwrap().entries.clear();
+        // ordering: Relaxed — invalidation counter bump; entry state is mutex-guarded.
         self.generation.fetch_add(1, Relaxed);
     }
 
@@ -232,6 +236,7 @@ impl TuningDb {
         }
         let n = entries.len();
         self.inner.lock().unwrap().entries = entries;
+        // ordering: Relaxed — generation is a version stamp; the entries map itself is published by the mutex held above.
         self.generation.store(generation, Relaxed);
         LoadOutcome::Loaded(n)
     }
@@ -252,12 +257,7 @@ impl TuningDb {
 }
 
 fn default_path() -> Option<PathBuf> {
-    match std::env::var_os("IATF_TUNE_DB") {
-        Some(v) if v.is_empty() => None,
-        Some(v) => Some(PathBuf::from(v)),
-        None => std::env::var_os("HOME")
-            .map(|home| PathBuf::from(home).join(".cache").join("iatf").join("tune.json")),
-    }
+    iatf_obs::env::env_path("IATF_TUNE_DB", &[".cache", "iatf", "tune.json"])
 }
 
 fn decode_entry(item: &Json) -> Option<(TuneKey, TunedEntry)> {

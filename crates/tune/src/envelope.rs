@@ -221,16 +221,7 @@ impl EnvelopeDb {
 }
 
 fn default_path() -> Option<PathBuf> {
-    match std::env::var_os("IATF_WATCH_ENVELOPES") {
-        Some(v) if v.is_empty() => None,
-        Some(v) => Some(PathBuf::from(v)),
-        None => std::env::var_os("HOME").map(|home| {
-            PathBuf::from(home)
-                .join(".cache")
-                .join("iatf")
-                .join("envelopes.json")
-        }),
-    }
+    iatf_obs::env::env_path("IATF_WATCH_ENVELOPES", &[".cache", "iatf", "envelopes.json"])
 }
 
 fn decode_entry(item: &Json) -> Option<(TuneKey, PerfEnvelope)> {

@@ -89,8 +89,7 @@ pub fn sweep(budget: Duration, runners: &mut [Box<dyn FnMut() + '_>]) -> SweepRe
         .iter()
         .enumerate()
         .min_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(i, _)| i)
-        .unwrap_or(0);
+        .map_or(0, |(i, _)| i);
     SweepReport {
         winner,
         secs: best,

@@ -108,7 +108,7 @@ impl VerifyReport {
                     .set("paper", d.rule.paper())
                     .set(
                         "instruction",
-                        d.index.map(|i| Json::UInt(i as u64)).unwrap_or(Json::Null),
+                        d.index.map_or(Json::Null, |i| Json::UInt(i as u64)),
                     )
                     .set("message", d.message.as_str())
             })

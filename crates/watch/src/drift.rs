@@ -23,8 +23,9 @@
 //! untouched, only the telemetry sees the skew.
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::sync::{AtomicBool, AtomicU64, Ordering::Relaxed};
 
 use iatf_tune::{EnvelopeDb, EnvelopeSource, PerfEnvelope, TuneKey, TuningDb};
 
@@ -252,11 +253,14 @@ fn raise(event: DriftEvent) {
         }
         events.push_back(event);
     }
+    // ordering: Relaxed — monotonic event counter; the events themselves
+    // travel through the Mutex-guarded queue above, never this word.
     queue().total.fetch_add(1, Relaxed);
     retune_flags().lock().unwrap().insert(key);
 }
 
 pub(crate) fn events_total() -> u64 {
+    // ordering: Relaxed — advisory read of a monotonic counter.
     queue().total.load(Relaxed)
 }
 
@@ -291,11 +295,13 @@ pub(crate) fn note_retuned(key: &TuneKey, tuned_gflops: f64, noise: f64) {
         state.calib_sum_sq = 0.0;
         state.calib_n = 0;
         state.armed = None;
+        // ordering: Relaxed — monotonic remediation counter, advisory.
         RETUNES_DONE.fetch_add(1, Relaxed);
         return;
     };
     EnvelopeDb::global().record(*key, env);
     watch.rearm(env);
+    // ordering: Relaxed — monotonic remediation counter, advisory.
     RETUNES_DONE.fetch_add(1, Relaxed);
 }
 
@@ -309,6 +315,10 @@ fn injection() -> &'static Mutex<Option<(TuneKey, f64)>> {
 }
 
 pub(crate) fn set_injection(skew: Option<(TuneKey, f64)>) {
+    // ordering: Relaxed — fast-path hint flag only: the authoritative
+    // skew value lives behind the Mutex below, and `skewed` re-checks it
+    // under the lock before applying anything. A stale flag read merely
+    // skips or takes the lock once more.
     INJECT_ACTIVE.store(skew.is_some(), Relaxed);
     *injection().lock().unwrap() = skew;
 }
@@ -317,6 +327,7 @@ pub(crate) fn set_injection(skew: Option<(TuneKey, f64)>) {
 /// armed for this class; one relaxed load on the common (unarmed) path.
 #[inline]
 pub(crate) fn skewed(key: TuneKey, ns: u64) -> u64 {
+    // ordering: Relaxed — hint only; see `set_injection`.
     if !INJECT_ACTIVE.load(Relaxed) {
         return ns;
     }
@@ -406,6 +417,7 @@ pub(crate) fn snapshot() -> WatchSnapshot {
         events: queue().events.lock().unwrap().iter().copied().collect(),
         events_total: events_total(),
         retunes_pending: retune_flags().lock().unwrap().len() as u64,
+        // ordering: Relaxed — advisory read of a monotonic counter.
         retunes_done: RETUNES_DONE.load(Relaxed),
     }
 }
@@ -419,6 +431,9 @@ pub(crate) fn reset() {
         watch.reset();
     }
     queue().events.lock().unwrap().clear();
+    // ordering: Relaxed — counter resets on the quiesced reset path;
+    // racing dispatches would merely re-add an event, which the advisory
+    // snapshot tolerates.
     queue().total.store(0, Relaxed);
     retune_flags().lock().unwrap().clear();
     RETUNES_DONE.store(0, Relaxed);

@@ -42,6 +42,8 @@ pub mod snapshot;
 mod drift;
 #[cfg(feature = "enabled")]
 mod stats;
+#[cfg(feature = "enabled")]
+mod sync;
 
 pub use chart::{ControlChart, WatchConfig};
 pub use iatf_tune::{EnvelopeDb, EnvelopeSource, PerfEnvelope, TuneKey};

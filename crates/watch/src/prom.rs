@@ -216,7 +216,7 @@ mod tests {
             }
             let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("no value in {line:?}"));
             assert!(
-                value.parse::<f64>().map(f64::is_finite).unwrap_or(false),
+                value.parse::<f64>().is_ok_and(f64::is_finite),
                 "bad value in {line:?}"
             );
             let name = series.split('{').next().unwrap();
@@ -255,8 +255,7 @@ mod tests {
         // Cumulative buckets: last le bucket before +Inf equals count.
         let last = doc
             .lines()
-            .filter(|l| l.starts_with("iatf_dispatch_ns_bucket") && !l.contains("+Inf"))
-            .last()
+            .rfind(|l| l.starts_with("iatf_dispatch_ns_bucket") && !l.contains("+Inf"))
             .unwrap();
         assert!(last.ends_with(" 10"), "buckets not cumulative: {last}");
     }

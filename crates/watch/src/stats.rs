@@ -15,8 +15,9 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::sync::{AtomicU64, Ordering::Relaxed};
 
 use iatf_obs::metrics::HIST_BUCKETS;
 use iatf_tune::TuneKey;
@@ -50,8 +51,20 @@ impl ClassShard {
         }
     }
 
+    /// Write side of the shard protocol. Field order is load-bearing
+    /// against concurrent `read()`: `count` is bumped *before* the
+    /// histogram, and `read()` loads the histogram *before* `count`, so a
+    /// snapshot's histogram mass never exceeds its count (the merge code
+    /// treats count as authoritative). The `loom_models` module below
+    /// drives this pairing through every bounded interleaving.
     #[inline]
     fn record(&self, ns: u64) {
+        // ordering: Relaxed — single-writer shard: only the owning thread
+        // writes, so each atomic is an independent monotonic accumulator
+        // and relaxed read-modify-writes lose nothing; no payload is
+        // published through these words (snapshot readers tolerate the
+        // bounded skew, see `read`). Exactness of the merged totals comes
+        // from quiescence at merge time, not from ordering.
         self.count.fetch_add(1, Relaxed);
         self.total_ns.fetch_add(ns, Relaxed);
         self.min_ns.fetch_min(ns, Relaxed);
@@ -61,6 +74,9 @@ impl ClassShard {
     }
 
     fn zero(&self) {
+        // ordering: Relaxed — reset is only called from quiesced test /
+        // reset paths; racing writers would merely re-add a sample, which
+        // the advisory snapshot tolerates.
         self.count.store(0, Relaxed);
         self.total_ns.store(0, Relaxed);
         self.min_ns.store(u64::MAX, Relaxed);
@@ -70,8 +86,16 @@ impl ClassShard {
         }
     }
 
+    /// Read side of the shard protocol: histogram first, `count` last —
+    /// the mirror image of `record`'s write order — so concurrent
+    /// snapshots satisfy `hist mass <= count` (see `record`).
     pub(crate) fn read(&self) -> ThreadClassSnapshot {
         let mut hist = [0u64; HIST_BUCKETS];
+        // ordering: Relaxed — advisory snapshot of single-writer
+        // accumulators; the only cross-field guarantee needed is the
+        // hist-before-count read order above, which program order plus
+        // the write order in `record` already gives on every target this
+        // crate supports (and which the loom model checks).
         for (dst, src) in hist.iter_mut().zip(self.hist.iter()) {
             *dst = src.load(Relaxed);
         }
@@ -85,10 +109,12 @@ impl ClassShard {
     }
 
     pub(crate) fn min_ns(&self) -> u64 {
+        // ordering: Relaxed — advisory snapshot of a single-writer word.
         self.min_ns.load(Relaxed)
     }
 
     pub(crate) fn max_ns(&self) -> u64 {
+        // ordering: Relaxed — advisory snapshot of a single-writer word.
         self.max_ns.load(Relaxed)
     }
 }
@@ -111,6 +137,8 @@ thread_local! {
 fn thread_id() -> u64 {
     static NEXT_TID: AtomicU64 = AtomicU64::new(1);
     thread_local! {
+        // ordering: Relaxed — id allocator: fetch_add's atomicity alone
+        // guarantees uniqueness; no other memory rides on it.
         static TID: u64 = NEXT_TID.fetch_add(1, Relaxed);
     }
     TID.with(|t| *t)
@@ -139,5 +167,96 @@ pub(crate) fn record(key: TuneKey, ns: u64, flops_per_call: f64) {
 pub(crate) fn zero_all() {
     for shard in registry().lock().unwrap().iter() {
         shard.zero();
+    }
+}
+
+/// Bounded model checking of the shard write/read protocol (run with
+/// `RUSTFLAGS="--cfg loom" cargo test -p iatf-watch --features enabled
+/// --lib loom`): a recording writer against a concurrent snapshot reader,
+/// through every interleaving within the model checker's preemption
+/// bound.
+#[cfg(all(loom, test))]
+mod loom_models {
+    use super::*;
+    use iatf_tune::TuneOp;
+    use loom::thread;
+
+    fn model_key() -> TuneKey {
+        TuneKey {
+            op: TuneOp::Gemm,
+            dtype: 1,
+            m: 4,
+            n: 4,
+            k: 4,
+            mode: 0,
+            conj: 0,
+            count: 32,
+        }
+    }
+
+    fn mass(hist: &[u64; HIST_BUCKETS]) -> u64 {
+        hist.iter().sum()
+    }
+
+    /// Invariants: (a) a snapshot taken *while* the owning thread records
+    /// never shows more histogram mass than count (`record` bumps count
+    /// first, `read` loads it last); (b) once the writer has joined, the
+    /// merge is exact — counts, totals, and histogram mass all equal the
+    /// per-thread sums, nothing lost and nothing double-counted.
+    #[test]
+    fn shard_merge_is_exact_and_snapshots_never_overcount() {
+        loom::model(|| {
+            let shard = Arc::new(ClassShard::new(1, model_key(), 2.0));
+            let writer = {
+                let shard = Arc::clone(&shard);
+                thread::spawn(move || {
+                    shard.record(100);
+                    shard.record(200);
+                })
+            };
+
+            // Concurrent snapshot: may land before, between, or inside
+            // the two records.
+            let mid = shard.read();
+            assert!(
+                mass(&mid.hist) <= mid.count,
+                "snapshot histogram mass {} exceeds count {}",
+                mass(&mid.hist),
+                mid.count
+            );
+            assert!(mid.count <= 2);
+
+            writer.join().unwrap();
+
+            // Post-join: the merge is exact, not approximate.
+            let fin = shard.read();
+            assert_eq!(fin.count, 2);
+            assert_eq!(fin.total_ns, 300);
+            assert_eq!(mass(&fin.hist), 2);
+            assert_eq!(shard.min_ns(), 100);
+            assert_eq!(shard.max_ns(), 200);
+        });
+    }
+
+    /// Two shards (two recording threads) merged by summation: the
+    /// single-writer discipline makes the merged totals exactly the sum
+    /// of the per-thread sums in every interleaving.
+    #[test]
+    fn cross_shard_merge_is_exact_under_concurrent_recording() {
+        loom::model(|| {
+            let a = Arc::new(ClassShard::new(1, model_key(), 2.0));
+            let b = Arc::new(ClassShard::new(2, model_key(), 2.0));
+            let wa = {
+                let a = Arc::clone(&a);
+                thread::spawn(move || a.record(100))
+            };
+            b.record(50);
+            wa.join().unwrap();
+
+            let (sa, sb) = (a.read(), b.read());
+            assert_eq!(sa.count + sb.count, 2);
+            assert_eq!(sa.total_ns + sb.total_ns, 150);
+            assert_eq!(mass(&sa.hist) + mass(&sb.hist), 2);
+        });
     }
 }

@@ -1,0 +1,15 @@
+//! Atomic-type shim: real `std` atomics by default, `loom` model-checked
+//! atomics under `--cfg loom`.
+//!
+//! The single-writer telemetry shards ([`crate::stats`]) and the drift
+//! detector's lock-free flags ([`crate::drift`]) route every atomic
+//! through this module so the shard merge protocol can be driven by the
+//! bounded model checker (`RUSTFLAGS="--cfg loom" cargo test -p
+//! iatf-watch --features enabled --lib loom`). With the cfg off these are
+//! plain re-exports — identical codegen to naming `std::sync::atomic`.
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};

@@ -30,7 +30,7 @@ impl Criterion {
 
     /// Registers a standalone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut group = self.benchmark_group(name.to_string());
+        let group = self.benchmark_group(name.to_string());
         let mut b = Bencher::new(group.sample_size, group.warm_up_time, group.measurement_time);
         f(&mut b);
         b.report(name, None);
