@@ -45,9 +45,15 @@ impl Registry {
 static WORKSPACE: Registry = Registry {
     unsafe_paths: &[
         // SIMD backends: the sanctioned home of intrinsics (iatf-simd
-        // exemption in DESIGN.md).
+        // exemption in DESIGN.md). Covers the per-width backend modules —
+        // backend/x86.rs (SSE2), backend/avx.rs (AVX2+FMA), backend/
+        // avx512.rs (AVX-512F), backend/neon.rs — whose every intrinsic
+        // call carries a SAFETY comment naming the target feature the
+        // runtime probe guarantees.
         "crates/simd/src/",
-        // Raw-pointer microkernels and their property tests.
+        // Raw-pointer microkernels and their property tests; includes
+        // wide.rs, the #[target_feature] wrapper modules that re-bind the
+        // kernel bodies at 256/512-bit widths.
         "crates/kernels/src/",
         "crates/kernels/tests/proptests.rs",
         // Packing fast paths over raw slices.
@@ -88,7 +94,16 @@ static WORKSPACE: Registry = Registry {
             "Prometheus exposition-format label escaping (spec-mandated, not JSON)",
         ),
     ],
-    env_exempt: &["crates/obs/src/env.rs"],
+    env_exempt: &[
+        "crates/obs/src/env.rs",
+        // IATF_FORCE_WIDTH is read before any higher layer exists:
+        // iatf-simd sits below iatf-obs in the crate DAG, so it cannot
+        // use the env helpers without inverting the layering. The read
+        // follows the same hygiene contract (unset silent, invalid warns
+        // once and falls back) and is tested by the force_width_*
+        // integration tests.
+        "crates/simd/src/width.rs",
+    ],
     fallback_crates: &["crates/obs/src/", "crates/trace/src/", "crates/watch/src/"],
 };
 

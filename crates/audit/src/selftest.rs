@@ -34,6 +34,15 @@ fn seeds() -> Vec<Seed> {
             expect: &[RuleId::UnsafeJustify],
         },
         Seed {
+            // A width backend grown outside the sanctioned homes: wide
+            // #[target_feature] intrinsics belong in crates/simd/src/ or
+            // crates/kernels/src/ (and need SAFETY justifications even
+            // there). Both unsafe rules must fire.
+            rel: "crates/badcrate/src/avx_backend.rs",
+            content: "#[cfg(target_arch = \"x86_64\")]\npub fn first_lane(p: *const f32) -> f32 {\n    use core::arch::x86_64::*;\n    unsafe { _mm_cvtss_f32(_mm256_castps256_ps128(_mm256_loadu_ps(p))) }\n}\n",
+            expect: &[RuleId::UnsafePath, RuleId::UnsafeJustify],
+        },
+        Seed {
             // Atomics outside any registered concurrency module.
             rel: "crates/badcrate/src/atomics_stray.rs",
             content: "use std::sync::atomic::{AtomicU64, Ordering};\npub fn f(x: &AtomicU64) -> u64 {\n    // ordering: counter read\n    x.load(Ordering::Relaxed)\n}\n",

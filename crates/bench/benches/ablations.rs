@@ -84,7 +84,7 @@ fn fmls_vs_gemm(c: &mut Criterion) {
     for kk in [4usize, 8, 16, 32] {
         let pa = vec![0.01f64; kk * MR * p];
         let mut panel = vec![0.5f64; (kk + MR) * NR * p];
-        let rect = real_trsm_rect_kernel::<f64>(MR, NR);
+        let rect = real_trsm_rect_kernel::<f64>(iatf_simd::VecWidth::W128, MR, NR);
         group.bench_with_input(BenchmarkId::new("fmls_rect", kk), &kk, |b, _| {
             // SAFETY: the buffers above are sized exactly to the kernel's packed extents for these dimensions, and the strides passed match that sizing.
             b.iter(|| unsafe {
@@ -102,7 +102,7 @@ fn fmls_vs_gemm(c: &mut Criterion) {
                 std::hint::black_box(&panel);
             });
         });
-        let kern = real_gemm_kernel::<f64>(MR, NR);
+        let kern = real_gemm_kernel::<f64>(iatf_simd::VecWidth::W128, MR, NR);
         let pb = vec![0.5f64; kk * NR * p];
         let mut cbuf = vec![0.5f64; MR * NR * p];
         group.bench_with_input(BenchmarkId::new("gemm_update", kk), &kk, |b, _| {

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use iatf_kernels::table::{cplx_gemm_kernel, real_gemm_kernel};
-use iatf_simd::{F32x4, F64x2, SimdReal};
+use iatf_simd::{F32x4, F64x2, SimdReal, VecWidth};
 use std::time::Duration;
 
 const K: usize = 16;
@@ -25,7 +25,7 @@ fn bench_real<R: iatf_kernels::KernelScalar, V: SimdReal<Scalar = R>>(
             let pa: Vec<R> = vec![R::from_f64(0.5); K * mr * p];
             let pb: Vec<R> = vec![R::from_f64(0.25); K * nr * p];
             let mut cbuf: Vec<R> = vec![R::ZERO; mr * nr * p];
-            let kern = real_gemm_kernel::<R>(mr, nr);
+            let kern = real_gemm_kernel::<R>(VecWidth::W128, mr, nr);
             group.throughput(Throughput::Elements((TILES * mr * nr * K * p * 2) as u64));
             group.bench_with_input(
                 BenchmarkId::from_parameter(format!("{mr}x{nr}")),
@@ -75,7 +75,7 @@ fn bench_cplx<R: iatf_kernels::KernelScalar, V: SimdReal<Scalar = R>>(
             let pa: Vec<R> = vec![R::from_f64(0.5); K * mr * g];
             let pb: Vec<R> = vec![R::from_f64(0.25); K * nr * g];
             let mut cbuf: Vec<R> = vec![R::ZERO; mr * nr * g];
-            let kern = cplx_gemm_kernel::<R>(mr, nr);
+            let kern = cplx_gemm_kernel::<R>(VecWidth::W128, mr, nr);
             group.bench_with_input(
                 BenchmarkId::from_parameter(format!("{mr}x{nr}")),
                 &(mr, nr),

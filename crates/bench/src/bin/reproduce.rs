@@ -6,7 +6,8 @@
 //! targets:
 //!   table1 table2 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12
 //!   ablation-pack ablation-batch ablation-kernel-size ablation-fmls
-//!   ablation-schedule callamort obs tune trace sentinel watch verify all
+//!   ablation-schedule callamort obs tune widths backends trace sentinel
+//!   watch verify all
 //! ```
 //!
 //! `callamort` measures call-amortization: per-call cost of a prebuilt
@@ -25,6 +26,14 @@
 //! in the same calibrated sweep. `--json` emits the `BENCH_4.json`
 //! document the CI gate checks (tuned must never lose to the heuristic
 //! beyond noise, and must be strictly faster on a fraction of the grid).
+//!
+//! `widths` sweeps GEMM/TRSM across the size grid at every vector width
+//! the host can execute and compares each wider backend against the
+//! 128-bit baseline measured in the same interleaved rounds. `--json`
+//! emits the `BENCH_8.json` document the CI gate checks (wider must not
+//! lose to 128-bit beyond noise, and must win on part of the grid where
+//! a 256-bit backend exists). `backends` prints the executable registry
+//! rows for the verify-script width matrix.
 //!
 //! `trace` runs a workload set that touches every runtime phase under the
 //! flight recorder and a `perf_event` counter group, writes the recorded
@@ -163,6 +172,8 @@ fn main() {
         "obs" => obs_telemetry(&opts),
         "tune" => tune_bench(&opts),
         "trace" => trace_bench(&opts),
+        "widths" => widths_bench(&opts),
+        "backends" => backends(),
         "sentinel" => sentinel(&opts),
         "watch" => watch_bench(&opts),
         "verify" => verify_kernels(&opts),
@@ -188,6 +199,7 @@ fn main() {
             callamort(&opts);
             obs_telemetry(&opts);
             tune_bench(&opts);
+            widths_bench(&opts);
             trace_bench(&opts);
             watch_bench(&opts);
             verify_kernels(&opts);
@@ -197,6 +209,40 @@ fn main() {
             std::process::exit(2);
         }
     }
+}
+
+/// Registry provenance stamped into the BENCH_* documents: which µarch
+/// row and vector width produced the numbers. The sentinel refuses to
+/// gate a baseline recorded on a different row — throughput measured at
+/// one width is not comparable to another — announcing the mismatch and
+/// skipping instead of failing on foreign numbers.
+fn registry_meta() -> iatf_obs::Json {
+    let row = iatf_kernels::dispatched_row();
+    iatf_obs::Json::object()
+        .set("uarch", row.uarch)
+        .set("width", row.width.name())
+        .set("width_bits", row.width.bits() as u64)
+}
+
+/// True when `base` was recorded on the registry row this process
+/// dispatches to (or predates the provenance stamp — those legacy
+/// baselines gate as before). On mismatch, announces the skip.
+fn baseline_row_matches(path: &str, base: &iatf_obs::Json) -> bool {
+    let Some(reg) = base.get("registry") else {
+        return true;
+    };
+    let row = iatf_kernels::dispatched_row();
+    let b_uarch = reg.get("uarch").and_then(|v| v.as_str()).unwrap_or("?");
+    let b_width = reg.get("width").and_then(|v| v.as_str()).unwrap_or("?");
+    if b_uarch == row.uarch && b_width == row.width.name() {
+        return true;
+    }
+    eprintln!(
+        "   {path}: baseline recorded on {b_uarch} at width {b_width}, current dispatch is {} at width {} — skipping (re-record on this host to arm the gate)",
+        row.uarch,
+        row.width.name(),
+    );
+    false
 }
 
 fn emit(opts: &Opts, title: &str, xlabel: &str, xs: &[usize], series: &[Series]) {
@@ -1101,6 +1147,7 @@ fn callamort(opts: &Opts) {
         let ns_list = |v: &[f64]| v.iter().map(|&x| iatf_obs::Json::from(x)).collect::<Vec<_>>();
         let doc = iatf_obs::Json::object()
             .set("title", "callamort: per-call dispatch overhead, cached vs uncached")
+            .set("registry", registry_meta())
             .set("count", count)
             .set("sizes", sizes.iter().map(|&n| iatf_obs::Json::from(n)).collect::<Vec<_>>())
             .set("exec_ns", ns_list(&exec_ns))
@@ -1235,7 +1282,7 @@ fn tune_bench(opts: &Opts) {
         let count = scaled_batch(opts.batch_base, n);
         let gdims = GemmDims::square(n);
         iatf_core::ensure_tuned_gemm::<f32>(gdims, GemmMode::NN, false, false, count, &cfg);
-        if let Some(e) = db.lookup(&gemm_tune_key::<f32>(gdims, GemmMode::NN, false, false, count))
+        if let Some(e) = db.lookup(&gemm_tune_key::<f32>(gdims, GemmMode::NN, false, false, count, cfg.width))
         {
             points.push(TunePoint {
                 op: "gemm",
@@ -1249,7 +1296,7 @@ fn tune_bench(opts: &Opts) {
         }
         let tdims = TrsmDims::square(n);
         iatf_core::ensure_tuned_trsm::<f64>(tdims, TrsmMode::LNLN, false, count, &cfg);
-        if let Some(e) = db.lookup(&trsm_tune_key::<f64>(tdims, TrsmMode::LNLN, false, count)) {
+        if let Some(e) = db.lookup(&trsm_tune_key::<f64>(tdims, TrsmMode::LNLN, false, count, cfg.width)) {
             points.push(TunePoint {
                 op: "trsm",
                 dtype: "f64",
@@ -1270,6 +1317,7 @@ fn tune_bench(opts: &Opts) {
                 "title",
                 "tune: input-aware autotuner, measured winners vs heuristic baseline",
             )
+            .set("registry", registry_meta())
             .set("budget_ms", budget_ms)
             .set("db_entries", db.len() as u64)
             .set("generation", db.generation())
@@ -1320,6 +1368,278 @@ fn tune_bench(opts: &Opts) {
         db.generation()
     );
     println!();
+}
+
+// ---------------------------------------------------------------------------
+// Width sweep: wider vector backends vs the 128-bit baseline (the
+// `reproduce widths` target, BENCH_8.json)
+// ---------------------------------------------------------------------------
+
+/// One wider-width measurement against the 128-bit backend on the same
+/// problem. `noise` is the worse of the two measurements' round spreads;
+/// a loss only counts beyond `max(3 × noise, 2%)`, mirroring the tuner's
+/// significance rule with a tighter floor (same backend family, same
+/// operands — only the lane count differs).
+struct WidthPoint {
+    op: &'static str,
+    dtype: &'static str,
+    n: usize,
+    count: usize,
+    width: iatf_simd::VecWidth,
+    gflops: f64,
+    baseline_gflops: f64,
+    noise: f64,
+}
+
+impl WidthPoint {
+    fn tolerance(&self) -> f64 {
+        (3.0 * self.noise).max(0.02)
+    }
+
+    /// Strictly faster than the 128-bit backend beyond measured noise.
+    fn wins(&self) -> bool {
+        self.gflops * (1.0 - self.noise) > self.baseline_gflops
+    }
+
+    /// Slower than the 128-bit backend beyond tolerance — a gate failure.
+    fn loses(&self) -> bool {
+        self.gflops < self.baseline_gflops * (1.0 - self.tolerance())
+    }
+}
+
+/// Interleaved min-of-rounds GFLOPS per width for one square-GEMM point.
+/// Every width's operands are laid out (`P` differs per width) and
+/// planned up front; the rounds then cycle through the widths so load
+/// drift hits all of them equally. Returns `(width, gflops, noise)`.
+fn widths_gemm_point<E: CompactElement>(
+    n: usize,
+    count: usize,
+    widths: &[iatf_simd::VecWidth],
+    round: &TimeOpts,
+) -> Vec<(iatf_simd::VecWidth, f64, f64)> {
+    use iatf_core::{GemmPlan, PlanCachePolicy};
+    use iatf_layout::{CompactBatch, GemmDims, StdBatch};
+
+    let a = StdBatch::<E>::random(n, n, count, 0x80);
+    let b = StdBatch::<E>::random(n, n, count, 0x81);
+    let mut runs: Vec<_> = widths
+        .iter()
+        .map(|&w| {
+            let cfg = TuningConfig {
+                width: w,
+                plan_cache: PlanCachePolicy::Bypass,
+                ..TuningConfig::default()
+            };
+            let plan =
+                GemmPlan::<E>::new(GemmDims::square(n), GemmMode::NN, false, false, count, &cfg)
+                    .unwrap();
+            let ca = CompactBatch::from_std_at(&a, w);
+            let cb = CompactBatch::from_std_at(&b, w);
+            let cc = CompactBatch::<E>::zeroed_at(n, n, count, w);
+            (w, plan, ca, cb, cc)
+        })
+        .collect();
+    let flops = iatf_bench::workloads::gemm_flops::<E>(n, count);
+    const ROUNDS: usize = 5;
+    let mut t_min = vec![f64::INFINITY; runs.len()];
+    let mut t_max = vec![0.0f64; runs.len()];
+    for _ in 0..ROUNDS {
+        for (i, (_, plan, ca, cb, cc)) in runs.iter_mut().enumerate() {
+            let t = iatf_bench::timer::time_secs(round, || {
+                plan.execute(E::one(), ca, cb, E::one(), cc).unwrap();
+            });
+            t_min[i] = t_min[i].min(t);
+            t_max[i] = t_max[i].max(t);
+        }
+    }
+    runs.iter()
+        .enumerate()
+        .map(|(i, (w, ..))| (*w, flops / t_min[i] / 1e9, 1.0 - t_min[i] / t_max[i]))
+        .collect()
+}
+
+/// Same protocol for f64 TRSM (LNUN, diagonally dominant A: the in-place
+/// solve decays toward zero without overflow, so reps need no restore).
+fn widths_trsm_point(
+    n: usize,
+    count: usize,
+    widths: &[iatf_simd::VecWidth],
+    round: &TimeOpts,
+) -> Vec<(iatf_simd::VecWidth, f64, f64)> {
+    use iatf_core::{PlanCachePolicy, TrsmPlan};
+    use iatf_layout::{CompactBatch, StdBatch, TrsmDims};
+
+    let mode = TrsmMode::LNUN;
+    let a = StdBatch::<f64>::random_triangular(n, count, mode.uplo, mode.diag, 0x82);
+    let b = StdBatch::<f64>::random(n, n, count, 0x83);
+    let mut runs: Vec<_> = widths
+        .iter()
+        .map(|&w| {
+            let cfg = TuningConfig {
+                width: w,
+                plan_cache: PlanCachePolicy::Bypass,
+                ..TuningConfig::default()
+            };
+            let plan = TrsmPlan::<f64>::new(TrsmDims::square(n), mode, false, count, &cfg).unwrap();
+            let ca = CompactBatch::from_std_at(&a, w);
+            let cb = CompactBatch::from_std_at(&b, w);
+            (w, plan, ca, cb)
+        })
+        .collect();
+    let flops = iatf_bench::workloads::trsm_flops::<f64>(n, count);
+    const ROUNDS: usize = 5;
+    let mut t_min = vec![f64::INFINITY; runs.len()];
+    let mut t_max = vec![0.0f64; runs.len()];
+    for _ in 0..ROUNDS {
+        for (i, (_, plan, ca, cb)) in runs.iter_mut().enumerate() {
+            let t = iatf_bench::timer::time_secs(round, || {
+                plan.execute(1.0, ca, cb).unwrap();
+            });
+            t_min[i] = t_min[i].min(t);
+            t_max[i] = t_max[i].max(t);
+        }
+    }
+    runs.iter()
+        .enumerate()
+        .map(|(i, (w, ..))| (*w, flops / t_min[i] / 1e9, 1.0 - t_min[i] / t_max[i]))
+        .collect()
+}
+
+/// Sweeps GEMM (f32/f64) and TRSM (f64) across the size grid at every
+/// SIMD width the host can execute and reports each wider backend
+/// against the 128-bit baseline measured in the same interleaved rounds.
+/// `--json` emits the `BENCH_8.json` document `scripts/verify.sh` gates:
+/// wider must never lose to 128-bit beyond `max(3 × noise, 2%)`, and on
+/// hosts with a 256-bit backend it must win on at least 25% of the grid.
+fn widths_bench(opts: &Opts) {
+    use iatf_simd::{available_widths, VecWidth};
+
+    let widths: Vec<VecWidth> = available_widths()
+        .iter()
+        .copied()
+        .filter(|&w| w != VecWidth::Scalar)
+        .collect();
+    let round = TimeOpts {
+        reps: 1,
+        min_rep_secs: 0.004,
+        warmup: 1,
+    };
+    let mut points: Vec<WidthPoint> = Vec::new();
+    let mut push_points = |op: &'static str,
+                           dtype: &'static str,
+                           n: usize,
+                           count: usize,
+                           measured: Vec<(VecWidth, f64, f64)>| {
+        let &(_, base_gflops, base_noise) = measured
+            .iter()
+            .find(|(w, ..)| *w == VecWidth::W128)
+            .expect("W128 backend is always available");
+        for (w, gflops, noise) in measured {
+            if w == VecWidth::W128 {
+                continue;
+            }
+            points.push(WidthPoint {
+                op,
+                dtype,
+                n,
+                count,
+                width: w,
+                gflops,
+                baseline_gflops: base_gflops,
+                noise: noise.max(base_noise),
+            });
+        }
+    };
+    for &n in &opts.sizes {
+        let count = scaled_batch(opts.batch_base, n);
+        push_points("gemm", "f32", n, count, widths_gemm_point::<f32>(n, count, &widths, &round));
+        push_points("gemm", "f64", n, count, widths_gemm_point::<f64>(n, count, &widths, &round));
+        push_points("trsm", "f64", n, count, widths_trsm_point(n, count, &widths, &round));
+    }
+
+    let total = points.len();
+    let wins = points.iter().filter(|p| p.wins()).count();
+    let losses = points.iter().filter(|p| p.loses()).count();
+    if opts.json {
+        let doc = iatf_obs::Json::object()
+            .set("title", "widths: wider vector backends vs the 128-bit baseline")
+            .set("registry", registry_meta())
+            .set(
+                "host_widths",
+                available_widths()
+                    .iter()
+                    .map(|w| iatf_obs::Json::from(w.name()))
+                    .collect::<Vec<_>>(),
+            )
+            .set(
+                "points",
+                points
+                    .iter()
+                    .map(|p| {
+                        iatf_obs::Json::object()
+                            .set("op", p.op)
+                            .set("dtype", p.dtype)
+                            .set("n", p.n)
+                            .set("count", p.count)
+                            .set("width", p.width.name())
+                            .set("uarch", iatf_kernels::row_for(p.width).uarch)
+                            .set("gflops", p.gflops)
+                            .set("baseline_gflops", p.baseline_gflops)
+                            .set("noise", p.noise)
+                            .set("wins", p.wins())
+                            .set("loses", p.loses())
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .set("wider_points", total as u64)
+            .set("wins", wins as u64)
+            .set("losses", losses as u64);
+        println!("{}", doc.to_pretty());
+        return;
+    }
+
+    println!("## Width sweep: wider vector backends vs the 128-bit baseline");
+    if points.is_empty() {
+        println!("   host executes only the 128-bit backend — nothing to compare");
+        println!();
+        return;
+    }
+    println!(
+        "{:>6} {:>6} {:>4} {:>7} {:>6} {:>11} {:>11} {:>8} {:>8}",
+        "op", "dtype", "n", "count", "width", "GF", "128b GF", "noise", "status"
+    );
+    for p in &points {
+        println!(
+            "{:>6} {:>6} {:>4} {:>7} {:>6} {:>11.3} {:>11.3} {:>7.1}% {:>8}",
+            p.op,
+            p.dtype,
+            p.n,
+            p.count,
+            p.width.name(),
+            p.gflops,
+            p.baseline_gflops,
+            100.0 * p.noise,
+            if p.loses() {
+                "LOSS"
+            } else if p.wins() {
+                "win"
+            } else {
+                "tie"
+            }
+        );
+    }
+    println!("   {wins}/{total} wider points strictly faster, {losses} losses beyond tolerance");
+    println!();
+}
+
+/// Prints one line per registry row the host can execute (narrowest
+/// first): `<width> <uarch>`. The width matrix in `scripts/verify.sh`
+/// reads the first column to decide which `IATF_FORCE_WIDTH` values to
+/// run the tier-1 suite under.
+fn backends() {
+    for row in iatf_kernels::rows() {
+        println!("{} {}", row.width.name(), row.uarch);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1554,6 +1874,7 @@ fn trace_bench(opts: &Opts) {
             .collect();
         let doc = iatf_obs::Json::object()
             .set("title", "trace: flight-recorder spans + PMU roofline attribution")
+            .set("registry", registry_meta())
             .set("trace_enabled", trace::is_enabled())
             .set("span_events", events.len() as u64)
             .set("spans_dropped", dropped)
@@ -1817,12 +2138,12 @@ fn sentinel_tune(base: &iatf_obs::Json, checks: &mut Vec<SentinelCheck>) {
             ("gemm", "f32") => {
                 let dims = GemmDims::square(n);
                 iatf_core::ensure_tuned_gemm::<f32>(dims, GemmMode::NN, false, false, count, &cfg);
-                db.lookup(&gemm_tune_key::<f32>(dims, GemmMode::NN, false, false, count))
+                db.lookup(&gemm_tune_key::<f32>(dims, GemmMode::NN, false, false, count, cfg.width))
             }
             ("trsm", "f64") => {
                 let dims = TrsmDims::square(n);
                 iatf_core::ensure_tuned_trsm::<f64>(dims, TrsmMode::LNLN, false, count, &cfg);
-                db.lookup(&trsm_tune_key::<f64>(dims, TrsmMode::LNLN, false, count))
+                db.lookup(&trsm_tune_key::<f64>(dims, TrsmMode::LNLN, false, count, cfg.width))
             }
             _ => {
                 eprintln!("   warning: unknown baseline point {op}/{dt} — skipping");
@@ -1944,17 +2265,25 @@ fn sentinel_trace(base: &iatf_obs::Json, checks: &mut Vec<SentinelCheck>) {
 /// (autotuned points), and `BENCH_5.json` (roofline throughput) and exits
 /// 1 if anything regresses beyond `max(3 × noise, 5%)`. A missing
 /// baseline is recorded from the current build and announced, never
-/// silently passed.
+/// silently passed. A baseline whose recorded registry row (µarch,
+/// width) differs from the current dispatch is announced and skipped:
+/// numbers measured at one vector width never gate another.
 fn sentinel(opts: &Opts) {
     let mut checks: Vec<SentinelCheck> = Vec::new();
     if let Some(b3) = load_baseline("BENCH_3.json", "callamort") {
-        sentinel_throughput(&b3, &mut checks);
+        if baseline_row_matches("BENCH_3.json", &b3) {
+            sentinel_throughput(&b3, &mut checks);
+        }
     }
     if let Some(b4) = load_baseline("BENCH_4.json", "tune") {
-        sentinel_tune(&b4, &mut checks);
+        if baseline_row_matches("BENCH_4.json", &b4) {
+            sentinel_tune(&b4, &mut checks);
+        }
     }
     if let Some(b5) = load_baseline("BENCH_5.json", "trace") {
-        sentinel_trace(&b5, &mut checks);
+        if baseline_row_matches("BENCH_5.json", &b5) {
+            sentinel_trace(&b5, &mut checks);
+        }
     }
 
     let regressions = checks.iter().filter(|c| c.regressed()).count();
@@ -2064,7 +2393,7 @@ fn watch_bench(opts: &Opts) {
             a: CompactBatch::from_std(&StdBatch::<f32>::random(n, n, count, 11)),
             b: CompactBatch::from_std(&StdBatch::<f32>::random(n, n, count, 22)),
             c: CompactBatch::<f32>::zeroed(n, n, count),
-            key: gemm_tune_key::<f32>(GemmDims::square(n), GemmMode::NN, false, false, count),
+            key: gemm_tune_key::<f32>(GemmDims::square(n), GemmMode::NN, false, false, count, cfg.width),
         })
         .collect();
 

@@ -152,7 +152,7 @@ pub fn microkernel_gemm_gflops(mr: usize, nr: usize, k: usize, opts: &TimeOpts) 
     let pa = vec![0.5f64; k * mr * p];
     let pb = vec![0.25f64; k * nr * p];
     let mut c = vec![0.0f64; mr * nr * p];
-    let kern = real_gemm_kernel::<f64>(mr, nr);
+    let kern = real_gemm_kernel::<f64>(iatf_simd::VecWidth::W128, mr, nr);
     let secs = time_secs(opts, || {
         for _ in 0..tiles {
             // SAFETY: the buffers above are sized exactly to the kernel's packed extents for these dimensions, and the strides passed match that sizing.
@@ -194,7 +194,7 @@ pub fn fmls_vs_gemm_update(kk: usize, opts: &TimeOpts) -> (f64, f64) {
     let mut panel = vec![0.5f64; (kk + MR) * NR * p];
     let row_stride = NR * p;
 
-    let rect = real_trsm_rect_kernel::<f64>(MR, NR);
+    let rect = real_trsm_rect_kernel::<f64>(iatf_simd::VecWidth::W128, MR, NR);
     let secs_fmls = time_secs(opts, || {
         for _ in 0..reps {
             // SAFETY: the buffers above are sized exactly to the kernel's packed extents for these dimensions, and the strides passed match that sizing.
@@ -217,7 +217,7 @@ pub fn fmls_vs_gemm_update(kk: usize, opts: &TimeOpts) -> (f64, f64) {
 
     // the GEMM alternative: C tile = (-1)·A·X + 1·C — same elimination via
     // the general kernel, paying the alpha multiplies of Eq. 4
-    let kern = real_gemm_kernel::<f64>(MR, NR);
+    let kern = real_gemm_kernel::<f64>(iatf_simd::VecWidth::W128, MR, NR);
     // X rows gathered as a "B panel": kk slivers of NR groups
     let pb = vec![0.5f64; kk.max(1) * NR * p];
     let mut c = vec![0.5f64; MR * NR * p];

@@ -120,7 +120,7 @@ pub fn compact_gemm_ex<E: CompactElement>(
     autotune::maybe_retune_gemm::<E>(dims, mode, conj_a, conj_b, c.count(), cfg);
     let _watch = iatf_watch::dispatch_span(|| {
         (
-            autotune::gemm_tune_key::<E>(dims, mode, conj_a, conj_b, c.count()),
+            autotune::gemm_tune_key::<E>(dims, mode, conj_a, conj_b, c.count(), cfg.width),
             E::DTYPE.flops_per_mac() as f64 * dims.macs() as f64 * c.count() as f64,
         )
     });
@@ -169,7 +169,7 @@ pub fn compact_trsm_ex<E: CompactElement>(
     autotune::maybe_retune_trsm::<E>(dims, mode, conj, b.count(), cfg);
     let _watch = iatf_watch::dispatch_span(|| {
         (
-            autotune::trsm_tune_key::<E>(dims, mode, conj, b.count()),
+            autotune::trsm_tune_key::<E>(dims, mode, conj, b.count(), cfg.width),
             E::DTYPE.flops_per_mac() as f64 * dims.macs(mode) as f64 * b.count() as f64,
         )
     });
@@ -217,7 +217,7 @@ pub fn compact_trmm_ex<E: CompactElement>(
     autotune::maybe_retune_trmm::<E>(dims, mode, conj, b.count(), cfg);
     let _watch = iatf_watch::dispatch_span(|| {
         (
-            autotune::trmm_tune_key::<E>(dims, mode, conj, b.count()),
+            autotune::trmm_tune_key::<E>(dims, mode, conj, b.count(), cfg.width),
             E::DTYPE.flops_per_mac() as f64 * dims.macs(mode) as f64 * b.count() as f64,
         )
     });

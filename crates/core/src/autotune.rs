@@ -34,6 +34,7 @@ use crate::elem::CompactElement;
 use crate::plan::{cache, GemmPlan, TrmmPlan, TrsmPlan};
 use iatf_layout::{CompactBatch, GemmDims, GemmMode, StdBatch, TrsmDims, TrsmMode};
 use iatf_obs as obs;
+use iatf_simd::VecWidth;
 use iatf_trace as trace;
 use iatf_tune::{sweep, SweepReport, TuneKey, TuneOp, TunedEntry, TuningDb};
 
@@ -89,6 +90,7 @@ pub fn gemm_tune_key<E: CompactElement>(
     conj_a: bool,
     conj_b: bool,
     count: usize,
+    width: VecWidth,
 ) -> TuneKey {
     TuneKey {
         op: TuneOp::Gemm,
@@ -99,6 +101,7 @@ pub fn gemm_tune_key<E: CompactElement>(
         mode: cache::gemm_mode_bits(mode),
         conj: (conj_a as u8) | ((conj_b as u8) << 1),
         count: count as u64,
+        width: width.code(),
     }
 }
 
@@ -108,6 +111,7 @@ pub fn trsm_tune_key<E: CompactElement>(
     mode: TrsmMode,
     conj: bool,
     count: usize,
+    width: VecWidth,
 ) -> TuneKey {
     TuneKey {
         op: TuneOp::Trsm,
@@ -118,6 +122,7 @@ pub fn trsm_tune_key<E: CompactElement>(
         mode: cache::trsm_mode_bits(mode),
         conj: conj as u8,
         count: count as u64,
+        width: width.code(),
     }
 }
 
@@ -127,10 +132,11 @@ pub fn trmm_tune_key<E: CompactElement>(
     mode: TrsmMode,
     conj: bool,
     count: usize,
+    width: VecWidth,
 ) -> TuneKey {
     TuneKey {
         op: TuneOp::Trmm,
-        ..trsm_tune_key::<E>(dims, mode, conj, count)
+        ..trsm_tune_key::<E>(dims, mode, conj, count, width)
     }
 }
 
@@ -161,7 +167,10 @@ pub(crate) fn lookup_gemm<E: CompactElement>(
     if matches!(cfg.tune, TunePolicy::Heuristic) {
         return None; // fast path: skip even key construction
     }
-    consult(&gemm_tune_key::<E>(dims, mode, conj_a, conj_b, count), cfg)
+    consult(
+        &gemm_tune_key::<E>(dims, mode, conj_a, conj_b, count, cfg.width),
+        cfg,
+    )
 }
 
 pub(crate) fn lookup_trsm<E: CompactElement>(
@@ -174,7 +183,7 @@ pub(crate) fn lookup_trsm<E: CompactElement>(
     if matches!(cfg.tune, TunePolicy::Heuristic) {
         return None;
     }
-    consult(&trsm_tune_key::<E>(dims, mode, conj, count), cfg)
+    consult(&trsm_tune_key::<E>(dims, mode, conj, count, cfg.width), cfg)
 }
 
 pub(crate) fn lookup_trmm<E: CompactElement>(
@@ -187,7 +196,7 @@ pub(crate) fn lookup_trmm<E: CompactElement>(
     if matches!(cfg.tune, TunePolicy::Heuristic) {
         return None;
     }
-    consult(&trmm_tune_key::<E>(dims, mode, conj, count), cfg)
+    consult(&trmm_tune_key::<E>(dims, mode, conj, count, cfg.width), cfg)
 }
 
 /// One sweep candidate: a fully built plan plus the metadata that becomes
@@ -256,7 +265,11 @@ fn enumerate_candidates<P, S: PartialEq>(
             specs.push((TuningConfig { pack, ..base.clone() }, false));
         }
     }
-    for frac in [0.25, 0.5, 1.0] {
+    // The L1-fraction candidate list comes from the kernel registry row
+    // for the plan's vector width: wider backends keep more live registers
+    // per pack, shifting where the packed-working-set sweet spot sits, so
+    // their rows expose a deeper fraction ladder.
+    for &frac in iatf_kernels::row_for(cfg.width).l1_fractions {
         if (frac - base.l1_budget_fraction).abs() > 1e-9 {
             specs.push((
                 TuningConfig {
@@ -340,7 +353,7 @@ pub fn maybe_retune_gemm<E: CompactElement>(
     if dims.validate().is_err() || count == 0 {
         return;
     }
-    let key = gemm_tune_key::<E>(dims, mode, conj_a, conj_b, count);
+    let key = gemm_tune_key::<E>(dims, mode, conj_a, conj_b, count, cfg.width);
     if !iatf_watch::take_retune(&key) {
         return;
     }
@@ -373,7 +386,7 @@ pub fn ensure_tuned_gemm<E: CompactElement>(
     if dims.validate().is_err() || count == 0 {
         return false;
     }
-    let key = gemm_tune_key::<E>(dims, mode, conj_a, conj_b, count);
+    let key = gemm_tune_key::<E>(dims, mode, conj_a, conj_b, count, cfg.width);
     let db = TuningDb::global();
     if db.lookup(&key).is_none() {
         sweep_gemm::<E>(db, key, dims, mode, conj_a, conj_b, count, budget_ms, cfg);
@@ -412,9 +425,9 @@ fn sweep_gemm<E: CompactElement>(
     }
     let (ar, ac) = dims.a_shape(mode);
     let (br, bc) = dims.b_shape(mode);
-    let a = CompactBatch::<E>::from_std(&StdBatch::random(ar, ac, mcount, 0xA11CE));
-    let b = CompactBatch::<E>::from_std(&StdBatch::random(br, bc, mcount, 0xB0B));
-    let c = RefCell::new(CompactBatch::<E>::zeroed(dims.m, dims.n, mcount));
+    let a = CompactBatch::<E>::from_std_at(&StdBatch::random(ar, ac, mcount, 0xA11CE), cfg.width);
+    let b = CompactBatch::<E>::from_std_at(&StdBatch::random(br, bc, mcount, 0xB0B), cfg.width);
+    let c = RefCell::new(CompactBatch::<E>::zeroed_at(dims.m, dims.n, mcount, cfg.width));
     // β = 0 overwrites C every invocation, so repeated timing reps cannot
     // accumulate (values stay bounded by the random [0,1) inputs).
     let (alpha, beta) = (E::one(), E::zero());
@@ -470,7 +483,7 @@ macro_rules! triangular_tuner {
             if dims.validate().is_err() || count == 0 {
                 return;
             }
-            let key = $keyfn::<E>(dims, mode, conj, count);
+            let key = $keyfn::<E>(dims, mode, conj, count, cfg.width);
             if !iatf_watch::take_retune(&key) {
                 return;
             }
@@ -501,7 +514,7 @@ macro_rules! triangular_tuner {
             if dims.validate().is_err() || count == 0 {
                 return false;
             }
-            let key = $keyfn::<E>(dims, mode, conj, count);
+            let key = $keyfn::<E>(dims, mode, conj, count, cfg.width);
             let db = TuningDb::global();
             if db.lookup(&key).is_none() {
                 $sweepfn::<E>(db, key, dims, mode, conj, count, budget_ms, cfg);
@@ -539,17 +552,21 @@ macro_rules! triangular_tuner {
             // Identity A makes the repeated in-place solve/multiply a
             // bitwise fixed point: X = 1·B every rep, no drift, no
             // overflow, regardless of how many timing iterations run.
-            let mut a = CompactBatch::<E>::from_std(&StdBatch::from_fn(q, q, mcount, |_, i, j| {
-                if i == j {
-                    E::one()
-                } else {
-                    E::zero()
-                }
-            }));
+            let mut a = CompactBatch::<E>::from_std_at(
+                &StdBatch::from_fn(q, q, mcount, |_, i, j| {
+                    if i == j {
+                        E::one()
+                    } else {
+                        E::zero()
+                    }
+                }),
+                cfg.width,
+            );
             a.pad_triangle_identity();
-            let b = RefCell::new(CompactBatch::<E>::from_std(&StdBatch::random(
-                dims.m, dims.n, mcount, 0xF1D0,
-            )));
+            let b = RefCell::new(CompactBatch::<E>::from_std_at(
+                &StdBatch::random(dims.m, dims.n, mcount, 0xF1D0),
+                cfg.width,
+            ));
             let alpha = E::one();
             let report = {
                 let mut runners: Vec<Box<dyn FnMut() + '_>> = cands
@@ -612,24 +629,38 @@ mod tests {
         let gd = GemmDims::new(8, 8, 8);
         let td = TrsmDims::new(8, 8);
         let tmode = TrsmMode::all()[0];
-        let gk = gemm_tune_key::<f32>(gd, GemmMode::NN, false, false, 100);
-        let sk = trsm_tune_key::<f32>(td, tmode, false, 100);
-        let mk = trmm_tune_key::<f32>(td, tmode, false, 100);
+        let w = VecWidth::W128;
+        let gk = gemm_tune_key::<f32>(gd, GemmMode::NN, false, false, 100, w);
+        let sk = trsm_tune_key::<f32>(td, tmode, false, 100, w);
+        let mk = trmm_tune_key::<f32>(td, tmode, false, 100, w);
         assert_ne!(gk, sk);
         assert_ne!(sk, mk);
         assert_ne!(
             gk,
-            gemm_tune_key::<f64>(gd, GemmMode::NN, false, false, 100)
+            gemm_tune_key::<f64>(gd, GemmMode::NN, false, false, 100, w)
         );
         assert_ne!(
             gk,
-            gemm_tune_key::<f32>(gd, GemmMode::NT, false, false, 100)
+            gemm_tune_key::<f32>(gd, GemmMode::NT, false, false, 100, w)
         );
-        assert_ne!(gk, gemm_tune_key::<f32>(gd, GemmMode::NN, true, false, 100));
         assert_ne!(
             gk,
-            gemm_tune_key::<f32>(gd, GemmMode::NN, false, false, 101)
+            gemm_tune_key::<f32>(gd, GemmMode::NN, true, false, 100, w)
         );
+        assert_ne!(
+            gk,
+            gemm_tune_key::<f32>(gd, GemmMode::NN, false, false, 101, w)
+        );
+        // A db entry recorded at one vector width never answers for
+        // another: the width is part of the key itself.
+        for other in VecWidth::ALL {
+            if other != w {
+                assert_ne!(
+                    gk,
+                    gemm_tune_key::<f32>(gd, GemmMode::NN, false, false, 100, other)
+                );
+            }
+        }
         // Keys round-trip through the db's string encoding.
         assert_eq!(TuneKey::decode(&gk.encode()), Some(gk));
         assert_eq!(TuneKey::decode(&mk.encode()), Some(mk));

@@ -1,6 +1,7 @@
 //! Framework configuration.
 
 use crate::machine::{host_profile, MachineProfile};
+use iatf_simd::{dispatched_width, VecWidth};
 
 /// Packing policy for the Pack Selecter.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
@@ -66,6 +67,15 @@ pub enum TunePolicy {
 pub struct TuningConfig {
     /// L1 data cache capacity the Batch Counter budgets against.
     pub l1d_bytes: usize,
+    /// Vector width plans are built for. Defaults to the process-wide
+    /// dispatched width (widest the host supports, unless
+    /// `IATF_FORCE_WIDTH` narrowed it), which matches the width
+    /// [`iatf_layout::CompactBatch::zeroed`] lays batches out at. The
+    /// interleaving factor `P`, kernel tables, and autotune candidate
+    /// lists all derive from this — and it is folded into
+    /// [`TuningConfig::fingerprint`], so plans and tuning records from one
+    /// width are never served at another.
+    pub width: VecWidth,
     /// Fraction of L1 the packed working set may occupy (the remainder is
     /// headroom for C traffic and stacks; the paper "reserves space for
     /// matrix C").
@@ -85,6 +95,7 @@ impl TuningConfig {
     pub fn for_machine(m: &MachineProfile) -> Self {
         Self {
             l1d_bytes: m.l1d_bytes,
+            width: dispatched_width(),
             l1_budget_fraction: 0.5,
             pack: PackPolicy::Auto,
             batch: BatchPolicy::Auto,
@@ -114,6 +125,10 @@ impl TuningConfig {
     pub fn fingerprint(&self) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         h = fx_mix(h, self.l1d_bytes as u64);
+        // Width changes the interleaving factor and therefore every pack
+        // geometry decision a plan bakes in: configs differing only in
+        // width must never share a cached plan.
+        h = fx_mix(h, self.width.code() as u64);
         h = fx_mix(h, self.l1_budget_fraction.to_bits());
         let (batch_tag, batch_g) = match self.batch {
             BatchPolicy::Auto => (0u64, 0u64),
@@ -173,6 +188,24 @@ mod tests {
         assert_eq!(cfg.pack, PackPolicy::Auto);
         assert_eq!(cfg.batch, BatchPolicy::Auto);
         assert_eq!(cfg.tune, TunePolicy::Heuristic);
+    }
+
+    #[test]
+    fn fingerprint_separates_widths() {
+        let base = TuningConfig::for_machine(&KUNPENG_920);
+        let mut prints = std::collections::HashSet::new();
+        for width in VecWidth::ALL {
+            let cfg = TuningConfig {
+                width,
+                ..base.clone()
+            };
+            assert!(prints.insert(cfg.fingerprint()), "{width:?} collided");
+        }
+    }
+
+    #[test]
+    fn default_width_is_dispatched() {
+        assert_eq!(TuningConfig::host().width, dispatched_width());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! planners are written once.
 //!
 //! Dispatch is split in two so the per-tile hot loops never walk the
-//! install-time kernel table: `*_kernel_for(mr, nr)` resolves a kernel
+//! install-time kernel table: `*_kernel_for(width, mr, nr)` resolves a kernel
 //! *handle* (a plain function pointer) once at plan-build time, and the
 //! `unsafe` invocation shims take that pre-resolved handle — one indirect
 //! call per tile, no table lookup.
@@ -19,7 +19,7 @@ use iatf_kernels::table::{
 use iatf_kernels::{
     CplxGemmKernel, CplxTrmmKernel, CplxTrsmKernel, RealGemmKernel, RealTrmmKernel, RealTrsmKernel,
 };
-use iatf_simd::Element;
+use iatf_simd::{Element, VecWidth};
 
 /// An element type the IATF framework can plan and execute for.
 pub trait CompactElement: Element {
@@ -44,11 +44,11 @@ pub trait CompactElement: Element {
     type TrmmK: Copy + Send + Sync + core::fmt::Debug + 'static;
 
     /// Looks up the `(mr, nr)` GEMM microkernel in the install-time table.
-    fn gemm_kernel_for(mr: usize, nr: usize) -> Self::GemmK;
+    fn gemm_kernel_for(width: VecWidth, mr: usize, nr: usize) -> Self::GemmK;
     /// Looks up the `(mr, nr)` fused TRSM block kernel.
-    fn trsm_kernel_for(mr: usize, nr: usize) -> Self::TrsmK;
+    fn trsm_kernel_for(width: VecWidth, mr: usize, nr: usize) -> Self::TrsmK;
     /// Looks up the `(mr, nr)` fused TRMM block kernel.
-    fn trmm_kernel_for(mr: usize, nr: usize) -> Self::TrmmK;
+    fn trmm_kernel_for(width: VecWidth, mr: usize, nr: usize) -> Self::TrmmK;
 
     /// Invokes a pre-resolved GEMM microkernel. See
     /// `iatf_kernels::RealGemmKernel` for the addressing contract.
@@ -131,18 +131,18 @@ macro_rules! impl_real_compact {
             type TrmmK = RealTrmmKernel<$t>;
 
             #[inline]
-            fn gemm_kernel_for(mr: usize, nr: usize) -> Self::GemmK {
-                real_gemm_kernel::<$t>(mr, nr)
+            fn gemm_kernel_for(width: VecWidth, mr: usize, nr: usize) -> Self::GemmK {
+                real_gemm_kernel::<$t>(width, mr, nr)
             }
 
             #[inline]
-            fn trsm_kernel_for(mr: usize, nr: usize) -> Self::TrsmK {
-                real_trsm_kernel::<$t>(mr, nr)
+            fn trsm_kernel_for(width: VecWidth, mr: usize, nr: usize) -> Self::TrsmK {
+                real_trsm_kernel::<$t>(width, mr, nr)
             }
 
             #[inline]
-            fn trmm_kernel_for(mr: usize, nr: usize) -> Self::TrmmK {
-                real_trmm_kernel::<$t>(mr, nr)
+            fn trmm_kernel_for(width: VecWidth, mr: usize, nr: usize) -> Self::TrmmK {
+                real_trmm_kernel::<$t>(width, mr, nr)
             }
 
             #[inline]
@@ -220,18 +220,18 @@ macro_rules! impl_cplx_compact {
             type TrmmK = CplxTrmmKernel<$r>;
 
             #[inline]
-            fn gemm_kernel_for(mr: usize, nr: usize) -> Self::GemmK {
-                cplx_gemm_kernel::<$r>(mr, nr)
+            fn gemm_kernel_for(width: VecWidth, mr: usize, nr: usize) -> Self::GemmK {
+                cplx_gemm_kernel::<$r>(width, mr, nr)
             }
 
             #[inline]
-            fn trsm_kernel_for(mr: usize, nr: usize) -> Self::TrsmK {
-                cplx_trsm_kernel::<$r>(mr, nr)
+            fn trsm_kernel_for(width: VecWidth, mr: usize, nr: usize) -> Self::TrsmK {
+                cplx_trsm_kernel::<$r>(width, mr, nr)
             }
 
             #[inline]
-            fn trmm_kernel_for(mr: usize, nr: usize) -> Self::TrmmK {
-                cplx_trmm_kernel::<$r>(mr, nr)
+            fn trmm_kernel_for(width: VecWidth, mr: usize, nr: usize) -> Self::TrmmK {
+                cplx_trmm_kernel::<$r>(width, mr, nr)
             }
 
             #[inline]
@@ -344,21 +344,23 @@ mod tests {
     #[test]
     fn resolved_handles_match_the_install_time_table() {
         // The plan-build-time resolver must agree with a direct table walk
-        // for every tile shape the planners can produce.
-        for mr in 1..=f64::MR {
-            for nr in 1..=f64::NR {
-                assert_eq!(
-                    f64::gemm_kernel_for(mr, nr) as usize,
-                    real_gemm_kernel::<f64>(mr, nr) as usize
-                );
+        // for every tile shape the planners can produce, at every width.
+        for width in VecWidth::ALL {
+            for mr in 1..=f64::MR {
+                for nr in 1..=f64::NR {
+                    assert_eq!(
+                        f64::gemm_kernel_for(width, mr, nr) as usize,
+                        real_gemm_kernel::<f64>(width, mr, nr) as usize
+                    );
+                }
             }
-        }
-        for mr in 1..=c32::MR {
-            for nr in 1..=c32::NR {
-                assert_eq!(
-                    c32::gemm_kernel_for(mr, nr) as usize,
-                    cplx_gemm_kernel::<f32>(mr, nr) as usize
-                );
+            for mr in 1..=c32::MR {
+                for nr in 1..=c32::NR {
+                    assert_eq!(
+                        c32::gemm_kernel_for(width, mr, nr) as usize,
+                        cplx_gemm_kernel::<f32>(width, mr, nr) as usize
+                    );
+                }
             }
         }
     }

@@ -5,6 +5,7 @@ use crate::config::{PackPolicy, TuningConfig};
 use crate::elem::CompactElement;
 use crate::plan::{explain as ex, group_packs, tiles, Command};
 use iatf_layout::{CompactBatch, GemmDims, GemmMode, LayoutError};
+use iatf_simd::VecWidth;
 use iatf_obs as obs;
 use iatf_pack::gemm as pk;
 use iatf_trace as trace;
@@ -29,6 +30,11 @@ pub struct GemmPlan<E: CompactElement> {
     conj_a: bool,
     conj_b: bool,
     count: usize,
+    /// Vector width the plan was built for (from `cfg.width`); operand
+    /// batches must be laid out at the same width.
+    width: VecWidth,
+    /// Interleaving factor at that width (matrices per pack).
+    p: usize,
     packs: usize,
     /// Packs per super-block (Batch Counter output).
     pub group_packs: usize,
@@ -65,7 +71,9 @@ impl<E: CompactElement> GemmPlan<E> {
         if count == 0 {
             return Err(LayoutError::EmptyDimension("batch count"));
         }
-        let g = CompactBatch::<E>::GROUP;
+        let width = cfg.width;
+        let p = E::p_at(width);
+        let g = p * E::SCALARS;
         let m_tiles = tiles(dims.m, E::MR);
         let n_tiles = tiles(dims.n, E::NR);
 
@@ -80,14 +88,14 @@ impl<E: CompactElement> GemmPlan<E> {
         let a_plan = decide(pack_policy, conj_a, dims.m > E::MR);
         let b_plan = decide(pack_policy, conj_b, dims.n > E::NR);
 
-        let a_panel_len = pk::panel_a_len::<E>(dims.m, dims.k);
-        let b_panel_len = pk::panel_b_len::<E>(dims.k, dims.n);
+        let a_panel_len = pk::panel_a_len::<E>(p, dims.m, dims.k);
+        let b_panel_len = pk::panel_b_len::<E>(p, dims.k, dims.n);
         let scalar_bytes = core::mem::size_of::<E::Real>();
         // Batch Counter: packed A and B panels (or their directly-streamed
         // sources, same footprint) plus the C pack must cycle through L1.
         let bytes_per_pack =
             (a_panel_len + b_panel_len + dims.m * dims.n * g) * scalar_bytes;
-        let packs = count.div_ceil(E::P);
+        let packs = count.div_ceil(p);
         let gp = match tuned.and_then(|t| t.group_packs) {
             Some(tuned_gp) => tuned_gp.clamp(1, packs.max(1)),
             None => group_packs(cfg.batch, cfg.l1_budget_bytes(), bytes_per_pack, packs),
@@ -95,7 +103,11 @@ impl<E: CompactElement> GemmPlan<E> {
 
         let tile_kernels = n_tiles
             .iter()
-            .flat_map(|&(_, w)| m_tiles.iter().map(move |&(_, h)| E::gemm_kernel_for(h, w)))
+            .flat_map(|&(_, w)| {
+                m_tiles
+                    .iter()
+                    .map(move |&(_, h)| E::gemm_kernel_for(width, h, w))
+            })
             .collect();
 
         obs::count_plan_build(obs::Op::Gemm, count);
@@ -105,6 +117,8 @@ impl<E: CompactElement> GemmPlan<E> {
             conj_a,
             conj_b,
             count,
+            width,
+            p,
             packs,
             group_packs: gp,
             a_plan,
@@ -135,6 +149,11 @@ impl<E: CompactElement> GemmPlan<E> {
         self.count
     }
 
+    /// Vector width the plan was built for.
+    pub fn width(&self) -> VecWidth {
+        self.width
+    }
+
     /// Whether the tuned serial→parallel crossover picked parallel
     /// execution for this input (always `false` under pure heuristics).
     /// The one-shot API dispatches on this; plan holders may too.
@@ -150,11 +169,11 @@ impl<E: CompactElement> GemmPlan<E> {
         c: &CompactBatch<E>,
     ) -> Result<(), LayoutError> {
         let (ar, ac) = self.dims.a_shape(self.mode);
-        check_shape("A", a, ar, ac, self.count)?;
+        check_shape("A", a, ar, ac, self.count, self.width)?;
         let (br, bc) = self.dims.b_shape(self.mode);
-        check_shape("B", b, br, bc, self.count)?;
+        check_shape("B", b, br, bc, self.count, self.width)?;
         let (cr, cc) = self.dims.c_shape();
-        check_shape("C", c, cr, cc, self.count)?;
+        check_shape("C", c, cr, cc, self.count, self.width)?;
         Ok(())
     }
 
@@ -255,10 +274,10 @@ impl<E: CompactElement> GemmPlan<E> {
     ) {
         let _span = obs::phase(obs::Phase::Compute);
         let _trace = trace::span_arg(trace::SpanKind::Compute, pk_idx as u64);
-        let g = CompactBatch::<E>::GROUP;
+        let g = self.p * E::SCALARS;
         let dims = self.dims;
-        let da = pk::direct_a::<E>(self.mode.transa, a.rows());
-        let db = pk::direct_b::<E>(self.mode.transb, b.rows());
+        let da = pk::direct_a::<E>(self.p, self.mode.transa, a.rows());
+        let db = pk::direct_b::<E>(self.p, self.mode.transb, b.rows());
         let c_rows = dims.m;
         let ap_direct = a.pack_ptr(pk_idx);
         let bp_direct = b.pack_ptr(pk_idx);
@@ -266,7 +285,7 @@ impl<E: CompactElement> GemmPlan<E> {
         for (jj, &(j0, w)) in self.n_tiles.iter().enumerate() {
             let (pb, b_j, b_k) = if !buf_b.is_empty() {
                 // SAFETY: `b_tile_offset` indexes inside `buf_b`, which was sized for the full packed B at plan build (tiles validated against the batch shape).
-                let base = unsafe { buf_b.as_ptr().add(pk::b_tile_offset::<E>(j0, dims.k)) };
+                let base = unsafe { buf_b.as_ptr().add(pk::b_tile_offset::<E>(self.p, j0, dims.k)) };
                 (base, g, w * g)
             } else {
                 (
@@ -279,7 +298,8 @@ impl<E: CompactElement> GemmPlan<E> {
             for (ii, &(i0, h)) in self.m_tiles.iter().enumerate() {
                 let (pa, a_i, a_k) = if !buf_a.is_empty() {
                     // SAFETY: `a_tile_offset` indexes inside `buf_a`, which was sized for the full packed A at plan build.
-                    let base = unsafe { buf_a.as_ptr().add(pk::a_tile_offset::<E>(i0, dims.k)) };
+                    let base =
+                        unsafe { buf_a.as_ptr().add(pk::a_tile_offset::<E>(self.p, i0, dims.k)) };
                     (base, g, h * g)
                 } else {
                     (
@@ -475,7 +495,9 @@ impl<E: CompactElement> GemmPlan<E> {
             k: d.k,
             mode: self.mode.to_string(),
             count: self.count,
-            p: E::P,
+            p: self.p,
+            width_bits: self.width.bits(),
+            uarch: iatf_kernels::row_for(self.width).uarch.to_string(),
             packs: self.packs,
             group_packs: self.group_packs,
             main_kernel: main,
@@ -521,7 +543,15 @@ fn check_shape<E: CompactElement>(
     rows: usize,
     cols: usize,
     count: usize,
+    width: VecWidth,
 ) -> Result<(), LayoutError> {
+    if batch.width() != width {
+        return Err(LayoutError::WidthMismatch {
+            operand,
+            expected: width,
+            got: batch.width(),
+        });
+    }
     if (batch.rows(), batch.cols()) != (rows, cols) {
         return Err(LayoutError::ShapeMismatch {
             operand,
@@ -624,7 +654,11 @@ mod tests {
 
     #[test]
     fn command_queue_covers_every_tile_once() {
-        let cfg = TuningConfig::default();
+        // Pinned to W128 (P=2 for f64): count 5 → 3 packs.
+        let cfg = TuningConfig {
+            width: VecWidth::W128,
+            ..TuningConfig::default()
+        };
         let plan =
             GemmPlan::<f64>::new(GemmDims::new(7, 6, 5), GemmMode::NN, false, false, 5, &cfg)
                 .unwrap();
@@ -654,6 +688,7 @@ mod tests {
         let cfg = TuningConfig {
             pack: PackPolicy::Always,
             batch: crate::config::BatchPolicy::Fixed(2),
+            width: VecWidth::W128,
             ..TuningConfig::default()
         };
         let plan =
@@ -691,6 +726,37 @@ mod tests {
         let a_badcount = CompactBatch::<f64>::zeroed(3, 5, 3);
         assert!(plan.execute(1.0, &a_badcount, &b, 1.0, &mut c).is_err());
         assert!(plan.execute(1.0, &a, &b, 1.0, &mut c).is_ok());
+    }
+
+    #[test]
+    fn rejects_width_mismatched_operands() {
+        // A plan built for one width must refuse batches laid out at
+        // another — their group geometry differs element-by-element.
+        let cfg = TuningConfig {
+            width: VecWidth::W128,
+            ..TuningConfig::default()
+        };
+        let plan =
+            GemmPlan::<f64>::new(GemmDims::new(3, 4, 5), GemmMode::NN, false, false, 2, &cfg)
+                .unwrap();
+        assert_eq!(plan.width(), VecWidth::W128);
+        let a = CompactBatch::<f64>::zeroed_at(3, 5, 2, VecWidth::W128);
+        let b = CompactBatch::<f64>::zeroed_at(5, 4, 2, VecWidth::W128);
+        let mut c = CompactBatch::<f64>::zeroed_at(3, 4, 2, VecWidth::Scalar);
+        match plan.execute(1.0, &a, &b, 1.0, &mut c) {
+            Err(LayoutError::WidthMismatch {
+                operand,
+                expected,
+                got,
+            }) => {
+                assert_eq!(operand, "C");
+                assert_eq!(expected, VecWidth::W128);
+                assert_eq!(got, VecWidth::Scalar);
+            }
+            other => panic!("expected WidthMismatch, got {other:?}"),
+        }
+        let mut c_ok = CompactBatch::<f64>::zeroed_at(3, 4, 2, VecWidth::W128);
+        assert!(plan.execute(1.0, &a, &b, 1.0, &mut c_ok).is_ok());
     }
 
     #[test]

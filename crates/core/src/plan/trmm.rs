@@ -13,6 +13,7 @@ use crate::config::{PackPolicy, TuningConfig};
 use crate::elem::CompactElement;
 use crate::plan::{explain as ex, group_packs, tiles};
 use iatf_layout::{CompactBatch, LayoutError, TrsmDims, TrsmMode};
+use iatf_simd::VecWidth;
 use iatf_obs as obs;
 use iatf_pack::trsm as pk;
 use iatf_trace as trace;
@@ -25,6 +26,10 @@ pub struct TrmmPlan<E: CompactElement> {
     mode: TrsmMode,
     map: pk::TrsmIndexMap,
     count: usize,
+    /// Vector width the plan was built for (from `cfg.width`).
+    width: VecWidth,
+    /// Interleaving factor at that width.
+    p: usize,
     packs: usize,
     /// Packs per super-block (Batch Counter output).
     pub group_packs: usize,
@@ -58,11 +63,13 @@ impl<E: CompactElement> TrmmPlan<E> {
         if count == 0 {
             return Err(LayoutError::EmptyDimension("batch count"));
         }
+        let width = cfg.width;
+        let p = E::p_at(width);
         let map = pk::TrsmIndexMap::new(mode, conj, dims.m, dims.n);
         // TRMM has no register-capacity special case to exploit beyond the
         // block kernel size: block uniformly by the kernel height.
         let blocks = pk::block_decomposition(map.t, E::TRSM_TB, E::TRSM_TB);
-        let (a_blocks, a_len) = pk::a_layout::<E>(&blocks);
+        let (a_blocks, a_len) = pk::a_layout::<E>(p, &blocks);
         let panels = tiles(map.bn, E::TRSM_NR);
         // A tuned entry (when the policy consults the db) overrides the
         // static Pack Selecter / Batch Counter outputs below.
@@ -73,17 +80,21 @@ impl<E: CompactElement> TrmmPlan<E> {
             PackPolicy::Always => true,
             PackPolicy::Never | PackPolicy::Auto => !identity_b,
         };
-        let g = CompactBatch::<E>::GROUP;
+        let g = p * E::SCALARS;
         let scalar_bytes = core::mem::size_of::<E::Real>();
         let bytes_per_pack = (a_len + map.t * map.bn * g) * scalar_bytes;
-        let packs = count.div_ceil(E::P);
+        let packs = count.div_ceil(p);
         let gp = match tuned.and_then(|t| t.group_packs) {
             Some(tuned_gp) => tuned_gp.clamp(1, packs.max(1)),
             None => group_packs(cfg.batch, cfg.l1_budget_bytes(), bytes_per_pack, packs),
         };
         let block_kernels = panels
             .iter()
-            .flat_map(|&(_, w)| blocks.iter().map(move |&(_, mb)| E::trmm_kernel_for(mb, w)))
+            .flat_map(|&(_, w)| {
+                blocks
+                    .iter()
+                    .map(move |&(_, mb)| E::trmm_kernel_for(width, mb, w))
+            })
             .collect();
         obs::count_plan_build(obs::Op::Trmm, count);
         Ok(Self {
@@ -91,6 +102,8 @@ impl<E: CompactElement> TrmmPlan<E> {
             mode,
             map,
             count,
+            width,
+            p,
             packs,
             group_packs: gp,
             pack_b_structural,
@@ -119,6 +132,11 @@ impl<E: CompactElement> TrmmPlan<E> {
         &self.blocks
     }
 
+    /// Vector width the plan was built for.
+    pub fn width(&self) -> VecWidth {
+        self.width
+    }
+
     /// Whether the tuned serial→parallel crossover picked parallel
     /// execution for this input (always `false` under pure heuristics).
     pub fn use_parallel(&self) -> bool {
@@ -126,6 +144,15 @@ impl<E: CompactElement> TrmmPlan<E> {
     }
 
     fn validate(&self, a: &CompactBatch<E>, b: &CompactBatch<E>) -> Result<(), LayoutError> {
+        for (name, batch) in [("A", a), ("B", b)] {
+            if batch.width() != self.width {
+                return Err(LayoutError::WidthMismatch {
+                    operand: name,
+                    expected: self.width,
+                    got: batch.width(),
+                });
+            }
+        }
         let t = self.map.t;
         if (a.rows(), a.cols()) != (t, t) {
             return Err(LayoutError::ShapeMismatch {
@@ -158,7 +185,7 @@ impl<E: CompactElement> TrmmPlan<E> {
         }
         self.panels
             .iter()
-            .map(|&(_, w)| pk::panel_b_len::<E>(self.map.t, w))
+            .map(|&(_, w)| pk::panel_b_len::<E>(self.p, self.map.t, w))
             .max()
             .unwrap_or(0)
     }
@@ -224,12 +251,13 @@ impl<E: CompactElement> TrmmPlan<E> {
             let _span = obs::phase(obs::Phase::PackA);
             let _trace = trace::span_arg(trace::SpanKind::PackA, (sb + slot) as u64);
             let pack = sb + slot;
-            let live = E::P.min(self.count - pack * E::P);
+            let live = self.p.min(self.count - pack * self.p);
             // direct (non-reciprocal) diagonal for the multiply
             pk::pack_a_tri::<E>(
                 &mut buf_a[slot * self.a_len..(slot + 1) * self.a_len],
                 a.pack_slice(pack),
                 a_rows,
+                self.p,
                 &self.map,
                 &self.a_blocks,
                 live,
@@ -253,18 +281,19 @@ impl<E: CompactElement> TrmmPlan<E> {
         b_pack: &mut [E::Real],
         b_rows: usize,
     ) {
-        let g = CompactBatch::<E>::GROUP;
+        let g = self.p * E::SCALARS;
         let pack_b = self.pack_b_structural;
         let block_count = self.a_blocks.len();
         for (pi, &(j0, w)) in self.panels.iter().enumerate() {
             let (panel_ptr, row_stride, col_stride) = if pack_b {
                 let _span = obs::phase(obs::Phase::Scale);
                 let _trace = trace::span_arg(trace::SpanKind::Scale, j0 as u64);
-                let len = pk::panel_b_len::<E>(self.map.t, w);
+                let len = pk::panel_b_len::<E>(self.p, self.map.t, w);
                 pk::pack_b_panel::<E>(
                     &mut buf_panel[..len],
                     b_pack,
                     b_rows,
+                    self.p,
                     &self.map,
                     j0,
                     w,
@@ -312,8 +341,16 @@ impl<E: CompactElement> TrmmPlan<E> {
             if pack_b {
                 let _span = obs::phase(obs::Phase::Unpack);
                 let _trace = trace::span_arg(trace::SpanKind::Unpack, j0 as u64);
-                let len = pk::panel_b_len::<E>(self.map.t, w);
-                pk::unpack_b_panel::<E>(&buf_panel[..len], b_pack, b_rows, &self.map, j0, w);
+                let len = pk::panel_b_len::<E>(self.p, self.map.t, w);
+                pk::unpack_b_panel::<E>(
+                    &buf_panel[..len],
+                    b_pack,
+                    b_rows,
+                    self.p,
+                    &self.map,
+                    j0,
+                    w,
+                );
             }
         }
     }
@@ -378,7 +415,7 @@ impl<E: CompactElement> TrmmPlan<E> {
         let panel_bytes: usize = if self.pack_b_structural {
             self.panels
                 .iter()
-                .map(|&(_, w)| pk::panel_b_len::<E>(t, w))
+                .map(|&(_, w)| pk::panel_b_len::<E>(self.p, t, w))
                 .sum()
         } else {
             0
@@ -391,7 +428,9 @@ impl<E: CompactElement> TrmmPlan<E> {
             k: 0,
             mode: self.mode.to_string(),
             count: self.count,
-            p: E::P,
+            p: self.p,
+            width_bits: self.width.bits(),
+            uarch: iatf_kernels::row_for(self.width).uarch.to_string(),
             packs: self.packs,
             group_packs: self.group_packs,
             main_kernel: main,

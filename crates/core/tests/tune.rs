@@ -21,7 +21,7 @@ use iatf_core::{
     TrmmPlan, TrsmPlan, TunePolicy, TuningConfig,
 };
 use iatf_layout::{CompactBatch, GemmDims, GemmMode, StdBatch, TrsmDims, TrsmMode};
-use iatf_simd::{c32, c64, Real};
+use iatf_simd::{c32, c64, dispatched_width, Real};
 use iatf_tune::{TunedEntry, TuningDb};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
@@ -93,7 +93,7 @@ fn gemm_bitexact<E: CompactElement>(m: usize, n: usize, k: usize) {
     let c_heuristic = run(&heuristic_cfg());
 
     TuningDb::global().record(
-        gemm_tune_key::<E>(dims, GemmMode::NN, false, false, COUNT),
+        gemm_tune_key::<E>(dims, GemmMode::NN, false, false, COUNT, dispatched_width()),
         forced_entry(),
     );
     let cfg = cached_cfg();
@@ -129,7 +129,9 @@ fn trsm_bitexact<E: CompactElement>(q: usize, n: usize) {
     };
     let x_heuristic = run(&heuristic_cfg());
 
-    TuningDb::global().record(trsm_tune_key::<E>(dims, mode, false, COUNT), forced_entry());
+    TuningDb::global().record(trsm_tune_key::<E>(dims, mode, false, COUNT, dispatched_width()),
+        forced_entry(),
+    );
     let cfg = cached_cfg();
     let ph = TrsmPlan::<E>::new(dims, mode, false, COUNT, &heuristic_cfg()).unwrap();
     let pt = TrsmPlan::<E>::new(dims, mode, false, COUNT, &cfg).unwrap();
@@ -161,7 +163,9 @@ fn trmm_bitexact<E: CompactElement>(q: usize, n: usize) {
     };
     let y_heuristic = run(&heuristic_cfg());
 
-    TuningDb::global().record(trmm_tune_key::<E>(dims, mode, false, COUNT), forced_entry());
+    TuningDb::global().record(trmm_tune_key::<E>(dims, mode, false, COUNT, dispatched_width()),
+        forced_entry(),
+    );
     let cfg = cached_cfg();
     let ph = TrmmPlan::<E>::new(dims, mode, false, COUNT, &heuristic_cfg()).unwrap();
     let pt = TrmmPlan::<E>::new(dims, mode, false, COUNT, &cfg).unwrap();
@@ -223,7 +227,7 @@ fn generation_bump_invalidates_cached_plans() {
     // Recording any winner bumps the generation: the old cached plan's key
     // no longer matches, so the next call rebuilds with the new db state.
     TuningDb::global().record(
-        gemm_tune_key::<f64>(dims, GemmMode::NN, false, false, COUNT),
+        gemm_tune_key::<f64>(dims, GemmMode::NN, false, false, COUNT, dispatched_width()),
         forced_entry(),
     );
     run(&mut c);
@@ -235,7 +239,7 @@ fn generation_bump_invalidates_cached_plans() {
     let heuristic = TuningConfig::default();
     let f = heuristic.fingerprint();
     TuningDb::global().record(
-        gemm_tune_key::<f64>(GemmDims::new(2, 2, 2), GemmMode::NN, false, false, COUNT),
+        gemm_tune_key::<f64>(GemmDims::new(2, 2, 2), GemmMode::NN, false, false, COUNT, dispatched_width()),
         forced_entry(),
     );
     assert_eq!(f, heuristic.fingerprint());
@@ -251,7 +255,7 @@ fn corrupt_db_degrades_to_heuristic_plans() {
 
     let db = TuningDb::global();
     db.record(
-        gemm_tune_key::<f64>(GemmDims::new(6, 6, 6), GemmMode::NN, false, false, COUNT),
+        gemm_tune_key::<f64>(GemmDims::new(6, 6, 6), GemmMode::NN, false, false, COUNT, dispatched_width()),
         forced_entry(),
     );
     assert_eq!(db.load_from(&path), iatf_tune::LoadOutcome::Corrupt);
@@ -284,7 +288,14 @@ fn first_touch_sweeps_records_and_stays_bit_identical() {
     };
     let mut c_t = CompactBatch::<f32>::zeroed(m, m, COUNT);
     compact_gemm(GemmMode::NN, 1.0, &a, &b, 0.0, &mut c_t, &cfg).unwrap();
-    let key = gemm_tune_key::<f32>(GemmDims::new(m, m, m), GemmMode::NN, false, false, COUNT);
+    let key = gemm_tune_key::<f32>(
+        GemmDims::new(m, m, m),
+        GemmMode::NN,
+        false,
+        false,
+        COUNT,
+        dispatched_width(),
+    );
     let entry = db.lookup(&key).expect("first touch must record a winner");
     assert!(entry.tuned_gflops > 0.0 && entry.tuned_gflops.is_finite());
     assert!(entry.tuned_gflops >= entry.heuristic_gflops * 0.99999);
@@ -306,10 +317,22 @@ fn first_touch_sweeps_records_and_stays_bit_identical() {
     let mut tb = CompactBatch::<f64>::from_std(&StdBatch::random(m, m, COUNT, 10));
     compact_trsm(mode, 1.0, &ta, &mut tb, &cfg).unwrap();
     assert!(db
-        .lookup(&trsm_tune_key::<f64>(TrsmDims::new(m, m), mode, false, COUNT))
+        .lookup(&trsm_tune_key::<f64>(
+            TrsmDims::new(m, m),
+            mode,
+            false,
+            COUNT,
+            dispatched_width()
+        ))
         .is_some());
     compact_trmm(mode, 1.0, &ta, &mut tb, &cfg).unwrap();
     assert!(db
-        .lookup(&trmm_tune_key::<f64>(TrsmDims::new(m, m), mode, false, COUNT))
+        .lookup(&trmm_tune_key::<f64>(
+            TrsmDims::new(m, m),
+            mode,
+            false,
+            COUNT,
+            dispatched_width()
+        ))
         .is_some());
 }

@@ -38,7 +38,14 @@ fn operands() -> (CompactBatch<f32>, CompactBatch<f32>, CompactBatch<f32>) {
 }
 
 fn the_key() -> TuneKey {
-    gemm_tune_key::<f32>(GemmDims::new(M, M, M), GemmMode::NN, false, false, COUNT)
+    gemm_tune_key::<f32>(
+        GemmDims::new(M, M, M),
+        GemmMode::NN,
+        false,
+        false,
+        COUNT,
+        iatf_simd::dispatched_width(),
+    )
 }
 
 #[test]

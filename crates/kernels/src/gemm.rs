@@ -102,6 +102,7 @@ fn fmul_tile<V: SimdReal, const MR: usize, const NR: usize>(
 /// All pointers must be valid for the strided region the tile covers:
 /// `k` A-slivers of `MR` vectors, `k` B-slivers of `NR` vectors, and an
 /// `MR × NR` tile of `P`-wide C groups.
+#[inline(always)]
 pub unsafe fn gemm_ukr<V: SimdReal, const MR: usize, const NR: usize>(
     k: usize,
     alpha: V::Scalar,
@@ -203,6 +204,7 @@ pub unsafe fn gemm_ukr<V: SimdReal, const MR: usize, const NR: usize>(
 /// # Safety
 /// As [`gemm_ukr`].
 #[allow(clippy::too_many_arguments)]
+#[inline(always)]
 pub unsafe fn gemm_ukr_nopipeline<V: SimdReal, const MR: usize, const NR: usize>(
     k: usize,
     alpha: V::Scalar,
@@ -275,6 +277,7 @@ fn cfma_tile<V: SimdReal, const MR: usize, const NR: usize>(
 ///
 /// # Safety
 /// As [`gemm_ukr`], with `2·P`-scalar element groups.
+#[inline(always)]
 pub unsafe fn cgemm_ukr<V: SimdReal, const MR: usize, const NR: usize>(
     k: usize,
     alpha: [V::Scalar; 2],

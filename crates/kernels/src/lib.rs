@@ -44,15 +44,18 @@
 
 pub mod gemm;
 pub mod oracle;
+pub mod registry;
 pub mod table;
 pub mod trmm;
 pub mod trsm;
+pub mod wide;
 
 pub use gemm::{cgemm_ukr, gemm_ukr, gemm_ukr_nopipeline, CplxGemmKernel, RealGemmKernel};
+pub use registry::{dispatched_row, row_for, rows, KernelRegistryRow, COMPILED_ROWS};
 pub use table::{
     cplx_gemm_kernel, cplx_trsm_kernel, cplx_trsm_rect_kernel, real_gemm_kernel, real_trsm_kernel,
-    real_trsm_rect_kernel, table1_sizes, KernelClass, KernelInfo, KernelScalar, FUSED_BLOCK_MAX,
-    TABLE1, TRSM_TRI_MAX_M,
+    real_trsm_rect_kernel, table1_sizes, KernelClass, KernelInfo, KernelScalar, KernelTables,
+    FUSED_BLOCK_MAX, TABLE1, TRSM_TRI_MAX_M,
 };
 pub use trmm::{ctrmm_ukr, trmm_ukr, CplxTrmmKernel, RealTrmmKernel};
 pub use trsm::{

@@ -6,13 +6,32 @@
 //! rectangular kernels and relies on the register-resident triangular path
 //! for the rest, while we also monomorphize the narrow panel tails).
 
-use crate::gemm::{cgemm_ukr, gemm_ukr, CplxGemmKernel, RealGemmKernel};
-use crate::trmm::{ctrmm_ukr, trmm_ukr, CplxTrmmKernel, RealTrmmKernel};
-use crate::trsm::{
-    ctrsm_rect_ukr, ctrsm_ukr, trsm_rect_ukr, trsm_ukr, CplxTrsmKernel, CplxTrsmRectKernel,
-    RealTrsmKernel, RealTrsmRectKernel,
-};
-use iatf_simd::{F32x4, F64x2, Real};
+use crate::gemm::{CplxGemmKernel, RealGemmKernel};
+use crate::trmm::{CplxTrmmKernel, RealTrmmKernel};
+use crate::trsm::{CplxTrsmKernel, CplxTrsmRectKernel, RealTrsmKernel, RealTrsmRectKernel};
+use iatf_simd::{Real, VecWidth, F32x4, F64x2, S32x4, S64x2};
+
+#[cfg(target_arch = "x86_64")]
+use crate::wide::{avx2, avx512};
+#[cfg(target_arch = "x86_64")]
+use iatf_simd::{F32x16, F32x8, F64x4, F64x8};
+
+/// Plain (baseline-ISA) kernel entry points, giving the table constructor
+/// macro one module name per backend flavor.
+mod plain {
+    pub use crate::gemm::{cgemm_ukr, gemm_ukr};
+    pub use crate::trmm::{ctrmm_ukr, trmm_ukr};
+    pub use crate::trsm::{ctrsm_rect_ukr, ctrsm_ukr, trsm_rect_ukr, trsm_ukr};
+}
+
+/// Baseline entry points with the non-pipelined real GEMM body, used by the
+/// scalar-width table so its registry row's `pipeline: false` is truthful
+/// for the hot kernel (ping-pong double-buffering only pays for SIMD loads).
+mod plain_nopipe {
+    pub use crate::gemm::{cgemm_ukr, gemm_ukr_nopipeline as gemm_ukr};
+    pub use crate::trmm::{ctrmm_ukr, trmm_ukr};
+    pub use crate::trsm::{ctrsm_rect_ukr, ctrsm_ukr, trsm_rect_ukr, trsm_ukr};
+}
 
 /// Which kernel family a Table-1 row belongs to.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -103,201 +122,276 @@ pub const TRSM_TRI_MAX_M: usize = 5;
 /// tables (`m_b, n_r ≤ 4`).
 pub const FUSED_BLOCK_MAX: (usize, usize) = (4, 4);
 
-/// A real scalar for which the full kernel set is monomorphized.
-pub trait KernelScalar: Real {
+/// The full monomorphized kernel set at one vector width.
+///
+/// All fields hold width-independent function-pointer types (the kernel
+/// signatures only mention the scalar, never the vector), so the same
+/// struct describes every backend; only the pointed-to monomorphizations
+/// differ. Tile-shape *indices* are identical across widths — a wider
+/// backend changes the lane count under each group, not the register
+/// blocking — which keeps plan geometry width-invariant.
+pub struct KernelTables<R> {
     /// Real GEMM kernels, indexed `[m_r − 1][n_r − 1]`, sizes 1..=4 each.
-    const RGEMM: [[RealGemmKernel<Self>; 4]; 4];
+    pub rgemm: [[RealGemmKernel<R>; 4]; 4],
     /// Complex GEMM kernels, `m_r ∈ 1..=3`, `n_r ∈ 1..=2`.
-    const CGEMM: [[CplxGemmKernel<Self>; 2]; 3];
+    pub cgemm: [[CplxGemmKernel<R>; 2]; 3],
     /// Fused real TRSM block kernels, `m_r ∈ 1..=5`, `n_r ∈ 1..=4`.
-    const RTRSM: [[RealTrsmKernel<Self>; 4]; 5];
+    pub rtrsm: [[RealTrsmKernel<R>; 4]; 5],
     /// Fused complex TRSM block kernels, `m_r ∈ 1..=2`, `n_r ∈ 1..=2`.
-    const CTRSM: [[CplxTrsmKernel<Self>; 2]; 2];
+    pub ctrsm: [[CplxTrsmKernel<R>; 2]; 2],
     /// Rect-only real TRSM kernels (Table 1's rectangular rows).
-    const RTRSM_RECT: [[RealTrsmRectKernel<Self>; 4]; 4];
+    pub rtrsm_rect: [[RealTrsmRectKernel<R>; 4]; 4],
     /// Rect-only complex TRSM kernels.
-    const CTRSM_RECT: [[CplxTrsmRectKernel<Self>; 2]; 2];
+    pub ctrsm_rect: [[CplxTrsmRectKernel<R>; 2]; 2],
     /// Fused real TRMM block kernels (extension), `m_r, n_r ∈ 1..=4`.
-    const RTRMM: [[RealTrmmKernel<Self>; 4]; 4];
+    pub rtrmm: [[RealTrmmKernel<R>; 4]; 4],
     /// Fused complex TRMM block kernels (extension), `m_r, n_r ∈ 1..=2`.
-    const CTRMM: [[CplxTrmmKernel<Self>; 2]; 2];
+    pub ctrmm: [[CplxTrmmKernel<R>; 2]; 2],
 }
 
-macro_rules! kernel_tables {
-    ($scalar:ty, $vec:ty) => {
-        impl KernelScalar for $scalar {
-            const RGEMM: [[RealGemmKernel<$scalar>; 4]; 4] = [
+/// A real scalar for which the full kernel set is monomorphized at every
+/// compiled-in vector width.
+pub trait KernelScalar: Real {
+    /// The kernel table at `width`.
+    ///
+    /// Total over all widths: on architectures where a wide backend is not
+    /// compiled in (everything but `x86_64`), `W256`/`W512` return the
+    /// 128-bit table — runtime dispatch never *selects* those widths there,
+    /// but planners may still describe them. Tables for `W256`/`W512` on
+    /// `x86_64` contain `#[target_feature]` entry points that are undefined
+    /// behavior to call on hosts without the ISA; callers must check
+    /// [`iatf_simd::width_available`] first (the registry does).
+    fn tables(width: VecWidth) -> &'static KernelTables<Self>;
+}
+
+macro_rules! table_for {
+    ($scalar:ty, $vec:ty, $m:ident) => {
+        KernelTables::<$scalar> {
+            rgemm: [
                 [
-                    gemm_ukr::<$vec, 1, 1>,
-                    gemm_ukr::<$vec, 1, 2>,
-                    gemm_ukr::<$vec, 1, 3>,
-                    gemm_ukr::<$vec, 1, 4>,
+                    $m::gemm_ukr::<$vec, 1, 1>,
+                    $m::gemm_ukr::<$vec, 1, 2>,
+                    $m::gemm_ukr::<$vec, 1, 3>,
+                    $m::gemm_ukr::<$vec, 1, 4>,
                 ],
                 [
-                    gemm_ukr::<$vec, 2, 1>,
-                    gemm_ukr::<$vec, 2, 2>,
-                    gemm_ukr::<$vec, 2, 3>,
-                    gemm_ukr::<$vec, 2, 4>,
+                    $m::gemm_ukr::<$vec, 2, 1>,
+                    $m::gemm_ukr::<$vec, 2, 2>,
+                    $m::gemm_ukr::<$vec, 2, 3>,
+                    $m::gemm_ukr::<$vec, 2, 4>,
                 ],
                 [
-                    gemm_ukr::<$vec, 3, 1>,
-                    gemm_ukr::<$vec, 3, 2>,
-                    gemm_ukr::<$vec, 3, 3>,
-                    gemm_ukr::<$vec, 3, 4>,
+                    $m::gemm_ukr::<$vec, 3, 1>,
+                    $m::gemm_ukr::<$vec, 3, 2>,
+                    $m::gemm_ukr::<$vec, 3, 3>,
+                    $m::gemm_ukr::<$vec, 3, 4>,
                 ],
                 [
-                    gemm_ukr::<$vec, 4, 1>,
-                    gemm_ukr::<$vec, 4, 2>,
-                    gemm_ukr::<$vec, 4, 3>,
-                    gemm_ukr::<$vec, 4, 4>,
+                    $m::gemm_ukr::<$vec, 4, 1>,
+                    $m::gemm_ukr::<$vec, 4, 2>,
+                    $m::gemm_ukr::<$vec, 4, 3>,
+                    $m::gemm_ukr::<$vec, 4, 4>,
                 ],
-            ];
-            const CGEMM: [[CplxGemmKernel<$scalar>; 2]; 3] = [
-                [cgemm_ukr::<$vec, 1, 1>, cgemm_ukr::<$vec, 1, 2>],
-                [cgemm_ukr::<$vec, 2, 1>, cgemm_ukr::<$vec, 2, 2>],
-                [cgemm_ukr::<$vec, 3, 1>, cgemm_ukr::<$vec, 3, 2>],
-            ];
-            const RTRSM: [[RealTrsmKernel<$scalar>; 4]; 5] = [
+            ],
+            cgemm: [
+                [$m::cgemm_ukr::<$vec, 1, 1>, $m::cgemm_ukr::<$vec, 1, 2>],
+                [$m::cgemm_ukr::<$vec, 2, 1>, $m::cgemm_ukr::<$vec, 2, 2>],
+                [$m::cgemm_ukr::<$vec, 3, 1>, $m::cgemm_ukr::<$vec, 3, 2>],
+            ],
+            rtrsm: [
                 [
-                    trsm_ukr::<$vec, 1, 1>,
-                    trsm_ukr::<$vec, 1, 2>,
-                    trsm_ukr::<$vec, 1, 3>,
-                    trsm_ukr::<$vec, 1, 4>,
-                ],
-                [
-                    trsm_ukr::<$vec, 2, 1>,
-                    trsm_ukr::<$vec, 2, 2>,
-                    trsm_ukr::<$vec, 2, 3>,
-                    trsm_ukr::<$vec, 2, 4>,
+                    $m::trsm_ukr::<$vec, 1, 1>,
+                    $m::trsm_ukr::<$vec, 1, 2>,
+                    $m::trsm_ukr::<$vec, 1, 3>,
+                    $m::trsm_ukr::<$vec, 1, 4>,
                 ],
                 [
-                    trsm_ukr::<$vec, 3, 1>,
-                    trsm_ukr::<$vec, 3, 2>,
-                    trsm_ukr::<$vec, 3, 3>,
-                    trsm_ukr::<$vec, 3, 4>,
+                    $m::trsm_ukr::<$vec, 2, 1>,
+                    $m::trsm_ukr::<$vec, 2, 2>,
+                    $m::trsm_ukr::<$vec, 2, 3>,
+                    $m::trsm_ukr::<$vec, 2, 4>,
                 ],
                 [
-                    trsm_ukr::<$vec, 4, 1>,
-                    trsm_ukr::<$vec, 4, 2>,
-                    trsm_ukr::<$vec, 4, 3>,
-                    trsm_ukr::<$vec, 4, 4>,
+                    $m::trsm_ukr::<$vec, 3, 1>,
+                    $m::trsm_ukr::<$vec, 3, 2>,
+                    $m::trsm_ukr::<$vec, 3, 3>,
+                    $m::trsm_ukr::<$vec, 3, 4>,
                 ],
                 [
-                    trsm_ukr::<$vec, 5, 1>,
-                    trsm_ukr::<$vec, 5, 2>,
-                    trsm_ukr::<$vec, 5, 3>,
-                    trsm_ukr::<$vec, 5, 4>,
-                ],
-            ];
-            const CTRSM: [[CplxTrsmKernel<$scalar>; 2]; 2] = [
-                [ctrsm_ukr::<$vec, 1, 1>, ctrsm_ukr::<$vec, 1, 2>],
-                [ctrsm_ukr::<$vec, 2, 1>, ctrsm_ukr::<$vec, 2, 2>],
-            ];
-            const RTRSM_RECT: [[RealTrsmRectKernel<$scalar>; 4]; 4] = [
-                [
-                    trsm_rect_ukr::<$vec, 1, 1>,
-                    trsm_rect_ukr::<$vec, 1, 2>,
-                    trsm_rect_ukr::<$vec, 1, 3>,
-                    trsm_rect_ukr::<$vec, 1, 4>,
+                    $m::trsm_ukr::<$vec, 4, 1>,
+                    $m::trsm_ukr::<$vec, 4, 2>,
+                    $m::trsm_ukr::<$vec, 4, 3>,
+                    $m::trsm_ukr::<$vec, 4, 4>,
                 ],
                 [
-                    trsm_rect_ukr::<$vec, 2, 1>,
-                    trsm_rect_ukr::<$vec, 2, 2>,
-                    trsm_rect_ukr::<$vec, 2, 3>,
-                    trsm_rect_ukr::<$vec, 2, 4>,
+                    $m::trsm_ukr::<$vec, 5, 1>,
+                    $m::trsm_ukr::<$vec, 5, 2>,
+                    $m::trsm_ukr::<$vec, 5, 3>,
+                    $m::trsm_ukr::<$vec, 5, 4>,
+                ],
+            ],
+            ctrsm: [
+                [$m::ctrsm_ukr::<$vec, 1, 1>, $m::ctrsm_ukr::<$vec, 1, 2>],
+                [$m::ctrsm_ukr::<$vec, 2, 1>, $m::ctrsm_ukr::<$vec, 2, 2>],
+            ],
+            rtrsm_rect: [
+                [
+                    $m::trsm_rect_ukr::<$vec, 1, 1>,
+                    $m::trsm_rect_ukr::<$vec, 1, 2>,
+                    $m::trsm_rect_ukr::<$vec, 1, 3>,
+                    $m::trsm_rect_ukr::<$vec, 1, 4>,
                 ],
                 [
-                    trsm_rect_ukr::<$vec, 3, 1>,
-                    trsm_rect_ukr::<$vec, 3, 2>,
-                    trsm_rect_ukr::<$vec, 3, 3>,
-                    trsm_rect_ukr::<$vec, 3, 4>,
+                    $m::trsm_rect_ukr::<$vec, 2, 1>,
+                    $m::trsm_rect_ukr::<$vec, 2, 2>,
+                    $m::trsm_rect_ukr::<$vec, 2, 3>,
+                    $m::trsm_rect_ukr::<$vec, 2, 4>,
                 ],
                 [
-                    trsm_rect_ukr::<$vec, 4, 1>,
-                    trsm_rect_ukr::<$vec, 4, 2>,
-                    trsm_rect_ukr::<$vec, 4, 3>,
-                    trsm_rect_ukr::<$vec, 4, 4>,
-                ],
-            ];
-            const CTRSM_RECT: [[CplxTrsmRectKernel<$scalar>; 2]; 2] = [
-                [ctrsm_rect_ukr::<$vec, 1, 1>, ctrsm_rect_ukr::<$vec, 1, 2>],
-                [ctrsm_rect_ukr::<$vec, 2, 1>, ctrsm_rect_ukr::<$vec, 2, 2>],
-            ];
-            const RTRMM: [[RealTrmmKernel<$scalar>; 4]; 4] = [
-                [
-                    trmm_ukr::<$vec, 1, 1>,
-                    trmm_ukr::<$vec, 1, 2>,
-                    trmm_ukr::<$vec, 1, 3>,
-                    trmm_ukr::<$vec, 1, 4>,
+                    $m::trsm_rect_ukr::<$vec, 3, 1>,
+                    $m::trsm_rect_ukr::<$vec, 3, 2>,
+                    $m::trsm_rect_ukr::<$vec, 3, 3>,
+                    $m::trsm_rect_ukr::<$vec, 3, 4>,
                 ],
                 [
-                    trmm_ukr::<$vec, 2, 1>,
-                    trmm_ukr::<$vec, 2, 2>,
-                    trmm_ukr::<$vec, 2, 3>,
-                    trmm_ukr::<$vec, 2, 4>,
+                    $m::trsm_rect_ukr::<$vec, 4, 1>,
+                    $m::trsm_rect_ukr::<$vec, 4, 2>,
+                    $m::trsm_rect_ukr::<$vec, 4, 3>,
+                    $m::trsm_rect_ukr::<$vec, 4, 4>,
+                ],
+            ],
+            ctrsm_rect: [
+                [
+                    $m::ctrsm_rect_ukr::<$vec, 1, 1>,
+                    $m::ctrsm_rect_ukr::<$vec, 1, 2>,
                 ],
                 [
-                    trmm_ukr::<$vec, 3, 1>,
-                    trmm_ukr::<$vec, 3, 2>,
-                    trmm_ukr::<$vec, 3, 3>,
-                    trmm_ukr::<$vec, 3, 4>,
+                    $m::ctrsm_rect_ukr::<$vec, 2, 1>,
+                    $m::ctrsm_rect_ukr::<$vec, 2, 2>,
+                ],
+            ],
+            rtrmm: [
+                [
+                    $m::trmm_ukr::<$vec, 1, 1>,
+                    $m::trmm_ukr::<$vec, 1, 2>,
+                    $m::trmm_ukr::<$vec, 1, 3>,
+                    $m::trmm_ukr::<$vec, 1, 4>,
                 ],
                 [
-                    trmm_ukr::<$vec, 4, 1>,
-                    trmm_ukr::<$vec, 4, 2>,
-                    trmm_ukr::<$vec, 4, 3>,
-                    trmm_ukr::<$vec, 4, 4>,
+                    $m::trmm_ukr::<$vec, 2, 1>,
+                    $m::trmm_ukr::<$vec, 2, 2>,
+                    $m::trmm_ukr::<$vec, 2, 3>,
+                    $m::trmm_ukr::<$vec, 2, 4>,
                 ],
-            ];
-            const CTRMM: [[CplxTrmmKernel<$scalar>; 2]; 2] = [
-                [ctrmm_ukr::<$vec, 1, 1>, ctrmm_ukr::<$vec, 1, 2>],
-                [ctrmm_ukr::<$vec, 2, 1>, ctrmm_ukr::<$vec, 2, 2>],
-            ];
+                [
+                    $m::trmm_ukr::<$vec, 3, 1>,
+                    $m::trmm_ukr::<$vec, 3, 2>,
+                    $m::trmm_ukr::<$vec, 3, 3>,
+                    $m::trmm_ukr::<$vec, 3, 4>,
+                ],
+                [
+                    $m::trmm_ukr::<$vec, 4, 1>,
+                    $m::trmm_ukr::<$vec, 4, 2>,
+                    $m::trmm_ukr::<$vec, 4, 3>,
+                    $m::trmm_ukr::<$vec, 4, 4>,
+                ],
+            ],
+            ctrmm: [
+                [$m::ctrmm_ukr::<$vec, 1, 1>, $m::ctrmm_ukr::<$vec, 1, 2>],
+                [$m::ctrmm_ukr::<$vec, 2, 1>, $m::ctrmm_ukr::<$vec, 2, 2>],
+            ],
         }
     };
 }
 
-kernel_tables!(f32, F32x4);
-kernel_tables!(f64, F64x2);
+static F32_SCALAR: KernelTables<f32> = table_for!(f32, S32x4, plain_nopipe);
+static F64_SCALAR: KernelTables<f64> = table_for!(f64, S64x2, plain_nopipe);
+static F32_W128: KernelTables<f32> = table_for!(f32, F32x4, plain);
+static F64_W128: KernelTables<f64> = table_for!(f64, F64x2, plain);
+#[cfg(target_arch = "x86_64")]
+static F32_W256: KernelTables<f32> = table_for!(f32, F32x8, avx2);
+#[cfg(target_arch = "x86_64")]
+static F64_W256: KernelTables<f64> = table_for!(f64, F64x4, avx2);
+#[cfg(target_arch = "x86_64")]
+static F32_W512: KernelTables<f32> = table_for!(f32, F32x16, avx512);
+#[cfg(target_arch = "x86_64")]
+static F64_W512: KernelTables<f64> = table_for!(f64, F64x8, avx512);
 
-/// Fetches the real GEMM kernel for a tile size (`m_r, n_r ∈ 1..=4`).
-pub fn real_gemm_kernel<R: KernelScalar>(mr: usize, nr: usize) -> RealGemmKernel<R> {
-    R::RGEMM[mr - 1][nr - 1]
+macro_rules! impl_kernel_scalar {
+    ($scalar:ty, $scalar_tab:ident, $w128:ident, $w256:ident, $w512:ident) => {
+        impl KernelScalar for $scalar {
+            fn tables(width: VecWidth) -> &'static KernelTables<Self> {
+                match width {
+                    VecWidth::Scalar => &$scalar_tab,
+                    VecWidth::W128 => &$w128,
+                    #[cfg(target_arch = "x86_64")]
+                    VecWidth::W256 => &$w256,
+                    #[cfg(target_arch = "x86_64")]
+                    VecWidth::W512 => &$w512,
+                    // No wide backend compiled in: fall back to 128-bit
+                    // monomorphizations (dispatch never selects these widths
+                    // here, but planners may still describe them).
+                    #[cfg(not(target_arch = "x86_64"))]
+                    VecWidth::W256 | VecWidth::W512 => &$w128,
+                }
+            }
+        }
+    };
 }
 
-/// Fetches the complex GEMM kernel (`m_r ∈ 1..=3`, `n_r ∈ 1..=2`).
-pub fn cplx_gemm_kernel<R: KernelScalar>(mr: usize, nr: usize) -> CplxGemmKernel<R> {
-    R::CGEMM[mr - 1][nr - 1]
+impl_kernel_scalar!(f32, F32_SCALAR, F32_W128, F32_W256, F32_W512);
+impl_kernel_scalar!(f64, F64_SCALAR, F64_W128, F64_W256, F64_W512);
+
+/// Fetches the real GEMM kernel at `width` for a tile size
+/// (`m_r, n_r ∈ 1..=4`).
+pub fn real_gemm_kernel<R: KernelScalar>(width: VecWidth, mr: usize, nr: usize) -> RealGemmKernel<R> {
+    R::tables(width).rgemm[mr - 1][nr - 1]
 }
 
-/// Fetches the fused real TRSM block kernel (`m_r ∈ 1..=5`, `n_r ∈ 1..=4`).
-pub fn real_trsm_kernel<R: KernelScalar>(mr: usize, nr: usize) -> RealTrsmKernel<R> {
-    R::RTRSM[mr - 1][nr - 1]
+/// Fetches the complex GEMM kernel at `width` (`m_r ∈ 1..=3`, `n_r ∈ 1..=2`).
+pub fn cplx_gemm_kernel<R: KernelScalar>(width: VecWidth, mr: usize, nr: usize) -> CplxGemmKernel<R> {
+    R::tables(width).cgemm[mr - 1][nr - 1]
 }
 
-/// Fetches the fused complex TRSM block kernel (`m_r, n_r ∈ 1..=2`).
-pub fn cplx_trsm_kernel<R: KernelScalar>(mr: usize, nr: usize) -> CplxTrsmKernel<R> {
-    R::CTRSM[mr - 1][nr - 1]
+/// Fetches the fused real TRSM block kernel at `width`
+/// (`m_r ∈ 1..=5`, `n_r ∈ 1..=4`).
+pub fn real_trsm_kernel<R: KernelScalar>(width: VecWidth, mr: usize, nr: usize) -> RealTrsmKernel<R> {
+    R::tables(width).rtrsm[mr - 1][nr - 1]
 }
 
-/// Fetches the rect-only real TRSM kernel (`m_r, n_r ∈ 1..=4`).
-pub fn real_trsm_rect_kernel<R: KernelScalar>(mr: usize, nr: usize) -> RealTrsmRectKernel<R> {
-    R::RTRSM_RECT[mr - 1][nr - 1]
+/// Fetches the fused complex TRSM block kernel at `width`
+/// (`m_r, n_r ∈ 1..=2`).
+pub fn cplx_trsm_kernel<R: KernelScalar>(width: VecWidth, mr: usize, nr: usize) -> CplxTrsmKernel<R> {
+    R::tables(width).ctrsm[mr - 1][nr - 1]
 }
 
-/// Fetches the rect-only complex TRSM kernel (`m_r, n_r ∈ 1..=2`).
-pub fn cplx_trsm_rect_kernel<R: KernelScalar>(mr: usize, nr: usize) -> CplxTrsmRectKernel<R> {
-    R::CTRSM_RECT[mr - 1][nr - 1]
+/// Fetches the rect-only real TRSM kernel at `width` (`m_r, n_r ∈ 1..=4`).
+pub fn real_trsm_rect_kernel<R: KernelScalar>(
+    width: VecWidth,
+    mr: usize,
+    nr: usize,
+) -> RealTrsmRectKernel<R> {
+    R::tables(width).rtrsm_rect[mr - 1][nr - 1]
 }
 
-/// Fetches the fused real TRMM block kernel (`m_r, n_r ∈ 1..=4`).
-pub fn real_trmm_kernel<R: KernelScalar>(mr: usize, nr: usize) -> RealTrmmKernel<R> {
-    R::RTRMM[mr - 1][nr - 1]
+/// Fetches the rect-only complex TRSM kernel at `width` (`m_r, n_r ∈ 1..=2`).
+pub fn cplx_trsm_rect_kernel<R: KernelScalar>(
+    width: VecWidth,
+    mr: usize,
+    nr: usize,
+) -> CplxTrsmRectKernel<R> {
+    R::tables(width).ctrsm_rect[mr - 1][nr - 1]
 }
 
-/// Fetches the fused complex TRMM block kernel (`m_r, n_r ∈ 1..=2`).
-pub fn cplx_trmm_kernel<R: KernelScalar>(mr: usize, nr: usize) -> CplxTrmmKernel<R> {
-    R::CTRMM[mr - 1][nr - 1]
+/// Fetches the fused real TRMM block kernel at `width` (`m_r, n_r ∈ 1..=4`).
+pub fn real_trmm_kernel<R: KernelScalar>(width: VecWidth, mr: usize, nr: usize) -> RealTrmmKernel<R> {
+    R::tables(width).rtrmm[mr - 1][nr - 1]
+}
+
+/// Fetches the fused complex TRMM block kernel at `width`
+/// (`m_r, n_r ∈ 1..=2`).
+pub fn cplx_trmm_kernel<R: KernelScalar>(width: VecWidth, mr: usize, nr: usize) -> CplxTrmmKernel<R> {
+    R::tables(width).ctrmm[mr - 1][nr - 1]
 }
 
 #[cfg(test)]
@@ -364,39 +458,59 @@ mod tests {
 
     #[test]
     fn dispatch_tables_cover_table1() {
-        // Fetching every Table-1 kernel must succeed for both precisions;
-        // distinct sizes must map to distinct monomorphizations.
-        let mut f32_ptrs = HashSet::new();
-        let mut f64_ptrs = HashSet::new();
-        for k in TABLE1 {
-            match k.class {
-                KernelClass::RealGemm => {
-                    f32_ptrs.insert(real_gemm_kernel::<f32>(k.mr, k.nr) as usize);
-                    f64_ptrs.insert(real_gemm_kernel::<f64>(k.mr, k.nr) as usize);
-                }
-                KernelClass::CplxGemm => {
-                    f32_ptrs.insert(cplx_gemm_kernel::<f32>(k.mr, k.nr) as usize);
-                    f64_ptrs.insert(cplx_gemm_kernel::<f64>(k.mr, k.nr) as usize);
-                }
-                KernelClass::RealTrsm => {
-                    f32_ptrs.insert(real_trsm_rect_kernel::<f32>(k.mr, k.nr) as usize);
-                    f64_ptrs.insert(real_trsm_rect_kernel::<f64>(k.mr, k.nr) as usize);
-                }
-                KernelClass::CplxTrsm => {
-                    f32_ptrs.insert(cplx_trsm_rect_kernel::<f32>(k.mr, k.nr) as usize);
-                    f64_ptrs.insert(cplx_trsm_rect_kernel::<f64>(k.mr, k.nr) as usize);
+        // Fetching every Table-1 kernel must succeed for both precisions at
+        // every width; within one width, distinct sizes must map to distinct
+        // monomorphizations.
+        for width in VecWidth::ALL {
+            let mut f32_ptrs = HashSet::new();
+            let mut f64_ptrs = HashSet::new();
+            for k in TABLE1 {
+                match k.class {
+                    KernelClass::RealGemm => {
+                        f32_ptrs.insert(real_gemm_kernel::<f32>(width, k.mr, k.nr) as usize);
+                        f64_ptrs.insert(real_gemm_kernel::<f64>(width, k.mr, k.nr) as usize);
+                    }
+                    KernelClass::CplxGemm => {
+                        f32_ptrs.insert(cplx_gemm_kernel::<f32>(width, k.mr, k.nr) as usize);
+                        f64_ptrs.insert(cplx_gemm_kernel::<f64>(width, k.mr, k.nr) as usize);
+                    }
+                    KernelClass::RealTrsm => {
+                        f32_ptrs.insert(real_trsm_rect_kernel::<f32>(width, k.mr, k.nr) as usize);
+                        f64_ptrs.insert(real_trsm_rect_kernel::<f64>(width, k.mr, k.nr) as usize);
+                    }
+                    KernelClass::CplxTrsm => {
+                        f32_ptrs.insert(cplx_trsm_rect_kernel::<f32>(width, k.mr, k.nr) as usize);
+                        f64_ptrs.insert(cplx_trsm_rect_kernel::<f64>(width, k.mr, k.nr) as usize);
+                    }
                 }
             }
+            assert_eq!(f32_ptrs.len(), TABLE1.len(), "{width:?}");
+            assert_eq!(f64_ptrs.len(), TABLE1.len(), "{width:?}");
         }
-        assert_eq!(f32_ptrs.len(), TABLE1.len());
-        assert_eq!(f64_ptrs.len(), TABLE1.len());
+    }
+
+    #[test]
+    fn widths_use_distinct_monomorphizations() {
+        // Same (m_r, n_r), different width → different kernel body. On
+        // non-x86_64 the wide widths alias the 128-bit table by design, so
+        // only the always-compiled widths are asserted distinct.
+        let a = real_gemm_kernel::<f32>(VecWidth::Scalar, 4, 4) as usize;
+        let b = real_gemm_kernel::<f32>(VecWidth::W128, 4, 4) as usize;
+        assert_ne!(a, b);
+        #[cfg(target_arch = "x86_64")]
+        {
+            let c = real_gemm_kernel::<f32>(VecWidth::W256, 4, 4) as usize;
+            let d = real_gemm_kernel::<f32>(VecWidth::W512, 4, 4) as usize;
+            let all: HashSet<usize> = [a, b, c, d].into_iter().collect();
+            assert_eq!(all.len(), 4);
+        }
     }
 
     #[test]
     fn fused_trsm_covers_register_limit() {
         // m_r = 5 is the register-capacity bound of §4.2.2.
-        let _ = real_trsm_kernel::<f64>(5, 4);
-        let _ = real_trsm_kernel::<f32>(5, 1);
-        let _ = cplx_trsm_kernel::<f64>(2, 2);
+        let _ = real_trsm_kernel::<f64>(VecWidth::W128, 5, 4);
+        let _ = real_trsm_kernel::<f32>(VecWidth::W128, 5, 1);
+        let _ = cplx_trsm_kernel::<f64>(VecWidth::W128, 2, 2);
     }
 }

@@ -69,6 +69,7 @@ unsafe fn load_set<V: SimdReal, const N: usize>(p: *const V::Scalar, stride: usi
 /// Same operand contract as `iatf_kernels::trsm_ukr` (packed rect strip,
 /// packed triangle with *direct* diagonal, row-major panel).
 #[allow(clippy::too_many_arguments)]
+#[inline(always)]
 pub unsafe fn trmm_ukr<V: SimdReal, const MR: usize, const NR: usize>(
     kk: usize,
     alpha: V::Scalar,
@@ -152,6 +153,7 @@ pub unsafe fn trmm_ukr<V: SimdReal, const MR: usize, const NR: usize>(
 /// # Safety
 /// As [`trmm_ukr`] with `2·P`-scalar element groups.
 #[allow(clippy::too_many_arguments)]
+#[inline(always)]
 pub unsafe fn ctrmm_ukr<V: SimdReal, const MR: usize, const NR: usize>(
     kk: usize,
     alpha: [V::Scalar; 2],

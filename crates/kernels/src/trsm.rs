@@ -195,6 +195,7 @@ unsafe fn tri_solve<V: SimdReal, const MR: usize, const NR: usize>(
 /// # Safety
 /// `pa_rect` must cover `kk` strided slivers of `MR` groups, `pa_tri` the
 /// packed `MR`-row triangle, and the panel rows `0..row0+MR` × `NR` columns.
+#[inline(always)]
 pub unsafe fn trsm_ukr<V: SimdReal, const MR: usize, const NR: usize>(
     kk: usize,
     pa_rect: *const V::Scalar,
@@ -219,6 +220,7 @@ pub unsafe fn trsm_ukr<V: SimdReal, const MR: usize, const NR: usize>(
 ///
 /// # Safety
 /// As [`trsm_ukr`], minus the triangle.
+#[inline(always)]
 pub unsafe fn trsm_rect_ukr<V: SimdReal, const MR: usize, const NR: usize>(
     kk: usize,
     pa_rect: *const V::Scalar,
@@ -271,6 +273,7 @@ fn cfms_tile<V: SimdReal, const MR: usize, const NR: usize>(
 ///
 /// # Safety
 /// As [`trsm_ukr`] with `2·P`-scalar element groups.
+#[inline(always)]
 pub unsafe fn ctrsm_ukr<V: SimdReal, const MR: usize, const NR: usize>(
     kk: usize,
     mut pa_rect: *const V::Scalar,
@@ -356,6 +359,7 @@ pub unsafe fn ctrsm_ukr<V: SimdReal, const MR: usize, const NR: usize>(
 ///
 /// # Safety
 /// As [`ctrsm_ukr`], minus the triangle.
+#[inline(always)]
 pub unsafe fn ctrsm_rect_ukr<V: SimdReal, const MR: usize, const NR: usize>(
     kk: usize,
     pa_rect: *const V::Scalar,

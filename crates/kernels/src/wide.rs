@@ -1,0 +1,241 @@
+//! `#[target_feature]` entry wrappers for the wide x86_64 backends.
+//!
+//! The workspace compiles for baseline x86_64 (SSE2), so the AVX2 and
+//! AVX-512 vector types from `iatf-simd` would codegen as split 128-bit
+//! halves (or libcalls, for FMA) if their operations were compiled in a
+//! baseline function. These wrappers fix that: each is the *same* generic
+//! microkernel body, monomorphized inside a function carrying the matching
+//! `#[target_feature(enable = ...)]` attribute. The bodies are
+//! `#[inline(always)]`, so LLVM folds them into the wrapper and emits true
+//! 256-/512-bit instructions. The wrappers coerce to the same
+//! width-independent kernel function-pointer types
+//! ([`RealGemmKernel`](crate::RealGemmKernel) and friends) as the baseline
+//! kernels, which is what lets one dispatch-table type serve every width.
+//!
+//! # Module safety contract
+//! Every function here is `unsafe` on two counts: the kernel
+//! pointer/stride contract it forwards verbatim, and the `target_feature`
+//! attribute — calling one on a host without the feature is immediate
+//! undefined behavior (illegal instruction). The kernel registry only hands
+//! out these pointers for widths present in
+//! [`iatf_simd::available_widths`], whose entries are runtime-probed with
+//! `is_x86_feature_detected!`; tests that call them directly must perform
+//! the same check first.
+
+use iatf_simd::SimdReal;
+
+macro_rules! width_wrapper_mod {
+    ($modname:ident, $isa:literal, $($feat:literal),+) => {
+        #[doc = concat!("Kernel entry points compiled with the ", $isa, " target features enabled.")]
+        pub mod $modname {
+            use super::SimdReal;
+
+            /// Real GEMM microkernel at this ISA; see [`crate::gemm::gemm_ukr`].
+            ///
+            /// # Safety
+            /// As [`crate::gemm::gemm_ukr`]; additionally the host must
+            #[doc = concat!("support ", $isa, " (see the module contract).")]
+            #[target_feature($(enable = $feat),+)]
+            pub unsafe fn gemm_ukr<V: SimdReal, const MR: usize, const NR: usize>(
+                k: usize,
+                alpha: V::Scalar,
+                beta: V::Scalar,
+                pa: *const V::Scalar,
+                a_i: usize,
+                a_k: usize,
+                pb: *const V::Scalar,
+                b_j: usize,
+                b_k: usize,
+                c: *mut V::Scalar,
+                c_i: usize,
+                c_j: usize,
+            ) {
+                crate::gemm::gemm_ukr::<V, MR, NR>(k, alpha, beta, pa, a_i, a_k, pb, b_j, b_k, c, c_i, c_j)
+            }
+
+            /// Complex GEMM microkernel at this ISA; see [`crate::gemm::cgemm_ukr`].
+            ///
+            /// # Safety
+            /// As [`crate::gemm::cgemm_ukr`]; additionally the host must
+            #[doc = concat!("support ", $isa, " (see the module contract).")]
+            #[target_feature($(enable = $feat),+)]
+            pub unsafe fn cgemm_ukr<V: SimdReal, const MR: usize, const NR: usize>(
+                k: usize,
+                alpha: [V::Scalar; 2],
+                beta: [V::Scalar; 2],
+                pa: *const V::Scalar,
+                a_i: usize,
+                a_k: usize,
+                pb: *const V::Scalar,
+                b_j: usize,
+                b_k: usize,
+                c: *mut V::Scalar,
+                c_i: usize,
+                c_j: usize,
+            ) {
+                crate::gemm::cgemm_ukr::<V, MR, NR>(k, alpha, beta, pa, a_i, a_k, pb, b_j, b_k, c, c_i, c_j)
+            }
+
+            /// Fused real TRSM block kernel at this ISA; see [`crate::trsm::trsm_ukr`].
+            ///
+            /// # Safety
+            /// As [`crate::trsm::trsm_ukr`]; additionally the host must
+            #[doc = concat!("support ", $isa, " (see the module contract).")]
+            #[target_feature($(enable = $feat),+)]
+            pub unsafe fn trsm_ukr<V: SimdReal, const MR: usize, const NR: usize>(
+                kk: usize,
+                pa_rect: *const V::Scalar,
+                a_i: usize,
+                a_k: usize,
+                pa_tri: *const V::Scalar,
+                panel: *mut V::Scalar,
+                row0: usize,
+                row_stride: usize,
+                col_stride: usize,
+            ) {
+                crate::trsm::trsm_ukr::<V, MR, NR>(kk, pa_rect, a_i, a_k, pa_tri, panel, row0, row_stride, col_stride)
+            }
+
+            /// Rect-only real TRSM kernel at this ISA; see [`crate::trsm::trsm_rect_ukr`].
+            ///
+            /// # Safety
+            /// As [`crate::trsm::trsm_rect_ukr`]; additionally the host must
+            #[doc = concat!("support ", $isa, " (see the module contract).")]
+            #[target_feature($(enable = $feat),+)]
+            pub unsafe fn trsm_rect_ukr<V: SimdReal, const MR: usize, const NR: usize>(
+                kk: usize,
+                pa_rect: *const V::Scalar,
+                a_i: usize,
+                a_k: usize,
+                pa_tri: *const V::Scalar,
+                panel: *mut V::Scalar,
+                row0: usize,
+                row_stride: usize,
+                col_stride: usize,
+            ) {
+                crate::trsm::trsm_rect_ukr::<V, MR, NR>(kk, pa_rect, a_i, a_k, pa_tri, panel, row0, row_stride, col_stride)
+            }
+
+            /// Fused complex TRSM block kernel at this ISA; see [`crate::trsm::ctrsm_ukr`].
+            ///
+            /// # Safety
+            /// As [`crate::trsm::ctrsm_ukr`]; additionally the host must
+            #[doc = concat!("support ", $isa, " (see the module contract).")]
+            #[target_feature($(enable = $feat),+)]
+            pub unsafe fn ctrsm_ukr<V: SimdReal, const MR: usize, const NR: usize>(
+                kk: usize,
+                pa_rect: *const V::Scalar,
+                a_i: usize,
+                a_k: usize,
+                pa_tri: *const V::Scalar,
+                panel: *mut V::Scalar,
+                row0: usize,
+                row_stride: usize,
+                col_stride: usize,
+            ) {
+                crate::trsm::ctrsm_ukr::<V, MR, NR>(kk, pa_rect, a_i, a_k, pa_tri, panel, row0, row_stride, col_stride)
+            }
+
+            /// Rect-only complex TRSM kernel at this ISA; see [`crate::trsm::ctrsm_rect_ukr`].
+            ///
+            /// # Safety
+            /// As [`crate::trsm::ctrsm_rect_ukr`]; additionally the host must
+            #[doc = concat!("support ", $isa, " (see the module contract).")]
+            #[target_feature($(enable = $feat),+)]
+            pub unsafe fn ctrsm_rect_ukr<V: SimdReal, const MR: usize, const NR: usize>(
+                kk: usize,
+                pa_rect: *const V::Scalar,
+                a_i: usize,
+                a_k: usize,
+                pa_tri: *const V::Scalar,
+                panel: *mut V::Scalar,
+                row0: usize,
+                row_stride: usize,
+                col_stride: usize,
+            ) {
+                crate::trsm::ctrsm_rect_ukr::<V, MR, NR>(kk, pa_rect, a_i, a_k, pa_tri, panel, row0, row_stride, col_stride)
+            }
+
+            /// Fused real TRMM block kernel at this ISA; see [`crate::trmm::trmm_ukr`].
+            ///
+            /// # Safety
+            /// As [`crate::trmm::trmm_ukr`]; additionally the host must
+            #[doc = concat!("support ", $isa, " (see the module contract).")]
+            #[target_feature($(enable = $feat),+)]
+            pub unsafe fn trmm_ukr<V: SimdReal, const MR: usize, const NR: usize>(
+                kk: usize,
+                alpha: V::Scalar,
+                pa_rect: *const V::Scalar,
+                a_i: usize,
+                a_k: usize,
+                pa_tri: *const V::Scalar,
+                panel: *mut V::Scalar,
+                row0: usize,
+                row_stride: usize,
+                col_stride: usize,
+            ) {
+                crate::trmm::trmm_ukr::<V, MR, NR>(kk, alpha, pa_rect, a_i, a_k, pa_tri, panel, row0, row_stride, col_stride)
+            }
+
+            /// Fused complex TRMM block kernel at this ISA; see [`crate::trmm::ctrmm_ukr`].
+            ///
+            /// # Safety
+            /// As [`crate::trmm::ctrmm_ukr`]; additionally the host must
+            #[doc = concat!("support ", $isa, " (see the module contract).")]
+            #[target_feature($(enable = $feat),+)]
+            pub unsafe fn ctrmm_ukr<V: SimdReal, const MR: usize, const NR: usize>(
+                kk: usize,
+                alpha: [V::Scalar; 2],
+                pa_rect: *const V::Scalar,
+                a_i: usize,
+                a_k: usize,
+                pa_tri: *const V::Scalar,
+                panel: *mut V::Scalar,
+                row0: usize,
+                row_stride: usize,
+                col_stride: usize,
+            ) {
+                crate::trmm::ctrmm_ukr::<V, MR, NR>(kk, alpha, pa_rect, a_i, a_k, pa_tri, panel, row0, row_stride, col_stride)
+            }
+        }
+    };
+}
+
+width_wrapper_mod!(avx2, "AVX2+FMA", "avx", "avx2", "fma");
+width_wrapper_mod!(avx512, "AVX-512F", "avx512f");
+
+#[cfg(test)]
+mod tests {
+    use iatf_simd::{width_available, SimdReal, VecWidth};
+
+    /// A 1×1 AVX2 GEMM tile through the wrapper must match the baseline
+    /// kernel bit for bit at its own width (same fused accumulation order).
+    #[test]
+    fn avx2_wrapper_matches_direct_body() {
+        if !width_available(VecWidth::W256) {
+            return;
+        }
+        use iatf_simd::F32x8;
+        const P: usize = 8;
+        let k = 3;
+        let pa: Vec<f32> = (0..k * P).map(|i| 0.25 + i as f32 * 0.5).collect();
+        let pb: Vec<f32> = (0..k * P).map(|i| 1.5 - i as f32 * 0.25).collect();
+        let mut c = vec![0.0f32; P];
+        // SAFETY: slivers hold `k` groups of `P` lanes each and the C tile one
+        // group; W256 availability was checked above, satisfying the wrapper's
+        // target-feature contract.
+        unsafe {
+            super::avx2::gemm_ukr::<F32x8, 1, 1>(
+                k, 1.0, 0.0, pa.as_ptr(), P, P, pb.as_ptr(), P, P, c.as_mut_ptr(), P, P,
+            );
+        }
+        for l in 0..P {
+            let mut want = 0.0f32;
+            for kk in 0..k {
+                want = pa[kk * P + l].mul_add(pb[kk * P + l], want);
+            }
+            assert_eq!(c[l], want, "lane {l}");
+        }
+        let _ = F32x8::LANES;
+    }
+}

@@ -5,7 +5,7 @@ use iatf_kernels::oracle;
 use iatf_kernels::table::{
     cplx_gemm_kernel, cplx_trsm_kernel, real_gemm_kernel, real_trsm_kernel,
 };
-use iatf_simd::{F32x4, F64x2, Real, SimdReal};
+use iatf_simd::{F32x4, F64x2, Real, SimdReal, VecWidth};
 use proptest::prelude::*;
 
 fn vecs(len: usize, seed: u64, scale: f64) -> Vec<f64> {
@@ -30,7 +30,7 @@ proptest! {
         let pb: Vec<f64> = vecs(k * nr * p, seed as u64 + 1, 1.0);
         let c0: Vec<f64> = vecs(mr * nr * p, seed as u64 + 2, 1.0);
         let mut c = c0.clone();
-        let kern = real_gemm_kernel::<f64>(mr, nr);
+        let kern = real_gemm_kernel::<f64>(VecWidth::W128, mr, nr);
         // SAFETY: the buffers above are sized exactly to the kernel's packed extents for the proptest-chosen (k, mr, nr, P), and the strides passed match that sizing.
         unsafe {
             kern(k, alpha, beta, pa.as_ptr(), p, mr * p, pb.as_ptr(), p, nr * p,
@@ -54,7 +54,7 @@ proptest! {
         let pbf: Vec<f32> = vecs(k * nr * p, seed as u64 + 1, 1.0).iter().map(|&x| x as f32).collect();
         let c0f: Vec<f32> = vecs(mr * nr * p, seed as u64 + 2, 1.0).iter().map(|&x| x as f32).collect();
         let mut c = c0f.clone();
-        let kern = real_gemm_kernel::<f32>(mr, nr);
+        let kern = real_gemm_kernel::<f32>(VecWidth::W128, mr, nr);
         // SAFETY: the buffers above are sized exactly to the kernel's packed extents for the proptest-chosen (k, mr, nr, P), and the strides passed match that sizing.
         unsafe {
             kern(k, 1.5, 0.5, paf.as_ptr(), p, mr * p, pbf.as_ptr(), p, nr * p,
@@ -81,7 +81,7 @@ proptest! {
         let pb: Vec<f64> = vecs(k * nr * g, seed as u64 + 1, 1.0);
         let c0: Vec<f64> = vecs(mr * nr * g, seed as u64 + 2, 1.0);
         let mut c = c0.clone();
-        let kern = cplx_gemm_kernel::<f64>(mr, nr);
+        let kern = cplx_gemm_kernel::<f64>(VecWidth::W128, mr, nr);
         // SAFETY: the buffers above are sized exactly to the kernel's packed extents for the proptest-chosen (k, mr, nr, P), and the strides passed match that sizing.
         unsafe {
             kern(k, [ar, ai], [0.5, -0.25], pa.as_ptr(), g, mr * g, pb.as_ptr(), g, nr * g,
@@ -122,7 +122,7 @@ proptest! {
         let row_stride = nr * p;
         let panel0: Vec<f64> = vecs(rows * nr * p, seed as u64 + 3, 1.0);
         let mut panel = panel0.clone();
-        let kern = real_trsm_kernel::<f64>(mr, nr);
+        let kern = real_trsm_kernel::<f64>(VecWidth::W128, mr, nr);
         // SAFETY: the buffers above are sized exactly to the kernel's packed extents for the proptest-chosen (k, mr, nr, P), and the strides passed match that sizing.
         unsafe {
             kern(kk, pa_rect.as_ptr(), p, mr * p, tri.as_ptr(),
@@ -170,7 +170,7 @@ proptest! {
         let panel064 = vecs(rows * nr * g, seed as u64 + 3, 1.0);
         let panel0: Vec<f32> = panel064.iter().map(|&x| x as f32).collect();
         let mut panel = panel0.clone();
-        let kern = cplx_trsm_kernel::<f32>(mr, nr);
+        let kern = cplx_trsm_kernel::<f32>(VecWidth::W128, mr, nr);
         // SAFETY: the buffers above are sized exactly to the kernel's packed extents for the proptest-chosen (k, mr, nr, P), and the strides passed match that sizing.
         unsafe {
             kern(kk, pa_rect.as_ptr(), g, mr * g, tri.as_ptr(),

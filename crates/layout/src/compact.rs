@@ -1,11 +1,19 @@
 //! The SIMD-friendly compact data layout (paper §4.1, Figure 3).
 //!
 //! A [`CompactBatch`] stores a group of same-sized matrices in *packs* of
-//! `P = Element::P` consecutive matrices. Within a pack the matrix is
-//! column-major, but each "element" is an *element group* of `P` scalars —
-//! lane `l` belongs to matrix `pack·P + l`. Loading one element group with a
-//! single 128-bit vector load yields the same `(i, j)` element of `P`
-//! matrices, so every SIMD arithmetic instruction advances `P` problems.
+//! `P` consecutive matrices, where `P` is the interleaving factor of the
+//! batch's **vector width** — a runtime property
+//! ([`CompactBatch::width`]), not a compile-time constant. Within a pack
+//! the matrix is column-major, but each "element" is an *element group* of
+//! `P` scalars — lane `l` belongs to matrix `pack·P + l`. Loading one
+//! element group with a single vector load of that width yields the same
+//! `(i, j)` element of `P` matrices, so every SIMD arithmetic instruction
+//! advances `P` problems. The paper fixes `P` at the NEON lane count
+//! (128-bit); this crate scales it with the dispatched backend — 8/16
+//! `f32` lanes on AVX2/AVX-512 hosts — via
+//! [`iatf_simd::dispatched_width`]. [`CompactBatch::zeroed`] and
+//! [`CompactBatch::from_std`] lay out at the dispatched width; the `_at`
+//! constructors pin an explicit width (tests, cross-width comparisons).
 //!
 //! Complex matrices use the split representation: an element group is `2·P`
 //! scalars — `P` real parts followed by `P` imaginary parts (two vector
@@ -18,7 +26,7 @@
 //! [`CompactBatch::pad_triangle_identity`].
 
 use crate::std_batch::StdBatch;
-use iatf_simd::{Element, Real};
+use iatf_simd::{dispatched_width, Element, Real, VecWidth};
 
 /// A group of matrices in the SIMD-friendly compact layout.
 #[derive(Clone, Debug, PartialEq)]
@@ -26,29 +34,42 @@ pub struct CompactBatch<E: Element> {
     rows: usize,
     cols: usize,
     count: usize,
+    width: VecWidth,
     data: Vec<E::Real>,
 }
 
 impl<E: Element> CompactBatch<E> {
-    /// Scalars in one element group (`P` for real, `2·P` for complex).
-    pub const GROUP: usize = E::P * E::SCALARS;
-
     /// Allocates a zero-filled compact batch for `count` matrices of shape
-    /// `rows × cols`.
+    /// `rows × cols`, laid out at the process-wide dispatched width.
     pub fn zeroed(rows: usize, cols: usize, count: usize) -> Self {
-        let packs = count.div_ceil(E::P);
+        Self::zeroed_at(rows, cols, count, dispatched_width())
+    }
+
+    /// Allocates a zero-filled compact batch laid out at an explicit
+    /// vector width.
+    pub fn zeroed_at(rows: usize, cols: usize, count: usize, width: VecWidth) -> Self {
+        let p = E::p_at(width);
+        let packs = count.div_ceil(p);
         Self {
             rows,
             cols,
             count,
-            data: vec![E::Real::default(); packs * rows * cols * Self::GROUP],
+            width,
+            data: vec![E::Real::default(); packs * rows * cols * p * E::SCALARS],
         }
     }
 
     /// Converts a standard batch into the compact layout (the MKL-compact
-    /// "pack into compact format" operation). Padding lanes are zero.
+    /// "pack into compact format" operation) at the dispatched width.
+    /// Padding lanes are zero.
     pub fn from_std(src: &StdBatch<E>) -> Self {
-        let mut dst = Self::zeroed(src.rows(), src.cols(), src.count());
+        Self::from_std_at(src, dispatched_width())
+    }
+
+    /// Converts a standard batch into the compact layout at an explicit
+    /// vector width.
+    pub fn from_std_at(src: &StdBatch<E>, width: VecWidth) -> Self {
+        let mut dst = Self::zeroed_at(src.rows(), src.cols(), src.count(), width);
         for v in 0..src.count() {
             for j in 0..src.cols() {
                 for i in 0..src.rows() {
@@ -95,36 +116,54 @@ impl<E: Element> CompactBatch<E> {
         self.count
     }
 
+    /// The vector width this batch is laid out for.
+    pub fn width(&self) -> VecWidth {
+        self.width
+    }
+
+    /// Interleaving factor: matrices per pack (lanes per element group).
+    #[inline]
+    pub fn p(&self) -> usize {
+        E::p_at(self.width)
+    }
+
+    /// Scalars in one element group (`P` for real, `2·P` for complex).
+    #[inline]
+    pub fn group(&self) -> usize {
+        self.p() * E::SCALARS
+    }
+
     /// Number of packs (`⌈count / P⌉`).
     pub fn packs(&self) -> usize {
-        self.count.div_ceil(E::P)
+        self.count.div_ceil(self.p())
     }
 
     /// Scalars from one pack to the next.
     pub fn pack_stride(&self) -> usize {
-        self.rows * self.cols * Self::GROUP
+        self.rows * self.cols * self.group()
     }
 
     /// Scalars from one column to the next within a pack.
     pub fn col_stride(&self) -> usize {
-        self.rows * Self::GROUP
+        self.rows * self.group()
     }
 
     /// Scalar offset of element group `(i, j)` of pack `p`.
     #[inline]
     pub fn group_offset(&self, pack: usize, i: usize, j: usize) -> usize {
         debug_assert!(pack < self.packs() && i < self.rows && j < self.cols);
-        pack * self.pack_stride() + (j * self.rows + i) * Self::GROUP
+        pack * self.pack_stride() + (j * self.rows + i) * self.group()
     }
 
     /// Element `(i, j)` of matrix `v`.
     #[inline]
     pub fn get(&self, v: usize, i: usize, j: usize) -> E {
         debug_assert!(v < self.count);
-        let base = self.group_offset(v / E::P, i, j) + (v % E::P);
+        let p = self.p();
+        let base = self.group_offset(v / p, i, j) + (v % p);
         if E::IS_COMPLEX {
             let re = self.data[base];
-            let im = self.data[base + E::P];
+            let im = self.data[base + p];
             E::from_f64s(re.to_f64(), im.to_f64())
         } else {
             E::from_f64s(self.data[base].to_f64(), 0.0)
@@ -135,10 +174,10 @@ impl<E: Element> CompactBatch<E> {
     #[inline]
     pub fn set(&mut self, v: usize, i: usize, j: usize, x: E) {
         debug_assert!(v < self.count);
-        let base = self.group_offset(v / E::P, i, j) + (v % E::P);
+        let p = self.p();
+        let base = self.group_offset(v / p, i, j) + (v % p);
         self.data[base] = x.re();
         if E::IS_COMPLEX {
-            let p = E::P;
             self.data[base + p] = x.im();
         }
     }
@@ -182,7 +221,8 @@ impl<E: Element> CompactBatch<E> {
 
     /// Number of padding lanes in the final pack (0 when `count % P == 0`).
     pub fn padding_lanes(&self) -> usize {
-        (E::P - self.count % E::P) % E::P
+        let p = self.p();
+        (p - self.count % p) % p
     }
 
     /// Sets the diagonal of every *padding lane* to one (identity matrix in
@@ -197,21 +237,23 @@ impl<E: Element> CompactBatch<E> {
         if pad == 0 {
             return;
         }
+        let p = self.p();
         let pack = self.packs() - 1;
         let d = self.rows.min(self.cols);
         for i in 0..d {
             let base = self.group_offset(pack, i, i);
-            for lane in (E::P - pad)..E::P {
+            for lane in (p - pad)..p {
                 self.data[base + lane] = <E::Real as iatf_simd::Real>::ONE;
                 if E::IS_COMPLEX {
-                    self.data[base + E::P + lane] = E::Real::default();
+                    self.data[base + p + lane] = E::Real::default();
                 }
             }
         }
     }
 
     /// Largest absolute difference to another compact batch over logical
-    /// matrices (padding excluded).
+    /// matrices (padding excluded). The batches may be laid out at
+    /// different widths — comparison is by logical element.
     pub fn max_abs_diff(&self, other: &Self) -> f64 {
         assert_eq!((self.rows, self.cols, self.count), (other.rows, other.cols, other.count));
         let mut worst = 0.0f64;
@@ -236,9 +278,10 @@ mod tests {
     fn group_offsets_match_figure3() {
         // Figure 3: 3×3 f32 matrices on a 128-bit unit → P = 4. The first
         // element group holds (0,0) of matrices 0..4, the next group is
-        // (1,0) — column-major within the pack.
-        let b = CompactBatch::<f32>::zeroed(3, 3, 8);
-        assert_eq!(CompactBatch::<f32>::GROUP, 4);
+        // (1,0) — column-major within the pack. Pinned to W128 so the
+        // offsets stay the paper's regardless of the host's dispatch.
+        let b = CompactBatch::<f32>::zeroed_at(3, 3, 8, VecWidth::W128);
+        assert_eq!(b.group(), 4);
         assert_eq!(b.group_offset(0, 0, 0), 0);
         assert_eq!(b.group_offset(0, 1, 0), 4);
         assert_eq!(b.group_offset(0, 0, 1), 12);
@@ -248,8 +291,8 @@ mod tests {
 
     #[test]
     fn complex_group_is_split() {
-        let mut b = CompactBatch::<c64>::zeroed(2, 2, 2);
-        assert_eq!(CompactBatch::<c64>::GROUP, 4);
+        let mut b = CompactBatch::<c64>::zeroed_at(2, 2, 2, VecWidth::W128);
+        assert_eq!(b.group(), 4);
         b.set(0, 1, 1, c64::new(3.0, -4.0));
         b.set(1, 1, 1, c64::new(5.0, 6.0));
         let base = b.group_offset(0, 1, 1);
@@ -260,7 +303,7 @@ mod tests {
     #[test]
     fn lanes_interleave_consecutive_matrices() {
         let src = StdBatch::<f32>::from_fn(2, 2, 6, |v, i, j| (v * 100 + i * 10 + j) as f32);
-        let c = CompactBatch::from_std(&src);
+        let c = CompactBatch::from_std_at(&src, VecWidth::W128);
         // element (0,0): lanes are matrices 0..4
         let base = c.group_offset(0, 0, 0);
         assert_eq!(&c.as_scalars()[base..base + 4], &[0.0, 100.0, 200.0, 300.0]);
@@ -271,17 +314,49 @@ mod tests {
     }
 
     #[test]
-    fn round_trip_all_types() {
-        fn check<E: Element>() {
+    fn round_trip_all_types_all_widths() {
+        fn check<E: Element>(width: VecWidth) {
             let src = StdBatch::<E>::random(5, 3, 7, 99);
-            let compact = CompactBatch::from_std(&src);
+            let compact = CompactBatch::from_std_at(&src, width);
+            assert_eq!(compact.width(), width);
             let back = compact.to_std();
-            assert_eq!(src.max_abs_diff(&back), 0.0, "{:?}", E::DTYPE);
+            assert_eq!(src.max_abs_diff(&back), 0.0, "{:?} {width:?}", E::DTYPE);
         }
-        check::<f32>();
-        check::<f64>();
-        check::<c32>();
-        check::<c64>();
+        for width in VecWidth::ALL {
+            check::<f32>(width);
+            check::<f64>(width);
+            check::<c32>(width);
+            check::<c64>(width);
+        }
+    }
+
+    #[test]
+    fn default_constructors_use_dispatched_width() {
+        let b = CompactBatch::<f64>::zeroed(2, 2, 2);
+        assert_eq!(b.width(), dispatched_width());
+        assert_eq!(b.p(), f64::p_at(dispatched_width()));
+    }
+
+    #[test]
+    fn wider_layout_scales_group_geometry() {
+        let narrow = CompactBatch::<f32>::zeroed_at(3, 3, 20, VecWidth::W128);
+        let wide = CompactBatch::<f32>::zeroed_at(3, 3, 20, VecWidth::W512);
+        assert_eq!(narrow.p(), 4);
+        assert_eq!(wide.p(), 16);
+        assert_eq!(narrow.packs(), 5);
+        assert_eq!(wide.packs(), 2);
+        assert_eq!(wide.pack_stride(), 4 * narrow.pack_stride());
+        assert_eq!(wide.padding_lanes(), 12);
+    }
+
+    #[test]
+    fn cross_width_values_agree() {
+        let src = StdBatch::<c32>::random(4, 3, 9, 5);
+        let a = CompactBatch::from_std_at(&src, VecWidth::W128);
+        let b = CompactBatch::from_std_at(&src, VecWidth::W256);
+        // different physical layout, identical logical contents
+        assert_ne!(a.pack_stride(), b.pack_stride());
+        assert_eq!(a.max_abs_diff(&b), 0.0);
     }
 
     #[test]
@@ -295,7 +370,8 @@ mod tests {
 
     #[test]
     fn pad_triangle_identity_sets_dead_lanes() {
-        let mut b = CompactBatch::<f64>::zeroed(3, 3, 3); // P=2 → 1 padding lane
+        // P=2 → 1 padding lane
+        let mut b = CompactBatch::<f64>::zeroed_at(3, 3, 3, VecWidth::W128);
         assert_eq!(b.padding_lanes(), 1);
         b.pad_triangle_identity();
         for i in 0..3 {
@@ -310,7 +386,7 @@ mod tests {
 
     #[test]
     fn strides_consistent() {
-        let b = CompactBatch::<c64>::zeroed(4, 6, 10);
+        let b = CompactBatch::<c64>::zeroed_at(4, 6, 10, VecWidth::W128);
         assert_eq!(b.pack_stride(), 4 * 6 * 4);
         assert_eq!(b.col_stride(), 4 * 4);
         assert_eq!(

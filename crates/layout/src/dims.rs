@@ -26,6 +26,18 @@ pub enum LayoutError {
     },
     /// A dimension is zero where the operation requires it positive.
     EmptyDimension(&'static str),
+    /// An operand batch was laid out at a different vector width than the
+    /// plan was built for. Group geometry (lanes per element group) differs
+    /// between widths, so executing would misread every element; re-lay the
+    /// batch out at the plan's width, or plan at the batch's width.
+    WidthMismatch {
+        /// Operand name.
+        operand: &'static str,
+        /// Width the plan was built for.
+        expected: iatf_simd::VecWidth,
+        /// Width the operand batch is laid out at.
+        got: iatf_simd::VecWidth,
+    },
 }
 
 impl fmt::Display for LayoutError {
@@ -49,6 +61,16 @@ impl fmt::Display for LayoutError {
                 "operand {operand}: expected batch of {expected} matrices, got {got}"
             ),
             LayoutError::EmptyDimension(d) => write!(f, "dimension {d} must be positive"),
+            LayoutError::WidthMismatch {
+                operand,
+                expected,
+                got,
+            } => write!(
+                f,
+                "operand {operand}: laid out at {}-bit vector width, plan built for {}-bit",
+                got.name(),
+                expected.name()
+            ),
         }
     }
 }

@@ -30,6 +30,12 @@ pub struct PlanExplain {
     pub count: usize,
     /// Interleave width `P` (matrices per pack).
     pub p: usize,
+    /// Vector width in bits the plan's kernels run at (0 for the scalar
+    /// reference backend).
+    pub width_bits: usize,
+    /// Kernel-registry microarchitecture tag (e.g. `"x86_64-avx2"`) the
+    /// plan drew its kernel tables from.
+    pub uarch: String,
     /// Number of packs (`⌈count / P⌉`).
     pub packs: usize,
     /// Packs per super-block chosen by the Batch Counter.
@@ -171,6 +177,8 @@ impl PlanExplain {
             .set("mode", self.mode.as_str())
             .set("count", self.count)
             .set("p", self.p)
+            .set("width_bits", self.width_bits)
+            .set("uarch", self.uarch.as_str())
             .set("packs", self.packs)
             .set("group_packs", self.group_packs)
             .set(
@@ -211,9 +219,9 @@ impl PlanExplain {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{} {}  {}x{}x{}  mode={}  count={} (P={}, packs={}, group={})",
+            "{} {}  {}x{}x{}  mode={}  count={} (P={}, packs={}, group={}, {}-bit {})",
             self.op, self.dtype, self.m, self.n, self.k, self.mode, self.count, self.p,
-            self.packs, self.group_packs,
+            self.packs, self.group_packs, self.width_bits, self.uarch,
         );
         let _ = writeln!(
             out,
@@ -278,6 +286,8 @@ mod tests {
             mode: "NN".into(),
             count: 7,
             p: 2,
+            width_bits: 128,
+            uarch: "x86_64-sse2".into(),
             packs: 4,
             group_packs: 2,
             main_kernel: (4, 4),

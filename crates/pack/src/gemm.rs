@@ -5,13 +5,18 @@
 //!
 //! * **A panel** — row tiles of height ≤ `m_r` in row order ("N-shape": the
 //!   panel walks down A's rows, and within a tile across K). Tile starting
-//!   at row `i0` begins at scalar offset `i0 · K · GROUP`; inside, sliver
+//!   at row `i0` begins at scalar offset `i0 · K · g`; inside, sliver
 //!   `k` holds the tile's `h` element groups contiguously
-//!   (`a_i = GROUP`, `a_k = h·GROUP`).
+//!   (`a_i = g`, `a_k = h·g`).
 //! * **B panel** — column tiles of width ≤ `n_r` ("Z-shape": across the
 //!   columns of a tile, then down K). Tile at column `j0` begins at
-//!   `j0 · K · GROUP`; sliver `k` holds `w` groups
-//!   (`b_j = GROUP`, `b_k = w·GROUP`).
+//!   `j0 · K · g`; sliver `k` holds `w` groups (`b_j = g`, `b_k = w·g`).
+//!
+//! Here `g = p · SCALARS` is the element-group size and `p` the
+//! interleaving factor of the batch's vector width — a *runtime* value
+//! ([`CompactBatch::p`]), so the same packers serve 128/256/512-bit
+//! layouts. The pure-geometry helpers take `p` explicitly; the data movers
+//! read it off the source batch.
 //!
 //! Transposition (and complex conjugation) happen during the gather, so the
 //! computing kernel is mode-oblivious.
@@ -19,32 +24,38 @@
 use iatf_layout::{CompactBatch, Trans};
 use iatf_simd::Element;
 
-/// Scalar length of a packed A panel for an `m × k` operand.
-pub fn panel_a_len<E: Element>(m: usize, k: usize) -> usize {
-    m * k * CompactBatch::<E>::GROUP
+/// Element-group size for interleaving factor `p`.
+#[inline]
+pub fn group_len<E: Element>(p: usize) -> usize {
+    p * E::SCALARS
+}
+
+/// Scalar length of a packed A panel for an `m × k` operand at
+/// interleaving factor `p`.
+pub fn panel_a_len<E: Element>(p: usize, m: usize, k: usize) -> usize {
+    m * k * group_len::<E>(p)
 }
 
 /// Scalar length of a packed B panel for a `k × n` operand.
-pub fn panel_b_len<E: Element>(k: usize, n: usize) -> usize {
-    k * n * CompactBatch::<E>::GROUP
+pub fn panel_b_len<E: Element>(p: usize, k: usize, n: usize) -> usize {
+    k * n * group_len::<E>(p)
 }
 
 /// Scalar offset of the A tile starting at op-row `i0`.
-pub fn a_tile_offset<E: Element>(i0: usize, k: usize) -> usize {
-    i0 * k * CompactBatch::<E>::GROUP
+pub fn a_tile_offset<E: Element>(p: usize, i0: usize, k: usize) -> usize {
+    i0 * k * group_len::<E>(p)
 }
 
 /// Scalar offset of the B tile starting at op-column `j0`.
-pub fn b_tile_offset<E: Element>(j0: usize, k: usize) -> usize {
-    j0 * k * CompactBatch::<E>::GROUP
+pub fn b_tile_offset<E: Element>(p: usize, j0: usize, k: usize) -> usize {
+    j0 * k * group_len::<E>(p)
 }
 
 #[inline]
-fn conj_groups<E: Element>(dst: &mut [E::Real]) {
+fn conj_groups<E: Element>(p: usize, dst: &mut [E::Real]) {
     if !E::IS_COMPLEX {
         return;
     }
-    let p = E::P;
     for group in dst.chunks_exact_mut(2 * p) {
         for x in &mut group[p..] {
             *x = -*x;
@@ -55,7 +66,8 @@ fn conj_groups<E: Element>(dst: &mut [E::Real]) {
 /// Packs one pack's A operand into N-shaped panels.
 ///
 /// `m`/`k` are the dimensions of `op(A)`; `mr` is the tile height (the main
-/// kernel's `m_r`). `conj` conjugates complex data during the copy.
+/// kernel's `m_r`). `conj` conjugates complex data during the copy. Group
+/// geometry comes from `src` (its vector width).
 #[allow(clippy::too_many_arguments)]
 pub fn pack_a<E: Element>(
     dst: &mut [E::Real],
@@ -67,10 +79,10 @@ pub fn pack_a<E: Element>(
     m: usize,
     k: usize,
 ) {
-    let g = CompactBatch::<E>::GROUP;
+    let g = src.group();
     let rows = src.rows();
     let sp = src.pack_slice(pack);
-    debug_assert!(dst.len() >= panel_a_len::<E>(m, k));
+    debug_assert!(dst.len() >= panel_a_len::<E>(src.p(), m, k));
 
     let mut out = 0usize;
     let mut i0 = 0usize;
@@ -99,7 +111,7 @@ pub fn pack_a<E: Element>(
         }
         let tile = &mut dst[out - h * k * g..out];
         if conj {
-            conj_groups::<E>(tile);
+            conj_groups::<E>(src.p(), tile);
         }
         i0 += h;
     }
@@ -119,10 +131,10 @@ pub fn pack_b<E: Element>(
     k: usize,
     n: usize,
 ) {
-    let g = CompactBatch::<E>::GROUP;
+    let g = src.group();
     let rows = src.rows();
     let sp = src.pack_slice(pack);
-    debug_assert!(dst.len() >= panel_b_len::<E>(k, n));
+    debug_assert!(dst.len() >= panel_b_len::<E>(src.p(), k, n));
 
     let mut out = 0usize;
     let mut j0 = 0usize;
@@ -150,7 +162,7 @@ pub fn pack_b<E: Element>(
         }
         let tile = &mut dst[out - w * k * g..out];
         if conj {
-            conj_groups::<E>(tile);
+            conj_groups::<E>(src.p(), tile);
         }
         j0 += w;
     }
@@ -170,9 +182,9 @@ pub struct DirectAccess {
 }
 
 /// Direct-access strides for `op(A)` stored as a `rows × cols` compact
-/// matrix.
-pub fn direct_a<E: Element>(trans: Trans, rows: usize) -> DirectAccess {
-    let g = CompactBatch::<E>::GROUP;
+/// matrix at interleaving factor `p`.
+pub fn direct_a<E: Element>(p: usize, trans: Trans, rows: usize) -> DirectAccess {
+    let g = group_len::<E>(p);
     match trans {
         Trans::No => DirectAccess {
             tile_scale: g,
@@ -188,9 +200,9 @@ pub fn direct_a<E: Element>(trans: Trans, rows: usize) -> DirectAccess {
 }
 
 /// Direct-access strides for `op(B)` stored as a `rows × cols` compact
-/// matrix.
-pub fn direct_b<E: Element>(trans: Trans, rows: usize) -> DirectAccess {
-    let g = CompactBatch::<E>::GROUP;
+/// matrix at interleaving factor `p`.
+pub fn direct_b<E: Element>(p: usize, trans: Trans, rows: usize) -> DirectAccess {
+    let g = group_len::<E>(p);
     match trans {
         Trans::No => DirectAccess {
             tile_scale: rows * g,
@@ -209,7 +221,7 @@ pub fn direct_b<E: Element>(trans: Trans, rows: usize) -> DirectAccess {
 mod tests {
     use super::*;
     use iatf_layout::StdBatch;
-    use iatf_simd::{c32, c64, Element, Real};
+    use iatf_simd::{c32, c64, Element, Real, VecWidth};
 
     /// Scalar view of op(A)(i, kk) for logical matrix v.
     fn op_elem<E: Element>(
@@ -231,16 +243,24 @@ mod tests {
         }
     }
 
-    fn check_pack_a<E: Element>(m: usize, k: usize, mr: usize, trans: Trans, conj: bool) {
+    fn check_pack_a<E: Element>(
+        width: VecWidth,
+        m: usize,
+        k: usize,
+        mr: usize,
+        trans: Trans,
+        conj: bool,
+    ) {
         let (rows, cols) = match trans {
             Trans::No => (m, k),
             Trans::Yes => (k, m),
         };
-        let count = E::P + 1; // force a padded pack too
+        let p = E::p_at(width);
+        let count = p + 1; // force a padded pack too
         let std = StdBatch::<E>::random(rows, cols, count, 42);
-        let compact = CompactBatch::from_std(&std);
-        let g = CompactBatch::<E>::GROUP;
-        let mut dst = vec![E::Real::ZERO; panel_a_len::<E>(m, k)];
+        let compact = CompactBatch::from_std_at(&std, width);
+        let g = compact.group();
+        let mut dst = vec![E::Real::ZERO; panel_a_len::<E>(p, m, k)];
         for pack in 0..compact.packs() {
             pack_a(&mut dst, &compact, pack, trans, conj, mr, m, k);
             // walk the panel layout and compare each lane
@@ -250,8 +270,8 @@ mod tests {
                 let h = mr.min(m - i0);
                 for kk in 0..k {
                     for i in 0..h {
-                        for lane in 0..E::P {
-                            let v = pack * E::P + lane;
+                        for lane in 0..p {
+                            let v = pack * p + lane;
                             let (want_re, want_im) = if v < count {
                                 let e = op_elem(&std, v, trans, conj, i0 + i, kk);
                                 (e.re().to_f64(), e.im().to_f64())
@@ -261,7 +281,7 @@ mod tests {
                             let got_re = dst[off + lane].to_f64();
                             assert_eq!(got_re, want_re, "re {trans:?} i={} k={kk}", i0 + i);
                             if E::IS_COMPLEX {
-                                let got_im = dst[off + E::P + lane].to_f64();
+                                let got_im = dst[off + p + lane].to_f64();
                                 assert_eq!(got_im, want_im, "im {trans:?}");
                             }
                         }
@@ -273,16 +293,24 @@ mod tests {
         }
     }
 
-    fn check_pack_b<E: Element>(k: usize, n: usize, nr: usize, trans: Trans, conj: bool) {
+    fn check_pack_b<E: Element>(
+        width: VecWidth,
+        k: usize,
+        n: usize,
+        nr: usize,
+        trans: Trans,
+        conj: bool,
+    ) {
         let (rows, cols) = match trans {
             Trans::No => (k, n),
             Trans::Yes => (n, k),
         };
-        let count = 2 * E::P;
+        let p = E::p_at(width);
+        let count = 2 * p;
         let std = StdBatch::<E>::random(rows, cols, count, 7);
-        let compact = CompactBatch::from_std(&std);
-        let g = CompactBatch::<E>::GROUP;
-        let mut dst = vec![E::Real::ZERO; panel_b_len::<E>(k, n)];
+        let compact = CompactBatch::from_std_at(&std, width);
+        let g = compact.group();
+        let mut dst = vec![E::Real::ZERO; panel_b_len::<E>(p, k, n)];
         for pack in 0..compact.packs() {
             pack_b(&mut dst, &compact, pack, trans, conj, nr, k, n);
             let mut j0 = 0;
@@ -291,15 +319,15 @@ mod tests {
                 let w = nr.min(n - j0);
                 for kk in 0..k {
                     for j in 0..w {
-                        for lane in 0..E::P {
-                            let v = pack * E::P + lane;
+                        for lane in 0..p {
+                            let v = pack * p + lane;
                             // op(B)(kk, j): trans=No reads stored (kk, j),
                             // i.e. the flipped index order of op_elem.
                             let e = op_elem(&std, v, trans.flip(), conj, j0 + j, kk);
                             let got = dst[off + lane].to_f64();
                             assert_eq!(got, e.re().to_f64(), "B {trans:?} j={} k={kk}", j0 + j);
                             if E::IS_COMPLEX {
-                                assert_eq!(dst[off + E::P + lane].to_f64(), e.im().to_f64());
+                                assert_eq!(dst[off + p + lane].to_f64(), e.im().to_f64());
                             }
                         }
                         off += g;
@@ -312,46 +340,52 @@ mod tests {
 
     #[test]
     fn pack_a_all_modes_real() {
-        for trans in Trans::ALL {
-            check_pack_a::<f32>(7, 5, 4, trans, false);
-            check_pack_a::<f64>(4, 9, 4, trans, false);
-            check_pack_a::<f64>(1, 1, 4, trans, false);
-            check_pack_a::<f32>(13, 3, 4, trans, false);
+        for width in VecWidth::ALL {
+            for trans in Trans::ALL {
+                check_pack_a::<f32>(width, 7, 5, 4, trans, false);
+                check_pack_a::<f64>(width, 4, 9, 4, trans, false);
+                check_pack_a::<f64>(width, 1, 1, 4, trans, false);
+                check_pack_a::<f32>(width, 13, 3, 4, trans, false);
+            }
         }
     }
 
     #[test]
     fn pack_a_complex_with_conjugation() {
-        for trans in Trans::ALL {
-            for conj in [false, true] {
-                check_pack_a::<c32>(5, 4, 3, trans, conj);
-                check_pack_a::<c64>(6, 3, 3, trans, conj);
+        for width in VecWidth::ALL {
+            for trans in Trans::ALL {
+                for conj in [false, true] {
+                    check_pack_a::<c32>(width, 5, 4, 3, trans, conj);
+                    check_pack_a::<c64>(width, 6, 3, 3, trans, conj);
+                }
             }
         }
     }
 
     #[test]
     fn pack_b_all_modes() {
-        for trans in Trans::ALL {
-            check_pack_b::<f32>(5, 7, 4, trans, false);
-            check_pack_b::<f64>(9, 4, 4, trans, false);
-            check_pack_b::<c64>(3, 5, 2, trans, true);
-            check_pack_b::<c32>(4, 2, 2, trans, false);
+        for width in VecWidth::ALL {
+            for trans in Trans::ALL {
+                check_pack_b::<f32>(width, 5, 7, 4, trans, false);
+                check_pack_b::<f64>(width, 9, 4, 4, trans, false);
+                check_pack_b::<c64>(width, 3, 5, 2, trans, true);
+                check_pack_b::<c32>(width, 4, 2, 2, trans, false);
+            }
         }
     }
 
     #[test]
     fn direct_strides_address_same_elements() {
         // Reading through DirectAccess must reproduce op(A)(i, kk).
+        // Pinned to W128 (P=2 for f64) so lane indexing stays explicit.
         let std = StdBatch::<f64>::random(5, 4, 2, 9);
-        let compact = CompactBatch::from_std(&std);
-        let g = CompactBatch::<f64>::GROUP;
+        let compact = CompactBatch::from_std_at(&std, VecWidth::W128);
         for trans in Trans::ALL {
             let (m, k) = match trans {
                 Trans::No => (5usize, 4usize),
                 Trans::Yes => (4, 5),
             };
-            let acc = direct_a::<f64>(trans, compact.rows());
+            let acc = direct_a::<f64>(compact.p(), trans, compact.rows());
             let sp = compact.pack_slice(0);
             for i0 in 0..m {
                 for kk in 0..k {
@@ -365,20 +399,19 @@ mod tests {
                     }
                 }
             }
-            let _ = g;
         }
     }
 
     #[test]
     fn direct_b_strides_address_same_elements() {
         let std = StdBatch::<f32>::random(3, 6, 4, 21);
-        let compact = CompactBatch::from_std(&std);
+        let compact = CompactBatch::from_std_at(&std, VecWidth::W128);
         for trans in Trans::ALL {
             let (k, n) = match trans {
                 Trans::No => (3usize, 6usize),
                 Trans::Yes => (6, 3),
             };
-            let acc = direct_b::<f32>(trans, compact.rows());
+            let acc = direct_b::<f32>(compact.p(), trans, compact.rows());
             let sp = compact.pack_slice(0);
             for j0 in 0..n {
                 for kk in 0..k {
@@ -397,9 +430,11 @@ mod tests {
 
     #[test]
     fn tile_offsets() {
-        assert_eq!(a_tile_offset::<f32>(4, 7), 4 * 7 * 4);
-        assert_eq!(b_tile_offset::<c64>(2, 5), 2 * 5 * 4);
-        assert_eq!(panel_a_len::<f64>(3, 4), 24);
-        assert_eq!(panel_b_len::<c32>(3, 4), 96);
+        assert_eq!(a_tile_offset::<f32>(4, 4, 7), 4 * 7 * 4);
+        assert_eq!(a_tile_offset::<f32>(8, 4, 7), 4 * 7 * 8);
+        assert_eq!(b_tile_offset::<c64>(2, 2, 5), 2 * 5 * 4);
+        assert_eq!(panel_a_len::<f64>(2, 3, 4), 24);
+        assert_eq!(panel_a_len::<f64>(8, 3, 4), 96);
+        assert_eq!(panel_b_len::<c32>(4, 3, 4), 96);
     }
 }

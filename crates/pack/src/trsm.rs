@@ -23,8 +23,13 @@
 //! as its reciprocal" (§4.4). `Diag::Unit` packs reciprocal 1 and never
 //! reads the stored diagonal. The α of `op(A)·X = α·B` is applied while
 //! packing B.
+//!
+//! These packers work on raw pack slices, so the interleaving factor `p`
+//! (lanes per element group — a property of the batch's vector width) is an
+//! explicit parameter throughout; callers pass `CompactBatch::p()`.
 
-use iatf_layout::{CompactBatch, Diag, Side, Trans, TrsmMode, Uplo};
+use crate::gemm::group_len;
+use iatf_layout::{Diag, Side, Trans, TrsmMode, Uplo};
 use iatf_simd::{Element, Real};
 
 /// Canonicalizing index map for one TRSM problem.
@@ -110,11 +115,12 @@ pub struct ABlockLayout {
 }
 
 /// Computes the packed-A layout for a block decomposition and the total
-/// buffer length in scalars. `blocks` are `(r0, mb)` pairs in row order
-/// (N-shaped: by the time block `b` is packed/consumed, all rows above it
-/// already are — paper §4.4's requirement for the solve ordering).
-pub fn a_layout<E: Element>(blocks: &[(usize, usize)]) -> (Vec<ABlockLayout>, usize) {
-    let g = CompactBatch::<E>::GROUP;
+/// buffer length in scalars, at interleaving factor `p`. `blocks` are
+/// `(r0, mb)` pairs in row order (N-shaped: by the time block `b` is
+/// packed/consumed, all rows above it already are — paper §4.4's
+/// requirement for the solve ordering).
+pub fn a_layout<E: Element>(p: usize, blocks: &[(usize, usize)]) -> (Vec<ABlockLayout>, usize) {
+    let g = group_len::<E>(p);
     let mut out = Vec::with_capacity(blocks.len());
     let mut off = 0usize;
     for &(r0, mb) in blocks {
@@ -155,17 +161,18 @@ pub fn block_decomposition(t: usize, tb: usize, t_max: usize) -> Vec<(usize, usi
 
 #[inline]
 fn write_group<E: Element>(
+    p: usize,
     dst: &mut [E::Real],
     src_pack: &[E::Real],
     rows: usize,
     (r, c): (usize, usize),
     conj: bool,
 ) {
-    let g = CompactBatch::<E>::GROUP;
+    let g = group_len::<E>(p);
     let s = (c * rows + r) * g;
     dst[..g].copy_from_slice(&src_pack[s..s + g]);
     if conj && E::IS_COMPLEX {
-        for x in &mut dst[E::P..g] {
+        for x in &mut dst[p..g] {
             *x = -*x;
         }
     }
@@ -177,6 +184,7 @@ fn write_group<E: Element>(
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn write_diag_group<E: Element>(
+    p: usize,
     dst: &mut [E::Real],
     src_pack: &[E::Real],
     rows: usize,
@@ -186,7 +194,6 @@ fn write_diag_group<E: Element>(
     conj: bool,
     recip: bool,
 ) {
-    let p = E::P;
     let s = (c * rows + r) * p * E::SCALARS;
     for lane in 0..p {
         if unit || lane >= live {
@@ -219,42 +226,47 @@ fn write_diag_group<E: Element>(
 }
 
 /// Packs one pack of the TRSM coefficient matrix (given as its scalar
-/// slice `sp` with `rows` stored rows) into block layout: per
-/// block, the rectangular strip (K-major `mb`-group slivers) followed by the
-/// lower triangle rows with reciprocal diagonals.
+/// slice `sp` with `rows` stored rows, at interleaving factor `p`) into
+/// block layout: per block, the rectangular strip (K-major `mb`-group
+/// slivers) followed by the lower triangle rows with reciprocal diagonals.
 ///
-/// `live` is the number of valid lanes in this pack (`P` except possibly the
+/// `live` is the number of valid lanes in this pack (`p` except possibly the
 /// last pack); padded diagonal lanes get reciprocal 1 so the dead lanes stay
 /// finite through the solve.
+#[allow(clippy::too_many_arguments)]
 pub fn pack_a_trsm<E: Element>(
     dst: &mut [E::Real],
     sp: &[E::Real],
     rows: usize,
+    p: usize,
     map: &TrsmIndexMap,
     layout: &[ABlockLayout],
     live: usize,
 ) {
-    pack_a_tri::<E>(dst, sp, rows, map, layout, live, true);
+    pack_a_tri::<E>(dst, sp, rows, p, map, layout, live, true);
 }
 
 /// Packs the coefficient triangle with either reciprocal (TRSM) or direct
 /// (TRMM) diagonals — everything else identical.
+#[allow(clippy::too_many_arguments)]
 pub fn pack_a_tri<E: Element>(
     dst: &mut [E::Real],
     sp: &[E::Real],
     rows: usize,
+    p: usize,
     map: &TrsmIndexMap,
     layout: &[ABlockLayout],
     live: usize,
     recip: bool,
 ) {
-    let g = CompactBatch::<E>::GROUP;
+    let g = group_len::<E>(p);
     for blk in layout {
         // rectangular strip: Â(r0+i, k) for k < r0, K-major
         let mut off = blk.rect_off;
         for k in 0..blk.r0 {
             for i in 0..blk.mb {
                 write_group::<E>(
+                    p,
                     &mut dst[off..off + g],
                     sp,
                     rows,
@@ -269,6 +281,7 @@ pub fn pack_a_tri<E: Element>(
         for i in 0..blk.mb {
             for j in 0..i {
                 write_group::<E>(
+                    p,
                     &mut dst[off..off + g],
                     sp,
                     rows,
@@ -278,6 +291,7 @@ pub fn pack_a_tri<E: Element>(
                 off += g;
             }
             write_diag_group::<E>(
+                p,
                 &mut dst[off..off + g],
                 sp,
                 rows,
@@ -292,14 +306,14 @@ pub fn pack_a_tri<E: Element>(
     }
 }
 
-/// Scalar length of a packed B panel of width `w`.
-pub fn panel_b_len<E: Element>(t: usize, w: usize) -> usize {
-    t * w * CompactBatch::<E>::GROUP
+/// Scalar length of a packed B panel of width `w` at interleaving factor
+/// `p`.
+pub fn panel_b_len<E: Element>(p: usize, t: usize, w: usize) -> usize {
+    t * w * group_len::<E>(p)
 }
 
 #[inline]
-fn scale_group<E: Element>(dst: &mut [E::Real], alpha: E) {
-    let p = E::P;
+fn scale_group<E: Element>(p: usize, dst: &mut [E::Real], alpha: E) {
     if E::IS_COMPLEX {
         let (ar, ai) = (alpha.re(), alpha.im());
         for lane in 0..p {
@@ -317,26 +331,28 @@ fn scale_group<E: Element>(dst: &mut [E::Real], alpha: E) {
 }
 
 /// Packs a width-`w` column panel of B̂ (rows `0..t`, columns `j0..j0+w`)
-/// into row-major panel layout (`row_stride = w·GROUP`, `col_stride =
-/// GROUP`), scaling by α during the copy.
+/// into row-major panel layout (`row_stride = w·g`, `col_stride = g`),
+/// scaling by α during the copy.
+#[allow(clippy::too_many_arguments)]
 pub fn pack_b_panel<E: Element>(
     dst: &mut [E::Real],
     sp: &[E::Real],
     rows: usize,
+    p: usize,
     map: &TrsmIndexMap,
     j0: usize,
     w: usize,
     alpha: E,
 ) {
-    let g = CompactBatch::<E>::GROUP;
+    let g = group_len::<E>(p);
     let scale = alpha != E::one();
     let mut off = 0usize;
     for i in 0..map.t {
         for j in 0..w {
             let dg = &mut dst[off..off + g];
-            write_group::<E>(dg, sp, rows, map.b_src(i, j0 + j), false);
+            write_group::<E>(p, dg, sp, rows, map.b_src(i, j0 + j), false);
             if scale {
-                scale_group::<E>(dg, alpha);
+                scale_group::<E>(p, dg, alpha);
             }
             off += g;
         }
@@ -349,11 +365,12 @@ pub fn unpack_b_panel<E: Element>(
     src_panel: &[E::Real],
     dp: &mut [E::Real],
     rows: usize,
+    p: usize,
     map: &TrsmIndexMap,
     j0: usize,
     w: usize,
 ) {
-    let g = CompactBatch::<E>::GROUP;
+    let g = group_len::<E>(p);
     let mut off = 0usize;
     for i in 0..map.t {
         for j in 0..w {
@@ -368,8 +385,12 @@ pub fn unpack_b_panel<E: Element>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use iatf_layout::StdBatch;
-    use iatf_simd::c64;
+    use iatf_layout::{CompactBatch, StdBatch};
+    use iatf_simd::{c64, VecWidth};
+
+    // The numeric-offset tests below assume P=2 (f64 at 128-bit), so they
+    // pin the layout to W128 regardless of the host's dispatched width.
+    const W: VecWidth = VecWidth::W128;
 
     #[test]
     fn maps_read_only_the_stored_triangle() {
@@ -449,7 +470,7 @@ mod tests {
     #[test]
     fn a_layout_offsets() {
         let blocks = block_decomposition(6, 4, 5);
-        let (layout, total) = a_layout::<f64>(&blocks);
+        let (layout, total) = a_layout::<f64>(2, &blocks);
         let g = 2;
         // block 0: rect 0 groups, tri 10 groups; block 1: rect 4·2=8, tri 3.
         assert_eq!(layout[0].rect_off, 0);
@@ -457,18 +478,30 @@ mod tests {
         assert_eq!(layout[1].rect_off, 10 * g);
         assert_eq!(layout[1].tri_off, (10 + 8) * g);
         assert_eq!(total, (10 + 8 + 3) * g);
+        // the same decomposition at a wider factor scales every offset
+        let (wide, wide_total) = a_layout::<f64>(8, &blocks);
+        assert_eq!(wide[1].rect_off, 4 * layout[1].rect_off);
+        assert_eq!(wide_total, 4 * total);
     }
 
     #[test]
     fn packed_triangle_has_reciprocal_diagonal() {
         let t = 5usize;
         let std = StdBatch::<f64>::random_triangular(t, 2, Uplo::Lower, Diag::NonUnit, 3);
-        let compact = CompactBatch::from_std(&std);
+        let compact = CompactBatch::from_std_at(&std, W);
         let map = TrsmIndexMap::new(TrsmMode::LNLN, false, t, 3);
         let blocks = block_decomposition(t, 4, 5);
-        let (layout, total) = a_layout::<f64>(&blocks);
+        let (layout, total) = a_layout::<f64>(compact.p(), &blocks);
         let mut dst = vec![0.0f64; total];
-        pack_a_trsm::<f64>(&mut dst, compact.pack_slice(0), compact.rows(), &map, &layout, 2);
+        pack_a_trsm::<f64>(
+            &mut dst,
+            compact.pack_slice(0),
+            compact.rows(),
+            compact.p(),
+            &map,
+            &layout,
+            2,
+        );
         // single block (t=5 ≤ 5): triangle rows at tri_off
         let blk = layout[0];
         for i in 0..t {
@@ -490,12 +523,20 @@ mod tests {
         // random_triangular poisons the diagonal under Unit; packing must
         // still produce reciprocal 1.
         let std = StdBatch::<f64>::random_triangular(4, 2, Uplo::Lower, Diag::Unit, 9);
-        let compact = CompactBatch::from_std(&std);
+        let compact = CompactBatch::from_std_at(&std, W);
         let mode = TrsmMode::new(Side::Left, Trans::No, Uplo::Lower, Diag::Unit);
         let map = TrsmIndexMap::new(mode, false, 4, 2);
-        let (layout, total) = a_layout::<f64>(&block_decomposition(4, 4, 5));
+        let (layout, total) = a_layout::<f64>(2, &block_decomposition(4, 4, 5));
         let mut dst = vec![0.0f64; total];
-        pack_a_trsm::<f64>(&mut dst, compact.pack_slice(0), compact.rows(), &map, &layout, 2);
+        pack_a_trsm::<f64>(
+            &mut dst,
+            compact.pack_slice(0),
+            compact.rows(),
+            2,
+            &map,
+            &layout,
+            2,
+        );
         let blk = layout[0];
         for i in 0..4 {
             let base = blk.tri_off + (i * (i + 1) / 2 + i) * 2;
@@ -506,11 +547,19 @@ mod tests {
     #[test]
     fn padding_lane_diag_is_one() {
         let std = StdBatch::<f64>::random_triangular(3, 1, Uplo::Lower, Diag::NonUnit, 4);
-        let compact = CompactBatch::from_std(&std); // P=2 → 1 padding lane
+        let compact = CompactBatch::from_std_at(&std, W); // P=2 → 1 padding lane
         let map = TrsmIndexMap::new(TrsmMode::LNLN, false, 3, 2);
-        let (layout, total) = a_layout::<f64>(&block_decomposition(3, 4, 5));
+        let (layout, total) = a_layout::<f64>(2, &block_decomposition(3, 4, 5));
         let mut dst = vec![0.0f64; total];
-        pack_a_trsm::<f64>(&mut dst, compact.pack_slice(0), compact.rows(), &map, &layout, 1);
+        pack_a_trsm::<f64>(
+            &mut dst,
+            compact.pack_slice(0),
+            compact.rows(),
+            2,
+            &map,
+            &layout,
+            1,
+        );
         let blk = layout[0];
         for i in 0..3 {
             let base = blk.tri_off + (i * (i + 1) / 2 + i) * 2;
@@ -523,11 +572,19 @@ mod tests {
     fn complex_reciprocal() {
         let t = 2usize;
         let std = StdBatch::<c64>::random_triangular(t, 2, Uplo::Lower, Diag::NonUnit, 5);
-        let compact = CompactBatch::from_std(&std);
+        let compact = CompactBatch::from_std_at(&std, W);
         let map = TrsmIndexMap::new(TrsmMode::LNLN, false, t, 1);
-        let (layout, total) = a_layout::<c64>(&block_decomposition(t, 2, 2));
+        let (layout, total) = a_layout::<c64>(2, &block_decomposition(t, 2, 2));
         let mut dst = vec![0.0f64; total];
-        pack_a_trsm::<c64>(&mut dst, compact.pack_slice(0), compact.rows(), &map, &layout, 2);
+        pack_a_trsm::<c64>(
+            &mut dst,
+            compact.pack_slice(0),
+            compact.rows(),
+            2,
+            &map,
+            &layout,
+            2,
+        );
         let blk = layout[0];
         for i in 0..t {
             let base = blk.tri_off + (i * (i + 1) / 2 + i) * 4;
@@ -545,11 +602,20 @@ mod tests {
         for mode in TrsmMode::all() {
             let (m, n) = (5usize, 6usize);
             let std = StdBatch::<f64>::random(m, n, 2, 77);
-            let compact = CompactBatch::from_std(&std);
+            let compact = CompactBatch::from_std_at(&std, W);
             let map = TrsmIndexMap::new(mode, false, m, n);
             let w = 3.min(map.bn);
-            let mut panel = vec![0.0f64; panel_b_len::<f64>(map.t, w)];
-            pack_b_panel(&mut panel, compact.pack_slice(0), compact.rows(), &map, 0, w, 2.0);
+            let mut panel = vec![0.0f64; panel_b_len::<f64>(2, map.t, w)];
+            pack_b_panel(
+                &mut panel,
+                compact.pack_slice(0),
+                compact.rows(),
+                2,
+                &map,
+                0,
+                w,
+                2.0,
+            );
             // every packed value is 2× its source
             for i in 0..map.t {
                 for j in 0..w {
@@ -561,8 +627,8 @@ mod tests {
                 }
             }
             // unpack writes back to the mapped positions
-            let mut out = CompactBatch::<f64>::zeroed(m, n, 2);
-            unpack_b_panel::<f64>(&panel, out.pack_slice_mut(0), 5, &map, 0, w);
+            let mut out = CompactBatch::<f64>::zeroed_at(m, n, 2, W);
+            unpack_b_panel::<f64>(&panel, out.pack_slice_mut(0), 5, 2, &map, 0, w);
             for i in 0..map.t {
                 for j in 0..w {
                     let (r, c) = map.b_src(i, j);
@@ -577,11 +643,20 @@ mod tests {
     #[test]
     fn complex_alpha_scaling() {
         let std = StdBatch::<c64>::random(2, 2, 2, 13);
-        let compact = CompactBatch::from_std(&std);
+        let compact = CompactBatch::from_std_at(&std, W);
         let map = TrsmIndexMap::new(TrsmMode::LNLN, false, 2, 2);
         let alpha = c64::new(0.0, 1.0); // multiply by i
-        let mut panel = vec![0.0f64; panel_b_len::<c64>(2, 2)];
-        pack_b_panel(&mut panel, compact.pack_slice(0), compact.rows(), &map, 0, 2, alpha);
+        let mut panel = vec![0.0f64; panel_b_len::<c64>(2, 2, 2)];
+        pack_b_panel(
+            &mut panel,
+            compact.pack_slice(0),
+            compact.rows(),
+            2,
+            &map,
+            0,
+            2,
+            alpha,
+        );
         for i in 0..2 {
             for j in 0..2 {
                 for lane in 0..2 {

@@ -3,7 +3,11 @@
 
 use iatf_layout::{CompactBatch, Diag, Side, StdBatch, Trans, TrsmMode, Uplo};
 use iatf_pack::{gemm as pg, trsm as pt};
-use iatf_simd::c64;
+use iatf_simd::{c64, VecWidth};
+
+// The offset arithmetic below assumes P=2 (f64/c64 at 128-bit), so every
+// batch is pinned to W128 regardless of the host's dispatched width.
+const W: VecWidth = VecWidth::W128;
 use proptest::prelude::*;
 
 fn trsm_mode_strategy() -> impl Strategy<Value = TrsmMode> {
@@ -29,18 +33,18 @@ proptest! {
     ) {
         let (rows, cols) = match trans { Trans::No => (m, k), Trans::Yes => (k, m) };
         let std = StdBatch::<f64>::random(rows, cols, count, seed as u64);
-        let compact = CompactBatch::from_std(&std);
-        let mut dst = vec![0.0f64; pg::panel_a_len::<f64>(m, k)];
+        let compact = CompactBatch::from_std_at(&std, W);
+        let mut dst = vec![0.0f64; pg::panel_a_len::<f64>(2, m, k)];
         for pack in 0..compact.packs() {
             pg::pack_a(&mut dst, &compact, pack, trans, false, 4, m, k);
             // verify via the documented panel addressing
-            let g = CompactBatch::<f64>::GROUP;
+            let g = compact.group();
             let mut i0 = 0;
             while i0 < m {
                 let h = 4.min(m - i0);
                 for kk in 0..k {
                     for i in 0..h {
-                        let off = pg::a_tile_offset::<f64>(i0, k) + (kk * h + i) * g;
+                        let off = pg::a_tile_offset::<f64>(2, i0, k) + (kk * h + i) * g;
                         for lane in 0..2 {
                             let v = pack * 2 + lane;
                             if v >= count { continue; }
@@ -107,9 +111,9 @@ proptest! {
         seed in any::<u32>(),
     ) {
         let src = StdBatch::<c64>::random(m, n, 3, seed as u64);
-        let compact = CompactBatch::from_std(&src);
+        let compact = CompactBatch::from_std_at(&src, W);
         let map = pt::TrsmIndexMap::new(mode, false, m, n);
-        let mut out = CompactBatch::<c64>::zeroed(m, n, 3);
+        let mut out = CompactBatch::<c64>::zeroed_at(m, n, 3, W);
         // pack every panel with α = 1 and immediately unpack into `out`:
         // the result must equal the source (on live lanes)
         let w_step = 2usize;
@@ -117,11 +121,12 @@ proptest! {
             let mut j0 = 0;
             while j0 < map.bn {
                 let w = w_step.min(map.bn - j0);
-                let mut panel = vec![0.0f64; pt::panel_b_len::<c64>(map.t, w)];
+                let mut panel = vec![0.0f64; pt::panel_b_len::<c64>(2, map.t, w)];
                 pt::pack_b_panel::<c64>(
                     &mut panel,
                     compact.pack_slice(pack),
                     compact.rows(),
+                    2,
                     &map,
                     j0,
                     w,
@@ -131,6 +136,7 @@ proptest! {
                     &panel,
                     out.pack_slice_mut(pack),
                     m,
+                    2,
                     &map,
                     j0,
                     w,
@@ -147,12 +153,12 @@ proptest! {
         seed in any::<u32>(),
     ) {
         let std = StdBatch::<f64>::random_triangular(t, 2, Uplo::Lower, Diag::NonUnit, seed as u64);
-        let compact = CompactBatch::from_std(&std);
+        let compact = CompactBatch::from_std_at(&std, W);
         let map = pt::TrsmIndexMap::new(TrsmMode::LNLN, false, t, 1);
         let blocks = pt::block_decomposition(t, 4, 5);
-        let (layout, total) = pt::a_layout::<f64>(&blocks);
+        let (layout, total) = pt::a_layout::<f64>(2, &blocks);
         let mut dst = vec![0.0f64; total];
-        pt::pack_a_trsm::<f64>(&mut dst, compact.pack_slice(0), t, &map, &layout, 2);
+        pt::pack_a_trsm::<f64>(&mut dst, compact.pack_slice(0), t, 2, &map, &layout, 2);
         for blk in &layout {
             for i in 0..blk.mb {
                 let base = blk.tri_off + (i * (i + 1) / 2 + i) * 2;

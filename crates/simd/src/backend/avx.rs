@@ -1,0 +1,155 @@
+//! x86_64 256-bit backend: AVX2 + FMA vectors (`VecWidth::W256`).
+//!
+//! Doubles the paper's interleaving factor to `P = 8` (f32) / `P = 4` (f64):
+//! one 256-bit register holds the same matrix element of eight (four)
+//! consecutive batch matrices, so each `vfmadd` advances twice as many
+//! problems as the 128-bit baseline.
+//!
+//! # Module safety contract
+//! The workspace builds for baseline x86_64 (SSE2 only), so AVX/FMA are
+//! *not* statically enabled — every function here carries
+//! `#[target_feature(enable = "avx", enable = "avx2", enable = "fma")]` and
+//! is therefore `unsafe` to call: the caller must guarantee the host
+//! supports AVX2+FMA. That guarantee is provided by runtime dispatch —
+//! these types are only reachable through kernel tables selected after
+//! [`crate::width::width_available`]`(VecWidth::W256)` confirms the probe
+//! (`is_x86_feature_detected!("avx2")` && `("fma")`), and through tests that
+//! perform the same check. Unlike the SSE2 backend there is no mul+add
+//! fallback: FMA is part of the width's contract, so `fma`/`fms` are always
+//! fused (single rounding per lane).
+
+use crate::vector::SimdReal;
+use core::arch::x86_64::*;
+
+/// Eight `f32` lanes in one 256-bit AVX register (`P = 8`).
+#[derive(Copy, Clone)]
+#[repr(transparent)]
+pub struct F32x8(__m256);
+
+/// Four `f64` lanes in one 256-bit AVX register (`P = 4`).
+#[derive(Copy, Clone)]
+#[repr(transparent)]
+pub struct F64x4(__m256d);
+
+impl core::fmt::Debug for F32x8 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "F32x8({:?})", self.to_array())
+    }
+}
+
+impl core::fmt::Debug for F64x4 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "F64x4({:?})", self.to_array())
+    }
+}
+
+// Safety: __m256/__m256d are plain 256-bit values.
+unsafe impl Send for F32x8 {}
+unsafe impl Sync for F32x8 {}
+unsafe impl Send for F64x4 {}
+unsafe impl Sync for F64x4 {}
+
+macro_rules! impl_avx_vec {
+    (
+        $name:ident, $t:ty, $lanes:expr, $reg:ty,
+        $setzero:ident, $set1:ident, $loadu:ident, $storeu:ident,
+        $add:ident, $sub:ident, $mul:ident, $div:ident, $xor:ident,
+        $fmadd:ident, $fnmadd:ident
+    ) => {
+        impl SimdReal for $name {
+            type Scalar = $t;
+            type Lanes = [$t; $lanes];
+            const LANES: usize = $lanes;
+
+            #[inline(always)]
+            fn zero() -> Self {
+                // SAFETY: value-only AVX intrinsic on register operands; no memory is touched. Reaching this code at all implies the module contract (runtime-verified AVX2+FMA) holds.
+                Self(unsafe { $setzero() })
+            }
+
+            #[inline(always)]
+            fn splat(x: $t) -> Self {
+                // SAFETY: value-only AVX intrinsic on register operands; no memory is touched. Reaching this code at all implies the module contract (runtime-verified AVX2+FMA) holds.
+                Self(unsafe { $set1(x) })
+            }
+
+            #[inline(always)]
+            // SAFETY: unsafe fn — the pointer-validity contract is inherited from `SimdReal` (`ptr` valid for `LANES` contiguous elements); the unaligned intrinsic adds no further requirements.
+            unsafe fn load(ptr: *const $t) -> Self {
+                Self($loadu(ptr))
+            }
+
+            #[inline(always)]
+            // SAFETY: unsafe fn — the pointer-validity contract is inherited from `SimdReal` (`ptr` valid for `LANES` contiguous elements); the unaligned intrinsic adds no further requirements.
+            unsafe fn store(self, ptr: *mut $t) {
+                $storeu(ptr, self.0);
+            }
+
+            #[inline(always)]
+            fn add(self, rhs: Self) -> Self {
+                // SAFETY: value-only AVX intrinsic on register operands; no memory is touched. Reaching this code at all implies the module contract (runtime-verified AVX2+FMA) holds.
+                Self(unsafe { $add(self.0, rhs.0) })
+            }
+
+            #[inline(always)]
+            fn sub(self, rhs: Self) -> Self {
+                // SAFETY: value-only AVX intrinsic on register operands; no memory is touched. Reaching this code at all implies the module contract (runtime-verified AVX2+FMA) holds.
+                Self(unsafe { $sub(self.0, rhs.0) })
+            }
+
+            #[inline(always)]
+            fn mul(self, rhs: Self) -> Self {
+                // SAFETY: value-only AVX intrinsic on register operands; no memory is touched. Reaching this code at all implies the module contract (runtime-verified AVX2+FMA) holds.
+                Self(unsafe { $mul(self.0, rhs.0) })
+            }
+
+            #[inline(always)]
+            fn div(self, rhs: Self) -> Self {
+                // SAFETY: value-only AVX intrinsic on register operands; no memory is touched. Reaching this code at all implies the module contract (runtime-verified AVX2+FMA) holds.
+                Self(unsafe { $div(self.0, rhs.0) })
+            }
+
+            #[inline(always)]
+            fn neg(self) -> Self {
+                // sign-bit flip, matching NEON FNEG semantics (0 − x would
+                // lose the sign of zero)
+                // SAFETY: value-only AVX intrinsic on register operands; no memory is touched. Reaching this code at all implies the module contract (runtime-verified AVX2+FMA) holds.
+                Self(unsafe { $xor(self.0, $set1(-0.0)) })
+            }
+
+            #[inline(always)]
+            fn fma(self, a: Self, b: Self) -> Self {
+                // SAFETY: value-only FMA intrinsic on register operands; FMA support is part of this module's W256 contract (runtime-verified before dispatch).
+                Self(unsafe { $fmadd(a.0, b.0, self.0) })
+            }
+
+            #[inline(always)]
+            fn fms(self, a: Self, b: Self) -> Self {
+                // SAFETY: value-only FMA intrinsic on register operands; FMA support is part of this module's W256 contract (runtime-verified before dispatch).
+                Self(unsafe { $fnmadd(a.0, b.0, self.0) })
+            }
+
+            #[inline(always)]
+            fn to_array(self) -> [$t; $lanes] {
+                let mut out = [0.0; $lanes];
+                // SAFETY: `out` is a local array with exactly `LANES` elements, so the unaligned store stays in bounds.
+                unsafe { $storeu(out.as_mut_ptr(), self.0) };
+                out
+            }
+        }
+    };
+}
+
+impl_avx_vec!(
+    F32x8, f32, 8, __m256,
+    _mm256_setzero_ps, _mm256_set1_ps, _mm256_loadu_ps, _mm256_storeu_ps,
+    _mm256_add_ps, _mm256_sub_ps, _mm256_mul_ps, _mm256_div_ps, _mm256_xor_ps,
+    _mm256_fmadd_ps, _mm256_fnmadd_ps
+);
+
+impl_avx_vec!(
+    F64x4, f64, 4, __m256d,
+    _mm256_setzero_pd, _mm256_set1_pd, _mm256_loadu_pd, _mm256_storeu_pd,
+    _mm256_add_pd, _mm256_sub_pd, _mm256_mul_pd, _mm256_div_pd, _mm256_xor_pd,
+    _mm256_fmadd_pd, _mm256_fnmadd_pd
+);

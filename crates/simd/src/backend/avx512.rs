@@ -1,0 +1,157 @@
+//! x86_64 512-bit backend: AVX-512F vectors (`VecWidth::W512`).
+//!
+//! Quadruples the paper's interleaving factor to `P = 16` (f32) / `P = 8`
+//! (f64). Only the AVX-512 *Foundation* subset is used, so the backend runs
+//! on every AVX-512 part: sign-bit negation goes through the integer domain
+//! (`_mm512_xor_si512` plus casts) because the float `xor` forms belong to
+//! the DQ extension.
+//!
+//! # Module safety contract
+//! The workspace builds for baseline x86_64 (SSE2 only), so AVX-512F is
+//! *not* statically enabled and every function here is `unsafe` to call:
+//! the caller must guarantee the host supports AVX-512F. That guarantee is
+//! provided by runtime dispatch — these types are only reachable through
+//! kernel tables selected after
+//! [`crate::width::width_available`]`(VecWidth::W512)` confirms the probe
+//! (`is_x86_feature_detected!("avx512f")`), and through tests that perform
+//! the same check. FMA is part of AVX-512F itself, so `fma`/`fms` are
+//! always fused (single rounding per lane).
+
+use crate::vector::SimdReal;
+use core::arch::x86_64::*;
+
+/// Sixteen `f32` lanes in one 512-bit ZMM register (`P = 16`).
+#[derive(Copy, Clone)]
+#[repr(transparent)]
+pub struct F32x16(__m512);
+
+/// Eight `f64` lanes in one 512-bit ZMM register (`P = 8`).
+#[derive(Copy, Clone)]
+#[repr(transparent)]
+pub struct F64x8(__m512d);
+
+impl core::fmt::Debug for F32x16 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "F32x16({:?})", self.to_array())
+    }
+}
+
+impl core::fmt::Debug for F64x8 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "F64x8({:?})", self.to_array())
+    }
+}
+
+// Safety: __m512/__m512d are plain 512-bit values.
+unsafe impl Send for F32x16 {}
+unsafe impl Sync for F32x16 {}
+unsafe impl Send for F64x8 {}
+unsafe impl Sync for F64x8 {}
+
+macro_rules! impl_avx512_vec {
+    (
+        $name:ident, $t:ty, $lanes:expr,
+        $setzero:ident, $set1:ident, $loadu:ident, $storeu:ident,
+        $add:ident, $sub:ident, $mul:ident, $div:ident,
+        $fmadd:ident, $fnmadd:ident, $castto:ident, $castfrom:ident
+    ) => {
+        impl SimdReal for $name {
+            type Scalar = $t;
+            type Lanes = [$t; $lanes];
+            const LANES: usize = $lanes;
+
+            #[inline(always)]
+            fn zero() -> Self {
+                // SAFETY: value-only AVX-512F intrinsic on register operands; no memory is touched. Reaching this code at all implies the module contract (runtime-verified AVX-512F) holds.
+                Self(unsafe { $setzero() })
+            }
+
+            #[inline(always)]
+            fn splat(x: $t) -> Self {
+                // SAFETY: value-only AVX-512F intrinsic on register operands; no memory is touched. Reaching this code at all implies the module contract (runtime-verified AVX-512F) holds.
+                Self(unsafe { $set1(x) })
+            }
+
+            #[inline(always)]
+            // SAFETY: unsafe fn — the pointer-validity contract is inherited from `SimdReal` (`ptr` valid for `LANES` contiguous elements); the unaligned intrinsic adds no further requirements.
+            unsafe fn load(ptr: *const $t) -> Self {
+                Self($loadu(ptr))
+            }
+
+            #[inline(always)]
+            // SAFETY: unsafe fn — the pointer-validity contract is inherited from `SimdReal` (`ptr` valid for `LANES` contiguous elements); the unaligned intrinsic adds no further requirements.
+            unsafe fn store(self, ptr: *mut $t) {
+                $storeu(ptr, self.0);
+            }
+
+            #[inline(always)]
+            fn add(self, rhs: Self) -> Self {
+                // SAFETY: value-only AVX-512F intrinsic on register operands; no memory is touched. Reaching this code at all implies the module contract (runtime-verified AVX-512F) holds.
+                Self(unsafe { $add(self.0, rhs.0) })
+            }
+
+            #[inline(always)]
+            fn sub(self, rhs: Self) -> Self {
+                // SAFETY: value-only AVX-512F intrinsic on register operands; no memory is touched. Reaching this code at all implies the module contract (runtime-verified AVX-512F) holds.
+                Self(unsafe { $sub(self.0, rhs.0) })
+            }
+
+            #[inline(always)]
+            fn mul(self, rhs: Self) -> Self {
+                // SAFETY: value-only AVX-512F intrinsic on register operands; no memory is touched. Reaching this code at all implies the module contract (runtime-verified AVX-512F) holds.
+                Self(unsafe { $mul(self.0, rhs.0) })
+            }
+
+            #[inline(always)]
+            fn div(self, rhs: Self) -> Self {
+                // SAFETY: value-only AVX-512F intrinsic on register operands; no memory is touched. Reaching this code at all implies the module contract (runtime-verified AVX-512F) holds.
+                Self(unsafe { $div(self.0, rhs.0) })
+            }
+
+            #[inline(always)]
+            fn neg(self) -> Self {
+                // sign-bit flip via the integer domain: the float xor forms
+                // (_mm512_xor_ps/pd) require AVX-512DQ, while the casts are
+                // free bit reinterpretations and xor_si512 is plain F.
+                // SAFETY: value-only AVX-512F intrinsics on register operands; no memory is touched. Reaching this code at all implies the module contract (runtime-verified AVX-512F) holds.
+                Self(unsafe {
+                    $castfrom(_mm512_xor_si512($castto(self.0), $castto($set1(-0.0))))
+                })
+            }
+
+            #[inline(always)]
+            fn fma(self, a: Self, b: Self) -> Self {
+                // SAFETY: value-only AVX-512F FMA intrinsic on register operands; fused multiply-add is part of the F subset this module's contract runtime-verifies.
+                Self(unsafe { $fmadd(a.0, b.0, self.0) })
+            }
+
+            #[inline(always)]
+            fn fms(self, a: Self, b: Self) -> Self {
+                // SAFETY: value-only AVX-512F FMA intrinsic on register operands; fused multiply-add is part of the F subset this module's contract runtime-verifies.
+                Self(unsafe { $fnmadd(a.0, b.0, self.0) })
+            }
+
+            #[inline(always)]
+            fn to_array(self) -> [$t; $lanes] {
+                let mut out = [0.0; $lanes];
+                // SAFETY: `out` is a local array with exactly `LANES` elements, so the unaligned store stays in bounds.
+                unsafe { $storeu(out.as_mut_ptr(), self.0) };
+                out
+            }
+        }
+    };
+}
+
+impl_avx512_vec!(
+    F32x16, f32, 16,
+    _mm512_setzero_ps, _mm512_set1_ps, _mm512_loadu_ps, _mm512_storeu_ps,
+    _mm512_add_ps, _mm512_sub_ps, _mm512_mul_ps, _mm512_div_ps,
+    _mm512_fmadd_ps, _mm512_fnmadd_ps, _mm512_castps_si512, _mm512_castsi512_ps
+);
+
+impl_avx512_vec!(
+    F64x8, f64, 8,
+    _mm512_setzero_pd, _mm512_set1_pd, _mm512_loadu_pd, _mm512_storeu_pd,
+    _mm512_add_pd, _mm512_sub_pd, _mm512_mul_pd, _mm512_div_pd,
+    _mm512_fmadd_pd, _mm512_fnmadd_pd, _mm512_castpd_si512, _mm512_castsi512_pd
+);

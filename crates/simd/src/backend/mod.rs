@@ -1,10 +1,20 @@
-//! Architecture backends for the 128-bit vector types.
+//! Architecture backends for the vector types.
 //!
-//! Exactly one backend is compiled in:
+//! The *128-bit* types `F32x4`/`F64x2` get exactly one hardware backend:
 //! * `aarch64` → NEON intrinsics (the paper's target ISA),
 //! * `x86_64` → SSE2, with FMA contraction when the `fma` target feature is
-//!   enabled (the workspace builds with `target-cpu=native`),
-//! * anything else → a scalar array fallback with identical semantics.
+//!   enabled (not the case for baseline builds),
+//! * anything else → aliases of the scalar backend.
+//!
+//! The scalar backend (`S32x4`/`S64x2`) is compiled on every architecture —
+//! it is the `VecWidth::Scalar` dispatch target and the reference the
+//! hardware backends are tested against. On `x86_64` the wide backends
+//! (`F32x8`/`F64x4` for AVX2+FMA, `F32x16`/`F64x8` for AVX-512F) are compiled
+//! in as well; they may only be *executed* after runtime feature detection
+//! (see each module's safety contract).
+
+mod scalar;
+pub use scalar::{S32x4, S64x2};
 
 #[cfg(target_arch = "aarch64")]
 mod neon;
@@ -16,16 +26,19 @@ mod x86;
 #[cfg(target_arch = "x86_64")]
 pub use x86::{F32x4, F64x2};
 
-#[cfg(not(any(target_arch = "aarch64", target_arch = "x86_64")))]
-mod scalar;
-#[cfg(not(any(target_arch = "aarch64", target_arch = "x86_64")))]
-pub use scalar::{F32x4, F64x2};
+#[cfg(target_arch = "x86_64")]
+mod avx;
+#[cfg(target_arch = "x86_64")]
+mod avx512;
+#[cfg(target_arch = "x86_64")]
+pub use avx::{F32x8, F64x4};
+#[cfg(target_arch = "x86_64")]
+pub use avx512::{F32x16, F64x8};
 
-// The scalar backend is always compiled (dead-code allowed) so its semantics
-// stay checked on every host; cross-backend agreement is asserted in tests.
-#[cfg(all(test, any(target_arch = "aarch64", target_arch = "x86_64")))]
-#[path = "scalar.rs"]
-pub(crate) mod scalar_ref;
+/// On architectures without a hardware backend the scalar types double as
+/// the 128-bit types (same lane counts, same semantics).
+#[cfg(not(any(target_arch = "aarch64", target_arch = "x86_64")))]
+pub use scalar::{S32x4 as F32x4, S64x2 as F64x2};
 
 #[cfg(test)]
 mod tests {
@@ -38,16 +51,16 @@ mod tests {
     #[cfg(any(target_arch = "aarch64", target_arch = "x86_64"))]
     #[test]
     fn agrees_with_scalar_reference_f64() {
-        use super::scalar_ref;
+        use super::scalar;
         let xs = [-3.5f64, 1.0e-300, 2.0, 0.015625];
         let ys = [7.25f64, -2.0, 1.0e10, -0.5];
         let zs = [0.0f64, 1.0, -1.0e-5, 123.456];
         let hw_x = super::F64x2::from_slice(&xs[..2]);
         let hw_y = super::F64x2::from_slice(&ys[..2]);
         let hw_z = super::F64x2::from_slice(&zs[..2]);
-        let sc_x = scalar_ref::F64x2::from_slice(&xs[..2]);
-        let sc_y = scalar_ref::F64x2::from_slice(&ys[..2]);
-        let sc_z = scalar_ref::F64x2::from_slice(&zs[..2]);
+        let sc_x = scalar::S64x2::from_slice(&xs[..2]);
+        let sc_y = scalar::S64x2::from_slice(&ys[..2]);
+        let sc_z = scalar::S64x2::from_slice(&zs[..2]);
         assert_eq!(hw_x.add(hw_y).to_array(), sc_x.add(sc_y).to_array());
         assert_eq!(hw_x.sub(hw_y).to_array(), sc_x.sub(sc_y).to_array());
         assert_eq!(hw_x.mul(hw_y).to_array(), sc_x.mul(sc_y).to_array());
@@ -66,16 +79,16 @@ mod tests {
     #[cfg(any(target_arch = "aarch64", target_arch = "x86_64"))]
     #[test]
     fn agrees_with_scalar_reference_f32() {
-        use super::scalar_ref;
+        use super::scalar;
         let xs = [-3.5f32, 1.0e-30, 2.0, 0.015625];
         let ys = [7.25f32, -2.0, 1.0e10, -0.5];
         let zs = [0.0f32, 1.0, -1.0e-5, 123.456];
         let hw_x = super::F32x4::from_slice(&xs);
         let hw_y = super::F32x4::from_slice(&ys);
         let hw_z = super::F32x4::from_slice(&zs);
-        let sc_x = scalar_ref::F32x4::from_slice(&xs);
-        let sc_y = scalar_ref::F32x4::from_slice(&ys);
-        let sc_z = scalar_ref::F32x4::from_slice(&zs);
+        let sc_x = scalar::S32x4::from_slice(&xs);
+        let sc_y = scalar::S32x4::from_slice(&ys);
+        let sc_z = scalar::S32x4::from_slice(&zs);
         assert_eq!(hw_x.add(hw_y).to_array(), sc_x.add(sc_y).to_array());
         assert_eq!(hw_x.sub(hw_y).to_array(), sc_x.sub(sc_y).to_array());
         assert_eq!(hw_x.mul(hw_y).to_array(), sc_x.mul(sc_y).to_array());
@@ -89,5 +102,52 @@ mod tests {
             hw_z.fms(hw_x, hw_y).to_array(),
             sc_z.fms(sc_x, sc_y).to_array()
         );
+    }
+
+    /// The wide x86 backends must agree with the scalar reference lane for
+    /// lane on fused-rounding-neutral values (the grid above rounds the same
+    /// fused or unfused, so SSE2-without-FMA hosts also pass).
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn wide_backends_agree_with_scalar_reference() {
+        use crate::width::{width_available, VecWidth};
+
+        fn check<V: SimdReal>()
+        where
+            V::Scalar: Into<f64> + Copy + From<f32>,
+        {
+            let mut xs = [V::Scalar::from(0.0f32); 16];
+            let mut ys = [V::Scalar::from(0.0f32); 16];
+            let mut zs = [V::Scalar::from(0.0f32); 16];
+            let grid_x = [-3.5f32, 2.0, 0.015625, 128.0];
+            let grid_y = [7.25f32, -2.0, -0.5, 0.25];
+            let grid_z = [0.0f32, 1.0, -4.0, 123.5];
+            for i in 0..V::LANES {
+                xs[i] = V::Scalar::from(grid_x[i % 4]);
+                ys[i] = V::Scalar::from(grid_y[i % 4]);
+                zs[i] = V::Scalar::from(grid_z[i % 4]);
+            }
+            let vx = V::from_slice(&xs[..V::LANES]);
+            let vy = V::from_slice(&ys[..V::LANES]);
+            let vz = V::from_slice(&zs[..V::LANES]);
+            let got = vz.fma(vx, vy).to_array();
+            let sum = vx.add(vy).to_array();
+            let neg = vx.neg().to_array();
+            for i in 0..V::LANES {
+                let (x, y, z): (f64, f64, f64) = (xs[i].into(), ys[i].into(), zs[i].into());
+                assert_eq!(got.as_ref()[i].into(), z + x * y, "fma lane {i}");
+                assert_eq!(sum.as_ref()[i].into(), x + y, "add lane {i}");
+                assert_eq!(neg.as_ref()[i].into(), -x, "neg lane {i}");
+            }
+        }
+
+        if width_available(VecWidth::W256) {
+            check::<super::F32x8>();
+            check::<super::F64x4>();
+        }
+        if width_available(VecWidth::W512) {
+            check::<super::F32x16>();
+            check::<super::F64x8>();
+        }
     }
 }

@@ -1,24 +1,33 @@
-//! Portable scalar backend: arrays of lanes with the same semantics as the
-//! hardware backends. Used on architectures without a dedicated backend and,
-//! in tests, as the reference the hardware backends are checked against.
-
-#![allow(dead_code)]
+//! Portable scalar backend: lane arrays with no SIMD instructions.
+//!
+//! Two jobs. On architectures without a SIMD backend these types *are* the
+//! 128-bit vector types (aliased as `F32x4`/`F64x2` by `backend::mod`). On
+//! every architecture they are also the always-available `VecWidth::Scalar`
+//! backend and the reference implementation the hardware backends and the
+//! cross-width agreement tests are checked against. Lane counts mirror the
+//! 128-bit layout (4×f32 / 2×f64) so compact batches are laid out
+//! identically between the scalar and 128-bit widths.
+//!
+//! `fma`/`fms` go through [`Real::mul_add`]/[`Real::mul_sub`], which lower
+//! to fused `mul_add`, matching NEON `FMLA` rounding (one rounding per
+//! lane, not two).
 
 use crate::real::Real;
 use crate::vector::SimdReal;
 
-/// Four `f32` lanes emulated with an array.
+/// Scalar reference vector: four `f32` lanes (`P = 4`).
 #[derive(Copy, Clone, Debug)]
-pub struct F32x4(pub(crate) [f32; 4]);
+pub struct S32x4(pub(crate) [f32; 4]);
 
-/// Two `f64` lanes emulated with an array.
+/// Scalar reference vector: two `f64` lanes (`P = 2`).
 #[derive(Copy, Clone, Debug)]
-pub struct F64x2(pub(crate) [f64; 2]);
+pub struct S64x2(pub(crate) [f64; 2]);
 
 macro_rules! impl_scalar_vec {
     ($name:ident, $t:ty, $lanes:expr) => {
         impl SimdReal for $name {
             type Scalar = $t;
+            type Lanes = [$t; $lanes];
             const LANES: usize = $lanes;
 
             #[inline(always)]
@@ -109,14 +118,12 @@ macro_rules! impl_scalar_vec {
             }
 
             #[inline(always)]
-            fn to_array(self) -> [$t; 4] {
-                let mut out = [0.0; 4];
-                out[..$lanes].copy_from_slice(&self.0);
-                out
+            fn to_array(self) -> [$t; $lanes] {
+                self.0
             }
         }
     };
 }
 
-impl_scalar_vec!(F32x4, f32, 4);
-impl_scalar_vec!(F64x2, f64, 2);
+impl_scalar_vec!(S32x4, f32, 4);
+impl_scalar_vec!(S64x2, f64, 2);

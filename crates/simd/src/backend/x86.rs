@@ -29,7 +29,7 @@ impl core::fmt::Debug for F32x4 {
 
 impl core::fmt::Debug for F64x2 {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "F64x2({:?})", &self.to_array()[..2])
+        write!(f, "F64x2({:?})", self.to_array())
     }
 }
 
@@ -41,6 +41,7 @@ unsafe impl Sync for F64x2 {}
 
 impl SimdReal for F32x4 {
     type Scalar = f32;
+    type Lanes = [f32; 4];
     const LANES: usize = 4;
 
     #[inline(always)]
@@ -136,6 +137,7 @@ impl SimdReal for F32x4 {
 
 impl SimdReal for F64x2 {
     type Scalar = f64;
+    type Lanes = [f64; 2];
     const LANES: usize = 2;
 
     #[inline(always)]
@@ -220,9 +222,9 @@ impl SimdReal for F64x2 {
     }
 
     #[inline(always)]
-    fn to_array(self) -> [f64; 4] {
-        let mut out = [0.0f64; 4];
-        // SAFETY: `out` is a local array with at least `LANES` elements, so the unaligned store stays in bounds.
+    fn to_array(self) -> [f64; 2] {
+        let mut out = [0.0f64; 2];
+        // SAFETY: `out` is a local array with exactly `LANES` elements, so the unaligned store stays in bounds.
         unsafe { _mm_storeu_pd(out.as_mut_ptr(), self.0) };
         out
     }

@@ -10,6 +10,7 @@
 use crate::complex::{c32, c64, Complex};
 use crate::real::Real;
 use crate::vector::SIMD_BYTES;
+use crate::width::VecWidth;
 use core::fmt::Debug;
 
 /// Runtime tag for the four supported element types.
@@ -36,12 +37,20 @@ impl DType {
         matches!(self, DType::C32 | DType::C64)
     }
 
-    /// Interleaving factor `P`: how many matrices share one SIMD vector.
+    /// Interleaving factor `P` at the paper's 128-bit baseline width: how
+    /// many matrices share one SIMD vector. Width-aware code should use
+    /// [`DType::p_at`] with the plan's [`VecWidth`] instead.
     pub fn p(self) -> usize {
         match self {
             DType::F32 | DType::C32 => SIMD_BYTES / 4,
             DType::F64 | DType::C64 => SIMD_BYTES / 8,
         }
+    }
+
+    /// Interleaving factor `P` at a given vector width (e.g. 8×f32 at
+    /// `W256`, 16×f32 at `W512`; the scalar backend mirrors 128-bit).
+    pub fn p_at(self, width: VecWidth) -> usize {
+        width.lanes_for(self.scalar_bytes())
     }
 
     /// Bytes of one real scalar component.
@@ -100,8 +109,16 @@ pub trait Element: Copy + Clone + Debug + Default + PartialEq + Send + Sync + 's
     const IS_COMPLEX: bool;
     /// Real scalars per element (1 or 2).
     const SCALARS: usize;
-    /// Interleaving factor: matrices per SIMD vector.
+    /// Interleaving factor at the paper's 128-bit baseline width: matrices
+    /// per SIMD vector. Width-aware code should call [`Element::p_at`] with
+    /// the plan's width; `P` remains the baseline the paper's shape tables
+    /// are expressed in.
     const P: usize;
+
+    /// Interleaving factor at a given vector width.
+    fn p_at(width: VecWidth) -> usize {
+        width.lanes_for(core::mem::size_of::<Self::Real>())
+    }
 
     /// Additive identity.
     fn zero() -> Self;
@@ -330,6 +347,21 @@ impl_complex_element!(c64, f64, DType::C64, 2);
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn p_at_scales_with_width() {
+        assert_eq!(f32::p_at(VecWidth::W128), 4);
+        assert_eq!(f32::p_at(VecWidth::W256), 8);
+        assert_eq!(f32::p_at(VecWidth::W512), 16);
+        assert_eq!(f64::p_at(VecWidth::W512), 8);
+        assert_eq!(c32::p_at(VecWidth::W256), 8);
+        assert_eq!(c64::p_at(VecWidth::W256), 4);
+        // Scalar mirrors the 128-bit layout; baseline P is the W128 value.
+        for dt in DType::ALL {
+            assert_eq!(dt.p_at(VecWidth::Scalar), dt.p());
+            assert_eq!(dt.p_at(VecWidth::W128), dt.p());
+        }
+    }
 
     #[test]
     fn p_matches_simd_width() {

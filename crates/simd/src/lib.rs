@@ -1,11 +1,16 @@
-//! 128-bit SIMD abstraction and scalar element types for IATF.
+//! Width-generic SIMD abstraction and scalar element types for IATF.
 //!
-//! The paper targets the Kunpeng 920's 128-bit NEON unit. This crate exposes a
-//! pair of 128-bit vector types, [`F32x4`] and [`F64x2`], whose lane counts are
-//! exactly the paper's interleaving factor `P` (4 for single precision, 2 for
-//! double precision). On `aarch64` they lower to NEON intrinsics, on `x86_64`
-//! to SSE2 (and FMA where the target enables it), and elsewhere to a scalar
-//! fallback with identical semantics.
+//! The paper targets the Kunpeng 920's 128-bit NEON unit, whose lane counts
+//! define the interleaving factor `P` (4 for single precision, 2 for double).
+//! This crate keeps those 128-bit types — [`F32x4`]/[`F64x2`], NEON on
+//! `aarch64`, SSE2 on `x86_64` — but makes the width a *runtime* parameter:
+//! the [`width`] module probes the host once and exposes
+//! [`dispatched_width`]; on `x86_64`, 256-bit AVX2+FMA ([`F32x8`]/[`F64x4`])
+//! and 512-bit AVX-512F ([`F32x16`]/[`F64x8`]) backends implement the same
+//! [`SimdReal`] trait, scaling `P` to 8/16; and the portable scalar backend
+//! ([`S32x4`]/[`S64x2`]) is always available as the reference. All kernels
+//! in `iatf-kernels` are generic over [`SimdReal`], so one kernel source
+//! serves every width.
 //!
 //! Complex data uses the *split* representation of the SIMD-friendly compact
 //! layout: the real parts of `P` matrices form one vector and the imaginary
@@ -21,6 +26,7 @@ pub mod cvector;
 pub mod element;
 pub mod real;
 pub mod vector;
+pub mod width;
 
 mod backend;
 
@@ -28,4 +34,10 @@ pub use complex::{c32, c64, Complex};
 pub use cvector::CVec;
 pub use element::{DType, Element};
 pub use real::Real;
-pub use vector::{prefetch_read, simd_for, F32x4, F64x2, HasSimd, SimdReal, SIMD_BYTES};
+pub use vector::{prefetch_read, simd_for, F32x4, F64x2, HasSimd, S32x4, S64x2, SimdReal, SIMD_BYTES};
+#[cfg(target_arch = "x86_64")]
+pub use vector::{F32x16, F32x8, F64x4, F64x8};
+pub use width::{
+    available_widths, dispatched_width, forced_width_fallback, width_available,
+    ForcedWidthFallback, VecWidth,
+};

@@ -1,29 +1,48 @@
-//! The 128-bit SIMD vector trait and its two instantiations.
+//! The width-generic SIMD vector trait and its instantiations.
 
 use crate::real::Real;
 
-pub use crate::backend::{F32x4, F64x2};
+pub use crate::backend::{S32x4, S64x2, F32x4, F64x2};
+#[cfg(target_arch = "x86_64")]
+pub use crate::backend::{F32x16, F32x8, F64x4, F64x8};
 
-/// Width of the SIMD unit in bytes. The paper's Kunpeng 920 has 128-bit NEON;
-/// every backend here is exactly 128 bits wide so the interleaving factor `P`
-/// matches the paper on any host.
+/// Width of the paper's SIMD unit in bytes. The Kunpeng 920 has 128-bit
+/// NEON; this is the *baseline* width whose lane counts define the paper's
+/// interleaving factor `P`. Wider backends (256/512-bit) scale `P` by
+/// [`VecWidth::lanes_for`](crate::VecWidth::lanes_for).
 pub const SIMD_BYTES: usize = 16;
 
-/// A 128-bit vector of real lanes.
+/// A vector of real lanes.
 ///
-/// The lane count is the compact layout's interleaving factor `P`: one vector
-/// holds the same matrix element of `P` consecutive matrices, so one `fma`
-/// advances `P` independent problems — the core of the SIMD-friendly layout.
+/// The lane count is the compact layout's interleaving factor `P` *at this
+/// vector's width*: one vector holds the same matrix element of `P`
+/// consecutive matrices, so one `fma` advances `P` independent problems —
+/// the core of the SIMD-friendly layout. The paper fixes `P` by 128-bit
+/// NEON; implementations of this trait exist at 128, 256 and 512 bits plus
+/// a scalar-array reference, and the microkernels are generic over all of
+/// them.
 ///
 /// # Safety contract
 /// `load`/`store` are unsafe raw-pointer operations; callers must guarantee
 /// `LANES` valid scalars at the pointer. No alignment beyond the scalar's is
 /// required (unaligned loads are used, as the compact layout only guarantees
-/// scalar alignment for arbitrary batch offsets).
+/// scalar alignment for arbitrary batch offsets). Backends above the
+/// architecture baseline (AVX2/AVX-512) must only be *executed* after
+/// runtime feature detection confirms the ISA — the width registry in
+/// `iatf-kernels` and [`crate::dispatched_width`] enforce this.
 pub trait SimdReal: Copy + Clone + Send + Sync + core::fmt::Debug + 'static {
     /// Lane scalar type.
     type Scalar: Real;
-    /// Number of lanes (= interleaving factor `P`).
+    /// `[Self::Scalar; LANES]` — the array type [`to_array`](Self::to_array)
+    /// returns.
+    type Lanes: Copy
+        + Clone
+        + core::fmt::Debug
+        + PartialEq
+        + core::ops::Index<usize, Output = Self::Scalar>
+        + AsRef<[Self::Scalar]>
+        + IntoIterator<Item = Self::Scalar>;
+    /// Number of lanes (= interleaving factor `P` at this width).
     const LANES: usize;
 
     /// Vector of zeros.
@@ -57,7 +76,7 @@ pub trait SimdReal: Copy + Clone + Send + Sync + core::fmt::Debug + 'static {
     fn fms(self, a: Self, b: Self) -> Self;
 
     /// Copies the lanes into an array (diagnostics and tests).
-    fn to_array(self) -> [Self::Scalar; 4];
+    fn to_array(self) -> Self::Lanes;
     /// Builds a vector from the first `LANES` entries of an array.
     fn from_slice(xs: &[Self::Scalar]) -> Self {
         assert!(xs.len() >= Self::LANES);
@@ -68,9 +87,10 @@ pub trait SimdReal: Copy + Clone + Send + Sync + core::fmt::Debug + 'static {
 
 /// Maps a real scalar type to its 128-bit vector type.
 ///
-/// This is the associated-type direction kernels use: generic code writes
-/// `<T as HasSimd>::Vector` (via the [`simd_for`] alias) and gets `F32x4`
-/// or `F64x2`.
+/// This is the associated-type direction the paper-baseline kernels use:
+/// generic code writes `<T as HasSimd>::Vector` (via the [`simd_for`]
+/// alias) and gets `F32x4` or `F64x2`. Wider backends are reached through
+/// the per-width kernel tables in `iatf-kernels`, not through this trait.
 pub trait HasSimd: Real {
     /// The 128-bit vector whose lanes are `Self`.
     type Vector: SimdReal<Scalar = Self>;
@@ -116,13 +136,18 @@ pub fn prefetch_read<T>(ptr: *const T) {
 mod tests {
     use super::*;
 
+    /// Upper bound on any backend's lane count (512-bit f32), used to size
+    /// test buffers width-generically.
+    const MAX_LANES: usize = 16;
+
     fn roundtrip<V: SimdReal>() {
-        let mut src = [V::Scalar::ZERO; 4];
+        let mut src = [V::Scalar::ZERO; MAX_LANES];
         for (i, s) in src.iter_mut().enumerate().take(V::LANES) {
             *s = V::Scalar::from_f64(1.5 + i as f64);
         }
         let v = V::from_slice(&src[..V::LANES]);
         let arr = v.to_array();
+        assert_eq!(arr.as_ref().len(), V::LANES);
         for i in 0..V::LANES {
             assert_eq!(arr[i], src[i]);
         }
@@ -142,11 +167,14 @@ mod tests {
         assert_eq!(one.fms(two, three).to_array()[0].to_f64(), -5.0);
         // zero behaves as identity for add
         assert_eq!(V::zero().add(two).to_array()[0].to_f64(), 2.0);
+        // ... in the last lane too, not just lane 0
+        let last = V::LANES - 1;
+        assert_eq!(one.fma(two, three).to_array()[last].to_f64(), 7.0);
     }
 
     fn lanes_independent<V: SimdReal>() {
-        let mut a = [V::Scalar::ZERO; 4];
-        let mut b = [V::Scalar::ZERO; 4];
+        let mut a = [V::Scalar::ZERO; MAX_LANES];
+        let mut b = [V::Scalar::ZERO; MAX_LANES];
         for i in 0..V::LANES {
             a[i] = V::Scalar::from_f64(i as f64 + 1.0);
             b[i] = V::Scalar::from_f64(10.0 * (i as f64 + 1.0));
@@ -159,20 +187,50 @@ mod tests {
         }
     }
 
+    fn semantics<V: SimdReal>() {
+        roundtrip::<V>();
+        arithmetic::<V>();
+        lanes_independent::<V>();
+    }
+
     #[test]
     fn f32x4_semantics() {
         assert_eq!(F32x4::LANES, 4);
-        roundtrip::<F32x4>();
-        arithmetic::<F32x4>();
-        lanes_independent::<F32x4>();
+        semantics::<F32x4>();
     }
 
     #[test]
     fn f64x2_semantics() {
         assert_eq!(F64x2::LANES, 2);
-        roundtrip::<F64x2>();
-        arithmetic::<F64x2>();
-        lanes_independent::<F64x2>();
+        semantics::<F64x2>();
+    }
+
+    #[test]
+    fn scalar_backend_semantics() {
+        assert_eq!(S32x4::LANES, 4);
+        assert_eq!(S64x2::LANES, 2);
+        semantics::<S32x4>();
+        semantics::<S64x2>();
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn wide_backend_semantics() {
+        // The wide types execute AVX2/AVX-512 instructions; only exercise
+        // them when the host's runtime probe admits the width.
+        use crate::width::{width_available, VecWidth};
+        if width_available(VecWidth::W256) {
+            assert_eq!(F32x8::LANES, 8);
+            assert_eq!(F64x4::LANES, 4);
+            semantics::<F32x8>();
+            semantics::<F64x4>();
+        }
+        if width_available(VecWidth::W512) {
+            assert_eq!(F32x16::LANES, 16);
+            assert_eq!(F64x8::LANES, 8);
+            semantics::<F32x16>();
+            semantics::<F64x8>();
+        }
     }
 
     #[test]

@@ -1,0 +1,299 @@
+//! Runtime vector-width selection.
+//!
+//! The paper fixes the interleaving factor `P` by the Kunpeng 920's 128-bit
+//! NEON unit. This module makes the width a *runtime* parameter instead: the
+//! host's SIMD capabilities are probed once (`is_x86_feature_detected!` on
+//! x86_64), the widest safe backend becomes the process-wide default, and
+//! every width the host supports stays individually addressable so plans,
+//! tuning keys, and tests can pin one explicitly.
+//!
+//! `IATF_FORCE_WIDTH` overrides the default for testing (`scalar`, `128`,
+//! `256`, `512`). Per the workspace env policy an *unset* variable is
+//! silent, while a set-but-invalid or set-but-unavailable value logs a
+//! single-line warning to stderr and falls back to the detected default;
+//! the fallback is also recorded so tests can assert on it without
+//! scraping stderr.
+
+use std::sync::OnceLock;
+
+/// A SIMD backend width.
+///
+/// `Scalar` is the portable no-SIMD backend; it keeps the 128-bit lane
+/// counts (4×f32 / 2×f64) so the compact layout is identical to `W128` and
+/// results can be compared lane for lane.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VecWidth {
+    /// Portable scalar backend (128-bit lane counts, no SIMD instructions).
+    Scalar,
+    /// 128-bit vectors: NEON on aarch64, SSE2 on x86_64 (the paper's `P`).
+    W128,
+    /// 256-bit vectors: AVX2 + FMA on x86_64.
+    W256,
+    /// 512-bit vectors: AVX-512F on x86_64.
+    W512,
+}
+
+impl VecWidth {
+    /// All widths, narrowest first.
+    pub const ALL: [VecWidth; 4] = [
+        VecWidth::Scalar,
+        VecWidth::W128,
+        VecWidth::W256,
+        VecWidth::W512,
+    ];
+
+    /// Vector register bytes backing one element group. `Scalar` reports
+    /// 16 because it mirrors the 128-bit lane counts.
+    pub fn bytes(self) -> usize {
+        match self {
+            VecWidth::Scalar | VecWidth::W128 => 16,
+            VecWidth::W256 => 32,
+            VecWidth::W512 => 64,
+        }
+    }
+
+    /// Register width in bits (0 for the scalar backend).
+    pub fn bits(self) -> usize {
+        match self {
+            VecWidth::Scalar => 0,
+            VecWidth::W128 => 128,
+            VecWidth::W256 => 256,
+            VecWidth::W512 => 512,
+        }
+    }
+
+    /// Lane count (interleaving factor `P`) for a scalar of `scalar_bytes`.
+    pub fn lanes_for(self, scalar_bytes: usize) -> usize {
+        self.bytes() / scalar_bytes
+    }
+
+    /// Stable name, accepted back by [`VecWidth::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            VecWidth::Scalar => "scalar",
+            VecWidth::W128 => "128",
+            VecWidth::W256 => "256",
+            VecWidth::W512 => "512",
+        }
+    }
+
+    /// Parses a width name (`scalar` / `128` / `256` / `512`,
+    /// case-insensitive, surrounding whitespace ignored).
+    pub fn parse(s: &str) -> Option<VecWidth> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(VecWidth::Scalar),
+            "128" => Some(VecWidth::W128),
+            "256" => Some(VecWidth::W256),
+            "512" => Some(VecWidth::W512),
+            _ => None,
+        }
+    }
+
+    /// Stable numeric code for fingerprints and tuning keys.
+    pub fn code(self) -> u8 {
+        match self {
+            VecWidth::Scalar => 0,
+            VecWidth::W128 => 1,
+            VecWidth::W256 => 2,
+            VecWidth::W512 => 3,
+        }
+    }
+
+    /// Inverse of [`VecWidth::code`].
+    pub fn from_code(code: u8) -> Option<VecWidth> {
+        VecWidth::ALL.into_iter().find(|w| w.code() == code)
+    }
+
+    /// The widest *available* width not exceeding a register size in bits
+    /// (used to map machine profiles onto backends).
+    pub fn for_simd_bits(bits: usize) -> VecWidth {
+        let want = match bits {
+            0..=127 => VecWidth::Scalar,
+            128..=255 => VecWidth::W128,
+            256..=511 => VecWidth::W256,
+            _ => VecWidth::W512,
+        };
+        available_widths()
+            .iter()
+            .copied()
+            .filter(|w| *w <= want)
+            .max()
+            .unwrap_or(VecWidth::W128)
+    }
+}
+
+impl core::fmt::Display for VecWidth {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Widths the host can execute, narrowest first. `Scalar` and `W128` are
+/// always present (the 128-bit backend is baseline SSE2/NEON); `W256`/`W512`
+/// appear only when the runtime probe confirms AVX2+FMA / AVX-512F.
+pub fn available_widths() -> &'static [VecWidth] {
+    static WIDTHS: OnceLock<Vec<VecWidth>> = OnceLock::new();
+    WIDTHS.get_or_init(|| {
+        let mut v = vec![VecWidth::Scalar, VecWidth::W128];
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                v.push(VecWidth::W256);
+            }
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                v.push(VecWidth::W512);
+            }
+        }
+        v
+    })
+}
+
+/// True when `width`'s backend can run on this host.
+pub fn width_available(width: VecWidth) -> bool {
+    available_widths().contains(&width)
+}
+
+/// What happened to an `IATF_FORCE_WIDTH` request that could not be
+/// honored (recorded once, at first dispatch).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForcedWidthFallback {
+    /// The raw requested value.
+    pub requested: String,
+    /// The width actually dispatched instead.
+    pub fallback: VecWidth,
+    /// Why the request was rejected.
+    pub reason: &'static str,
+}
+
+struct Dispatch {
+    width: VecWidth,
+    fallback: Option<ForcedWidthFallback>,
+}
+
+fn dispatch() -> &'static Dispatch {
+    static DISPATCH: OnceLock<Dispatch> = OnceLock::new();
+    DISPATCH.get_or_init(|| {
+        let widest = *available_widths().last().expect("W128 is always available");
+        let Ok(raw) = std::env::var("IATF_FORCE_WIDTH") else {
+            return Dispatch {
+                width: widest,
+                fallback: None,
+            };
+        };
+        match VecWidth::parse(&raw) {
+            Some(w) if width_available(w) => Dispatch {
+                width: w,
+                fallback: None,
+            },
+            Some(_) => {
+                let reason = "width not available on this host";
+                eprintln!(
+                    "iatf: ignoring IATF_FORCE_WIDTH={raw:?} ({reason}); using default {widest}"
+                );
+                Dispatch {
+                    width: widest,
+                    fallback: Some(ForcedWidthFallback {
+                        requested: raw,
+                        fallback: widest,
+                        reason,
+                    }),
+                }
+            }
+            None => {
+                let reason = "not one of scalar/128/256/512";
+                eprintln!(
+                    "iatf: ignoring IATF_FORCE_WIDTH={raw:?} ({reason}); using default {widest}"
+                );
+                Dispatch {
+                    width: widest,
+                    fallback: Some(ForcedWidthFallback {
+                        requested: raw,
+                        fallback: widest,
+                        reason,
+                    }),
+                }
+            }
+        }
+    })
+}
+
+/// The process-wide default width, chosen once at first use: the
+/// `IATF_FORCE_WIDTH` override when set and runnable, otherwise the widest
+/// available backend.
+pub fn dispatched_width() -> VecWidth {
+    dispatch().width
+}
+
+/// The recorded `IATF_FORCE_WIDTH` rejection, if the first dispatch had to
+/// fall back (None when the variable was unset or honored).
+pub fn forced_width_fallback() -> Option<&'static ForcedWidthFallback> {
+    dispatch().fallback.as_ref()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for w in VecWidth::ALL {
+            assert_eq!(VecWidth::parse(w.name()), Some(w));
+            assert_eq!(VecWidth::from_code(w.code()), Some(w));
+        }
+        assert_eq!(VecWidth::parse(" 256 "), Some(VecWidth::W256));
+        assert_eq!(VecWidth::parse("SCALAR"), Some(VecWidth::Scalar));
+        assert_eq!(VecWidth::parse("1024"), None);
+        assert_eq!(VecWidth::parse(""), None);
+        assert_eq!(VecWidth::from_code(9), None);
+    }
+
+    #[test]
+    fn lane_counts_match_register_bytes() {
+        assert_eq!(VecWidth::W128.lanes_for(4), 4);
+        assert_eq!(VecWidth::W128.lanes_for(8), 2);
+        assert_eq!(VecWidth::W256.lanes_for(4), 8);
+        assert_eq!(VecWidth::W256.lanes_for(8), 4);
+        assert_eq!(VecWidth::W512.lanes_for(4), 16);
+        assert_eq!(VecWidth::W512.lanes_for(8), 8);
+        // Scalar mirrors the 128-bit layout.
+        assert_eq!(VecWidth::Scalar.lanes_for(4), 4);
+        assert_eq!(VecWidth::Scalar.lanes_for(8), 2);
+    }
+
+    #[test]
+    fn scalar_and_128_always_available() {
+        let widths = available_widths();
+        assert!(widths.contains(&VecWidth::Scalar));
+        assert!(widths.contains(&VecWidth::W128));
+        // Sorted narrowest-first, so the dispatch default is the last entry.
+        let mut sorted = widths.to_vec();
+        sorted.sort();
+        assert_eq!(sorted, widths);
+    }
+
+    #[test]
+    fn dispatched_width_is_available() {
+        assert!(width_available(dispatched_width()));
+        // Unless forced narrower via the env override, the default is the
+        // widest available backend.
+        if std::env::var("IATF_FORCE_WIDTH").is_err() {
+            assert_eq!(
+                dispatched_width(),
+                *available_widths().last().unwrap()
+            );
+            assert!(forced_width_fallback().is_none());
+        }
+    }
+
+    #[test]
+    fn machine_bits_map_to_clamped_widths() {
+        // Results are clamped to availability, so only invariants that hold
+        // on every host are asserted.
+        assert_eq!(VecWidth::for_simd_bits(128), VecWidth::W128);
+        assert_eq!(VecWidth::for_simd_bits(64), VecWidth::Scalar);
+        assert!(VecWidth::for_simd_bits(512) <= *available_widths().last().unwrap());
+        assert!(width_available(VecWidth::for_simd_bits(256)));
+    }
+}

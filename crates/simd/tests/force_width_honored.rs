@@ -1,0 +1,13 @@
+//! `IATF_FORCE_WIDTH` with an always-available width must be honored
+//! silently. Own integration-test binary: the dispatch decision is made
+//! once per process, so the env var has to be set before first use.
+
+use iatf_simd::{dispatched_width, forced_width_fallback, VecWidth};
+
+#[test]
+fn forcing_an_available_width_is_honored() {
+    // Set before the first dispatched_width() call in this process.
+    std::env::set_var("IATF_FORCE_WIDTH", "128");
+    assert_eq!(dispatched_width(), VecWidth::W128);
+    assert!(forced_width_fallback().is_none());
+}

@@ -1,0 +1,18 @@
+//! A malformed `IATF_FORCE_WIDTH` value must fall back to the detected
+//! default and record the rejection (same env hygiene as the
+//! `IATF_WATCH_*` variables: unset is silent, set-but-invalid warns once
+//! and degrades). Own binary so the once-per-process dispatch sees the
+//! variable.
+
+use iatf_simd::{available_widths, dispatched_width, forced_width_fallback};
+
+#[test]
+fn malformed_force_width_falls_back_with_record() {
+    std::env::set_var("IATF_FORCE_WIDTH", "1024");
+    let widest = *available_widths().last().unwrap();
+    assert_eq!(dispatched_width(), widest);
+    let fb = forced_width_fallback().expect("rejection must be recorded");
+    assert_eq!(fb.requested, "1024");
+    assert_eq!(fb.fallback, widest);
+    assert!(fb.reason.contains("scalar/128/256/512"), "{}", fb.reason);
+}

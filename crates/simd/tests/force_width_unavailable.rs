@@ -1,0 +1,24 @@
+//! `IATF_FORCE_WIDTH=512` must be honored where AVX-512F exists and fall
+//! back (with a recorded reason) everywhere else — so this one test
+//! exercises the rejection path on narrow hosts and the acceptance path
+//! on wide ones. Own binary: dispatch is decided once per process.
+
+use iatf_simd::{
+    available_widths, dispatched_width, forced_width_fallback, width_available, VecWidth,
+};
+
+#[test]
+fn unavailable_width_falls_back_available_width_sticks() {
+    std::env::set_var("IATF_FORCE_WIDTH", "512");
+    if width_available(VecWidth::W512) {
+        assert_eq!(dispatched_width(), VecWidth::W512);
+        assert!(forced_width_fallback().is_none());
+    } else {
+        let widest = *available_widths().last().unwrap();
+        assert_eq!(dispatched_width(), widest);
+        let fb = forced_width_fallback().expect("rejection must be recorded");
+        assert_eq!(fb.requested, "512");
+        assert_eq!(fb.fallback, widest);
+        assert!(fb.reason.contains("not available"), "{}", fb.reason);
+    }
+}

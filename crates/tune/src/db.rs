@@ -349,6 +349,7 @@ mod tests {
             mode: 0,
             conj: 0,
             count: 1024,
+            width: 1,
         }
     }
 
@@ -465,11 +466,11 @@ mod tests {
         std::fs::write(
             &path,
             r#"{"schema": 1, "generation": 6, "entries": [
-                {"key": "0:0:4:4:4:0:0:1024", "pack": 2, "group_packs": 8,
+                {"key": "0:0:4:4:4:0:0:1024:1", "pack": 2, "group_packs": 8,
                  "l1_fraction": 0.75, "parallel": false,
                  "tuned_gflops": 3.5, "heuristic_gflops": 3.1, "noise": 0.02},
                 {"key": "bogus", "pack": 0},
-                {"key": "0:0:5:5:5:0:0:1024", "pack": 77, "group_packs": 1,
+                {"key": "0:0:5:5:5:0:0:1024:1", "pack": 77, "group_packs": 1,
                  "l1_fraction": 0.5, "parallel": false,
                  "tuned_gflops": 1.0, "heuristic_gflops": 1.0, "noise": 0.0}
             ]}"#,

@@ -282,6 +282,7 @@ mod tests {
             mode: 0,
             conj: 0,
             count: 512,
+            width: 1,
         }
     }
 
@@ -371,10 +372,10 @@ mod tests {
         std::fs::write(
             &path,
             r#"{"schema": 1, "envelopes": [
-                {"key": "0:1:8:8:8:0:0:512", "expected_ns": 12500.0,
+                {"key": "0:1:8:8:8:0:0:512:1", "expected_ns": 12500.0,
                  "expected_gflops": 3.2, "noise": 0.05, "source": "tuned"},
                 {"key": "bogus", "expected_ns": 1.0},
-                {"key": "0:1:9:9:9:0:0:512", "expected_ns": 1.0,
+                {"key": "0:1:9:9:9:0:0:512:1", "expected_ns": 1.0,
                  "expected_gflops": 1.0, "noise": 0.0, "source": "psychic"}
             ]}"#,
         )

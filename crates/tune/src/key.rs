@@ -47,15 +47,30 @@ pub struct TuneKey {
     pub conj: u8,
     /// Batch count.
     pub count: u64,
+    /// Vector-width code (`iatf_simd::VecWidth::code()`) the measurement
+    /// ran at. The interleaving factor changes the candidate space and
+    /// every measured time, so a winner recorded at one width must never
+    /// be served at another. Entries written before this field existed
+    /// fail to decode and are skipped by the db loader — exactly the
+    /// "never serve a stale-width record" behaviour wanted.
+    pub width: u8,
 }
 
 impl TuneKey {
     /// Stable string encoding used as the on-disk identifier:
-    /// `op:dtype:m:n:k:mode:conj:count`, all numeric.
+    /// `op:dtype:m:n:k:mode:conj:count:width`, all numeric.
     pub fn encode(&self) -> String {
         format!(
-            "{}:{}:{}:{}:{}:{}:{}:{}",
-            self.op as u8, self.dtype, self.m, self.n, self.k, self.mode, self.conj, self.count
+            "{}:{}:{}:{}:{}:{}:{}:{}:{}",
+            self.op as u8,
+            self.dtype,
+            self.m,
+            self.n,
+            self.k,
+            self.mode,
+            self.conj,
+            self.count,
+            self.width
         )
     }
 
@@ -72,6 +87,7 @@ impl TuneKey {
         let mode = u8::try_from(next_u64()?).ok()?;
         let conj = u8::try_from(next_u64()?).ok()?;
         let count = next_u64()?;
+        let width = u8::try_from(next_u64()?).ok()?;
         if it.next().is_some() {
             return None;
         }
@@ -84,6 +100,7 @@ impl TuneKey {
             mode,
             conj,
             count,
+            width,
         })
     }
 }
@@ -103,6 +120,7 @@ mod tests {
             mode: 0b1011,
             conj: 1,
             count: 16384,
+            width: 2,
         };
         assert_eq!(TuneKey::decode(&key.encode()), Some(key));
     }
@@ -112,12 +130,13 @@ mod tests {
         for bad in [
             "",
             "0:1:2",                    // too few fields
-            "0:1:2:3:4:5:6:7:8",        // too many fields
-            "9:1:2:3:4:5:6:7",          // unknown op
-            "0:1:2:3:4:5:6:x",          // non-numeric
-            "0:300:2:3:4:5:6:7",        // dtype overflows u8
-            "0:1:2:3:4:5:6:-7",         // negative
-            "gemm:f32:2:3:4:5:6:7",     // symbolic form is not accepted
+            "0:1:2:3:4:5:6:7",          // pre-width 8-field key (stale db)
+            "0:1:2:3:4:5:6:7:8:9",      // too many fields
+            "9:1:2:3:4:5:6:7:8",        // unknown op
+            "0:1:2:3:4:5:6:7:x",        // non-numeric
+            "0:300:2:3:4:5:6:7:8",      // dtype overflows u8
+            "0:1:2:3:4:5:6:-7:8",       // negative
+            "gemm:f32:2:3:4:5:6:7:8",   // symbolic form is not accepted
         ] {
             assert_eq!(TuneKey::decode(bad), None, "accepted {bad:?}");
         }

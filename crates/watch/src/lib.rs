@@ -246,6 +246,7 @@ mod tests {
             mode: 0,
             conj: 0,
             count,
+            width: 1,
         }
     }
 

@@ -174,6 +174,7 @@ mod tests {
                 mode: 0,
                 conj: 0,
                 count: 512,
+                width: 1,
             },
             count: 10,
             total_ns: 12_000,

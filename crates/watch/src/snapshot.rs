@@ -265,6 +265,7 @@ mod tests {
             mode: 0,
             conj: 0,
             count: 512,
+            width: 1,
         }
     }
 

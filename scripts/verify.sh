@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Full pre-merge verification: tier-1 build+test, every feature-gate state
-# (obs, parallel, trace, watch), the perf-regression sentinel against the
-# committed baselines, the trace/roofline smoke, the watch drift-detection
-# smoke, and a clean clippy run. Run artifacts (BENCH_*.json,
+# Full pre-merge verification: tier-1 build+test (repeated under every
+# executable forced vector width), every feature-gate state (obs,
+# parallel, trace, watch), the perf-regression sentinel against the
+# committed baselines, the width-sweep gate (wider backends must not lose
+# to 128-bit), the trace/roofline smoke, the watch drift-detection smoke,
+# and a clean clippy run. Run artifacts (BENCH_*.json,
 # verify_report.json, trace_*.json, watch_prometheus.txt) land under
 # target/; the committed ./BENCH_{3,4,5}.json are the sentinel's baselines
 # and only change when deliberately promoted.
@@ -14,6 +16,20 @@ cargo build --release
 
 echo "==> tier-1: workspace-root tests"
 cargo test -q
+
+echo "==> tier-1: width matrix (forced vector width per executable backend)"
+# Reruns the tier-1 suite under IATF_FORCE_WIDTH for every backend the
+# host can execute (`reproduce backends`): scalar and 128 everywhere,
+# 256/512 where the CPU reports AVX2/AVX-512F. The unforced run above
+# already covered the widest backend at its default dispatch; forcing
+# each width exercises the narrower kernels, pack layouts (P per width),
+# and tuning keys the default dispatch would otherwise never touch.
+WIDTHS=$(cargo run -q --release -p iatf-bench --bin reproduce -- backends | awk '{print $1}')
+echo "    executable widths: ${WIDTHS//$'\n'/ }"
+for w in $WIDTHS; do
+  echo "    ==> tier-1 at IATF_FORCE_WIDTH=$w"
+  IATF_FORCE_WIDTH=$w cargo test -q
+done
 
 echo "==> obs feature OFF is the default release artifact (built above)"
 echo "==> obs feature ON: release build"
@@ -125,6 +141,42 @@ EOF
 test -s target/tune-tests/ci-tune.json || {
   echo "error: autotuner did not persist its db to IATF_TUNE_DB"; exit 1; }
 echo "    wrote target/BENCH_4.json (promote to ./BENCH_4.json to refresh the baseline)"
+
+echo "==> width sweep: wider backends vs the 128-bit baseline (reproduce widths)"
+cargo run -q --release -p iatf-bench --features parallel,obs --bin reproduce -- \
+  widths --json > target/BENCH_8.json
+python3 - <<'EOF'
+import json
+doc = json.load(open("target/BENCH_8.json"))
+reg = doc["registry"]
+pts = doc["points"]
+print(f"    dispatch: {reg['uarch']} at {reg['width_bits']} bits; "
+      f"host widths {doc['host_widths']}")
+if not pts:
+    # 128-bit-only host: nothing wider to compare; the sweep still ran.
+    assert "128" in doc["host_widths"], "128-bit backend missing from host"
+    print("    no wider backend on this host — comparison gate vacuous")
+else:
+    for p in pts:
+        # A wider backend must never lose to the 128-bit one beyond
+        # max(3*noise, 2%): same kernels, same operands, more lanes.
+        tol = max(3.0 * p["noise"], 0.02)
+        assert p["gflops"] >= p["baseline_gflops"] * (1.0 - tol), (
+            f"{p['width']}-bit loses to 128-bit beyond noise at {p['op']}/"
+            f"{p['dtype']} n={p['n']}: {p['gflops']:.3f} vs "
+            f"{p['baseline_gflops']:.3f} (noise {p['noise']:.3f})")
+    wins = sum(1 for p in pts if p["wins"])
+    frac = wins / len(pts)
+    if any(p["width"] == "256" for p in pts):
+        # Hosts with a 256-bit backend must convert the extra lanes into
+        # measured throughput on a meaningful part of the grid.
+        assert frac >= 0.25, (
+            f"wider backends beat 128-bit beyond noise on only "
+            f"{100*frac:.0f}% of the grid (need >=25%)")
+    print(f"    {wins}/{len(pts)} wider points strictly faster "
+          f"({100*frac:.0f}%), 0 losses beyond tolerance")
+EOF
+echo "    wrote target/BENCH_8.json"
 
 echo "==> flight recorder + PMU roofline smoke (reproduce trace)"
 cargo run -q --release -p iatf-bench --features trace --bin reproduce -- \
