@@ -86,6 +86,7 @@ static WORKSPACE: Registry = Registry {
         ("crates/watch/src/drift.rs", ModuleClass::Counter),
         ("crates/tune/src/db.rs", ModuleClass::Counter),
         ("crates/tune/src/envelope.rs", ModuleClass::Counter),
+        ("crates/journal/src/ledger.rs", ModuleClass::Counter),
     ],
     escape_exempt: &[
         ("crates/obs/src/json.rs", "the single JSON implementation itself"),
@@ -104,7 +105,12 @@ static WORKSPACE: Registry = Registry {
         // integration tests.
         "crates/simd/src/width.rs",
     ],
-    fallback_crates: &["crates/obs/src/", "crates/trace/src/", "crates/watch/src/"],
+    fallback_crates: &[
+        "crates/obs/src/",
+        "crates/trace/src/",
+        "crates/watch/src/",
+        "crates/journal/src/",
+    ],
 };
 
 /// What kind of source a file is, by path convention; rules use this to

@@ -315,6 +315,7 @@ fn record_winner<P>(
     report: &SweepReport,
     flops: f64,
     parallel: bool,
+    provenance: iatf_tune::Provenance,
 ) {
     let entry = TunedEntry {
         pack: winner.pack_code,
@@ -328,8 +329,89 @@ fn record_winner<P>(
         tuned_gflops: flops / (report.secs[report.winner] * 1e9),
         heuristic_gflops: flops / (report.secs[0] * 1e9),
         noise: report.noise,
+        provenance,
     };
     db.record(key, entry);
+}
+
+fn unix_secs() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
+
+/// Journal probe for a sweep that is about to measure: returns the
+/// `sweep_start` event id (0 when the journal is off). Cause is ambient,
+/// so a retune-triggered sweep links back to its drift event while a
+/// first-touch sweep is a root.
+fn journal_sweep_start(key: &TuneKey, budget_ms: u64, candidates: usize) -> u64 {
+    if !iatf_journal::is_enabled() {
+        return 0;
+    }
+    iatf_journal::publish(
+        iatf_journal::EventKind::SweepStart,
+        &key.encode(),
+        0,
+        obs::Json::object()
+            .set("budget_ms", budget_ms)
+            .set("candidates", candidates as u64),
+    )
+}
+
+/// Journal probes for a finished sweep: one `sweep_candidate` event per
+/// measured configuration and the `sweep_winner` (noise, rep counts,
+/// host/µarch/width fingerprint), all caused by `sweep_event`. Returns
+/// the provenance to stamp into the recorded entry (zeros when off).
+fn journal_sweep_outcome<P>(
+    key: &TuneKey,
+    width: VecWidth,
+    cands: &[Candidate<P>],
+    report: &SweepReport,
+    parallel: bool,
+    flops: f64,
+    sweep_event: u64,
+) -> iatf_tune::Provenance {
+    if !iatf_journal::is_enabled() {
+        return iatf_tune::Provenance::default();
+    }
+    let kstr = key.encode();
+    for (i, cand) in cands.iter().enumerate() {
+        iatf_journal::publish(
+            iatf_journal::EventKind::SweepCandidate,
+            &kstr,
+            sweep_event,
+            obs::Json::object()
+                .set("index", i as u64)
+                .set("pack", u64::from(cand.pack_code))
+                .set("l1_fraction", cand.l1_fraction)
+                .set("group_packs", cand.group_packs as u64)
+                .set("secs", report.secs[i])
+                .set("winner", i == report.winner),
+        );
+    }
+    let row = iatf_kernels::row_for(width);
+    let host = iatf_journal::host_fingerprint(row.uarch, row.width.name());
+    let winner_event = iatf_journal::publish(
+        iatf_journal::EventKind::SweepWinner,
+        &kstr,
+        sweep_event,
+        obs::Json::object()
+            .set("winner", report.winner as u64)
+            .set("candidates", cands.len() as u64)
+            .set("noise", report.noise)
+            .set("rounds", report.rounds as u64)
+            .set("iters", report.iters as u64)
+            .set("parallel", parallel)
+            .set("tuned_gflops", flops / (report.secs[report.winner] * 1e9))
+            .set("uarch", row.uarch)
+            .set("width", row.width.name())
+            .set("host", format!("{host:016x}").as_str()),
+    );
+    iatf_tune::Provenance {
+        journal_event: winner_event,
+        host,
+        recorded_at: unix_secs(),
+    }
 }
 
 /// Drift remediation for a GEMM input: if the watch layer flagged this
@@ -354,18 +436,40 @@ pub fn maybe_retune_gemm<E: CompactElement>(
         return;
     }
     let key = gemm_tune_key::<E>(dims, mode, conj_a, conj_b, count, cfg.width);
-    if !iatf_watch::take_retune(&key) {
+    let Some(drift_event) = iatf_watch::take_retune_cause(&key) else {
         return;
-    }
+    };
     obs::count_tune(obs::TuneEvent::Retune);
+    // Everything the remediation does — eviction, re-sweep, envelope
+    // re-arm — journals under the drift event that triggered it.
+    let _cause = iatf_journal::cause_scope(drift_event);
     let db = TuningDb::global();
     db.remove(&key);
     let budget = iatf_watch::retune_budget_ms();
     sweep_gemm::<E>(db, key, dims, mode, conj_a, conj_b, count, budget, cfg);
-    match db.lookup(&key) {
+    let outcome = db.lookup(&key);
+    journal_retune(&key, drift_event, outcome.as_ref());
+    match outcome {
         Some(entry) => iatf_watch::note_retuned(&key, entry.tuned_gflops, entry.noise),
         None => iatf_watch::note_retuned(&key, 0.0, 0.0),
     }
+}
+
+/// Journal probe for a finished retune: records whether the re-sweep
+/// produced a fresh winner, caused by the drift event that demanded it.
+fn journal_retune(key: &TuneKey, drift_event: u64, outcome: Option<&TunedEntry>) {
+    if !iatf_journal::is_enabled() {
+        return;
+    }
+    iatf_journal::publish(
+        iatf_journal::EventKind::Retune,
+        &key.encode(),
+        drift_event,
+        obs::Json::object()
+            .set("rerecorded", outcome.is_some())
+            .set("tuned_gflops", outcome.map_or(0.0, |e| e.tuned_gflops))
+            .set("noise", outcome.map_or(0.0, |e| e.noise)),
+    );
 }
 
 /// Runs the first-touch sweep for a GEMM input if `cfg.tune` asks for one
@@ -423,6 +527,7 @@ fn sweep_gemm<E: CompactElement>(
     if cands.is_empty() {
         return;
     }
+    let jsweep = journal_sweep_start(&key, budget_ms, cands.len());
     let (ar, ac) = dims.a_shape(mode);
     let (br, bc) = dims.b_shape(mode);
     let a = CompactBatch::<E>::from_std_at(&StdBatch::random(ar, ac, mcount, 0xA11CE), cfg.width);
@@ -462,7 +567,8 @@ fn sweep_gemm<E: CompactElement>(
         rep.winner == 1 && rep.strictly_faster(1, 0)
     };
     let flops = E::DTYPE.flops_per_mac() as f64 * dims.macs() as f64 * mcount as f64;
-    record_winner(db, key, winner, &report, flops, parallel);
+    let provenance = journal_sweep_outcome(&key, cfg.width, &cands, &report, parallel, flops, jsweep);
+    record_winner(db, key, winner, &report, flops, parallel, provenance);
 }
 
 macro_rules! triangular_tuner {
@@ -484,15 +590,19 @@ macro_rules! triangular_tuner {
                 return;
             }
             let key = $keyfn::<E>(dims, mode, conj, count, cfg.width);
-            if !iatf_watch::take_retune(&key) {
+            let Some(drift_event) = iatf_watch::take_retune_cause(&key) else {
                 return;
-            }
+            };
             obs::count_tune(obs::TuneEvent::Retune);
+            // Journal the whole remediation under the triggering drift.
+            let _cause = iatf_journal::cause_scope(drift_event);
             let db = TuningDb::global();
             db.remove(&key);
             let budget = iatf_watch::retune_budget_ms();
             $sweepfn::<E>(db, key, dims, mode, conj, count, budget, cfg);
-            match db.lookup(&key) {
+            let outcome = db.lookup(&key);
+            journal_retune(&key, drift_event, outcome.as_ref());
+            match outcome {
                 Some(entry) => iatf_watch::note_retuned(&key, entry.tuned_gflops, entry.noise),
                 None => iatf_watch::note_retuned(&key, 0.0, 0.0),
             }
@@ -549,6 +659,7 @@ macro_rules! triangular_tuner {
             if cands.is_empty() {
                 return;
             }
+            let jsweep = journal_sweep_start(&key, budget_ms, cands.len());
             // Identity A makes the repeated in-place solve/multiply a
             // bitwise fixed point: X = 1·B every rep, no drift, no
             // overflow, regardless of how many timing iterations run.
@@ -597,7 +708,9 @@ macro_rules! triangular_tuner {
                 rep.winner == 1 && rep.strictly_faster(1, 0)
             };
             let flops = E::DTYPE.flops_per_mac() as f64 * dims.macs(mode) as f64 * mcount as f64;
-            record_winner(db, key, winner, &report, flops, parallel);
+            let provenance =
+                journal_sweep_outcome(&key, cfg.width, &cands, &report, parallel, flops, jsweep);
+            record_winner(db, key, winner, &report, flops, parallel, provenance);
         }
     };
 }
@@ -708,6 +821,7 @@ mod tests {
             tuned_gflops: 1.0,
             heuristic_gflops: 1.0,
             noise: 0.0,
+            provenance: Default::default(),
         });
         assert_eq!(d.pack, Some(PackPolicy::Never));
         assert_eq!(d.group_packs, Some(16));
@@ -721,6 +835,7 @@ mod tests {
             tuned_gflops: 1.0,
             heuristic_gflops: 1.0,
             noise: 0.0,
+            provenance: Default::default(),
         });
         assert_eq!(d.pack, Some(PackPolicy::Auto));
         assert_eq!(d.group_packs, None);

@@ -63,6 +63,14 @@ pub use iatf_trace as trace;
 /// constant `false`.
 pub use iatf_watch as watch;
 
+/// Re-export of the provenance journal, `iatf-journal`: the causal event
+/// ledger linking plan builds, cache activity, autotune sweeps, recorded
+/// winners, envelope seeds, drift events, and retune outcomes. The probe
+/// sites wired through the planner cache, autotuner, and watch layer
+/// publish only with the `journal` cargo feature — otherwise `publish()`
+/// is a constant 0 and payload construction is skipped entirely.
+pub use iatf_journal as journal;
+
 pub use analysis::{cmar_complex, cmar_real, optimal_complex_kernel, optimal_real_kernel};
 pub use api::{
     compact_gemm, compact_gemm_ex, compact_trmm, compact_trmm_ex, compact_trsm, compact_trsm_ex,

@@ -68,6 +68,15 @@ struct Key {
 }
 
 impl Key {
+    /// Stable journal-key rendering (tune-key style, minus the width —
+    /// the cfg fingerprint folds it in and travels in the event payload).
+    fn journal_key(&self) -> String {
+        format!(
+            "{}:{}:{}:{}:{}:{}:{}:{}",
+            self.op, self.dtype, self.m, self.n, self.k, self.mode, self.conj, self.count
+        )
+    }
+
     fn hash64(&self) -> u64 {
         let tags = ((self.op as u64) << 48)
             | ((self.dtype as u64) << 32)
@@ -198,13 +207,45 @@ thread_local! {
     static FRONT: RefCell<FrontCache> = const { RefCell::new(FrontCache::new()) };
 }
 
+/// Journal probe for a freshly planned shape (runs only on the shared-
+/// cache miss path, so sweep-built and bypass plans stay silent): the
+/// chosen pack/tile/width decisions plus a digest of the full explain
+/// document. Returns the event id for the cache-insert probe to cite.
+fn journal_plan_build(key: &Key, x: &obs::PlanExplain) -> u64 {
+    iatf_journal::publish(
+        iatf_journal::EventKind::PlanBuild,
+        &key.journal_key(),
+        0,
+        obs::Json::object()
+            .set("op", x.op.as_str())
+            .set("dtype", x.dtype.as_str())
+            .set("mode", x.mode.as_str())
+            .set("p", x.p)
+            .set("width_bits", x.width_bits)
+            .set("uarch", x.uarch.as_str())
+            .set("group_packs", x.group_packs)
+            .set("pack_a", x.pack_a.as_str())
+            .set("pack_b", x.pack_b.as_str())
+            .set("main_mr", x.main_kernel.0)
+            .set("main_nr", x.main_kernel.1)
+            .set("tiles", x.tiles_per_matrix())
+            .set(
+                "explain_digest",
+                format!("{:016x}", iatf_journal::digest64(&x.to_json().to_compact())).as_str(),
+            ),
+    )
+}
+
 /// Looks `key` up in the front cache, then its shard; on a miss, builds
 /// the plan (outside the shard lock — concurrent same-shape misses may
 /// build twice, and the first insert wins) and caches it in both layers.
-fn get_or_build<P, F>(key: Key, build: F) -> Result<Arc<P>, LayoutError>
+/// `describe` journals the freshly built plan (a no-op closure returning
+/// 0 when the journal is off) and hands back the `plan_build` event id.
+fn get_or_build<P, F, D>(key: Key, build: F, describe: D) -> Result<Arc<P>, LayoutError>
 where
     P: Send + Sync + 'static,
     F: FnOnce() -> Result<P, LayoutError>,
+    D: FnOnce(&P) -> u64,
 {
     let c = cache();
     // ordering: Relaxed — the epoch is the only shared word of the front
@@ -249,7 +290,13 @@ where
         Some(plan) => (plan, true),
         None => {
             // build without holding the shard lock — planning allocates
-            let built: AnyPlan = Arc::new(build()?);
+            let planned = build()?;
+            let build_event = describe(&planned);
+            let built: AnyPlan = Arc::new(planned);
+            // Journaled outside the shard lock below; `Some` only when
+            // this thread actually inserted (the race loser stays quiet).
+            let mut evicted: Option<Key> = None;
+            let mut inserted = false;
             let mut s = shard.lock().expect("plan cache shard poisoned");
             s.tick += 1;
             let tick = s.tick;
@@ -268,6 +315,7 @@ where
                             .min_by_key(|(_, e)| e.last_used)
                             .map(|(i, _)| i)
                             .expect("shard at capacity is non-empty");
+                        evicted = Some(s.entries[oldest].key);
                         s.entries.swap_remove(oldest);
                         // ordering: Relaxed — monotonic statistics
                         // counter (shard state is guarded by its Mutex).
@@ -280,9 +328,31 @@ where
                         plan: Arc::clone(&built),
                         last_used: tick,
                     });
+                    inserted = true;
                     built
                 }
             };
+            drop(s);
+            if iatf_journal::is_enabled() && inserted {
+                if let Some(old) = evicted {
+                    iatf_journal::publish(
+                        iatf_journal::EventKind::CacheEvict,
+                        &old.journal_key(),
+                        build_event,
+                        obs::Json::object()
+                            .set("cfg", format!("{:016x}", old.cfg).as_str())
+                            .set("shard", (hash % SHARDS as u64) as usize),
+                    );
+                }
+                iatf_journal::publish(
+                    iatf_journal::EventKind::CacheInsert,
+                    &key.journal_key(),
+                    build_event,
+                    obs::Json::object()
+                        .set("cfg", format!("{:016x}", key.cfg).as_str())
+                        .set("shard", (hash % SHARDS as u64) as usize),
+                );
+            }
             (plan, false)
         }
     };
@@ -342,9 +412,16 @@ pub fn cached_gemm_plan<E: CompactElement>(
         count,
         cfg: cfg.fingerprint(),
     };
-    get_or_build(key, || {
-        GemmPlan::<E>::new(dims, mode, conj_a, conj_b, count, cfg)
-    })
+    get_or_build(
+        key,
+        || GemmPlan::<E>::new(dims, mode, conj_a, conj_b, count, cfg),
+        |p| {
+            if !iatf_journal::is_enabled() {
+                return 0;
+            }
+            journal_plan_build(&key, &p.explain())
+        },
+    )
 }
 
 /// Returns the shared TRSM plan for this shape, building it on first use.
@@ -366,7 +443,16 @@ pub fn cached_trsm_plan<E: CompactElement>(
         count,
         cfg: cfg.fingerprint(),
     };
-    get_or_build(key, || TrsmPlan::<E>::new(dims, mode, conj, count, cfg))
+    get_or_build(
+        key,
+        || TrsmPlan::<E>::new(dims, mode, conj, count, cfg),
+        |p| {
+            if !iatf_journal::is_enabled() {
+                return 0;
+            }
+            journal_plan_build(&key, &p.explain())
+        },
+    )
 }
 
 /// Returns the shared TRMM plan for this shape, building it on first use.
@@ -388,7 +474,16 @@ pub fn cached_trmm_plan<E: CompactElement>(
         count,
         cfg: cfg.fingerprint(),
     };
-    get_or_build(key, || TrmmPlan::<E>::new(dims, mode, conj, count, cfg))
+    get_or_build(
+        key,
+        || TrmmPlan::<E>::new(dims, mode, conj, count, cfg),
+        |p| {
+            if !iatf_journal::is_enabled() {
+                return 0;
+            }
+            journal_plan_build(&key, &p.explain())
+        },
+    )
 }
 
 /// Point-in-time plan-cache statistics. Always live (plain atomics,
@@ -440,7 +535,15 @@ pub fn clear() {
     // below is still load-bearing for the *shared* cache: a thread that
     // finds a shard empty after this line can only remember the rebuilt
     // plan under the epoch it observed at entry.
-    c.epoch.fetch_add(1, Relaxed);
+    let epoch = c.epoch.fetch_add(1, Relaxed) + 1;
+    if iatf_journal::is_enabled() {
+        iatf_journal::publish(
+            iatf_journal::EventKind::CacheGenerationBump,
+            "*",
+            0,
+            obs::Json::object().set("epoch", epoch),
+        );
+    }
     for shard in &c.shards {
         let mut s = shard.lock().expect("plan cache shard poisoned");
         s.entries.clear();

@@ -51,6 +51,7 @@ fn forced_entry() -> TunedEntry {
         tuned_gflops: 1.0,
         heuristic_gflops: 1.0,
         noise: 0.0,
+        provenance: Default::default(),
     }
 }
 

@@ -186,6 +186,7 @@ fn db_entry_from_one_width_never_serves_another() {
             tuned_gflops: 1.0,
             heuristic_gflops: 1.0,
             noise: 0.0,
+            provenance: Default::default(),
         },
     );
     let plan_at = |width: VecWidth, tune: TunePolicy| {

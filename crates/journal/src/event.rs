@@ -1,0 +1,183 @@
+//! The ledger's record type: a causally-linked structured event.
+
+use iatf_obs::Json;
+
+/// What kind of decision an event records. Each decision-making subsystem
+/// owns a small set of kinds; the `cause` field on [`Event`] links them
+/// into chains (a drift event points at the envelope seed that armed the
+/// detector; the retune it triggers points back at the drift event).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A plan was built on a shared-cache miss (tiles/pack/width digest).
+    PlanBuild,
+    /// The freshly built plan was inserted into the shared plan cache.
+    CacheInsert,
+    /// An LRU victim was evicted from a shared plan-cache shard.
+    CacheEvict,
+    /// The plan cache was cleared and its epoch bumped.
+    CacheGenerationBump,
+    /// An autotune sweep began for a shape class.
+    SweepStart,
+    /// One candidate's measured time inside a sweep.
+    SweepCandidate,
+    /// The sweep's winner, with noise, rep counts, and host fingerprint.
+    SweepWinner,
+    /// A tuned entry was recorded into the tuning db.
+    DbRecord,
+    /// A tuned entry was evicted from the tuning db.
+    DbEvict,
+    /// A performance envelope was armed for a shape class.
+    EnvelopeSeed,
+    /// A class's envelope was re-seeded or sent back to calibration.
+    EnvelopeRecalibrate,
+    /// The drift detector tripped for a shape class.
+    Drift,
+    /// A drift-triggered retune completed (successfully or not).
+    Retune,
+}
+
+impl EventKind {
+    /// Every kind, in declaration order (drives CLI filters and tests).
+    pub const ALL: [EventKind; 13] = [
+        EventKind::PlanBuild,
+        EventKind::CacheInsert,
+        EventKind::CacheEvict,
+        EventKind::CacheGenerationBump,
+        EventKind::SweepStart,
+        EventKind::SweepCandidate,
+        EventKind::SweepWinner,
+        EventKind::DbRecord,
+        EventKind::DbEvict,
+        EventKind::EnvelopeSeed,
+        EventKind::EnvelopeRecalibrate,
+        EventKind::Drift,
+        EventKind::Retune,
+    ];
+
+    /// Stable snake_case name used in the on-disk format and CLI filters.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::PlanBuild => "plan_build",
+            EventKind::CacheInsert => "cache_insert",
+            EventKind::CacheEvict => "cache_evict",
+            EventKind::CacheGenerationBump => "cache_generation_bump",
+            EventKind::SweepStart => "sweep_start",
+            EventKind::SweepCandidate => "sweep_candidate",
+            EventKind::SweepWinner => "sweep_winner",
+            EventKind::DbRecord => "db_record",
+            EventKind::DbEvict => "db_evict",
+            EventKind::EnvelopeSeed => "envelope_seed",
+            EventKind::EnvelopeRecalibrate => "envelope_recalibrate",
+            EventKind::Drift => "drift",
+            EventKind::Retune => "retune",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name); `None` for unknown names, which
+    /// replay treats as a corrupt record.
+    pub fn from_name(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// One ledger record.
+///
+/// `id` is unique and monotone within a process (see the id scheme in the
+/// crate docs); `cause` is the id of the event that led to this one, or 0
+/// for a root event. `key` is the shape class the decision concerns — the
+/// autotuner's stable `TuneKey` encoding — or `""` for process-wide
+/// events like a cache generation bump.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Unique, process-monotone event id (never 0).
+    pub id: u64,
+    /// Id of the causing event; 0 for roots.
+    pub cause: u64,
+    /// Wall-clock timestamp, microseconds since the Unix epoch.
+    pub ts_micros: u64,
+    /// Small per-process ordinal of the publishing thread.
+    pub tid: u64,
+    /// The decision recorded.
+    pub kind: EventKind,
+    /// Shape-class identity (`TuneKey::encode()`), or empty.
+    pub key: String,
+    /// Kind-specific payload.
+    pub data: Json,
+}
+
+impl Event {
+    /// On-disk form: one JSON object per segment line.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .set("id", self.id)
+            .set("cause", self.cause)
+            .set("ts_us", self.ts_micros)
+            .set("tid", self.tid)
+            .set("kind", self.kind.name())
+            .set("key", self.key.as_str())
+            .set("data", self.data.clone())
+    }
+
+    /// Strict inverse of [`to_json`]: any missing or mistyped field makes
+    /// the record corrupt (`None`), and replay truncates the segment there.
+    pub fn from_json(j: &Json) -> Option<Event> {
+        let id = j.get("id")?.as_u64()?;
+        if id == 0 {
+            return None;
+        }
+        Some(Event {
+            id,
+            cause: j.get("cause")?.as_u64()?,
+            ts_micros: j.get("ts_us")?.as_u64()?,
+            tid: j.get("tid")?.as_u64()?,
+            kind: EventKind::from_name(j.get("kind")?.as_str()?)?,
+            key: j.get("key")?.as_str()?.to_string(),
+            data: j.get("data")?.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_roundtrip_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for k in EventKind::ALL {
+            assert!(seen.insert(k.name()), "duplicate name {}", k.name());
+            assert_eq!(EventKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(EventKind::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn event_roundtrips_through_json() {
+        let ev = Event {
+            id: 77,
+            cause: 3,
+            ts_micros: 1_700_000_000_000_000,
+            tid: 2,
+            kind: EventKind::SweepWinner,
+            key: "0:1:8:8:8:0:0:512:1".to_string(),
+            data: Json::object().set("noise", 0.01).set("winner", 2u64),
+        };
+        let text = ev.to_json().to_compact();
+        let back = Event::from_json(&iatf_obs::parse_json(&text).unwrap()).unwrap();
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn malformed_events_are_rejected() {
+        for bad in [
+            r#"{"id":0,"cause":0,"ts_us":1,"tid":1,"kind":"drift","key":"","data":{}}"#,
+            r#"{"cause":0,"ts_us":1,"tid":1,"kind":"drift","key":"","data":{}}"#,
+            r#"{"id":1,"cause":0,"ts_us":1,"tid":1,"kind":"bogus","key":"","data":{}}"#,
+            r#"{"id":1,"cause":0,"ts_us":1,"tid":1,"kind":"drift","key":7,"data":{}}"#,
+            r#"{"id":1,"cause":0,"ts_us":1,"tid":1,"kind":"drift","key":""}"#,
+        ] {
+            let j = iatf_obs::parse_json(bad).unwrap();
+            assert_eq!(Event::from_json(&j), None, "accepted {bad}");
+        }
+    }
+}

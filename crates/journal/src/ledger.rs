@@ -1,0 +1,306 @@
+//! The enabled half of the journal: per-thread event buffers, the id
+//! allocator, the ambient cause-scope stack, and the segment writer.
+//!
+//! Publishing appends to a plain thread-local `Vec` — no lock, no atomic
+//! RMW beyond two monotonic counters — and a full buffer *seals*: the
+//! batch drains under one mutex into the in-memory ledger and the live
+//! on-disk segment, which is republished whole via temp file + rename so
+//! readers only ever observe complete segment files. A thread's buffer
+//! also seals when the thread exits (the thread-local's `Drop`), so a
+//! sealed record can only be lost to an I/O error, never to scheduling.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use iatf_obs::Json;
+
+use crate::event::{Event, EventKind};
+
+/// Events buffered per thread before the buffer seals to the writer.
+const FLUSH_AT: usize = 16;
+/// The live segment rotates once its serialized size passes this.
+const SEGMENT_BYTES: usize = 256 * 1024;
+/// Bound on the in-memory ledger [`recent`] serves from.
+const MEM_CAP: usize = 16 * 1024;
+
+// Monotonic telemetry counters and id allocators. Nothing is published
+// *through* them — each value is independently meaningful — so every
+// access below is Relaxed.
+static PUBLISHED: AtomicU64 = AtomicU64::new(0);
+static SEALED: AtomicU64 = AtomicU64::new(0);
+static REPLAY_DROPPED: AtomicU64 = AtomicU64::new(0);
+static ID_SEQ: AtomicU64 = AtomicU64::new(0);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+/// Process-wide id base: wall-clock milliseconds at first use, truncated
+/// to 33 bits (a ~99-day rolling window) and shifted past a 20-bit
+/// sequence field. Ids from one process are `base + seq` — dense and
+/// monotone — while ids from sessions started in different milliseconds
+/// land in disjoint ranges, so merged journals keep unique ids without
+/// coordination. The layout tops out below 2^53, so ids survive any
+/// f64-based JSON tooling (including our own parser) exactly.
+fn id_base() -> u64 {
+    static BASE: OnceLock<u64> = OnceLock::new();
+    *BASE.get_or_init(|| {
+        let millis = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis() as u64);
+        (millis & ((1 << 33) - 1)) << 20
+    })
+}
+
+fn now_micros() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_micros() as u64)
+}
+
+fn next_id() -> u64 {
+    // ordering: relaxed — a monotonic id allocator; uniqueness comes from
+    // the RMW itself, no other memory is synchronized through it.
+    id_base() + ID_SEQ.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+/// Events ever published in this process.
+pub(crate) fn events_published() -> u64 {
+    // ordering: relaxed — monotonic counter read for exposition only.
+    PUBLISHED.load(Ordering::Relaxed)
+}
+
+/// Events sealed (drained from a thread buffer into the writer).
+pub(crate) fn events_sealed() -> u64 {
+    // ordering: relaxed — monotonic counter read for exposition only.
+    SEALED.load(Ordering::Relaxed)
+}
+
+/// Bumps the replay drop counter (corrupt records skipped by replay).
+pub(crate) fn note_replay_dropped(n: u64) {
+    // ordering: relaxed — monotonic counter, no ordering edge needed.
+    REPLAY_DROPPED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Corrupt records dropped by replays in this process.
+pub(crate) fn replay_dropped() -> u64 {
+    // ordering: relaxed — monotonic counter read for exposition only.
+    REPLAY_DROPPED.load(Ordering::Relaxed)
+}
+
+/// Per-thread state: a small event buffer and the ambient cause stack.
+struct ThreadBuf {
+    tid: u64,
+    events: Vec<Event>,
+    causes: Vec<u64>,
+}
+
+impl Drop for ThreadBuf {
+    fn drop(&mut self) {
+        // Thread exit seals whatever is buffered so nothing is stranded.
+        seal(std::mem::take(&mut self.events));
+    }
+}
+
+thread_local! {
+    static BUF: RefCell<ThreadBuf> = RefCell::new(ThreadBuf {
+        // ordering: relaxed — tid allocator is a monotonic counter; the
+        // RMW alone guarantees distinct ids.
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        events: Vec::new(),
+        causes: Vec::new(),
+    });
+}
+
+/// Appends one event to the calling thread's buffer and returns its id.
+/// `cause == 0` inherits the ambient cause scope (if any).
+pub(crate) fn publish(kind: EventKind, key: &str, cause: u64, data: Json) -> u64 {
+    let id = next_id();
+    // ordering: relaxed — monotonic publish counter.
+    PUBLISHED.fetch_add(1, Ordering::Relaxed);
+    // `try_with` fails only during thread teardown, after the buffer's
+    // own Drop already ran; such late events are dropped by design.
+    let _ = BUF.try_with(|b| {
+        let mut b = b.borrow_mut();
+        let cause = if cause != 0 {
+            cause
+        } else {
+            b.causes.last().copied().unwrap_or(0)
+        };
+        let tid = b.tid;
+        b.events.push(Event {
+            id,
+            cause,
+            ts_micros: now_micros(),
+            tid,
+            kind,
+            key: key.to_string(),
+            data,
+        });
+        if b.events.len() >= FLUSH_AT {
+            let batch = std::mem::take(&mut b.events);
+            seal(batch);
+        }
+    });
+    id
+}
+
+/// Pushes an ambient cause for the calling thread ([`crate::cause_scope`]).
+pub(crate) fn push_cause(id: u64) {
+    let _ = BUF.try_with(|b| b.borrow_mut().causes.push(id));
+}
+
+/// Pops the calling thread's ambient cause.
+pub(crate) fn pop_cause() {
+    let _ = BUF.try_with(|b| {
+        b.borrow_mut().causes.pop();
+    });
+}
+
+/// Seals the calling thread's buffer: everything published so far on this
+/// thread is durable (in the in-memory ledger and, if a journal directory
+/// is configured, on disk) when this returns.
+pub(crate) fn sync() {
+    let batch = BUF
+        .try_with(|b| std::mem::take(&mut b.borrow_mut().events))
+        .unwrap_or_default();
+    seal(batch);
+}
+
+/// The bounded in-memory ledger, oldest first, including the calling
+/// thread's unsealed buffer.
+pub(crate) fn recent() -> Vec<Event> {
+    sync();
+    match writer().lock() {
+        Ok(w) => w.mem.iter().cloned().collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Test/CLI hook: overrides the segment directory (`None` disables
+/// persistence). Resets the live segment; the in-memory ledger survives.
+pub(crate) fn set_dir(dir: Option<PathBuf>) {
+    if let Ok(mut w) = writer().lock() {
+        w.reset_dir(dir);
+    }
+}
+
+/// The resolved segment directory, if persistence is active.
+pub(crate) fn dir() -> Option<PathBuf> {
+    let mut w = writer().lock().ok()?;
+    w.ensure_dir();
+    w.dir.clone()
+}
+
+/// Test hook: drops the in-memory ledger and any buffered events on the
+/// calling thread. Ids stay monotone; the segment directory is untouched.
+pub(crate) fn reset_memory() {
+    let _ = BUF.try_with(|b| b.borrow_mut().events.clear());
+    if let Ok(mut w) = writer().lock() {
+        w.mem.clear();
+    }
+}
+
+/// The single writer behind all threads' sealed batches.
+struct Writer {
+    dir: Option<PathBuf>,
+    dir_resolved: bool,
+    /// Number of the live segment file.
+    seg_seq: u64,
+    /// Serialized content of the live segment (rewritten whole on seal).
+    seg_text: String,
+    mem: VecDeque<Event>,
+}
+
+fn writer() -> &'static Mutex<Writer> {
+    static W: OnceLock<Mutex<Writer>> = OnceLock::new();
+    W.get_or_init(|| {
+        Mutex::new(Writer {
+            dir: None,
+            dir_resolved: false,
+            seg_seq: 0,
+            seg_text: String::new(),
+            mem: VecDeque::new(),
+        })
+    })
+}
+
+impl Writer {
+    /// Lazily resolves `$IATF_JOURNAL_DIR` (tri-state, like the tuning
+    /// db's path) and picks a fresh segment number past any existing ones
+    /// so this process never rewrites another session's segments.
+    fn ensure_dir(&mut self) {
+        if self.dir_resolved {
+            return;
+        }
+        self.dir_resolved = true;
+        let dir = iatf_obs::env::env_path("IATF_JOURNAL_DIR", &[".cache", "iatf", "journal"]);
+        self.reset_dir(dir);
+        self.dir_resolved = true;
+    }
+
+    fn reset_dir(&mut self, dir: Option<PathBuf>) {
+        self.seg_text.clear();
+        self.seg_seq = 0;
+        self.dir = None;
+        self.dir_resolved = true;
+        let Some(dir) = dir else { return };
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        self.seg_seq = next_free_segment(&dir);
+        self.dir = Some(dir);
+    }
+
+    /// Republishes the live segment whole: write a temp file, then rename
+    /// over the segment name. Readers never observe a partial file.
+    fn publish_segment(&self) {
+        let Some(dir) = &self.dir else { return };
+        let name = segment_name(self.seg_seq);
+        let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, self.seg_text.as_bytes()).is_ok() {
+            let _ = std::fs::rename(&tmp, dir.join(name));
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+use crate::replay::{parse_segment_name, segment_name};
+
+fn next_free_segment(dir: &std::path::Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .filter_map(|e| parse_segment_name(&e.ok()?.file_name().to_string_lossy()))
+        .map(|seq| seq + 1)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Drains one sealed batch into the ledger and the live segment.
+fn seal(events: Vec<Event>) {
+    if events.is_empty() {
+        return;
+    }
+    let Ok(mut w) = writer().lock() else { return };
+    w.ensure_dir();
+    // ordering: relaxed — monotonic seal counter.
+    SEALED.fetch_add(events.len() as u64, Ordering::Relaxed);
+    for ev in events {
+        let line = ev.to_json().to_compact();
+        w.seg_text.push_str(&line);
+        w.seg_text.push('\n');
+        w.mem.push_back(ev);
+        if w.mem.len() > MEM_CAP {
+            w.mem.pop_front();
+        }
+    }
+    w.publish_segment();
+    if w.seg_text.len() >= SEGMENT_BYTES {
+        w.seg_seq += 1;
+        w.seg_text.clear();
+    }
+}

@@ -1,0 +1,315 @@
+//! iatf-journal: the unified provenance journal — an append-only causal
+//! event ledger linking every tuning decision across the stack.
+//!
+//! The runtime makes decisions in several places: the planner chooses
+//! tiles and pack strategies, the plan cache inserts and evicts, the
+//! autotuner sweeps candidates and records winners, the watch layer arms
+//! envelopes, detects drift, and triggers retunes. Each subsystem already
+//! *counts* (iatf-obs) and *times* (iatf-trace) itself, but none of that
+//! answers "why is shape X served by this plan today?". This crate does:
+//! every decision publishes a structured [`Event`] carrying a `cause` id,
+//! so a drift event points at the envelope seed that armed its detector,
+//! and the retune it triggers — the db eviction, the fresh sweep, the new
+//! winner — all point back at the drift event. `reproduce journal
+//! --follow <id>` walks the chain end-to-end.
+//!
+//! **Id scheme.** Ids are `base + seq` where `base` is the process's
+//! first-use wall clock in milliseconds, truncated to 33 bits and shifted
+//! left 20: dense and monotone within a process, disjoint across sessions
+//! started in different milliseconds (within a ~99-day window), never 0
+//! (0 means "no cause" / "journal disabled"), and always below 2^53 so
+//! f64-based JSON tooling round-trips them exactly.
+//!
+//! **Durability.** Publishing appends to a per-thread buffer (no lock).
+//! A full buffer — or thread exit, or [`sync`] — *seals* the batch into a
+//! bounded in-memory ledger and the live on-disk segment under
+//! `$IATF_JOURNAL_DIR` (unset ⇒ `~/.cache/iatf/journal/`, set-empty ⇒
+//! in-memory only). The live segment is republished whole via temp
+//! file plus rename on every seal and rotates at a size cap, so
+//! readers only ever observe complete segment files; [`replay`]
+//! tolerates corruption by truncating a segment at its first bad
+//! record and counting what it dropped.
+//!
+//! Everything stateful is behind the `enabled` feature (workspace:
+//! `journal`). Disabled, [`publish`] is a constant 0 and probe sites
+//! gate their payload construction on the const [`is_enabled`], so the
+//! instrumented crates compile exactly as if this crate did not exist.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod replay;
+
+#[cfg(feature = "enabled")]
+mod ledger;
+
+pub use event::{Event, EventKind};
+pub use replay::{follow, replay, replay_dir, ReplayReport};
+
+use iatf_obs::Json;
+use std::path::PathBuf;
+
+/// Whether the ledger is compiled in.
+pub const fn is_enabled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+/// Publishes one event and returns its id (0 when disabled).
+///
+/// `cause == 0` inherits the innermost ambient [`cause_scope`] on the
+/// calling thread, if any. Call sites that build a non-trivial `data`
+/// payload should gate on [`is_enabled`] so disabled builds skip the
+/// construction entirely.
+#[inline]
+pub fn publish(kind: EventKind, key: &str, cause: u64, data: Json) -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        ledger::publish(kind, key, cause, data)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = (kind, key, cause, data);
+        0
+    }
+}
+
+/// An ambient-cause guard: while alive, events published on this thread
+/// without an explicit cause inherit `cause`. Zero-sized no-op when the
+/// feature is off or `cause` is 0.
+#[must_use = "the scope ends when the guard drops; binding it to _ discards it"]
+pub struct CauseScope {
+    #[cfg(feature = "enabled")]
+    active: bool,
+}
+
+#[cfg(feature = "enabled")]
+impl Drop for CauseScope {
+    fn drop(&mut self) {
+        if self.active {
+            ledger::pop_cause();
+        }
+    }
+}
+
+/// Opens an ambient cause scope (see [`CauseScope`]). Lets a caller
+/// attribute everything a callee publishes — a retune's db eviction,
+/// re-sweep, and envelope re-arm — to one causing event without
+/// threading ids through every signature.
+pub fn cause_scope(cause: u64) -> CauseScope {
+    #[cfg(feature = "enabled")]
+    {
+        let active = cause != 0;
+        if active {
+            ledger::push_cause(cause);
+        }
+        CauseScope { active }
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = cause;
+        CauseScope {}
+    }
+}
+
+/// Seals the calling thread's buffer: everything it published is in the
+/// in-memory ledger (and on disk, if persistence is active) on return.
+pub fn sync() {
+    #[cfg(feature = "enabled")]
+    ledger::sync();
+}
+
+/// The bounded in-memory ledger, oldest first (empty when disabled).
+/// Seals the calling thread's buffer first.
+pub fn recent() -> Vec<Event> {
+    #[cfg(feature = "enabled")]
+    {
+        ledger::recent()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        Vec::new()
+    }
+}
+
+/// Events ever published in this process.
+pub fn events_published() -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        ledger::events_published()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        0
+    }
+}
+
+/// Events sealed out of thread buffers (durable).
+pub fn events_sealed() -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        ledger::events_sealed()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        0
+    }
+}
+
+/// Corrupt records dropped by replays in this process.
+pub fn replay_dropped() -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        ledger::replay_dropped()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        0
+    }
+}
+
+pub(crate) fn note_replay_dropped(n: u64) {
+    #[cfg(feature = "enabled")]
+    ledger::note_replay_dropped(n);
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = n;
+    }
+}
+
+/// The directory segments are written to / replayed from: the writer's
+/// resolved directory when the feature is on, else the plain
+/// `$IATF_JOURNAL_DIR` tri-state resolution (so tooling built without
+/// the feature can still read a journal another process wrote).
+pub fn journal_dir() -> Option<PathBuf> {
+    #[cfg(feature = "enabled")]
+    {
+        ledger::dir()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        iatf_obs::env::env_path("IATF_JOURNAL_DIR", &[".cache", "iatf", "journal"])
+    }
+}
+
+/// Test/CLI hook: overrides the segment directory (`None` disables
+/// persistence). No-op when disabled.
+pub fn set_dir(dir: Option<PathBuf>) {
+    #[cfg(feature = "enabled")]
+    ledger::set_dir(dir);
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = dir;
+    }
+}
+
+/// Test hook: drops the in-memory ledger and the calling thread's
+/// buffered events. Ids stay monotone; segment files are untouched.
+pub fn reset_memory() {
+    #[cfg(feature = "enabled")]
+    ledger::reset_memory();
+}
+
+/// A stable 64-bit FNV-1a fingerprint of the measurement host's µarch
+/// row and vector width, stamped into sweep winners and db provenance so
+/// a pooled or copied tuning db shows where each entry was measured.
+/// Always available (pure function of its inputs).
+pub fn host_fingerprint(uarch: &str, width: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in uarch.bytes().chain([0u8]).chain(width.bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// A stable 64-bit FNV-1a digest of an arbitrary string — used to stamp
+/// a compact fingerprint of a rendered document (e.g. a `PlanExplain`)
+/// into event payloads without carrying the whole text. Always available
+/// (pure function of its input).
+pub fn digest64(text: &str) -> u64 {
+    host_fingerprint(text, "")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests share a process: route segments away from any real
+    /// `$IATF_JOURNAL_DIR` / `~/.cache` once, before the writer resolves.
+    fn isolate() {
+        use std::sync::Once;
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            std::env::set_var("IATF_JOURNAL_DIR", "");
+        });
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_separates_inputs() {
+        let a = host_fingerprint("x86_64-avx2", "256");
+        assert_eq!(a, host_fingerprint("x86_64-avx2", "256"));
+        assert_ne!(a, host_fingerprint("x86_64-avx2", "512"));
+        assert_ne!(a, host_fingerprint("x86_64-sse2", "256"));
+        // The separator keeps ("ab", "c") and ("a", "bc") distinct.
+        assert_ne!(host_fingerprint("ab", "c"), host_fingerprint("a", "bc"));
+    }
+
+    #[test]
+    fn disabled_probes_are_inert() {
+        isolate();
+        if is_enabled() {
+            return;
+        }
+        let id = publish(EventKind::Drift, "0:1:2:2:2:0:0:8:1", 0, Json::object());
+        assert_eq!(id, 0);
+        let _scope = cause_scope(7);
+        assert_eq!(publish(EventKind::Retune, "", 0, Json::object()), 0);
+        sync();
+        assert!(recent().is_empty());
+        assert_eq!(events_published(), 0);
+        assert_eq!(std::mem::size_of::<CauseScope>(), 0);
+        assert!(!std::mem::needs_drop::<CauseScope>());
+    }
+
+    #[test]
+    fn publish_links_events_and_scopes_nest() {
+        isolate();
+        if !is_enabled() {
+            return;
+        }
+        let root = publish(EventKind::SweepStart, "k", 0, Json::object());
+        assert_ne!(root, 0);
+        let explicit = publish(EventKind::SweepWinner, "k", root, Json::object());
+        let (inner, outer_after) = {
+            let _outer = cause_scope(root);
+            let inner = publish(EventKind::DbRecord, "k", 0, Json::object());
+            let nested = {
+                let _inner = cause_scope(explicit);
+                publish(EventKind::EnvelopeSeed, "k", 0, Json::object())
+            };
+            (nested, inner)
+        };
+        let after = publish(EventKind::Drift, "k", 0, Json::object());
+        let events = recent();
+        let find = |id: u64| events.iter().find(|e| e.id == id).unwrap().clone();
+        assert_eq!(find(explicit).cause, root);
+        assert_eq!(find(outer_after).cause, root, "ambient scope not applied");
+        assert_eq!(find(inner).cause, explicit, "nested scope not innermost");
+        assert_eq!(find(after).cause, 0, "scope leaked past its guard");
+        assert!(events_published() >= 5);
+    }
+
+    #[test]
+    fn ids_are_monotone_and_nonzero() {
+        isolate();
+        if !is_enabled() {
+            return;
+        }
+        let a = publish(EventKind::PlanBuild, "", 0, Json::object());
+        let b = publish(EventKind::PlanBuild, "", 0, Json::object());
+        assert!(a != 0 && b > a);
+    }
+}

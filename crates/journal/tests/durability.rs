@@ -1,0 +1,179 @@
+//! Durability properties of the journal: corruption-tolerant replay,
+//! concurrent append ordering, and rotation.
+//!
+//! Replay-only tests run in every build; tests that drive the global
+//! ledger need the `enabled` feature and serialize on a mutex because
+//! the segment directory is process-wide state.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use iatf_journal::{follow, publish, replay_dir, EventKind};
+use iatf_obs::Json;
+
+/// Serializes tests that touch the global ledger / segment directory.
+static LEDGER_LOCK: Mutex<()> = Mutex::new(());
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("iatf-journal-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn line(id: u64, cause: u64, kind: &str) -> String {
+    format!(
+        r#"{{"id":{id},"cause":{cause},"ts_us":{id},"tid":1,"kind":"{kind}","key":"0:1:4:4:4:0:0:8:1","data":{{}}}}"#
+    )
+}
+
+#[test]
+fn replay_truncates_at_first_bad_record_and_counts_drops() {
+    let dir = scratch_dir("corrupt");
+    // Segment 0: two good records, then garbage, then a good record that
+    // must NOT survive (the tail is untrusted once framing is lost).
+    let seg0 = [
+        line(1, 0, "sweep_start"),
+        line(2, 1, "sweep_winner"),
+        "{\"id\":3,\"cause\":2,\"ts_us\"".to_string(), // torn mid-write
+        line(4, 2, "db_record"),
+    ]
+    .join("\n");
+    std::fs::write(dir.join("segment-000000.jsonl"), seg0).unwrap();
+    // Segment 1: intact, must replay fully.
+    std::fs::write(
+        dir.join("segment-000001.jsonl"),
+        format!("{}\n{}\n", line(10, 2, "envelope_seed"), line(11, 10, "drift")),
+    )
+    .unwrap();
+    // Not a segment: ignored entirely.
+    std::fs::write(dir.join("notes.txt"), "not a segment").unwrap();
+
+    let before = iatf_journal::replay_dropped();
+    let report = replay_dir(&dir);
+    assert_eq!(report.segments, 2);
+    assert_eq!(report.truncated_segments, 1);
+    assert_eq!(report.dropped_records, 2, "bad record + its tail");
+    let ids: Vec<u64> = report.events.iter().map(|e| e.id).collect();
+    assert_eq!(ids, vec![1, 2, 10, 11]);
+    if iatf_journal::is_enabled() {
+        // Other replays may interleave (tests share the process-wide
+        // counter), so assert at-least rather than exactly.
+        assert!(iatf_journal::replay_dropped() - before >= 2);
+    }
+    // The surviving chain is still walkable across the truncation.
+    let chain = follow(&report.events, 11);
+    let chain_ids: Vec<u64> = chain.iter().map(|e| e.id).collect();
+    assert_eq!(chain_ids, vec![1, 2, 10, 11]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replay_of_garbage_only_segment_is_empty_not_fatal() {
+    let dir = scratch_dir("garbage");
+    std::fs::write(dir.join("segment-000000.jsonl"), "\u{0}\u{0}binary trash\n[1,2,3]\n").unwrap();
+    let report = replay_dir(&dir);
+    assert!(report.events.is_empty());
+    assert_eq!(report.truncated_segments, 1);
+    assert_eq!(report.dropped_records, 2);
+    // A missing directory degrades the same way.
+    let gone = dir.join("never-created");
+    let report = replay_dir(&gone);
+    assert!(report.events.is_empty() && report.segments == 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_append_preserves_per_thread_order_and_loses_nothing() {
+    if !iatf_journal::is_enabled() {
+        return;
+    }
+    let _guard = LEDGER_LOCK.lock().unwrap();
+    let dir = scratch_dir("concurrent");
+    iatf_journal::set_dir(Some(dir.clone()));
+    iatf_journal::reset_memory();
+
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 200;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let key = format!("0:1:{t}:4:4:0:0:8:1");
+                let mut prev = 0;
+                for i in 0..PER_THREAD {
+                    let id = publish(
+                        EventKind::SweepCandidate,
+                        &key,
+                        prev,
+                        Json::object().set("i", i),
+                    );
+                    assert_ne!(id, 0);
+                    prev = id;
+                }
+                // Buffers seal on thread exit; no explicit sync here —
+                // that is the property under test.
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let report = replay_dir(&dir);
+    assert_eq!(report.dropped_records, 0);
+    assert_eq!(report.truncated_segments, 0);
+    assert_eq!(
+        report.events.len() as u64,
+        THREADS * PER_THREAD,
+        "a sealed record was lost"
+    );
+    // Per-thread publish order survives the interleaved seals: for each
+    // thread the payload index is strictly increasing in file order, and
+    // the intra-thread cause chain is intact.
+    for t in 0..THREADS {
+        let key = format!("0:1:{t}:4:4:0:0:8:1");
+        let of_thread: Vec<_> = report.events.iter().filter(|e| e.key == key).collect();
+        assert_eq!(of_thread.len() as u64, PER_THREAD);
+        for (i, ev) in of_thread.iter().enumerate() {
+            assert_eq!(ev.data.get("i").and_then(Json::as_u64), Some(i as u64));
+            let want_cause = if i == 0 { 0 } else { of_thread[i - 1].id };
+            assert_eq!(ev.cause, want_cause, "thread {t} chain broken at {i}");
+        }
+    }
+    iatf_journal::set_dir(None);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn segments_rotate_and_replay_whole() {
+    if !iatf_journal::is_enabled() {
+        return;
+    }
+    let _guard = LEDGER_LOCK.lock().unwrap();
+    let dir = scratch_dir("rotate");
+    iatf_journal::set_dir(Some(dir.clone()));
+    iatf_journal::reset_memory();
+
+    // Fat payloads push the live segment past its rotation cap quickly.
+    let fat = "x".repeat(512);
+    const N: u64 = 1024;
+    let mut ids = Vec::new();
+    for i in 0..N {
+        ids.push(publish(
+            EventKind::PlanBuild,
+            "0:1:9:9:9:0:0:8:1",
+            0,
+            Json::object().set("i", i).set("pad", fat.as_str()),
+        ));
+    }
+    iatf_journal::sync();
+
+    let report = replay_dir(&dir);
+    assert!(report.segments >= 2, "no rotation after {N} fat records");
+    assert_eq!(report.dropped_records, 0);
+    assert_eq!(report.events.len() as u64, N);
+    let replayed: Vec<u64> = report.events.iter().map(|e| e.id).collect();
+    assert_eq!(replayed, ids, "order or identity lost across rotation");
+    iatf_journal::set_dir(None);
+    let _ = std::fs::remove_dir_all(&dir);
+}

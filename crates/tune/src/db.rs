@@ -58,6 +58,26 @@ pub struct TunedEntry {
     pub heuristic_gflops: f64,
     /// Relative measurement noise observed across sweep rounds.
     pub noise: f64,
+    /// Where/when the entry was measured (see [`Provenance`]).
+    pub provenance: Provenance,
+}
+
+/// Where, when, and from which measurement an entry came.
+///
+/// Zero values mean "unknown": entries written before provenance existed
+/// decode with `Provenance::default()`, and a build without the journal
+/// feature records `journal_event: 0`. The fields make a pooled or
+/// copied tuning db auditable — every entry says which host fingerprint
+/// measured it and which journal event holds the full sweep record.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Provenance {
+    /// Journal id of the `sweep_winner` event that produced this entry.
+    pub journal_event: u64,
+    /// Measurement-host fingerprint (`iatf_journal::host_fingerprint` of
+    /// the dispatched µarch row and vector width).
+    pub host: u64,
+    /// Unix seconds when the winner was recorded.
+    pub recorded_at: u64,
 }
 
 impl TunedEntry {
@@ -146,6 +166,20 @@ impl TuningDb {
                 count_tune(TuneEvent::Persist);
             }
         }
+        if iatf_journal::is_enabled() {
+            // The record points back at the sweep winner that produced it
+            // (or the ambient cause when provenance is unknown).
+            iatf_journal::publish(
+                iatf_journal::EventKind::DbRecord,
+                &key.encode(),
+                entry.provenance.journal_event,
+                Json::object()
+                    .set("generation", self.generation())
+                    .set("tuned_gflops", entry.tuned_gflops)
+                    .set("noise", entry.noise)
+                    .set("host", format!("{:016x}", entry.provenance.host).as_str()),
+            );
+        }
     }
 
     /// Evicts the entry for `key` (drift remediation: the next
@@ -167,6 +201,16 @@ impl TuningDb {
             if write_atomic(&path, &doc).is_ok() {
                 count_tune(TuneEvent::Persist);
             }
+        }
+        if iatf_journal::is_enabled() {
+            // Cause is ambient: a drift-triggered eviction runs inside the
+            // retune's cause scope and links back to the drift event.
+            iatf_journal::publish(
+                iatf_journal::EventKind::DbEvict,
+                &key.encode(),
+                0,
+                Json::object().set("generation", self.generation()),
+            );
         }
         true
     }
@@ -262,6 +306,19 @@ fn default_path() -> Option<PathBuf> {
 
 fn decode_entry(item: &Json) -> Option<(TuneKey, TunedEntry)> {
     let key = TuneKey::decode(item.get("key")?.as_str()?)?;
+    // Provenance is additive and optional: pre-provenance entries decode
+    // with every field defaulted to "unknown" rather than being skipped.
+    // The host fingerprint travels as a hex string because full-range u64
+    // values do not survive f64-based JSON number paths.
+    let provenance = Provenance {
+        journal_event: item.get("journal_event").and_then(Json::as_u64).unwrap_or(0),
+        host: item
+            .get("host")
+            .and_then(Json::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .unwrap_or(0),
+        recorded_at: item.get("recorded_at").and_then(Json::as_u64).unwrap_or(0),
+    };
     let entry = TunedEntry {
         pack: u8::try_from(item.get("pack")?.as_u64()?).ok()?,
         group_packs: item.get("group_packs")?.as_u64()?,
@@ -270,6 +327,7 @@ fn decode_entry(item: &Json) -> Option<(TuneKey, TunedEntry)> {
         tuned_gflops: item.get("tuned_gflops")?.as_f64()?,
         heuristic_gflops: item.get("heuristic_gflops")?.as_f64()?,
         noise: item.get("noise")?.as_f64()?,
+        provenance,
     };
     entry.valid().then_some((key, entry))
 }
@@ -289,6 +347,9 @@ fn render(entries: &HashMap<TuneKey, TunedEntry>, generation: u64) -> String {
                 .set("tuned_gflops", e.tuned_gflops)
                 .set("heuristic_gflops", e.heuristic_gflops)
                 .set("noise", e.noise)
+                .set("journal_event", e.provenance.journal_event)
+                .set("host", format!("{:016x}", e.provenance.host).as_str())
+                .set("recorded_at", e.provenance.recorded_at)
         })
         .collect();
     Json::object()
@@ -362,6 +423,14 @@ mod tests {
             tuned_gflops: 3.5,
             heuristic_gflops: 3.1,
             noise: 0.02,
+            // Non-default values so the persistence round-trip tests
+            // prove provenance survives the disk format (the host value
+            // exercises the full-u64 hex path).
+            provenance: Provenance {
+                journal_event: 123_456_789,
+                host: 0xdead_beef_cafe_f00d,
+                recorded_at: 1_754_000_000,
+            },
         }
     }
 
@@ -479,7 +548,51 @@ mod tests {
         let db = TuningDb::in_memory();
         assert_eq!(db.load_from(&path), LoadOutcome::Loaded(1));
         assert_eq!(db.generation(), 6);
-        assert_eq!(db.lookup(&sample_key(4)), Some(sample_entry()));
+        assert_eq!(
+            db.lookup(&sample_key(4)),
+            Some(TunedEntry {
+                provenance: Provenance::default(),
+                ..sample_entry()
+            })
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A db written before provenance existed (no journal_event / host /
+    /// recorded_at fields) must decode with provenance defaulted, not be
+    /// skipped — pooled dbs keep their history across the upgrade.
+    #[test]
+    fn pre_provenance_entries_decode_with_defaults() {
+        let path = temp_path("preprov");
+        std::fs::write(
+            &path,
+            r#"{"schema": 1, "generation": 9, "entries": [
+                {"key": "0:0:4:4:4:0:0:1024:1", "pack": 2, "group_packs": 8,
+                 "l1_fraction": 0.75, "parallel": false,
+                 "tuned_gflops": 3.5, "heuristic_gflops": 3.1, "noise": 0.02},
+                {"key": "0:0:5:5:5:0:0:1024:1", "pack": 1, "group_packs": 4,
+                 "l1_fraction": 0.5, "parallel": true,
+                 "tuned_gflops": 2.0, "heuristic_gflops": 1.5, "noise": 0.01,
+                 "host": "not-hex", "journal_event": 17}
+            ]}"#,
+        )
+        .unwrap();
+        let db = TuningDb::in_memory();
+        assert_eq!(db.load_from(&path), LoadOutcome::Loaded(2));
+        let old = db.lookup(&sample_key(4)).unwrap();
+        assert_eq!(old.provenance, Provenance::default());
+        assert_eq!(old.tuned_gflops, 3.5);
+        // Partially-present provenance: decodable fields land, garbage
+        // (a non-hex host) defaults instead of poisoning the entry.
+        let partial = db.lookup(&sample_key(5)).unwrap();
+        assert_eq!(partial.provenance.journal_event, 17);
+        assert_eq!(partial.provenance.host, 0);
+        // And a re-render emits the provenance fields for both.
+        db.set_path(Some(path.clone()));
+        db.record(sample_key(6), sample_entry());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("journal_event"));
+        assert!(text.contains("deadbeefcafef00d"));
         std::fs::remove_file(&path).ok();
     }
 }

@@ -40,7 +40,7 @@ pub mod envelope;
 pub mod key;
 pub mod measure;
 
-pub use db::{LoadOutcome, TunedEntry, TuningDb, SCHEMA_VERSION};
+pub use db::{LoadOutcome, Provenance, TunedEntry, TuningDb, SCHEMA_VERSION};
 pub use envelope::{
     EnvelopeDb, EnvelopeLoad, EnvelopeSource, PerfEnvelope, ENVELOPE_SCHEMA_VERSION,
 };

@@ -26,6 +26,12 @@ pub struct SweepReport {
     /// Relative measurement noise: mean over candidates of
     /// `(worst − best) / worst` across rounds. 0 when only one round ran.
     pub noise: f64,
+    /// Calibrated invocations per timing slot (provenance: rep counts the
+    /// measurement actually ran, published with sweep winners).
+    pub iters: usize,
+    /// Interleaved rounds run ([`ROUNDS`]; carried so consumers need not
+    /// reach back for the constant).
+    pub rounds: usize,
 }
 
 impl SweepReport {
@@ -94,6 +100,8 @@ pub fn sweep(budget: Duration, runners: &mut [Box<dyn FnMut() + '_>]) -> SweepRe
         winner,
         secs: best,
         noise,
+        iters,
+        rounds: ROUNDS,
     }
 }
 

@@ -22,7 +22,7 @@
 //! regression without slowing anything down — the dispatch itself is
 //! untouched, only the telemetry sees the skew.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::sync::{AtomicBool, AtomicU64, Ordering::Relaxed};
@@ -54,12 +54,18 @@ struct ClassState {
     calib_n: u64,
     /// Latched on the first trip, cleared by `note_retuned`.
     tripped: bool,
+    /// Journal id of the seed/recalibrate event that armed the current
+    /// envelope; a drift raised against it cites this as its cause.
+    seed_event: u64,
 }
 
 impl ClassWatch {
     fn new(key: TuneKey, flops_per_call: f64) -> Self {
-        let armed = seed_envelope(&key, flops_per_call)
-            .map(|env| (ControlChart::new(env.expected_ns, env.noise, config()), env));
+        let mut seed_event = 0;
+        let armed = seed_envelope(&key, flops_per_call).map(|(env, cause)| {
+            seed_event = journal_envelope(JournalKind::EnvelopeSeed, &key, &env, cause);
+            (ControlChart::new(env.expected_ns, env.noise, config()), env)
+        });
         ClassWatch {
             key,
             flops_per_call,
@@ -69,6 +75,7 @@ impl ClassWatch {
                 calib_sum_sq: 0.0,
                 calib_n: 0,
                 tripped: false,
+                seed_event,
             }),
         }
     }
@@ -92,11 +99,15 @@ impl ClassWatch {
                         source: env.source,
                     };
                     state.tripped = true;
+                    let seed_event = state.seed_event;
                     drop(state);
-                    raise(DriftEvent {
-                        cause: classify(&self.key),
-                        ..event
-                    });
+                    raise(
+                        DriftEvent {
+                            cause: classify(&self.key),
+                            ..event
+                        },
+                        seed_event,
+                    );
                 }
             }
             None => {
@@ -120,6 +131,8 @@ impl ClassWatch {
                         source: EnvelopeSource::Observed,
                     };
                     EnvelopeDb::global().record(self.key, env);
+                    state.seed_event =
+                        journal_envelope(JournalKind::EnvelopeSeed, &self.key, &env, 0);
                     state.armed = Some((ControlChart::new(env.expected_ns, env.noise, config()), env));
                 }
             }
@@ -127,12 +140,13 @@ impl ClassWatch {
     }
 
     /// Re-arms against a fresh expectation after a retune.
-    fn rearm(&self, env: PerfEnvelope) {
+    fn rearm(&self, env: PerfEnvelope, seed_event: u64) {
         let mut state = self.state.lock().unwrap();
         state.tripped = false;
         state.calib_sum = 0.0;
         state.calib_sum_sq = 0.0;
         state.calib_n = 0;
+        state.seed_event = seed_event;
         state.armed = Some((ControlChart::new(env.expected_ns, env.noise, config()), env));
     }
 
@@ -159,10 +173,15 @@ impl ClassWatch {
 }
 
 /// Envelope seeding precedence 1–2 (see module docs); `None` means
-/// self-calibrate.
-fn seed_envelope(key: &TuneKey, flops_per_call: f64) -> Option<PerfEnvelope> {
+/// self-calibrate. The second element is the journal cause to cite for
+/// the seed event: the tuning-db winner's recorded `sweep_winner` event
+/// when one is known, 0 otherwise.
+fn seed_envelope(key: &TuneKey, flops_per_call: f64) -> Option<(PerfEnvelope, u64)> {
     if let Some(env) = EnvelopeDb::global().lookup(key) {
-        return Some(env);
+        let cause = TuningDb::global()
+            .lookup(key)
+            .map_or(0, |e| e.provenance.journal_event);
+        return Some((env, cause));
     }
     let entry = TuningDb::global().lookup(key)?;
     // NaN-safe: only a strictly positive measured GFLOPS seeds an envelope.
@@ -178,7 +197,49 @@ fn seed_envelope(key: &TuneKey, flops_per_call: f64) -> Option<PerfEnvelope> {
         source: EnvelopeSource::Tuned,
     };
     EnvelopeDb::global().record(*key, env);
-    Some(env)
+    Some((env, entry.provenance.journal_event))
+}
+
+use iatf_journal::EventKind as JournalKind;
+
+/// Journal probe for an envelope arming or re-arming; returns the event
+/// id (0 when the journal is off) so a later drift can cite it.
+fn journal_envelope(kind: JournalKind, key: &TuneKey, env: &PerfEnvelope, cause: u64) -> u64 {
+    if !iatf_journal::is_enabled() {
+        return 0;
+    }
+    iatf_journal::publish(
+        kind,
+        &key.encode(),
+        cause,
+        iatf_obs::Json::object()
+            .set("expected_ns", env.expected_ns)
+            .set("expected_gflops", env.expected_gflops)
+            .set("noise", env.noise)
+            .set("source", env.source.name()),
+    )
+}
+
+/// Journal probe for a raised drift; returns the drift event id (0 when
+/// the journal is off), which travels with the retune flag so the
+/// remediation can cite it.
+fn journal_drift(event: &DriftEvent, seed_event: u64) -> u64 {
+    if !iatf_journal::is_enabled() {
+        return 0;
+    }
+    iatf_journal::publish(
+        JournalKind::Drift,
+        &event.key.encode(),
+        seed_event,
+        iatf_obs::Json::object()
+            .set("expected_ns", event.expected_ns)
+            .set("observed_ns", event.observed_ns)
+            .set("ratio", event.ratio)
+            .set("confidence", event.confidence)
+            .set("cause", event.cause.name())
+            .set("sample", event.sample)
+            .set("source", event.source.name()),
+    )
 }
 
 fn classes() -> &'static Mutex<HashMap<TuneKey, Arc<ClassWatch>>> {
@@ -237,15 +298,19 @@ fn queue() -> &'static EventQueue {
     })
 }
 
-fn retune_flags() -> &'static Mutex<HashSet<TuneKey>> {
-    static FLAGS: OnceLock<Mutex<HashSet<TuneKey>>> = OnceLock::new();
-    FLAGS.get_or_init(|| Mutex::new(HashSet::new()))
+/// Pending-retune flags; the value is the journal id of the drift event
+/// that raised the flag (0 when the journal is off), handed to the
+/// remediation so the retune cites its cause.
+fn retune_flags() -> &'static Mutex<HashMap<TuneKey, u64>> {
+    static FLAGS: OnceLock<Mutex<HashMap<TuneKey, u64>>> = OnceLock::new();
+    FLAGS.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
 static RETUNES_DONE: AtomicU64 = AtomicU64::new(0);
 
-fn raise(event: DriftEvent) {
+fn raise(event: DriftEvent, seed_event: u64) {
     let key = event.key;
+    let drift_id = journal_drift(&event, seed_event);
     {
         let mut events = queue().events.lock().unwrap();
         if events.len() >= config().events_cap {
@@ -256,7 +321,7 @@ fn raise(event: DriftEvent) {
     // ordering: Relaxed — monotonic event counter; the events themselves
     // travel through the Mutex-guarded queue above, never this word.
     queue().total.fetch_add(1, Relaxed);
-    retune_flags().lock().unwrap().insert(key);
+    retune_flags().lock().unwrap().insert(key, drift_id);
 }
 
 pub(crate) fn events_total() -> u64 {
@@ -268,12 +333,12 @@ pub(crate) fn drain_events() -> Vec<DriftEvent> {
     queue().events.lock().unwrap().drain(..).collect()
 }
 
-pub(crate) fn take_retune(key: &TuneKey) -> bool {
+pub(crate) fn take_retune(key: &TuneKey) -> Option<u64> {
     retune_flags().lock().unwrap().remove(key)
 }
 
 pub(crate) fn retune_pending(key: &TuneKey) -> bool {
-    retune_flags().lock().unwrap().contains(key)
+    retune_flags().lock().unwrap().contains_key(key)
 }
 
 pub(crate) fn note_retuned(key: &TuneKey, tuned_gflops: f64, noise: f64) {
@@ -300,7 +365,10 @@ pub(crate) fn note_retuned(key: &TuneKey, tuned_gflops: f64, noise: f64) {
         return;
     };
     EnvelopeDb::global().record(*key, env);
-    watch.rearm(env);
+    // Ambient cause: the core retune path runs this inside the drift's
+    // cause scope, so the recalibration chains to the drift event.
+    let seed_event = journal_envelope(JournalKind::EnvelopeRecalibrate, key, &env, 0);
+    watch.rearm(env, seed_event);
     // ordering: Relaxed — monotonic remediation counter, advisory.
     RETUNES_DONE.fetch_add(1, Relaxed);
 }

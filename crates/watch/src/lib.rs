@@ -159,6 +159,15 @@ pub fn events_total() -> u64 {
 /// Constant `false` when disabled, so the remediation branch folds away.
 #[inline(always)]
 pub fn take_retune(key: &TuneKey) -> bool {
+    take_retune_cause(key).is_some()
+}
+
+/// Like [`take_retune`], but also hands back the journal id of the drift
+/// event that raised the flag (0 when the journal feature is off), so the
+/// remediation can publish its work under that cause. Constant `None`
+/// when disabled, so the remediation branch folds away.
+#[inline(always)]
+pub fn take_retune_cause(key: &TuneKey) -> Option<u64> {
     #[cfg(feature = "enabled")]
     {
         drift::take_retune(key)
@@ -166,7 +175,7 @@ pub fn take_retune(key: &TuneKey) -> bool {
     #[cfg(not(feature = "enabled"))]
     {
         let _ = key;
-        false
+        None
     }
 }
 

@@ -151,6 +151,21 @@ pub fn render_prometheus(watch: &WatchSnapshot, metrics: &MetricsSnapshot) -> St
     header(&mut out, "iatf_fallback_hits_total", "counter", "Calls routed to a non-compact fallback.");
     series(&mut out, "iatf_fallback_hits_total", None, metrics.fallback_hits as f64);
 
+    header(&mut out, "iatf_plan_builds_total", "counter", "Plans built per routine.");
+    for (i, op) in ["gemm", "trsm", "trmm"].iter().enumerate() {
+        let _ = writeln!(out, "iatf_plan_builds_total{{op=\"{op}\"}} {}", metrics.plan_builds[i]);
+    }
+    header(&mut out, "iatf_arena_leases_total", "counter", "Pack-arena leases by outcome (reuse = warm buffer, no allocation).");
+    let _ = writeln!(out, "iatf_arena_leases_total{{kind=\"lease\"}} {}", metrics.arena_leases);
+    let _ = writeln!(out, "iatf_arena_leases_total{{kind=\"reuse\"}} {}", metrics.arena_reuses);
+    header(&mut out, "iatf_arena_bytes_total", "counter", "Pack-arena bytes by disposition (reused without re-zeroing vs first-touch grown).");
+    let _ = writeln!(out, "iatf_arena_bytes_total{{kind=\"reused\"}} {}", metrics.arena_bytes_reused);
+    let _ = writeln!(out, "iatf_arena_bytes_total{{kind=\"grown\"}} {}", metrics.arena_bytes_grown);
+    header(&mut out, "iatf_superblock_tasks_total", "counter", "Parallel super-block work units dispatched per routine.");
+    for (i, op) in ["gemm", "trsm", "trmm"].iter().enumerate() {
+        let _ = writeln!(out, "iatf_superblock_tasks_total{{op=\"{op}\"}} {}", metrics.superblock_tasks[i]);
+    }
+
     out
 }
 
@@ -244,12 +259,16 @@ mod tests {
         let doc = render_prometheus(&snap, &iatf_obs::snapshot());
         check_parseable(&doc);
         for series in [
-            "iatf_dispatch_total{op=\"gemm\",class=\"0:1:8:8:8:0:0:512\"} 10",
+            "iatf_dispatch_total{op=\"gemm\",class=\"0:1:8:8:8:0:0:512:1\"} 10",
             "iatf_dispatch_ns_bucket",
             "le=\"+Inf\"} 10",
-            "iatf_dispatch_ns_sum{op=\"gemm\",class=\"0:1:8:8:8:0:0:512\"} 12000",
+            "iatf_dispatch_ns_sum{op=\"gemm\",class=\"0:1:8:8:8:0:0:512:1\"} 12000",
             "iatf_drift_events_total 0",
             "iatf_tune_events_total{kind=\"retune\"}",
+            "iatf_plan_builds_total{op=\"trsm\"}",
+            "iatf_arena_leases_total{kind=\"reuse\"}",
+            "iatf_arena_bytes_total{kind=\"grown\"}",
+            "iatf_superblock_tasks_total{op=\"gemm\"}",
         ] {
             assert!(doc.contains(series), "missing {series:?} in:\n{doc}");
         }

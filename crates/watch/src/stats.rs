@@ -191,6 +191,7 @@ mod loom_models {
             mode: 0,
             conj: 0,
             count: 32,
+            width: 1,
         }
     }
 

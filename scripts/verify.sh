@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # Full pre-merge verification: tier-1 build+test (repeated under every
 # executable forced vector width), every feature-gate state (obs,
-# parallel, trace, watch), the perf-regression sentinel against the
-# committed baselines, the width-sweep gate (wider backends must not lose
-# to 128-bit), the trace/roofline smoke, the watch drift-detection smoke,
-# and a clean clippy run. Run artifacts (BENCH_*.json,
-# verify_report.json, trace_*.json, watch_prometheus.txt) land under
-# target/; the committed ./BENCH_{3,4,5}.json are the sentinel's baselines
-# and only change when deliberately promoted.
+# parallel, trace, watch, journal), the perf-regression sentinel against
+# the committed baselines, the width-sweep gate (wider backends must not
+# lose to 128-bit), the trace/roofline smoke, the watch drift-detection
+# smoke, the journal causal-chain selftest + overhead gate, and a clean
+# clippy run. Run artifacts (BENCH_*.json, verify_report.json,
+# trace_*.json, watch_prometheus.txt) land under target/; the committed
+# ./BENCH_{3,4,5}.json are the sentinel's baselines and only change when
+# deliberately promoted.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -61,13 +62,23 @@ cargo test -q -p iatf-watch --features enabled
 cargo test -q -p iatf-core --features watch
 cargo test -q -p iatf-core --features watch,parallel,obs,trace
 
+echo "==> journal: probes are exact no-ops when the feature is off"
+cargo test -q -p iatf-journal
+
+echo "==> journal live: ledger, segment rotation, corruption-tolerant replay"
+cargo test -q -p iatf-journal --features enabled
+cargo test -q -p iatf-core --features journal
+cargo test -q -p iatf-core --features journal,parallel,obs
+cargo test -q -p iatf-core --features journal,watch,parallel,obs
+
 echo "==> bench harness builds in every feature state"
 cargo build --release -p iatf-bench
 cargo build --release -p iatf-bench --features obs
 cargo build --release -p iatf-bench --features parallel,obs
 cargo build --release -p iatf-bench --features trace
 cargo build --release -p iatf-bench --features watch
-cargo build --release -p iatf-bench --features parallel,obs,trace,watch
+cargo build --release -p iatf-bench --features journal
+cargo build --release -p iatf-bench --features parallel,obs,trace,watch,journal
 
 echo "==> iatf-tune: sweep harness + tuning-db robustness (both obs states)"
 cargo test -q -p iatf-tune
@@ -262,12 +273,67 @@ for ln in open("target/watch_prometheus.txt"):
     series.append(name)
 assert any(s.endswith("_bucket") for s in series), "no histogram series rendered"
 assert "iatf_drift_events_total" in series, "drift event counter not exposed"
+assert "iatf_arena_leases_total" in series, "arena counters not exposed"
+assert "iatf_superblock_tasks_total" in series, "superblock counters not exposed"
 print(f"    detected {inj['factor']}x in {inj['detection_dispatches']} dispatches "
       f"(cause {ev['cause']}), retune gen {rt['generation_before']}->"
       f"{rt['generation_after']}, recovery clean; "
       f"{len(series)} Prometheus series parsed")
 EOF
 echo "    wrote target/BENCH_6.json and target/watch_prometheus.txt"
+
+echo "==> journal provenance: causal-chain selftest (reproduce journal --selftest)"
+# The selftest re-drives the watch loop above (tune -> steady -> injected
+# drift -> retune) against scratch db/envelope/ledger state, then asserts
+# every causal link — sweep_start -> sweep_winner -> envelope_seed ->
+# drift -> retune/db_evict/re-sweep/recalibrate — is present with the
+# right cause id, both in memory and from a fresh disk replay.
+mkdir -p target/tune-tests
+rm -rf target/tune-tests/journal-selftest-db.json \
+       target/tune-tests/journal-selftest-envelopes.json \
+       target/tune-tests/journal-selftest-ledger
+timeout 600 cargo run -q --release -p iatf-bench --features watch,journal --bin reproduce -- \
+  journal --selftest --json > target/BENCH_9_selftest.json
+python3 - <<'EOF'
+import json
+doc = json.load(open("target/BENCH_9_selftest.json"))
+assert doc["journal_enabled"] and doc["watch_enabled"], "features missing"
+assert doc["ok"], f"causal chain broken: {doc['failures']}"
+for link in ("sweep_start", "sweep_winner", "envelope_seed", "drift"):
+    assert doc[link] > 0, f"{link} event id missing"
+print(f"    chain {doc['sweep_start']} -> {doc['sweep_winner']} -> "
+      f"{doc['envelope_seed']} -> {doc['drift']} reconstructed "
+      f"({doc['events_published']} events published)")
+EOF
+
+echo "==> journal overhead gate: warm dispatch, feature on vs off"
+# Zero-cost claim, measured: min-of-rounds ns/call of the warm cached
+# dispatch path with the journal compiled in must stay within
+# max(3*noise, 2%) of the journal-off build. IATF_JOURNAL_DIR= (set
+# empty) keeps the enabled run in-memory so the probe never pays
+# segment I/O it wouldn't pay in steady state either.
+IATF_JOURNAL_DIR= timeout 600 cargo run -q --release -p iatf-bench --features parallel,obs --bin reproduce -- \
+  journal --overhead --json > target/journal_overhead_off.json
+IATF_JOURNAL_DIR= timeout 600 cargo run -q --release -p iatf-bench --features parallel,obs,journal --bin reproduce -- \
+  journal --overhead --json > target/journal_overhead_on.json
+python3 - <<'EOF'
+import json
+off = json.load(open("target/journal_overhead_off.json"))
+on = json.load(open("target/journal_overhead_on.json"))
+assert not off["journal_enabled"] and on["journal_enabled"], "wrong builds"
+noise = max(off["noise"], on["noise"])
+slack = max(3.0 * noise, 0.02)
+ratio = on["ns_per_call"] / off["ns_per_call"]
+assert ratio <= 1.0 + slack, (
+    f"journal-on warm dispatch is {ratio:.3f}x journal-off "
+    f"(allowed 1+{slack:.3f})")
+doc = {"title": "journal: warm-dispatch overhead gate",
+       "off": off, "on": on, "ratio": ratio, "slack": slack}
+json.dump(doc, open("target/BENCH_9.json", "w"), indent=2)
+print(f"    journal on/off warm-dispatch ratio {ratio:.3f} "
+      f"(slack {slack:.3f}, noise {noise:.3f})")
+EOF
+echo "    wrote target/BENCH_9.json and target/BENCH_9_selftest.json"
 
 echo "==> source certification (reproduce audit): self-test, then workspace"
 # iatf-audit replaces the old in-script unsafe-allowlist grep with the

@@ -22,6 +22,7 @@ pub use iatf_core as core;
 pub use iatf_core::obs;
 pub use iatf_core::trace;
 pub use iatf_core::watch;
+pub use iatf_core::journal;
 pub use iatf_layout as layout;
 pub use iatf_simd as simd;
 
@@ -30,7 +31,7 @@ pub use iatf_core::{
     std_gemm_via_compact, std_trsm_via_compact, BatchPolicy, CompactElement, GemmPlan, PackPolicy,
     PlanCachePolicy, PlanCacheStats, TrmmPlan, TrsmPlan, TunePolicy, TuningConfig,
 };
-pub use iatf_tune::{TunedEntry, TuningDb};
+pub use iatf_tune::{Provenance, TunedEntry, TuningDb};
 pub use iatf_layout::{
     CompactBatch, Diag, GemmDims, GemmMode, LayoutError, Side, StdBatch, Trans, TrsmDims,
     TrsmMode, Uplo,
